@@ -1,0 +1,64 @@
+//! Criterion benchmark of the lithography engine: aerial image cost vs
+//! grid size (the inner loop of every OPC/ILT iteration).
+
+use cardopc::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn mask_with_squares(edge: usize, pitch: f64) -> Grid {
+    let mut g = Grid::zeros(edge, edge, pitch);
+    let q = edge / 4;
+    for iy in q..2 * q {
+        for ix in q..2 * q {
+            g[(ix, iy)] = 1.0;
+        }
+    }
+    for iy in 2 * q + q / 2..3 * q {
+        for ix in 2 * q + q / 2..3 * q {
+            g[(ix, iy)] = 1.0;
+        }
+    }
+    g
+}
+
+fn bench_aerial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aerial_image");
+    group.sample_size(10);
+    for edge in [128usize, 256] {
+        let engine = LithoEngine::new(OpticsConfig::default(), edge, edge, 8.0).unwrap();
+        let mask = mask_with_squares(edge, 8.0);
+        group.bench_function(format!("{edge}x{edge}"), |b| {
+            b.iter(|| black_box(engine.aerial_image(black_box(&mask)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    use cardopc::litho::fft::Field;
+    let mut group = c.benchmark_group("fft2");
+    for edge in [128usize, 256, 512] {
+        let data: Vec<f64> = (0..edge * edge).map(|i| (i % 7) as f64).collect();
+        let field = Field::from_real(edge, edge, &data);
+        group.bench_function(format!("{edge}x{edge}"), |b| {
+            b.iter(|| {
+                let mut f = field.clone();
+                f.fft2_inplace(false);
+                black_box(f.energy())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_raster(c: &mut Criterion) {
+    use cardopc::litho::rasterize;
+    let clips = metal_clips();
+    let targets = clips[9].targets();
+    c.bench_function("rasterize_m10_clip_256", |b| {
+        b.iter(|| black_box(rasterize(black_box(targets), 256, 256, 6.0)))
+    });
+}
+
+criterion_group!(benches, bench_aerial, bench_fft, bench_raster);
+criterion_main!(benches);

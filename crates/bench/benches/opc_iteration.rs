@@ -1,0 +1,71 @@
+//! Criterion benchmark of one CardOPC correction iteration (connect →
+//! rasterise → simulate → correct) on a small clip, plus initialisation.
+
+use cardopc::litho::rasterize;
+use cardopc::opc::{correct_shapes, engine_for_extent, CorrectionStep};
+use cardopc::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn small_clip() -> Clip {
+    Clip::new(
+        "bench",
+        1024.0,
+        1024.0,
+        vec![
+            Polygon::rect(Point::new(250.0, 440.0), Point::new(370.0, 560.0)),
+            Polygon::rect(Point::new(620.0, 440.0), Point::new(740.0, 560.0)),
+        ],
+    )
+}
+
+fn bench_initialise(c: &mut Criterion) {
+    let clip = small_clip();
+    let flow = CardOpc::new(OpcConfig::via());
+    c.bench_function("cardopc_initialize", |b| {
+        b.iter(|| black_box(flow.initialize(black_box(&clip)).unwrap()))
+    });
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    let clip = small_clip();
+    let config = OpcConfig {
+        pitch: 8.0,
+        sraf: None,
+        mrc: None,
+        ..OpcConfig::via()
+    };
+    let engine = engine_for_extent(clip.width(), clip.height(), config.pitch).unwrap();
+    let flow = CardOpc::new(config.clone());
+    let shapes = flow.initialize(&clip).unwrap();
+
+    let mut group = c.benchmark_group("cardopc_iteration");
+    group.sample_size(10);
+    group.bench_function("connect_simulate_correct_128", |b| {
+        b.iter(|| {
+            let mut shapes = shapes.clone();
+            let polys: Vec<Polygon> = shapes
+                .iter()
+                .map(|s| s.spline.to_polygon(config.samples_per_segment))
+                .collect();
+            let mask = rasterize(&polys, engine.width(), engine.height(), engine.pitch());
+            let aerial = engine.aerial_image(&mask).unwrap();
+            let total = correct_shapes(
+                &mut shapes,
+                &aerial,
+                engine.threshold(),
+                &CorrectionStep {
+                    step_limit: 2.0,
+                    smooth_window: 1,
+                    epe_search: 40.0,
+                    spline_normals: true,
+                },
+            );
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_initialise, bench_iteration);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion microbenchmark of the §IV-D ablation's core operation:
+//! connecting control points with cardinal vs Bézier splines.
+//!
+//! The report binary `ablation_spline` measures the full gcd tile; this
+//! bench tracks the per-shape cost with statistical rigour.
+
+use cardopc::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn shape_loops(n_shapes: usize) -> Vec<Vec<Point>> {
+    let mut rng = SplitMix64::new(0xB0B);
+    (0..n_shapes)
+        .map(|_| {
+            let cx = rng.range_f64(100.0, 900.0);
+            let cy = rng.range_f64(100.0, 900.0);
+            let n = rng.range_usize(8, 24);
+            (0..n)
+                .map(|i| {
+                    let th = std::f64::consts::TAU * i as f64 / n as f64;
+                    let r = rng.range_f64(30.0, 80.0);
+                    Point::new(cx + r * th.cos(), cy + r * th.sin())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_connect(c: &mut Criterion) {
+    let loops = shape_loops(100);
+    let mut group = c.benchmark_group("connect_100_shapes");
+
+    group.bench_function("cardinal", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for l in &loops {
+                let sp = CardinalSpline::closed(black_box(l.clone()), 0.6).unwrap();
+                total += sp.sample(8).len();
+            }
+            black_box(total)
+        })
+    });
+
+    group.bench_function("bezier", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for l in &loops {
+                let ch = BezierChain::closed(black_box(l.clone()), 0.6).unwrap();
+                total += ch.sample(8).len();
+            }
+            black_box(total)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_differential_geometry(c: &mut Criterion) {
+    let loops = shape_loops(1);
+    let spline = CardinalSpline::closed(loops[0].clone(), 0.6).unwrap();
+    c.bench_function("curvature_per_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for seg in 0..spline.segment_count() {
+                for k in 0..8 {
+                    acc += spline.curvature(seg, k as f64 / 8.0).abs();
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_connect, bench_differential_geometry);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Extension ablation: cardinal tension sweep.
+//!
+//! The paper lists "spline types" among the future-work axes and fixes
+//! `s = 0.6` throughout its experiments. This extension sweeps the tension
+//! parameter on a via clip and a metal clip, showing how `s` trades corner
+//! tightness against edge ripple — the knob §III-C advertises ("users can
+//! finetune the curvilinear shapes without moving the control points").
+//!
+//! ```sh
+//! cargo run --release -p cardopc-bench --bin ablation_tension
+//! ```
+
+use cardopc::opc::engine_for_extent;
+use cardopc::prelude::*;
+use cardopc_bench::{quick_mode, Report};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = quick_mode();
+    let tensions: &[f64] = if quick {
+        &[0.3, 0.6]
+    } else {
+        &[0.0, 0.3, 0.5, 0.6, 0.8, 1.0]
+    };
+
+    let via_clip = &via_clips()[0];
+    let metal_clip = &metal_clips()[7]; // M8: the simplest metal clip
+    let via_engine = engine_for_extent(via_clip.width(), via_clip.height(), 4.0)?;
+    let metal_engine = engine_for_extent(metal_clip.width(), metal_clip.height(), 4.0)?;
+
+    let mut report = Report::new(
+        "Tension ablation (EPE nm / PVB nm^2); paper fixes s = 0.6",
+        &["via EPE", "via PVB", "metal EPE", "metal PVB"],
+    )
+    .decimals(1);
+
+    for &s in tensions {
+        let mut via_cfg = OpcConfig::via();
+        via_cfg.tension = s;
+        if quick {
+            via_cfg.iterations = 8;
+        }
+        let v = CardOpc::new(via_cfg).run_with_engine(via_clip, &via_engine)?;
+
+        let mut metal_cfg = OpcConfig::metal();
+        metal_cfg.tension = s;
+        if quick {
+            metal_cfg.iterations = 8;
+        }
+        let m = CardOpc::new(metal_cfg).run_with_engine(metal_clip, &metal_engine)?;
+
+        report.push(
+            format!("s={s}"),
+            vec![
+                v.evaluation.epe_sum_nm,
+                v.evaluation.pvb_nm2,
+                m.evaluation.epe_sum_nm,
+                m.evaluation.pvb_nm2,
+            ],
+        );
+        eprintln!("s={s} done");
+    }
+
+    println!("{}", report.render());
+    Ok(())
+}

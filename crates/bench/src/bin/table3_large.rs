@@ -1,0 +1,117 @@
+//! Regenerates **Table III**: large-scale OPC comparison on EPE violation
+//! counts and PVB (µm²) for the gcd / aes / dynamicnode designs.
+//!
+//! The paper optimises full 30×30 µm tiles (1 tile for gcd, 144 for the
+//! other designs). On this laptop-scale harness each design is represented
+//! by interior 8×8 µm windows of its tiles (1024² simulation grids); the
+//! EPE-violation and PVB columns are reported per window. The comparative
+//! ordering (CardOPC ≤ SimpleOPC < Calibre-like on EPE violations, CardOPC
+//! best on PVB) is the quantity under test.
+//!
+//! ```sh
+//! cargo run --release -p cardopc-bench --bin table3_large
+//! ```
+
+use cardopc::opc::engine_for_extent;
+use cardopc::prelude::*;
+use cardopc_bench::{quick_mode, Report};
+use std::time::Instant;
+
+const WINDOW_NM: f64 = 8_000.0;
+
+fn windows_for(kind: DesignKind, per_design: usize) -> Vec<Clip> {
+    let mut out = Vec::new();
+    for i in 0..per_design {
+        let tile = large_tile(kind, i);
+        let origin = Point::new(8_000.0 + 2_000.0 * i as f64, 9_000.0);
+        out.push(tile.crop(
+            origin,
+            WINDOW_NM,
+            WINDOW_NM,
+            format!("{}[{}]", kind.name(), i),
+        ));
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = quick_mode();
+    let per_design = if quick { 1 } else { 2 };
+    let mut config = OpcConfig::large_scale();
+    let mut rect_cfg = RectOpcConfig::calibre_like_large();
+    let mut simple_cfg = RectOpcConfig::simple(&rect_cfg);
+    if quick {
+        config.iterations = 4;
+        config.decay_at = 3;
+        rect_cfg.iterations = 6;
+        simple_cfg.iterations = 4;
+    }
+    let convention = MeasureConvention::MetalSpacing(60.0);
+
+    let engine = engine_for_extent(WINDOW_NM, WINDOW_NM, config.pitch)?;
+    eprintln!(
+        "engine {}x{} @ {} nm/px",
+        engine.width(),
+        engine.height(),
+        engine.pitch()
+    );
+
+    let mut report = Report::new(
+        "Table III: large-scale OPC (EPE violations / PVB um^2)",
+        &[
+            "#shapes", "rect EPE", "rect PVB", "simp EPE", "simp PVB", "card EPE", "card PVB",
+        ],
+    )
+    .decimals(3)
+    .ratio(1, 1)
+    .ratio(2, 2)
+    .ratio(3, 1)
+    .ratio(4, 2)
+    .ratio(5, 1)
+    .ratio(6, 2);
+
+    let t0 = Instant::now();
+    for kind in [DesignKind::Gcd, DesignKind::Aes, DesignKind::DynamicNode] {
+        let windows = windows_for(kind, per_design);
+        let mut sums = [0.0f64; 7];
+        for clip in &windows {
+            let rect = RectOpc::new(rect_cfg.clone())
+                .run_with_engine(clip, &engine, &[], convention)?;
+            let simple = RectOpc::new(simple_cfg.clone())
+                .run_with_engine(clip, &engine, &[], convention)?;
+            let card = CardOpc::new(config.clone()).run_with_engine(clip, &engine)?;
+            eprintln!(
+                "{}: {} shapes | rect {} viol / {:.3} um^2 | simple {} / {:.3} | card {} / {:.3} [{:.0?}]",
+                clip.name(),
+                clip.targets().len(),
+                rect.evaluation.epe_violations,
+                rect.evaluation.pvb_nm2 / 1e6,
+                simple.evaluation.epe_violations,
+                simple.evaluation.pvb_nm2 / 1e6,
+                card.evaluation.epe_violations,
+                card.evaluation.pvb_nm2 / 1e6,
+                t0.elapsed(),
+            );
+            sums[0] += clip.targets().len() as f64;
+            sums[1] += rect.evaluation.epe_violations as f64;
+            sums[2] += rect.evaluation.pvb_nm2 / 1e6;
+            sums[3] += simple.evaluation.epe_violations as f64;
+            sums[4] += simple.evaluation.pvb_nm2 / 1e6;
+            sums[5] += card.evaluation.epe_violations as f64;
+            sums[6] += card.evaluation.pvb_nm2 / 1e6;
+        }
+        let n = windows.len() as f64;
+        report.push(
+            kind.name().to_string(),
+            sums.iter().map(|s| s / n).collect(),
+        );
+    }
+
+    println!("{}", report.render());
+    println!("per-design rows are averages over {per_design} window(s) of {WINDOW_NM} nm.");
+    println!("total wall time: {:.1?}", t0.elapsed());
+    println!(
+        "paper Table III averages for reference: Calibre 2409 violations / 26.97 um^2, SimpleOPC 2260 / 28.31, CardOPC 2255 / 26.45 (ratios 93.6% / 98.1% vs Calibre)."
+    );
+    Ok(())
+}

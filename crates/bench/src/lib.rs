@@ -1,0 +1,174 @@
+//! Shared utilities for the CardOPC benchmark harness.
+//!
+//! Each `src/bin/*.rs` binary regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the experiment index); this library provides the
+//! aligned table printer and the quick-mode switch they share.
+
+#![warn(missing_docs)]
+
+/// `true` when the `CARDOPC_QUICK` environment variable asks for a reduced
+/// smoke-test run (fewer clips, fewer iterations).
+pub fn quick_mode() -> bool {
+    std::env::var_os("CARDOPC_QUICK").is_some_and(|v| v != "0")
+}
+
+/// An aligned plain-text table with automatic `Average` and `Ratio` rows,
+/// mirroring the layout of the paper's Tables I–III.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    decimals: usize,
+    /// Column indices the `Ratio` row is normalised against (pairs of
+    /// `(column, reference_column)`).
+    ratio_refs: Vec<(usize, usize)>,
+}
+
+impl Report {
+    /// Creates a report with a title and column headers (the first column
+    /// is the row label and is not listed here).
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            decimals: 1,
+            ratio_refs: Vec::new(),
+        }
+    }
+
+    /// Sets the number of decimals printed for data cells.
+    pub fn decimals(mut self, d: usize) -> Self {
+        self.decimals = d;
+        self
+    }
+
+    /// Declares that column `col`'s ratio is `avg(col) / avg(reference)`.
+    pub fn ratio(mut self, col: usize, reference: usize) -> Self {
+        self.ratio_refs.push((col, reference));
+        self
+    }
+
+    /// Appends a data row.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.headers.len(), "column count mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Column averages over the data rows.
+    pub fn averages(&self) -> Vec<f64> {
+        let n = self.rows.len().max(1) as f64;
+        let mut sums = vec![0.0; self.headers.len()];
+        for (_, vals) in &self.rows {
+            for (s, v) in sums.iter_mut().zip(vals) {
+                *s += v;
+            }
+        }
+        sums.into_iter().map(|s| s / n).collect()
+    }
+
+    /// Renders the table (also used by the binaries' stdout reports).
+    pub fn render(&self) -> String {
+        let mut label_w = "Average".len();
+        for (l, _) in &self.rows {
+            label_w = label_w.max(l.len());
+        }
+        let cell = |v: f64, d: usize| format!("{v:.d$}");
+
+        let avgs = self.averages();
+        let mut col_w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for (_, vals) in &self.rows {
+            for (w, v) in col_w.iter_mut().zip(vals) {
+                *w = (*w).max(cell(*v, self.decimals).len());
+            }
+        }
+        for (w, v) in col_w.iter_mut().zip(&avgs) {
+            *w = (*w).max(cell(*v, self.decimals).len());
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:label_w$}", ""));
+        for (h, w) in self.headers.iter().zip(&col_w) {
+            out.push_str(&format!("  {h:>w$}"));
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(&format!("{label:label_w$}"));
+            for (v, w) in vals.iter().zip(&col_w) {
+                out.push_str(&format!("  {:>w$}", cell(*v, self.decimals)));
+            }
+            out.push('\n');
+        }
+        if !self.rows.is_empty() {
+            out.push_str(&format!("{:label_w$}", "Average"));
+            for (v, w) in avgs.iter().zip(&col_w) {
+                out.push_str(&format!("  {:>w$}", cell(*v, self.decimals)));
+            }
+            out.push('\n');
+            if !self.ratio_refs.is_empty() {
+                out.push_str(&format!("{:label_w$}", "Ratio"));
+                for (i, w) in (0..self.headers.len()).zip(&col_w) {
+                    let txt = match self.ratio_refs.iter().find(|(c, _)| *c == i) {
+                        Some(&(c, r)) if avgs[r].abs() > 1e-12 => {
+                            format!("{:.1}%", 100.0 * avgs[c] / avgs[r])
+                        }
+                        _ => "-".to_string(),
+                    };
+                    out.push_str(&format!("  {txt:>w$}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_rows_average_and_ratio() {
+        let mut r = Report::new("T", &["a EPE", "b EPE"]).decimals(0).ratio(1, 0);
+        r.push("V1", vec![10.0, 5.0]);
+        r.push("V2", vec![20.0, 10.0]);
+        let s = r.render();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("V1"));
+        assert!(s.contains("Average"));
+        assert!(s.contains("50.0%"), "ratio row missing: {s}");
+        assert_eq!(r.averages(), vec![15.0, 7.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn mismatched_row_panics() {
+        let mut r = Report::new("T", &["x"]);
+        r.push("bad", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_report_renders_headers_only() {
+        let r = Report::new("empty", &["x", "y"]);
+        let s = r.render();
+        assert!(s.contains("== empty =="));
+        assert!(!s.contains("Average"));
+    }
+
+    #[test]
+    fn ratio_against_zero_reference_prints_dash() {
+        let mut r = Report::new("z", &["a", "b"]).ratio(1, 0);
+        r.push("row", vec![0.0, 5.0]);
+        let s = r.render();
+        assert!(s.contains('-'), "zero reference should render a dash: {s}");
+    }
+
+    #[test]
+    fn quick_mode_reads_env() {
+        // Cannot mutate the environment safely in tests; just ensure the
+        // call does not panic and returns a bool.
+        let _ = quick_mode();
+    }
+}

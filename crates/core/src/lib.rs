@@ -1,0 +1,78 @@
+//! # cardopc
+//!
+//! A from-scratch Rust reproduction of **CardOPC** — *Curvilinear Optical
+//! Proximity Correction via Cardinal Spline* (Zheng et al., DAC 2025).
+//!
+//! CardOPC represents photomask shapes as loops of control points connected
+//! by cardinal splines, corrects them with lithography-simulation feedback,
+//! verifies them against curvilinear mask rules (width / space / area /
+//! curvature), and can fit inverse-lithography (ILT) results to combine
+//! ILT's fidelity with OPC's manufacturability.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | re-export | contents |
+//! |-----------|----------|
+//! | [`geometry`] | points, polygons, R-tree, rasters, contour tracing |
+//! | [`spline`] | cardinal splines (Eq. 2/8/9/10), Bézier baseline, Algorithm-1 fitting |
+//! | [`litho`] | FFT, SOCS optics, aerial images, resist, EPE/L2/PVB metrics |
+//! | [`layout`] | synthetic via/metal/large-scale testcase generators |
+//! | [`mrc`] | curvilinear mask rule checking and violation resolving |
+//! | [`opc`] | the CardOPC flow and rectilinear baselines |
+//! | [`ilt`] | pixel ILT and the ILT-OPC hybrid flow |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use cardopc::prelude::*;
+//!
+//! // Optimise the first via-layer testcase with the paper's parameters.
+//! let clip = &via_clips()[0];
+//! let outcome = CardOpc::new(OpcConfig::via()).run(clip)?;
+//! println!(
+//!     "{}: EPE {:.1} nm, PVB {:.0} nm², MRC violations remaining: {}",
+//!     clip.name(),
+//!     outcome.evaluation.epe_sum_nm,
+//!     outcome.evaluation.pvb_nm2,
+//!     outcome.mrc_remaining,
+//! );
+//! # Ok::<(), cardopc::opc::OpcError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cardopc_geometry as geometry;
+pub use cardopc_ilt as ilt;
+pub use cardopc_layout as layout;
+pub use cardopc_litho as litho;
+pub use cardopc_mrc as mrc;
+pub use cardopc_opc as opc;
+pub use cardopc_spline as spline;
+
+/// One-import convenience module with the names most programs need.
+pub mod prelude {
+    pub use crate::geometry::{BBox, Grid, Point, Polygon, SplitMix64};
+    pub use crate::ilt::{pixel_ilt, run_hybrid, HybridConfig, IltConfig};
+    pub use crate::layout::{large_tile, metal_clips, via_clips, Clip, DesignKind};
+    pub use crate::litho::{LithoEngine, OpticsConfig, ProcessCondition};
+    pub use crate::mrc::{MrcChecker, MrcResolver, MrcRules, ResolveConfig};
+    pub use crate::opc::{
+        engine_for_extent, evaluate_mask, CardOpc, MeasureConvention, OpcConfig, RectOpc,
+        RectOpcConfig,
+    };
+    pub use crate::spline::{fit_contour, BezierChain, CardinalSpline, FitConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports() {
+        use crate::prelude::*;
+        let clips = via_clips();
+        assert_eq!(clips.len(), 13);
+        let p = Point::new(1.0, 2.0);
+        assert_eq!(p.x, 1.0);
+        let _cfg = OpcConfig::via();
+        let _rules = MrcRules::default();
+    }
+}

@@ -1,0 +1,274 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned bounding box, in nanometres.
+///
+/// The box is the closed region `[min.x, max.x] × [min.y, max.y]`. An *empty*
+/// box (used as the identity for [`BBox::union`]) has `min > max` and
+/// intersects nothing.
+///
+/// ```
+/// use cardopc_geometry::{BBox, Point};
+///
+/// let b = BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0));
+/// assert!(b.contains(Point::new(10.0, 5.0)));
+/// assert_eq!(b.area(), 50.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BBox {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl BBox {
+    /// The empty box: identity for [`BBox::union`], intersects nothing.
+    pub const EMPTY: BBox = BBox {
+        min: Point {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Point {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+    };
+
+    /// Creates a box from two corner points (in any order).
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        BBox {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// The box covering a single point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        BBox { min: p, max: p }
+    }
+
+    /// The tightest box covering all `points`; [`BBox::EMPTY`] when the
+    /// iterator is empty.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        points
+            .into_iter()
+            .fold(BBox::EMPTY, |b, p| b.union(BBox::from_point(p)))
+    }
+
+    /// `true` when the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Width along x; zero for an empty box.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height along y; zero for an empty box.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Area of the box; zero for an empty box.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point.
+    ///
+    /// For an empty box the result is meaningless (contains infinities).
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            0.5 * (self.min.x + self.max.x),
+            0.5 * (self.min.y + self.max.y),
+        )
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// `true` when `other` is entirely inside `self` (boundary contact
+    /// allowed).
+    #[inline]
+    pub fn contains_bbox(&self, other: &BBox) -> bool {
+        !other.is_empty()
+            && other.min.x >= self.min.x
+            && other.max.x <= self.max.x
+            && other.min.y >= self.min.y
+            && other.max.y <= self.max.y
+    }
+
+    /// `true` when the two closed boxes share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        !(self.is_empty()
+            || other.is_empty()
+            || self.min.x > other.max.x
+            || other.min.x > self.max.x
+            || self.min.y > other.max.y
+            || other.min.y > self.max.y)
+    }
+
+    /// Smallest box covering both inputs.
+    #[inline]
+    pub fn union(&self, other: BBox) -> BBox {
+        BBox {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// The box grown by `margin` on every side.
+    ///
+    /// A negative margin shrinks the box and may make it empty.
+    #[inline]
+    pub fn expanded(&self, margin: f64) -> BBox {
+        BBox {
+            min: self.min - Point::new(margin, margin),
+            max: self.max + Point::new(margin, margin),
+        }
+    }
+
+    /// Minimum Euclidean distance from `p` to the box (zero when inside).
+    #[inline]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx.hypot(dy)
+    }
+}
+
+impl Default for BBox {
+    fn default() -> Self {
+        BBox::EMPTY
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[empty]")
+        } else {
+            write!(f, "[{} .. {}]", self.min, self.max)
+        }
+    }
+}
+
+impl FromIterator<Point> for BBox {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        BBox::from_points(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn new_normalizes_corners() {
+        let b = BBox::new(Point::new(5.0, -1.0), Point::new(-2.0, 3.0));
+        assert_eq!(b.min, Point::new(-2.0, -1.0));
+        assert_eq!(b.max, Point::new(5.0, 3.0));
+    }
+
+    #[test]
+    fn empty_properties() {
+        let e = BBox::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert!(!e.intersects(&unit()));
+        assert!(!unit().intersects(&e));
+        assert_eq!(e.union(unit()), unit());
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let b = unit();
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(1.0, 1.0)));
+        assert!(!b.contains(Point::new(1.0 + 1e-9, 0.5)));
+    }
+
+    #[test]
+    fn contains_bbox() {
+        let outer = BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let inner = BBox::new(Point::new(1.0, 1.0), Point::new(9.0, 10.0));
+        assert!(outer.contains_bbox(&inner));
+        assert!(!inner.contains_bbox(&outer));
+        assert!(!outer.contains_bbox(&BBox::EMPTY));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = unit();
+        let b = BBox::new(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+        let c = BBox::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0)); // corner touch
+        let d = BBox::new(Point::new(3.0, 3.0), Point::new(4.0, 4.0));
+        assert!(a.intersects(&b));
+        assert!(a.intersects(&c));
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = unit();
+        let b = BBox::new(Point::new(2.0, -1.0), Point::new(3.0, 0.5));
+        let u = a.union(b);
+        assert!(u.contains_bbox(&a));
+        assert!(u.contains_bbox(&b));
+    }
+
+    #[test]
+    fn from_points_iterator() {
+        let pts = [
+            Point::new(1.0, 2.0),
+            Point::new(-3.0, 5.0),
+            Point::new(0.0, 0.0),
+        ];
+        let b: BBox = pts.iter().copied().collect();
+        assert_eq!(b.min, Point::new(-3.0, 0.0));
+        assert_eq!(b.max, Point::new(1.0, 5.0));
+    }
+
+    #[test]
+    fn expanded_and_shrunk() {
+        let b = unit().expanded(1.0);
+        assert_eq!(b.min, Point::new(-1.0, -1.0));
+        assert_eq!(b.max, Point::new(2.0, 2.0));
+        assert!(unit().expanded(-0.6).is_empty());
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let b = unit();
+        assert_eq!(b.distance_to_point(Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(b.distance_to_point(Point::new(2.0, 0.5)), 1.0);
+        assert!((b.distance_to_point(Point::new(2.0, 2.0)) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_and_dims() {
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0));
+        assert_eq!(b.center(), Point::new(2.0, 1.0));
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.height(), 2.0);
+    }
+}

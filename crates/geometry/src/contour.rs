@@ -1,0 +1,389 @@
+//! Iso-contour extraction from rasters (marching squares).
+//!
+//! The ILT-OPC hybrid flow (Algorithm 1 of the paper) extracts the boundary
+//! of every shape in an ILT-optimised mask image before fitting cardinal
+//! splines to it; the paper uses OpenCV's border-following implementation of
+//! Suzuki–Abe. This module provides the equivalent: ordered, closed,
+//! sub-pixel contours of the region `value >= threshold`.
+//!
+//! The tracer is a marching-squares walk with linear interpolation on cell
+//! edges. The raster is virtually padded with a background value below the
+//! threshold so shapes touching the image border still produce closed loops.
+//! Outer contours are oriented counter-clockwise, holes clockwise.
+
+use crate::{Grid, Point, Polygon};
+use std::collections::HashMap;
+
+/// Cell edges, named by compass direction with `y` increasing northward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Edge {
+    South,
+    East,
+    North,
+    West,
+}
+
+/// A directed crossing inside one cell: enter on `from`, leave on `to`.
+#[derive(Clone, Copy, Debug)]
+struct Link {
+    from: Edge,
+    to: Edge,
+}
+
+/// Extracts all iso-contours of `grid >= threshold` as closed polygons.
+///
+/// Outer boundaries are counter-clockwise (positive [`Polygon::signed_area`]),
+/// holes are clockwise. Vertices lie on cell edges with linear sub-pixel
+/// interpolation, in physical (nanometre) coordinates.
+///
+/// ```
+/// use cardopc_geometry::{Grid, trace_contours};
+///
+/// // A 2x2 block of "exposed" pixels inside a 6x6 raster.
+/// let mut g = Grid::zeros(6, 6, 1.0);
+/// for iy in 2..4 {
+///     for ix in 2..4 {
+///         g[(ix, iy)] = 1.0;
+///     }
+/// }
+/// let contours = trace_contours(&g, 0.5);
+/// assert_eq!(contours.len(), 1);
+/// assert!(contours[0].signed_area() > 0.0);
+/// ```
+pub fn trace_contours(grid: &Grid, threshold: f64) -> Vec<Polygon> {
+    Tracer::new(grid, threshold).run()
+}
+
+struct Tracer<'a> {
+    grid: &'a Grid,
+    threshold: f64,
+    background: f64,
+}
+
+impl<'a> Tracer<'a> {
+    fn new(grid: &'a Grid, threshold: f64) -> Self {
+        // Any finite value strictly below the threshold works as padding;
+        // keep it close so border crossings interpolate reasonably.
+        let background = threshold - threshold.abs().max(1.0);
+        Tracer {
+            grid,
+            threshold,
+            background,
+        }
+    }
+
+    /// Pixel value at virtual index (padding outside the raster).
+    #[inline]
+    fn value(&self, ix: i64, iy: i64) -> f64 {
+        if ix < 0 || iy < 0 || ix >= self.grid.width() as i64 || iy >= self.grid.height() as i64 {
+            self.background
+        } else {
+            self.grid.data()[iy as usize * self.grid.width() + ix as usize]
+        }
+    }
+
+    #[inline]
+    fn inside(&self, ix: i64, iy: i64) -> bool {
+        self.value(ix, iy) >= self.threshold
+    }
+
+    /// Marching-squares case of cell `(cx, cy)` whose corners are pixels
+    /// `(cx, cy)`, `(cx+1, cy)`, `(cx+1, cy+1)`, `(cx, cy+1)`.
+    #[inline]
+    fn case(&self, cx: i64, cy: i64) -> u8 {
+        (self.inside(cx, cy) as u8)
+            | (self.inside(cx + 1, cy) as u8) << 1
+            | (self.inside(cx + 1, cy + 1) as u8) << 2
+            | (self.inside(cx, cy + 1) as u8) << 3
+    }
+
+    /// Directed links for a cell case. Ambiguous saddles (5, 10) are
+    /// resolved with the cell-centre average.
+    fn links(&self, cx: i64, cy: i64, case: u8) -> [Option<Link>; 2] {
+        use Edge::*;
+        let link = |from, to| Some(Link { from, to });
+        match case {
+            0 | 15 => [None, None],
+            1 => [link(South, West), None],
+            2 => [link(East, South), None],
+            4 => [link(North, East), None],
+            8 => [link(West, North), None],
+            3 => [link(East, West), None],
+            6 => [link(North, South), None],
+            12 => [link(West, East), None],
+            9 => [link(South, North), None],
+            7 => [link(North, West), None],
+            14 => [link(West, South), None],
+            13 => [link(South, East), None],
+            11 => [link(East, North), None],
+            5 => {
+                let center = 0.25
+                    * (self.value(cx, cy)
+                        + self.value(cx + 1, cy)
+                        + self.value(cx + 1, cy + 1)
+                        + self.value(cx, cy + 1));
+                if center >= self.threshold {
+                    [link(South, East), link(North, West)]
+                } else {
+                    [link(South, West), link(North, East)]
+                }
+            }
+            10 => {
+                let center = 0.25
+                    * (self.value(cx, cy)
+                        + self.value(cx + 1, cy)
+                        + self.value(cx + 1, cy + 1)
+                        + self.value(cx, cy + 1));
+                if center >= self.threshold {
+                    [link(East, North), link(West, South)]
+                } else {
+                    [link(East, South), link(West, North)]
+                }
+            }
+            _ => unreachable!("marching squares case out of range"),
+        }
+    }
+
+    /// Physical coordinates of the threshold crossing on one cell edge.
+    ///
+    /// The two defining pixels are always taken in the same canonical order
+    /// regardless of which adjacent cell asks, so shared edges produce
+    /// bit-identical points.
+    fn crossing(&self, cx: i64, cy: i64, edge: Edge) -> Point {
+        let (ax, ay, bx, by) = match edge {
+            Edge::South => (cx, cy, cx + 1, cy),
+            Edge::North => (cx, cy + 1, cx + 1, cy + 1),
+            Edge::West => (cx, cy, cx, cy + 1),
+            Edge::East => (cx + 1, cy, cx + 1, cy + 1),
+        };
+        let va = self.value(ax, ay);
+        let vb = self.value(bx, by);
+        let t = if (vb - va).abs() < 1e-300 {
+            0.5
+        } else {
+            ((self.threshold - va) / (vb - va)).clamp(0.0, 1.0)
+        };
+        let pitch = self.grid.pitch();
+        let pa = Point::new((ax as f64 + 0.5) * pitch, (ay as f64 + 0.5) * pitch);
+        let pb = Point::new((bx as f64 + 0.5) * pitch, (by as f64 + 0.5) * pitch);
+        pa.lerp(pb, t)
+    }
+
+    /// The neighbouring cell across `edge`, and the matching entry edge
+    /// there.
+    fn step(cx: i64, cy: i64, edge: Edge) -> (i64, i64, Edge) {
+        match edge {
+            Edge::South => (cx, cy - 1, Edge::North),
+            Edge::North => (cx, cy + 1, Edge::South),
+            Edge::West => (cx - 1, cy, Edge::East),
+            Edge::East => (cx + 1, cy, Edge::West),
+        }
+    }
+
+    fn run(self) -> Vec<Polygon> {
+        let w = self.grid.width() as i64;
+        let h = self.grid.height() as i64;
+        // (cell, entry edge) pairs already consumed.
+        let mut visited: HashMap<(i64, i64), u8> = HashMap::new();
+        let edge_bit = |e: Edge| -> u8 {
+            match e {
+                Edge::South => 1,
+                Edge::East => 2,
+                Edge::North => 4,
+                Edge::West => 8,
+            }
+        };
+        let mut contours = Vec::new();
+
+        // Cells span the virtually padded raster.
+        for cy in -1..h {
+            for cx in -1..w {
+                let case = self.case(cx, cy);
+                if case == 0 || case == 15 {
+                    continue;
+                }
+                for link in self.links(cx, cy, case).into_iter().flatten() {
+                    let bit = edge_bit(link.from);
+                    if visited.get(&(cx, cy)).is_some_and(|&m| m & bit != 0) {
+                        continue;
+                    }
+                    // Trace the loop starting from this (cell, entry edge).
+                    let mut pts = Vec::new();
+                    let (mut ccx, mut ccy, mut entry) = (cx, cy, link.from);
+                    loop {
+                        let bit = edge_bit(entry);
+                        let mask = visited.entry((ccx, ccy)).or_insert(0);
+                        if *mask & bit != 0 {
+                            break; // closed the loop
+                        }
+                        *mask |= bit;
+                        let case = self.case(ccx, ccy);
+                        let cell_links = self.links(ccx, ccy, case);
+                        let Some(l) = cell_links
+                            .into_iter()
+                            .flatten()
+                            .find(|l| l.from == entry)
+                        else {
+                            // Inconsistent field (shouldn't happen); abort
+                            // this loop rather than spin.
+                            break;
+                        };
+                        pts.push(self.crossing(ccx, ccy, l.to));
+                        let (nx, ny, nentry) = Self::step(ccx, ccy, l.to);
+                        ccx = nx;
+                        ccy = ny;
+                        entry = nentry;
+                    }
+                    if pts.len() >= 3 {
+                        contours.push(Polygon::new(pts));
+                    }
+                }
+            }
+        }
+        contours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_grid(w: usize, h: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> Grid {
+        let mut g = Grid::zeros(w, h, 1.0);
+        for iy in y0..y1 {
+            for ix in x0..x1 {
+                g[(ix, iy)] = 1.0;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn empty_grid_has_no_contours() {
+        let g = Grid::zeros(8, 8, 1.0);
+        assert!(trace_contours(&g, 0.5).is_empty());
+    }
+
+    #[test]
+    fn full_grid_single_ccw_contour() {
+        let g = Grid::filled(8, 8, 1.0, 1.0);
+        let cs = trace_contours(&g, 0.5);
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].signed_area() > 0.0, "outer contour should be CCW");
+    }
+
+    #[test]
+    fn single_block_area_close() {
+        // 4x4 block of ones: iso-0.5 contour extends half a pixel beyond the
+        // pixel centres, giving a 4x4 physical square.
+        let g = block_grid(10, 10, 3, 3, 7, 7);
+        let cs = trace_contours(&g, 0.5);
+        assert_eq!(cs.len(), 1);
+        let area = cs[0].area();
+        assert!(
+            (area - 16.0).abs() < 1.5,
+            "expected ~16 nm^2 area, got {area}"
+        );
+        assert!(cs[0].signed_area() > 0.0);
+    }
+
+    #[test]
+    fn contour_is_closed_loop() {
+        let g = block_grid(12, 12, 2, 2, 9, 6);
+        let cs = trace_contours(&g, 0.5);
+        assert_eq!(cs.len(), 1);
+        let poly = &cs[0];
+        // Consecutive vertices are one cell apart at most (sqrt(2) * pitch).
+        for e in poly.edges() {
+            assert!(e.length() <= 2.0_f64.sqrt() + 1e-9, "gap in contour");
+        }
+    }
+
+    #[test]
+    fn two_blocks_two_contours() {
+        let mut g = block_grid(16, 16, 1, 1, 5, 5);
+        for iy in 9..13 {
+            for ix in 9..13 {
+                g[(ix, iy)] = 1.0;
+            }
+        }
+        let cs = trace_contours(&g, 0.5);
+        assert_eq!(cs.len(), 2);
+        for c in &cs {
+            assert!(c.signed_area() > 0.0);
+        }
+    }
+
+    #[test]
+    fn hole_is_clockwise() {
+        // Ring: 8x8 block with a 2x2 hole.
+        let mut g = block_grid(12, 12, 2, 2, 10, 10);
+        for iy in 5..7 {
+            for ix in 5..7 {
+                g[(ix, iy)] = 0.0;
+            }
+        }
+        let mut cs = trace_contours(&g, 0.5);
+        cs.sort_by(|a, b| a.area().total_cmp(&b.area()));
+        assert_eq!(cs.len(), 2);
+        assert!(cs[1].signed_area() > 0.0, "outer should be CCW");
+        assert!(cs[0].signed_area() < 0.0, "hole should be CW");
+        assert!(cs[0].area() < cs[1].area());
+    }
+
+    #[test]
+    fn border_touching_shape_closes() {
+        // Block flush against the raster border: padding must close it.
+        let g = block_grid(6, 6, 0, 0, 3, 6);
+        let cs = trace_contours(&g, 0.5);
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].signed_area() > 0.0);
+    }
+
+    #[test]
+    fn subpixel_interpolation_position() {
+        // One column at 0.25, next at 0.75: the 0.5 crossing sits midway
+        // between the two pixel centres.
+        let mut g = Grid::zeros(4, 4, 1.0);
+        for iy in 0..4 {
+            g[(1, iy)] = 0.25;
+            g[(2, iy)] = 0.75;
+        }
+        let cs = trace_contours(&g, 0.5);
+        assert!(!cs.is_empty());
+        // Find a vertex with y in the middle of the raster; its x must be 2.0
+        // (pixel centres are at 1.5 and 2.5, crossing halfway).
+        let found = cs.iter().flat_map(|c| c.vertices()).any(|v| {
+            (v.x - 2.0).abs() < 1e-9 && v.y > 1.0 && v.y < 3.0
+        });
+        assert!(found, "expected an interpolated crossing at x = 2.0");
+    }
+
+    #[test]
+    fn diagonal_saddle_does_not_panic() {
+        // Checkerboard corners force cases 5/10.
+        let mut g = Grid::zeros(4, 4, 1.0);
+        g[(0, 0)] = 1.0;
+        g[(1, 1)] = 1.0;
+        g[(2, 2)] = 1.0;
+        g[(3, 3)] = 1.0;
+        let cs = trace_contours(&g, 0.5);
+        assert!(!cs.is_empty());
+    }
+
+    #[test]
+    fn gradient_field_contour_at_expected_height() {
+        // Vertical linear gradient 0..1: contour of 0.5 is a horizontal line
+        // across the middle.
+        let mut g = Grid::zeros(8, 8, 1.0);
+        for iy in 0..8 {
+            for ix in 0..8 {
+                g[(ix, iy)] = iy as f64 / 7.0;
+            }
+        }
+        let cs = trace_contours(&g, 0.5);
+        assert_eq!(cs.len(), 1);
+        // The region above mid-height is inside; centroid y > mid.
+        assert!(cs[0].centroid().y > 4.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Line segments and their predicates.
+
+use crate::{BBox, Point, EPS};
+use std::fmt;
+
+/// A directed line segment between two points.
+///
+/// Segments are the probe primitive of curvilinear mask rule checking: the
+/// spacing rule builds a probe segment of length `C_space` along a contour
+/// point's normal and asks whether it touches any other shape (Fig. 5(a) of
+/// the paper).
+///
+/// ```
+/// use cardopc_geometry::{Point, Segment};
+///
+/// let a = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+/// let b = Segment::new(Point::new(5.0, -5.0), Point::new(5.0, 5.0));
+/// assert!(a.intersects(&b));
+/// assert_eq!(a.distance_to_point(Point::new(5.0, 3.0)), 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from its endpoints.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Displacement vector from start to end.
+    #[inline]
+    pub fn delta(&self) -> Point {
+        self.b - self.a
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.delta().norm()
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.lerp(self.b, 0.5)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Bounding box of the segment.
+    #[inline]
+    pub fn bbox(&self) -> BBox {
+        BBox::new(self.a, self.b)
+    }
+
+    /// `true` when the two closed segments share at least one point.
+    ///
+    /// Collinear overlap and endpoint touching both count as intersection,
+    /// matching the MRC notion of a probe "touching" a shape.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let d1 = self.delta();
+        let d2 = other.delta();
+        let denom = d1.cross(d2);
+        let diff = other.a - self.a;
+
+        if denom.abs() > EPS {
+            // General position: solve for the intersection parameters.
+            let t = diff.cross(d2) / denom;
+            let u = diff.cross(d1) / denom;
+            let tol = EPS;
+            return t >= -tol && t <= 1.0 + tol && u >= -tol && u <= 1.0 + tol;
+        }
+
+        // Parallel. Not collinear -> no intersection.
+        if diff.cross(d1).abs() > EPS {
+            return false;
+        }
+
+        // Collinear: check 1-D interval overlap along the dominant axis.
+        let (s0, s1, o0, o1) = if d1.x.abs() >= d1.y.abs() && d1.norm_sq() > 0.0
+            || d2.x.abs() >= d2.y.abs()
+        {
+            (self.a.x, self.b.x, other.a.x, other.b.x)
+        } else {
+            (self.a.y, self.b.y, other.a.y, other.b.y)
+        };
+        let (s_min, s_max) = (s0.min(s1), s0.max(s1));
+        let (o_min, o_max) = (o0.min(o1), o0.max(o1));
+        // Degenerate (point) segments still compare correctly here.
+        if s_max < o_min - EPS || o_max < s_min - EPS {
+            return false;
+        }
+        // Axis overlap for collinear segments implies true overlap, except
+        // when both are points; check actual distance then.
+        if d1.norm_sq() <= EPS && d2.norm_sq() <= EPS {
+            return self.a.distance(other.a) <= EPS;
+        }
+        true
+    }
+
+    /// Minimum distance from `p` to the closed segment.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// The point on the closed segment closest to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        let d = self.delta();
+        let len_sq = d.norm_sq();
+        if len_sq <= EPS {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.at(t)
+    }
+
+    /// Minimum distance between two closed segments (zero when they
+    /// intersect).
+    pub fn distance_to_segment(&self, other: &Segment) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        self.distance_to_point(other.a)
+            .min(self.distance_to_point(other.b))
+            .min(other.distance_to_point(self.a))
+            .min(other.distance_to_point(self.b))
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn basic_measures() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+        assert_eq!(s.at(0.0), s.a);
+        assert_eq!(s.at(1.0), s.b);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let a = seg(0.0, 0.0, 10.0, 10.0);
+        let b = seg(0.0, 10.0, 10.0, 0.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn endpoint_touch_counts() {
+        let a = seg(0.0, 0.0, 5.0, 0.0);
+        let b = seg(5.0, 0.0, 5.0, 5.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn parallel_non_collinear() {
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        let b = seg(0.0, 1.0, 10.0, 1.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn collinear_overlap_and_gap() {
+        let a = seg(0.0, 0.0, 5.0, 0.0);
+        let b = seg(3.0, 0.0, 8.0, 0.0);
+        let c = seg(6.0, 0.0, 8.0, 0.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        // Vertical collinear too.
+        let v1 = seg(2.0, 0.0, 2.0, 5.0);
+        let v2 = seg(2.0, 4.0, 2.0, 9.0);
+        let v3 = seg(2.0, 6.0, 2.0, 9.0);
+        assert!(v1.intersects(&v2));
+        assert!(!v1.intersects(&v3));
+    }
+
+    #[test]
+    fn degenerate_point_segments() {
+        let p = seg(1.0, 1.0, 1.0, 1.0);
+        let q = seg(1.0, 1.0, 1.0, 1.0);
+        let r = seg(2.0, 2.0, 2.0, 2.0);
+        assert!(p.intersects(&q));
+        assert!(!p.intersects(&r));
+        let line = seg(0.0, 0.0, 3.0, 3.0);
+        assert!(line.intersects(&seg(1.0, 1.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn distance_to_point_regions() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        // Projection inside the segment.
+        assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
+        // Beyond the endpoints.
+        assert_eq!(s.distance_to_point(Point::new(-3.0, 4.0)), 5.0);
+        assert_eq!(s.distance_to_point(Point::new(13.0, 4.0)), 5.0);
+        // On the segment.
+        assert_eq!(s.distance_to_point(Point::new(7.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn closest_point_clamps() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_point(Point::new(-5.0, 2.0)), Point::new(0.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(4.0, 2.0)), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn segment_segment_distance() {
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        let b = seg(0.0, 3.0, 10.0, 3.0);
+        assert_eq!(a.distance_to_segment(&b), 3.0);
+        let c = seg(5.0, -1.0, 5.0, 1.0);
+        assert_eq!(a.distance_to_segment(&c), 0.0);
+        let d = seg(12.0, 0.0, 15.0, 0.0);
+        assert_eq!(a.distance_to_segment(&d), 2.0);
+    }
+
+    #[test]
+    fn bbox_covers_endpoints() {
+        let s = seg(3.0, -2.0, -1.0, 4.0);
+        let b = s.bbox();
+        assert!(b.contains(s.a));
+        assert!(b.contains(s.b));
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal SVG export for mask visualisation.
+//!
+//! The examples reproduce the qualitative plots of the paper's Fig. 6 as
+//! both PGM rasters and vector SVG (targets, optimised mask and printed
+//! contours as separate layers).
+
+use crate::Polygon;
+use std::io::{self, Write};
+
+/// One drawing layer: a set of polygons with fill and stroke styling.
+#[derive(Clone, Debug)]
+pub struct SvgLayer<'a> {
+    /// Layer name (emitted as an SVG group id).
+    pub name: &'a str,
+    /// Polygons to draw.
+    pub polygons: &'a [Polygon],
+    /// CSS fill (e.g. `"#88c0d0"` or `"none"`).
+    pub fill: &'a str,
+    /// CSS stroke colour.
+    pub stroke: &'a str,
+    /// Stroke width in user units (nm).
+    pub stroke_width: f64,
+    /// Fill opacity in `[0, 1]`.
+    pub opacity: f64,
+}
+
+/// Writes an SVG document of `width` × `height` nanometres containing the
+/// given layers (drawn in order, later layers on top). The y-axis is
+/// flipped so the geometry's y-up convention renders upright.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer; a `&mut` reference to any writer
+/// can be passed.
+pub fn write_svg<W: Write>(
+    mut w: W,
+    width: f64,
+    height: f64,
+    layers: &[SvgLayer<'_>],
+) -> io::Result<()> {
+    writeln!(
+        w,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" width="800" height="800">"#
+    )?;
+    writeln!(
+        w,
+        r##"<rect width="{width}" height="{height}" fill="#101418"/>"##
+    )?;
+    // Flip y so that y-up geometry appears upright.
+    writeln!(w, r#"<g transform="translate(0,{height}) scale(1,-1)">"#)?;
+    for layer in layers {
+        writeln!(
+            w,
+            r#"<g id="{}" fill="{}" fill-opacity="{}" stroke="{}" stroke-width="{}">"#,
+            layer.name, layer.fill, layer.opacity, layer.stroke, layer.stroke_width
+        )?;
+        for poly in layer.polygons {
+            if poly.len() < 2 {
+                continue;
+            }
+            write!(w, r#"<polygon points=""#)?;
+            for p in poly.vertices() {
+                write!(w, "{:.2},{:.2} ", p.x, p.y)?;
+            }
+            writeln!(w, r#""/>"#)?;
+        }
+        writeln!(w, "</g>")?;
+    }
+    writeln!(w, "</g>")?;
+    writeln!(w, "</svg>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    #[test]
+    fn produces_valid_looking_svg() {
+        let polys = vec![Polygon::rect(Point::new(10.0, 10.0), Point::new(50.0, 30.0))];
+        let layer = SvgLayer {
+            name: "targets",
+            polygons: &polys,
+            fill: "#88c0d0",
+            stroke: "none",
+            stroke_width: 0.0,
+            opacity: 0.8,
+        };
+        let mut buf = Vec::new();
+        write_svg(&mut buf, 100.0, 100.0, &[layer]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("<svg"));
+        assert!(s.contains(r#"<g id="targets""#));
+        assert!(s.contains("<polygon points="));
+        assert!(s.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn empty_layers_still_valid() {
+        let mut buf = Vec::new();
+        write_svg(&mut buf, 10.0, 10.0, &[]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("</svg>"));
+    }
+
+    #[test]
+    fn degenerate_polygons_skipped() {
+        let polys = vec![Polygon::new(vec![Point::new(1.0, 1.0)])];
+        let layer = SvgLayer {
+            name: "x",
+            polygons: &polys,
+            fill: "none",
+            stroke: "#fff",
+            stroke_width: 1.0,
+            opacity: 1.0,
+        };
+        let mut buf = Vec::new();
+        write_svg(&mut buf, 10.0, 10.0, &[layer]).unwrap();
+        assert!(!String::from_utf8(buf).unwrap().contains("<polygon"));
+    }
+}

@@ -1,0 +1,287 @@
+//! ILT mask regularisation before spline fitting.
+//!
+//! Gradient ILT output carries sidelobe ringing: speckles and hair-thin
+//! assist rings that no mask writer could produce. Production ILT flows
+//! regularise their masks before handoff; this module provides the two
+//! standard operations the hybrid flow uses:
+//!
+//! * [`blur`] — a separable 3×3 binomial smoothing pass that suppresses
+//!   sub-pixel ringing without moving feature edges materially,
+//! * [`remove_small_components`] — connected-component labelling that
+//!   erases blobs below a printable-area threshold (the "small and
+//!   nonprintable pattern" removal of §III-F, applied at the image level).
+
+use cardopc_geometry::Grid;
+
+/// Applies `passes` rounds of 3×3 binomial smoothing (kernel
+/// `[1 2 1]/4` per axis), clamping the border.
+pub fn blur(grid: &Grid, passes: usize) -> Grid {
+    let (w, h) = (grid.width(), grid.height());
+    let mut cur = grid.clone();
+    for _ in 0..passes {
+        let mut next = Grid::zeros(w, h, grid.pitch());
+        // Horizontal pass.
+        let mut tmp = vec![0.0f64; w * h];
+        for iy in 0..h {
+            for ix in 0..w {
+                let c = cur.get_clamped(ix as isize, iy as isize);
+                let l = cur.get_clamped(ix as isize - 1, iy as isize);
+                let r = cur.get_clamped(ix as isize + 1, iy as isize);
+                tmp[iy * w + ix] = 0.25 * l + 0.5 * c + 0.25 * r;
+            }
+        }
+        // Vertical pass.
+        for iy in 0..h {
+            for ix in 0..w {
+                let at = |y: isize| -> f64 {
+                    let y = y.clamp(0, h as isize - 1) as usize;
+                    tmp[y * w + ix]
+                };
+                next[(ix, iy)] =
+                    0.25 * at(iy as isize - 1) + 0.5 * at(iy as isize) + 0.25 * at(iy as isize + 1);
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Morphological opening (erosion then dilation) of the binary image
+/// `grid >= level` with a disk of `radius_px` pixels.
+///
+/// Opening erases features thinner than `2·radius_px` pixels and splits
+/// blobs connected through sub-rule necks — the standard image-level
+/// cleanup that makes ILT masks mask-rule-friendly before contour
+/// extraction. Returns a 0/1 grid.
+pub fn open_binary(grid: &Grid, level: f64, radius_px: usize) -> Grid {
+    let eroded = morph(grid, level, radius_px, true);
+    morph(&eroded, 0.5, radius_px, false)
+}
+
+/// Disk erosion (`erode = true`) or dilation of the binary image.
+fn morph(grid: &Grid, level: f64, radius_px: usize, erode: bool) -> Grid {
+    let (w, h) = (grid.width(), grid.height());
+    let r = radius_px as isize;
+    // Disk offsets.
+    let mut disk = Vec::new();
+    for dy in -r..=r {
+        for dx in -r..=r {
+            if dx * dx + dy * dy <= r * r {
+                disk.push((dx, dy));
+            }
+        }
+    }
+    let mut out = Grid::zeros(w, h, grid.pitch());
+    for iy in 0..h as isize {
+        for ix in 0..w as isize {
+            let mut all = true;
+            let mut any = false;
+            for &(dx, dy) in &disk {
+                let inside = {
+                    let (jx, jy) = (ix + dx, iy + dy);
+                    if jx < 0 || jy < 0 || jx >= w as isize || jy >= h as isize {
+                        false
+                    } else {
+                        grid.data()[jy as usize * w + jx as usize] >= level
+                    }
+                };
+                all &= inside;
+                any |= inside;
+                if erode && !all {
+                    break;
+                }
+                if !erode && any {
+                    break;
+                }
+            }
+            out[(ix as usize, iy as usize)] = if erode {
+                if all {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else if any {
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+    out
+}
+
+/// Zeroes every 4-connected component of `grid >= level` whose physical
+/// area is below `min_area` (nm²). Returns the cleaned grid and the number
+/// of removed components.
+pub fn remove_small_components(grid: &Grid, level: f64, min_area: f64) -> (Grid, usize) {
+    let (w, h) = (grid.width(), grid.height());
+    let px_area = grid.pitch() * grid.pitch();
+    let mut labels = vec![0u32; w * h]; // 0 = unvisited/background
+    let mut cleaned = grid.clone();
+    let mut removed = 0usize;
+    let mut next_label = 1u32;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut component: Vec<usize> = Vec::new();
+
+    for start in 0..w * h {
+        if labels[start] != 0 || grid.data()[start] < level {
+            continue;
+        }
+        // Flood fill.
+        component.clear();
+        stack.push(start);
+        labels[start] = next_label;
+        while let Some(idx) = stack.pop() {
+            component.push(idx);
+            let (ix, iy) = (idx % w, idx / w);
+            let mut visit = |jx: usize, jy: usize| {
+                let j = jy * w + jx;
+                if labels[j] == 0 && grid.data()[j] >= level {
+                    labels[j] = next_label;
+                    stack.push(j);
+                }
+            };
+            if ix > 0 {
+                visit(ix - 1, iy);
+            }
+            if ix + 1 < w {
+                visit(ix + 1, iy);
+            }
+            if iy > 0 {
+                visit(ix, iy - 1);
+            }
+            if iy + 1 < h {
+                visit(ix, iy + 1);
+            }
+        }
+        next_label += 1;
+        if (component.len() as f64) * px_area < min_area {
+            removed += 1;
+            for &idx in &component {
+                cleaned.data_mut()[idx] = 0.0;
+            }
+        }
+    }
+    (cleaned, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_with_blobs() -> Grid {
+        let mut g = Grid::zeros(32, 32, 2.0);
+        // Big blob: 10x10 px = 400 nm².
+        for iy in 4..14 {
+            for ix in 4..14 {
+                g[(ix, iy)] = 1.0;
+            }
+        }
+        // Speck: 2x2 px = 16 nm².
+        for iy in 24..26 {
+            for ix in 24..26 {
+                g[(ix, iy)] = 1.0;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn removes_only_small_components() {
+        let g = grid_with_blobs();
+        let (cleaned, removed) = remove_small_components(&g, 0.5, 100.0);
+        assert_eq!(removed, 1);
+        assert_eq!(cleaned[(5, 5)], 1.0, "big blob survives");
+        assert_eq!(cleaned[(24, 24)], 0.0, "speck removed");
+    }
+
+    #[test]
+    fn keeps_everything_with_zero_threshold() {
+        let g = grid_with_blobs();
+        let (cleaned, removed) = remove_small_components(&g, 0.5, 0.0);
+        assert_eq!(removed, 0);
+        assert_eq!(cleaned, g);
+    }
+
+    #[test]
+    fn removes_everything_with_huge_threshold() {
+        let g = grid_with_blobs();
+        let (cleaned, removed) = remove_small_components(&g, 0.5, 1e9);
+        assert_eq!(removed, 2);
+        assert_eq!(cleaned.sum(), 0.0);
+    }
+
+    #[test]
+    fn diagonal_blobs_are_separate_components() {
+        let mut g = Grid::zeros(8, 8, 1.0);
+        g[(2, 2)] = 1.0;
+        g[(3, 3)] = 1.0; // diagonal neighbour: 4-connectivity separates
+        let (_, removed) = remove_small_components(&g, 0.5, 1.5);
+        assert_eq!(removed, 2);
+    }
+
+    #[test]
+    fn opening_removes_thin_arm_keeps_block() {
+        let mut g = Grid::zeros(32, 32, 1.0);
+        // 10x10 block with a 1-px-wide arm sticking out.
+        for iy in 10..20 {
+            for ix in 10..20 {
+                g[(ix, iy)] = 1.0;
+            }
+        }
+        for ix in 20..28 {
+            g[(ix, 15)] = 1.0;
+        }
+        let o = open_binary(&g, 0.5, 1);
+        assert_eq!(o[(15, 15)], 1.0, "block interior survives");
+        assert_eq!(o[(24, 15)], 0.0, "thin arm erased");
+    }
+
+    #[test]
+    fn opening_splits_necked_blobs() {
+        let mut g = Grid::zeros(32, 32, 1.0);
+        for iy in 8..16 {
+            for ix in 4..12 {
+                g[(ix, iy)] = 1.0;
+            }
+        }
+        for iy in 8..16 {
+            for ix in 20..28 {
+                g[(ix, iy)] = 1.0;
+            }
+        }
+        // 1-px bridge.
+        for ix in 12..20 {
+            g[(ix, 12)] = 1.0;
+        }
+        let o = open_binary(&g, 0.5, 1);
+        assert_eq!(o[(16, 12)], 0.0, "bridge cut");
+        assert_eq!(o[(8, 12)], 1.0);
+        assert_eq!(o[(24, 12)], 1.0);
+    }
+
+    #[test]
+    fn opening_radius_zero_is_binarize() {
+        let g = grid_with_blobs();
+        let o = open_binary(&g, 0.5, 0);
+        assert_eq!(o, g.binarize(0.5));
+    }
+
+    #[test]
+    fn blur_preserves_mass_and_bounds() {
+        let g = grid_with_blobs();
+        let b = blur(&g, 2);
+        assert!((b.sum() - g.sum()).abs() < 0.05 * g.sum());
+        assert!(b.max_value() <= 1.0 + 1e-12);
+        assert!(b.min_value() >= 0.0);
+        // Centre of the big blob stays solid; the edge softens.
+        assert!(b[(8, 8)] > 0.95);
+        assert!(b[(4, 4)] < 0.9);
+    }
+
+    #[test]
+    fn blur_zero_passes_is_identity() {
+        let g = grid_with_blobs();
+        assert_eq!(blur(&g, 0), g);
+    }
+}

@@ -1,0 +1,389 @@
+//! Pixel-based inverse lithography (the OpenILT/MOSAIC-style substrate).
+//!
+//! The ILT-OPC hybrid flow of §III-G needs an ILT engine whose optimised
+//! masks it can fit with cardinal splines. This module implements the
+//! standard sigmoid-relaxed gradient ILT:
+//!
+//! * mask relaxation `M = σ(θ_M · P)` over unbounded parameters `P`,
+//! * resist relaxation `Z = σ(θ_Z · (I − I_th))`,
+//! * loss `L = ‖Z − Ẑ‖²` against the binary target `Ẑ`,
+//! * analytic gradient through the Hopkins model:
+//!   `∇_M L = 2·Re Σ_k w_k IFFT(FFT(F ⊙ A_k) ⊙ H_k*)` with
+//!   `A_k = M ⊗ h_k` and `F = 2(Z−Ẑ)·Z(1−Z)·θ_Z`,
+//! * gradient descent with momentum.
+
+use cardopc_geometry::Grid;
+use cardopc_litho::fft::Field;
+use cardopc_litho::{LithoEngine, LithoError};
+
+/// Configuration of the pixel ILT optimiser.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IltConfig {
+    /// Gradient descent iterations.
+    pub iterations: usize,
+    /// Step size on the mask parameters.
+    pub step_size: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mask sigmoid steepness `θ_M`.
+    pub theta_mask: f64,
+    /// Resist sigmoid steepness `θ_Z`.
+    pub theta_resist: f64,
+    /// Initial parameter magnitude (target pixels start at `+init`, empty
+    /// pixels at `−init`).
+    pub init_scale: f64,
+    /// Every this many iterations the parameter field is smoothed with a
+    /// binomial blur pass (mask regularisation inside the loop; keeps the
+    /// optimised mask free of sidelobe speckles and hair-thin rings).
+    /// `0` disables.
+    pub regularize_every: usize,
+}
+
+impl Default for IltConfig {
+    fn default() -> Self {
+        IltConfig {
+            iterations: 60,
+            step_size: 4.0,
+            momentum: 0.9,
+            theta_mask: 4.0,
+            theta_resist: 50.0,
+            init_scale: 1.0,
+            regularize_every: 8,
+        }
+    }
+}
+
+/// Result of a pixel ILT run.
+#[derive(Clone, Debug)]
+pub struct IltOutcome {
+    /// The continuous optimised mask (values in `[0, 1]`).
+    pub mask: Grid,
+    /// The binarised mask (threshold 0.5).
+    pub binary_mask: Grid,
+    /// Loss history (mean squared resist error per pixel).
+    pub loss_history: Vec<f64>,
+}
+
+/// Runs sigmoid-relaxed pixel ILT against a binary target image.
+///
+/// # Errors
+///
+/// [`LithoError::GridMismatch`] when the target does not match the
+/// engine's grid.
+///
+/// ```no_run
+/// use cardopc_geometry::Grid;
+/// use cardopc_ilt::{pixel_ilt, IltConfig};
+/// use cardopc_litho::{LithoEngine, OpticsConfig};
+///
+/// let mut engine = LithoEngine::new(OpticsConfig::default(), 256, 256, 4.0)?;
+/// engine.calibrate_threshold();
+/// let target = Grid::zeros(256, 256, 4.0); // fill with the design intent
+/// let outcome = pixel_ilt(&engine, &target, &IltConfig::default())?;
+/// assert_eq!(outcome.mask.width(), 256);
+/// # Ok::<(), cardopc_litho::LithoError>(())
+/// ```
+pub fn pixel_ilt(
+    engine: &LithoEngine,
+    target: &Grid,
+    config: &IltConfig,
+) -> Result<IltOutcome, LithoError> {
+    let (w, h) = (engine.width(), engine.height());
+    if target.width() != w || target.height() != h {
+        return Err(LithoError::GridMismatch {
+            expected: (w, h),
+            got: (target.width(), target.height()),
+        });
+    }
+    let n = w * h;
+    let threshold = engine.threshold();
+    let kernels = engine.nominal_kernels();
+
+    // Parameter initialisation from the target.
+    let mut params: Vec<f64> = target
+        .data()
+        .iter()
+        .map(|&t| if t > 0.5 { config.init_scale } else { -config.init_scale })
+        .collect();
+    let mut velocity = vec![0.0f64; n];
+    let mut loss_history = Vec::with_capacity(config.iterations);
+
+    let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+
+    let mut mask_vals = vec![0.0f64; n];
+    for iter in 0..config.iterations {
+        if config.regularize_every > 0 && iter > 0 && iter % config.regularize_every == 0 {
+            let p = crate::cleanup::blur(
+                &Grid::from_data(w, h, engine.pitch(), params.clone()),
+                1,
+            );
+            params.copy_from_slice(p.data());
+        }
+        // Forward: mask, coherent fields, intensity, resist.
+        for (m, &p) in mask_vals.iter_mut().zip(&params) {
+            *m = sigmoid(config.theta_mask * p);
+        }
+        let mut spectrum = Field::from_real(w, h, &mask_vals);
+        spectrum.fft2_inplace(false);
+
+        let fields: Vec<(f64, Field)> = kernels
+            .iter()
+            .map(|k| {
+                let mut f = spectrum.mul_pointwise(&k.transfer);
+                f.fft2_inplace(true);
+                (k.weight, f)
+            })
+            .collect();
+
+        let mut intensity = vec![0.0f64; n];
+        for (wk, f) in &fields {
+            for (dst, z) in intensity.iter_mut().zip(f.data()) {
+                *dst += wk * z.norm_sq();
+            }
+        }
+
+        // Resist and loss.
+        let mut loss = 0.0;
+        let mut f_field = vec![0.0f64; n]; // F = 2(Z-Ẑ)·Z(1-Z)·θ_Z
+        for i in 0..n {
+            let z = sigmoid(config.theta_resist * (intensity[i] - threshold));
+            let zt = if target.data()[i] > 0.5 { 1.0 } else { 0.0 };
+            let diff = z - zt;
+            loss += diff * diff;
+            f_field[i] = 2.0 * diff * z * (1.0 - z) * config.theta_resist;
+        }
+        loss_history.push(loss / n as f64);
+
+        // Backward: grad_M = 2 Re Σ_k w_k IFFT(FFT(F ⊙ A_k) ⊙ conj(H_k)).
+        let mut grad_m = vec![0.0f64; n];
+        for ((wk, a_k), kernel) in fields.iter().zip(kernels) {
+            let mut fa = Field::zeros(w, h);
+            for (dst, (&f, z)) in fa
+                .data_mut()
+                .iter_mut()
+                .zip(f_field.iter().zip(a_k.data()))
+            {
+                *dst = z.scale(f);
+            }
+            fa.fft2_inplace(false);
+            // Multiply by conj(H_k).
+            let mut prod = Field::zeros(w, h);
+            for (dst, (&s, &t)) in prod
+                .data_mut()
+                .iter_mut()
+                .zip(fa.data().iter().zip(kernel.transfer.data()))
+            {
+                *dst = s * t.conj();
+            }
+            prod.fft2_inplace(true);
+            for (g, z) in grad_m.iter_mut().zip(prod.data()) {
+                *g += 2.0 * wk * z.re;
+            }
+        }
+
+        // Chain rule through the mask sigmoid; momentum update.
+        for i in 0..n {
+            let m = mask_vals[i];
+            let grad_p = grad_m[i] * config.theta_mask * m * (1.0 - m);
+            velocity[i] = config.momentum * velocity[i] - config.step_size * grad_p;
+            params[i] += velocity[i];
+        }
+    }
+
+    for (m, &p) in mask_vals.iter_mut().zip(&params) {
+        *m = sigmoid(config.theta_mask * p);
+    }
+    let mask = Grid::from_data(w, h, engine.pitch(), mask_vals);
+    let binary_mask = mask.binarize(0.5);
+    Ok(IltOutcome {
+        mask,
+        binary_mask,
+        loss_history,
+    })
+}
+
+/// Recomputes the relaxed ILT loss from raw parameters — used by the
+/// finite-difference gradient verification test.
+#[cfg(test)]
+fn numeric_loss(
+    engine: &LithoEngine,
+    params: &[f64],
+    target: &Grid,
+    config: &IltConfig,
+) -> f64 {
+    let (w, h) = (engine.width(), engine.height());
+    let n = w * h;
+    let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+    let mask_vals: Vec<f64> = params
+        .iter()
+        .map(|&p| sigmoid(config.theta_mask * p))
+        .collect();
+    let mask = Grid::from_data(w, h, engine.pitch(), mask_vals);
+    let aerial = engine.aerial_image(&mask).expect("grid matches");
+    let mut loss = 0.0;
+    for i in 0..n {
+        let z = sigmoid(config.theta_resist * (aerial.data()[i] - engine.threshold()));
+        let zt = if target.data()[i] > 0.5 { 1.0 } else { 0.0 };
+        loss += (z - zt) * (z - zt);
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardopc_litho::OpticsConfig;
+
+    fn small_engine() -> LithoEngine {
+        let cfg = OpticsConfig {
+            source_rings: 1,
+            points_per_ring: 4,
+            ..OpticsConfig::default()
+        };
+        let mut e = LithoEngine::new(cfg, 64, 64, 8.0).unwrap();
+        e.calibrate_threshold();
+        e
+    }
+
+    fn square_target(engine: &LithoEngine, half: usize) -> Grid {
+        let mut t = Grid::zeros(engine.width(), engine.height(), engine.pitch());
+        let c = engine.width() / 2;
+        for iy in c - half..c + half {
+            for ix in c - half..c + half {
+                t[(ix, iy)] = 1.0;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let engine = small_engine();
+        let target = square_target(&engine, 10);
+        let cfg = IltConfig {
+            iterations: 15,
+            ..IltConfig::default()
+        };
+        let out = pixel_ilt(&engine, &target, &cfg).unwrap();
+        assert_eq!(out.loss_history.len(), 15);
+        let first = out.loss_history[0];
+        let last = *out.loss_history.last().unwrap();
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn ilt_beats_identity_mask_on_l2() {
+        let engine = small_engine();
+        let target = square_target(&engine, 10);
+        let cfg = IltConfig {
+            iterations: 30,
+            ..IltConfig::default()
+        };
+        let out = pixel_ilt(&engine, &target, &cfg).unwrap();
+
+        let print = |mask: &Grid| {
+            engine
+                .print(mask, cardopc_litho::ProcessCondition::NOMINAL)
+                .unwrap()
+        };
+        let xor = |a: &Grid, b: &Grid| {
+            a.data()
+                .iter()
+                .zip(b.data())
+                .filter(|(&x, &y)| (x > 0.5) != (y > 0.5))
+                .count()
+        };
+        let ilt_err = xor(&print(&out.binary_mask), &target);
+        let raw_err = xor(&print(&target), &target);
+        assert!(
+            ilt_err <= raw_err,
+            "ILT print error {ilt_err} vs identity-mask {raw_err}"
+        );
+    }
+
+    #[test]
+    fn mask_values_bounded() {
+        let engine = small_engine();
+        let target = square_target(&engine, 8);
+        let out = pixel_ilt(
+            &engine,
+            &target,
+            &IltConfig {
+                iterations: 5,
+                ..IltConfig::default()
+            },
+        )
+        .unwrap();
+        for &v in out.mask.data() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        for &v in out.binary_mask.data() {
+            assert!(v == 0.0 || v == 1.0);
+        }
+    }
+
+    #[test]
+    fn grid_mismatch_rejected() {
+        let engine = small_engine();
+        let bad = Grid::zeros(32, 32, 8.0);
+        assert!(matches!(
+            pixel_ilt(&engine, &bad, &IltConfig::default()),
+            Err(LithoError::GridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn analytic_gradient_matches_finite_difference() {
+        // Verify the backprop math: perturb a few parameters and compare
+        // dL/dP with the analytic gradient embedded in one optimiser step.
+        let engine = small_engine();
+        let target = square_target(&engine, 6);
+        let cfg = IltConfig {
+            iterations: 1,
+            step_size: 1.0,
+            momentum: 0.0,
+            ..IltConfig::default()
+        };
+
+        // Reconstruct the analytic gradient: with momentum 0 and step 1,
+        // params_after = params_before - grad, so grad = before - after.
+        let before: Vec<f64> = target
+            .data()
+            .iter()
+            .map(|&t| if t > 0.5 { cfg.init_scale } else { -cfg.init_scale })
+            .collect();
+        // Run one step via the public API on a fresh copy.
+        let out = pixel_ilt(&engine, &target, &cfg).unwrap();
+        // Recover params_after from the final mask: m = σ(θ p) ⇒
+        // p = logit(m)/θ.
+        let after: Vec<f64> = out
+            .mask
+            .data()
+            .iter()
+            .map(|&m| {
+                let m = m.clamp(1e-12, 1.0 - 1e-12);
+                (m / (1.0 - m)).ln() / cfg.theta_mask
+            })
+            .collect();
+
+        let w = engine.width();
+        let c = w / 2;
+        // Probe a pixel at the pattern edge where the gradient is sizable.
+        for &(ix, iy) in &[(c + 6, c), (c, c + 6), (c - 7, c)] {
+            let idx = iy * w + ix;
+            let analytic = before[idx] - after[idx];
+            let h = 1e-4;
+            let mut plus = before.clone();
+            plus[idx] += h;
+            let mut minus = before.clone();
+            minus[idx] -= h;
+            let numeric = (numeric_loss(&engine, &plus, &target, &cfg)
+                - numeric_loss(&engine, &minus, &target, &cfg))
+                / (2.0 * h);
+            assert!(
+                (analytic - numeric).abs() < 0.05 * numeric.abs().max(1e-3),
+                "pixel ({ix},{iy}): analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+}

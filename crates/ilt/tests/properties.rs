@@ -1,0 +1,77 @@
+//! Property-based tests for the ILT substrate's image operations.
+
+use cardopc_geometry::{Grid, SplitMix64};
+use cardopc_ilt::cleanup::{blur, open_binary, remove_small_components};
+use proptest::prelude::*;
+
+fn random_binary(seed: u64, w: usize, h: usize, fill: f64) -> Grid {
+    let mut rng = SplitMix64::new(seed);
+    let data = (0..w * h)
+        .map(|_| if rng.chance(fill) { 1.0 } else { 0.0 })
+        .collect();
+    Grid::from_data(w, h, 1.0, data)
+}
+
+proptest! {
+    /// Opening is idempotent: open(open(x)) == open(x).
+    #[test]
+    fn opening_is_idempotent(seed in 0u64..200, r in 1usize..3) {
+        let g = random_binary(seed, 32, 32, 0.5);
+        let once = open_binary(&g, 0.5, r);
+        let twice = open_binary(&once, 0.5, r);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Opening is anti-extensive: it never adds pixels.
+    #[test]
+    fn opening_is_anti_extensive(seed in 0u64..200, r in 1usize..3) {
+        let g = random_binary(seed, 32, 32, 0.6);
+        let o = open_binary(&g, 0.5, r);
+        for (a, b) in o.data().iter().zip(g.data()) {
+            prop_assert!(*a <= *b + 1e-12);
+        }
+    }
+
+    /// Component removal never increases total mass and larger thresholds
+    /// remove at least as much.
+    #[test]
+    fn component_removal_monotone(seed in 0u64..200, t1 in 1.0..20.0f64, t2 in 20.0..200.0f64) {
+        let g = random_binary(seed, 32, 32, 0.3);
+        let (small, n1) = remove_small_components(&g, 0.5, t1);
+        let (big, n2) = remove_small_components(&g, 0.5, t2);
+        prop_assert!(small.sum() <= g.sum());
+        prop_assert!(big.sum() <= small.sum());
+        prop_assert!(n2 >= n1);
+    }
+
+    /// Blur conserves mass away from the border and keeps values in range.
+    #[test]
+    fn blur_bounded_and_smoothing(seed in 0u64..200, passes in 1usize..4) {
+        let g = random_binary(seed, 32, 32, 0.5);
+        let b = blur(&g, passes);
+        prop_assert!(b.max_value() <= 1.0 + 1e-12);
+        prop_assert!(b.min_value() >= -1e-12);
+        // Smoothing shrinks the discrete gradient energy.
+        let energy = |g: &Grid| -> f64 {
+            let mut e = 0.0;
+            for iy in 0..g.height() {
+                for ix in 0..g.width().saturating_sub(1) {
+                    let d = g[(ix + 1, iy)] - g[(ix, iy)];
+                    e += d * d;
+                }
+            }
+            e
+        };
+        prop_assert!(energy(&b) <= energy(&g) + 1e-9);
+    }
+
+    /// Removing small components then opening equals opening then removing
+    /// in terms of never re-growing removed speckles.
+    #[test]
+    fn cleanup_pipeline_shrinks(seed in 0u64..100) {
+        let g = random_binary(seed, 24, 24, 0.35);
+        let opened = open_binary(&g, 0.5, 1);
+        let (cleaned, _) = remove_small_components(&opened, 0.5, 10.0);
+        prop_assert!(cleaned.sum() <= g.sum());
+    }
+}

@@ -1,0 +1,210 @@
+//! Large-scale standard-cell-style metal tiles (Table III workload).
+//!
+//! The paper crops the metal layers of three OpenROAD/NanGate45 designs —
+//! `gcd`, `aes`, `dynamicnode` — into 30×30 µm tiles. Those GDS files are
+//! not shipped here, so this generator produces routing-style tiles with
+//! the same structure: horizontal wires on a 140 nm track grid (70 nm wide,
+//! NanGate45 M2-like), segment lengths and fill density tuned per design so
+//! the relative complexity ordering (aes > dynamicnode > gcd) and the
+//! ablation's shape count for `gcd` (≈1,776 shapes per tile) are preserved.
+
+use crate::Clip;
+use cardopc_geometry::{Point, Polygon, SplitMix64};
+
+/// Tile edge length in nanometres (30 µm).
+pub const TILE_SIZE: f64 = 30_000.0;
+/// Routing track pitch (NanGate45 M2-like).
+pub const TRACK_PITCH: f64 = 140.0;
+/// Wire width.
+pub const WIRE_WIDTH: f64 = 70.0;
+
+/// The three large-scale designs of Table III.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// Small GCD unit (1 tile in the paper).
+    Gcd,
+    /// AES core (144 tiles in the paper) — densest routing.
+    Aes,
+    /// DynamicNode (144 tiles in the paper) — medium density.
+    DynamicNode,
+}
+
+impl DesignKind {
+    /// Design name as printed in Table III.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignKind::Gcd => "gcd",
+            DesignKind::Aes => "aes",
+            DesignKind::DynamicNode => "dynamicnode",
+        }
+    }
+
+    /// Number of 30×30 µm tiles in the paper's experiment.
+    pub fn paper_tile_count(self) -> usize {
+        match self {
+            DesignKind::Gcd => 1,
+            DesignKind::Aes => 144,
+            DesignKind::DynamicNode => 144,
+        }
+    }
+
+    /// Fraction of each track occupied by wire.
+    fn fill(self) -> f64 {
+        match self {
+            DesignKind::Gcd => 0.34,
+            DesignKind::Aes => 0.48,
+            DesignKind::DynamicNode => 0.40,
+        }
+    }
+
+    /// Wire length range (nm): shorter wires → more shapes per area.
+    fn length_range(self) -> (f64, f64) {
+        match self {
+            DesignKind::Gcd => (400.0, 2400.0),
+            DesignKind::Aes => (350.0, 1800.0),
+            DesignKind::DynamicNode => (450.0, 2600.0),
+        }
+    }
+
+    fn seed(self) -> u64 {
+        match self {
+            DesignKind::Gcd => 0x6CD0,
+            DesignKind::Aes => 0xAE50,
+            DesignKind::DynamicNode => 0xD1B0,
+        }
+    }
+}
+
+/// Generates tile `index` of a large-scale design.
+///
+/// Tiles are deterministic in `(kind, index)`.
+///
+/// ```
+/// use cardopc_layout::{large_tile, DesignKind};
+///
+/// let tile = large_tile(DesignKind::Gcd, 0);
+/// assert_eq!(tile.width(), 30_000.0);
+/// // The ablation's published shape count for gcd is 1,776; the synthetic
+/// // tile lands in the same regime.
+/// assert!(tile.targets().len() > 1_400 && tile.targets().len() < 2_200);
+/// ```
+pub fn large_tile(kind: DesignKind, index: usize) -> Clip {
+    let mut rng = SplitMix64::new(kind.seed().wrapping_add(index as u64 * 0x9E37));
+    let tracks = (TILE_SIZE / TRACK_PITCH) as usize;
+    let (len_lo, len_hi) = kind.length_range();
+    let fill = kind.fill();
+    let gap = TRACK_PITCH; // min end-to-end gap between wires on a track
+
+    let mut shapes = Vec::new();
+    for t in 0..tracks {
+        let y = t as f64 * TRACK_PITCH + (TRACK_PITCH - WIRE_WIDTH) * 0.5;
+        if y + WIRE_WIDTH > TILE_SIZE {
+            break;
+        }
+        let mut x = rng.range_f64(0.0, len_hi * 0.5);
+        let mut used = 0.0;
+        let budget = TILE_SIZE * fill;
+        while x < TILE_SIZE - len_lo && used < budget {
+            let len = rng.range_f64(len_lo, len_hi).min(TILE_SIZE - x);
+            if len < len_lo {
+                break;
+            }
+            shapes.push(Polygon::rect(
+                Point::new(x, y),
+                Point::new(x + len, y + WIRE_WIDTH),
+            ));
+            used += len;
+            x += len + gap + rng.range_f64(0.0, len_hi - len_lo);
+        }
+    }
+    Clip::new(
+        format!("{}[{}]", kind.name(), index),
+        TILE_SIZE,
+        TILE_SIZE,
+        shapes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_tile_counts() {
+        assert_eq!(DesignKind::Gcd.name(), "gcd");
+        assert_eq!(DesignKind::Aes.paper_tile_count(), 144);
+        assert_eq!(DesignKind::DynamicNode.name(), "dynamicnode");
+    }
+
+    #[test]
+    fn gcd_shape_count_matches_ablation_regime() {
+        let tile = large_tile(DesignKind::Gcd, 0);
+        let n = tile.targets().len();
+        assert!(
+            (1_400..2_200).contains(&n),
+            "gcd tile has {n} shapes; ablation cites 1,776"
+        );
+    }
+
+    #[test]
+    fn density_ordering_aes_densest() {
+        let area = |k: DesignKind| large_tile(k, 0).drawn_area();
+        let gcd = area(DesignKind::Gcd);
+        let aes = area(DesignKind::Aes);
+        let dyn_ = area(DesignKind::DynamicNode);
+        assert!(aes > dyn_ && dyn_ > gcd, "densities {gcd} {dyn_} {aes}");
+    }
+
+    #[test]
+    fn tiles_are_deterministic_and_distinct() {
+        let a = large_tile(DesignKind::Aes, 3);
+        let b = large_tile(DesignKind::Aes, 3);
+        let c = large_tile(DesignKind::Aes, 4);
+        assert_eq!(a, b);
+        assert_ne!(a.targets(), c.targets());
+    }
+
+    #[test]
+    fn wires_on_grid_inside_tile() {
+        let tile = large_tile(DesignKind::DynamicNode, 1);
+        assert!(tile.targets_in_window());
+        for w in tile.targets() {
+            let b = w.bbox();
+            assert!((b.height() - WIRE_WIDTH).abs() < 1e-9);
+            assert!(b.width() >= 349.0);
+            // Wires are centred on the track grid.
+            let rel = (b.min.y - (TRACK_PITCH - WIRE_WIDTH) * 0.5) / TRACK_PITCH;
+            assert!((rel - rel.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_track_wires_do_not_touch() {
+        let tile = large_tile(DesignKind::Aes, 0);
+        let mut by_track: std::collections::HashMap<i64, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for w in tile.targets() {
+            let b = w.bbox();
+            let track = (b.min.y / TRACK_PITCH).round() as i64;
+            by_track.entry(track).or_default().push((b.min.x, b.max.x));
+        }
+        for spans in by_track.values_mut() {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for pair in spans.windows(2) {
+                assert!(
+                    pair[1].0 - pair[0].1 >= TRACK_PITCH - 1e-9,
+                    "wires too close on a track"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crop_produces_subtile() {
+        let tile = large_tile(DesignKind::Gcd, 0);
+        let sub = tile.crop(Point::new(5_000.0, 5_000.0), 7_500.0, 7_500.0, "gcd-sub");
+        assert!(sub.targets_in_window());
+        assert!(!sub.targets().is_empty());
+        assert!(sub.targets().len() < tile.targets().len());
+    }
+}

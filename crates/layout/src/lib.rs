@@ -1,0 +1,40 @@
+//! # cardopc-layout
+//!
+//! Synthetic test layouts for the CardOPC experiments.
+//!
+//! The paper evaluates on three data sets that are not redistributable:
+//! 13 via-layer clips and 10 metal-layer clips from prior RL-OPC/CAMO work,
+//! and large-scale metal layers of the `gcd`/`aes`/`dynamicnode` designs
+//! produced with OpenROAD and the NanGate 45 nm PDK. This crate generates
+//! deterministic synthetic equivalents with matching published statistics
+//! (clip sizes, feature counts, feature dimensions, relative design
+//! complexity); see DESIGN.md substitution 5.
+//!
+//! * [`via_clips`] — `V1`–`V13`, 2×2 µm, 2–6 vias each (Table I),
+//! * [`metal_clips`] — `M1`–`M10`, 1.5×1.5 µm wire patterns (Table II and
+//!   the Fig. 7 hybrid experiment),
+//! * [`large_tile`] — 30×30 µm standard-cell-style metal tiles for the
+//!   three large designs (Table III and the §IV-D ablation).
+//!
+//! All generators are seeded with fixed constants, so every run of the
+//! benchmark harness sees bit-identical layouts.
+//!
+//! ```
+//! use cardopc_layout::via_clips;
+//!
+//! let clips = via_clips();
+//! assert_eq!(clips.len(), 13);
+//! assert_eq!(clips[0].targets().len(), 2); // V1 has 2 vias
+//! ```
+
+#![warn(missing_docs)]
+
+mod clip;
+mod largescale;
+mod metal;
+mod via;
+
+pub use clip::Clip;
+pub use largescale::{large_tile, DesignKind};
+pub use metal::metal_clips;
+pub use via::via_clips;

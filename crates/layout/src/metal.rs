@@ -1,0 +1,204 @@
+//! Metal-layer testcases `M1`–`M10` (Table II and Fig. 7 workloads).
+//!
+//! The published clips are 1.5×1.5 µm metal-layer windows whose complexity
+//! the paper reports via EPE measure point counts (60 nm pitch):
+//! `[64, 84, 88, 100, 106, 112, 116, 24, 72, 120]`. We synthesise wire
+//! patterns — axis-aligned rectangles and L-shapes with 45 nm-node-like
+//! dimensions — and keep adding wires until the clip's estimated measure
+//! point count reaches the published figure, so the synthetic clips match
+//! the originals' relative complexity.
+
+use crate::Clip;
+use cardopc_geometry::{BBox, Point, Polygon, SplitMix64};
+
+/// Clip window edge length in nanometres (1.5 µm).
+pub const METAL_CLIP_SIZE: f64 = 1500.0;
+/// EPE measure point spacing used by the paper for metal layers.
+pub const MEASURE_SPACING: f64 = 60.0;
+/// Published measure point counts of `M1`–`M10`.
+pub const POINT_COUNTS: [usize; 10] = [64, 84, 88, 100, 106, 112, 116, 24, 72, 120];
+
+const MARGIN: f64 = 220.0;
+const MIN_SPACING: f64 = 130.0;
+
+/// Generates the 10 metal-layer clips.
+pub fn metal_clips() -> Vec<Clip> {
+    POINT_COUNTS
+        .iter()
+        .enumerate()
+        .map(|(i, &target_points)| {
+            let name = format!("M{}", i + 1);
+            let targets = place_wires(target_points, 0x3E7A_1000 + i as u64);
+            Clip::new(name, METAL_CLIP_SIZE, METAL_CLIP_SIZE, targets)
+        })
+        .collect()
+}
+
+/// Estimated measure points of one polygon under the paper's convention:
+/// `floor(len/60)` per edge, minimum one per edge.
+fn estimated_points(poly: &Polygon) -> usize {
+    poly.edges()
+        .map(|e| ((e.length() / MEASURE_SPACING).floor() as usize).max(1))
+        .sum()
+}
+
+fn place_wires(target_points: usize, seed: u64) -> Vec<Polygon> {
+    let mut rng = SplitMix64::new(seed);
+    let mut shapes: Vec<Polygon> = Vec::new();
+    let mut boxes: Vec<BBox> = Vec::new();
+    let mut points = 0usize;
+    let mut guard = 0;
+
+    while points < target_points {
+        guard += 1;
+        if guard > 200_000 {
+            break; // dense enough; accept slight undershoot
+        }
+        let horizontal = rng.chance(0.5);
+        let width = rng.range_f64(70.0, 110.0);
+        let length = rng.range_f64(250.0, 750.0);
+        let shape = if rng.chance(0.3) {
+            l_shape(&mut rng, width, length, horizontal)
+        } else {
+            straight_wire(&mut rng, width, length, horizontal)
+        };
+        let bbox = shape.bbox();
+        let window = BBox::new(
+            Point::new(MARGIN, MARGIN),
+            Point::new(METAL_CLIP_SIZE - MARGIN, METAL_CLIP_SIZE - MARGIN),
+        );
+        if !window.contains_bbox(&bbox) {
+            continue;
+        }
+        if boxes
+            .iter()
+            .any(|b| b.expanded(MIN_SPACING).intersects(&bbox))
+        {
+            continue;
+        }
+        // Stop rather than badly overshoot the published complexity.
+        let p = estimated_points(&shape);
+        if points + p > target_points + p / 2 && points > 0 {
+            if points >= target_points.saturating_sub(p / 2) {
+                break;
+            }
+            continue;
+        }
+        points += p;
+        boxes.push(bbox);
+        shapes.push(shape);
+    }
+    shapes
+}
+
+fn straight_wire(rng: &mut SplitMix64, width: f64, length: f64, horizontal: bool) -> Polygon {
+    let x = rng.range_f64(0.0, METAL_CLIP_SIZE);
+    let y = rng.range_f64(0.0, METAL_CLIP_SIZE);
+    if horizontal {
+        Polygon::rect(Point::new(x, y), Point::new(x + length, y + width))
+    } else {
+        Polygon::rect(Point::new(x, y), Point::new(x + width, y + length))
+    }
+}
+
+/// An L-shaped wire: a horizontal arm and a vertical arm joined at a corner.
+fn l_shape(rng: &mut SplitMix64, width: f64, length: f64, flip: bool) -> Polygon {
+    let x = rng.range_f64(0.0, METAL_CLIP_SIZE);
+    let y = rng.range_f64(0.0, METAL_CLIP_SIZE);
+    let arm = (length * 0.6).max(width * 2.0);
+    if flip {
+        Polygon::new(vec![
+            Point::new(x, y),
+            Point::new(x + length, y),
+            Point::new(x + length, y + width),
+            Point::new(x + width, y + width),
+            Point::new(x + width, y + arm),
+            Point::new(x, y + arm),
+        ])
+    } else {
+        Polygon::new(vec![
+            Point::new(x, y),
+            Point::new(x + arm, y),
+            Point::new(x + arm, y + width),
+            Point::new(x + width, y + width),
+            Point::new(x + width, y + length),
+            Point::new(x, y + length),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_clips_generated() {
+        let clips = metal_clips();
+        assert_eq!(clips.len(), 10);
+        assert_eq!(clips[0].name(), "M1");
+        assert_eq!(clips[9].name(), "M10");
+        for c in &clips {
+            assert_eq!(c.width(), METAL_CLIP_SIZE);
+            assert!(!c.targets().is_empty(), "{} is empty", c.name());
+            assert!(c.targets_in_window(), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(metal_clips(), metal_clips());
+    }
+
+    #[test]
+    fn complexity_tracks_published_point_counts() {
+        let clips = metal_clips();
+        for (clip, &target) in clips.iter().zip(&POINT_COUNTS) {
+            let est: usize = clip.targets().iter().map(estimated_points).sum();
+            let lo = target.saturating_sub(target / 3);
+            let hi = target + target / 3;
+            assert!(
+                (lo..=hi).contains(&est),
+                "{}: estimated {est} points, published {target}",
+                clip.name()
+            );
+        }
+        // M8 (24 points) must be the simplest clip, M10 (120) the busiest.
+        let est_of = |i: usize| -> usize {
+            clips[i].targets().iter().map(estimated_points).sum()
+        };
+        assert!(est_of(7) < est_of(9));
+    }
+
+    #[test]
+    fn wires_are_rectilinear_and_separated() {
+        for clip in metal_clips() {
+            for t in clip.targets() {
+                assert!(t.is_rectilinear(), "{}", clip.name());
+                assert!(t.area() > 0.0);
+            }
+            let boxes: Vec<BBox> = clip.targets().iter().map(Polygon::bbox).collect();
+            for i in 0..boxes.len() {
+                for j in i + 1..boxes.len() {
+                    assert!(
+                        !boxes[i].expanded(MIN_SPACING - 1.0).intersects(&boxes[j]),
+                        "{}: wires {i}/{j} closer than min spacing",
+                        clip.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_of_straight_and_l_shapes() {
+        let clips = metal_clips();
+        let total: usize = clips.iter().map(|c| c.targets().len()).sum();
+        let l_count: usize = clips
+            .iter()
+            .flat_map(|c| c.targets())
+            .filter(|t| t.len() == 6)
+            .count();
+        assert!(l_count > 0, "expected at least one L-shape");
+        assert!(l_count < total, "expected at least one straight wire");
+    }
+}

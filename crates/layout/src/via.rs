@@ -1,0 +1,117 @@
+//! Via-layer testcases `V1`–`V13` (Table I workload).
+//!
+//! The published clips are 2×2 µm windows holding 2–6 contact-sized vias.
+//! We synthesise equivalents: 70 nm square vias placed uniformly at random
+//! inside the central region with a minimum centre-to-centre spacing, from
+//! fixed seeds. The via counts follow the paper exactly:
+//! `[2,2,3,3,4,4,5,5,6,6,6,6,6]`.
+
+use crate::Clip;
+use cardopc_geometry::{Point, Polygon, SplitMix64};
+
+/// Clip window edge length in nanometres (2 µm).
+pub const VIA_CLIP_SIZE: f64 = 2000.0;
+/// Drawn via edge length in nanometres.
+pub const VIA_SIZE: f64 = 70.0;
+/// Minimum centre-to-centre spacing between vias.
+const MIN_SPACING: f64 = 250.0;
+/// Margin from the clip border (leave room for SRAFs and optical context).
+const MARGIN: f64 = 500.0;
+
+/// Via counts of `V1`–`V13` as published in Table I.
+pub const VIA_COUNTS: [usize; 13] = [2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 6, 6, 6];
+
+/// Generates the 13 via-layer clips.
+pub fn via_clips() -> Vec<Clip> {
+    VIA_COUNTS
+        .iter()
+        .enumerate()
+        .map(|(i, &count)| {
+            let name = format!("V{}", i + 1);
+            let targets = place_vias(count, 0xCA4D_0000 + i as u64);
+            Clip::new(name, VIA_CLIP_SIZE, VIA_CLIP_SIZE, targets)
+        })
+        .collect()
+}
+
+/// Rejection-samples `count` via centres with minimum spacing.
+fn place_vias(count: usize, seed: u64) -> Vec<Polygon> {
+    let mut rng = SplitMix64::new(seed);
+    let mut centers: Vec<Point> = Vec::with_capacity(count);
+    let lo = MARGIN;
+    let hi = VIA_CLIP_SIZE - MARGIN;
+    let mut guard = 0;
+    while centers.len() < count {
+        guard += 1;
+        assert!(guard < 100_000, "via placement failed to converge");
+        let c = Point::new(rng.range_f64(lo, hi), rng.range_f64(lo, hi));
+        if centers.iter().all(|&p| p.distance(c) >= MIN_SPACING) {
+            centers.push(c);
+        }
+    }
+    centers
+        .into_iter()
+        .map(|c| {
+            let h = VIA_SIZE / 2.0;
+            Polygon::rect(c - Point::new(h, h), c + Point::new(h, h))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_clips_with_published_counts() {
+        let clips = via_clips();
+        assert_eq!(clips.len(), 13);
+        for (clip, &count) in clips.iter().zip(&VIA_COUNTS) {
+            assert_eq!(clip.targets().len(), count, "{}", clip.name());
+            assert_eq!(clip.width(), VIA_CLIP_SIZE);
+        }
+        assert_eq!(clips[0].name(), "V1");
+        assert_eq!(clips[12].name(), "V13");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(via_clips(), via_clips());
+    }
+
+    #[test]
+    fn vias_are_squares_of_published_size() {
+        for clip in via_clips() {
+            for via in clip.targets() {
+                let b = via.bbox();
+                assert!((b.width() - VIA_SIZE).abs() < 1e-9);
+                assert!((b.height() - VIA_SIZE).abs() < 1e-9);
+                assert!((via.area() - VIA_SIZE * VIA_SIZE).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn vias_respect_spacing_and_window() {
+        for clip in via_clips() {
+            assert!(clip.targets_in_window(), "{}", clip.name());
+            let centers: Vec<Point> = clip.targets().iter().map(|v| v.centroid()).collect();
+            for i in 0..centers.len() {
+                for j in i + 1..centers.len() {
+                    assert!(
+                        centers[i].distance(centers[j]) >= MIN_SPACING - 1e-9,
+                        "{}: vias {i} and {j} too close",
+                        clip.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clips_differ_from_each_other() {
+        let clips = via_clips();
+        // V1 and V2 have the same count but different placements.
+        assert_ne!(clips[0].targets(), clips[1].targets());
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the lithography engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by lithography engine construction and simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LithoError {
+    /// Simulation grid dimensions must be powers of two (FFT constraint).
+    NonPowerOfTwoGrid {
+        /// Offending width.
+        width: usize,
+        /// Offending height.
+        height: usize,
+    },
+    /// A physical parameter (wavelength, NA, pitch, …) is out of range.
+    InvalidOptics(&'static str),
+    /// The mask grid does not match the engine's grid.
+    GridMismatch {
+        /// Expected (width, height).
+        expected: (usize, usize),
+        /// Provided (width, height).
+        got: (usize, usize),
+    },
+}
+
+impl fmt::Display for LithoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LithoError::NonPowerOfTwoGrid { width, height } => write!(
+                f,
+                "simulation grid must have power-of-two dimensions, got {width}x{height}"
+            ),
+            LithoError::InvalidOptics(what) => write!(f, "invalid optics parameter: {what}"),
+            LithoError::GridMismatch { expected, got } => write!(
+                f,
+                "mask grid is {}x{} but engine expects {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl Error for LithoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        let e = LithoError::NonPowerOfTwoGrid {
+            width: 100,
+            height: 64,
+        };
+        assert!(e.to_string().contains("100x64"));
+        assert!(!LithoError::InvalidOptics("na").to_string().is_empty());
+        let g = LithoError::GridMismatch {
+            expected: (64, 64),
+            got: (32, 32),
+        };
+        assert!(g.to_string().contains("32x32"));
+    }
+}

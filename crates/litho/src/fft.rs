@@ -1,0 +1,479 @@
+//! Complex numbers and radix-2 FFT (1-D and 2-D).
+//!
+//! The lithography engine computes Hopkins/Abbe partially coherent images as
+//! weighted sums of `|IFFT(FFT(mask) · H_k)|²` terms; no FFT crate is on the
+//! approved dependency list, so this module implements an iterative
+//! decimation-in-time radix-2 transform with precomputed twiddle factors.
+//! Sizes must be powers of two — the engine pads rasters accordingly.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number (double precision).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from rectangular parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex { re: c, im: s }
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplication by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+/// Returns `true` when `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `>= n`.
+#[inline]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 FFT.
+///
+/// `inverse = true` computes the inverse transform *including* the `1/n`
+/// normalisation, so `ifft(fft(x)) == x`.
+///
+/// # Panics
+///
+/// Panics when `data.len()` is not a power of two.
+pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+}
+
+/// A 2-D complex field of power-of-two dimensions, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field {
+    width: usize,
+    height: usize,
+    data: Vec<Complex>,
+}
+
+impl Field {
+    /// Zero-filled field.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is not a power of two.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        assert!(
+            is_power_of_two(width) && is_power_of_two(height),
+            "field dimensions must be powers of two"
+        );
+        Field {
+            width,
+            height,
+            data: vec![Complex::ZERO; width * height],
+        }
+    }
+
+    /// Builds a field from real samples (imaginary parts zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or non-power-of-two dimensions.
+    pub fn from_real(width: usize, height: usize, real: &[f64]) -> Self {
+        assert_eq!(real.len(), width * height, "sample count mismatch");
+        let mut f = Field::zeros(width, height);
+        for (dst, &src) in f.data.iter_mut().zip(real) {
+            dst.re = src;
+        }
+        f
+    }
+
+    /// Width in samples.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in samples.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw samples, row-major.
+    #[inline]
+    pub fn data(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Mutable raw samples, row-major.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
+    /// Sample accessor.
+    #[inline]
+    pub fn at(&self, ix: usize, iy: usize) -> Complex {
+        self.data[iy * self.width + ix]
+    }
+
+    /// Mutable sample accessor.
+    #[inline]
+    pub fn at_mut(&mut self, ix: usize, iy: usize) -> &mut Complex {
+        &mut self.data[iy * self.width + ix]
+    }
+
+    /// In-place 2-D FFT (rows then columns).
+    pub fn fft2_inplace(&mut self, inverse: bool) {
+        // Rows.
+        for row in self.data.chunks_mut(self.width) {
+            fft_inplace(row, inverse);
+        }
+        // Columns, via a scratch buffer.
+        let mut col = vec![Complex::ZERO; self.height];
+        for x in 0..self.width {
+            for (y, c) in col.iter_mut().enumerate() {
+                *c = self.data[y * self.width + x];
+            }
+            fft_inplace(&mut col, inverse);
+            for (y, c) in col.iter().enumerate() {
+                self.data[y * self.width + x] = *c;
+            }
+        }
+    }
+
+    /// Pointwise multiplication by another field of identical dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_pointwise(&self, other: &Field) -> Field {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.height, other.height, "height mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Field {
+            width: self.width,
+            height: self.height,
+            data,
+        }
+    }
+
+    /// The per-sample squared magnitudes as a real vector.
+    pub fn norm_sq_vec(&self) -> Vec<f64> {
+        self.data.iter().map(|z| z.norm_sq()).collect()
+    }
+
+    /// Sum of squared magnitudes (for Parseval checks).
+    pub fn energy(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sq()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardopc_geometry::SplitMix64;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert_eq!((-a), Complex::new(-1.0, -2.0));
+        assert!((Complex::from_angle(std::f64::consts::PI).re + 1.0).abs() < 1e-12);
+        assert_eq!(a.norm_sq(), 5.0);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        fft_inplace(&mut x, false);
+        for z in &x {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut x = vec![Complex::ONE; 16];
+        fft_inplace(&mut x, false);
+        assert!((x[0].re - 16.0).abs() < 1e-12);
+        for z in &x[1..] {
+            assert!(z.norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let orig = random_signal(64, 1);
+        let mut x = orig.clone();
+        fft_inplace(&mut x, false);
+        fft_inplace(&mut x, true);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((*a - *b).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_single_tone_lands_in_right_bin() {
+        let n = 32;
+        let k = 5;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_angle(std::f64::consts::TAU * k as f64 * i as f64 / n as f64))
+            .collect();
+        fft_inplace(&mut x, false);
+        for (bin, z) in x.iter().enumerate() {
+            if bin == k {
+                assert!((z.re - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.norm() < 1e-9, "leakage in bin {bin}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let orig = random_signal(128, 2);
+        let time_energy: f64 = orig.iter().map(|z| z.norm_sq()).sum();
+        let mut x = orig;
+        fft_inplace(&mut x, false);
+        let freq_energy: f64 = x.iter().map(|z| z.norm_sq()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn fft_linearity() {
+        let a = random_signal(32, 3);
+        let b = random_signal(32, 4);
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let mut fa = a;
+        let mut fb = b;
+        let mut fs = sum;
+        fft_inplace(&mut fa, false);
+        fft_inplace(&mut fb, false);
+        fft_inplace(&mut fs, false);
+        for i in 0..32 {
+            assert!(((fa[i] + fb[i]) - fs[i]).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft_inplace(&mut x, false);
+    }
+
+    #[test]
+    fn field_roundtrip_2d() {
+        let mut rng = SplitMix64::new(9);
+        let real: Vec<f64> = (0..16 * 8).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let orig = Field::from_real(16, 8, &real);
+        let mut f = orig.clone();
+        f.fft2_inplace(false);
+        f.fft2_inplace(true);
+        for (a, b) in f.data().iter().zip(orig.data()) {
+            assert!((*a - *b).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn field_2d_impulse_flat_spectrum() {
+        let mut f = Field::zeros(8, 8);
+        *f.at_mut(0, 0) = Complex::ONE;
+        f.fft2_inplace(false);
+        for z in f.data() {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn field_convolution_theorem() {
+        // Convolving with a shifted impulse shifts the signal (cyclically).
+        let mut rng = SplitMix64::new(11);
+        let real: Vec<f64> = (0..8 * 8).map(|_| rng.range_f64(0.0, 1.0)).collect();
+        let sig = Field::from_real(8, 8, &real);
+
+        let mut kernel = Field::zeros(8, 8);
+        *kernel.at_mut(1, 0) = Complex::ONE; // shift by one in x
+
+        let mut fs = sig.clone();
+        fs.fft2_inplace(false);
+        let mut fk = kernel;
+        fk.fft2_inplace(false);
+        let mut prod = fs.mul_pointwise(&fk);
+        prod.fft2_inplace(true);
+
+        for y in 0..8 {
+            for x in 0..8 {
+                let expected = sig.at((x + 8 - 1) % 8, y);
+                assert!((prod.at(x, y) - expected).norm() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_helpers() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(12));
+        assert_eq!(next_power_of_two(100), 128);
+    }
+}

@@ -1,0 +1,51 @@
+//! # cardopc-litho
+//!
+//! Lithography simulation substrate for the CardOPC framework.
+//!
+//! The paper's experiments run on the ICCAD-13 contest simulator (Hopkins
+//! diffraction model, Eq. 1) and on Calibre; neither is redistributable, so
+//! this crate implements the full imaging chain from scratch:
+//!
+//! * [`fft`] — an in-repo radix-2 FFT (no FFT crate is on the approved
+//!   dependency list),
+//! * [`OpticsConfig`] / SOCS kernel synthesis — an annular partially
+//!   coherent source discretised by Abbe's method into a kernel stack with
+//!   exactly the Hopkins structure `I = Σ w_k |M ⊗ h_k|²`,
+//! * [`LithoEngine`] — aerial images at nominal/defocused conditions,
+//!   threshold resist, dose scaling, process corners,
+//! * [`rasterize`] — anti-aliased polygon rasterisation bridging the
+//!   geometric OPC world and image-space simulation,
+//! * [`metrics`] — EPE (per-site, signed), L2 and PV-band, with the paper's
+//!   measure point conventions for via and metal layers.
+//!
+//! ```no_run
+//! use cardopc_geometry::{Point, Polygon};
+//! use cardopc_litho::{rasterize, LithoEngine, OpticsConfig, ProcessCondition};
+//!
+//! let mut engine = LithoEngine::new(OpticsConfig::default(), 256, 256, 4.0)?;
+//! engine.calibrate_threshold();
+//!
+//! let mask = vec![Polygon::rect(Point::new(400.0, 400.0), Point::new(600.0, 600.0))];
+//! let raster = rasterize(&mask, 256, 256, 4.0);
+//! let printed = engine.print(&raster, ProcessCondition::NOMINAL)?;
+//! assert_eq!(printed.width(), 256);
+//! # Ok::<(), cardopc_litho::LithoError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+pub mod fft;
+pub mod metrics;
+mod optics;
+mod raster;
+
+pub use engine::{LithoEngine, ProcessCondition};
+pub use error::LithoError;
+pub use metrics::{
+    epe_at, l2_error, measure_epe, metal_measure_points, pvb_area, via_measure_points, EpeReport,
+    MeasurePoint,
+};
+pub use optics::{build_kernels, OpticsConfig, SocsKernel};
+pub use raster::{rasterize, rasterize_into};

@@ -1,0 +1,354 @@
+//! OPC quality metrics: EPE, L2 and the process variation band (§II-B).
+
+use cardopc_geometry::{Grid, Point, Polygon};
+
+/// An edge placement error measurement site: a point on a target edge and
+/// the outward normal of that edge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeasurePoint {
+    /// Position on the target pattern edge, nanometres.
+    pub position: Point,
+    /// Unit outward normal of the target edge.
+    pub normal: Point,
+}
+
+/// Result of evaluating EPE over a set of measure points.
+#[derive(Clone, Debug, Default)]
+pub struct EpeReport {
+    /// Signed EPE per measure point (nm); positive = printed edge outside
+    /// the target.
+    pub values: Vec<f64>,
+    /// Search range used; points with no contour crossing saturate at this.
+    pub search_range: f64,
+}
+
+impl EpeReport {
+    /// Sum of absolute EPEs in nanometres — the quantity Tables I/II report.
+    pub fn sum_abs(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Largest absolute EPE.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Mean absolute EPE (0 when there are no measure points).
+    pub fn mean_abs(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.sum_abs() / self.values.len() as f64
+        }
+    }
+
+    /// Number of points whose |EPE| exceeds `tolerance` — the EPE
+    /// violation count Table III reports.
+    pub fn violations(&self, tolerance: f64) -> usize {
+        self.values.iter().filter(|v| v.abs() > tolerance).count()
+    }
+}
+
+/// Measures the signed EPE at one site by marching along the normal of the
+/// target edge until the aerial image crosses `threshold`.
+///
+/// Positive EPE means the printed contour lies *outside* the target edge
+/// (over-print); negative means under-print. When no crossing is found
+/// within `search_range` nanometres the result saturates at
+/// `±search_range`.
+pub fn epe_at(aerial: &Grid, threshold: f64, site: &MeasurePoint, search_range: f64) -> f64 {
+    let step = 0.5 * aerial.pitch();
+    let at = |d: f64| {
+        let p = site.position + site.normal * d;
+        aerial.sample(p.x, p.y) - threshold
+    };
+    let here = at(0.0);
+    // If the point is printed (intensity above threshold), the printed edge
+    // is somewhere outward; otherwise inward.
+    let dir = if here >= 0.0 { 1.0 } else { -1.0 };
+    let mut prev = here;
+    let mut d = 0.0;
+    while d < search_range {
+        let next_d = d + step;
+        let cur = at(dir * next_d);
+        if (prev >= 0.0) != (cur >= 0.0) {
+            // Crossing between d and next_d: linear interpolation.
+            let frac = if (cur - prev).abs() < 1e-300 {
+                0.5
+            } else {
+                prev.abs() / (cur - prev).abs()
+            };
+            return dir * (d + frac * step);
+        }
+        prev = cur;
+        d = next_d;
+    }
+    dir * search_range
+}
+
+/// Evaluates EPE at every measure point.
+pub fn measure_epe(
+    aerial: &Grid,
+    threshold: f64,
+    sites: &[MeasurePoint],
+    search_range: f64,
+) -> EpeReport {
+    EpeReport {
+        values: sites
+            .iter()
+            .map(|s| epe_at(aerial, threshold, s, search_range))
+            .collect(),
+        search_range,
+    }
+}
+
+/// Generates via-layer measure points: the centre of every polygon edge
+/// (the paper's convention for via clips).
+pub fn via_measure_points(targets: &[Polygon]) -> Vec<MeasurePoint> {
+    let mut out = Vec::new();
+    for poly in targets {
+        let ccw = poly.clone().into_ccw();
+        for e in ccw.edges() {
+            if let Some(dir) = e.delta().normalized() {
+                out.push(MeasurePoint {
+                    position: e.midpoint(),
+                    // CCW ring: interior on the left, so outward = -perp.
+                    normal: -dir.perp(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Generates metal-layer measure points: sites every `spacing` nanometres
+/// along each edge (plus the edge midpoint for short edges), matching the
+/// paper's 60 nm-pitch convention.
+pub fn metal_measure_points(targets: &[Polygon], spacing: f64) -> Vec<MeasurePoint> {
+    let mut out = Vec::new();
+    for poly in targets {
+        let ccw = poly.clone().into_ccw();
+        for e in ccw.edges() {
+            let len = e.length();
+            let Some(dir) = e.delta().normalized() else {
+                continue;
+            };
+            let normal = -dir.perp();
+            let count = (len / spacing).floor() as usize;
+            if count == 0 {
+                out.push(MeasurePoint {
+                    position: e.midpoint(),
+                    normal,
+                });
+            } else {
+                // Centre the sites along the edge.
+                let margin = (len - count as f64 * spacing) * 0.5 + spacing * 0.5;
+                for k in 0..count {
+                    out.push(MeasurePoint {
+                        position: e.at((margin + k as f64 * spacing) / len),
+                        normal,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Squared L2 error between a printed binary image and the binary target:
+/// the XOR pixel count scaled to nm² (for binary images the sum of squared
+/// differences equals the XOR area).
+///
+/// # Panics
+///
+/// Panics when the two grids have different dimensions.
+pub fn l2_error(printed: &Grid, target: &Grid) -> f64 {
+    assert_eq!(printed.width(), target.width(), "grid width mismatch");
+    assert_eq!(printed.height(), target.height(), "grid height mismatch");
+    let px = printed.pitch() * printed.pitch();
+    let mut count = 0usize;
+    for (&a, &b) in printed.data().iter().zip(target.data()) {
+        if (a > 0.5) != (b > 0.5) {
+            count += 1;
+        }
+    }
+    count as f64 * px
+}
+
+/// Process variation band area in nm²: pixels printed at the outer corner
+/// but not at the inner corner (plus any inverse discrepancies).
+///
+/// # Panics
+///
+/// Panics when the two grids have different dimensions.
+pub fn pvb_area(outer: &Grid, inner: &Grid) -> f64 {
+    assert_eq!(outer.width(), inner.width(), "grid width mismatch");
+    assert_eq!(outer.height(), inner.height(), "grid height mismatch");
+    let px = outer.pitch() * outer.pitch();
+    let mut count = 0usize;
+    for (&a, &b) in outer.data().iter().zip(inner.data()) {
+        if (a > 0.5) != (b > 0.5) {
+            count += 1;
+        }
+    }
+    count as f64 * px
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardopc_geometry::Polygon;
+
+    /// A synthetic aerial image: intensity ramps down with distance from a
+    /// disc of radius `r` centred at `c` — contour of level 0.5 is the
+    /// circle itself.
+    fn disc_field(w: usize, h: usize, c: Point, r: f64) -> Grid {
+        let mut g = Grid::zeros(w, h, 1.0);
+        for iy in 0..h {
+            for ix in 0..w {
+                let p = Point::new(ix as f64 + 0.5, iy as f64 + 0.5);
+                let d = p.distance(c) - r;
+                g[(ix, iy)] = 0.5 - d * 0.05;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn epe_zero_when_contour_matches_target() {
+        let g = disc_field(64, 64, Point::new(32.0, 32.0), 10.0);
+        let site = MeasurePoint {
+            position: Point::new(42.0, 32.0),
+            normal: Point::new(1.0, 0.0),
+        };
+        let e = epe_at(&g, 0.5, &site, 20.0);
+        assert!(e.abs() < 0.5, "EPE {e}");
+    }
+
+    #[test]
+    fn epe_sign_overprint_and_underprint() {
+        let g = disc_field(64, 64, Point::new(32.0, 32.0), 10.0);
+        // Target edge 3 nm inside the printed circle -> positive EPE ~ +3.
+        let inside = MeasurePoint {
+            position: Point::new(39.0, 32.0),
+            normal: Point::new(1.0, 0.0),
+        };
+        let e = epe_at(&g, 0.5, &inside, 20.0);
+        assert!((e - 3.0).abs() < 0.6, "EPE {e}, want ~3");
+        // Target edge 3 nm outside -> negative EPE ~ -3.
+        let outside = MeasurePoint {
+            position: Point::new(45.0, 32.0),
+            normal: Point::new(1.0, 0.0),
+        };
+        let e = epe_at(&g, 0.5, &outside, 20.0);
+        assert!((e + 3.0).abs() < 0.6, "EPE {e}, want ~-3");
+    }
+
+    #[test]
+    fn epe_saturates_at_search_range() {
+        let g = Grid::zeros(32, 32, 1.0); // nothing prints
+        let site = MeasurePoint {
+            position: Point::new(16.0, 16.0),
+            normal: Point::new(1.0, 0.0),
+        };
+        let e = epe_at(&g, 0.5, &site, 8.0);
+        assert_eq!(e.abs(), 8.0);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let report = EpeReport {
+            values: vec![1.0, -2.0, 0.5, 3.0],
+            search_range: 10.0,
+        };
+        assert_eq!(report.sum_abs(), 6.5);
+        assert_eq!(report.max_abs(), 3.0);
+        assert_eq!(report.mean_abs(), 1.625);
+        assert_eq!(report.violations(1.0), 2);
+        assert_eq!(report.violations(0.0), 4);
+        assert_eq!(EpeReport::default().mean_abs(), 0.0);
+    }
+
+    #[test]
+    fn via_measure_points_outward_normals() {
+        let sq = Polygon::rect(Point::new(10.0, 10.0), Point::new(20.0, 20.0));
+        let pts = via_measure_points(&[sq]);
+        assert_eq!(pts.len(), 4);
+        let c = Point::new(15.0, 15.0);
+        for mp in &pts {
+            // Outward: moving along the normal increases distance to centre.
+            let before = mp.position.distance(c);
+            let after = (mp.position + mp.normal * 1.0).distance(c);
+            assert!(after > before, "normal not outward at {}", mp.position);
+            assert!((mp.normal.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn via_points_outward_even_for_cw_input() {
+        let mut sq = Polygon::rect(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        sq.reverse(); // clockwise input
+        let pts = via_measure_points(&[sq]);
+        let c = Point::new(5.0, 5.0);
+        for mp in &pts {
+            let before = mp.position.distance(c);
+            let after = (mp.position + mp.normal * 1.0).distance(c);
+            assert!(after > before);
+        }
+    }
+
+    #[test]
+    fn metal_measure_point_density() {
+        // 300x50 rectangle with 60 nm spacing: long edges get 5 sites each,
+        // short edges 0 -> midpoint fallback.
+        let rect = Polygon::rect(Point::new(0.0, 0.0), Point::new(300.0, 50.0));
+        let pts = metal_measure_points(&[rect], 60.0);
+        // 2 long edges * 5 + 2 short edges * (50/60 -> 0 -> midpoint) = 12.
+        assert_eq!(pts.len(), 12);
+    }
+
+    #[test]
+    fn l2_counts_xor_area() {
+        let mut a = Grid::zeros(4, 4, 2.0);
+        let mut b = Grid::zeros(4, 4, 2.0);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 1.0;
+        b[(1, 1)] = 1.0;
+        b[(2, 2)] = 1.0;
+        // XOR = {(0,0), (2,2)} = 2 pixels * 4 nm² = 8.
+        assert_eq!(l2_error(&a, &b), 8.0);
+        assert_eq!(l2_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn pvb_of_identical_prints_is_zero() {
+        let g = Grid::filled(8, 8, 1.0, 1.0);
+        assert_eq!(pvb_area(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn pvb_band_width() {
+        // Outer print: 6x6; inner print: 4x4 -> band = 36 - 16 = 20 px.
+        let mut outer = Grid::zeros(8, 8, 1.0);
+        let mut inner = Grid::zeros(8, 8, 1.0);
+        for iy in 1..7 {
+            for ix in 1..7 {
+                outer[(ix, iy)] = 1.0;
+            }
+        }
+        for iy in 2..6 {
+            for ix in 2..6 {
+                inner[(ix, iy)] = 1.0;
+            }
+        }
+        assert_eq!(pvb_area(&outer, &inner), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid width mismatch")]
+    fn l2_dimension_mismatch_panics() {
+        let a = Grid::zeros(4, 4, 1.0);
+        let b = Grid::zeros(8, 4, 1.0);
+        let _ = l2_error(&a, &b);
+    }
+}

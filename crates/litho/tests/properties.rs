@@ -1,0 +1,125 @@
+//! Property-based tests for the lithography substrate.
+
+use cardopc_geometry::{Grid, Point, Polygon, SplitMix64};
+use cardopc_litho::fft::{fft_inplace, Complex, Field};
+use cardopc_litho::{l2_error, pvb_area, rasterize};
+use proptest::prelude::*;
+
+proptest! {
+    /// FFT round trip is the identity for arbitrary signals.
+    #[test]
+    fn fft_roundtrip(seed in 0u64..1000, log_n in 1u32..9) {
+        let n = 1usize << log_n;
+        let mut rng = SplitMix64::new(seed);
+        let orig: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.range_f64(-10.0, 10.0), rng.range_f64(-10.0, 10.0)))
+            .collect();
+        let mut x = orig.clone();
+        fft_inplace(&mut x, false);
+        fft_inplace(&mut x, true);
+        for (a, b) in x.iter().zip(&orig) {
+            prop_assert!((*a - *b).norm() < 1e-8);
+        }
+    }
+
+    /// Parseval: time-domain and (normalised) frequency-domain energies
+    /// agree.
+    #[test]
+    fn fft_parseval(seed in 0u64..1000, log_n in 1u32..9) {
+        let n = 1usize << log_n;
+        let mut rng = SplitMix64::new(seed);
+        let sig: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+            .collect();
+        let e_time: f64 = sig.iter().map(|z| z.norm_sq()).sum();
+        let mut x = sig;
+        fft_inplace(&mut x, false);
+        let e_freq: f64 = x.iter().map(|z| z.norm_sq()).sum::<f64>() / n as f64;
+        prop_assert!((e_time - e_freq).abs() < 1e-8 * (1.0 + e_time));
+    }
+
+    /// 2-D FFT round trip on Fields.
+    #[test]
+    fn field_roundtrip(seed in 0u64..200, log_w in 1u32..6, log_h in 1u32..6) {
+        let (w, h) = (1usize << log_w, 1usize << log_h);
+        let mut rng = SplitMix64::new(seed);
+        let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let orig = Field::from_real(w, h, &real);
+        let mut f = orig.clone();
+        f.fft2_inplace(false);
+        f.fft2_inplace(true);
+        for (a, b) in f.data().iter().zip(orig.data()) {
+            prop_assert!((*a - *b).norm() < 1e-8);
+        }
+    }
+
+    /// Rasterised area of an axis-aligned rectangle equals its true area
+    /// (when fully inside the grid), regardless of sub-pixel alignment.
+    #[test]
+    fn raster_preserves_rect_area(x0 in 1.0..10.0f64, y0 in 1.0..10.0f64,
+                                   w in 0.5..10.0f64, h in 0.5..10.0f64) {
+        let rect = Polygon::rect(Point::new(x0, y0), Point::new(x0 + w, y0 + h));
+        let g = rasterize(&[rect], 32, 32, 1.0);
+        let expected = w * h;
+        // Vertical AA quantises to 1/4 sub-scanline: error <= w * 0.25 per
+        // horizontal boundary.
+        prop_assert!((g.sum() - expected).abs() <= 0.6 * w + 1e-9,
+                     "raster {} vs exact {}", g.sum(), expected);
+    }
+
+    /// Coverage values are always within [0, 1].
+    #[test]
+    fn raster_coverage_bounded(seed in 0u64..200, n in 1usize..6) {
+        let mut rng = SplitMix64::new(seed);
+        let polys: Vec<Polygon> = (0..n)
+            .map(|_| {
+                let x = rng.range_f64(0.0, 24.0);
+                let y = rng.range_f64(0.0, 24.0);
+                Polygon::rect(
+                    Point::new(x, y),
+                    Point::new(x + rng.range_f64(1.0, 8.0), y + rng.range_f64(1.0, 8.0)),
+                )
+            })
+            .collect();
+        let g = rasterize(&polys, 32, 32, 1.0);
+        for &v in g.data() {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    /// L2 metric properties: identity of indiscernibles and symmetry.
+    #[test]
+    fn l2_is_a_metric(seed in 0u64..200) {
+        let mut rng = SplitMix64::new(seed);
+        let mk = |rng: &mut SplitMix64| {
+            let data: Vec<f64> = (0..64).map(|_| if rng.chance(0.5) { 1.0 } else { 0.0 }).collect();
+            Grid::from_data(8, 8, 1.0, data)
+        };
+        let a = mk(&mut rng);
+        let b = mk(&mut rng);
+        prop_assert_eq!(l2_error(&a, &a), 0.0);
+        prop_assert_eq!(l2_error(&a, &b), l2_error(&b, &a));
+        prop_assert!(l2_error(&a, &b) >= 0.0);
+    }
+
+    /// PVB of nested prints equals outer minus inner area.
+    #[test]
+    fn pvb_nested_difference(inner_half in 1usize..6, growth in 1usize..4) {
+        let outer_half = inner_half + growth;
+        prop_assume!(outer_half < 16);
+        let mut outer = Grid::zeros(32, 32, 1.0);
+        let mut inner = Grid::zeros(32, 32, 1.0);
+        for iy in 16 - outer_half..16 + outer_half {
+            for ix in 16 - outer_half..16 + outer_half {
+                outer[(ix, iy)] = 1.0;
+            }
+        }
+        for iy in 16 - inner_half..16 + inner_half {
+            for ix in 16 - inner_half..16 + inner_half {
+                inner[(ix, iy)] = 1.0;
+            }
+        }
+        let expected = (4 * outer_half * outer_half - 4 * inner_half * inner_half) as f64;
+        prop_assert_eq!(pvb_area(&outer, &inner), expected);
+    }
+}

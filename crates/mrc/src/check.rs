@@ -1,0 +1,534 @@
+//! Curvilinear mask rule checking (§III-F).
+//!
+//! Spacing and width use probe segments against an R-tree of all sampled
+//! mask edges (Fig. 5(a)); area uses the shoelace formula on the sampled
+//! loop; curvature is evaluated analytically on the spline (Eq. 9) — the
+//! property that makes spline-based curvilinear OPC cheaper to verify than
+//! pixel ILT output.
+
+use crate::{MrcRules, Violation, ViolationKind};
+use cardopc_geometry::{Point, Polygon, RTree, Segment};
+use cardopc_spline::CardinalSpline;
+
+/// Offset applied to probe start points so a probe never grazes the very
+/// boundary point it was launched from.
+const PROBE_LIFT: f64 = 0.05;
+/// Width probes ignore own edges within this circular index distance.
+const WIDTH_ADJACENCY: usize = 3;
+
+/// One sampled boundary point with its differential data.
+#[derive(Clone, Copy, Debug)]
+struct SamplePoint {
+    position: Point,
+    /// Unit outward normal.
+    outward: Point,
+    /// Spline segment the sample lies on.
+    segment: usize,
+    /// Local parameter on that segment.
+    t: f64,
+}
+
+/// A shape sampled into a dense polyline with outward normals.
+#[derive(Clone, Debug)]
+struct SampledShape {
+    samples: Vec<SamplePoint>,
+    area: f64,
+    centroid: Point,
+}
+
+fn sample_shape(spline: &CardinalSpline, per_segment: usize) -> SampledShape {
+    let segs = spline.segment_count();
+    let mut raw = Vec::with_capacity(segs * per_segment);
+    for seg in 0..segs {
+        for k in 0..per_segment {
+            let t = k as f64 / per_segment as f64;
+            raw.push((spline.point(seg, t), seg, t));
+        }
+    }
+    let positions: Vec<Point> = raw.iter().map(|&(p, _, _)| p).collect();
+    let poly = Polygon::new(positions.clone());
+    let signed = poly.signed_area();
+    // `perp` of the travel direction points inward on CCW loops.
+    let flip = if signed > 0.0 { -1.0 } else { 1.0 };
+    let m = raw.len();
+    let samples = raw
+        .iter()
+        .enumerate()
+        .map(|(j, &(p, segment, t))| {
+            // Normals from the sampled loop itself (central difference):
+            // robust even where the spline's parameter derivative vanishes
+            // (e.g. tension 0 at control points).
+            let chord = positions[(j + 1) % m] - positions[(j + m - 1) % m];
+            let n = chord
+                .normalized()
+                .map(Point::perp)
+                .or_else(|| spline.normal(segment, t))
+                .unwrap_or(Point::new(1.0, 0.0));
+            SamplePoint {
+                position: p,
+                outward: n * flip,
+                segment,
+                t,
+            }
+        })
+        .collect();
+    SampledShape {
+        samples,
+        area: signed.abs(),
+        centroid: poly.centroid(),
+    }
+}
+
+/// The curvilinear mask rule checker.
+///
+/// ```
+/// use cardopc_geometry::Point;
+/// use cardopc_mrc::{MrcChecker, MrcRules};
+/// use cardopc_spline::CardinalSpline;
+///
+/// // Two large squares 100 nm apart: clean under the default rules.
+/// let mk = |x0: f64| {
+///     CardinalSpline::closed(
+///         vec![
+///             Point::new(x0, 0.0),
+///             Point::new(x0 + 200.0, 0.0),
+///             Point::new(x0 + 200.0, 200.0),
+///             Point::new(x0, 200.0),
+///         ],
+///         0.0,
+///     )
+///     .expect("valid loop")
+/// };
+/// let shapes = [mk(0.0), mk(300.0)];
+/// let checker = MrcChecker::new(MrcRules::default());
+/// assert!(checker.check(&shapes).is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MrcChecker {
+    rules: MrcRules,
+    samples_per_segment: usize,
+}
+
+impl MrcChecker {
+    /// Creates a checker with the default sampling density (8 points per
+    /// spline segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rules` contains non-positive limits.
+    pub fn new(rules: MrcRules) -> Self {
+        Self::with_sampling(rules, 8)
+    }
+
+    /// Creates a checker with an explicit sampling density.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rules` is invalid or `samples_per_segment == 0`.
+    pub fn with_sampling(rules: MrcRules, samples_per_segment: usize) -> Self {
+        rules.assert_valid();
+        assert!(samples_per_segment > 0, "need at least one sample per segment");
+        MrcChecker {
+            rules,
+            samples_per_segment,
+        }
+    }
+
+    /// The rule set.
+    pub fn rules(&self) -> &MrcRules {
+        &self.rules
+    }
+
+    /// Runs all four rule checks over a set of closed spline shapes.
+    pub fn check(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
+        let sampled: Vec<SampledShape> = shapes
+            .iter()
+            .map(|s| sample_shape(s, self.samples_per_segment))
+            .collect();
+        let tree = build_edge_tree(&sampled);
+        let mut out = Vec::new();
+        self.check_spacing_into(&sampled, &tree, &mut out);
+        self.check_width_into(&sampled, &tree, &mut out);
+        self.check_area_into(&sampled, &mut out);
+        self.check_curvature_into(shapes, &mut out);
+        out
+    }
+
+    /// Spacing-rule check only.
+    pub fn check_spacing(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
+        let sampled: Vec<SampledShape> = shapes
+            .iter()
+            .map(|s| sample_shape(s, self.samples_per_segment))
+            .collect();
+        let tree = build_edge_tree(&sampled);
+        let mut out = Vec::new();
+        self.check_spacing_into(&sampled, &tree, &mut out);
+        out
+    }
+
+    /// Width-rule check only.
+    pub fn check_width(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
+        let sampled: Vec<SampledShape> = shapes
+            .iter()
+            .map(|s| sample_shape(s, self.samples_per_segment))
+            .collect();
+        let tree = build_edge_tree(&sampled);
+        let mut out = Vec::new();
+        self.check_width_into(&sampled, &tree, &mut out);
+        out
+    }
+
+    /// Area-rule check only.
+    pub fn check_area(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
+        let sampled: Vec<SampledShape> = shapes
+            .iter()
+            .map(|s| sample_shape(s, self.samples_per_segment))
+            .collect();
+        let mut out = Vec::new();
+        self.check_area_into(&sampled, &mut out);
+        out
+    }
+
+    /// Curvature-rule check only (fully analytic, no sampling of probes).
+    pub fn check_curvature(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
+        let mut out = Vec::new();
+        self.check_curvature_into(shapes, &mut out);
+        out
+    }
+
+    fn check_spacing_into(
+        &self,
+        sampled: &[SampledShape],
+        tree: &RTree<EdgeRef>,
+        out: &mut Vec<Violation>,
+    ) {
+        let c = self.rules.min_space;
+        for (si, shape) in sampled.iter().enumerate() {
+            for s in &shape.samples {
+                let start = s.position + s.outward * PROBE_LIFT;
+                let probe = Segment::new(start, s.position + s.outward * c);
+                let mut worst: Option<f64> = None;
+                for idx in tree.query_segment_indices(&probe) {
+                    let edge = tree.item(idx).1;
+                    if edge.shape == si {
+                        // Spacing is checked between distinct shapes
+                        // (Fig. 5(a)); same-shape notch spacing is part of
+                        // the "well-optimized checking" the paper defers to
+                        // future work.
+                        continue;
+                    }
+                    if probe.intersects(&edge.segment) {
+                        let dist = edge.segment.distance_to_point(s.position);
+                        worst = Some(worst.map_or(dist, |w: f64| w.min(dist)));
+                    }
+                }
+                if let Some(dist) = worst {
+                    out.push(Violation {
+                        kind: ViolationKind::Spacing,
+                        shape: si,
+                        segment: s.segment,
+                        location: s.position,
+                        normal: s.outward,
+                        value: dist,
+                        limit: c,
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_width_into(
+        &self,
+        sampled: &[SampledShape],
+        tree: &RTree<EdgeRef>,
+        out: &mut Vec<Violation>,
+    ) {
+        let c = self.rules.min_width;
+        for (si, shape) in sampled.iter().enumerate() {
+            let m = shape.samples.len();
+            for s in &shape.samples {
+                let start = s.position - s.outward * PROBE_LIFT;
+                let probe = Segment::new(start, s.position - s.outward * c);
+                let own_index = sample_index(s, self.samples_per_segment);
+                let mut worst: Option<f64> = None;
+                for idx in tree.query_segment_indices(&probe) {
+                    let edge = tree.item(idx).1;
+                    if edge.shape != si {
+                        continue; // width is a same-shape property
+                    }
+                    let d = circular_distance(edge.index, own_index, m);
+                    if d <= WIDTH_ADJACENCY {
+                        continue;
+                    }
+                    if probe.intersects(&edge.segment) {
+                        let dist = edge.segment.distance_to_point(s.position);
+                        worst = Some(worst.map_or(dist, |w: f64| w.min(dist)));
+                    }
+                }
+                if let Some(dist) = worst {
+                    out.push(Violation {
+                        kind: ViolationKind::Width,
+                        shape: si,
+                        segment: s.segment,
+                        location: s.position,
+                        normal: s.outward,
+                        value: dist,
+                        limit: c,
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_area_into(&self, sampled: &[SampledShape], out: &mut Vec<Violation>) {
+        for (si, shape) in sampled.iter().enumerate() {
+            if shape.area < self.rules.min_area {
+                out.push(Violation {
+                    kind: ViolationKind::Area,
+                    shape: si,
+                    segment: 0,
+                    location: shape.centroid,
+                    normal: Point::ZERO,
+                    value: shape.area,
+                    limit: self.rules.min_area,
+                });
+            }
+        }
+    }
+
+    fn check_curvature_into(&self, shapes: &[CardinalSpline], out: &mut Vec<Violation>) {
+        for (si, spline) in shapes.iter().enumerate() {
+            let ccw = Polygon::new(spline.sample(self.samples_per_segment)).signed_area() > 0.0;
+            let flip = if ccw { -1.0 } else { 1.0 };
+            for seg in 0..spline.segment_count() {
+                for k in 0..self.samples_per_segment {
+                    let t = k as f64 / self.samples_per_segment as f64;
+                    let kappa = spline.curvature(seg, t).abs();
+                    if kappa > self.rules.max_curvature {
+                        let normal = spline
+                            .normal(seg, t)
+                            .map(|n| n * flip)
+                            .unwrap_or(Point::ZERO);
+                        out.push(Violation {
+                            kind: ViolationKind::Curvature,
+                            shape: si,
+                            segment: seg,
+                            location: spline.point(seg, t),
+                            normal,
+                            value: kappa,
+                            limit: self.rules.max_curvature,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A sampled boundary edge belonging to one shape.
+#[derive(Clone, Copy, Debug)]
+struct EdgeRef {
+    shape: usize,
+    /// Edge index along the shape's sampled loop.
+    index: usize,
+    segment: Segment,
+}
+
+fn build_edge_tree(sampled: &[SampledShape]) -> RTree<EdgeRef> {
+    let mut items = Vec::new();
+    for (si, shape) in sampled.iter().enumerate() {
+        let m = shape.samples.len();
+        for j in 0..m {
+            let seg = Segment::new(
+                shape.samples[j].position,
+                shape.samples[(j + 1) % m].position,
+            );
+            items.push((
+                seg.bbox(),
+                EdgeRef {
+                    shape: si,
+                    index: j,
+                    segment: seg,
+                },
+            ));
+        }
+    }
+    RTree::bulk_load(items)
+}
+
+/// Global sample index of a sample point within its shape's loop.
+#[inline]
+fn sample_index(s: &SamplePoint, per_segment: usize) -> usize {
+    s.segment * per_segment + (s.t * per_segment as f64).round() as usize
+}
+
+/// Circular index distance on a loop of length `n`.
+#[inline]
+fn circular_distance(a: usize, b: usize, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let d = a.abs_diff(b) % n;
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x0: f64, y0: f64, w: f64, h: f64) -> CardinalSpline {
+        // Tension 0 keeps the loop close to the polygon for predictable
+        // geometry in tests; interpolation still holds.
+        CardinalSpline::closed(
+            vec![
+                Point::new(x0, y0),
+                Point::new(x0 + w, y0),
+                Point::new(x0 + w, y0 + h),
+                Point::new(x0, y0 + h),
+            ],
+            0.0,
+        )
+        .unwrap()
+    }
+
+    fn circle(cx: f64, cy: f64, r: f64, n: usize) -> CardinalSpline {
+        let pts = (0..n)
+            .map(|i| {
+                let th = std::f64::consts::TAU * i as f64 / n as f64;
+                Point::new(cx + r * th.cos(), cy + r * th.sin())
+            })
+            .collect();
+        CardinalSpline::closed(pts, 0.5).unwrap()
+    }
+
+    fn count_kind(vs: &[Violation], kind: ViolationKind) -> usize {
+        vs.iter().filter(|v| v.kind == kind).count()
+    }
+
+    #[test]
+    fn clean_layout_no_violations() {
+        let shapes = [square(0.0, 0.0, 200.0, 200.0), square(300.0, 0.0, 200.0, 200.0)];
+        let checker = MrcChecker::new(MrcRules::default());
+        let vs = checker.check(&shapes);
+        assert!(vs.is_empty(), "unexpected: {vs:?}");
+    }
+
+    #[test]
+    fn spacing_violation_detected_between_close_shapes() {
+        // Gap of 10 nm < 25 nm limit.
+        let shapes = [square(0.0, 0.0, 100.0, 100.0), square(110.0, 0.0, 100.0, 100.0)];
+        let checker = MrcChecker::new(MrcRules::default());
+        let vs = checker.check_spacing(&shapes);
+        assert!(!vs.is_empty());
+        // Violations reported from both shapes, facing each other.
+        assert!(vs.iter().any(|v| v.shape == 0));
+        assert!(vs.iter().any(|v| v.shape == 1));
+        for v in &vs {
+            assert!(v.value < 25.0 + 1e-9);
+            assert_eq!(v.kind, ViolationKind::Spacing);
+        }
+    }
+
+    #[test]
+    fn spacing_respects_limit_boundary() {
+        // Gap of 30 nm > 25 nm: clean.
+        let shapes = [square(0.0, 0.0, 100.0, 100.0), square(130.0, 0.0, 100.0, 100.0)];
+        let checker = MrcChecker::new(MrcRules::default());
+        assert!(checker.check_spacing(&shapes).is_empty());
+    }
+
+    #[test]
+    fn width_violation_on_thin_shape() {
+        // 20 nm-wide bar < 40 nm limit.
+        let shapes = [square(0.0, 0.0, 300.0, 20.0)];
+        let checker = MrcChecker::new(MrcRules::default());
+        let vs = checker.check_width(&shapes);
+        assert!(!vs.is_empty());
+        for v in &vs {
+            assert_eq!(v.kind, ViolationKind::Width);
+            assert!(v.value < 40.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn wide_shape_passes_width() {
+        let shapes = [square(0.0, 0.0, 300.0, 100.0)];
+        let checker = MrcChecker::new(MrcRules::default());
+        assert!(checker.check_width(&shapes).is_empty());
+    }
+
+    #[test]
+    fn area_violation_on_tiny_shape() {
+        // 30x30 = 900 nm² < 1500 nm².
+        let shapes = [square(0.0, 0.0, 30.0, 30.0)];
+        let checker = MrcChecker::new(MrcRules::default());
+        let vs = checker.check_area(&shapes);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind, ViolationKind::Area);
+        assert!(vs[0].value < 1500.0);
+    }
+
+    #[test]
+    fn curvature_violation_on_small_circle() {
+        // Radius 8 nm -> curvature 0.125 > 1/15.
+        let shapes = [circle(100.0, 100.0, 8.0, 12)];
+        let checker = MrcChecker::new(MrcRules::default());
+        let vs = checker.check_curvature(&shapes);
+        assert!(!vs.is_empty());
+        for v in &vs {
+            assert_eq!(v.kind, ViolationKind::Curvature);
+            assert!(v.value > 1.0 / 15.0);
+        }
+    }
+
+    #[test]
+    fn curvature_clean_on_large_circle() {
+        // Radius 100 nm -> curvature 0.01 << 1/15.
+        let shapes = [circle(300.0, 300.0, 100.0, 24)];
+        let checker = MrcChecker::new(MrcRules::default());
+        assert!(checker.check_curvature(&shapes).is_empty());
+    }
+
+    #[test]
+    fn large_circle_fully_clean() {
+        let shapes = [circle(300.0, 300.0, 100.0, 24)];
+        let checker = MrcChecker::new(MrcRules::default());
+        let vs = checker.check(&shapes);
+        assert!(vs.is_empty(), "unexpected: {:?}", &vs[..vs.len().min(3)]);
+    }
+
+    #[test]
+    fn kinds_are_attributed_correctly() {
+        // One thin bar and one pair of close squares: width + spacing, no
+        // area (bar area = 300*20 = 6000 > 1500).
+        let shapes = [
+            square(0.0, 200.0, 300.0, 20.0),
+            square(0.0, 0.0, 100.0, 100.0),
+            square(110.0, 0.0, 100.0, 100.0),
+        ];
+        let checker = MrcChecker::new(MrcRules::default());
+        let vs = checker.check(&shapes);
+        assert!(count_kind(&vs, ViolationKind::Width) > 0);
+        assert!(count_kind(&vs, ViolationKind::Spacing) > 0);
+        assert_eq!(count_kind(&vs, ViolationKind::Area), 0);
+        // Width violations only on shape 0.
+        assert!(vs
+            .iter()
+            .filter(|v| v.kind == ViolationKind::Width)
+            .all(|v| v.shape == 0));
+    }
+
+    #[test]
+    fn circular_distance_wraps() {
+        assert_eq!(circular_distance(0, 9, 10), 1);
+        assert_eq!(circular_distance(2, 7, 10), 5);
+        assert_eq!(circular_distance(3, 3, 10), 0);
+        assert_eq!(circular_distance(0, 0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_sampling_panics() {
+        let _ = MrcChecker::with_sampling(MrcRules::default(), 0);
+    }
+}

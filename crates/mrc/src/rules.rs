@@ -1,0 +1,188 @@
+//! Mask rules and violation records.
+
+use cardopc_geometry::Point;
+use std::fmt;
+
+/// The curvilinear mask rule set of §III-F (after Bork et al. \[34\]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MrcRules {
+    /// Minimum spacing `C_space` between distinct shapes, nm.
+    pub min_space: f64,
+    /// Minimum width `C_width` of any shape, nm.
+    pub min_width: f64,
+    /// Minimum area `C_area` of any shape, nm².
+    pub min_area: f64,
+    /// Maximum absolute curvature `C_curv`, 1/nm.
+    pub max_curvature: f64,
+}
+
+impl Default for MrcRules {
+    /// Wafer-scale defaults in the regime of the paper's testcases:
+    /// 25 nm spacing, 40 nm width, 1500 nm² area, and a 15 nm minimum
+    /// radius of curvature.
+    fn default() -> Self {
+        MrcRules {
+            min_space: 25.0,
+            min_width: 40.0,
+            min_area: 1500.0,
+            max_curvature: 1.0 / 15.0,
+        }
+    }
+}
+
+impl MrcRules {
+    /// Rule set for masks that carry sub-resolution assist features (e.g.
+    /// ILT-fitted masks, §III-G): SRAFs are legitimately narrow and small,
+    /// so the limits sit near the mask writer's resolution rather than the
+    /// main-feature scale — 16 nm width/space, 600 nm² area, 6 nm minimum
+    /// curvature radius.
+    pub fn sraf_scale() -> Self {
+        MrcRules {
+            min_space: 16.0,
+            min_width: 16.0,
+            min_area: 600.0,
+            max_curvature: 1.0 / 6.0,
+        }
+    }
+
+    /// Rule set calibrated for the synthetic 45-nm-node OPC testcases of
+    /// this reproduction: 70 nm main features whose spline corners round
+    /// to ≈4 nm radius, and ≈40 nm-wide stadium-shaped SRAFs. The limits are
+    /// satisfiable by a well-formed mask, so remaining violations indicate
+    /// genuine defects (cusps, pinches, bridges).
+    pub fn opc_node() -> Self {
+        MrcRules {
+            min_space: 18.0,
+            min_width: 25.0,
+            min_area: 800.0,
+            max_curvature: 1.0 / 3.0,
+        }
+    }
+
+    /// Validates that every limit is positive and finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on an invalid rule set; rules are
+    /// build-time configuration, not runtime data.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.min_space > 0.0 && self.min_space.is_finite(),
+            "min_space must be positive"
+        );
+        assert!(
+            self.min_width > 0.0 && self.min_width.is_finite(),
+            "min_width must be positive"
+        );
+        assert!(
+            self.min_area > 0.0 && self.min_area.is_finite(),
+            "min_area must be positive"
+        );
+        assert!(
+            self.max_curvature > 0.0 && self.max_curvature.is_finite(),
+            "max_curvature must be positive"
+        );
+    }
+}
+
+/// The rule a violation breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// Two shapes closer than `C_space`.
+    Spacing,
+    /// A shape narrower than `C_width`.
+    Width,
+    /// A shape smaller than `C_area`.
+    Area,
+    /// Local curvature above `C_curv`.
+    Curvature,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::Spacing => "spacing",
+            ViolationKind::Width => "width",
+            ViolationKind::Area => "area",
+            ViolationKind::Curvature => "curvature",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One mask rule violation, located on a specific shape.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Violation {
+    /// Which rule is broken.
+    pub kind: ViolationKind,
+    /// Index of the offending shape in the checked slice.
+    pub shape: usize,
+    /// Spline segment index nearest to the violation (0 for area).
+    pub segment: usize,
+    /// Where on the mask the violation sits.
+    pub location: Point,
+    /// Unit outward normal of the mask boundary at the violation site
+    /// (zero for area violations, which have no boundary direction).
+    pub normal: Point,
+    /// Measured value (distance, width, area or |curvature|).
+    pub value: f64,
+    /// The rule limit that was violated.
+    pub limit: f64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} violation on shape {} at {}: {:.3} vs limit {:.3}",
+            self.kind, self.shape, self.location, self.value, self.limit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        MrcRules::default().assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_space")]
+    fn invalid_space_panics() {
+        MrcRules {
+            min_space: -1.0,
+            ..MrcRules::default()
+        }
+        .assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_curvature")]
+    fn invalid_curvature_panics() {
+        MrcRules {
+            max_curvature: f64::NAN,
+            ..MrcRules::default()
+        }
+        .assert_valid();
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation {
+            kind: ViolationKind::Spacing,
+            shape: 2,
+            segment: 1,
+            location: Point::new(1.0, 2.0),
+            normal: Point::new(0.0, 1.0),
+            value: 10.0,
+            limit: 25.0,
+        };
+        let s = v.to_string();
+        assert!(s.contains("spacing"));
+        assert!(s.contains("shape 2"));
+        assert_eq!(ViolationKind::Curvature.to_string(), "curvature");
+    }
+}

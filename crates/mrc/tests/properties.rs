@@ -1,0 +1,156 @@
+//! Property-based tests for mask rule checking.
+
+use cardopc_geometry::Point;
+use cardopc_mrc::{AreaPolicy, MrcChecker, MrcResolver, MrcRules, ResolveConfig, ViolationKind};
+use cardopc_spline::CardinalSpline;
+use proptest::prelude::*;
+
+fn circle(cx: f64, cy: f64, r: f64, n: usize) -> CardinalSpline {
+    let pts = (0..n)
+        .map(|i| {
+            let th = std::f64::consts::TAU * i as f64 / n as f64;
+            Point::new(cx + r * th.cos(), cy + r * th.sin())
+        })
+        .collect();
+    CardinalSpline::closed(pts, 0.5).expect("valid circle")
+}
+
+fn square(x0: f64, y0: f64, w: f64, h: f64) -> CardinalSpline {
+    CardinalSpline::closed(
+        vec![
+            Point::new(x0, y0),
+            Point::new(x0 + w, y0),
+            Point::new(x0 + w, y0 + h),
+            Point::new(x0, y0 + h),
+        ],
+        0.0,
+    )
+    .expect("valid square")
+}
+
+proptest! {
+    /// The spacing verdict between two squares agrees with their true gap:
+    /// gap < limit ⟹ violation, gap comfortably above ⟹ clean.
+    #[test]
+    fn spacing_agrees_with_true_gap(gap in 2.0..80.0f64) {
+        let rules = MrcRules::default();
+        let shapes = [
+            square(0.0, 0.0, 120.0, 120.0),
+            square(120.0 + gap, 0.0, 120.0, 120.0),
+        ];
+        let checker = MrcChecker::new(rules);
+        let spacing = checker.check_spacing(&shapes);
+        if gap < rules.min_space - 1.0 {
+            prop_assert!(!spacing.is_empty(), "gap {} should violate", gap);
+        } else if gap > rules.min_space + 1.0 {
+            prop_assert!(spacing.is_empty(), "gap {} should be clean: {:?}",
+                         gap, &spacing[..spacing.len().min(2)]);
+        }
+        // Reported values never exceed the limit.
+        for v in &spacing {
+            prop_assert!(v.value <= rules.min_space + 1e-6);
+        }
+    }
+
+    /// Width verdict follows the bar thickness.
+    #[test]
+    fn width_agrees_with_bar_thickness(thickness in 10.0..100.0f64) {
+        let rules = MrcRules::default();
+        let shapes = [square(0.0, 0.0, 400.0, thickness)];
+        let checker = MrcChecker::new(rules);
+        let width = checker.check_width(&shapes);
+        if thickness < rules.min_width - 1.0 {
+            prop_assert!(!width.is_empty(), "thickness {} should violate", thickness);
+        } else if thickness > rules.min_width + 1.0 {
+            prop_assert!(width.is_empty(), "thickness {} should be clean", thickness);
+        }
+    }
+
+    /// Curvature verdict on circles matches 1/r analytically.
+    #[test]
+    fn curvature_agrees_with_circle_radius(r in 5.0..120.0f64) {
+        let rules = MrcRules::default();
+        let checker = MrcChecker::new(rules);
+        let shapes = [circle(300.0, 300.0, r, 24)];
+        let vs = checker.check_curvature(&shapes);
+        let kappa = 1.0 / r;
+        if kappa > rules.max_curvature * 1.2 {
+            prop_assert!(!vs.is_empty(), "radius {} should violate curvature", r);
+        } else if kappa < rules.max_curvature * 0.8 {
+            prop_assert!(vs.is_empty(), "radius {} should be clean", r);
+        }
+    }
+
+    /// Area verdict matches the analytic circle area.
+    #[test]
+    fn area_agrees_with_circle_area(r in 10.0..60.0f64) {
+        let rules = MrcRules::default();
+        let checker = MrcChecker::new(rules);
+        let shapes = [circle(300.0, 300.0, r, 32)];
+        let vs = checker.check_area(&shapes);
+        let area = std::f64::consts::PI * r * r;
+        if area < rules.min_area * 0.9 {
+            prop_assert!(!vs.is_empty());
+        } else if area > rules.min_area * 1.1 {
+            prop_assert!(vs.is_empty());
+        }
+    }
+
+    /// Resolving never increases the violation count, and removed shapes
+    /// only occur under the RemoveShape policy.
+    #[test]
+    fn resolve_never_increases_violations(gap in 5.0..20.0f64) {
+        let rules = MrcRules::default();
+        let mut shapes = vec![
+            square(0.0, 0.0, 150.0, 150.0),
+            square(150.0 + gap, 0.0, 150.0, 150.0),
+        ];
+        let resolver = MrcResolver::new(rules, ResolveConfig::default());
+        let report = resolver.resolve(&mut shapes);
+        prop_assert!(report.remaining.len() <= report.initial_violations);
+        prop_assert_eq!(report.shapes_removed, 0);
+        prop_assert_eq!(shapes.len(), 2);
+    }
+
+    /// RemoveShape policy drops exactly the shapes below the area limit.
+    #[test]
+    fn remove_policy_drops_only_specks(n_specks in 0usize..4, n_big in 1usize..4) {
+        let rules = MrcRules::default();
+        let mut shapes = Vec::new();
+        for i in 0..n_big {
+            shapes.push(square(i as f64 * 400.0, 0.0, 200.0, 200.0));
+        }
+        for i in 0..n_specks {
+            shapes.push(square(i as f64 * 400.0, 600.0, 25.0, 25.0));
+        }
+        let resolver = MrcResolver::new(
+            rules,
+            ResolveConfig { area_policy: AreaPolicy::RemoveShape, ..ResolveConfig::default() },
+        );
+        let report = resolver.resolve(&mut shapes);
+        prop_assert_eq!(report.shapes_removed, n_specks);
+        prop_assert_eq!(shapes.len(), n_big);
+    }
+
+    /// Violations always carry a unit (or zero) normal and a value below
+    /// the limit they break (except curvature, which exceeds it).
+    #[test]
+    fn violation_records_are_consistent(gap in 3.0..20.0f64, thickness in 12.0..35.0f64) {
+        let rules = MrcRules::default();
+        let shapes = [
+            square(0.0, 300.0, 400.0, thickness),
+            square(0.0, 0.0, 150.0, 150.0),
+            square(150.0 + gap, 0.0, 150.0, 150.0),
+        ];
+        let checker = MrcChecker::new(rules);
+        for v in checker.check(&shapes) {
+            let n = v.normal.norm();
+            prop_assert!(n < 1e-9 || (n - 1.0).abs() < 1e-9);
+            match v.kind {
+                ViolationKind::Curvature => prop_assert!(v.value > v.limit),
+                _ => prop_assert!(v.value < v.limit + 1e-6),
+            }
+            prop_assert!(v.shape < shapes.len());
+        }
+    }
+}

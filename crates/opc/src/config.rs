@@ -1,0 +1,228 @@
+//! CardOPC flow configuration (the paper's §IV parameter sets).
+
+use crate::eval::MeasureConvention;
+use cardopc_mrc::MrcRules;
+
+/// Rule-based SRAF insertion parameters (Fig. 3(a)).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SrafConfig {
+    /// Ratio `r` between SRAF length and the main pattern edge length.
+    pub length_ratio: f64,
+    /// SRAF width, nm.
+    pub width: f64,
+    /// Distance `d_ms` between the main pattern edge and the SRAF, nm.
+    pub distance: f64,
+    /// Minimum main-pattern edge length that receives an SRAF, nm.
+    pub min_edge: f64,
+}
+
+impl Default for SrafConfig {
+    fn default() -> Self {
+        SrafConfig {
+            length_ratio: 0.6,
+            // Stadium-shaped spline assists: 40 nm drawn keeps the assist
+            // sub-printing at the overdose corner while staying above the
+            // width rule.
+            width: 40.0,
+            distance: 100.0,
+            min_edge: 60.0,
+        }
+    }
+}
+
+/// Configuration of the CardOPC flow.
+///
+/// The presets [`OpcConfig::via`], [`OpcConfig::metal`] and
+/// [`OpcConfig::large_scale`] mirror the parameters published in §IV:
+/// dissection lengths `l_c`/`l_u`, the per-iteration moving distance, the
+/// iteration budget with its halfway decay, and the cardinal tension
+/// `s = 0.6`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpcConfig {
+    /// Corner dissection segment length `l_c`, nm.
+    pub l_c: f64,
+    /// Uniform dissection segment length `l_u`, nm.
+    pub l_u: f64,
+    /// Maximum control point move per iteration, nm.
+    pub move_step: f64,
+    /// Number of correction iterations.
+    pub iterations: usize,
+    /// Iteration at which the moving distance decays.
+    pub decay_at: usize,
+    /// Decay factor applied at [`OpcConfig::decay_at`].
+    pub decay_factor: f64,
+    /// Cardinal spline tension `s`.
+    pub tension: f64,
+    /// Corner control point interpolation strength (Fig. 3(c)): `1` =
+    /// fully interpolated (pulled inside the corner), `0` = straight
+    /// segment midpoints, negative = extrapolated outward (line-end
+    /// extension bias).
+    pub corner_pull: f64,
+    /// Half-width `W` of the neighbour-averaging window (Eq. 7).
+    pub smooth_window: usize,
+    /// Move control points along current spline normals (Eq. 8) rather
+    /// than frozen target-anchor normals; see
+    /// [`crate::CorrectionStep`]'s field of the same name.
+    pub spline_normals: bool,
+    /// Every this many iterations the control polygon is relaxed toward
+    /// its neighbour midpoints (spike suppression; 0 disables).
+    pub relax_every: usize,
+    /// Relaxation strength in `[0, 1]`.
+    pub relax_strength: f64,
+    /// Polyline samples per spline segment when rasterising.
+    pub samples_per_segment: usize,
+    /// EPE normal-search range, nm.
+    pub epe_search: f64,
+    /// Simulation pixel pitch, nm.
+    pub pitch: f64,
+    /// Dose variation (±) defining the PV-band corners.
+    pub dose_delta: f64,
+    /// Rule-based SRAF insertion; `None` disables it (e.g. when SRAFs come
+    /// from an external tool or from ILT fitting).
+    pub sraf: Option<SrafConfig>,
+    /// Mask rules checked and resolved after optimisation; `None` skips
+    /// the MRC stage.
+    pub mrc: Option<MrcRules>,
+    /// EPE measure point convention used for the final evaluation.
+    pub convention: MeasureConvention,
+}
+
+impl OpcConfig {
+    /// Via-layer preset (§IV-A): `l_c = 20`, `l_u = 30`, 2 nm moves,
+    /// 32 iterations with ×0.5 decay at 16, `s = 0.6`.
+    pub fn via() -> Self {
+        OpcConfig {
+            l_c: 20.0,
+            l_u: 30.0,
+            move_step: 2.0,
+            iterations: 32,
+            decay_at: 16,
+            decay_factor: 0.5,
+            tension: 0.6,
+            corner_pull: 1.0,
+            // Engine-recalibrated loop dynamics (see DESIGN.md §4 and the
+            // field docs): per-point feedback without neighbour smoothing,
+            // and moves along the frozen Manhattan anchor normals. On this
+            // substrate's optics the spline's inter-point coupling turns
+            // smoothed/tilted moves into persistent edge ripple.
+            smooth_window: 0,
+            spline_normals: false,
+            relax_every: 2,
+            relax_strength: 0.3,
+            samples_per_segment: 8,
+            epe_search: 40.0,
+            pitch: 4.0,
+            dose_delta: 0.02,
+            sraf: Some(SrafConfig::default()),
+            mrc: Some(MrcRules::opc_node()),
+            convention: MeasureConvention::ViaEdgeCenters,
+        }
+    }
+
+    /// Metal-layer preset (§IV-A): `l_c = 30` and 4 nm moves as published.
+    ///
+    /// The published `l_u = 60` nm uniform dissection is recalibrated to
+    /// 30 nm for this repository's optics: denser control points halve
+    /// CardOPC's metal EPE here while the same density *hurts* the
+    /// rectilinear baseline (jog artifacts) — the granularity advantage of
+    /// the control-point representation the paper argues for.
+    pub fn metal() -> Self {
+        OpcConfig {
+            l_c: 30.0,
+            l_u: 30.0,
+            move_step: 4.0,
+            corner_pull: -0.7,
+            relax_every: 4,
+            relax_strength: 0.15,
+            convention: MeasureConvention::MetalSpacing(60.0),
+            ..OpcConfig::via()
+        }
+    }
+
+    /// Large-scale preset (§IV-B): `l_c = l_u = 40`, 8 nm moves,
+    /// 10 iterations with decay at 8.
+    pub fn large_scale() -> Self {
+        OpcConfig {
+            l_c: 40.0,
+            l_u: 40.0,
+            move_step: 8.0,
+            iterations: 10,
+            decay_at: 8,
+            pitch: 8.0,
+            sraf: None,
+            // With only 10 iterations the feedback cannot compensate the
+            // relaxation's contraction; the coarse 40 nm dissection keeps
+            // boundaries smooth on its own.
+            relax_every: 0,
+            convention: MeasureConvention::MetalSpacing(60.0),
+            ..OpcConfig::via()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on invalid values; configurations
+    /// are build-time constants, not runtime data.
+    pub fn assert_valid(&self) {
+        assert!(self.l_c > 0.0 && self.l_u > 0.0, "dissection lengths must be positive");
+        assert!(self.move_step > 0.0, "move step must be positive");
+        assert!(self.iterations > 0, "need at least one iteration");
+        assert!(
+            self.decay_factor > 0.0 && self.decay_factor <= 1.0,
+            "decay factor must be in (0, 1]"
+        );
+        assert!(self.tension.is_finite(), "tension must be finite");
+        assert!(self.samples_per_segment > 0, "need samples per segment");
+        assert!(self.epe_search > 0.0, "EPE search range must be positive");
+        assert!(self.pitch > 0.0, "pitch must be positive");
+        assert!(self.dose_delta >= 0.0, "dose delta must be non-negative");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let via = OpcConfig::via();
+        assert_eq!(via.l_c, 20.0);
+        assert_eq!(via.l_u, 30.0);
+        assert_eq!(via.move_step, 2.0);
+        assert_eq!(via.iterations, 32);
+        assert_eq!(via.decay_at, 16);
+        assert_eq!(via.decay_factor, 0.5);
+        assert_eq!(via.tension, 0.6);
+
+        let metal = OpcConfig::metal();
+        assert_eq!(metal.l_c, 30.0);
+        // l_u recalibrated from the published 60 nm for this engine (see
+        // the preset docs).
+        assert_eq!(metal.l_u, 30.0);
+        assert_eq!(metal.move_step, 4.0);
+
+        let large = OpcConfig::large_scale();
+        assert_eq!(large.l_c, 40.0);
+        assert_eq!(large.l_u, 40.0);
+        assert_eq!(large.move_step, 8.0);
+        assert_eq!(large.iterations, 10);
+        assert_eq!(large.decay_at, 8);
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        OpcConfig::via().assert_valid();
+        OpcConfig::metal().assert_valid();
+        OpcConfig::large_scale().assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "move step")]
+    fn invalid_step_panics() {
+        let mut c = OpcConfig::via();
+        c.move_step = 0.0;
+        c.assert_valid();
+    }
+}

@@ -1,0 +1,209 @@
+//! Control point generation (Fig. 3(c)).
+//!
+//! Most control points are the midpoints of the dissected segments. Around
+//! corners the midpoints are *interpolated* through a cardinal spline over
+//! the segment boundary points, pulling corner control points slightly
+//! toward the rounded corner the spline representation will produce — this
+//! keeps the initial spline mask close to the (rectilinear) target.
+
+use crate::dissect::DissectedSegment;
+use cardopc_litho::MeasurePoint;
+use cardopc_spline::{CardinalSpline, SplineError};
+
+/// An OPC shape: the evolving spline plus the frozen EPE anchors derived
+/// from the target boundary.
+#[derive(Clone, Debug)]
+pub struct OpcShape {
+    /// The mask boundary being optimised.
+    pub spline: CardinalSpline,
+    /// EPE checking sites on the *target* boundary, one per control point.
+    /// Anchors never move during correction.
+    pub anchors: Vec<MeasurePoint>,
+    /// `true` for sub-resolution assist features (not EPE-corrected).
+    pub is_sraf: bool,
+}
+
+impl OpcShape {
+    /// Builds the initial OPC shape for a dissected target boundary, with
+    /// the default corner interpolation strength of 1 (fully interpolated
+    /// corner control points, Fig. 3(c)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SplineError`] when fewer than three segments exist.
+    pub fn from_dissection(
+        segments: &[DissectedSegment],
+        tension: f64,
+    ) -> Result<Self, SplineError> {
+        Self::from_dissection_with_pull(segments, tension, 1.0)
+    }
+
+    /// Builds the initial OPC shape with an explicit corner-pull strength:
+    ///
+    /// * `1.0` — corner control points fully interpolated through the
+    ///   boundary-point spline (pulled inside the corner, Fig. 3(c)),
+    /// * `0.0` — plain segment midpoints,
+    /// * negative — corner control points *extrapolated outward* (a
+    ///   serif-like line-end extension bias).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SplineError`] when fewer than three segments exist.
+    pub fn from_dissection_with_pull(
+        segments: &[DissectedSegment],
+        tension: f64,
+        corner_pull: f64,
+    ) -> Result<Self, SplineError> {
+        // Anchors: straight segment midpoints with target outward normals.
+        let anchors: Vec<MeasurePoint> = segments
+            .iter()
+            .map(|s| MeasurePoint {
+                position: s.midpoint(),
+                normal: s.outward,
+            })
+            .collect();
+
+        // Boundary-point spline used to interpolate corner control points.
+        let boundary: Vec<_> = segments.iter().map(|s| s.a).collect();
+        let boundary_spline = CardinalSpline::closed(boundary, tension)?;
+
+        // Control points: straight midpoints on uniform segments,
+        // spline-interpolated midpoints on corner segments.
+        let control: Vec<_> = segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if s.is_corner {
+                    s.midpoint().lerp(boundary_spline.point(i, 0.5), corner_pull)
+                } else {
+                    s.midpoint()
+                }
+            })
+            .collect();
+
+        Ok(OpcShape {
+            spline: CardinalSpline::closed(control, tension)?,
+            anchors,
+            is_sraf: false,
+        })
+    }
+
+    /// Builds an SRAF shape directly from a control point loop; SRAFs carry
+    /// no anchors and are skipped by EPE correction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SplineError`] for degenerate loops.
+    pub fn sraf(
+        control_points: Vec<cardopc_geometry::Point>,
+        tension: f64,
+    ) -> Result<Self, SplineError> {
+        Ok(OpcShape {
+            spline: CardinalSpline::closed(control_points, tension)?,
+            anchors: Vec::new(),
+            is_sraf: true,
+        })
+    }
+
+    /// Number of control points.
+    pub fn control_count(&self) -> usize {
+        self.spline.control_points().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissect_polygon;
+    use cardopc_geometry::{Point, Polygon};
+
+    fn square(w: f64) -> Polygon {
+        Polygon::rect(Point::new(0.0, 0.0), Point::new(w, w))
+    }
+
+    #[test]
+    fn one_control_point_per_segment() {
+        let segs = dissect_polygon(&square(100.0), 20.0, 30.0);
+        let shape = OpcShape::from_dissection(&segs, 0.6).unwrap();
+        assert_eq!(shape.control_count(), segs.len());
+        assert_eq!(shape.anchors.len(), segs.len());
+        assert!(!shape.is_sraf);
+    }
+
+    #[test]
+    fn anchors_sit_on_target_boundary() {
+        let poly = square(100.0);
+        let segs = dissect_polygon(&poly, 20.0, 30.0);
+        let shape = OpcShape::from_dissection(&segs, 0.6).unwrap();
+        for a in &shape.anchors {
+            assert!(
+                poly.boundary_distance(a.position) < 1e-9,
+                "anchor {} off boundary",
+                a.position
+            );
+            assert!((a.normal.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_control_points_are_midpoints() {
+        let segs = dissect_polygon(&square(200.0), 20.0, 30.0);
+        let shape = OpcShape::from_dissection(&segs, 0.6).unwrap();
+        for (i, s) in segs.iter().enumerate() {
+            if !s.is_corner {
+                assert!(
+                    shape.spline.control_points()[i].distance(s.midpoint()) < 1e-9,
+                    "uniform control point {i} not at midpoint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corner_control_points_pull_inward() {
+        // Corner control points should deviate from straight midpoints,
+        // toward the inside of the corner.
+        let poly = square(100.0);
+        let segs = dissect_polygon(&poly, 20.0, 30.0);
+        let shape = OpcShape::from_dissection(&segs, 0.6).unwrap();
+        let mut moved = 0;
+        for (i, s) in segs.iter().enumerate() {
+            if s.is_corner {
+                let d = shape.spline.control_points()[i].distance(s.midpoint());
+                if d > 0.01 {
+                    moved += 1;
+                }
+            }
+        }
+        assert!(moved > 0, "corner interpolation had no effect");
+    }
+
+    #[test]
+    fn initial_spline_stays_near_target() {
+        let poly = square(100.0);
+        let segs = dissect_polygon(&poly, 20.0, 30.0);
+        let shape = OpcShape::from_dissection(&segs, 0.6).unwrap();
+        let sampled = shape.spline.to_polygon(8);
+        // Initial mask area within 15% of the target.
+        assert!(
+            (sampled.area() - poly.area()).abs() < 0.15 * poly.area(),
+            "initial area {} vs target {}",
+            sampled.area(),
+            poly.area()
+        );
+    }
+
+    #[test]
+    fn sraf_shape_has_no_anchors() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(40.0, 0.0),
+            Point::new(40.0, 20.0),
+            Point::new(0.0, 20.0),
+        ];
+        let s = OpcShape::sraf(pts, 0.6).unwrap();
+        assert!(s.is_sraf);
+        assert!(s.anchors.is_empty());
+        assert_eq!(s.control_count(), 4);
+    }
+}

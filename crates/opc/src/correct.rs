@@ -1,0 +1,374 @@
+//! The EPE-feedback correction step (§III-E).
+//!
+//! With the diagonal-Jacobian approximation of Eq. (5)–(6), each control
+//! point moves against its own EPE: `Δd_i = −clamp(e_i, ±step)`. The move
+//! *direction* is the outward spline normal at the control point (Eq. 8),
+//! and the applied move vectors are blended over neighbouring control
+//! points of the same shape with binomial weights (Eq. 7), which mimics a
+//! multi-segment solver and keeps the boundary smooth.
+
+use crate::control::OpcShape;
+use cardopc_geometry::{Grid, Point, Polygon};
+use cardopc_litho::epe_at;
+
+/// Parameters of one correction sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorrectionStep {
+    /// Maximum move distance this iteration, nm.
+    pub step_limit: f64,
+    /// Half-width `W` of the neighbour-averaging window.
+    pub smooth_window: usize,
+    /// EPE search range along the normal, nm.
+    pub epe_search: f64,
+    /// Move along the current spline normal (`true`, Eq. 8 — required for
+    /// any-angle edges) or along the frozen target-anchor normal (`false`
+    /// — keeps moves purely perpendicular on Manhattan targets, damping
+    /// edge ripple).
+    pub spline_normals: bool,
+}
+
+/// Applies one correction sweep to every non-SRAF shape; returns the sum
+/// of |EPE| over all anchors (the convergence signal).
+pub fn correct_shapes(
+    shapes: &mut [OpcShape],
+    aerial: &Grid,
+    threshold: f64,
+    step: &CorrectionStep,
+) -> f64 {
+    let mut total = 0.0;
+    for shape in shapes.iter_mut() {
+        if shape.is_sraf {
+            continue;
+        }
+        total += correct_one(shape, aerial, threshold, step);
+    }
+    total
+}
+
+fn correct_one(shape: &mut OpcShape, aerial: &Grid, threshold: f64, step: &CorrectionStep) -> f64 {
+    let n = shape.spline.control_points().len();
+    debug_assert_eq!(shape.anchors.len(), n, "anchor/control point mismatch");
+
+    // 1. EPE at each (frozen) anchor.
+    let epes: Vec<f64> = shape
+        .anchors
+        .iter()
+        .map(|a| epe_at(aerial, threshold, a, step.epe_search))
+        .collect();
+
+    // 2. Outward move directions: the current spline normals (Eq. 8) or
+    //    the frozen anchor normals.
+    let outward: Vec<Point> = if step.spline_normals {
+        outward_normals(shape)
+    } else {
+        shape.anchors.iter().map(|a| a.normal).collect()
+    };
+
+    // 3. Raw signed move distances: positive EPE (over-print) pulls
+    //    inward (negative distance along the outward direction).
+    let raw: Vec<f64> = epes
+        .iter()
+        .map(|e| (-e).clamp(-step.step_limit, step.step_limit))
+        .collect();
+
+    // 4. Binomial neighbour blending of the move *distances* (Eq. 7).
+    //    Each point then moves along its own normal — blending the full
+    //    vectors instead would leak tangential components at corners,
+    //    letting control points drift along the boundary unchecked (the
+    //    anchors are frozen, so tangential drift is never corrected).
+    let weights = binomial_weights(step.smooth_window);
+    let w = step.smooth_window as isize;
+    let blended: Vec<f64> = (0..n as isize)
+        .map(|i| {
+            let mut acc = 0.0;
+            for (j, &wk) in weights.iter().enumerate() {
+                let k = i + (j as isize - w);
+                acc += raw[k.rem_euclid(n as isize) as usize] * wk;
+            }
+            acc
+        })
+        .collect();
+
+    // 5. Apply along the move directions.
+    for (i, cp) in shape.spline.control_points_mut().iter_mut().enumerate() {
+        *cp += outward[i] * blended[i];
+    }
+
+    epes.iter().map(|e| e.abs()).sum()
+}
+
+/// Applies one pass of position-space Laplacian relaxation to a shape's
+/// control points: each point moves `strength` of the way toward its
+/// neighbours' midpoint. Interleaved with correction sweeps this keeps the
+/// boundary smooth (no spikes/necks for MRC to flag) while the EPE
+/// feedback re-corrects any fidelity the relaxation costs.
+pub fn relax_shape(shape: &mut OpcShape, strength: f64) {
+    let cps = shape.spline.control_points().to_vec();
+    let n = cps.len();
+    if n < 3 {
+        return;
+    }
+    for (i, cp) in shape.spline.control_points_mut().iter_mut().enumerate() {
+        let mid = (cps[(i + 1) % n] + cps[(i + n - 1) % n]) * 0.5;
+        *cp += (mid - *cp) * strength;
+    }
+}
+
+/// Unit outward normals at every control point of a shape, robust at
+/// degenerate spline tangents (falls back to control polygon chords).
+pub fn outward_normals(shape: &OpcShape) -> Vec<Point> {
+    let cps = shape.spline.control_points();
+    let n = cps.len();
+    let ccw = Polygon::new(cps.to_vec()).signed_area() > 0.0;
+    let flip = if ccw { -1.0 } else { 1.0 };
+    (0..n)
+        .map(|i| {
+            let normal = shape
+                .spline
+                .normal(i, 0.0)
+                .or_else(|| {
+                    let chord = cps[(i + 1) % n] - cps[(i + n - 1) % n];
+                    chord.normalized().map(Point::perp)
+                })
+                .unwrap_or(Point::new(1.0, 0.0));
+            normal * flip
+        })
+        .collect()
+}
+
+/// Normalised binomial weights `C(2W, W+k) / 4^W` for `k ∈ [−W, W]`.
+fn binomial_weights(w: usize) -> Vec<f64> {
+    let m = 2 * w;
+    let mut row = vec![1.0f64];
+    for _ in 0..m {
+        let mut next = vec![1.0];
+        for k in 1..row.len() {
+            next.push(row[k - 1] + row[k]);
+        }
+        next.push(1.0);
+        row = next;
+    }
+    let total: f64 = row.iter().sum();
+    row.into_iter().map(|v| v / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dissect_polygon, OpcShape as Shape};
+    use cardopc_geometry::Polygon as Poly;
+
+    /// A synthetic aerial image printing a disc of radius `r`: level-0.3
+    /// contour at the circle.
+    fn disc_field(w: usize, h: usize, pitch: f64, c: Point, r: f64) -> Grid {
+        let mut g = Grid::zeros(w, h, pitch);
+        for iy in 0..h {
+            for ix in 0..w {
+                let p = Point::new((ix as f64 + 0.5) * pitch, (iy as f64 + 0.5) * pitch);
+                g[(ix, iy)] = 0.3 - (p.distance(c) - r) * 0.01;
+            }
+        }
+        g
+    }
+
+    fn square_shape(x0: f64, w: f64) -> Shape {
+        let poly = Poly::rect(Point::new(x0, x0), Point::new(x0 + w, x0 + w));
+        let segs = dissect_polygon(&poly, 20.0, 30.0);
+        Shape::from_dissection(&segs, 0.6).unwrap()
+    }
+
+    #[test]
+    fn binomial_weights_normalised_and_symmetric() {
+        for w in 0..4 {
+            let ws = binomial_weights(w);
+            assert_eq!(ws.len(), 2 * w + 1);
+            let sum: f64 = ws.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            for k in 0..ws.len() {
+                assert_eq!(ws[k], ws[ws.len() - 1 - k]);
+            }
+        }
+        assert_eq!(binomial_weights(1), vec![0.25, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn outward_normals_point_outward() {
+        let shape = square_shape(100.0, 100.0);
+        let c = Point::new(150.0, 150.0);
+        for (i, n) in outward_normals(&shape).iter().enumerate() {
+            let p = shape.spline.control_points()[i];
+            assert!(
+                (p + *n * 1.0).distance(c) > p.distance(c),
+                "normal {i} not outward"
+            );
+        }
+    }
+
+    #[test]
+    fn overprint_pulls_boundary_inward() {
+        // Printed disc much larger than the 100 nm target square: every
+        // anchor sees positive EPE, so the correction shrinks the shape.
+        let mut shape = square_shape(100.0, 100.0);
+        let before = shape.spline.to_polygon(8).area();
+        let aerial = disc_field(128, 128, 2.0, Point::new(150.0, 150.0), 90.0);
+        let step = CorrectionStep {
+            step_limit: 2.0,
+            smooth_window: 1,
+            epe_search: 40.0,
+            spline_normals: true,
+        };
+        let total = correct_shapes(std::slice::from_mut(&mut shape), &aerial, 0.3, &step);
+        assert!(total > 0.0);
+        let after = shape.spline.to_polygon(8).area();
+        assert!(after < before, "area {before} -> {after} should shrink");
+    }
+
+    #[test]
+    fn underprint_pushes_boundary_outward() {
+        let mut shape = square_shape(100.0, 100.0);
+        let before = shape.spline.to_polygon(8).area();
+        // Printed disc smaller than the target.
+        let aerial = disc_field(128, 128, 2.0, Point::new(150.0, 150.0), 30.0);
+        let step = CorrectionStep {
+            step_limit: 2.0,
+            smooth_window: 1,
+            epe_search: 40.0,
+            spline_normals: true,
+        };
+        correct_shapes(std::slice::from_mut(&mut shape), &aerial, 0.3, &step);
+        let after = shape.spline.to_polygon(8).area();
+        assert!(after > before, "area {before} -> {after} should grow");
+    }
+
+    #[test]
+    fn moves_bounded_by_step_limit() {
+        let mut shape = square_shape(100.0, 100.0);
+        let before: Vec<Point> = shape.spline.control_points().to_vec();
+        let aerial = disc_field(128, 128, 2.0, Point::new(150.0, 150.0), 90.0);
+        let step = CorrectionStep {
+            step_limit: 2.0,
+            smooth_window: 1,
+            epe_search: 40.0,
+            spline_normals: true,
+        };
+        correct_shapes(std::slice::from_mut(&mut shape), &aerial, 0.3, &step);
+        for (b, a) in before.iter().zip(shape.spline.control_points()) {
+            assert!(b.distance(*a) <= 2.0 + 1e-9, "move exceeded step limit");
+        }
+    }
+
+    #[test]
+    fn relax_pulls_spike_toward_neighbors() {
+        let mut shape = square_shape(100.0, 100.0);
+        // Inject a spike.
+        let spike_idx = 0;
+        let orig = shape.spline.control_points()[spike_idx];
+        shape.spline.control_points_mut()[spike_idx] = orig + Point::new(-30.0, -30.0);
+        let spiked = shape.spline.control_points()[spike_idx];
+        relax_shape(&mut shape, 0.5);
+        let relaxed = shape.spline.control_points()[spike_idx];
+        // The spike moved back toward the loop.
+        assert!(relaxed.distance(orig) < spiked.distance(orig));
+    }
+
+    #[test]
+    fn relax_strength_zero_is_identity() {
+        let mut shape = square_shape(100.0, 100.0);
+        let before = shape.spline.control_points().to_vec();
+        relax_shape(&mut shape, 0.0);
+        assert_eq!(shape.spline.control_points(), &before[..]);
+    }
+
+    #[test]
+    fn relax_shrinks_convex_loops_slightly() {
+        // Laplacian relaxation contracts convex loops; the correction
+        // feedback is what balances it in the full flow.
+        let mut shape = square_shape(100.0, 100.0);
+        let before = shape.spline.to_polygon(8).area();
+        relax_shape(&mut shape, 0.3);
+        let after = shape.spline.to_polygon(8).area();
+        assert!(after < before);
+        assert!(after > 0.7 * before, "one pass should shrink gently");
+    }
+
+    #[test]
+    fn anchor_normal_mode_moves_along_anchor_directions() {
+        let mut shape = square_shape(100.0, 100.0);
+        let anchors = shape.anchors.clone();
+        let before = shape.spline.control_points().to_vec();
+        let aerial = disc_field(128, 128, 2.0, Point::new(150.0, 150.0), 30.0);
+        let step = CorrectionStep {
+            step_limit: 2.0,
+            smooth_window: 0,
+            epe_search: 40.0,
+            spline_normals: false,
+        };
+        correct_shapes(std::slice::from_mut(&mut shape), &aerial, 0.3, &step);
+        for ((b, a), anchor) in before
+            .iter()
+            .zip(shape.spline.control_points())
+            .zip(&anchors)
+        {
+            let delta = *a - *b;
+            if delta.norm() > 1e-9 {
+                // Movement is collinear with the anchor normal.
+                assert!(
+                    delta.normalized().unwrap().cross(anchor.normal).abs() < 1e-9,
+                    "move {delta} not along anchor normal {}",
+                    anchor.normal
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn srafs_are_not_moved() {
+        let mut sraf = Shape::sraf(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(40.0, 0.0),
+                Point::new(40.0, 20.0),
+                Point::new(0.0, 20.0),
+            ],
+            0.6,
+        )
+        .unwrap();
+        let before = sraf.spline.control_points().to_vec();
+        let aerial = disc_field(64, 64, 2.0, Point::new(20.0, 10.0), 50.0);
+        let step = CorrectionStep {
+            step_limit: 2.0,
+            smooth_window: 1,
+            epe_search: 40.0,
+            spline_normals: true,
+        };
+        let total = correct_shapes(std::slice::from_mut(&mut sraf), &aerial, 0.3, &step);
+        assert_eq!(total, 0.0);
+        assert_eq!(sraf.spline.control_points(), &before[..]);
+    }
+
+    #[test]
+    fn converges_on_synthetic_field() {
+        // Repeated correction against a fixed-contour field drives the
+        // boundary to the contour (the EPE at anchors is field-determined,
+        // but the *mask* matches when the mask boundary reaches where the
+        // anchors' EPE reports zero; here the field contour is a disc of
+        // the target's inscribed size, so EPE is constant and moves stop
+        // once clamped steps shrink).
+        let mut shape = square_shape(100.0, 100.0);
+        let aerial = disc_field(128, 128, 2.0, Point::new(150.0, 150.0), 50.0);
+        let step = CorrectionStep {
+            step_limit: 2.0,
+            smooth_window: 1,
+            epe_search: 40.0,
+            spline_normals: true,
+        };
+        let e0 = correct_shapes(std::slice::from_mut(&mut shape), &aerial, 0.3, &step);
+        // EPE at frozen anchors doesn't change (field is fixed), but the
+        // mask keeps moving; just verify the sweep is deterministic and
+        // finite.
+        assert!(e0.is_finite());
+        for p in shape.spline.control_points() {
+            assert!(p.is_finite());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Edge dissection (Fig. 3(b)): short segments around corners, longer
+//! segments elsewhere.
+
+use cardopc_geometry::{Point, Polygon};
+
+/// One dissected sub-edge of a target polygon.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DissectedSegment {
+    /// Segment start (walk order along the boundary).
+    pub a: Point,
+    /// Segment end.
+    pub b: Point,
+    /// `true` when this is one of the shorter corner segments.
+    pub is_corner: bool,
+    /// Unit outward normal of the original edge.
+    pub outward: Point,
+}
+
+impl DissectedSegment {
+    /// Segment midpoint — the canonical control point / EPE anchor site.
+    pub fn midpoint(&self) -> Point {
+        self.a.lerp(self.b, 0.5)
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+}
+
+/// Dissects every edge of `poly` into corner segments of length `l_c` and
+/// uniform segments of roughly `l_u` (Fig. 3(b)). Segments are returned in
+/// boundary walk order; the polygon is normalised to counter-clockwise
+/// first so outward normals are consistent.
+///
+/// Short edges (length ≤ 2·l_c) become a single corner segment.
+///
+/// # Panics
+///
+/// Panics when `l_c` or `l_u` is not strictly positive.
+///
+/// ```
+/// use cardopc_geometry::{Point, Polygon};
+/// use cardopc_opc::dissect_polygon;
+///
+/// let square = Polygon::rect(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+/// let segs = dissect_polygon(&square, 20.0, 30.0);
+/// // Each 100 nm edge: corner(20) + 2x30 + corner(20) = 4 segments.
+/// assert_eq!(segs.len(), 16);
+/// assert!(segs.iter().filter(|s| s.is_corner).count() == 8);
+/// ```
+pub fn dissect_polygon(poly: &Polygon, l_c: f64, l_u: f64) -> Vec<DissectedSegment> {
+    assert!(l_c > 0.0 && l_u > 0.0, "dissection lengths must be positive");
+    let ccw = poly.clone().into_ccw();
+    let mut out = Vec::new();
+    for edge in ccw.edges() {
+        let len = edge.length();
+        let Some(dir) = edge.delta().normalized() else {
+            continue;
+        };
+        // CCW ring: interior on the left, outward on the right.
+        let outward = -dir.perp();
+        let mut push = |t0: f64, t1: f64, is_corner: bool| {
+            out.push(DissectedSegment {
+                a: edge.at(t0 / len),
+                b: edge.at(t1 / len),
+                is_corner,
+                outward,
+            });
+        };
+        if len <= 2.0 * l_c {
+            push(0.0, len, true);
+            continue;
+        }
+        push(0.0, l_c, true);
+        let middle = len - 2.0 * l_c;
+        let count = (middle / l_u).ceil().max(1.0) as usize;
+        let step = middle / count as f64;
+        for k in 0..count {
+            push(l_c + k as f64 * step, l_c + (k + 1) as f64 * step, false);
+        }
+        push(len - l_c, len, true);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(w: f64) -> Polygon {
+        Polygon::rect(Point::new(0.0, 0.0), Point::new(w, w))
+    }
+
+    #[test]
+    fn segments_cover_boundary_exactly() {
+        let poly = square(100.0);
+        let segs = dissect_polygon(&poly, 20.0, 30.0);
+        let total: f64 = segs.iter().map(|s| s.length()).sum();
+        assert!((total - poly.perimeter()).abs() < 1e-9);
+        // Walk order is continuous.
+        for w in segs.windows(2) {
+            assert!(w[0].b.distance(w[1].a) < 1e-9, "gap in dissection walk");
+        }
+    }
+
+    #[test]
+    fn corner_segments_have_length_lc() {
+        let segs = dissect_polygon(&square(100.0), 20.0, 30.0);
+        for s in segs.iter().filter(|s| s.is_corner) {
+            assert!((s.length() - 20.0).abs() < 1e-9);
+        }
+        for s in segs.iter().filter(|s| !s.is_corner) {
+            assert!(s.length() <= 30.0 + 1e-9);
+            assert!(s.length() >= 15.0);
+        }
+    }
+
+    #[test]
+    fn short_edges_single_corner_segment() {
+        // 70 nm via with l_c = 20, l_u = 30: middle = 30 -> 1 uniform
+        // segment; but a 35 nm edge (< 2*20) is one corner segment.
+        let tiny = square(35.0);
+        let segs = dissect_polygon(&tiny, 20.0, 30.0);
+        assert_eq!(segs.len(), 4);
+        assert!(segs.iter().all(|s| s.is_corner));
+    }
+
+    #[test]
+    fn via_sized_square_dissection() {
+        // 70 nm square, via preset: per edge corner(20) + 30 + corner(20).
+        let segs = dissect_polygon(&square(70.0), 20.0, 30.0);
+        assert_eq!(segs.len(), 12);
+        assert_eq!(segs.iter().filter(|s| s.is_corner).count(), 8);
+    }
+
+    #[test]
+    fn outward_normals_point_away_from_centroid() {
+        let poly = square(100.0);
+        let c = poly.centroid();
+        for s in dissect_polygon(&poly, 20.0, 30.0) {
+            let m = s.midpoint();
+            assert!(
+                (m + s.outward * 1.0).distance(c) > m.distance(c),
+                "normal not outward at {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn cw_input_same_normals_as_ccw() {
+        let mut cw = square(100.0);
+        cw.reverse();
+        let a = dissect_polygon(&square(100.0), 20.0, 30.0);
+        let b = dissect_polygon(&cw, 20.0, 30.0);
+        assert_eq!(a.len(), b.len());
+        // Both normalised to CCW: outward normal sets must match.
+        let mut na: Vec<(i64, i64)> = a
+            .iter()
+            .map(|s| ((s.outward.x * 10.0) as i64, (s.outward.y * 10.0) as i64))
+            .collect();
+        let mut nb: Vec<(i64, i64)> = b
+            .iter()
+            .map(|s| ((s.outward.x * 10.0) as i64, (s.outward.y * 10.0) as i64))
+            .collect();
+        na.sort_unstable();
+        nb.sort_unstable();
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn uniform_segments_evenly_sized() {
+        // 200 nm edge, l_c = 20, l_u = 30 -> middle 160 -> 6 segments of
+        // 26.67 nm.
+        let segs = dissect_polygon(&square(200.0), 20.0, 30.0);
+        let uniform: Vec<_> = segs.iter().filter(|s| !s.is_corner).collect();
+        assert_eq!(uniform.len(), 24);
+        for s in &uniform {
+            assert!((s.length() - 160.0 / 6.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_lengths_panic() {
+        let _ = dissect_polygon(&square(10.0), 0.0, 30.0);
+    }
+}

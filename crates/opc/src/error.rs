@@ -1,0 +1,77 @@
+//! Error type for the OPC flows.
+
+use cardopc_litho::LithoError;
+use cardopc_spline::SplineError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the OPC pipelines.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum OpcError {
+    /// The lithography engine rejected a configuration or mask.
+    Litho(LithoError),
+    /// Spline construction failed (degenerate shape).
+    Spline(SplineError),
+    /// The clip contains no target shapes.
+    EmptyClip,
+    /// The clip does not fit the simulation grid.
+    ClipTooLarge {
+        /// Requested clip extent in pixels.
+        needed: usize,
+        /// Maximum supported grid edge.
+        max: usize,
+    },
+}
+
+impl fmt::Display for OpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpcError::Litho(e) => write!(f, "lithography error: {e}"),
+            OpcError::Spline(e) => write!(f, "spline error: {e}"),
+            OpcError::EmptyClip => write!(f, "clip contains no target shapes"),
+            OpcError::ClipTooLarge { needed, max } => {
+                write!(f, "clip needs a {needed}-pixel grid, maximum is {max}")
+            }
+        }
+    }
+}
+
+impl Error for OpcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OpcError::Litho(e) => Some(e),
+            OpcError::Spline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LithoError> for OpcError {
+    fn from(e: LithoError) -> Self {
+        OpcError::Litho(e)
+    }
+}
+
+impl From<SplineError> for OpcError {
+    fn from(e: SplineError) -> Self {
+        OpcError::Spline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = OpcError::from(LithoError::InvalidOptics("na"));
+        assert!(e.to_string().contains("lithography"));
+        assert!(e.source().is_some());
+        assert!(OpcError::EmptyClip.source().is_none());
+        let big = OpcError::ClipTooLarge { needed: 9000, max: 4096 };
+        assert!(big.to_string().contains("9000"));
+        let s = OpcError::from(SplineError::InvalidTension);
+        assert!(s.to_string().contains("spline"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Rule-based SRAF insertion (Fig. 3(a)).
+//!
+//! For every sufficiently long main-pattern edge an assist feature of
+//! length `l_s = r·l_m` is placed `d_ms` away from the edge, parallel to
+//! it, provided the spot is free of other patterns and SRAFs. The paper
+//! also allows SRAFs from external tools or ILT fitting (§III-G); this
+//! module is the built-in rule-based path.
+
+use crate::config::SrafConfig;
+use crate::control::OpcShape;
+use cardopc_geometry::{BBox, Point, Polygon, RTree};
+use cardopc_spline::SplineError;
+
+/// Generates SRAF shapes for a set of target polygons.
+///
+/// Returns the assist features as [`OpcShape`]s (uniform spline
+/// representation, as §III-B prescribes). Placement is collision-checked
+/// against the targets and already-placed SRAFs with an R-tree.
+///
+/// # Errors
+///
+/// Propagates [`SplineError`] if an SRAF loop is degenerate (cannot happen
+/// for positive dimensions, but the constructor is fallible).
+pub fn insert_srafs(
+    targets: &[Polygon],
+    config: &SrafConfig,
+    tension: f64,
+    window: BBox,
+) -> Result<Vec<OpcShape>, SplineError> {
+    let mut occupied: RTree<()> = RTree::bulk_load(
+        targets
+            .iter()
+            .map(|t| (t.bbox(), ()))
+            .collect(),
+    );
+
+    let mut srafs = Vec::new();
+    for target in targets {
+        let ccw = target.clone().into_ccw();
+        for edge in ccw.edges() {
+            let l_m = edge.length();
+            if l_m < config.min_edge {
+                continue;
+            }
+            let Some(dir) = edge.delta().normalized() else {
+                continue;
+            };
+            let outward = -dir.perp();
+            let l_s = config.length_ratio * l_m;
+
+            // SRAF rectangle: centred on the edge, d_ms away, w wide.
+            let center = edge.midpoint() + outward * (config.distance + config.width * 0.5);
+            let half_len = dir * (l_s * 0.5);
+            let half_wid = outward * (config.width * 0.5);
+            let corners = [
+                center - half_len - half_wid,
+                center + half_len - half_wid,
+                center + half_len + half_wid,
+                center - half_len + half_wid,
+            ];
+            let bbox = BBox::from_points(corners.iter().copied());
+
+            if !window.contains_bbox(&bbox) {
+                continue;
+            }
+            // Keep clear of everything already on the mask (with a margin
+            // of half the SRAF-to-pattern distance).
+            let clearance = bbox.expanded(config.distance * 0.4);
+            if occupied.query_indices(&clearance).into_iter().next().is_some() {
+                continue;
+            }
+
+            occupied.insert(bbox, ());
+            srafs.push(OpcShape::sraf(sraf_control_points(&corners), tension)?);
+        }
+    }
+    Ok(srafs)
+}
+
+/// Control points for an SRAF rectangle: a stadium-shaped loop — evenly
+/// spaced points along each long edge plus one cap point per short edge.
+/// Unlike an ellipse (whose tapering tips trip width probes) the stadium
+/// keeps near-constant width along its length with blunt, large-radius
+/// caps; long edges get a control point roughly every 60 nm so the spline
+/// cannot sag below the width rules between points.
+///
+/// `corners` are in order: the edge `corners[0] -> corners[1]` and the
+/// edge `corners[2] -> corners[3]` are the long sides.
+fn sraf_control_points(corners: &[Point; 4]) -> Vec<Point> {
+    let side_len = corners[0].distance(corners[1]);
+    let n_side = ((side_len / 60.0).ceil() as usize).max(2);
+    let side = |a: Point, b: Point, out: &mut Vec<Point>| {
+        for k in 0..n_side {
+            // Spread between 15% and 85% of the edge, leaving the caps room.
+            let t = 0.15 + 0.7 * k as f64 / (n_side - 1) as f64;
+            out.push(a.lerp(b, t));
+        }
+    };
+    let mut pts = Vec::with_capacity(2 * n_side + 2);
+    side(corners[0], corners[1], &mut pts);
+    pts.push(corners[1].lerp(corners[2], 0.5)); // cap
+    side(corners[2], corners[3], &mut pts);
+    pts.push(corners[3].lerp(corners[0], 0.5)); // cap
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> BBox {
+        BBox::new(Point::ZERO, Point::new(2000.0, 2000.0))
+    }
+
+    #[test]
+    fn isolated_square_gets_four_srafs() {
+        let target = Polygon::rect(Point::new(900.0, 900.0), Point::new(1000.0, 1000.0));
+        let srafs = insert_srafs(&[target], &SrafConfig::default(), 0.6, window()).unwrap();
+        assert_eq!(srafs.len(), 4);
+        for s in &srafs {
+            assert!(s.is_sraf);
+            assert!(s.control_count() >= 6);
+        }
+    }
+
+    #[test]
+    fn srafs_at_configured_distance() {
+        let target = Polygon::rect(Point::new(900.0, 900.0), Point::new(1000.0, 1000.0));
+        let cfg = SrafConfig::default();
+        let srafs = insert_srafs(std::slice::from_ref(&target), &cfg, 0.6, window()).unwrap();
+        for s in &srafs {
+            let poly = s.spline.to_polygon(4);
+            let gap = poly
+                .vertices()
+                .iter()
+                .map(|&v| target.boundary_distance(v))
+                .fold(f64::INFINITY, f64::min);
+            // Nearest SRAF boundary point sits roughly d_ms away (the
+            // spline rounds corners, so allow slack).
+            assert!(
+                (gap - cfg.distance).abs() < 15.0,
+                "SRAF gap {gap}, expected ~{}",
+                cfg.distance
+            );
+        }
+    }
+
+    #[test]
+    fn short_edges_get_no_sraf() {
+        let tiny = Polygon::rect(Point::new(900.0, 900.0), Point::new(940.0, 940.0));
+        let cfg = SrafConfig {
+            min_edge: 60.0,
+            ..SrafConfig::default()
+        };
+        let srafs = insert_srafs(&[tiny], &cfg, 0.6, window()).unwrap();
+        assert!(srafs.is_empty());
+    }
+
+    #[test]
+    fn close_neighbours_suppress_srafs_between() {
+        // Two squares 150 nm apart: the space between is too tight for a
+        // 100 nm-distance SRAF with clearance, so facing edges get none.
+        let a = Polygon::rect(Point::new(700.0, 900.0), Point::new(800.0, 1000.0));
+        let b = Polygon::rect(Point::new(950.0, 900.0), Point::new(1050.0, 1000.0));
+        let srafs = insert_srafs(&[a.clone(), b.clone()], &SrafConfig::default(), 0.6, window())
+            .unwrap();
+        // Fewer than the 8 an isolated pair would receive.
+        assert!(srafs.len() < 8, "got {} SRAFs", srafs.len());
+        // And none of them overlaps a target.
+        for s in &srafs {
+            let sb = s.spline.to_polygon(4).bbox();
+            assert!(!sb.intersects(&a.bbox()));
+            assert!(!sb.intersects(&b.bbox()));
+        }
+    }
+
+    #[test]
+    fn srafs_respect_window() {
+        // Target near the window edge: outward SRAF would leave the window.
+        let target = Polygon::rect(Point::new(20.0, 900.0), Point::new(120.0, 1000.0));
+        let srafs = insert_srafs(&[target], &SrafConfig::default(), 0.6, window()).unwrap();
+        for s in &srafs {
+            assert!(window().contains_bbox(&s.spline.to_polygon(4).bbox()));
+        }
+        assert!(srafs.len() < 4);
+    }
+
+    #[test]
+    fn sraf_length_scales_with_edge() {
+        let target = Polygon::rect(Point::new(700.0, 900.0), Point::new(1000.0, 1000.0));
+        let cfg = SrafConfig::default();
+        let srafs = insert_srafs(&[target], &cfg, 0.6, window()).unwrap();
+        // The long (300 nm) edges get SRAFs of ~0.6*300 = 180 nm span.
+        let has_long = srafs.iter().any(|s| {
+            let b = s.spline.to_polygon(4).bbox();
+            (b.width() - 180.0).abs() < 30.0 || (b.height() - 180.0).abs() < 30.0
+        });
+        assert!(has_long);
+    }
+}

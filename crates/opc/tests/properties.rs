@@ -1,0 +1,100 @@
+//! Property-based tests for the OPC flow components.
+
+use cardopc_geometry::{Point, Polygon, SplitMix64};
+use cardopc_opc::{dissect_polygon, outward_normals, OpcShape};
+use proptest::prelude::*;
+
+fn random_rect(seed: u64) -> Polygon {
+    let mut rng = SplitMix64::new(seed);
+    let x0 = rng.range_f64(0.0, 500.0);
+    let y0 = rng.range_f64(0.0, 500.0);
+    Polygon::rect(
+        Point::new(x0, y0),
+        Point::new(x0 + rng.range_f64(50.0, 400.0), y0 + rng.range_f64(50.0, 400.0)),
+    )
+}
+
+proptest! {
+    /// Dissection covers the boundary exactly, walk-continuously, for any
+    /// rectangle and any (positive) dissection lengths.
+    #[test]
+    fn dissection_covers_boundary(seed in 0u64..500, l_c in 5.0..60.0f64, l_u in 10.0..120.0f64) {
+        let poly = random_rect(seed);
+        let segs = dissect_polygon(&poly, l_c, l_u);
+        let total: f64 = segs.iter().map(|s| s.length()).sum();
+        prop_assert!((total - poly.perimeter()).abs() < 1e-6);
+        for w in segs.windows(2) {
+            prop_assert!(w[0].b.distance(w[1].a) < 1e-9);
+        }
+        // Closure: last segment ends at the first segment's start.
+        prop_assert!(segs.last().unwrap().b.distance(segs[0].a) < 1e-9);
+    }
+
+    /// No dissected segment is longer than the uniform length (plus the
+    /// corner allowance when edges are short).
+    #[test]
+    fn dissection_segment_lengths_bounded(seed in 0u64..500, l_c in 5.0..50.0f64, l_u in 10.0..100.0f64) {
+        let poly = random_rect(seed);
+        for s in dissect_polygon(&poly, l_c, l_u) {
+            if s.is_corner {
+                prop_assert!(s.length() <= 2.0 * l_c + 1e-9);
+            } else {
+                prop_assert!(s.length() <= l_u + 1e-9);
+            }
+        }
+    }
+
+    /// Dissection outward normals always point away from the rectangle
+    /// centroid.
+    #[test]
+    fn dissection_normals_outward(seed in 0u64..500) {
+        let poly = random_rect(seed);
+        let c = poly.centroid();
+        for s in dissect_polygon(&poly, 20.0, 40.0) {
+            let m = s.midpoint();
+            prop_assert!((m + s.outward).distance(c) > m.distance(c));
+            prop_assert!((s.outward.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Shape initialisation: anchors lie on the target boundary and the
+    /// control point count equals the segment count, for any corner pull.
+    #[test]
+    fn shape_init_anchor_invariants(seed in 0u64..300, pull in -1.5..1.5f64) {
+        let poly = random_rect(seed);
+        let segs = dissect_polygon(&poly, 20.0, 40.0);
+        let shape = OpcShape::from_dissection_with_pull(&segs, 0.6, pull).unwrap();
+        prop_assert_eq!(shape.control_count(), segs.len());
+        prop_assert_eq!(shape.anchors.len(), segs.len());
+        for a in &shape.anchors {
+            prop_assert!(poly.boundary_distance(a.position) < 1e-9);
+        }
+    }
+
+    /// The initial spline area stays within a sane band of the target area
+    /// for the paper's corner treatment.
+    #[test]
+    fn initial_spline_area_reasonable(seed in 0u64..300) {
+        let poly = random_rect(seed);
+        let segs = dissect_polygon(&poly, 20.0, 40.0);
+        let shape = OpcShape::from_dissection(&segs, 0.6).unwrap();
+        let area = shape.spline.to_polygon(8).area();
+        prop_assert!(area > 0.5 * poly.area() && area < 1.3 * poly.area(),
+                     "initial area {} vs target {}", area, poly.area());
+    }
+
+    /// Outward normals of an initialised shape are unit length and point
+    /// away from the shape centroid (convex targets).
+    #[test]
+    fn shape_outward_normals(seed in 0u64..300) {
+        let poly = random_rect(seed);
+        let segs = dissect_polygon(&poly, 20.0, 40.0);
+        let shape = OpcShape::from_dissection(&segs, 0.6).unwrap();
+        let c = poly.centroid();
+        for (i, n) in outward_normals(&shape).iter().enumerate() {
+            let p = shape.spline.control_points()[i];
+            prop_assert!((n.norm() - 1.0).abs() < 1e-9);
+            prop_assert!((p + *n).distance(c) > p.distance(c) - 1e-9, "cp {i}");
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! Cardinal spline evaluation and differential geometry.
+//!
+//! A cardinal spline interpolates its control points: the curve between
+//! `p_i` and `p_{i+1}` is the cubic
+//!
+//! ```text
+//! p(t) = [1 t t² t³] · S_card · [p_{i-1} p_i p_{i+1} p_{i+2}]ᵀ ,  t ∈ [0,1]
+//!
+//!            ⎡  0    1     0     0 ⎤
+//! S_card  =  ⎢ -s    0     s     0 ⎥          (Eq. 2 of the paper)
+//!            ⎢ 2s   s-3  3-2s   -s ⎥
+//!            ⎣ -s   2-s   s-2    s ⎦
+//! ```
+//!
+//! where `s` is the tension parameter (the paper uses `s = 0.6`). The first
+//! and second parameter derivatives (Eq. 8a and Eq. 10) are polynomials with
+//! the same coefficient vectors, which makes unit normals (Eq. 8c) and the
+//! analytic curvature (Eq. 9) cheap to evaluate — the property that makes
+//! curvilinear MRC tractable.
+
+use crate::SplineError;
+use cardopc_geometry::{Point, Polygon};
+
+/// The per-segment cubic coefficients `p(t) = c0 + c1·t + c2·t² + c3·t³`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Coeffs {
+    c0: Point,
+    c1: Point,
+    c2: Point,
+    c3: Point,
+}
+
+impl Coeffs {
+    /// Builds the coefficients from the 4-point neighbourhood and tension.
+    fn new(pm1: Point, p0: Point, p1: Point, p2: Point, s: f64) -> Self {
+        Coeffs {
+            c0: p0,
+            c1: (p1 - pm1) * s,
+            c2: pm1 * (2.0 * s) + p0 * (s - 3.0) + p1 * (3.0 - 2.0 * s) - p2 * s,
+            c3: pm1 * (-s) + p0 * (2.0 - s) + p1 * (s - 2.0) + p2 * s,
+        }
+    }
+
+    #[inline]
+    fn point(&self, t: f64) -> Point {
+        // Horner evaluation.
+        self.c0 + (self.c1 + (self.c2 + self.c3 * t) * t) * t
+    }
+
+    #[inline]
+    fn derivative(&self, t: f64) -> Point {
+        self.c1 + (self.c2 * 2.0 + self.c3 * (3.0 * t)) * t
+    }
+
+    #[inline]
+    fn second_derivative(&self, t: f64) -> Point {
+        self.c2 * 2.0 + self.c3 * (6.0 * t)
+    }
+}
+
+/// An interpolating cardinal spline through a sequence of control points.
+///
+/// Closed splines (mask shape boundaries) wrap their index arithmetic; open
+/// splines clamp the end neighbourhoods by repeating the terminal points.
+///
+/// Segment `i` spans control points `p_i` (at local parameter `t = 0`) to
+/// `p_{i+1}` (`t = 1`). A closed spline over `n` points has `n` segments, an
+/// open spline `n - 1`.
+///
+/// ```
+/// use cardopc_geometry::Point;
+/// use cardopc_spline::CardinalSpline;
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(10.0, 10.0),
+///     Point::new(0.0, 10.0),
+/// ];
+/// let spline = CardinalSpline::closed(pts, 0.6)?;
+/// assert_eq!(spline.segment_count(), 4);
+/// let mid = spline.point(0, 0.5);
+/// assert!(mid.x > 0.0 && mid.x < 10.0);
+/// # Ok::<(), cardopc_spline::SplineError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CardinalSpline {
+    points: Vec<Point>,
+    tension: f64,
+    closed: bool,
+}
+
+impl CardinalSpline {
+    /// Creates a closed (looping) spline.
+    ///
+    /// # Errors
+    ///
+    /// [`SplineError::TooFewPoints`] with fewer than 3 points,
+    /// [`SplineError::InvalidTension`] for non-finite tension,
+    /// [`SplineError::NonFinitePoint`] when a coordinate is NaN/infinite.
+    pub fn closed(points: Vec<Point>, tension: f64) -> Result<Self, SplineError> {
+        Self::validate(&points, tension, 3)?;
+        Ok(CardinalSpline {
+            points,
+            tension,
+            closed: true,
+        })
+    }
+
+    /// Creates an open spline (end tangents clamped).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CardinalSpline::closed`], but at least 2 points are
+    /// required.
+    pub fn open(points: Vec<Point>, tension: f64) -> Result<Self, SplineError> {
+        Self::validate(&points, tension, 2)?;
+        Ok(CardinalSpline {
+            points,
+            tension,
+            closed: false,
+        })
+    }
+
+    fn validate(points: &[Point], tension: f64, need: usize) -> Result<(), SplineError> {
+        if points.len() < need {
+            return Err(SplineError::TooFewPoints {
+                got: points.len(),
+                need,
+            });
+        }
+        if !tension.is_finite() {
+            return Err(SplineError::InvalidTension);
+        }
+        if points.iter().any(|p| !p.is_finite()) {
+            return Err(SplineError::NonFinitePoint);
+        }
+        Ok(())
+    }
+
+    /// The control points.
+    #[inline]
+    pub fn control_points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Mutable access to the control points (the OPC correction loop moves
+    /// them in place).
+    #[inline]
+    pub fn control_points_mut(&mut self) -> &mut [Point] {
+        &mut self.points
+    }
+
+    /// Tension parameter `s`.
+    #[inline]
+    pub fn tension(&self) -> f64 {
+        self.tension
+    }
+
+    /// `true` for a closed loop.
+    #[inline]
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Number of cubic segments.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        if self.closed {
+            self.points.len()
+        } else {
+            self.points.len() - 1
+        }
+    }
+
+    /// Control point by wrapped/clamped signed index.
+    #[inline]
+    fn neighbor(&self, i: isize) -> Point {
+        let n = self.points.len() as isize;
+        let idx = if self.closed {
+            i.rem_euclid(n)
+        } else {
+            i.clamp(0, n - 1)
+        };
+        self.points[idx as usize]
+    }
+
+    fn coeffs(&self, segment: usize) -> Coeffs {
+        debug_assert!(segment < self.segment_count(), "segment out of range");
+        let i = segment as isize;
+        Coeffs::new(
+            self.neighbor(i - 1),
+            self.neighbor(i),
+            self.neighbor(i + 1),
+            self.neighbor(i + 2),
+            self.tension,
+        )
+    }
+
+    /// Curve position on `segment` at local parameter `t ∈ [0, 1]` (Eq. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when `segment >= segment_count()`.
+    pub fn point(&self, segment: usize, t: f64) -> Point {
+        self.coeffs(segment).point(t)
+    }
+
+    /// First parameter derivative `g(t) = p'(t)` (Eq. 8a).
+    pub fn derivative(&self, segment: usize, t: f64) -> Point {
+        self.coeffs(segment).derivative(t)
+    }
+
+    /// Second parameter derivative `p''(t)` (Eq. 10).
+    pub fn second_derivative(&self, segment: usize, t: f64) -> Point {
+        self.coeffs(segment).second_derivative(t)
+    }
+
+    /// Unit tangent `ḡ(t)` (Eq. 8b); `None` where the derivative vanishes.
+    pub fn tangent(&self, segment: usize, t: f64) -> Option<Point> {
+        self.derivative(segment, t).normalized()
+    }
+
+    /// Unit normal `n(t) = (-ḡ_y, ḡ_x)` (Eq. 8c); `None` where the
+    /// derivative vanishes.
+    ///
+    /// The normal is the tangent rotated +90° (counter-clockwise). For a
+    /// counter-clockwise loop it therefore points *into* the enclosed
+    /// region; callers that need the outward direction on CCW loops should
+    /// negate it.
+    pub fn normal(&self, segment: usize, t: f64) -> Option<Point> {
+        self.tangent(segment, t).map(Point::perp)
+    }
+
+    /// Signed curvature `κ(t)` (Eq. 9):
+    /// `(p'_x · p''_y − p''_x · p'_y) / ‖p'‖³`.
+    ///
+    /// Returns `0` where the derivative vanishes. The curvature-rule check
+    /// compares `|κ|` against `C_curv`.
+    pub fn curvature(&self, segment: usize, t: f64) -> f64 {
+        let c = self.coeffs(segment);
+        let d1 = c.derivative(t);
+        let d2 = c.second_derivative(t);
+        let n = d1.norm();
+        if n < 1e-12 {
+            return 0.0;
+        }
+        d1.cross(d2) / (n * n * n)
+    }
+
+    /// Samples the whole curve with `per_segment` points per segment
+    /// (uniform in `t`), in curve order.
+    ///
+    /// For a closed spline the result traverses the full loop exactly once
+    /// (no duplicated closing point); for an open spline the final control
+    /// point is appended so the polyline reaches the end.
+    ///
+    /// This is the "connect the control points" step of the OPC flow — the
+    /// operation the §IV-D ablation times against Bézier splines.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `per_segment == 0`.
+    pub fn sample(&self, per_segment: usize) -> Vec<Point> {
+        assert!(per_segment > 0, "need at least one sample per segment");
+        let segs = self.segment_count();
+        let mut out = Vec::with_capacity(segs * per_segment + 1);
+        for seg in 0..segs {
+            let c = self.coeffs(seg);
+            for k in 0..per_segment {
+                let t = k as f64 / per_segment as f64;
+                out.push(c.point(t));
+            }
+        }
+        if !self.closed {
+            out.push(*self.points.last().expect("validated non-empty"));
+        }
+        out
+    }
+
+    /// Samples the loop into a [`Polygon`] (closed splines only make sense
+    /// here, but open splines simply produce the open polyline closed by a
+    /// straight edge).
+    pub fn to_polygon(&self, per_segment: usize) -> Polygon {
+        Polygon::new(self.sample(per_segment))
+    }
+
+    /// Approximate total arc length using `per_segment` linear subdivisions.
+    pub fn arc_length(&self, per_segment: usize) -> f64 {
+        let pts = self.sample(per_segment.max(1));
+        let mut len = 0.0;
+        for w in pts.windows(2) {
+            len += w[0].distance(w[1]);
+        }
+        if self.closed {
+            if let (Some(&last), Some(&first)) = (pts.last(), pts.first()) {
+                len += last.distance(first);
+            }
+        }
+        len
+    }
+
+    /// The sampling weights of Eq. 2: the contribution of the 4-point
+    /// neighbourhood `[p_{i-1}, p_i, p_{i+1}, p_{i+2}]` to `p(t)` is linear
+    /// with these 4 scalar weights.
+    ///
+    /// The ILT-fitting gradient (Algorithm 1) relies on this linearity.
+    pub fn basis_weights(tension: f64, t: f64) -> [f64; 4] {
+        let s = tension;
+        let t2 = t * t;
+        let t3 = t2 * t;
+        [
+            -s * t + 2.0 * s * t2 - s * t3,
+            1.0 + (s - 3.0) * t2 + (2.0 - s) * t3,
+            s * t + (3.0 - 2.0 * s) * t2 + (s - 2.0) * t3,
+            -s * t2 + s * t3,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(
+            CardinalSpline::closed(vec![Point::ZERO, Point::new(1.0, 0.0)], 0.6),
+            Err(SplineError::TooFewPoints { got: 2, need: 3 })
+        );
+        assert_eq!(
+            CardinalSpline::closed(square(), f64::NAN),
+            Err(SplineError::InvalidTension)
+        );
+        assert_eq!(
+            CardinalSpline::closed(
+                vec![Point::ZERO, Point::new(f64::NAN, 0.0), Point::new(1.0, 1.0)],
+                0.6
+            ),
+            Err(SplineError::NonFinitePoint)
+        );
+        assert!(CardinalSpline::open(vec![Point::ZERO, Point::new(1.0, 0.0)], 0.6).is_ok());
+    }
+
+    #[test]
+    fn interpolates_control_points() {
+        let sp = CardinalSpline::closed(square(), 0.6).unwrap();
+        for (i, &p) in square().iter().enumerate() {
+            assert_eq!(sp.point(i, 0.0), p, "p({i}, 0) should be control point");
+        }
+        // Segment end equals next control point.
+        for i in 0..4 {
+            let next = square()[(i + 1) % 4];
+            assert!(sp.point(i, 1.0).distance(next) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interpolation_holds_for_any_tension() {
+        for &s in &[0.0, 0.3, 0.5, 0.6, 1.0, 2.0, -0.5] {
+            let sp = CardinalSpline::closed(square(), s).unwrap();
+            for i in 0..4 {
+                assert!(sp.point(i, 0.0).distance(square()[i]) < 1e-12, "tension {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tension_gives_straight_segments() {
+        // With s = 0 the cubic degenerates: c1 = 0, and the curve becomes a
+        // Hermite blend with zero end tangents — still passing through the
+        // endpoints but flat. Verify midpoint is the chord midpoint for a
+        // straight-line configuration.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+        ];
+        let sp = CardinalSpline::open(pts, 0.0).unwrap();
+        let m = sp.point(1, 0.5);
+        assert!((m.y).abs() < 1e-12);
+        assert!(m.x > 1.0 && m.x < 2.0);
+    }
+
+    #[test]
+    fn collinear_points_stay_collinear() {
+        let pts = vec![
+            Point::new(0.0, 5.0),
+            Point::new(2.0, 5.0),
+            Point::new(5.0, 5.0),
+            Point::new(9.0, 5.0),
+        ];
+        let sp = CardinalSpline::open(pts, 0.6).unwrap();
+        for seg in 0..sp.segment_count() {
+            for k in 0..=10 {
+                let t = k as f64 / 10.0;
+                assert!((sp.point(seg, t).y - 5.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let sp = CardinalSpline::closed(square(), 0.6).unwrap();
+        let h = 1e-6;
+        for seg in 0..4 {
+            for k in 1..10 {
+                let t = k as f64 / 10.0;
+                let fd = (sp.point(seg, t + h) - sp.point(seg, t - h)) / (2.0 * h);
+                let an = sp.derivative(seg, t);
+                assert!((fd - an).norm() < 1e-5, "seg {seg} t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn second_derivative_matches_finite_difference() {
+        let sp = CardinalSpline::closed(square(), 0.6).unwrap();
+        let h = 1e-5;
+        for seg in 0..4 {
+            for k in 1..10 {
+                let t = k as f64 / 10.0;
+                let fd = (sp.point(seg, t + h) + sp.point(seg, t - h) - sp.point(seg, t) * 2.0)
+                    / (h * h);
+                let an = sp.second_derivative(seg, t);
+                assert!((fd - an).norm() < 1e-3, "seg {seg} t {t}: fd {fd} an {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn tangent_and_normal_are_unit_and_orthogonal() {
+        let sp = CardinalSpline::closed(square(), 0.6).unwrap();
+        for seg in 0..4 {
+            let t = 0.3;
+            let tan = sp.tangent(seg, t).unwrap();
+            let nor = sp.normal(seg, t).unwrap();
+            assert!((tan.norm() - 1.0).abs() < 1e-12);
+            assert!((nor.norm() - 1.0).abs() < 1e-12);
+            assert!(tan.dot(nor).abs() < 1e-12);
+            // Eq. 8c: n = (-g_y, g_x).
+            assert_eq!(nor, tan.perp());
+        }
+    }
+
+    #[test]
+    fn circle_curvature_close_to_reciprocal_radius() {
+        // 16 points on a radius-50 circle: the interpolating spline should
+        // have curvature close to 1/50 everywhere (sign: CCW loop -> positive
+        // with our convention).
+        let n = 16;
+        let r = 50.0;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let th = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                Point::new(r * th.cos(), r * th.sin())
+            })
+            .collect();
+        let sp = CardinalSpline::closed(pts, 0.5).unwrap();
+        for seg in 0..n {
+            for k in 0..5 {
+                let t = k as f64 / 5.0;
+                let kappa = sp.curvature(seg, t);
+                assert!(
+                    (kappa - 1.0 / r).abs() < 0.3 / r,
+                    "seg {seg} t {t}: curvature {kappa} vs {}",
+                    1.0 / r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_zero_curvature() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        let sp = CardinalSpline::open(pts, 0.6).unwrap();
+        assert!(sp.curvature(1, 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_counts() {
+        let sp = CardinalSpline::closed(square(), 0.6).unwrap();
+        assert_eq!(sp.sample(8).len(), 32);
+        let open = CardinalSpline::open(square(), 0.6).unwrap();
+        assert_eq!(open.sample(8).len(), 3 * 8 + 1);
+    }
+
+    #[test]
+    fn sampled_loop_has_positive_area_for_ccw_points() {
+        let sp = CardinalSpline::closed(square(), 0.6).unwrap();
+        let poly = sp.to_polygon(16);
+        assert!(poly.signed_area() > 0.0);
+        // With s = 0.6 each side bulges ~1.5 nm outward (p(0.5) of the
+        // bottom segment is (5, -1.5)), adding ~10 nm^2 per side.
+        assert!(poly.area() > 100.0 && poly.area() < 150.0, "area {}", poly.area());
+    }
+
+    #[test]
+    fn arc_length_of_circle() {
+        let n = 32;
+        let r = 10.0;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let th = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                Point::new(r * th.cos(), r * th.sin())
+            })
+            .collect();
+        let sp = CardinalSpline::closed(pts, 0.5).unwrap();
+        let len = sp.arc_length(16);
+        let expected = 2.0 * std::f64::consts::PI * r;
+        assert!((len - expected).abs() < 0.05 * expected, "len {len}");
+    }
+
+    #[test]
+    fn basis_weights_partition_of_unity_at_endpoints() {
+        for &s in &[0.0, 0.5, 0.6, 1.0] {
+            let w0 = CardinalSpline::basis_weights(s, 0.0);
+            assert_eq!(w0, [0.0, 1.0, 0.0, 0.0]);
+            let w1 = CardinalSpline::basis_weights(s, 1.0);
+            assert!((w1[0]).abs() < 1e-12);
+            assert!((w1[1]).abs() < 1e-12);
+            assert!((w1[2] - 1.0).abs() < 1e-12);
+            assert!((w1[3]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn basis_weights_match_point_evaluation() {
+        let sq = square();
+        let sp = CardinalSpline::closed(sq.clone(), 0.6).unwrap();
+        for seg in 0..4 {
+            for k in 0..=10 {
+                let t = k as f64 / 10.0;
+                let w = CardinalSpline::basis_weights(0.6, t);
+                let n = sq.len() as isize;
+                let at = |j: isize| sq[j.rem_euclid(n) as usize];
+                let manual = at(seg as isize - 1) * w[0]
+                    + at(seg as isize) * w[1]
+                    + at(seg as isize + 1) * w[2]
+                    + at(seg as isize + 2) * w[3];
+                assert!(manual.distance(sp.point(seg, t)) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_always_sum_to_one() {
+        for &s in &[0.0, 0.3, 0.6, 1.0, 1.7] {
+            for k in 0..=20 {
+                let t = k as f64 / 20.0;
+                let w = CardinalSpline::basis_weights(s, t);
+                let sum: f64 = w.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-12, "s {s} t {t} sum {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn open_spline_clamps_ends() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0)];
+        let sp = CardinalSpline::open(pts, 0.6).unwrap();
+        assert_eq!(sp.segment_count(), 1);
+        assert_eq!(sp.point(0, 0.0), Point::new(0.0, 0.0));
+        assert!(sp.point(0, 1.0).distance(Point::new(5.0, 5.0)) < 1e-12);
+    }
+
+    #[test]
+    fn control_points_mut_moves_curve() {
+        let mut sp = CardinalSpline::closed(square(), 0.6).unwrap();
+        sp.control_points_mut()[0] = Point::new(-5.0, -5.0);
+        assert_eq!(sp.point(0, 0.0), Point::new(-5.0, -5.0));
+    }
+}

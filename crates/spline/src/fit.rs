@@ -1,0 +1,366 @@
+//! Fitting cardinal splines to contours (Algorithm 1 of the paper).
+//!
+//! The ILT-OPC hybrid flow extracts the boundary `P_i` of every shape in an
+//! ILT-optimised mask image, samples a control point set `Q` (ratio `r_Q`)
+//! and a denser reference point set `R` (ratio `r_R`) from it, then runs
+//! gradient descent on `Q` to minimise `‖F(Q) − R‖²`, where `F` interpolates
+//! the closed cardinal spline through `Q` at `|R|` evenly spaced parameters.
+//!
+//! Because `F` is *linear* in `Q` (each interpolated point is a fixed
+//! 4-weight combination of neighbouring control points, see
+//! [`CardinalSpline::basis_weights`]), the gradient is analytic and exact —
+//! no autodiff needed. The optimiser is Adam, as the paper suggests.
+
+use crate::{CardinalSpline, SplineError};
+use cardopc_geometry::{Point, Polygon};
+
+/// Configuration of the contour-fitting optimisation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FitConfig {
+    /// Fraction `r_Q` of boundary points promoted to control points.
+    pub control_ratio: f64,
+    /// Fraction `r_R` of boundary points used as fitting references.
+    pub reference_ratio: f64,
+    /// Number of Adam iterations `K`.
+    pub iterations: usize,
+    /// Adam learning rate `α` (nanometres per step scale).
+    pub learning_rate: f64,
+    /// Cardinal tension `s` of the fitted spline.
+    pub tension: f64,
+    /// Lower bound on the number of control points, so tiny shapes still
+    /// get a workable spline.
+    pub min_control_points: usize,
+}
+
+impl Default for FitConfig {
+    /// Paper-flavoured defaults: `r_Q = 1/8`, `r_R = 1/2`, `K = 200`,
+    /// `α = 0.5`, `s = 0.6`.
+    fn default() -> Self {
+        FitConfig {
+            control_ratio: 0.125,
+            reference_ratio: 0.5,
+            iterations: 200,
+            learning_rate: 0.5,
+            tension: 0.6,
+            min_control_points: 4,
+        }
+    }
+}
+
+/// Outcome of [`fit_contour`].
+#[derive(Clone, Debug)]
+pub struct FitResult {
+    /// The fitted closed spline.
+    pub spline: CardinalSpline,
+    /// Mean squared error before optimisation (nm²).
+    pub initial_loss: f64,
+    /// Mean squared error after optimisation (nm²).
+    pub final_loss: f64,
+    /// Iterations actually run.
+    pub iterations: usize,
+}
+
+/// Resamples a closed polyline to `n` points evenly spaced by arc length,
+/// starting at the first vertex.
+///
+/// Used to derive both the control point set `Q` and the reference set `R`
+/// from a traced contour.
+///
+/// # Panics
+///
+/// Panics when `points` is empty or `n == 0`.
+pub fn resample_closed(points: &[Point], n: usize) -> Vec<Point> {
+    assert!(!points.is_empty(), "cannot resample an empty polyline");
+    assert!(n > 0, "need at least one sample");
+    let m = points.len();
+    // Cumulative arc length over the closed loop.
+    let mut cum = Vec::with_capacity(m + 1);
+    cum.push(0.0);
+    for i in 0..m {
+        let d = points[i].distance(points[(i + 1) % m]);
+        cum.push(cum[i] + d);
+    }
+    let total = *cum.last().expect("nonempty");
+    if total <= 0.0 {
+        return vec![points[0]; n];
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut seg = 0usize;
+    for k in 0..n {
+        let target = total * k as f64 / n as f64;
+        while seg + 1 < cum.len() && cum[seg + 1] < target {
+            seg += 1;
+        }
+        let seg_len = cum[seg + 1] - cum[seg];
+        let t = if seg_len <= 0.0 {
+            0.0
+        } else {
+            (target - cum[seg]) / seg_len
+        };
+        out.push(points[seg % m].lerp(points[(seg + 1) % m], t));
+    }
+    out
+}
+
+/// Fits a closed cardinal spline to a traced contour (Algorithm 1).
+///
+/// # Errors
+///
+/// * [`SplineError::InvalidRatio`] when a ratio is outside `(0, 1]`,
+/// * [`SplineError::TooFewPoints`] when the contour has fewer than 3
+///   vertices.
+///
+/// ```
+/// use cardopc_geometry::{Point, Polygon};
+/// use cardopc_spline::{fit_contour, FitConfig};
+///
+/// // A dense octagon standing in for a traced ILT contour.
+/// let contour: Polygon = (0..64)
+///     .map(|i| {
+///         let th = std::f64::consts::TAU * i as f64 / 64.0;
+///         Point::new(50.0 + 20.0 * th.cos(), 50.0 + 20.0 * th.sin())
+///     })
+///     .collect();
+/// let fit = fit_contour(&contour, &FitConfig::default())?;
+/// assert!(fit.final_loss <= fit.initial_loss);
+/// # Ok::<(), cardopc_spline::SplineError>(())
+/// ```
+pub fn fit_contour(contour: &Polygon, config: &FitConfig) -> Result<FitResult, SplineError> {
+    if !(0.0..=1.0).contains(&config.control_ratio)
+        || config.control_ratio <= 0.0
+        || !(0.0..=1.0).contains(&config.reference_ratio)
+        || config.reference_ratio <= 0.0
+    {
+        return Err(SplineError::InvalidRatio);
+    }
+    let boundary = contour.vertices();
+    if boundary.len() < 3 {
+        return Err(SplineError::TooFewPoints {
+            got: boundary.len(),
+            need: 3,
+        });
+    }
+
+    let n_q = ((boundary.len() as f64 * config.control_ratio).round() as usize)
+        .max(config.min_control_points.max(3));
+    let n_r = ((boundary.len() as f64 * config.reference_ratio).round() as usize).max(n_q);
+
+    let mut q = resample_closed(boundary, n_q);
+    let r = resample_closed(boundary, n_r);
+
+    // Sampling plan: reference k pairs with spline parameter
+    // u_k = k · n_q / n_r over the closed parameter domain [0, n_q).
+    // Q[0] and R[0] both sit at arc length 0, so index pairing is aligned.
+    let plan: Vec<(usize, f64, [f64; 4])> = (0..n_r)
+        .map(|k| {
+            let u = k as f64 * n_q as f64 / n_r as f64;
+            let seg = (u.floor() as usize).min(n_q - 1);
+            let t = u - seg as f64;
+            (seg, t, CardinalSpline::basis_weights(config.tension, t))
+        })
+        .collect();
+
+    let loss_of = |q: &[Point]| -> f64 {
+        let mut acc = 0.0;
+        for (k, &(seg, _t, w)) in plan.iter().enumerate() {
+            let p = interp(q, seg, &w);
+            acc += p.distance_sq(r[k]);
+        }
+        acc / n_r as f64
+    };
+
+    let initial_loss = loss_of(&q);
+
+    // Adam state.
+    let mut m = vec![Point::ZERO; n_q];
+    let mut v = vec![0.0f64; n_q];
+    let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+
+    let mut grad = vec![Point::ZERO; n_q];
+    for step in 1..=config.iterations {
+        grad.fill(Point::ZERO);
+        for (k, &(seg, _t, w)) in plan.iter().enumerate() {
+            let p = interp(&q, seg, &w);
+            let residual = (p - r[k]) * (2.0 / n_r as f64);
+            for (j, &wj) in w.iter().enumerate() {
+                let idx = wrap(seg as isize + j as isize - 1, n_q);
+                grad[idx] += residual * wj;
+            }
+        }
+        for i in 0..n_q {
+            m[i] = m[i] * beta1 + grad[i] * (1.0 - beta1);
+            v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i].norm_sq();
+            let m_hat = m[i] / (1.0 - beta1.powi(step as i32));
+            let v_hat = v[i] / (1.0 - beta2.powi(step as i32));
+            q[i] -= m_hat * (config.learning_rate / (v_hat.sqrt() + eps));
+        }
+    }
+
+    let final_loss = loss_of(&q);
+    let spline = CardinalSpline::closed(q, config.tension)?;
+    Ok(FitResult {
+        spline,
+        initial_loss,
+        final_loss,
+        iterations: config.iterations,
+    })
+}
+
+#[inline]
+fn wrap(i: isize, n: usize) -> usize {
+    i.rem_euclid(n as isize) as usize
+}
+
+#[inline]
+fn interp(q: &[Point], seg: usize, w: &[f64; 4]) -> Point {
+    let n = q.len();
+    q[wrap(seg as isize - 1, n)] * w[0]
+        + q[seg % n] * w[1]
+        + q[wrap(seg as isize + 1, n)] * w[2]
+        + q[wrap(seg as isize + 2, n)] * w[3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circle(n: usize, r: f64) -> Polygon {
+        (0..n)
+            .map(|i| {
+                let th = std::f64::consts::TAU * i as f64 / n as f64;
+                Point::new(100.0 + r * th.cos(), 100.0 + r * th.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resample_preserves_count_and_location() {
+        let c = circle(100, 50.0);
+        let s = resample_closed(c.vertices(), 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], c.vertices()[0]);
+        // All samples on the circle (radius within polyline chord error).
+        for p in &s {
+            let r = p.distance(Point::new(100.0, 100.0));
+            assert!((r - 50.0).abs() < 0.5, "sample radius {r}");
+        }
+    }
+
+    #[test]
+    fn resample_even_spacing() {
+        let sq = Polygon::rect(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let s = resample_closed(sq.vertices(), 8);
+        // Perimeter 40, so consecutive samples are 5 apart along the walk.
+        for w in s.windows(2) {
+            let d = w[0].distance(w[1]);
+            assert!(d <= 5.0 + 1e-9, "spacing {d}");
+        }
+    }
+
+    #[test]
+    fn resample_degenerate_loop() {
+        let pts = vec![Point::new(1.0, 1.0); 5];
+        let s = resample_closed(&pts, 4);
+        assert_eq!(s, vec![Point::new(1.0, 1.0); 4]);
+    }
+
+    #[test]
+    fn invalid_ratios_rejected() {
+        let c = circle(64, 20.0);
+        for bad in [0.0, -0.5, 1.5] {
+            let cfg = FitConfig {
+                control_ratio: bad,
+                ..FitConfig::default()
+            };
+            assert!(matches!(
+                fit_contour(&c, &cfg),
+                Err(SplineError::InvalidRatio)
+            ));
+            let cfg = FitConfig {
+                reference_ratio: bad,
+                ..FitConfig::default()
+            };
+            assert!(matches!(
+                fit_contour(&c, &cfg),
+                Err(SplineError::InvalidRatio)
+            ));
+        }
+    }
+
+    #[test]
+    fn fit_circle_converges() {
+        let c = circle(128, 40.0);
+        let cfg = FitConfig::default();
+        let fit = fit_contour(&c, &cfg).unwrap();
+        assert!(fit.final_loss <= fit.initial_loss);
+        assert!(
+            fit.final_loss < 0.05,
+            "expected sub-0.05 nm^2 MSE on a circle, got {}",
+            fit.final_loss
+        );
+        // The fitted spline stays close to the circle.
+        let poly = fit.spline.to_polygon(8);
+        for p in poly.vertices() {
+            let r = p.distance(Point::new(100.0, 100.0));
+            assert!((r - 40.0).abs() < 1.0, "fitted point radius {r}");
+        }
+    }
+
+    #[test]
+    fn fit_square_recovers_area() {
+        // Square contour, 200 boundary points.
+        let sq = Polygon::rect(Point::new(20.0, 20.0), Point::new(120.0, 120.0));
+        let dense = resample_closed(sq.vertices(), 200);
+        let dense_poly = Polygon::new(dense);
+        let fit = fit_contour(&dense_poly, &FitConfig::default()).unwrap();
+        let fitted = fit.spline.to_polygon(8);
+        let area = fitted.area();
+        assert!(
+            (area - 10_000.0).abs() < 0.05 * 10_000.0,
+            "fitted area {area}"
+        );
+    }
+
+    #[test]
+    fn too_few_contour_points() {
+        let tiny: Polygon = [Point::ZERO, Point::new(1.0, 0.0)].into_iter().collect();
+        assert!(matches!(
+            fit_contour(&tiny, &FitConfig::default()),
+            Err(SplineError::TooFewPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn min_control_points_respected() {
+        let c = circle(12, 10.0);
+        let cfg = FitConfig {
+            control_ratio: 0.01, // would give 0 control points
+            min_control_points: 6,
+            ..FitConfig::default()
+        };
+        let fit = fit_contour(&c, &cfg).unwrap();
+        assert_eq!(fit.spline.control_points().len(), 6);
+    }
+
+    #[test]
+    fn more_iterations_do_not_hurt() {
+        let c = circle(96, 30.0);
+        let short = fit_contour(
+            &c,
+            &FitConfig {
+                iterations: 10,
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        let long = fit_contour(
+            &c,
+            &FitConfig {
+                iterations: 400,
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(long.final_loss <= short.final_loss + 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: optimise one via-layer clip with CardOPC and print its
+//! scores.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cardopc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // V1: a 2x2 µm clip with two 70 nm vias (synthetic stand-in for the
+    // published testcase; see DESIGN.md).
+    let clip = &via_clips()[0];
+    println!("optimising {clip} with the paper's via-layer parameters ...");
+
+    // The preset carries the published parameters: l_c = 20 nm, l_u = 30 nm,
+    // 2 nm moves, 32 iterations with a x0.5 decay at 16, tension s = 0.6.
+    let flow = CardOpc::new(OpcConfig::via());
+    let outcome = flow.run(clip)?;
+
+    println!("resist threshold (calibrated): {:.4}", outcome.threshold);
+    println!(
+        "EPE sum over {} measure points: {:.1} nm (mean {:.2} nm)",
+        outcome.evaluation.epe.values.len(),
+        outcome.evaluation.epe_sum_nm,
+        outcome.evaluation.epe.mean_abs(),
+    );
+    println!("PV band: {:.0} nm^2", outcome.evaluation.pvb_nm2);
+    println!("L2 error: {:.0} nm^2", outcome.evaluation.l2_nm2);
+    println!(
+        "MRC: {} violations found, {} remaining after resolving",
+        outcome.mrc_initial_violations, outcome.mrc_remaining
+    );
+    println!(
+        "convergence (sum |EPE| at anchors): {:.0} -> {:.0} over {} iterations",
+        outcome.epe_history.first().copied().unwrap_or(0.0),
+        outcome.epe_history.last().copied().unwrap_or(0.0),
+        outcome.epe_history.len(),
+    );
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: the full CardOPC pipeline against the
+//! rectilinear baseline on small clips (debug-build friendly sizes; the
+//! paper-scale runs live in the release benchmark harness).
+
+use cardopc::opc::{engine_for_extent, evaluate_mask};
+use cardopc::prelude::*;
+
+/// A 1 µm clip with two 120 nm squares — small enough for debug builds.
+fn two_square_clip() -> Clip {
+    Clip::new(
+        "it2",
+        1024.0,
+        1024.0,
+        vec![
+            Polygon::rect(Point::new(250.0, 440.0), Point::new(370.0, 560.0)),
+            Polygon::rect(Point::new(620.0, 440.0), Point::new(740.0, 560.0)),
+        ],
+    )
+}
+
+fn fast_via_config() -> OpcConfig {
+    OpcConfig {
+        iterations: 16,
+        decay_at: 10,
+        pitch: 8.0,
+        sraf: None,
+        mrc: None,
+        ..OpcConfig::via()
+    }
+}
+
+#[test]
+fn cardopc_beats_no_opc_on_all_metrics_history() {
+    let clip = two_square_clip();
+    let engine = engine_for_extent(clip.width(), clip.height(), 8.0).unwrap();
+
+    let uncorrected = evaluate_mask(
+        &engine,
+        clip.targets(),
+        clip.targets(),
+        MeasureConvention::ViaEdgeCenters,
+        0.02,
+        40.0,
+    )
+    .unwrap();
+
+    let outcome = CardOpc::new(fast_via_config())
+        .run_with_engine(&clip, &engine)
+        .unwrap();
+
+    assert!(
+        outcome.evaluation.l2_nm2 <= uncorrected.l2_nm2,
+        "CardOPC L2 {} vs uncorrected {}",
+        outcome.evaluation.l2_nm2,
+        uncorrected.l2_nm2
+    );
+    // Convergence: the anchor EPE must at least halve.
+    let first = outcome.epe_history[0];
+    let last = *outcome.epe_history.last().unwrap();
+    assert!(
+        last < 0.7 * first,
+        "weak convergence: {first} -> {last}"
+    );
+}
+
+#[test]
+fn cardopc_and_rect_baseline_run_on_same_engine() {
+    let clip = two_square_clip();
+    let engine = engine_for_extent(clip.width(), clip.height(), 8.0).unwrap();
+
+    let card = CardOpc::new(fast_via_config())
+        .run_with_engine(&clip, &engine)
+        .unwrap();
+
+    let rect_cfg = RectOpcConfig {
+        iterations: 16,
+        decay_at: 10,
+        pitch: 8.0,
+        ..RectOpcConfig::calibre_like_via()
+    };
+    let rect = RectOpc::new(rect_cfg)
+        .run_with_engine(&clip, &engine, &[], MeasureConvention::ViaEdgeCenters)
+        .unwrap();
+
+    // Both flows must converge; the comparative claim (CardOPC <= rect on
+    // EPE) is checked at paper scale in the benches, but even at this
+    // reduced budget both must clearly improve over doing nothing.
+    assert!(card.evaluation.epe_sum_nm.is_finite());
+    assert!(rect.evaluation.epe_sum_nm.is_finite());
+    assert!(*card.epe_history.last().unwrap() < card.epe_history[0]);
+    assert!(*rect.epe_history.last().unwrap() < rect.epe_history[0]);
+}
+
+#[test]
+fn mrc_stage_leaves_mask_clean_and_scored() {
+    let clip = two_square_clip();
+    let mut cfg = fast_via_config();
+    cfg.mrc = Some(MrcRules::default());
+    let engine = engine_for_extent(clip.width(), clip.height(), 8.0).unwrap();
+    let outcome = CardOpc::new(cfg).run_with_engine(&clip, &engine).unwrap();
+
+    // Independent re-check of the delivered mask.
+    let shapes: Vec<_> = outcome.shapes.iter().map(|s| s.spline.clone()).collect();
+    let checker = MrcChecker::new(MrcRules::default());
+    let remaining = checker.check(&shapes);
+    assert_eq!(
+        remaining.len(),
+        outcome.mrc_remaining,
+        "flow-reported MRC state disagrees with independent checker"
+    );
+}
+
+#[test]
+fn via_clips_all_initialise() {
+    // Initialisation (dissect + control points + SRAFs) must succeed on
+    // every published-statistics testcase.
+    let flow = CardOpc::new(OpcConfig::via());
+    for clip in via_clips() {
+        let shapes = flow.initialize(&clip).unwrap();
+        assert!(
+            shapes.iter().filter(|s| !s.is_sraf).count() == clip.targets().len(),
+            "{}: main shape count mismatch",
+            clip.name()
+        );
+        for s in &shapes {
+            assert!(s.control_count() >= 4);
+        }
+    }
+}
+
+#[test]
+fn metal_clips_all_initialise() {
+    let flow = CardOpc::new(OpcConfig::metal());
+    for clip in metal_clips() {
+        let shapes = flow.initialize(&clip).unwrap();
+        assert!(!shapes.is_empty(), "{}", clip.name());
+    }
+}
+
+#[test]
+fn large_tiles_initialise_with_large_config() {
+    let flow = CardOpc::new(OpcConfig::large_scale());
+    let tile = large_tile(DesignKind::Gcd, 0);
+    let window = tile.crop(Point::new(12_000.0, 12_000.0), 3_000.0, 3_000.0, "w");
+    let shapes = flow.initialize(&window).unwrap();
+    assert_eq!(shapes.len(), window.targets().len());
+}
