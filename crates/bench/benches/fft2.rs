@@ -1,0 +1,83 @@
+//! Criterion benchmark of the 2-D FFT kernels in isolation: forward vs
+//! inverse, complex vs real-packed input, across the grid sizes the OPC
+//! flows actually use.
+//!
+//! ```sh
+//! cargo bench -p cardopc-bench --bench fft2
+//! ```
+
+use cardopc::litho::fft::{Complex, Field};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn real_samples(n: usize) -> Vec<f64> {
+    // Deterministic, non-trivial content (no RNG needed for throughput).
+    (0..n).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect()
+}
+
+fn complex_field(edge: usize) -> Field {
+    let mut f = Field::zeros(edge, edge);
+    for (i, z) in f.data_mut().iter_mut().enumerate() {
+        *z = Complex::new(((i % 13) as f64 - 6.0) / 6.0, ((i % 7) as f64 - 3.0) / 3.0);
+    }
+    f
+}
+
+fn bench_forward_complex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2_forward_complex");
+    group.sample_size(10);
+    for edge in [128usize, 256, 512, 1024, 2048] {
+        let field = complex_field(edge);
+        let mut scratch = Vec::new();
+        group.bench_function(format!("{edge}x{edge}"), |b| {
+            b.iter(|| {
+                let mut f = field.clone();
+                f.fft2_inplace_with(false, &mut scratch);
+                black_box(f.energy())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse_complex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2_inverse_complex");
+    group.sample_size(10);
+    for edge in [128usize, 256, 512, 1024, 2048] {
+        let field = complex_field(edge);
+        let mut scratch = Vec::new();
+        group.bench_function(format!("{edge}x{edge}"), |b| {
+            b.iter(|| {
+                let mut f = field.clone();
+                f.fft2_inplace_with(true, &mut scratch);
+                black_box(f.energy())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_real(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2_forward_real");
+    group.sample_size(10);
+    for edge in [128usize, 256, 512, 1024, 2048] {
+        let real = real_samples(edge * edge);
+        let mut field = Field::zeros(edge, edge);
+        let mut scratch = Vec::new();
+        group.bench_function(format!("{edge}x{edge}"), |b| {
+            b.iter(|| {
+                field.fill_forward_real_with(black_box(&real), &mut scratch);
+                black_box(field.energy())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward_complex,
+    bench_inverse_complex,
+    bench_forward_real
+);
+criterion_main!(benches);

@@ -24,7 +24,7 @@ fn mask_with_squares(edge: usize, pitch: f64) -> Grid {
 fn bench_aerial(c: &mut Criterion) {
     let mut group = c.benchmark_group("aerial_image");
     group.sample_size(10);
-    for edge in [128usize, 256] {
+    for edge in [128usize, 256, 512] {
         let engine = LithoEngine::new(OpticsConfig::default(), edge, edge, 8.0).unwrap();
         let mask = mask_with_squares(edge, 8.0);
         group.bench_function(format!("{edge}x{edge}"), |b| {

@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Part 1: connection runtime over the full gcd tile. -------------
     let tile = large_tile(DesignKind::Gcd, 0);
-    println!(
-        "gcd tile: {} shapes (paper: 1,776)",
-        tile.targets().len()
-    );
+    println!("gcd tile: {} shapes (paper: 1,776)", tile.targets().len());
     let loops = control_loops(&tile, &config);
     let per_seg = config.samples_per_segment;
     let reps = if quick { 3 } else { 10 };
@@ -113,6 +110,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bezier_eval.epe_violations,
         bezier_eval.pvb_nm2 / 1e6,
     );
-    println!("paper: Bezier EPE 3532 / PVB 34.9088 vs cardinal EPE 3507 / PVB 34.2606 on the full tile.");
+    println!(
+        "paper: Bezier EPE 3532 / PVB 34.9088 vs cardinal EPE 3507 / PVB 34.2606 on the full tile."
+    );
     Ok(())
 }

@@ -41,8 +41,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut report = Report::new(
         "Fig 7: ILT-OPC hybrid (L2 nm^2 / PVB nm^2 / EPE violations / MRC before->after)",
         &[
-            "ilt L2", "ilt PVB", "ilt EPEv", "rect L2", "rect PVB", "rect EPEv", "hyb L2",
-            "hyb PVB", "hyb EPEv", "mrc bef", "mrc aft",
+            "ilt L2",
+            "ilt PVB",
+            "ilt EPEv",
+            "rect L2",
+            "rect PVB",
+            "rect EPEv",
+            "hyb L2",
+            "hyb PVB",
+            "hyb EPEv",
+            "mrc bef",
+            "mrc aft",
         ],
     )
     .decimals(1)

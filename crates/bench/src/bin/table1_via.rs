@@ -14,7 +14,7 @@
 
 use cardopc::opc::{engine_for_extent, insert_srafs};
 use cardopc::prelude::*;
-use cardopc_bench::{quick_mode, Report};
+use cardopc_bench::{quick_mode, run_batch, Report};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,10 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .ratio(6, 2);
 
     let t0 = Instant::now();
-    for clip in &clips {
+    // Clips are independent: evaluate the batch across the shared worker
+    // pool (rows come back in clip order regardless of completion order).
+    let rows = run_batch(&clips, |clip| -> Result<(String, Vec<f64>), String> {
         // Static SRAF polygons shared by the rectilinear baselines.
         let window = BBox::new(Point::ZERO, Point::new(clip.width(), clip.height()));
-        let sraf_shapes = insert_srafs(clip.targets(), &sraf_cfg, config.tension, window)?;
+        let sraf_shapes = insert_srafs(clip.targets(), &sraf_cfg, config.tension, window)
+            .map_err(|e| e.to_string())?;
         let sraf_polys: Vec<Polygon> = sraf_shapes
             .iter()
             .map(|s| s.spline.to_polygon(config.samples_per_segment))
@@ -73,19 +76,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             simple_cfg.iterations = 8;
         }
 
-        let rect = RectOpc::new(rect_cfg).run_with_engine(
-            clip,
-            &engine,
-            &sraf_polys,
-            MeasureConvention::ViaEdgeCenters,
-        )?;
-        let simple = RectOpc::new(simple_cfg).run_with_engine(
-            clip,
-            &engine,
-            &sraf_polys,
-            MeasureConvention::ViaEdgeCenters,
-        )?;
-        let card = CardOpc::new(config.clone()).run_with_engine(clip, &engine)?;
+        let rect = RectOpc::new(rect_cfg)
+            .run_with_engine(
+                clip,
+                &engine,
+                &sraf_polys,
+                MeasureConvention::ViaEdgeCenters,
+            )
+            .map_err(|e| e.to_string())?;
+        let simple = RectOpc::new(simple_cfg)
+            .run_with_engine(
+                clip,
+                &engine,
+                &sraf_polys,
+                MeasureConvention::ViaEdgeCenters,
+            )
+            .map_err(|e| e.to_string())?;
+        let card = CardOpc::new(config.clone())
+            .run_with_engine(clip, &engine)
+            .map_err(|e| e.to_string())?;
 
         eprintln!(
             "{}: rect {:.1}/{:.0}  simple {:.1}/{:.0}  card {:.1}/{:.0}  (mrc {}->{})  [{:.0?}]",
@@ -100,7 +109,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             card.mrc_remaining,
             t0.elapsed(),
         );
-        report.push(
+        Ok((
             clip.name().to_string(),
             vec![
                 clip.targets().len() as f64,
@@ -111,7 +120,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 card.evaluation.epe_sum_nm,
                 card.evaluation.pvb_nm2,
             ],
-        );
+        ))
+    });
+    for row in rows {
+        let (label, values) = row?;
+        report.push(label, values);
     }
 
     println!("{}", report.render());

@@ -7,7 +7,7 @@
 
 use cardopc::opc::{engine_for_extent, insert_srafs};
 use cardopc::prelude::*;
-use cardopc_bench::{quick_mode, Report};
+use cardopc_bench::{quick_mode, run_batch, Report};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -46,9 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .ratio(6, 2);
 
     let t0 = Instant::now();
-    for clip in &clips {
+    // Clips are independent: evaluate the batch across the shared worker
+    // pool (rows come back in clip order regardless of completion order).
+    let rows = run_batch(&clips, |clip| -> Result<(String, Vec<f64>), String> {
         let window = BBox::new(Point::ZERO, Point::new(clip.width(), clip.height()));
-        let sraf_shapes = insert_srafs(clip.targets(), &sraf_cfg, config.tension, window)?;
+        let sraf_shapes = insert_srafs(clip.targets(), &sraf_cfg, config.tension, window)
+            .map_err(|e| e.to_string())?;
         let sraf_polys: Vec<Polygon> = sraf_shapes
             .iter()
             .map(|s| s.spline.to_polygon(config.samples_per_segment))
@@ -61,11 +64,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             simple_cfg.iterations = 8;
         }
 
-        let rect =
-            RectOpc::new(rect_cfg).run_with_engine(clip, &engine, &sraf_polys, convention)?;
-        let simple =
-            RectOpc::new(simple_cfg).run_with_engine(clip, &engine, &sraf_polys, convention)?;
-        let card = CardOpc::new(config.clone()).run_with_engine(clip, &engine)?;
+        let rect = RectOpc::new(rect_cfg)
+            .run_with_engine(clip, &engine, &sraf_polys, convention)
+            .map_err(|e| e.to_string())?;
+        let simple = RectOpc::new(simple_cfg)
+            .run_with_engine(clip, &engine, &sraf_polys, convention)
+            .map_err(|e| e.to_string())?;
+        let card = CardOpc::new(config.clone())
+            .run_with_engine(clip, &engine)
+            .map_err(|e| e.to_string())?;
 
         let n_points = card.evaluation.epe.values.len() as f64;
         eprintln!(
@@ -80,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             card.evaluation.pvb_nm2,
             t0.elapsed(),
         );
-        report.push(
+        Ok((
             clip.name().to_string(),
             vec![
                 n_points,
@@ -91,7 +98,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 card.evaluation.epe_sum_nm,
                 card.evaluation.pvb_nm2,
             ],
-        );
+        ))
+    });
+    for row in rows {
+        let (label, values) = row?;
+        report.push(label, values);
     }
 
     println!("{}", report.render());

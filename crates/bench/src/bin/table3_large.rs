@@ -75,10 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let windows = windows_for(kind, per_design);
         let mut sums = [0.0f64; 7];
         for clip in &windows {
-            let rect = RectOpc::new(rect_cfg.clone())
-                .run_with_engine(clip, &engine, &[], convention)?;
-            let simple = RectOpc::new(simple_cfg.clone())
-                .run_with_engine(clip, &engine, &[], convention)?;
+            let rect =
+                RectOpc::new(rect_cfg.clone()).run_with_engine(clip, &engine, &[], convention)?;
+            let simple =
+                RectOpc::new(simple_cfg.clone()).run_with_engine(clip, &engine, &[], convention)?;
             let card = CardOpc::new(config.clone()).run_with_engine(clip, &engine)?;
             eprintln!(
                 "{}: {} shapes | rect {} viol / {:.3} um^2 | simple {} / {:.3} | card {} / {:.3} [{:.0?}]",

@@ -12,6 +12,27 @@ pub fn quick_mode() -> bool {
     std::env::var_os("CARDOPC_QUICK").is_some_and(|v| v != "0")
 }
 
+/// Evaluates every item with `f` across the shared litho worker pool,
+/// returning results in input order.
+///
+/// This is the batch-clip driver for the table binaries: clips are
+/// independent, so they are claimed dynamically by the pool's workers
+/// (uneven clip costs still balance) while the per-clip inner loops keep
+/// their own pool parallelism — nested `run` calls degrade gracefully to
+/// the submitting worker draining its own tasks. Worker count follows
+/// `CARDOPC_THREADS` / `available_parallelism` like every other litho hot
+/// path.
+pub fn run_batch<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    cardopc::litho::WorkerPool::global().run_with_slots(&mut out, |i, slot| {
+        *slot = Some(f(&items[i]));
+    });
+    out.into_iter()
+        .map(|r| r.expect("pool runs every task"))
+        .collect()
+}
+
 /// An aligned plain-text table with automatic `Average` and `Ratio` rows,
 /// mirroring the layout of the paper's Tables I–III.
 #[derive(Clone, Debug, Default)]
@@ -131,7 +152,9 @@ mod tests {
 
     #[test]
     fn report_renders_rows_average_and_ratio() {
-        let mut r = Report::new("T", &["a EPE", "b EPE"]).decimals(0).ratio(1, 0);
+        let mut r = Report::new("T", &["a EPE", "b EPE"])
+            .decimals(0)
+            .ratio(1, 0);
         r.push("V1", vec![10.0, 5.0]);
         r.push("V2", vec![20.0, 10.0]);
         let s = r.render();
@@ -163,6 +186,15 @@ mod tests {
         r.push("row", vec![0.0, 5.0]);
         let s = r.render();
         assert!(s.contains('-'), "zero reference should render a dash: {s}");
+    }
+
+    #[test]
+    fn run_batch_preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..37).collect();
+        let got = run_batch(&items, |&x| x * x);
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(got, want);
+        assert!(run_batch::<u64, u64>(&[], |&x| x).is_empty());
     }
 
     #[test]

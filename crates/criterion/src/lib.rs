@@ -1,0 +1,263 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The workspace's containers have no crates.io access, so the real criterion
+//! cannot be fetched. This crate implements the API subset the `cardopc-bench`
+//! benches use — `criterion_group!`/`criterion_main!`, [`Criterion`],
+//! benchmark groups with `sample_size`, and `Bencher::iter` — measuring with
+//! `std::time::Instant`.
+//!
+//! Behavioural notes compared to the real crate:
+//!
+//! * Statistics are simple min / median / mean over the collected samples
+//!   (no bootstrap, no outlier analysis, no HTML report).
+//! * Command-line arguments that are not flags are treated as substring
+//!   filters on benchmark names, so `cargo bench --bench litho_sim -- aerial`
+//!   works as expected.
+//! * When `CARDOPC_BENCH_JSON` names a file, one JSON object per benchmark is
+//!   appended to it (`{"name", "min_ns", "median_ns", "mean_ns", "samples",
+//!   "iters_per_sample"}`), which is how `bench_results/` snapshots are made.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point (a small subset of criterion's).
+pub struct Criterion {
+    filters: Vec<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            filters,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let n = self.default_sample_size;
+        self.run_one(name, n, f);
+        self
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, full_name: &str, sample_size: usize, mut f: F) {
+        if !self.matches_filter(full_name) {
+            return;
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibration: grow the iteration count until one sample takes at
+        // least ~2 ms (or a single iteration is already slower than that).
+        let calibration_start = Instant::now();
+        loop {
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(2)
+                || calibration_start.elapsed() > Duration::from_millis(500)
+            {
+                break;
+            }
+            b.iters = (b.iters * 4).min(1 << 30);
+        }
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        // Aim for ~1.5 s of total measurement across all samples.
+        let target_sample = 1.5 / sample_size.max(1) as f64;
+        b.iters = ((target_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 30);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size.max(1) {
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_secs_f64() * 1e9 / b.iters as f64);
+        }
+        samples_ns.sort_by(|a, c| a.total_cmp(c));
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+        println!(
+            "{:<44} time: [{} {} {}]  ({} samples x {} iters)",
+            full_name,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            samples_ns.len(),
+            b.iters,
+        );
+
+        if let Ok(path) = std::env::var("CARDOPC_BENCH_JSON") {
+            if !path.is_empty() {
+                if let Ok(mut file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = writeln!(
+                        file,
+                        "{{\"name\":\"{}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                        full_name.replace('"', "'"),
+                        min,
+                        median,
+                        mean,
+                        samples_ns.len(),
+                        b.iters,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, n, f);
+        self
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_groups_run() {
+        let mut c = Criterion {
+            filters: vec![],
+            default_sample_size: 3,
+        };
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("f", |b| {
+                b.iter(|| {
+                    ran += 1;
+                    black_box(ran)
+                })
+            });
+            g.finish();
+        }
+        assert!(ran > 0, "benchmark closure never ran");
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = Criterion {
+            filters: vec!["nomatch".into()],
+            default_sample_size: 2,
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran, "filtered benchmark should not run");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500.0), "500.0 ns");
+        assert!(fmt_ns(1.5e3).contains("us"));
+        assert!(fmt_ns(2.5e6).contains("ms"));
+        assert!(fmt_ns(3.0e9).contains(" s"));
+    }
+}

@@ -219,10 +219,7 @@ impl<'a> Tracer<'a> {
                         *mask |= bit;
                         let case = self.case(ccx, ccy);
                         let cell_links = self.links(ccx, ccy, case);
-                        let Some(l) = cell_links
-                            .into_iter()
-                            .flatten()
-                            .find(|l| l.from == entry)
+                        let Some(l) = cell_links.into_iter().flatten().find(|l| l.from == entry)
                         else {
                             // Inconsistent field (shouldn't happen); abort
                             // this loop rather than spin.
@@ -353,9 +350,10 @@ mod tests {
         assert!(!cs.is_empty());
         // Find a vertex with y in the middle of the raster; its x must be 2.0
         // (pixel centres are at 1.5 and 2.5, crossing halfway).
-        let found = cs.iter().flat_map(|c| c.vertices()).any(|v| {
-            (v.x - 2.0).abs() < 1e-9 && v.y > 1.0 && v.y < 3.0
-        });
+        let found = cs
+            .iter()
+            .flat_map(|c| c.vertices())
+            .any(|v| (v.x - 2.0).abs() < 1e-9 && v.y > 1.0 && v.y < 3.0);
         assert!(found, "expected an interpolated crossing at x = 2.0");
     }
 

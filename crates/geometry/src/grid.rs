@@ -200,7 +200,11 @@ impl Grid {
     pub fn write_pgm<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
         let lo = self.min_value();
         let hi = self.max_value();
-        let span = if (hi - lo).abs() < 1e-300 { 1.0 } else { hi - lo };
+        let span = if (hi - lo).abs() < 1e-300 {
+            1.0
+        } else {
+            hi - lo
+        };
         writeln!(w, "P5\n{} {}\n255", self.width, self.height)?;
         let bytes: Vec<u8> = self
             .data
@@ -220,7 +224,10 @@ impl Index<(usize, usize)> for Grid {
     /// Panics when the index is out of bounds.
     #[inline]
     fn index(&self, (ix, iy): (usize, usize)) -> &f64 {
-        assert!(ix < self.width && iy < self.height, "grid index out of bounds");
+        assert!(
+            ix < self.width && iy < self.height,
+            "grid index out of bounds"
+        );
         &self.data[iy * self.width + ix]
     }
 }
@@ -228,7 +235,10 @@ impl Index<(usize, usize)> for Grid {
 impl IndexMut<(usize, usize)> for Grid {
     #[inline]
     fn index_mut(&mut self, (ix, iy): (usize, usize)) -> &mut f64 {
-        assert!(ix < self.width && iy < self.height, "grid index out of bounds");
+        assert!(
+            ix < self.width && iy < self.height,
+            "grid index out of bounds"
+        );
         &mut self.data[iy * self.width + ix]
     }
 }

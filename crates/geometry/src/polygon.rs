@@ -61,12 +61,7 @@ impl Polygon {
         let lo = a.min(b);
         let hi = a.max(b);
         Polygon {
-            vertices: vec![
-                lo,
-                Point::new(hi.x, lo.y),
-                hi,
-                Point::new(lo.x, hi.y),
-            ],
+            vertices: vec![lo, Point::new(hi.x, lo.y), hi, Point::new(lo.x, hi.y)],
         }
     }
 
@@ -171,10 +166,7 @@ impl Polygon {
             return Point::ZERO;
         }
         if a.abs() <= EPS {
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Point::ZERO, |acc, &p| acc + p);
+            let sum = self.vertices.iter().fold(Point::ZERO, |acc, &p| acc + p);
             return sum / n as f64;
         }
         let mut cx = 0.0;

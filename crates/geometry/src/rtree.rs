@@ -237,9 +237,7 @@ impl<T> RTree<T> {
                 for &c in children {
                     let b = self.nodes[c].bbox;
                     let growth = b.union(bbox).area() - b.area();
-                    if growth < best_growth
-                        || (growth == best_growth && b.area() < best_area)
-                    {
+                    if growth < best_growth || (growth == best_growth && b.area() < best_area) {
                         best = c;
                         best_growth = growth;
                         best_area = b.area();
@@ -416,10 +414,7 @@ mod tests {
                 let y = rng.range_f64(0.0, 1000.0);
                 let w = rng.range_f64(0.0, 20.0);
                 let h = rng.range_f64(0.0, 20.0);
-                (
-                    BBox::new(Point::new(x, y), Point::new(x + w, y + h)),
-                    i,
-                )
+                (BBox::new(Point::new(x, y), Point::new(x + w, y + h)), i)
             })
             .collect()
     }

@@ -87,13 +87,12 @@ impl Segment {
         }
 
         // Collinear: check 1-D interval overlap along the dominant axis.
-        let (s0, s1, o0, o1) = if d1.x.abs() >= d1.y.abs() && d1.norm_sq() > 0.0
-            || d2.x.abs() >= d2.y.abs()
-        {
-            (self.a.x, self.b.x, other.a.x, other.b.x)
-        } else {
-            (self.a.y, self.b.y, other.a.y, other.b.y)
-        };
+        let (s0, s1, o0, o1) =
+            if d1.x.abs() >= d1.y.abs() && d1.norm_sq() > 0.0 || d2.x.abs() >= d2.y.abs() {
+                (self.a.x, self.b.x, other.a.x, other.b.x)
+            } else {
+                (self.a.y, self.b.y, other.a.y, other.b.y)
+            };
         let (s_min, s_max) = (s0.min(s1), s0.max(s1));
         let (o_min, o_max) = (o0.min(o1), o0.max(o1));
         // Degenerate (point) segments still compare correctly here.

@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn produces_valid_looking_svg() {
-        let polys = vec![Polygon::rect(Point::new(10.0, 10.0), Point::new(50.0, 30.0))];
+        let polys = vec![Polygon::rect(
+            Point::new(10.0, 10.0),
+            Point::new(50.0, 30.0),
+        )];
         let layer = SvgLayer {
             name: "targets",
             polygons: &polys,

@@ -225,10 +225,12 @@ pub fn run_hybrid(
 /// uniform spline representation — e.g. CTM-style SRAF generation.
 ///
 /// Returns the fitted shapes and the per-shape final fitting losses (nm²).
-pub fn fit_mask_shapes(mask: &cardopc_geometry::Grid, config: &HybridConfig) -> (Vec<CardinalSpline>, Vec<f64>) {
+pub fn fit_mask_shapes(
+    mask: &cardopc_geometry::Grid,
+    config: &HybridConfig,
+) -> (Vec<CardinalSpline>, Vec<f64>) {
     let opened = open_binary(mask, 0.5, config.opening_radius);
-    let (regularised, _removed) =
-        remove_small_components(&opened, 0.5, config.min_component_area);
+    let (regularised, _removed) = remove_small_components(&opened, 0.5, config.min_component_area);
 
     let mut fitted_shapes = Vec::new();
     let mut fit_losses = Vec::new();

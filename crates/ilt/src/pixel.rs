@@ -13,8 +13,8 @@
 //! * gradient descent with momentum.
 
 use cardopc_geometry::Grid;
-use cardopc_litho::fft::Field;
-use cardopc_litho::{LithoEngine, LithoError};
+use cardopc_litho::fft::{Complex, Field};
+use cardopc_litho::{LithoEngine, LithoError, WorkerPool};
 
 /// Configuration of the pixel ILT optimiser.
 #[derive(Clone, Debug, PartialEq)]
@@ -103,42 +103,85 @@ pub fn pixel_ilt(
     let mut params: Vec<f64> = target
         .data()
         .iter()
-        .map(|&t| if t > 0.5 { config.init_scale } else { -config.init_scale })
+        .map(|&t| {
+            if t > 0.5 {
+                config.init_scale
+            } else {
+                -config.init_scale
+            }
+        })
         .collect();
     let mut velocity = vec![0.0f64; n];
     let mut loss_history = Vec::with_capacity(config.iterations);
 
     let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
 
+    // Hot-loop state, allocated once and reused across all iterations:
+    // per-kernel coherent fields A_k (kept for the backward pass), the mask
+    // spectrum, and one work-slot per pool task. Kernels are statically
+    // chunked in ascending order and the slot partials reduced in slot
+    // order, so results are independent of the worker count (up to
+    // reassociation rounding).
+    struct IltSlot {
+        /// `F ⊙ A_k` and its forward transform.
+        work: Field,
+        /// `FFT(F ⊙ A_k) ⊙ H_k*` and its inverse transform.
+        prod: Field,
+        /// Blocked-transpose scratch for the 2-D FFT column passes.
+        scratch: Vec<Complex>,
+        /// Partial intensity (forward) / gradient (backward) accumulator.
+        acc: Vec<f64>,
+    }
+    let pool = WorkerPool::global();
+    let tasks = engine.workers().clamp(1, kernels.len().max(1));
+    let chunk = kernels.len().div_ceil(tasks);
+    // The pruned inverse transforms are unscaled; fold both axes'
+    // normalisations into the accumulation weights instead.
+    let inv_n2 = 1.0 / (n as f64 * n as f64);
+    let mut slots: Vec<IltSlot> = (0..tasks)
+        .map(|_| IltSlot {
+            work: Field::zeros(w, h),
+            prod: Field::zeros(w, h),
+            scratch: Vec::new(),
+            acc: vec![0.0f64; n],
+        })
+        .collect();
+    let mut a_fields: Vec<Field> = kernels.iter().map(|_| Field::zeros(w, h)).collect();
+    let mut spectrum = Field::zeros(w, h);
+    let mut fwd_scratch: Vec<Complex> = Vec::new();
+    let mut intensity = vec![0.0f64; n];
+    let mut grad_m = vec![0.0f64; n];
+
     let mut mask_vals = vec![0.0f64; n];
     for iter in 0..config.iterations {
         if config.regularize_every > 0 && iter > 0 && iter % config.regularize_every == 0 {
-            let p = crate::cleanup::blur(
-                &Grid::from_data(w, h, engine.pitch(), params.clone()),
-                1,
-            );
+            let p = crate::cleanup::blur(&Grid::from_data(w, h, engine.pitch(), params.clone()), 1);
             params.copy_from_slice(p.data());
         }
-        // Forward: mask, coherent fields, intensity, resist.
+        // Forward: mask, coherent fields, intensity, resist. Each pool task
+        // owns a disjoint chunk of `a_fields`, leaving A_k (unscaled by
+        // `n = w·h`) in place for the backward pass.
         for (m, &p) in mask_vals.iter_mut().zip(&params) {
             *m = sigmoid(config.theta_mask * p);
         }
-        let mut spectrum = Field::from_real(w, h, &mask_vals);
-        spectrum.fft2_inplace(false);
-
-        let fields: Vec<(f64, Field)> = kernels
-            .iter()
-            .map(|k| {
-                let mut f = spectrum.mul_pointwise(&k.transfer);
-                f.fft2_inplace(true);
-                (k.weight, f)
-            })
-            .collect();
-
-        let mut intensity = vec![0.0f64; n];
-        for (wk, f) in &fields {
-            for (dst, z) in intensity.iter_mut().zip(f.data()) {
-                *dst += wk * z.norm_sq();
+        spectrum.fill_forward_real_with(&mask_vals, &mut fwd_scratch);
+        {
+            let spectrum = &spectrum;
+            let mut units: Vec<(&mut IltSlot, &mut [Field])> =
+                slots.iter_mut().zip(a_fields.chunks_mut(chunk)).collect();
+            pool.run_with_slots(&mut units, |t, (slot, a_chunk)| {
+                slot.acc.fill(0.0);
+                for (a, kernel) in a_chunk.iter_mut().zip(kernels.iter().skip(t * chunk)) {
+                    spectrum.mul_pointwise_pruned_into(&kernel.transfer, &kernel.live_rows, a);
+                    a.ifft2_pruned_unscaled(&kernel.live_rows, &mut slot.scratch);
+                    a.accumulate_norm_sq(kernel.weight * inv_n2, &mut slot.acc);
+                }
+            });
+        }
+        intensity.fill(0.0);
+        for slot in &slots {
+            for (dst, &v) in intensity.iter_mut().zip(&slot.acc) {
+                *dst += v;
             }
         }
 
@@ -154,30 +197,35 @@ pub fn pixel_ilt(
         }
         loss_history.push(loss / n as f64);
 
-        // Backward: grad_M = 2 Re Σ_k w_k IFFT(FFT(F ⊙ A_k) ⊙ conj(H_k)).
-        let mut grad_m = vec![0.0f64; n];
-        for ((wk, a_k), kernel) in fields.iter().zip(kernels) {
-            let mut fa = Field::zeros(w, h);
-            for (dst, (&f, z)) in fa
-                .data_mut()
-                .iter_mut()
-                .zip(f_field.iter().zip(a_k.data()))
-            {
-                *dst = z.scale(f);
-            }
-            fa.fft2_inplace(false);
-            // Multiply by conj(H_k).
-            let mut prod = Field::zeros(w, h);
-            for (dst, (&s, &t)) in prod
-                .data_mut()
-                .iter_mut()
-                .zip(fa.data().iter().zip(kernel.transfer.data()))
-            {
-                *dst = s * t.conj();
-            }
-            prod.fft2_inplace(true);
-            for (g, z) in grad_m.iter_mut().zip(prod.data()) {
-                *g += 2.0 * wk * z.re;
+        // Backward: grad_M = 2 Re Σ_k w_k IFFT(FFT(F ⊙ A_k) ⊙ conj(H_k)),
+        // reusing the slot work fields. A_k carries a factor of n from its
+        // unscaled inverse and the final pruned inverse another, so the
+        // `inv_n2` in the accumulation weight restores the true scale.
+        {
+            let f_field = &f_field;
+            let mut units: Vec<(&mut IltSlot, &[Field])> =
+                slots.iter_mut().zip(a_fields.chunks(chunk)).collect();
+            pool.run_with_slots(&mut units, |t, (slot, a_chunk)| {
+                slot.acc.fill(0.0);
+                for (a, kernel) in a_chunk.iter().zip(kernels.iter().skip(t * chunk)) {
+                    a.mul_real_into(f_field, &mut slot.work);
+                    slot.work.fft2_inplace_with(false, &mut slot.scratch);
+                    slot.work.mul_conj_pointwise_pruned_into(
+                        &kernel.transfer,
+                        &kernel.live_rows,
+                        &mut slot.prod,
+                    );
+                    slot.prod
+                        .ifft2_pruned_unscaled(&kernel.live_rows, &mut slot.scratch);
+                    slot.prod
+                        .accumulate_re(2.0 * kernel.weight * inv_n2, &mut slot.acc);
+                }
+            });
+        }
+        grad_m.fill(0.0);
+        for slot in &slots {
+            for (dst, &v) in grad_m.iter_mut().zip(&slot.acc) {
+                *dst += v;
             }
         }
 
@@ -205,12 +253,7 @@ pub fn pixel_ilt(
 /// Recomputes the relaxed ILT loss from raw parameters — used by the
 /// finite-difference gradient verification test.
 #[cfg(test)]
-fn numeric_loss(
-    engine: &LithoEngine,
-    params: &[f64],
-    target: &Grid,
-    config: &IltConfig,
-) -> f64 {
+fn numeric_loss(engine: &LithoEngine, params: &[f64], target: &Grid, config: &IltConfig) -> f64 {
     let (w, h) = (engine.width(), engine.height());
     let n = w * h;
     let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
@@ -350,7 +393,13 @@ mod tests {
         let before: Vec<f64> = target
             .data()
             .iter()
-            .map(|&t| if t > 0.5 { cfg.init_scale } else { -cfg.init_scale })
+            .map(|&t| {
+                if t > 0.5 {
+                    cfg.init_scale
+                } else {
+                    -cfg.init_scale
+                }
+            })
             .collect();
         // Run one step via the public API on a fresh copy.
         let out = pixel_ilt(&engine, &target, &cfg).unwrap();

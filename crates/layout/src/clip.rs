@@ -23,7 +23,10 @@ impl Clip {
     ///
     /// Panics when the dimensions are not strictly positive.
     pub fn new(name: impl Into<String>, width: f64, height: f64, targets: Vec<Polygon>) -> Self {
-        assert!(width > 0.0 && height > 0.0, "clip dimensions must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "clip dimensions must be positive"
+        );
         Clip {
             name: name.into(),
             width,

@@ -163,9 +163,7 @@ mod tests {
             );
         }
         // M8 (24 points) must be the simplest clip, M10 (120) the busiest.
-        let est_of = |i: usize| -> usize {
-            clips[i].targets().iter().map(estimated_points).sum()
-        };
+        let est_of = |i: usize| -> usize { clips[i].targets().iter().map(estimated_points).sum() };
         assert!(est_of(7) < est_of(9));
     }
 

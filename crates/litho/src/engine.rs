@@ -1,9 +1,11 @@
 //! The lithography simulation engine (Hopkins Eq. 1 via SOCS kernels).
 
-use crate::fft::Field;
 use crate::optics::{build_kernels, OpticsConfig, SocsKernel};
+use crate::pool::WorkerPool;
+use crate::workspace::LithoWorkspace;
 use crate::LithoError;
 use cardopc_geometry::Grid;
+use std::sync::{Mutex, TryLockError};
 
 /// A process condition at which the mask can be printed.
 ///
@@ -60,7 +62,7 @@ impl ProcessCondition {
 /// assert_eq!(aerial.width(), 256);
 /// # Ok::<(), cardopc_litho::LithoError>(())
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct LithoEngine {
     config: OpticsConfig,
     width: usize,
@@ -69,6 +71,31 @@ pub struct LithoEngine {
     threshold: f64,
     nominal: Vec<SocsKernel>,
     defocused: Vec<SocsKernel>,
+    /// Parallel task-slot count, resolved once at construction from the
+    /// shared pool (itself sized from `CARDOPC_THREADS` or the machine's
+    /// available parallelism) — never queried per call.
+    workers: usize,
+    /// Reusable hot-loop buffers; `aerial_image` is zero-allocation per
+    /// kernel after the first call. Falls back to a transient workspace if
+    /// the engine is used from several threads at once.
+    workspace: Mutex<LithoWorkspace>,
+}
+
+impl Clone for LithoEngine {
+    fn clone(&self) -> LithoEngine {
+        LithoEngine {
+            config: self.config.clone(),
+            width: self.width,
+            height: self.height,
+            pitch: self.pitch,
+            threshold: self.threshold,
+            nominal: self.nominal.clone(),
+            defocused: self.defocused.clone(),
+            workers: self.workers,
+            // Scratch is not shared between clones; it refills lazily.
+            workspace: Mutex::new(LithoWorkspace::new()),
+        }
+    }
 }
 
 impl LithoEngine {
@@ -102,6 +129,8 @@ impl LithoEngine {
             threshold: Self::DEFAULT_THRESHOLD,
             nominal,
             defocused,
+            workers: WorkerPool::global().parallelism(),
+            workspace: Mutex::new(LithoWorkspace::new()),
         })
     }
 
@@ -146,6 +175,20 @@ impl LithoEngine {
         self.threshold = threshold;
     }
 
+    /// The number of parallel task slots used by the SOCS convolution.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Overrides the parallel task-slot count (clamped to at least 1).
+    ///
+    /// The summation order of the SOCS reduction is pinned to ascending
+    /// kernel order regardless of this setting, so results agree across
+    /// worker counts to within reassociation rounding (< 1e-12).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
     fn check_mask(&self, mask: &Grid) -> Result<(), LithoError> {
         if mask.width() != self.width || mask.height() != self.height {
             return Err(LithoError::GridMismatch {
@@ -157,57 +200,39 @@ impl LithoEngine {
     }
 
     fn image_with(&self, kernels: &[SocsKernel], mask: &Grid) -> Grid {
-        let mut spectrum = Field::from_real(self.width, self.height, mask.data());
-        spectrum.fft2_inplace(false);
-
-        let n = self.width * self.height;
-        let mut intensity = vec![0.0f64; n];
-
-        // Fan the per-kernel inverse transforms out over threads; each
-        // produces an independent partial image that is then reduced.
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(kernels.len())
-            .max(1);
-        if workers <= 1 || kernels.len() == 1 {
-            for k in kernels {
-                let mut field = spectrum.mul_pointwise(&k.transfer);
-                field.fft2_inplace(true);
-                for (dst, z) in intensity.iter_mut().zip(field.data()) {
-                    *dst += k.weight * z.norm_sq();
-                }
-            }
-        } else {
-            let chunk = kernels.len().div_ceil(workers);
-            let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = kernels
-                    .chunks(chunk)
-                    .map(|ks| {
-                        let spectrum = &spectrum;
-                        scope.spawn(move || {
-                            let mut acc = vec![0.0f64; n];
-                            for k in ks {
-                                let mut field = spectrum.mul_pointwise(&k.transfer);
-                                field.fft2_inplace(true);
-                                for (dst, z) in acc.iter_mut().zip(field.data()) {
-                                    *dst += k.weight * z.norm_sq();
-                                }
-                            }
-                            acc
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("litho worker panicked"))
-                    .collect()
-            });
-            for p in partials {
-                for (dst, v) in intensity.iter_mut().zip(p) {
-                    *dst += v;
-                }
-            }
+        let mut intensity = vec![0.0f64; self.width * self.height];
+        let pool = WorkerPool::global();
+        // The engine-owned workspace makes repeat calls allocation-free;
+        // concurrent callers on the same engine fall back to a transient
+        // workspace rather than serialising on the lock.
+        match self.workspace.try_lock() {
+            Ok(mut ws) => ws.socs_intensity(
+                self.width,
+                self.height,
+                mask.data(),
+                kernels,
+                pool,
+                self.workers,
+                &mut intensity,
+            ),
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner().socs_intensity(
+                self.width,
+                self.height,
+                mask.data(),
+                kernels,
+                pool,
+                self.workers,
+                &mut intensity,
+            ),
+            Err(TryLockError::WouldBlock) => LithoWorkspace::new().socs_intensity(
+                self.width,
+                self.height,
+                mask.data(),
+                kernels,
+                pool,
+                self.workers,
+                &mut intensity,
+            ),
         }
         Grid::from_data(self.width, self.height, self.pitch, intensity)
     }
@@ -339,6 +364,29 @@ mod tests {
         assert!(aerial[(2, 2)] < 0.1);
         // Diffraction spreads light beyond the mask edge.
         assert!(aerial[(32 + 10, 32)] > 1e-6);
+    }
+
+    #[test]
+    fn aerial_image_is_identical_across_worker_counts() {
+        let mut rng = cardopc_geometry::SplitMix64::new(77);
+        let mut mask = Grid::zeros(64, 64, 8.0);
+        for v in mask.data_mut() {
+            *v = rng.range_f64(0.0, 1.0);
+        }
+        let mut engine = small_engine();
+        engine.set_workers(1);
+        let reference = engine.aerial_image(&mask).unwrap();
+        for workers in [2usize, 3, 4, 16] {
+            engine.set_workers(workers);
+            assert_eq!(engine.workers(), workers);
+            let got = engine.aerial_image(&mask).unwrap();
+            for (i, (&a, &b)) in got.data().iter().zip(reference.data()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12 * (1.0 + b.abs()),
+                    "workers {workers}, pixel {i}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -143,46 +143,29 @@ pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
     if n <= 1 {
         return;
     }
+    crate::plan::FftPlan::get(n).execute(data, inverse);
+}
 
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            data.swap(i, j);
-        }
-    }
-
-    // Butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * std::f64::consts::TAU / len as f64;
-        let wlen = Complex::from_angle(ang);
-        let mut i = 0;
-        while i < n {
-            let mut w = Complex::ONE;
-            for k in 0..len / 2 {
-                let u = data[i + k];
-                let v = data[i + k + len / 2] * w;
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
-                w = w * wlen;
+/// Cache-blocked out-of-place transpose: `src` is `height` rows of `width`,
+/// `dst` becomes `width` rows of `height`.
+///
+/// The 2-D FFT's column pass runs row transforms on the transposed field
+/// instead of gather/scatter copies with stride `width`, keeping every
+/// butterfly pass on contiguous memory.
+fn transpose_into(src: &[Complex], width: usize, height: usize, dst: &mut [Complex]) {
+    debug_assert_eq!(src.len(), width * height);
+    debug_assert_eq!(dst.len(), width * height);
+    const TILE: usize = 32;
+    for y0 in (0..height).step_by(TILE) {
+        let y1 = (y0 + TILE).min(height);
+        for x0 in (0..width).step_by(TILE) {
+            let x1 = (x0 + TILE).min(width);
+            for y in y0..y1 {
+                let row = y * width;
+                for x in x0..x1 {
+                    dst[x * height + y] = src[row + x];
+                }
             }
-            i += len;
-        }
-        len <<= 1;
-    }
-
-    if inverse {
-        let inv = 1.0 / n as f64;
-        for z in data.iter_mut() {
-            *z = z.scale(inv);
         }
     }
 }
@@ -264,22 +247,155 @@ impl Field {
     }
 
     /// In-place 2-D FFT (rows then columns).
+    ///
+    /// Allocates a transient transpose scratch buffer; hot paths should hold
+    /// a [`crate::LithoWorkspace`] or call [`Field::fft2_inplace_with`] with
+    /// a reused buffer instead.
     pub fn fft2_inplace(&mut self, inverse: bool) {
-        // Rows.
-        for row in self.data.chunks_mut(self.width) {
-            fft_inplace(row, inverse);
-        }
-        // Columns, via a scratch buffer.
-        let mut col = vec![Complex::ZERO; self.height];
-        for x in 0..self.width {
-            for (y, c) in col.iter_mut().enumerate() {
-                *c = self.data[y * self.width + x];
+        let mut scratch = Vec::new();
+        self.fft2_inplace_with(inverse, &mut scratch);
+    }
+
+    /// In-place 2-D FFT reusing `scratch` for the blocked-transpose column
+    /// pass (resized to `width * height` on first use, then reused without
+    /// further allocation).
+    pub fn fft2_inplace_with(&mut self, inverse: bool, scratch: &mut Vec<Complex>) {
+        self.fft2_core(inverse, scratch, None, true);
+    }
+
+    /// Inverse 2-D FFT without the `1/(width*height)` normalisation,
+    /// skipping the row-pass transform of rows whose `live_rows` entry is
+    /// `false`.
+    ///
+    /// This is the SOCS convolution hot path: the frequency-domain product
+    /// `FFT(mask) · H_k` is zero on every row outside the (shifted) pupil
+    /// support, so those rows' inverse row transforms are identically zero
+    /// and can be skipped — the caller guarantees dead rows hold zeros (see
+    /// [`Field::mul_pointwise_pruned_into`]). The missing normalisation is
+    /// folded into the caller's accumulation weight (`|z/n|² = |z|²/n²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `live_rows.len() != height`.
+    pub fn ifft2_pruned_unscaled(&mut self, live_rows: &[bool], scratch: &mut Vec<Complex>) {
+        assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
+        self.fft2_core(true, scratch, Some(live_rows), false);
+    }
+
+    fn fft2_core(
+        &mut self,
+        inverse: bool,
+        scratch: &mut Vec<Complex>,
+        live_rows: Option<&[bool]>,
+        normalize: bool,
+    ) {
+        let plan_w = crate::plan::FftPlan::get(self.width);
+        let plan_h = crate::plan::FftPlan::get(self.height);
+        match live_rows {
+            None => {
+                for row in self.data.chunks_exact_mut(self.width) {
+                    plan_w.execute_unscaled(row, inverse);
+                }
             }
-            fft_inplace(&mut col, inverse);
-            for (y, c) in col.iter().enumerate() {
-                self.data[y * self.width + x] = *c;
+            Some(mask) => {
+                for (row, &live) in self.data.chunks_exact_mut(self.width).zip(mask) {
+                    if live {
+                        plan_w.execute_unscaled(row, inverse);
+                    }
+                }
             }
         }
+
+        // Column pass on the transposed field: contiguous butterflies
+        // instead of stride-`width` gather/scatter.
+        scratch.resize(self.width * self.height, Complex::ZERO);
+        transpose_into(&self.data, self.width, self.height, scratch);
+        for col in scratch.chunks_exact_mut(self.height) {
+            plan_h.execute_unscaled(col, inverse);
+        }
+        transpose_into(scratch, self.height, self.width, &mut self.data);
+
+        if inverse && normalize {
+            let inv = 1.0 / (self.width * self.height) as f64;
+            for z in self.data.iter_mut() {
+                *z = z.scale(inv);
+            }
+        }
+    }
+
+    /// Builds the forward 2-D spectrum of a real-valued field.
+    ///
+    /// Convenience wrapper over [`Field::fill_forward_real_with`] that
+    /// allocates its own output and scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on sample-count mismatch or non-power-of-two dimensions.
+    pub fn forward_real(width: usize, height: usize, real: &[f64]) -> Field {
+        let mut out = Field::zeros(width, height);
+        let mut scratch = Vec::new();
+        out.fill_forward_real_with(real, &mut scratch);
+        out
+    }
+
+    /// Fills `self` with the forward 2-D FFT of `real` (row-major samples).
+    ///
+    /// Exploits that the input is real: two rows are packed into the real
+    /// and imaginary lanes of a single complex transform and separated
+    /// afterwards via Hermitian symmetry, roughly halving the row-pass cost
+    /// relative to transforming a zero-imaginary complex field.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `real.len() != width * height`.
+    pub fn fill_forward_real_with(&mut self, real: &[f64], scratch: &mut Vec<Complex>) {
+        let (w, h) = (self.width, self.height);
+        assert_eq!(real.len(), w * h, "sample count mismatch");
+        let plan_w = crate::plan::FftPlan::get(w);
+
+        if h == 1 {
+            for (dst, &src) in self.data.iter_mut().zip(real) {
+                *dst = Complex::new(src, 0.0);
+            }
+            plan_w.execute_unscaled(&mut self.data, false);
+            return;
+        }
+
+        // Row pass: pack real rows (2y, 2y+1) as re/im lanes of one complex
+        // row, transform, then split with A[k] = (Z[k] + conj(Z[-k]))/2 and
+        // B[k] = (Z[k] - conj(Z[-k]))/(2i).
+        for (pair, rpair) in self
+            .data
+            .chunks_exact_mut(2 * w)
+            .zip(real.chunks_exact(2 * w))
+        {
+            let (row_a, row_b) = pair.split_at_mut(w);
+            let (real_a, real_b) = rpair.split_at(w);
+            for j in 0..w {
+                row_a[j] = Complex::new(real_a[j], real_b[j]);
+            }
+            plan_w.execute_unscaled(row_a, false);
+            for k in 0..=w / 2 {
+                let km = (w - k) & (w - 1);
+                let zk = row_a[k];
+                let zm = row_a[km];
+                row_a[k] = Complex::new(0.5 * (zk.re + zm.re), 0.5 * (zk.im - zm.im));
+                row_b[k] = Complex::new(0.5 * (zk.im + zm.im), 0.5 * (zm.re - zk.re));
+                if km != k {
+                    row_a[km] = Complex::new(0.5 * (zm.re + zk.re), 0.5 * (zm.im - zk.im));
+                    row_b[km] = Complex::new(0.5 * (zm.im + zk.im), 0.5 * (zk.re - zm.re));
+                }
+            }
+        }
+
+        // Column pass, identical to the complex path.
+        let plan_h = crate::plan::FftPlan::get(h);
+        scratch.resize(w * h, Complex::ZERO);
+        transpose_into(&self.data, w, h, scratch);
+        for col in scratch.chunks_exact_mut(h) {
+            plan_h.execute_unscaled(col, false);
+        }
+        transpose_into(scratch, h, w, &mut self.data);
     }
 
     /// Pointwise multiplication by another field of identical dimensions.
@@ -300,6 +416,151 @@ impl Field {
             width: self.width,
             height: self.height,
             data,
+        }
+    }
+
+    /// Pointwise multiplication into a preallocated destination field.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    pub fn mul_pointwise_into(&self, other: &Field, dst: &mut Field) {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "dimension mismatch"
+        );
+        assert_eq!(
+            (self.width, self.height),
+            (dst.width, dst.height),
+            "dimension mismatch"
+        );
+        for (d, (&a, &b)) in dst.data.iter_mut().zip(self.data.iter().zip(&other.data)) {
+            *d = a * b;
+        }
+    }
+
+    /// Row-pruned pointwise multiplication into a preallocated destination:
+    /// rows whose `live_rows` entry is `false` are written as zeros without
+    /// reading the operands (the SOCS transfer functions are zero there).
+    ///
+    /// Pairs with [`Field::ifft2_pruned_unscaled`], which then skips those
+    /// rows' inverse transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or mask-length mismatch.
+    pub fn mul_pointwise_pruned_into(&self, other: &Field, live_rows: &[bool], dst: &mut Field) {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "dimension mismatch"
+        );
+        assert_eq!(
+            (self.width, self.height),
+            (dst.width, dst.height),
+            "dimension mismatch"
+        );
+        assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
+        let w = self.width;
+        for (y, &live) in live_rows.iter().enumerate() {
+            let row = y * w..(y + 1) * w;
+            let d = &mut dst.data[row.clone()];
+            if live {
+                for (d, (&a, &b)) in d
+                    .iter_mut()
+                    .zip(self.data[row.clone()].iter().zip(&other.data[row]))
+                {
+                    *d = a * b;
+                }
+            } else {
+                d.fill(Complex::ZERO);
+            }
+        }
+    }
+
+    /// Row-pruned pointwise multiplication by the *conjugate* of `other`
+    /// (`dst = self · conj(other)`), zeroing dead rows — the backward-pass
+    /// twin of [`Field::mul_pointwise_pruned_into`] used by ILT gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or mask-length mismatch.
+    pub fn mul_conj_pointwise_pruned_into(
+        &self,
+        other: &Field,
+        live_rows: &[bool],
+        dst: &mut Field,
+    ) {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "dimension mismatch"
+        );
+        assert_eq!(
+            (self.width, self.height),
+            (dst.width, dst.height),
+            "dimension mismatch"
+        );
+        assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
+        let w = self.width;
+        for (y, &live) in live_rows.iter().enumerate() {
+            let row = y * w..(y + 1) * w;
+            let d = &mut dst.data[row.clone()];
+            if live {
+                for (d, (&a, &b)) in d
+                    .iter_mut()
+                    .zip(self.data[row.clone()].iter().zip(&other.data[row]))
+                {
+                    *d = a * b.conj();
+                }
+            } else {
+                d.fill(Complex::ZERO);
+            }
+        }
+    }
+
+    /// Pointwise multiplication by a real-valued vector into a preallocated
+    /// destination (`dst[i] = self[i] · real[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or length mismatch.
+    pub fn mul_real_into(&self, real: &[f64], dst: &mut Field) {
+        assert_eq!(
+            (self.width, self.height),
+            (dst.width, dst.height),
+            "dimension mismatch"
+        );
+        assert_eq!(real.len(), self.data.len(), "sample count mismatch");
+        for (d, (&z, &r)) in dst.data.iter_mut().zip(self.data.iter().zip(real)) {
+            *d = z.scale(r);
+        }
+    }
+
+    /// Fused `acc[i] += weight · |self[i]|²` accumulation — the reduction
+    /// step of the SOCS sum, performed without materialising `|z|²` vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn accumulate_norm_sq(&self, weight: f64, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.data.len(), "sample count mismatch");
+        for (a, z) in acc.iter_mut().zip(&self.data) {
+            *a += weight * z.norm_sq();
+        }
+    }
+
+    /// Fused `acc[i] += weight · Re(self[i])` accumulation (ILT gradient
+    /// reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn accumulate_re(&self, weight: f64, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.data.len(), "sample count mismatch");
+        for (a, z) in acc.iter_mut().zip(&self.data) {
+            *a += weight * z.re;
         }
     }
 
@@ -475,5 +736,120 @@ mod tests {
         assert!(!is_power_of_two(0));
         assert!(!is_power_of_two(12));
         assert_eq!(next_power_of_two(100), 128);
+    }
+
+    #[test]
+    fn real_packed_forward_matches_complex_path() {
+        // The two-rows-per-transform packed path must agree with the plain
+        // complex transform on real input, including non-square grids and
+        // the single-row degenerate case.
+        for (w, h, seed) in [
+            (8, 1, 20u64),
+            (8, 2, 21),
+            (16, 8, 22),
+            (8, 16, 23),
+            (64, 64, 24),
+        ] {
+            let mut rng = SplitMix64::new(seed);
+            let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let packed = Field::forward_real(w, h, &real);
+            let mut reference = Field::from_real(w, h, &real);
+            reference.fft2_inplace(false);
+            for (i, (a, b)) in packed.data().iter().zip(reference.data()).enumerate() {
+                assert!(
+                    (*a - *b).norm() < 1e-9,
+                    "{w}x{h}, sample {i}: packed {a} vs complex {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_packed_forward_is_reusable() {
+        // Refilling the same field with new data must not leak state.
+        let mut rng = SplitMix64::new(30);
+        let a: Vec<f64> = (0..16 * 16).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let b: Vec<f64> = (0..16 * 16).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let mut field = Field::zeros(16, 16);
+        let mut scratch = Vec::new();
+        field.fill_forward_real_with(&a, &mut scratch);
+        field.fill_forward_real_with(&b, &mut scratch);
+        let fresh = Field::forward_real(16, 16, &b);
+        for (x, y) in field.data().iter().zip(fresh.data()) {
+            assert!((*x - *y).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pruned_inverse_matches_full_inverse() {
+        // A spectrum whose dead rows are zero must invert identically
+        // through the pruned path (up to the folded 1/n scale).
+        let (w, h) = (16, 16);
+        let mut rng = SplitMix64::new(40);
+        let mut spec = Field::zeros(w, h);
+        let live: Vec<bool> = (0..h).map(|y| y < 3 || y >= h - 2).collect();
+        for (y, &is_live) in live.iter().enumerate() {
+            if is_live {
+                for x in 0..w {
+                    *spec.at_mut(x, y) =
+                        Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0));
+                }
+            }
+        }
+        let mut full = spec.clone();
+        full.fft2_inplace(true);
+        let mut pruned = spec;
+        let mut scratch = Vec::new();
+        pruned.ifft2_pruned_unscaled(&live, &mut scratch);
+        let inv_n = 1.0 / (w * h) as f64;
+        for (a, b) in pruned.data().iter().zip(full.data()) {
+            assert!((a.scale(inv_n) - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pointwise_helpers_match_scalar_definitions() {
+        let (w, h) = (8, 4);
+        let mut rng = SplitMix64::new(50);
+        let mut a = Field::zeros(w, h);
+        let mut b = Field::zeros(w, h);
+        for z in a.data_mut().iter_mut().chain(b.data_mut().iter_mut()) {
+            *z = Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0));
+        }
+        let live = vec![true; h];
+        let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+
+        let mut dst = Field::zeros(w, h);
+        a.mul_pointwise_pruned_into(&b, &live, &mut dst);
+        for (i, d) in dst.data().iter().enumerate() {
+            assert!((*d - a.data()[i] * b.data()[i]).norm() < 1e-12);
+        }
+        a.mul_conj_pointwise_pruned_into(&b, &live, &mut dst);
+        for (i, d) in dst.data().iter().enumerate() {
+            assert!((*d - a.data()[i] * b.data()[i].conj()).norm() < 1e-12);
+        }
+        a.mul_real_into(&real, &mut dst);
+        for (i, d) in dst.data().iter().enumerate() {
+            assert!((*d - a.data()[i].scale(real[i])).norm() < 1e-12);
+        }
+
+        let mut acc = vec![1.0f64; w * h];
+        a.accumulate_norm_sq(2.0, &mut acc);
+        for (i, v) in acc.iter().enumerate() {
+            assert!((v - (1.0 + 2.0 * a.data()[i].norm_sq())).abs() < 1e-12);
+        }
+        let mut acc = vec![0.0f64; w * h];
+        a.accumulate_re(3.0, &mut acc);
+        for (i, v) in acc.iter().enumerate() {
+            assert!((v - 3.0 * a.data()[i].re).abs() < 1e-12);
+        }
+
+        // Dead rows are zeroed by the pruned products.
+        let mut partial = vec![true; h];
+        partial[1] = false;
+        a.mul_pointwise_pruned_into(&b, &partial, &mut dst);
+        for x in 0..w {
+            assert_eq!(dst.at(x, 1), Complex::ZERO);
+        }
     }
 }

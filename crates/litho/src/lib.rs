@@ -39,7 +39,10 @@ mod error;
 pub mod fft;
 pub mod metrics;
 mod optics;
+pub mod plan;
+pub mod pool;
 mod raster;
+mod workspace;
 
 pub use engine::{LithoEngine, ProcessCondition};
 pub use error::LithoError;
@@ -48,4 +51,7 @@ pub use metrics::{
     MeasurePoint,
 };
 pub use optics::{build_kernels, OpticsConfig, SocsKernel};
+pub use plan::FftPlan;
+pub use pool::WorkerPool;
 pub use raster::{rasterize, rasterize_into};
+pub use workspace::LithoWorkspace;

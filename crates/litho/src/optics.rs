@@ -73,7 +73,9 @@ impl OpticsConfig {
             return Err(LithoError::InvalidOptics("wavelength must be positive"));
         }
         if !(self.na > 0.0 && self.na.is_finite()) {
-            return Err(LithoError::InvalidOptics("numerical aperture must be positive"));
+            return Err(LithoError::InvalidOptics(
+                "numerical aperture must be positive",
+            ));
         }
         if !(0.0..=1.0).contains(&self.sigma_inner)
             || !(0.0..=1.0).contains(&self.sigma_outer)
@@ -105,8 +107,7 @@ impl OpticsConfig {
             let sigma = self.sigma_inner + (self.sigma_outer - self.sigma_inner) * frac;
             for k in 0..self.points_per_ring {
                 // Stagger alternate rings for better angular coverage.
-                let theta = std::f64::consts::TAU
-                    * (k as f64 + 0.5 * (ring % 2) as f64)
+                let theta = std::f64::consts::TAU * (k as f64 + 0.5 * (ring % 2) as f64)
                     / self.points_per_ring as f64;
                 pts.push((sigma * fc * theta.cos(), sigma * fc * theta.sin(), 0.0));
             }
@@ -123,6 +124,30 @@ pub struct SocsKernel {
     pub weight: f64,
     /// Frequency-domain transfer function on the simulation grid.
     pub transfer: Field,
+    /// Per-row support mask: `live_rows[y]` is `true` when row `y` of
+    /// `transfer` has any nonzero sample. The pupil is band-limited, so on
+    /// production grids most rows are dead and the convolution hot loop
+    /// skips both their pointwise products and their inverse row
+    /// transforms (see [`crate::fft::Field::ifft2_pruned_unscaled`]).
+    pub live_rows: Vec<bool>,
+}
+
+impl SocsKernel {
+    /// Builds a kernel from a weight and transfer function, computing the
+    /// row support mask.
+    pub fn new(weight: f64, transfer: Field) -> SocsKernel {
+        let width = transfer.width();
+        let live_rows = transfer
+            .data()
+            .chunks_exact(width)
+            .map(|row| row.iter().any(|z| z.re != 0.0 || z.im != 0.0))
+            .collect();
+        SocsKernel {
+            weight,
+            transfer,
+            live_rows,
+        }
+    }
 }
 
 /// Builds the SOCS kernel stack for a simulation grid.
@@ -181,7 +206,7 @@ pub fn build_kernels(
                 }
             }
         }
-        kernels.push(SocsKernel { weight, transfer });
+        kernels.push(SocsKernel::new(weight, transfer));
     }
     Ok(kernels)
 }
@@ -198,11 +223,27 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let bad = [
-            OpticsConfig { wavelength: -1.0, ..OpticsConfig::default() },
-            OpticsConfig { na: 0.0, ..OpticsConfig::default() },
-            OpticsConfig { sigma_inner: 0.9, sigma_outer: 0.5, ..OpticsConfig::default() },
-            OpticsConfig { source_rings: 0, ..OpticsConfig::default() },
-            OpticsConfig { defocus: f64::NAN, ..OpticsConfig::default() },
+            OpticsConfig {
+                wavelength: -1.0,
+                ..OpticsConfig::default()
+            },
+            OpticsConfig {
+                na: 0.0,
+                ..OpticsConfig::default()
+            },
+            OpticsConfig {
+                sigma_inner: 0.9,
+                sigma_outer: 0.5,
+                ..OpticsConfig::default()
+            },
+            OpticsConfig {
+                source_rings: 0,
+                ..OpticsConfig::default()
+            },
+            OpticsConfig {
+                defocus: f64::NAN,
+                ..OpticsConfig::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?} should be invalid");

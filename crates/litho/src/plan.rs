@@ -1,0 +1,238 @@
+//! Cached FFT execution plans.
+//!
+//! Every transform size used by the engine gets one [`FftPlan`] holding the
+//! bit-reversal permutation and a precomputed twiddle table, built once and
+//! shared process-wide through a registry behind a `OnceLock`. This replaces
+//! the seed implementation's per-call `sin_cos` recurrence, which both
+//! recomputed the twiddles on every transform and accumulated rounding error
+//! multiplicatively along each butterfly stage.
+//!
+//! The table layout is the classic radix-2 one: `n/2` forward twiddles
+//! `w_n^k = exp(-2πik/n)`; a stage of length `len` reads them with stride
+//! `n/len`. Inverse twiddles are the conjugate table, stored separately so
+//! the butterfly loop stays branch-free.
+
+use crate::fft::Complex;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A reusable execution plan for power-of-two radix-2 FFTs of one size.
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// Index pairs `(i, j)` with `i < j` to swap for the bit-reversal pass.
+    swaps: Vec<(u32, u32)>,
+    /// Forward twiddles `exp(-2πik/n)` for `k in 0..n/2`.
+    forward: Vec<Complex>,
+    /// Inverse twiddles (conjugates of `forward`).
+    inverse: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Transform size this plan executes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate size-0 plan (never constructed in practice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn build(n: usize) -> FftPlan {
+        assert!(
+            crate::fft::is_power_of_two(n),
+            "FFT length must be a power of two"
+        );
+        let mut swaps = Vec::new();
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                swaps.push((i as u32, j as u32));
+            }
+        }
+        let half = n / 2;
+        let mut forward = Vec::with_capacity(half);
+        let mut inverse = Vec::with_capacity(half);
+        for k in 0..half {
+            let w = Complex::from_angle(-std::f64::consts::TAU * k as f64 / n as f64);
+            forward.push(w);
+            inverse.push(w.conj());
+        }
+        FftPlan {
+            n,
+            swaps,
+            forward,
+            inverse,
+        }
+    }
+
+    /// Fetches (building on first use) the shared plan for size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not a power of two.
+    pub fn get(n: usize) -> Arc<FftPlan> {
+        assert!(
+            crate::fft::is_power_of_two(n),
+            "FFT length must be a power of two"
+        );
+        static REGISTRY: OnceLock<RwLock<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+        let registry = REGISTRY.get_or_init(|| RwLock::new(HashMap::new()));
+        // A poisoned registry only means some unrelated thread panicked
+        // while inserting; the map itself is still consistent.
+        if let Some(plan) = registry.read().unwrap_or_else(|e| e.into_inner()).get(&n) {
+            return Arc::clone(plan);
+        }
+        let mut map = registry.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::build(n))))
+    }
+
+    /// Executes the transform in place, including the `1/n` normalisation on
+    /// the inverse so `ifft(fft(x)) == x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` differs from the plan size.
+    #[inline]
+    pub fn execute(&self, data: &mut [Complex], inverse: bool) {
+        self.execute_unscaled(data, inverse);
+        if inverse && self.n > 1 {
+            let inv = 1.0 / self.n as f64;
+            for z in data.iter_mut() {
+                *z = z.scale(inv);
+            }
+        }
+    }
+
+    /// Executes the transform without the inverse `1/n` normalisation.
+    ///
+    /// The 2-D paths use this to fold both axes' normalisations into a single
+    /// pass (or into the SOCS accumulation weight) instead of re-scaling the
+    /// whole field after every 1-D transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` differs from the plan size.
+    pub fn execute_unscaled(&self, data: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "data length does not match plan size");
+        if n <= 1 {
+            return;
+        }
+
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+
+        let twiddles = if inverse {
+            &self.inverse
+        } else {
+            &self.forward
+        };
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            let mut i = 0;
+            while i < n {
+                let (lo, hi) = data[i..i + len].split_at_mut(half);
+                for k in 0..half {
+                    let u = lo[k];
+                    let v = hi[k] * twiddles[k * stride];
+                    lo[k] = u + v;
+                    hi[k] = u - v;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n²) DFT used as the ground truth.
+    fn dft(input: &[Complex], inverse: bool) -> Vec<Complex> {
+        let n = input.len();
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut out = vec![Complex::ZERO; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            for (j, &x) in input.iter().enumerate() {
+                let ang = sign * std::f64::consts::TAU * (k * j) as f64 / n as f64;
+                *o += x * Complex::from_angle(ang);
+            }
+        }
+        if inverse {
+            for o in out.iter_mut() {
+                *o = o.scale(1.0 / n as f64);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn plan_matches_naive_dft_for_all_sizes() {
+        use cardopc_geometry::SplitMix64;
+        let mut n = 2usize;
+        while n <= 1024 {
+            let mut rng = SplitMix64::new(n as u64);
+            let input: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+                .collect();
+            for inverse in [false, true] {
+                let expected = dft(&input, inverse);
+                let mut got = input.clone();
+                FftPlan::get(n).execute(&mut got, inverse);
+                let scale = (n as f64).max(1.0);
+                for (a, b) in got.iter().zip(&expected) {
+                    assert!(
+                        (*a - *b).norm() < 1e-9 * scale,
+                        "size {n} inverse {inverse}: {a} vs {b}"
+                    );
+                }
+            }
+            n *= 2;
+        }
+    }
+
+    #[test]
+    fn registry_returns_shared_plans() {
+        let a = FftPlan::get(64);
+        let b = FftPlan::get(64);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 64);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn unscaled_inverse_differs_by_n() {
+        let plan = FftPlan::get(8);
+        let input: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
+        let mut scaled = input.clone();
+        plan.execute(&mut scaled, true);
+        let mut unscaled = input;
+        plan.execute_unscaled(&mut unscaled, true);
+        for (s, u) in scaled.iter().zip(&unscaled) {
+            assert!((u.scale(1.0 / 8.0) - *s).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_plan_panics() {
+        let _ = FftPlan::get(12);
+    }
+}

@@ -173,7 +173,12 @@ mod tests {
     fn pitch_scaling() {
         // Same physical square at 2 nm pitch covers 1/4 the pixels.
         let sq = Polygon::rect(Point::new(4.0, 4.0), Point::new(12.0, 12.0));
-        let g1 = rasterize(&[std::iter::once(sq.clone()).collect::<Vec<_>>()[0].clone()], 16, 16, 1.0);
+        let g1 = rasterize(
+            &[std::iter::once(sq.clone()).collect::<Vec<_>>()[0].clone()],
+            16,
+            16,
+            1.0,
+        );
         let g2 = rasterize(&[sq], 8, 8, 2.0);
         assert!((g1.sum() - 64.0).abs() < 1e-9);
         assert!((g2.sum() - 16.0).abs() < 1e-9);
@@ -194,7 +199,12 @@ mod tests {
         ]);
         let expected = u.area();
         let g = rasterize(&[u], 12, 12, 1.0);
-        assert!((g.sum() - expected).abs() < 1e-6, "{} vs {}", g.sum(), expected);
+        assert!(
+            (g.sum() - expected).abs() < 1e-6,
+            "{} vs {}",
+            g.sum(),
+            expected
+        );
         // The notch is empty.
         assert_eq!(g[(6, 8)], 0.0);
     }

@@ -1,0 +1,204 @@
+//! Reusable scratch state for the SOCS convolution hot loop.
+//!
+//! One [`LithoWorkspace`] holds every buffer `LithoEngine::image_with` (and
+//! pixel ILT's forward/backward passes) needs: the mask spectrum, one work
+//! field + transpose scratch + accumulator per parallel task slot. After the
+//! first call at a given grid size, the per-kernel loop performs **zero heap
+//! allocations** — `mul_pointwise_pruned_into` writes into the slot's field,
+//! the pruned inverse FFT reuses the slot's transpose scratch, and the
+//! `|z|²` reduction accumulates in place.
+
+use crate::fft::{Complex, Field};
+use crate::optics::SocsKernel;
+use crate::pool::WorkerPool;
+
+/// Scratch owned by one parallel task slot.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WorkSlot {
+    /// Frequency/space work field for the per-kernel product + inverse FFT.
+    pub field: Option<Field>,
+    /// Blocked-transpose scratch for the 2-D FFT column pass.
+    pub scratch: Vec<Complex>,
+    /// Per-slot partial accumulator (reduced in slot order afterwards).
+    pub acc: Vec<f64>,
+}
+
+/// Reusable buffers for aerial-image / ILT hot loops on one grid size.
+#[derive(Clone, Debug, Default)]
+pub struct LithoWorkspace {
+    width: usize,
+    height: usize,
+    /// Forward spectrum of the current mask.
+    pub(crate) spectrum: Option<Field>,
+    /// Scratch for the forward transform's column pass.
+    pub(crate) forward_scratch: Vec<Complex>,
+    pub(crate) slots: Vec<WorkSlot>,
+}
+
+impl LithoWorkspace {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> LithoWorkspace {
+        LithoWorkspace::default()
+    }
+
+    /// Ensures buffers exist for a `width`×`height` grid and `slots`
+    /// parallel task slots (no-op when already sized).
+    fn prepare(&mut self, width: usize, height: usize, slots: usize) {
+        let n = width * height;
+        if self.width != width || self.height != height {
+            self.width = width;
+            self.height = height;
+            self.spectrum = None;
+            self.slots.clear();
+        }
+        if self.spectrum.is_none() {
+            self.spectrum = Some(Field::zeros(width, height));
+        }
+        if self.slots.len() < slots {
+            self.slots.resize_with(slots, WorkSlot::default);
+        }
+        for slot in &mut self.slots[..slots] {
+            if slot.field.is_none() {
+                slot.field = Some(Field::zeros(width, height));
+            }
+            if slot.acc.len() != n {
+                slot.acc = vec![0.0; n];
+            }
+        }
+    }
+
+    /// Computes the SOCS intensity `Σ_k w_k |M ⊗ h_k|²` of a real-valued
+    /// mask raster into `intensity`, using `pool` with `parallelism` task
+    /// slots. `intensity` must have `width*height` elements; it is
+    /// overwritten.
+    ///
+    /// The per-kernel normalisation `1/(width·height)²` (from the unscaled
+    /// inverse transform) is folded into each kernel's weight, and kernels
+    /// are statically chunked in ascending order with the slot partials
+    /// reduced in slot order, so the summation order per pixel is the
+    /// ascending kernel order regardless of `parallelism` (results match
+    /// the single-threaded path to reassociation rounding, < 1e-12).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mask.len()` or `intensity.len()` differ from
+    /// `width*height`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn socs_intensity(
+        &mut self,
+        width: usize,
+        height: usize,
+        mask: &[f64],
+        kernels: &[SocsKernel],
+        pool: &WorkerPool,
+        parallelism: usize,
+        intensity: &mut [f64],
+    ) {
+        let n = width * height;
+        assert_eq!(mask.len(), n, "mask sample count mismatch");
+        assert_eq!(intensity.len(), n, "intensity sample count mismatch");
+        let tasks = parallelism.clamp(1, kernels.len().max(1));
+        self.prepare(width, height, tasks);
+
+        let spectrum = self.spectrum.as_mut().expect("prepared above");
+        spectrum.fill_forward_real_with(mask, &mut self.forward_scratch);
+        let spectrum: &Field = spectrum;
+
+        // |IFFT_unscaled(z)/n|² = |z|²/n²: fold the normalisation into w_k.
+        let inv_n2 = 1.0 / (n as f64 * n as f64);
+        let chunk = kernels.len().div_ceil(tasks);
+        let slots = &mut self.slots[..tasks];
+        pool.run_with_slots(slots, |t, slot| {
+            let field = slot.field.as_mut().expect("prepared above");
+            slot.acc.fill(0.0);
+            for kernel in kernels.iter().skip(t * chunk).take(chunk) {
+                spectrum.mul_pointwise_pruned_into(&kernel.transfer, &kernel.live_rows, field);
+                field.ifft2_pruned_unscaled(&kernel.live_rows, &mut slot.scratch);
+                field.accumulate_norm_sq(kernel.weight * inv_n2, &mut slot.acc);
+            }
+        });
+
+        intensity.fill(0.0);
+        for slot in slots.iter() {
+            for (dst, &v) in intensity.iter_mut().zip(&slot.acc) {
+                *dst += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optics::{build_kernels, OpticsConfig};
+    use cardopc_geometry::SplitMix64;
+
+    fn kernels_64() -> Vec<SocsKernel> {
+        let cfg = OpticsConfig {
+            source_rings: 1,
+            points_per_ring: 6,
+            ..OpticsConfig::default()
+        };
+        build_kernels(&cfg, 64, 64, 8.0, 0.0).unwrap()
+    }
+
+    fn random_mask(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.range_f64(0.0, 1.0)).collect()
+    }
+
+    /// Reference SOCS intensity via the plain (allocating) field API.
+    fn reference_intensity(mask: &[f64], kernels: &[SocsKernel]) -> Vec<f64> {
+        let spectrum = {
+            let mut f = Field::from_real(64, 64, mask);
+            f.fft2_inplace(false);
+            f
+        };
+        let mut intensity = vec![0.0; 64 * 64];
+        for k in kernels {
+            let mut field = spectrum.mul_pointwise(&k.transfer);
+            field.fft2_inplace(true);
+            for (dst, z) in intensity.iter_mut().zip(field.data()) {
+                *dst += k.weight * z.norm_sq();
+            }
+        }
+        intensity
+    }
+
+    #[test]
+    fn socs_intensity_matches_reference_for_any_parallelism() {
+        let kernels = kernels_64();
+        let mask = random_mask(64 * 64, 42);
+        let expected = reference_intensity(&mask, &kernels);
+        let pool = WorkerPool::new(4);
+        for parallelism in [1usize, 2, 3, 4, 16] {
+            let mut ws = LithoWorkspace::new();
+            let mut intensity = vec![0.0; 64 * 64];
+            ws.socs_intensity(64, 64, &mask, &kernels, &pool, parallelism, &mut intensity);
+            for (i, (&got, &want)) in intensity.iter().zip(&expected).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-12 * (1.0 + want.abs()),
+                    "parallelism {parallelism}, pixel {i}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_calls_and_sizes() {
+        let kernels = kernels_64();
+        let pool = WorkerPool::new(2);
+        let mut ws = LithoWorkspace::new();
+        let mut out_a = vec![0.0; 64 * 64];
+        let mut out_b = vec![0.0; 64 * 64];
+        let mask_a = random_mask(64 * 64, 1);
+        let mask_b = random_mask(64 * 64, 2);
+        ws.socs_intensity(64, 64, &mask_a, &kernels, &pool, 2, &mut out_a);
+        ws.socs_intensity(64, 64, &mask_b, &kernels, &pool, 2, &mut out_b);
+        // Fresh workspace agrees: no state leaks between calls.
+        let mut fresh = LithoWorkspace::new();
+        let mut out_b2 = vec![0.0; 64 * 64];
+        fresh.socs_intensity(64, 64, &mask_b, &kernels, &pool, 2, &mut out_b2);
+        assert_eq!(out_b, out_b2);
+    }
+}

@@ -127,7 +127,10 @@ impl MrcChecker {
     /// Panics when `rules` is invalid or `samples_per_segment == 0`.
     pub fn with_sampling(rules: MrcRules, samples_per_segment: usize) -> Self {
         rules.assert_valid();
-        assert!(samples_per_segment > 0, "need at least one sample per segment");
+        assert!(
+            samples_per_segment > 0,
+            "need at least one sample per segment"
+        );
         MrcChecker {
             rules,
             samples_per_segment,
@@ -407,7 +410,10 @@ mod tests {
 
     #[test]
     fn clean_layout_no_violations() {
-        let shapes = [square(0.0, 0.0, 200.0, 200.0), square(300.0, 0.0, 200.0, 200.0)];
+        let shapes = [
+            square(0.0, 0.0, 200.0, 200.0),
+            square(300.0, 0.0, 200.0, 200.0),
+        ];
         let checker = MrcChecker::new(MrcRules::default());
         let vs = checker.check(&shapes);
         assert!(vs.is_empty(), "unexpected: {vs:?}");
@@ -416,7 +422,10 @@ mod tests {
     #[test]
     fn spacing_violation_detected_between_close_shapes() {
         // Gap of 10 nm < 25 nm limit.
-        let shapes = [square(0.0, 0.0, 100.0, 100.0), square(110.0, 0.0, 100.0, 100.0)];
+        let shapes = [
+            square(0.0, 0.0, 100.0, 100.0),
+            square(110.0, 0.0, 100.0, 100.0),
+        ];
         let checker = MrcChecker::new(MrcRules::default());
         let vs = checker.check_spacing(&shapes);
         assert!(!vs.is_empty());
@@ -432,7 +441,10 @@ mod tests {
     #[test]
     fn spacing_respects_limit_boundary() {
         // Gap of 30 nm > 25 nm: clean.
-        let shapes = [square(0.0, 0.0, 100.0, 100.0), square(130.0, 0.0, 100.0, 100.0)];
+        let shapes = [
+            square(0.0, 0.0, 100.0, 100.0),
+            square(130.0, 0.0, 100.0, 100.0),
+        ];
         let checker = MrcChecker::new(MrcRules::default());
         assert!(checker.check_spacing(&shapes).is_empty());
     }

@@ -142,7 +142,9 @@ impl MrcResolver {
         // fixable violations.
         if self.config.area_policy == AreaPolicy::RemoveShape {
             let before = shapes.len();
-            shapes.retain(|s| sampled_area(s, self.config.samples_per_segment) >= self.rules.min_area);
+            shapes.retain(|s| {
+                sampled_area(s, self.config.samples_per_segment) >= self.rules.min_area
+            });
             report.shapes_removed = before - shapes.len();
         }
 
@@ -154,8 +156,7 @@ impl MrcResolver {
                 break;
             }
             report.rounds = round + 1;
-            let step = self.config.step_schedule
-                [round.min(self.config.step_schedule.len() - 1)];
+            let step = self.config.step_schedule[round.min(self.config.step_schedule.len() - 1)];
 
             // One move per (shape, control point) per round; aggregate the
             // requested directions so opposing requests cancel.
@@ -244,8 +245,7 @@ impl MrcResolver {
                     shapes[shape_idx].control_points_mut()[cp] += delta;
                     report.moves_applied += 1;
                 }
-                let area_after =
-                    sampled_area(&shapes[shape_idx], self.config.samples_per_segment);
+                let area_after = sampled_area(&shapes[shape_idx], self.config.samples_per_segment);
                 if area_after < self.rules.min_area && area_before >= self.rules.min_area {
                     match self.config.area_policy {
                         // The move created an area violation: cancel it.
@@ -308,9 +308,8 @@ impl MrcResolver {
                 let mut guilty: Vec<usize> = violations.iter().map(|v| v.shape).collect();
                 guilty.sort_unstable();
                 guilty.dedup();
-                guilty.retain(|&i| {
-                    sampled_area(&shapes[i], self.config.samples_per_segment) < limit
-                });
+                guilty
+                    .retain(|&i| sampled_area(&shapes[i], self.config.samples_per_segment) < limit);
                 if !guilty.is_empty() {
                     for idx in guilty.into_iter().rev() {
                         shapes.remove(idx);
@@ -429,7 +428,11 @@ mod tests {
         let resolver = MrcResolver::new(MrcRules::default(), ResolveConfig::default());
         let report = resolver.resolve(&mut shapes);
         assert!(report.initial_violations > 0);
-        assert!(report.is_clean(), "remaining: {:?}", &report.remaining[..report.remaining.len().min(3)]);
+        assert!(
+            report.is_clean(),
+            "remaining: {:?}",
+            &report.remaining[..report.remaining.len().min(3)]
+        );
         assert!(report.moves_applied > 0);
         assert_eq!(shapes.len(), 2);
     }

@@ -114,7 +114,10 @@ impl RectOpcConfig {
     }
 
     fn assert_valid(&self) {
-        assert!(self.l_c > 0.0 && self.l_u > 0.0, "dissection lengths must be positive");
+        assert!(
+            self.l_c > 0.0 && self.l_u > 0.0,
+            "dissection lengths must be positive"
+        );
         assert!(self.move_step > 0.0, "move step must be positive");
         assert!(self.iterations > 0, "need at least one iteration");
         assert!(self.pitch > 0.0, "pitch must be positive");
@@ -226,11 +229,12 @@ impl RectOpc {
                     .collect();
                 total += epes.iter().map(|e| e.abs()).sum::<f64>();
                 let n = shape.offsets.len();
-                let deltas: Vec<f64> =
-                    epes.iter().map(|e| (-e).clamp(-step, step)).collect();
+                let deltas: Vec<f64> = epes.iter().map(|e| (-e).clamp(-step, step)).collect();
                 for i in 0..n {
                     let d = if self.config.smooth {
-                        0.25 * deltas[(i + n - 1) % n] + 0.5 * deltas[i] + 0.25 * deltas[(i + 1) % n]
+                        0.25 * deltas[(i + n - 1) % n]
+                            + 0.5 * deltas[i]
+                            + 0.25 * deltas[(i + 1) % n]
                     } else {
                         deltas[i]
                     };

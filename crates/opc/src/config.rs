@@ -166,7 +166,10 @@ impl OpcConfig {
     /// Panics with a descriptive message on invalid values; configurations
     /// are build-time constants, not runtime data.
     pub fn assert_valid(&self) {
-        assert!(self.l_c > 0.0 && self.l_u > 0.0, "dissection lengths must be positive");
+        assert!(
+            self.l_c > 0.0 && self.l_u > 0.0,
+            "dissection lengths must be positive"
+        );
         assert!(self.move_step > 0.0, "move step must be positive");
         assert!(self.iterations > 0, "need at least one iteration");
         assert!(

@@ -74,7 +74,8 @@ impl OpcShape {
             .enumerate()
             .map(|(i, s)| {
                 if s.is_corner {
-                    s.midpoint().lerp(boundary_spline.point(i, 0.5), corner_pull)
+                    s.midpoint()
+                        .lerp(boundary_spline.point(i, 0.5), corner_pull)
                 } else {
                     s.midpoint()
                 }

@@ -50,7 +50,10 @@ impl DissectedSegment {
 /// assert!(segs.iter().filter(|s| s.is_corner).count() == 8);
 /// ```
 pub fn dissect_polygon(poly: &Polygon, l_c: f64, l_u: f64) -> Vec<DissectedSegment> {
-    assert!(l_c > 0.0 && l_u > 0.0, "dissection lengths must be positive");
+    assert!(
+        l_c > 0.0 && l_u > 0.0,
+        "dissection lengths must be positive"
+    );
     let ccw = poly.clone().into_ccw();
     let mut out = Vec::new();
     for edge in ccw.edges() {

@@ -69,7 +69,10 @@ mod tests {
         assert!(e.to_string().contains("lithography"));
         assert!(e.source().is_some());
         assert!(OpcError::EmptyClip.source().is_none());
-        let big = OpcError::ClipTooLarge { needed: 9000, max: 4096 };
+        let big = OpcError::ClipTooLarge {
+            needed: 9000,
+            max: 4096,
+        };
         assert!(big.to_string().contains("9000"));
         let s = OpcError::from(SplineError::InvalidTension);
         assert!(s.to_string().contains("spline"));

@@ -63,7 +63,14 @@ pub fn evaluate_mask(
 ) -> Result<Evaluation, OpcError> {
     let (w, h, pitch) = (engine.width(), engine.height(), engine.pitch());
     let mask_raster = rasterize(mask, w, h, pitch);
-    evaluate_mask_grid(engine, &mask_raster, targets, convention, dose_delta, epe_search)
+    evaluate_mask_grid(
+        engine,
+        &mask_raster,
+        targets,
+        convention,
+        dose_delta,
+        epe_search,
+    )
 }
 
 /// Scores a rasterised mask (e.g. a pixel ILT output) against target
@@ -182,7 +189,11 @@ mod tests {
         // A 400 nm feature printed from its own drawn mask with a
         // calibrated threshold: edge-centre EPE stays within a few nm
         // (corner rounding does not affect edge centres).
-        assert!(eval.epe.mean_abs() < 4.0, "mean EPE {}", eval.epe.mean_abs());
+        assert!(
+            eval.epe.mean_abs() < 4.0,
+            "mean EPE {}",
+            eval.epe.mean_abs()
+        );
         assert!(eval.pvb_nm2 > 0.0, "PVB should be positive");
         assert!(eval.l2_nm2 < 400.0 * 400.0, "L2 {}", eval.l2_nm2);
     }
@@ -199,8 +210,24 @@ mod tests {
             Point::new(360.0, 360.0),
             Point::new(640.0, 640.0),
         )];
-        let good = evaluate_mask(&e, &target, &target, MeasureConvention::ViaEdgeCenters, 0.02, 60.0).unwrap();
-        let bad = evaluate_mask(&e, &bad_mask, &target, MeasureConvention::ViaEdgeCenters, 0.02, 60.0).unwrap();
+        let good = evaluate_mask(
+            &e,
+            &target,
+            &target,
+            MeasureConvention::ViaEdgeCenters,
+            0.02,
+            60.0,
+        )
+        .unwrap();
+        let bad = evaluate_mask(
+            &e,
+            &bad_mask,
+            &target,
+            MeasureConvention::ViaEdgeCenters,
+            0.02,
+            60.0,
+        )
+        .unwrap();
         assert!(bad.epe_sum_nm > good.epe_sum_nm);
         assert!(bad.l2_nm2 > good.l2_nm2);
     }

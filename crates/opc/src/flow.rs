@@ -239,11 +239,7 @@ impl CardOpc {
         self.config.convention
     }
 
-    fn raster_shapes(
-        &self,
-        shapes: &[OpcShape],
-        engine: &LithoEngine,
-    ) -> cardopc_geometry::Grid {
+    fn raster_shapes(&self, shapes: &[OpcShape], engine: &LithoEngine) -> cardopc_geometry::Grid {
         let polys: Vec<Polygon> = shapes
             .iter()
             .map(|s| s.spline.to_polygon(self.config.samples_per_segment))

@@ -53,8 +53,7 @@ pub use dissect::{dissect_polygon, DissectedSegment};
 pub use error::OpcError;
 pub use eval::{
     engine_for_extent, evaluate_mask, evaluate_mask_grid, raster_for_engine, Evaluation,
-    MeasureConvention,
-    EPE_TOLERANCE,
+    MeasureConvention, EPE_TOLERANCE,
 };
 pub use flow::{CardOpc, OpcOutcome};
 pub use sraf::insert_srafs;

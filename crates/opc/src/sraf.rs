@@ -27,12 +27,8 @@ pub fn insert_srafs(
     tension: f64,
     window: BBox,
 ) -> Result<Vec<OpcShape>, SplineError> {
-    let mut occupied: RTree<()> = RTree::bulk_load(
-        targets
-            .iter()
-            .map(|t| (t.bbox(), ()))
-            .collect(),
-    );
+    let mut occupied: RTree<()> =
+        RTree::bulk_load(targets.iter().map(|t| (t.bbox(), ())).collect());
 
     let mut srafs = Vec::new();
     for target in targets {
@@ -66,7 +62,12 @@ pub fn insert_srafs(
             // Keep clear of everything already on the mask (with a margin
             // of half the SRAF-to-pattern distance).
             let clearance = bbox.expanded(config.distance * 0.4);
-            if occupied.query_indices(&clearance).into_iter().next().is_some() {
+            if occupied
+                .query_indices(&clearance)
+                .into_iter()
+                .next()
+                .is_some()
+            {
                 continue;
             }
 
@@ -162,8 +163,13 @@ mod tests {
         // 100 nm-distance SRAF with clearance, so facing edges get none.
         let a = Polygon::rect(Point::new(700.0, 900.0), Point::new(800.0, 1000.0));
         let b = Polygon::rect(Point::new(950.0, 900.0), Point::new(1050.0, 1000.0));
-        let srafs = insert_srafs(&[a.clone(), b.clone()], &SrafConfig::default(), 0.6, window())
-            .unwrap();
+        let srafs = insert_srafs(
+            &[a.clone(), b.clone()],
+            &SrafConfig::default(),
+            0.6,
+            window(),
+        )
+        .unwrap();
         // Fewer than the 8 an isolated pair would receive.
         assert!(srafs.len() < 8, "got {} SRAFs", srafs.len());
         // And none of them overlaps a target.

@@ -10,7 +10,10 @@ fn random_rect(seed: u64) -> Polygon {
     let y0 = rng.range_f64(0.0, 500.0);
     Polygon::rect(
         Point::new(x0, y0),
-        Point::new(x0 + rng.range_f64(50.0, 400.0), y0 + rng.range_f64(50.0, 400.0)),
+        Point::new(
+            x0 + rng.range_f64(50.0, 400.0),
+            y0 + rng.range_f64(50.0, 400.0),
+        ),
     )
 }
 

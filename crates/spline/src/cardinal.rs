@@ -369,7 +369,10 @@ mod tests {
         for &s in &[0.0, 0.3, 0.5, 0.6, 1.0, 2.0, -0.5] {
             let sp = CardinalSpline::closed(square(), s).unwrap();
             for i in 0..4 {
-                assert!(sp.point(i, 0.0).distance(square()[i]) < 1e-12, "tension {s}");
+                assert!(
+                    sp.point(i, 0.0).distance(square()[i]) < 1e-12,
+                    "tension {s}"
+                );
             }
         }
     }
@@ -507,7 +510,11 @@ mod tests {
         assert!(poly.signed_area() > 0.0);
         // With s = 0.6 each side bulges ~1.5 nm outward (p(0.5) of the
         // bottom segment is (5, -1.5)), adding ~10 nm^2 per side.
-        assert!(poly.area() > 100.0 && poly.area() < 150.0, "area {}", poly.area());
+        assert!(
+            poly.area() > 100.0 && poly.area() < 150.0,
+            "area {}",
+            poly.area()
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ mod tests {
     #[test]
     fn display_messages() {
         let e = SplineError::TooFewPoints { got: 1, need: 3 };
-        assert_eq!(e.to_string(), "spline needs at least 3 control points, got 1");
+        assert_eq!(
+            e.to_string(),
+            "spline needs at least 3 control points, got 1"
+        );
         assert!(!SplineError::InvalidTension.to_string().is_empty());
         assert!(!SplineError::NonFinitePoint.to_string().is_empty());
         assert!(!SplineError::InvalidRatio.to_string().is_empty());

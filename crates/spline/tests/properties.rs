@@ -1,7 +1,7 @@
 //! Property-based tests for spline invariants.
 
 use cardopc_geometry::{Point, Polygon, SplitMix64};
-use cardopc_spline::{fit_contour, fit::resample_closed, BezierChain, CardinalSpline, FitConfig};
+use cardopc_spline::{fit::resample_closed, fit_contour, BezierChain, CardinalSpline, FitConfig};
 use proptest::prelude::*;
 
 /// A random simple (star-shaped) closed control polygon.

@@ -53,6 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.mrc_initial_violations,
         outcome.mrc_remaining,
     );
-    println!("wall time: {elapsed:.2?} for {} shapes", clip.targets().len());
+    println!(
+        "wall time: {elapsed:.2?} for {} shapes",
+        clip.targets().len()
+    );
     Ok(())
 }

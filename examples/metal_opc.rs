@@ -39,12 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Calibre-like rectilinear baseline with the same budget.
     let rect = RectOpc::new(RectOpcConfig::calibre_like_metal());
-    let rect_out = rect.run_with_engine(clip, &engine, &[], MeasureConvention::MetalSpacing(60.0))?;
+    let rect_out =
+        rect.run_with_engine(clip, &engine, &[], MeasureConvention::MetalSpacing(60.0))?;
     println!(
         "rect baseline: EPE {:7.1} nm | PVB {:9.0} nm^2 | L2 {:8.0} nm^2",
-        rect_out.evaluation.epe_sum_nm,
-        rect_out.evaluation.pvb_nm2,
-        rect_out.evaluation.l2_nm2,
+        rect_out.evaluation.epe_sum_nm, rect_out.evaluation.pvb_nm2, rect_out.evaluation.l2_nm2,
     );
 
     if card.evaluation.epe_sum_nm <= rect_out.evaluation.epe_sum_nm {

@@ -143,7 +143,10 @@ fn svg_export_of_flow_output() {
         "svg",
         512.0,
         512.0,
-        vec![Polygon::rect(Point::new(200.0, 200.0), Point::new(320.0, 320.0))],
+        vec![Polygon::rect(
+            Point::new(200.0, 200.0),
+            Point::new(320.0, 320.0),
+        )],
     );
     let cfg = OpcConfig {
         iterations: 2,

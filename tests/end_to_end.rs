@@ -57,10 +57,7 @@ fn cardopc_beats_no_opc_on_all_metrics_history() {
     // Convergence: the anchor EPE must at least halve.
     let first = outcome.epe_history[0];
     let last = *outcome.epe_history.last().unwrap();
-    assert!(
-        last < 0.7 * first,
-        "weak convergence: {first} -> {last}"
-    );
+    assert!(last < 0.7 * first, "weak convergence: {first} -> {last}");
 }
 
 #[test]

@@ -104,5 +104,8 @@ fn resample_and_fit_are_deterministic() {
             Point::new(th.cos(), th.sin())
         })
         .collect();
-    assert_eq!(resample_closed(&loop_pts, 10), resample_closed(&loop_pts, 10));
+    assert_eq!(
+        resample_closed(&loop_pts, 10),
+        resample_closed(&loop_pts, 10)
+    );
 }
