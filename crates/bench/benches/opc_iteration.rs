@@ -1,9 +1,16 @@
 //! Criterion benchmark of one CardOPC correction iteration (connect →
 //! rasterise → simulate → correct) on a small clip, plus initialisation.
+//!
+//! The iteration bench exercises the optimised hot path the flow uses:
+//! control points are resampled through a shared [`SamplingPlan`], the
+//! (static) assist layer lives in a [`RasterCache`] base, the aerial image
+//! is restricted to the columns the EPE correction reads, and the
+//! correction itself runs shape-parallel on the worker pool.
 
-use cardopc::litho::rasterize;
+use cardopc::litho::RasterCache;
 use cardopc::opc::{correct_shapes, engine_for_extent, CorrectionStep};
 use cardopc::prelude::*;
+use cardopc::spline::SamplingPlan;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -27,6 +34,31 @@ fn bench_initialise(c: &mut Criterion) {
     });
 }
 
+/// The pixel columns EPE probes can read: every frozen anchor's x-extent
+/// expanded by the search range plus a bilinear-footprint margin (mirrors
+/// the flow's internal ROI computation).
+fn roi_columns(
+    shapes: &[cardopc::opc::OpcShape],
+    width: usize,
+    pitch: f64,
+    epe_search: f64,
+) -> Vec<usize> {
+    let margin = epe_search + 2.0 * pitch;
+    let mut needed = vec![false; width];
+    for shape in shapes.iter().filter(|s| !s.is_sraf) {
+        for anchor in &shape.anchors {
+            let lo = ((anchor.position.x - margin) / pitch - 0.5)
+                .floor()
+                .max(0.0) as usize;
+            let hi = (((anchor.position.x + margin) / pitch - 0.5).floor() + 1.0).max(0.0) as usize;
+            for flag in &mut needed[lo.min(width - 1)..=hi.min(width - 1)] {
+                *flag = true;
+            }
+        }
+    }
+    (0..width).filter(|&c| needed[c]).collect()
+}
+
 fn bench_iteration(c: &mut Criterion) {
     let clip = small_clip();
     let config = OpcConfig {
@@ -39,17 +71,30 @@ fn bench_iteration(c: &mut Criterion) {
     let flow = CardOpc::new(config.clone());
     let shapes = flow.initialize(&clip).unwrap();
 
+    let plan = SamplingPlan::get(config.samples_per_segment, config.tension);
+    let cols = roi_columns(&shapes, engine.width(), engine.pitch(), config.epe_search);
+    let mut cache = RasterCache::new(engine.width(), engine.height(), engine.pitch());
+    cache.set_base(&[]);
+
     let mut group = c.benchmark_group("cardopc_iteration");
     group.sample_size(10);
     group.bench_function("connect_simulate_correct_128", |b| {
+        let mut samples: Vec<Point> = Vec::new();
+        let mut main_polys: Vec<Polygon> = Vec::new();
         b.iter(|| {
             let mut shapes = shapes.clone();
-            let polys: Vec<Polygon> = shapes
-                .iter()
-                .map(|s| s.spline.to_polygon(config.samples_per_segment))
-                .collect();
-            let mask = rasterize(&polys, engine.width(), engine.height(), engine.pitch());
-            let aerial = engine.aerial_image(&mask).unwrap();
+            for (i, shape) in shapes.iter().filter(|s| !s.is_sraf).enumerate() {
+                shape.spline.sample_into(&plan, &mut samples);
+                match main_polys.get_mut(i) {
+                    Some(poly) if poly.len() == samples.len() => {
+                        poly.vertices_mut().copy_from_slice(&samples);
+                    }
+                    Some(poly) => *poly = Polygon::new(samples.clone()),
+                    None => main_polys.push(Polygon::new(samples.clone())),
+                }
+            }
+            let mask = cache.composite(&main_polys);
+            let aerial = engine.aerial_image_cols(mask, &cols).unwrap();
             let total = correct_shapes(
                 &mut shapes,
                 &aerial,

@@ -237,6 +237,44 @@ impl LithoEngine {
         Grid::from_data(self.width, self.height, self.pitch, intensity)
     }
 
+    fn image_with_cols(&self, kernels: &[SocsKernel], mask: &Grid, cols: &[usize]) -> Grid {
+        let mut intensity = vec![0.0f64; self.width * self.height];
+        let pool = WorkerPool::global();
+        match self.workspace.try_lock() {
+            Ok(mut ws) => ws.socs_intensity_cols(
+                self.width,
+                self.height,
+                mask.data(),
+                kernels,
+                cols,
+                pool,
+                self.workers,
+                &mut intensity,
+            ),
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner().socs_intensity_cols(
+                self.width,
+                self.height,
+                mask.data(),
+                kernels,
+                cols,
+                pool,
+                self.workers,
+                &mut intensity,
+            ),
+            Err(TryLockError::WouldBlock) => LithoWorkspace::new().socs_intensity_cols(
+                self.width,
+                self.height,
+                mask.data(),
+                kernels,
+                cols,
+                pool,
+                self.workers,
+                &mut intensity,
+            ),
+        }
+        Grid::from_data(self.width, self.height, self.pitch, intensity)
+    }
+
     /// Computes the aerial image `I = Σ_k w_k |M ⊗ h_k|²` at nominal focus.
     ///
     /// # Errors
@@ -245,6 +283,27 @@ impl LithoEngine {
     pub fn aerial_image(&self, mask: &Grid) -> Result<Grid, LithoError> {
         self.check_mask(mask)?;
         Ok(self.image_with(&self.nominal, mask))
+    }
+
+    /// Nominal-focus aerial image restricted to the given pixel columns
+    /// (x indices); every other pixel of the result is zero.
+    ///
+    /// Computed columns are bit-identical to [`LithoEngine::aerial_image`]
+    /// at the same worker count, but the per-kernel inverse transform skips
+    /// both transposes and all off-ROI column transforms — the OPC
+    /// correction loop uses this because EPE evaluation only samples the
+    /// image near the frozen measurement anchors.
+    ///
+    /// # Errors
+    ///
+    /// [`LithoError::GridMismatch`] when the mask grid has the wrong shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a column index is out of range.
+    pub fn aerial_image_cols(&self, mask: &Grid, cols: &[usize]) -> Result<Grid, LithoError> {
+        self.check_mask(mask)?;
+        Ok(self.image_with_cols(&self.nominal, mask, cols))
     }
 
     /// Aerial image at the defocused condition.
@@ -385,6 +444,32 @@ mod tests {
                     (a - b).abs() < 1e-12 * (1.0 + b.abs()),
                     "workers {workers}, pixel {i}: {a} vs {b}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn aerial_image_cols_matches_full_image() {
+        let mut rng = cardopc_geometry::SplitMix64::new(78);
+        let mut mask = Grid::zeros(64, 64, 8.0);
+        for v in mask.data_mut() {
+            *v = rng.range_f64(0.0, 1.0);
+        }
+        let engine = small_engine();
+        let full = engine.aerial_image(&mask).unwrap();
+        let cols: Vec<usize> = (10..30).chain(40..45).collect();
+        let roi = engine.aerial_image_cols(&mask, &cols).unwrap();
+        for iy in 0..64 {
+            for ix in 0..64 {
+                if cols.contains(&ix) {
+                    assert_eq!(
+                        roi[(ix, iy)],
+                        full[(ix, iy)],
+                        "pixel ({ix},{iy}) not bit-identical"
+                    );
+                } else {
+                    assert_eq!(roi[(ix, iy)], 0.0);
+                }
             }
         }
     }

@@ -282,6 +282,67 @@ impl Field {
         self.fft2_core(true, scratch, Some(live_rows), false);
     }
 
+    /// Row-pruned unscaled inverse transform restricted to the given
+    /// columns, fused with the SOCS reduction
+    /// `acc[y·width + x] += weight · |z(x, y)|²`.
+    ///
+    /// Runs the same pruned inverse *row* pass as
+    /// [`Field::ifft2_pruned_unscaled`], then — instead of transposing the
+    /// whole field, transforming every column and transposing back —
+    /// gathers each requested column into a contiguous buffer, applies the
+    /// identical column transform, and accumulates the weighted squared
+    /// magnitudes directly. The accumulated pixels are bit-identical to the
+    /// full path (the same [`crate::FftPlan`] runs on the same contiguous
+    /// values), and both transposes plus the off-ROI column transforms are
+    /// skipped entirely.
+    ///
+    /// This is the OPC-iteration hot path: EPE correction only reads the
+    /// aerial image near the frozen measurement anchors, so only those
+    /// columns need spatial-domain values. `self` is left partially
+    /// transformed (rows done, columns untouched) — callers must treat the
+    /// field as scratch afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mask/accumulator length mismatch or an out-of-range column
+    /// index.
+    pub fn ifft2_pruned_cols_accumulate(
+        &mut self,
+        live_rows: &[bool],
+        cols: &[usize],
+        scratch: &mut Vec<Complex>,
+        weight: f64,
+        acc: &mut [f64],
+    ) {
+        assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
+        assert_eq!(
+            acc.len(),
+            self.width * self.height,
+            "accumulator length mismatch"
+        );
+        let plan_w = crate::plan::FftPlan::get(self.width);
+        let plan_h = crate::plan::FftPlan::get(self.height);
+        for (row, &live) in self.data.chunks_exact_mut(self.width).zip(live_rows) {
+            if live {
+                plan_w.execute_unscaled(row, true);
+            }
+        }
+        if scratch.len() < self.height {
+            scratch.resize(self.height, Complex::ZERO);
+        }
+        let col_buf = &mut scratch[..self.height];
+        for &x in cols {
+            assert!(x < self.width, "column index out of range");
+            for (y, dst) in col_buf.iter_mut().enumerate() {
+                *dst = self.data[y * self.width + x];
+            }
+            plan_h.execute_unscaled(col_buf, true);
+            for (y, z) in col_buf.iter().enumerate() {
+                acc[y * self.width + x] += weight * z.norm_sq();
+            }
+        }
+    }
+
     fn fft2_core(
         &mut self,
         inverse: bool,
@@ -804,6 +865,46 @@ mod tests {
         let inv_n = 1.0 / (w * h) as f64;
         for (a, b) in pruned.data().iter().zip(full.data()) {
             assert!((a.scale(inv_n) - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pruned_cols_accumulate_matches_full_path() {
+        // The fused column-restricted inverse must reproduce the full
+        // pruned-inverse + accumulate_norm_sq result *bit-identically* on
+        // the requested columns and leave all other pixels untouched.
+        let (w, h) = (16, 8);
+        let mut rng = SplitMix64::new(60);
+        let mut spec = Field::zeros(w, h);
+        let live: Vec<bool> = (0..h).map(|y| y < 3 || y >= h - 2).collect();
+        for (y, &is_live) in live.iter().enumerate() {
+            if is_live {
+                for x in 0..w {
+                    *spec.at_mut(x, y) =
+                        Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0));
+                }
+            }
+        }
+        let weight = 0.37;
+        let mut full = spec.clone();
+        let mut scratch = Vec::new();
+        full.ifft2_pruned_unscaled(&live, &mut scratch);
+        let mut expected = vec![0.5f64; w * h];
+        full.accumulate_norm_sq(weight, &mut expected);
+
+        let cols = [0usize, 3, 7, 15];
+        let mut roi = spec;
+        let mut acc = vec![0.5f64; w * h];
+        roi.ifft2_pruned_cols_accumulate(&live, &cols, &mut scratch, weight, &mut acc);
+        for y in 0..h {
+            for x in 0..w {
+                let i = y * w + x;
+                if cols.contains(&x) {
+                    assert_eq!(acc[i], expected[i], "pixel ({x},{y}) not bit-identical");
+                } else {
+                    assert_eq!(acc[i], 0.5, "pixel ({x},{y}) outside ROI was written");
+                }
+            }
         }
     }
 

@@ -75,6 +75,116 @@ pub fn rasterize_into(grid: &mut Grid, poly: &Polygon) {
     }
 }
 
+/// Pixel-rectangle dirty region, `(ix0, ix1, iy0, iy1)` half-open.
+type PixelRect = (usize, usize, usize, usize);
+
+/// A two-layer raster cache for the OPC iteration loop.
+///
+/// The flow's shape set splits into a *frozen* layer (SRAFs, fixed after
+/// initialisation) and a *moving* layer (the main shapes the correction loop
+/// updates). The frozen layer is rasterised once into `base`; each iteration
+/// then restores only the previously dirtied pixel rectangle of the working
+/// grid from `base`, re-rasterises the moving polygons on top, and clamps
+/// coverage inside the freshly dirtied rectangle — no per-iteration `Grid`
+/// allocation and no full-grid re-rasterisation of frozen geometry.
+///
+/// The composite equals `rasterize(frozen ∪ moving)` because clamped union
+/// coverage satisfies `min(1, min(1, s) + m) == min(1, s + m)` for `m ≥ 0`
+/// (differences stay within reassociation rounding where layers overlap).
+#[derive(Clone, Debug)]
+pub struct RasterCache {
+    base: Grid,
+    work: Grid,
+    dirty: Option<PixelRect>,
+}
+
+impl RasterCache {
+    /// An empty cache over a `width`×`height` grid with `pitch` nm pixels.
+    pub fn new(width: usize, height: usize, pitch: f64) -> RasterCache {
+        let base = Grid::zeros(width, height, pitch);
+        RasterCache {
+            work: base.clone(),
+            base,
+            dirty: None,
+        }
+    }
+
+    /// Rasterises the frozen layer (clamped union coverage) into the cached
+    /// base and resets the working grid to it.
+    pub fn set_base(&mut self, polygons: &[Polygon]) {
+        self.base = rasterize(
+            polygons,
+            self.base.width(),
+            self.base.height(),
+            self.base.pitch(),
+        );
+        self.work.data_mut().copy_from_slice(self.base.data());
+        self.dirty = None;
+    }
+
+    /// The pixel rectangle a polygon's rasterisation can touch (superset of
+    /// the rows/spans `rasterize_into` fills).
+    fn pixel_rect(&self, poly: &Polygon) -> PixelRect {
+        let pitch = self.base.pitch();
+        let (w, h) = (self.base.width(), self.base.height());
+        let bbox = poly.bbox();
+        let ix0 = ((bbox.min.x / pitch).floor().max(0.0)) as usize;
+        let ix1 = (((bbox.max.x / pitch).ceil()).max(0.0) as usize).min(w);
+        let iy0 = ((bbox.min.y / pitch).floor().max(0.0)) as usize;
+        let iy1 = (((bbox.max.y / pitch).ceil()).max(0.0) as usize).min(h);
+        (ix0, ix1, iy0, iy1)
+    }
+
+    /// Restores the base layer inside `rect`.
+    fn restore(&mut self, rect: PixelRect) {
+        let (ix0, ix1, iy0, iy1) = rect;
+        let w = self.base.width();
+        for iy in iy0..iy1 {
+            let row = iy * w + ix0..iy * w + ix1;
+            self.work.data_mut()[row.clone()].copy_from_slice(&self.base.data()[row]);
+        }
+    }
+
+    /// Composites the moving polygons over the cached base layer and
+    /// returns the full mask grid (coverage clamped to 1).
+    pub fn composite(&mut self, polygons: &[Polygon]) -> &Grid {
+        if let Some(rect) = self.dirty.take() {
+            self.restore(rect);
+        }
+        let mut rect: Option<PixelRect> = None;
+        for poly in polygons {
+            if poly.len() < 3 {
+                continue;
+            }
+            rasterize_into(&mut self.work, poly);
+            let r = self.pixel_rect(poly);
+            rect = Some(match rect {
+                None => r,
+                Some((ax0, ax1, ay0, ay1)) => {
+                    (ax0.min(r.0), ax1.max(r.1), ay0.min(r.2), ay1.max(r.3))
+                }
+            });
+        }
+        if let Some((ix0, ix1, iy0, iy1)) = rect {
+            let w = self.work.width();
+            let data = self.work.data_mut();
+            for iy in iy0..iy1 {
+                for v in &mut data[iy * w + ix0..iy * w + ix1] {
+                    *v = v.min(1.0);
+                }
+            }
+        }
+        self.dirty = rect;
+        &self.work
+    }
+
+    /// The current composite grid (base when [`RasterCache::composite`] has
+    /// not run yet).
+    pub fn grid(&self) -> &Grid {
+        &self.work
+    }
+}
+
 /// Accumulates a horizontal span `[x0, x1)` (pixel units) into row `iy` with
 /// exact fractional coverage at the span ends.
 fn fill_span(grid: &mut Grid, iy: usize, x0: f64, x1: f64, weight: f64, width: usize) {
@@ -182,6 +292,56 @@ mod tests {
         let g2 = rasterize(&[sq], 8, 8, 2.0);
         assert!((g1.sum() - 64.0).abs() < 1e-9);
         assert!((g2.sum() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raster_cache_matches_from_scratch_after_moves() {
+        // Frozen layer: two small squares. Moving layer: a square that
+        // drifts across the grid (including over a frozen square). The
+        // cached composite must match the from-scratch union raster at
+        // every step, and total coverage must be conserved.
+        let frozen = vec![
+            Polygon::rect(Point::new(2.0, 2.0), Point::new(6.0, 6.0)),
+            Polygon::rect(Point::new(20.0, 20.0), Point::new(24.0, 24.0)),
+        ];
+        let mut cache = RasterCache::new(32, 32, 1.0);
+        cache.set_base(&frozen);
+        for step in 0..8 {
+            let d = step as f64 * 2.5;
+            let moving = vec![
+                Polygon::rect(Point::new(1.0 + d, 1.0 + d), Point::new(7.0 + d, 7.0 + d)),
+                Polygon::rect(Point::new(28.0 - d, 3.0), Point::new(31.0 - d, 9.5)),
+            ];
+            let cached = cache.composite(&moving).clone();
+            let mut all = frozen.clone();
+            all.extend(moving);
+            let scratch = rasterize(&all, 32, 32, 1.0);
+            assert!(
+                (cached.sum() - scratch.sum()).abs() < 1e-9,
+                "step {step}: cached sum {} vs scratch {}",
+                cached.sum(),
+                scratch.sum()
+            );
+            for (i, (&a, &b)) in cached.data().iter().zip(scratch.data()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "step {step}, pixel {i}: cached {a} vs scratch {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raster_cache_empty_layers() {
+        let mut cache = RasterCache::new(8, 8, 1.0);
+        cache.set_base(&[]);
+        assert_eq!(cache.grid().sum(), 0.0);
+        let g = cache.composite(&[]).clone();
+        assert_eq!(g.sum(), 0.0);
+        let sq = Polygon::rect(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        assert!((cache.composite(&[sq]).sum() - 4.0).abs() < 1e-9);
+        // Moving layer removed again: base restored.
+        assert_eq!(cache.composite(&[]).sum(), 0.0);
     }
 
     #[test]

@@ -125,6 +125,71 @@ impl LithoWorkspace {
             }
         }
     }
+
+    /// Column-restricted SOCS intensity: like
+    /// [`LithoWorkspace::socs_intensity`] but only the pixels in the given
+    /// `cols` (x indices) are computed; every other pixel of `intensity` is
+    /// left at zero.
+    ///
+    /// The per-kernel inverse transform skips both transposes and every
+    /// off-ROI column transform ([`Field::ifft2_pruned_cols_accumulate`]),
+    /// which is what makes restricted re-simulation inside the OPC
+    /// correction loop cheap. Computed pixels are bit-identical to the full
+    /// path for the same `parallelism` chunking (same kernel order, same
+    /// slot-ordered reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on sample-count mismatch or an out-of-range column index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn socs_intensity_cols(
+        &mut self,
+        width: usize,
+        height: usize,
+        mask: &[f64],
+        kernels: &[SocsKernel],
+        cols: &[usize],
+        pool: &WorkerPool,
+        parallelism: usize,
+        intensity: &mut [f64],
+    ) {
+        let n = width * height;
+        assert_eq!(mask.len(), n, "mask sample count mismatch");
+        assert_eq!(intensity.len(), n, "intensity sample count mismatch");
+        let tasks = parallelism.clamp(1, kernels.len().max(1));
+        self.prepare(width, height, tasks);
+
+        let spectrum = self.spectrum.as_mut().expect("prepared above");
+        spectrum.fill_forward_real_with(mask, &mut self.forward_scratch);
+        let spectrum: &Field = spectrum;
+
+        let inv_n2 = 1.0 / (n as f64 * n as f64);
+        let chunk = kernels.len().div_ceil(tasks);
+        let slots = &mut self.slots[..tasks];
+        pool.run_with_slots(slots, |t, slot| {
+            let field = slot.field.as_mut().expect("prepared above");
+            slot.acc.fill(0.0);
+            for kernel in kernels.iter().skip(t * chunk).take(chunk) {
+                spectrum.mul_pointwise_pruned_into(&kernel.transfer, &kernel.live_rows, field);
+                field.ifft2_pruned_cols_accumulate(
+                    &kernel.live_rows,
+                    cols,
+                    &mut slot.scratch,
+                    kernel.weight * inv_n2,
+                    &mut slot.acc,
+                );
+            }
+        });
+
+        intensity.fill(0.0);
+        for slot in slots.iter() {
+            for &x in cols {
+                for y in 0..height {
+                    intensity[y * width + x] += slot.acc[y * width + x];
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +245,34 @@ mod tests {
                     (got - want).abs() < 1e-12 * (1.0 + want.abs()),
                     "parallelism {parallelism}, pixel {i}: {got} vs {want}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn socs_intensity_cols_matches_full_on_roi() {
+        let kernels = kernels_64();
+        let mask = random_mask(64 * 64, 7);
+        let pool = WorkerPool::new(3);
+        let cols: Vec<usize> = vec![0, 5, 9, 31, 63];
+        for parallelism in [1usize, 3] {
+            let mut ws = LithoWorkspace::new();
+            let mut full = vec![0.0; 64 * 64];
+            ws.socs_intensity(64, 64, &mask, &kernels, &pool, parallelism, &mut full);
+            let mut roi = vec![f64::NAN; 64 * 64];
+            ws.socs_intensity_cols(64, 64, &mask, &kernels, &cols, &pool, parallelism, &mut roi);
+            for y in 0..64 {
+                for x in 0..64 {
+                    let i = y * 64 + x;
+                    if cols.contains(&x) {
+                        assert_eq!(
+                            roi[i], full[i],
+                            "parallelism {parallelism}, pixel ({x},{y}) not bit-identical"
+                        );
+                    } else {
+                        assert_eq!(roi[i], 0.0, "off-ROI pixel ({x},{y}) not zero");
+                    }
+                }
             }
         }
     }

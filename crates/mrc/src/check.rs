@@ -7,8 +7,8 @@
 //! pixel ILT output.
 
 use crate::{MrcRules, Violation, ViolationKind};
-use cardopc_geometry::{Point, Polygon, RTree, Segment};
-use cardopc_spline::CardinalSpline;
+use cardopc_geometry::{BBox, Point, RTree, Segment};
+use cardopc_spline::{CardinalSpline, SamplingPlan};
 
 /// Offset applied to probe start points so a probe never grazes the very
 /// boundary point it was launched from.
@@ -32,29 +32,76 @@ struct SamplePoint {
 #[derive(Clone, Debug)]
 struct SampledShape {
     samples: Vec<SamplePoint>,
+    signed_area: f64,
     area: f64,
     centroid: Point,
 }
 
-fn sample_shape(spline: &CardinalSpline, per_segment: usize) -> SampledShape {
-    let segs = spline.segment_count();
-    let mut raw = Vec::with_capacity(segs * per_segment);
-    for seg in 0..segs {
-        for k in 0..per_segment {
-            let t = k as f64 / per_segment as f64;
-            raw.push((spline.point(seg, t), seg, t));
-        }
+/// Near-zero area threshold, matching `Polygon`'s internal epsilon.
+const AREA_EPS: f64 = 1e-9;
+
+/// Shoelace signed area of a closed sample loop, computed directly on the
+/// point list (no intermediate `Polygon` allocation).
+fn loop_signed_area(points: &[Point]) -> f64 {
+    let n = points.len();
+    let mut twice = 0.0;
+    for i in 0..n {
+        twice += points[i].cross(points[(i + 1) % n]);
     }
-    let positions: Vec<Point> = raw.iter().map(|&(p, _, _)| p).collect();
-    let poly = Polygon::new(positions.clone());
-    let signed = poly.signed_area();
+    0.5 * twice
+}
+
+/// Centroid of a closed sample loop; degenerate (near-zero area) loops
+/// fall back to the vertex average, like `Polygon::centroid`.
+fn loop_centroid(points: &[Point], signed_area: f64) -> Point {
+    let n = points.len();
+    if n == 0 {
+        return Point::ZERO;
+    }
+    if signed_area.abs() <= AREA_EPS {
+        let mut sum = Point::ZERO;
+        for &p in points {
+            sum += p;
+        }
+        return sum * (1.0 / n as f64);
+    }
+    let (mut cx, mut cy) = (0.0, 0.0);
+    for i in 0..n {
+        let p = points[i];
+        let q = points[(i + 1) % n];
+        let w = p.cross(q);
+        cx += (p.x + q.x) * w;
+        cy += (p.y + q.y) * w;
+    }
+    Point::new(cx / (6.0 * signed_area), cy / (6.0 * signed_area))
+}
+
+/// The dense sample loop of one shape (`segment_count * per_segment`
+/// points in segment-major order), evaluated through the shared
+/// [`SamplingPlan`] registry.
+fn sampled_loop(spline: &CardinalSpline, per_segment: usize) -> Vec<Point> {
+    let plan = SamplingPlan::get(per_segment, spline.tension());
+    let mut pts = spline.sample_with_plan(&plan);
+    // Open splines append their final endpoint; the rule checks work on
+    // the plain seg-major loop.
+    pts.truncate(spline.segment_count() * per_segment);
+    pts
+}
+
+fn sample_shape(spline: &CardinalSpline, per_segment: usize) -> SampledShape {
+    let plan = SamplingPlan::get(per_segment, spline.tension());
+    let mut positions = spline.sample_with_plan(&plan);
+    positions.truncate(spline.segment_count() * per_segment);
+    let signed = loop_signed_area(&positions);
     // `perp` of the travel direction points inward on CCW loops.
     let flip = if signed > 0.0 { -1.0 } else { 1.0 };
-    let m = raw.len();
-    let samples = raw
+    let m = positions.len();
+    let samples = positions
         .iter()
         .enumerate()
-        .map(|(j, &(p, segment, t))| {
+        .map(|(j, &p)| {
+            let segment = j / per_segment;
+            let t = plan.ts()[j % per_segment];
             // Normals from the sampled loop itself (central difference):
             // robust even where the spline's parameter derivative vanishes
             // (e.g. tension 0 at control points).
@@ -72,10 +119,110 @@ fn sample_shape(spline: &CardinalSpline, per_segment: usize) -> SampledShape {
             }
         })
         .collect();
+    let centroid = loop_centroid(&positions, signed);
     SampledShape {
         samples,
+        signed_area: signed,
         area: signed.abs(),
-        centroid: poly.centroid(),
+        centroid,
+    }
+}
+
+/// A sampled boundary edge within one shape's loop.
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    /// Edge index along the shape's sampled loop.
+    index: usize,
+    segment: Segment,
+}
+
+/// Per-shape sampling and edge index.
+#[derive(Clone, Debug)]
+struct ShapeCache {
+    sampled: SampledShape,
+    edges: RTree<Edge>,
+    bbox: BBox,
+}
+
+impl ShapeCache {
+    fn build(spline: &CardinalSpline, per_segment: usize) -> ShapeCache {
+        let sampled = sample_shape(spline, per_segment);
+        let m = sampled.samples.len();
+        let mut items = Vec::with_capacity(m);
+        for j in 0..m {
+            let seg = Segment::new(
+                sampled.samples[j].position,
+                sampled.samples[(j + 1) % m].position,
+            );
+            items.push((
+                seg.bbox(),
+                Edge {
+                    index: j,
+                    segment: seg,
+                },
+            ));
+        }
+        let edges = RTree::bulk_load(items);
+        let bbox = edges.bbox();
+        ShapeCache {
+            sampled,
+            edges,
+            bbox,
+        }
+    }
+}
+
+/// Cached per-shape sampling and edge indices, reusable across resolver
+/// rounds: only shapes that actually moved pay for re-sampling and index
+/// rebuilds.
+#[derive(Clone, Debug)]
+pub(crate) struct MrcWorld {
+    per_segment: usize,
+    shapes: Vec<ShapeCache>,
+}
+
+impl MrcWorld {
+    /// Samples and indexes every shape.
+    pub(crate) fn build(shapes: &[CardinalSpline], per_segment: usize) -> MrcWorld {
+        MrcWorld {
+            per_segment,
+            shapes: shapes
+                .iter()
+                .map(|s| ShapeCache::build(s, per_segment))
+                .collect(),
+        }
+    }
+
+    /// Re-samples one shape after its control points changed.
+    pub(crate) fn refresh(&mut self, idx: usize, spline: &CardinalSpline) {
+        self.shapes[idx] = ShapeCache::build(spline, self.per_segment);
+    }
+
+    /// Drops one shape, shifting later indices down (mirrors
+    /// `Vec::remove` on the shape list).
+    pub(crate) fn remove(&mut self, idx: usize) {
+        self.shapes.remove(idx);
+    }
+
+    /// Absolute sampled-loop area of one shape.
+    pub(crate) fn area(&self, idx: usize) -> f64 {
+        self.shapes[idx].sampled.area
+    }
+
+    /// `true` when the shape's sampled loop winds counter-clockwise.
+    pub(crate) fn ccw(&self, idx: usize) -> bool {
+        self.shapes[idx].sampled.signed_area > 0.0
+    }
+
+    /// Shape-level bbox index for candidate pruning in spacing probes.
+    fn shape_tree(&self) -> RTree<usize> {
+        RTree::bulk_load(
+            self.shapes
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.bbox, i))
+                .collect(),
+        )
     }
 }
 
@@ -144,85 +291,94 @@ impl MrcChecker {
 
     /// Runs all four rule checks over a set of closed spline shapes.
     pub fn check(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
-        let sampled: Vec<SampledShape> = shapes
-            .iter()
-            .map(|s| sample_shape(s, self.samples_per_segment))
-            .collect();
-        let tree = build_edge_tree(&sampled);
+        let world = MrcWorld::build(shapes, self.samples_per_segment);
+        self.check_with_world(shapes, &world)
+    }
+
+    /// Runs all four rule checks against a pre-built (possibly
+    /// incrementally maintained) [`MrcWorld`]. `world` must describe
+    /// exactly the shapes in `shapes`, in order.
+    pub(crate) fn check_with_world(
+        &self,
+        shapes: &[CardinalSpline],
+        world: &MrcWorld,
+    ) -> Vec<Violation> {
+        debug_assert_eq!(shapes.len(), world.shapes.len(), "world out of sync");
+        let shape_tree = world.shape_tree();
         let mut out = Vec::new();
-        self.check_spacing_into(&sampled, &tree, &mut out);
-        self.check_width_into(&sampled, &tree, &mut out);
-        self.check_area_into(&sampled, &mut out);
-        self.check_curvature_into(shapes, &mut out);
+        self.check_spacing_into(world, &shape_tree, &mut out);
+        self.check_width_into(world, &mut out);
+        self.check_area_into(world, &mut out);
+        let ccw: Vec<bool> = (0..world.shapes.len()).map(|i| world.ccw(i)).collect();
+        self.check_curvature_core(shapes, &ccw, &mut out);
         out
     }
 
     /// Spacing-rule check only.
     pub fn check_spacing(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
-        let sampled: Vec<SampledShape> = shapes
-            .iter()
-            .map(|s| sample_shape(s, self.samples_per_segment))
-            .collect();
-        let tree = build_edge_tree(&sampled);
+        let world = MrcWorld::build(shapes, self.samples_per_segment);
+        let shape_tree = world.shape_tree();
         let mut out = Vec::new();
-        self.check_spacing_into(&sampled, &tree, &mut out);
+        self.check_spacing_into(&world, &shape_tree, &mut out);
         out
     }
 
     /// Width-rule check only.
     pub fn check_width(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
-        let sampled: Vec<SampledShape> = shapes
-            .iter()
-            .map(|s| sample_shape(s, self.samples_per_segment))
-            .collect();
-        let tree = build_edge_tree(&sampled);
+        let world = MrcWorld::build(shapes, self.samples_per_segment);
         let mut out = Vec::new();
-        self.check_width_into(&sampled, &tree, &mut out);
+        self.check_width_into(&world, &mut out);
         out
     }
 
     /// Area-rule check only.
     pub fn check_area(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
-        let sampled: Vec<SampledShape> = shapes
-            .iter()
-            .map(|s| sample_shape(s, self.samples_per_segment))
-            .collect();
+        let world = MrcWorld::build(shapes, self.samples_per_segment);
         let mut out = Vec::new();
-        self.check_area_into(&sampled, &mut out);
+        self.check_area_into(&world, &mut out);
         out
     }
 
-    /// Curvature-rule check only (fully analytic, no sampling of probes).
+    /// Curvature-rule check only (fully analytic, no sampling of probes;
+    /// the loop orientation comes from a direct shoelace pass).
     pub fn check_curvature(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
+        let ccw: Vec<bool> = shapes
+            .iter()
+            .map(|s| loop_signed_area(&sampled_loop(s, self.samples_per_segment)) > 0.0)
+            .collect();
         let mut out = Vec::new();
-        self.check_curvature_into(shapes, &mut out);
+        self.check_curvature_core(shapes, &ccw, &mut out);
         out
     }
 
     fn check_spacing_into(
         &self,
-        sampled: &[SampledShape],
-        tree: &RTree<EdgeRef>,
+        world: &MrcWorld,
+        shape_tree: &RTree<usize>,
         out: &mut Vec<Violation>,
     ) {
         let c = self.rules.min_space;
-        for (si, shape) in sampled.iter().enumerate() {
-            for s in &shape.samples {
+        for (si, cache) in world.shapes.iter().enumerate() {
+            for s in &cache.sampled.samples {
                 let start = s.position + s.outward * PROBE_LIFT;
                 let probe = Segment::new(start, s.position + s.outward * c);
                 let mut worst: Option<f64> = None;
-                for idx in tree.query_segment_indices(&probe) {
-                    let edge = tree.item(idx).1;
-                    if edge.shape == si {
+                for cand in shape_tree.query_segment_indices(&probe) {
+                    let sj = shape_tree.item(cand).1;
+                    if sj == si {
                         // Spacing is checked between distinct shapes
                         // (Fig. 5(a)); same-shape notch spacing is part of
                         // the "well-optimized checking" the paper defers to
                         // future work.
                         continue;
                     }
-                    if probe.intersects(&edge.segment) {
-                        let dist = edge.segment.distance_to_point(s.position);
-                        worst = Some(worst.map_or(dist, |w: f64| w.min(dist)));
+                    let other = &world.shapes[sj];
+                    for idx in other.edges.query_segment_indices(&probe) {
+                        let edge = &other.edges.item(idx).1;
+                        if probe.intersects(&edge.segment) {
+                            let dist = edge.segment.distance_to_point(s.position);
+                            worst = Some(worst.map_or(dist, |w: f64| w.min(dist)));
+                        }
                     }
                 }
                 if let Some(dist) = worst {
@@ -240,25 +396,19 @@ impl MrcChecker {
         }
     }
 
-    fn check_width_into(
-        &self,
-        sampled: &[SampledShape],
-        tree: &RTree<EdgeRef>,
-        out: &mut Vec<Violation>,
-    ) {
+    fn check_width_into(&self, world: &MrcWorld, out: &mut Vec<Violation>) {
         let c = self.rules.min_width;
-        for (si, shape) in sampled.iter().enumerate() {
-            let m = shape.samples.len();
-            for s in &shape.samples {
+        for (si, cache) in world.shapes.iter().enumerate() {
+            let m = cache.sampled.samples.len();
+            for s in &cache.sampled.samples {
                 let start = s.position - s.outward * PROBE_LIFT;
                 let probe = Segment::new(start, s.position - s.outward * c);
                 let own_index = sample_index(s, self.samples_per_segment);
                 let mut worst: Option<f64> = None;
-                for idx in tree.query_segment_indices(&probe) {
-                    let edge = tree.item(idx).1;
-                    if edge.shape != si {
-                        continue; // width is a same-shape property
-                    }
+                // Width is a same-shape property: only this shape's edge
+                // index is probed.
+                for idx in cache.edges.query_segment_indices(&probe) {
+                    let edge = &cache.edges.item(idx).1;
                     let d = circular_distance(edge.index, own_index, m);
                     if d <= WIDTH_ADJACENCY {
                         continue;
@@ -283,8 +433,9 @@ impl MrcChecker {
         }
     }
 
-    fn check_area_into(&self, sampled: &[SampledShape], out: &mut Vec<Violation>) {
-        for (si, shape) in sampled.iter().enumerate() {
+    fn check_area_into(&self, world: &MrcWorld, out: &mut Vec<Violation>) {
+        for (si, cache) in world.shapes.iter().enumerate() {
+            let shape = &cache.sampled;
             if shape.area < self.rules.min_area {
                 out.push(Violation {
                     kind: ViolationKind::Area,
@@ -299,10 +450,14 @@ impl MrcChecker {
         }
     }
 
-    fn check_curvature_into(&self, shapes: &[CardinalSpline], out: &mut Vec<Violation>) {
+    fn check_curvature_core(
+        &self,
+        shapes: &[CardinalSpline],
+        ccw: &[bool],
+        out: &mut Vec<Violation>,
+    ) {
         for (si, spline) in shapes.iter().enumerate() {
-            let ccw = Polygon::new(spline.sample(self.samples_per_segment)).signed_area() > 0.0;
-            let flip = if ccw { -1.0 } else { 1.0 };
+            let flip = if ccw[si] { -1.0 } else { 1.0 };
             for seg in 0..spline.segment_count() {
                 for k in 0..self.samples_per_segment {
                     let t = k as f64 / self.samples_per_segment as f64;
@@ -326,37 +481,6 @@ impl MrcChecker {
             }
         }
     }
-}
-
-/// A sampled boundary edge belonging to one shape.
-#[derive(Clone, Copy, Debug)]
-struct EdgeRef {
-    shape: usize,
-    /// Edge index along the shape's sampled loop.
-    index: usize,
-    segment: Segment,
-}
-
-fn build_edge_tree(sampled: &[SampledShape]) -> RTree<EdgeRef> {
-    let mut items = Vec::new();
-    for (si, shape) in sampled.iter().enumerate() {
-        let m = shape.samples.len();
-        for j in 0..m {
-            let seg = Segment::new(
-                shape.samples[j].position,
-                shape.samples[(j + 1) % m].position,
-            );
-            items.push((
-                seg.bbox(),
-                EdgeRef {
-                    shape: si,
-                    index: j,
-                    segment: seg,
-                },
-            ));
-        }
-    }
-    RTree::bulk_load(items)
 }
 
 /// Global sample index of a sample point within its shape's loop.
@@ -528,6 +652,59 @@ mod tests {
             .iter()
             .filter(|v| v.kind == ViolationKind::Width)
             .all(|v| v.shape == 0));
+    }
+
+    #[test]
+    fn incremental_world_matches_fresh_check() {
+        // Maintain a world through a move and a removal; the incremental
+        // check must equal a from-scratch check bit for bit.
+        let mut shapes = vec![
+            square(0.0, 0.0, 100.0, 100.0),
+            square(140.0, 0.0, 100.0, 100.0),
+            square(0.0, 200.0, 300.0, 20.0),
+            circle(500.0, 500.0, 8.0, 12),
+        ];
+        let checker = MrcChecker::new(MrcRules::default());
+        let mut world = MrcWorld::build(&shapes, 8);
+        assert_eq!(
+            checker.check_with_world(&shapes, &world),
+            checker.check(&shapes)
+        );
+
+        // Slide shape 1 toward shape 0, creating a spacing violation.
+        for p in shapes[1].control_points_mut() {
+            *p += Point::new(-30.0, 0.0);
+        }
+        world.refresh(1, &shapes[1]);
+        assert_eq!(
+            checker.check_with_world(&shapes, &world),
+            checker.check(&shapes)
+        );
+
+        // Remove shape 0; later indices shift down.
+        shapes.remove(0);
+        world.remove(0);
+        assert_eq!(
+            checker.check_with_world(&shapes, &world),
+            checker.check(&shapes)
+        );
+    }
+
+    #[test]
+    fn sampled_loop_stats_match_polygon() {
+        // The direct shoelace area/centroid must agree with the Polygon
+        // implementation they replace.
+        for spline in [
+            square(10.0, -20.0, 130.0, 70.0),
+            circle(50.0, 80.0, 35.0, 17),
+        ] {
+            let pts = sampled_loop(&spline, 8);
+            let poly = cardopc_geometry::Polygon::new(pts.clone());
+            let signed = loop_signed_area(&pts);
+            assert!((signed - poly.signed_area()).abs() < 1e-9);
+            let c = loop_centroid(&pts, signed);
+            assert!(c.distance(poly.centroid()) < 1e-9);
+        }
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! The move distance escalates "from small to large" over retry rounds, as
 //! the paper describes; violations usually clear within a few trials.
 
+use crate::check::MrcWorld;
 use crate::{MrcChecker, MrcRules, Violation, ViolationKind};
-use cardopc_geometry::{Point, Polygon};
+use cardopc_geometry::Point;
 use cardopc_spline::CardinalSpline;
 
 /// What to do with shapes whose *area* violates the rules.
@@ -138,17 +139,27 @@ impl MrcResolver {
             shapes_removed: 0,
         };
 
+        // Sample and index every shape once; afterwards only shapes that
+        // actually move (or get removed) pay for re-sampling.
+        let mut world = MrcWorld::build(shapes, self.config.samples_per_segment);
+
         // Remove / accept sub-area shapes up front so the loop works on
         // fixable violations.
         if self.config.area_policy == AreaPolicy::RemoveShape {
             let before = shapes.len();
-            shapes.retain(|s| {
-                sampled_area(s, self.config.samples_per_segment) >= self.rules.min_area
-            });
+            let mut i = 0;
+            while i < shapes.len() {
+                if world.area(i) < self.rules.min_area {
+                    shapes.remove(i);
+                    world.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
             report.shapes_removed = before - shapes.len();
         }
 
-        let mut violations = checker.check(shapes);
+        let mut violations = checker.check_with_world(shapes, &world);
         report.initial_violations = violations.len() + report.shapes_removed;
 
         for round in 0..self.config.max_rounds {
@@ -195,6 +206,7 @@ impl MrcResolver {
                             &shapes[v.shape],
                             v.segment,
                             self.config.samples_per_segment,
+                            world.ccw(v.shape),
                         ) {
                             -outward
                         } else {
@@ -240,17 +252,19 @@ impl MrcResolver {
                 std::collections::HashMap::new();
             for (shape_idx, cp_moves) in by_shape {
                 let snapshot = shapes[shape_idx].clone();
-                let area_before = sampled_area(&snapshot, self.config.samples_per_segment);
+                let area_before = world.area(shape_idx);
                 for &(cp, delta) in &cp_moves {
                     shapes[shape_idx].control_points_mut()[cp] += delta;
                     report.moves_applied += 1;
                 }
-                let area_after = sampled_area(&shapes[shape_idx], self.config.samples_per_segment);
+                world.refresh(shape_idx, &shapes[shape_idx]);
+                let area_after = world.area(shape_idx);
                 if area_after < self.rules.min_area && area_before >= self.rules.min_area {
                     match self.config.area_policy {
                         // The move created an area violation: cancel it.
                         AreaPolicy::Keep => {
                             shapes[shape_idx] = snapshot;
+                            world.refresh(shape_idx, &shapes[shape_idx]);
                             continue;
                         }
                         // ILT-fitting flow: a shape that must shrink below
@@ -268,6 +282,7 @@ impl MrcResolver {
                 to_remove.sort_unstable();
                 for idx in to_remove.into_iter().rev() {
                     shapes.remove(idx);
+                    world.remove(idx);
                     report.shapes_removed += 1;
                     // Snapshot indices after a removal no longer line up;
                     // drop them for this round (reverts resume next round).
@@ -275,7 +290,7 @@ impl MrcResolver {
                 }
             }
 
-            violations = checker.check(shapes);
+            violations = checker.check_with_world(shapes, &world);
 
             // Monotonicity guard: a trial move that left its shape with
             // *more* violations than before is undone (the escalating step
@@ -293,11 +308,12 @@ impl MrcResolver {
                     let after = after_counts.get(&idx).copied().unwrap_or(0);
                     if after > before {
                         shapes[idx] = snapshot;
+                        world.refresh(idx, &shapes[idx]);
                         reverted = true;
                     }
                 }
                 if reverted {
-                    violations = checker.check(shapes);
+                    violations = checker.check_with_world(shapes, &world);
                 }
             }
         }
@@ -308,14 +324,14 @@ impl MrcResolver {
                 let mut guilty: Vec<usize> = violations.iter().map(|v| v.shape).collect();
                 guilty.sort_unstable();
                 guilty.dedup();
-                guilty
-                    .retain(|&i| sampled_area(&shapes[i], self.config.samples_per_segment) < limit);
+                guilty.retain(|&i| world.area(i) < limit);
                 if !guilty.is_empty() {
                     for idx in guilty.into_iter().rev() {
                         shapes.remove(idx);
+                        world.remove(idx);
                         report.shapes_removed += 1;
                     }
-                    violations = checker.check(shapes);
+                    violations = checker.check_with_world(shapes, &world);
                 }
             }
         }
@@ -325,15 +341,11 @@ impl MrcResolver {
     }
 }
 
-/// Sampled-loop area of one spline shape.
-fn sampled_area(spline: &CardinalSpline, per_segment: usize) -> f64 {
-    Polygon::new(spline.sample(per_segment)).area()
-}
-
 /// `true` when the strongest-curvature point of `segment` is convex (the
 /// boundary bulges outward there). Convex bulges flatten by moving the
-/// control point inward, concave dents by moving outward.
-fn is_convex_at(spline: &CardinalSpline, segment: usize, per_segment: usize) -> bool {
+/// control point inward, concave dents by moving outward. The loop
+/// orientation `ccw` comes from the caller's [`MrcWorld`] cache.
+fn is_convex_at(spline: &CardinalSpline, segment: usize, per_segment: usize, ccw: bool) -> bool {
     let mut kappa = 0.0f64;
     for k in 0..per_segment.max(1) {
         let t = k as f64 / per_segment.max(1) as f64;
@@ -344,7 +356,6 @@ fn is_convex_at(spline: &CardinalSpline, segment: usize, per_segment: usize) -> 
     }
     // Positive curvature means "curving left". On a CCW loop that is a
     // convex bulge; on a CW loop, a concave dent.
-    let ccw = Polygon::new(spline.sample(per_segment)).signed_area() > 0.0;
     if ccw {
         kappa > 0.0
     } else {
@@ -373,6 +384,7 @@ fn nearest_control_point(spline: &CardinalSpline, location: Point) -> Option<usi
 mod tests {
     use super::*;
     use crate::MrcChecker;
+    use cardopc_geometry::Polygon;
 
     fn square(x0: f64, y0: f64, w: f64, h: f64) -> CardinalSpline {
         CardinalSpline::closed(

@@ -8,8 +8,8 @@
 //! multi-segment solver and keeps the boundary smooth.
 
 use crate::control::OpcShape;
-use cardopc_geometry::{Grid, Point, Polygon};
-use cardopc_litho::epe_at;
+use cardopc_geometry::{Grid, Point};
+use cardopc_litho::{epe_at, WorkerPool};
 
 /// Parameters of one correction sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -27,74 +27,144 @@ pub struct CorrectionStep {
     pub spline_normals: bool,
 }
 
+/// Reusable per-worker scratch for [`correct_shapes_with_pool`]: after the
+/// first sweep the correction loop performs no per-shape allocations.
+#[derive(Clone, Debug, Default)]
+pub struct CorrectScratch {
+    /// Holds the per-anchor EPEs, then (in place) the clamped raw moves.
+    moves: Vec<f64>,
+    /// Outward unit move directions.
+    outward: Vec<Point>,
+    /// Binomially blended move distances.
+    blended: Vec<f64>,
+}
+
 /// Applies one correction sweep to every non-SRAF shape; returns the sum
 /// of |EPE| over all anchors (the convergence signal).
+///
+/// Shapes are corrected in parallel on the shared global [`WorkerPool`];
+/// see [`correct_shapes_with_pool`] for the determinism guarantee.
 pub fn correct_shapes(
     shapes: &mut [OpcShape],
     aerial: &Grid,
     threshold: f64,
     step: &CorrectionStep,
 ) -> f64 {
-    let mut total = 0.0;
-    for shape in shapes.iter_mut() {
-        if shape.is_sraf {
-            continue;
-        }
-        total += correct_one(shape, aerial, threshold, step);
-    }
-    total
+    correct_shapes_with_pool(shapes, aerial, threshold, step, WorkerPool::global())
 }
 
-fn correct_one(shape: &mut OpcShape, aerial: &Grid, threshold: f64, step: &CorrectionStep) -> f64 {
+/// One correction sweep with an explicit worker pool.
+///
+/// Each shape's correction only reads the (shared) aerial image and writes
+/// its own control points, so shapes are statically chunked across the
+/// pool's task slots, each slot reusing one [`CorrectScratch`]. Per-shape
+/// |EPE| totals are written into a slot-independent, shape-indexed buffer
+/// and reduced in shape order afterwards, so the returned total and every
+/// control point are **bit-identical for any worker count** (the same
+/// guarantee the litho engine gives for `aerial_image`).
+pub fn correct_shapes_with_pool(
+    shapes: &mut [OpcShape],
+    aerial: &Grid,
+    threshold: f64,
+    step: &CorrectionStep,
+    pool: &WorkerPool,
+) -> f64 {
+    let n = shapes.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let weights = binomial_weights(step.smooth_window);
+    let tasks = pool.parallelism().clamp(1, n);
+    let chunk = n.div_ceil(tasks);
+
+    struct Slot<'a> {
+        work: Vec<(&'a mut OpcShape, &'a mut f64)>,
+        scratch: CorrectScratch,
+    }
+    let mut totals = vec![0.0f64; n];
+    let mut slots: Vec<Slot> = (0..tasks)
+        .map(|_| Slot {
+            work: Vec::new(),
+            scratch: CorrectScratch::default(),
+        })
+        .collect();
+    for (i, pair) in shapes.iter_mut().zip(totals.iter_mut()).enumerate() {
+        slots[i / chunk].work.push(pair);
+    }
+
+    pool.run_with_slots(&mut slots, |_t, slot| {
+        for (shape, total) in slot.work.iter_mut() {
+            if shape.is_sraf {
+                continue;
+            }
+            **total = correct_one(shape, aerial, threshold, step, &weights, &mut slot.scratch);
+        }
+    });
+
+    totals.iter().sum()
+}
+
+fn correct_one(
+    shape: &mut OpcShape,
+    aerial: &Grid,
+    threshold: f64,
+    step: &CorrectionStep,
+    weights: &[f64],
+    scratch: &mut CorrectScratch,
+) -> f64 {
     let n = shape.spline.control_points().len();
     debug_assert_eq!(shape.anchors.len(), n, "anchor/control point mismatch");
 
     // 1. EPE at each (frozen) anchor.
-    let epes: Vec<f64> = shape
-        .anchors
-        .iter()
-        .map(|a| epe_at(aerial, threshold, a, step.epe_search))
-        .collect();
+    scratch.moves.clear();
+    scratch.moves.extend(
+        shape
+            .anchors
+            .iter()
+            .map(|a| epe_at(aerial, threshold, a, step.epe_search)),
+    );
+    let total: f64 = scratch.moves.iter().map(|e| e.abs()).sum();
 
     // 2. Outward move directions: the current spline normals (Eq. 8) or
     //    the frozen anchor normals.
-    let outward: Vec<Point> = if step.spline_normals {
-        outward_normals(shape)
+    if step.spline_normals {
+        outward_normals_into(shape, &mut scratch.outward);
     } else {
-        shape.anchors.iter().map(|a| a.normal).collect()
-    };
+        scratch.outward.clear();
+        scratch
+            .outward
+            .extend(shape.anchors.iter().map(|a| a.normal));
+    }
 
-    // 3. Raw signed move distances: positive EPE (over-print) pulls
-    //    inward (negative distance along the outward direction).
-    let raw: Vec<f64> = epes
-        .iter()
-        .map(|e| (-e).clamp(-step.step_limit, step.step_limit))
-        .collect();
+    // 3. Raw signed move distances (in place over the EPEs): positive EPE
+    //    (over-print) pulls inward (negative distance along the outward
+    //    direction).
+    for e in &mut scratch.moves {
+        *e = (-*e).clamp(-step.step_limit, step.step_limit);
+    }
 
     // 4. Binomial neighbour blending of the move *distances* (Eq. 7).
     //    Each point then moves along its own normal — blending the full
     //    vectors instead would leak tangential components at corners,
     //    letting control points drift along the boundary unchecked (the
     //    anchors are frozen, so tangential drift is never corrected).
-    let weights = binomial_weights(step.smooth_window);
     let w = step.smooth_window as isize;
-    let blended: Vec<f64> = (0..n as isize)
-        .map(|i| {
-            let mut acc = 0.0;
-            for (j, &wk) in weights.iter().enumerate() {
-                let k = i + (j as isize - w);
-                acc += raw[k.rem_euclid(n as isize) as usize] * wk;
-            }
-            acc
-        })
-        .collect();
+    scratch.blended.clear();
+    scratch.blended.extend((0..n as isize).map(|i| {
+        let mut acc = 0.0;
+        for (j, &wk) in weights.iter().enumerate() {
+            let k = i + (j as isize - w);
+            acc += scratch.moves[k.rem_euclid(n as isize) as usize] * wk;
+        }
+        acc
+    }));
 
     // 5. Apply along the move directions.
     for (i, cp) in shape.spline.control_points_mut().iter_mut().enumerate() {
-        *cp += outward[i] * blended[i];
+        *cp += scratch.outward[i] * scratch.blended[i];
     }
 
-    epes.iter().map(|e| e.abs()).sum()
+    total
 }
 
 /// Applies one pass of position-space Laplacian relaxation to a shape's
@@ -103,37 +173,56 @@ fn correct_one(shape: &mut OpcShape, aerial: &Grid, threshold: f64, step: &Corre
 /// boundary smooth (no spikes/necks for MRC to flag) while the EPE
 /// feedback re-corrects any fidelity the relaxation costs.
 pub fn relax_shape(shape: &mut OpcShape, strength: f64) {
-    let cps = shape.spline.control_points().to_vec();
+    let cps = shape.spline.control_points_mut();
     let n = cps.len();
     if n < 3 {
         return;
     }
-    for (i, cp) in shape.spline.control_points_mut().iter_mut().enumerate() {
-        let mid = (cps[(i + 1) % n] + cps[(i + n - 1) % n]) * 0.5;
-        *cp += (mid - *cp) * strength;
+    // Rolling neighbours instead of snapshotting the whole loop: `prev`
+    // carries the pre-relaxation value of cps[i-1] and `first` the original
+    // cps[0] for the final wrap-around.
+    let first = cps[0];
+    let mut prev = cps[n - 1];
+    for i in 0..n {
+        let next = if i + 1 == n { first } else { cps[i + 1] };
+        let cur = cps[i];
+        let mid = (next + prev) * 0.5;
+        cps[i] += (mid - cur) * strength;
+        prev = cur;
     }
 }
 
 /// Unit outward normals at every control point of a shape, robust at
 /// degenerate spline tangents (falls back to control polygon chords).
 pub fn outward_normals(shape: &OpcShape) -> Vec<Point> {
+    let mut out = Vec::new();
+    outward_normals_into(shape, &mut out);
+    out
+}
+
+/// [`outward_normals`] into a reused buffer (cleared first).
+fn outward_normals_into(shape: &OpcShape, out: &mut Vec<Point>) {
     let cps = shape.spline.control_points();
     let n = cps.len();
-    let ccw = Polygon::new(cps.to_vec()).signed_area() > 0.0;
-    let flip = if ccw { -1.0 } else { 1.0 };
-    (0..n)
-        .map(|i| {
-            let normal = shape
-                .spline
-                .normal(i, 0.0)
-                .or_else(|| {
-                    let chord = cps[(i + 1) % n] - cps[(i + n - 1) % n];
-                    chord.normalized().map(Point::perp)
-                })
-                .unwrap_or(Point::new(1.0, 0.0));
-            normal * flip
-        })
-        .collect()
+    // Shoelace orientation directly on the control points (no polygon
+    // clone): twice the signed area.
+    let mut twice = 0.0;
+    for i in 0..n {
+        twice += cps[i].cross(cps[(i + 1) % n]);
+    }
+    let flip = if twice > 0.0 { -1.0 } else { 1.0 };
+    out.clear();
+    out.extend((0..n).map(|i| {
+        let normal = shape
+            .spline
+            .normal(i, 0.0)
+            .or_else(|| {
+                let chord = cps[(i + 1) % n] - cps[(i + n - 1) % n];
+                chord.normalized().map(Point::perp)
+            })
+            .unwrap_or(Point::new(1.0, 0.0));
+        normal * flip
+    }));
 }
 
 /// Normalised binomial weights `C(2W, W+k) / 4^W` for `k ∈ [−W, W]`.
@@ -316,6 +405,55 @@ mod tests {
                     delta.normalized().unwrap().cross(anchor.normal).abs() < 1e-9,
                     "move {delta} not along anchor normal {}",
                     anchor.normal
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correct_shapes_bit_identical_across_worker_counts() {
+        // The same guarantee PR 1 established for aerial_image: any worker
+        // count yields bit-identical control points and |EPE| total.
+        let aerial = disc_field(128, 128, 2.0, Point::new(130.0, 130.0), 70.0);
+        let step = CorrectionStep {
+            step_limit: 2.0,
+            smooth_window: 1,
+            epe_search: 40.0,
+            spline_normals: true,
+        };
+        let make_shapes = || -> Vec<Shape> {
+            let mut v = vec![
+                square_shape(60.0, 80.0),
+                square_shape(150.0, 60.0),
+                square_shape(40.0, 140.0),
+            ];
+            v.push(
+                Shape::sraf(
+                    vec![
+                        Point::new(10.0, 10.0),
+                        Point::new(50.0, 10.0),
+                        Point::new(50.0, 30.0),
+                        Point::new(10.0, 30.0),
+                    ],
+                    0.6,
+                )
+                .unwrap(),
+            );
+            v
+        };
+        let mut reference = make_shapes();
+        let serial_pool = WorkerPool::new(1);
+        let ref_total = correct_shapes_with_pool(&mut reference, &aerial, 0.3, &step, &serial_pool);
+        for workers in [2usize, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut shapes = make_shapes();
+            let total = correct_shapes_with_pool(&mut shapes, &aerial, 0.3, &step, &pool);
+            assert_eq!(total, ref_total, "total differs at {workers} workers");
+            for (s, r) in shapes.iter().zip(&reference) {
+                assert_eq!(
+                    s.spline.control_points(),
+                    r.spline.control_points(),
+                    "control points differ at {workers} workers"
                 );
             }
         }

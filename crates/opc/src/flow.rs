@@ -14,8 +14,9 @@ use crate::sraf::insert_srafs;
 use crate::OpcError;
 use cardopc_geometry::{BBox, Point, Polygon};
 use cardopc_layout::Clip;
-use cardopc_litho::{rasterize, LithoEngine};
+use cardopc_litho::{LithoEngine, RasterCache};
 use cardopc_mrc::{AreaPolicy, MrcResolver, ResolveConfig};
+use cardopc_spline::SamplingPlan;
 
 /// Result of a CardOPC run on one clip.
 #[derive(Clone, Debug)]
@@ -165,6 +166,25 @@ impl CardOpc {
         let mut epe_history = Vec::with_capacity(self.config.iterations);
         let mut step_limit = self.config.move_step;
 
+        // Per-iteration simulation state, set up once. SRAFs are frozen
+        // after initialisation, so their raster layer is cached; the main
+        // shapes are re-sampled through the shared sampling plan into
+        // reused polygon buffers; and the aerial image is restricted to
+        // the pixel columns the EPE correction actually reads (the frozen
+        // anchors' bilinear search footprints).
+        let per = self.config.samples_per_segment;
+        let plan = SamplingPlan::get(per, self.config.tension);
+        let sraf_polys: Vec<Polygon> = shapes
+            .iter()
+            .filter(|s| s.is_sraf)
+            .map(|s| s.spline.to_polygon(per))
+            .collect();
+        let mut cache = RasterCache::new(engine.width(), engine.height(), engine.pitch());
+        cache.set_base(&sraf_polys);
+        let roi = self.roi_columns(&shapes, engine);
+        let mut main_polys: Vec<Polygon> = Vec::new();
+        let mut samples: Vec<Point> = Vec::new();
+
         for iter in 0..self.config.iterations {
             if iter == self.config.decay_at {
                 step_limit *= self.config.decay_factor;
@@ -174,8 +194,27 @@ impl CardOpc {
                     crate::correct::relax_shape(shape, self.config.relax_strength);
                 }
             }
-            let mask = self.raster_shapes(&shapes, engine);
-            let aerial = engine.aerial_image(&mask)?;
+            // ③ connect: resample the moving shapes. The reused polygon is
+            // refilled in place when the fresh sample ring has the same
+            // vertex count (`Polygon::new` may dedup near-coincident
+            // samples, in which case the polygon is rebuilt).
+            for (i, shape) in shapes.iter().filter(|s| !s.is_sraf).enumerate() {
+                shape.spline.sample_into(&plan, &mut samples);
+                match main_polys.get_mut(i) {
+                    Some(poly) if poly.len() == samples.len() => {
+                        poly.vertices_mut().copy_from_slice(&samples);
+                    }
+                    Some(poly) => *poly = Polygon::new(samples.clone()),
+                    None => main_polys.push(Polygon::new(samples.clone())),
+                }
+            }
+            // ④ simulate on the cached composite, restricted to the ROI.
+            let mask = cache.composite(&main_polys);
+            let aerial = match &roi {
+                Some(cols) => engine.aerial_image_cols(mask, cols)?,
+                None => engine.aerial_image(mask)?,
+            };
+            // ⑤ EPE feedback (shape-parallel on the shared pool).
             let total = correct_shapes(
                 &mut shapes,
                 &aerial,
@@ -239,12 +278,47 @@ impl CardOpc {
         self.config.convention
     }
 
-    fn raster_shapes(&self, shapes: &[OpcShape], engine: &LithoEngine) -> cardopc_geometry::Grid {
-        let polys: Vec<Polygon> = shapes
-            .iter()
-            .map(|s| s.spline.to_polygon(self.config.samples_per_segment))
-            .collect();
-        rasterize(&polys, engine.width(), engine.height(), engine.pitch())
+    /// The pixel columns the EPE feedback can read, or `None` when the
+    /// restriction would not pay off.
+    ///
+    /// [`correct_shapes`] probes the aerial image only via [`epe_at`],
+    /// which walks at most `epe_search + pitch/2` along each frozen
+    /// anchor's normal and reads the grid bilinearly (one extra column on
+    /// each side). Expanding every anchor's x-extent by
+    /// `epe_search + 2·pitch` therefore covers every pixel the loop can
+    /// touch, with margin.
+    ///
+    /// [`epe_at`]: cardopc_litho::epe_at
+    fn roi_columns(&self, shapes: &[OpcShape], engine: &LithoEngine) -> Option<Vec<usize>> {
+        let width = engine.width();
+        let pitch = engine.pitch();
+        if width == 0 {
+            return None;
+        }
+        let margin = self.config.epe_search + 2.0 * pitch;
+        let mut needed = vec![false; width];
+        for shape in shapes.iter().filter(|s| !s.is_sraf) {
+            for anchor in &shape.anchors {
+                // `Grid::sample` reads columns floor(x/pitch - 0.5) and the
+                // next one, clamped to the grid.
+                let lo = ((anchor.position.x - margin) / pitch - 0.5)
+                    .floor()
+                    .max(0.0) as usize;
+                let hi =
+                    (((anchor.position.x + margin) / pitch - 0.5).floor() + 1.0).max(0.0) as usize;
+                for flag in &mut needed[lo.min(width - 1)..=hi.min(width - 1)] {
+                    *flag = true;
+                }
+            }
+        }
+        let cols: Vec<usize> = (0..width).filter(|&c| needed[c]).collect();
+        // Near-full coverage: the pruned column pass would save nothing
+        // over the fused full transform, so keep the simple path.
+        if cols.len() * 10 >= width * 9 {
+            None
+        } else {
+            Some(cols)
+        }
     }
 }
 
@@ -372,6 +446,78 @@ mod tests {
         let outcome = flow.run(&small_clip()).unwrap();
         // Whatever was found must be (almost) fully resolved.
         assert!(outcome.mrc_remaining <= outcome.mrc_initial_violations);
+    }
+
+    #[test]
+    fn optimized_loop_matches_reference_flow() {
+        // The cached-raster + ROI-column + shape-parallel iteration loop
+        // must reproduce the plain pipeline (full rasterisation and full
+        // aerial image every iteration, written against public APIs only)
+        // to within 1e-9, with identical MRC accounting.
+        let clip = small_clip();
+        let mut cfg = fast_config();
+        cfg.sraf = Some(crate::config::SrafConfig::default());
+        cfg.mrc = Some(cardopc_mrc::MrcRules::default());
+        cfg.relax_every = 2;
+        let flow = CardOpc::new(cfg.clone());
+        let engine = engine_for_extent(clip.width(), clip.height(), cfg.pitch).unwrap();
+
+        let mut shapes = flow.initialize(&clip).unwrap();
+        let mut step_limit = cfg.move_step;
+        let mut reference_history = Vec::new();
+        for iter in 0..cfg.iterations {
+            if iter == cfg.decay_at {
+                step_limit *= cfg.decay_factor;
+            }
+            if cfg.relax_every > 0 && iter > 0 && iter % cfg.relax_every == 0 {
+                for shape in shapes.iter_mut().filter(|s| !s.is_sraf) {
+                    crate::correct::relax_shape(shape, cfg.relax_strength);
+                }
+            }
+            let polys: Vec<Polygon> = shapes
+                .iter()
+                .map(|s| s.spline.to_polygon(cfg.samples_per_segment))
+                .collect();
+            let mask =
+                cardopc_litho::rasterize(&polys, engine.width(), engine.height(), engine.pitch());
+            let aerial = engine.aerial_image(&mask).unwrap();
+            let total = correct_shapes(
+                &mut shapes,
+                &aerial,
+                engine.threshold(),
+                &CorrectionStep {
+                    step_limit,
+                    smooth_window: cfg.smooth_window,
+                    epe_search: cfg.epe_search,
+                    spline_normals: cfg.spline_normals,
+                },
+            );
+            reference_history.push(total);
+        }
+        let mut splines: Vec<_> = shapes.iter().map(|s| s.spline.clone()).collect();
+        let resolver = MrcResolver::new(
+            cfg.mrc.unwrap(),
+            ResolveConfig {
+                area_policy: AreaPolicy::Keep,
+                samples_per_segment: cfg.samples_per_segment,
+                ..ResolveConfig::default()
+            },
+        );
+        let reference_report = resolver.resolve(&mut splines);
+
+        let outcome = flow.run_with_engine(&clip, &engine).unwrap();
+        assert_eq!(outcome.epe_history.len(), reference_history.len());
+        for (got, want) in outcome.epe_history.iter().zip(&reference_history) {
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "EPE history diverged: {got} vs {want}"
+            );
+        }
+        assert_eq!(
+            outcome.mrc_initial_violations,
+            reference_report.initial_violations
+        );
+        assert_eq!(outcome.mrc_remaining, reference_report.remaining.len());
     }
 
     #[test]

@@ -48,7 +48,10 @@ mod sraf;
 pub use baseline::{RectOpc, RectOpcConfig, RectOutcome};
 pub use config::{OpcConfig, SrafConfig};
 pub use control::OpcShape;
-pub use correct::{correct_shapes, outward_normals, relax_shape, CorrectionStep};
+pub use correct::{
+    correct_shapes, correct_shapes_with_pool, outward_normals, relax_shape, CorrectScratch,
+    CorrectionStep,
+};
 pub use dissect::{dissect_polygon, DissectedSegment};
 pub use error::OpcError;
 pub use eval::{

@@ -18,7 +18,7 @@
 //! analytic curvature (Eq. 9) cheap to evaluate — the property that makes
 //! curvilinear MRC tractable.
 
-use crate::SplineError;
+use crate::{SamplingPlan, SplineError};
 use cardopc_geometry::{Point, Polygon};
 
 /// The per-segment cubic coefficients `p(t) = c0 + c1·t + c2·t² + c3·t³`.
@@ -262,20 +262,49 @@ impl CardinalSpline {
     ///
     /// Panics when `per_segment == 0`.
     pub fn sample(&self, per_segment: usize) -> Vec<Point> {
-        assert!(per_segment > 0, "need at least one sample per segment");
+        let plan = SamplingPlan::get(per_segment, self.tension);
+        self.sample_with_plan(&plan)
+    }
+
+    /// Samples the whole curve through a precomputed [`SamplingPlan`]
+    /// (uniform-grid basis weights, shared across all splines with the same
+    /// tension). Equivalent to [`CardinalSpline::sample`] with the plan's
+    /// `per_segment`, but with zero per-point polynomial work.
+    pub fn sample_with_plan(&self, plan: &SamplingPlan) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.sample_into(plan, &mut out);
+        out
+    }
+
+    /// Samples through `plan` into a reused buffer (cleared first) — the
+    /// zero-allocation variant the OPC iteration loop uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan's tension does not match the spline's.
+    pub fn sample_into(&self, plan: &SamplingPlan, out: &mut Vec<Point>) {
+        assert!(
+            plan.tension().to_bits() == self.tension.to_bits(),
+            "sampling plan tension {} does not match spline tension {}",
+            plan.tension(),
+            self.tension
+        );
+        out.clear();
         let segs = self.segment_count();
-        let mut out = Vec::with_capacity(segs * per_segment + 1);
+        out.reserve(segs * plan.per_segment() + 1);
         for seg in 0..segs {
-            let c = self.coeffs(seg);
-            for k in 0..per_segment {
-                let t = k as f64 / per_segment as f64;
-                out.push(c.point(t));
+            let i = seg as isize;
+            let pm1 = self.neighbor(i - 1);
+            let p0 = self.neighbor(i);
+            let p1 = self.neighbor(i + 1);
+            let p2 = self.neighbor(i + 2);
+            for w in plan.weights() {
+                out.push(pm1 * w[0] + p0 * w[1] + p1 * w[2] + p2 * w[3]);
             }
         }
         if !self.closed {
             out.push(*self.points.last().expect("validated non-empty"));
         }
-        out
     }
 
     /// Samples the loop into a [`Polygon`] (closed splines only make sense

@@ -11,7 +11,7 @@
 //! [`CardinalSpline::basis_weights`]), the gradient is analytic and exact —
 //! no autodiff needed. The optimiser is Adam, as the paper suggests.
 
-use crate::{CardinalSpline, SplineError};
+use crate::{CardinalSpline, SamplingPlan, SplineError};
 use cardopc_geometry::{Point, Polygon};
 
 /// Configuration of the contour-fitting optimisation.
@@ -151,14 +151,25 @@ pub fn fit_contour(contour: &Polygon, config: &FitConfig) -> Result<FitResult, S
     // Sampling plan: reference k pairs with spline parameter
     // u_k = k · n_q / n_r over the closed parameter domain [0, n_q).
     // Q[0] and R[0] both sit at arc length 0, so index pairing is aligned.
-    let plan: Vec<(usize, f64, [f64; 4])> = (0..n_r)
-        .map(|k| {
-            let u = k as f64 * n_q as f64 / n_r as f64;
-            let seg = (u.floor() as usize).min(n_q - 1);
-            let t = u - seg as f64;
-            (seg, t, CardinalSpline::basis_weights(config.tension, t))
-        })
-        .collect();
+    // When n_r is an exact multiple of n_q the parameters land on the
+    // uniform per-segment grid, so the process-wide cached [`SamplingPlan`]
+    // supplies the weights instead of recomputing them per reference point.
+    let plan: Vec<(usize, f64, [f64; 4])> = if n_r.is_multiple_of(n_q) {
+        let per = n_r / n_q;
+        let shared = SamplingPlan::get(per, config.tension);
+        (0..n_r)
+            .map(|k| (k / per, shared.ts()[k % per], shared.weights()[k % per]))
+            .collect()
+    } else {
+        (0..n_r)
+            .map(|k| {
+                let u = k as f64 * n_q as f64 / n_r as f64;
+                let seg = (u.floor() as usize).min(n_q - 1);
+                let t = u - seg as f64;
+                (seg, t, CardinalSpline::basis_weights(config.tension, t))
+            })
+            .collect()
+    };
 
     let loss_of = |q: &[Point]| -> f64 {
         let mut acc = 0.0;

@@ -37,8 +37,10 @@ mod bezier;
 mod cardinal;
 mod error;
 pub mod fit;
+mod plan;
 
 pub use bezier::BezierChain;
 pub use cardinal::CardinalSpline;
 pub use error::SplineError;
 pub use fit::{fit_contour, FitConfig, FitResult};
+pub use plan::SamplingPlan;

@@ -1,0 +1,133 @@
+//! Precomputed uniform-grid sampling plans.
+//!
+//! Sampling a cardinal spline with `per_segment` points per segment always
+//! evaluates Eq. (2) at the same local parameters `t = k / per_segment`, and
+//! the basis weights of Eq. (2) depend only on `(t, tension)` — not on the
+//! control points. A [`SamplingPlan`] precomputes those weights once per
+//! `(per_segment, tension)` pair and shares them process-wide through the
+//! same `OnceLock` registry idiom as the litho crate's FFT plans, so the OPC
+//! loop's per-iteration "connect" step reduces to four fused
+//! multiply-accumulates per sample with zero per-point polynomial work.
+
+use crate::CardinalSpline;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Precomputed Eq. (2) basis weights for uniform sampling at
+/// `t = k / per_segment`, `k = 0..per_segment`, for one tension value.
+///
+/// Obtain shared instances through [`SamplingPlan::get`]; plans are built
+/// once per `(per_segment, tension)` pair and cached process-wide.
+#[derive(Debug)]
+pub struct SamplingPlan {
+    per_segment: usize,
+    tension: f64,
+    /// `weights[k] = CardinalSpline::basis_weights(tension, ts[k])`.
+    weights: Vec<[f64; 4]>,
+    /// The local parameters `k / per_segment`.
+    ts: Vec<f64>,
+}
+
+/// Registry key: `per_segment` plus the exact bit pattern of the tension
+/// (tensions are configuration constants, so bit-exact matching is right —
+/// no epsilon bucketing needed).
+type PlanKey = (usize, u64);
+
+static REGISTRY: OnceLock<RwLock<HashMap<PlanKey, Arc<SamplingPlan>>>> = OnceLock::new();
+
+impl SamplingPlan {
+    /// Returns the shared plan for `(per_segment, tension)`, building it on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `per_segment == 0` or `tension` is non-finite.
+    pub fn get(per_segment: usize, tension: f64) -> Arc<SamplingPlan> {
+        assert!(per_segment > 0, "need at least one sample per segment");
+        assert!(tension.is_finite(), "tension must be finite");
+        let key: PlanKey = (per_segment, tension.to_bits());
+        let registry = REGISTRY.get_or_init(|| RwLock::new(HashMap::new()));
+        // Poisoning only happens when a panicking thread held the lock; the
+        // map contents are still valid (plans are write-once), so recover.
+        if let Some(plan) = registry.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(SamplingPlan::build(per_segment, tension));
+        let mut map = registry.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(key).or_insert(plan))
+    }
+
+    fn build(per_segment: usize, tension: f64) -> SamplingPlan {
+        let ts: Vec<f64> = (0..per_segment)
+            .map(|k| k as f64 / per_segment as f64)
+            .collect();
+        let weights = ts
+            .iter()
+            .map(|&t| CardinalSpline::basis_weights(tension, t))
+            .collect();
+        SamplingPlan {
+            per_segment,
+            tension,
+            weights,
+            ts,
+        }
+    }
+
+    /// Samples per segment this plan was built for.
+    #[inline]
+    pub fn per_segment(&self) -> usize {
+        self.per_segment
+    }
+
+    /// Tension this plan was built for.
+    #[inline]
+    pub fn tension(&self) -> f64 {
+        self.tension
+    }
+
+    /// The precomputed weights, one `[w_{i-1}, w_i, w_{i+1}, w_{i+2}]` row
+    /// per local parameter in [`ts`](Self::ts).
+    #[inline]
+    pub fn weights(&self) -> &[[f64; 4]] {
+        &self.weights
+    }
+
+    /// The local parameters `k / per_segment`, `k = 0..per_segment`.
+    #[inline]
+    pub fn ts(&self) -> &[f64] {
+        &self.ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_weights_match_basis_weights() {
+        let plan = SamplingPlan::get(8, 0.6);
+        assert_eq!(plan.per_segment(), 8);
+        assert_eq!(plan.tension(), 0.6);
+        assert_eq!(plan.weights().len(), 8);
+        for (k, w) in plan.weights().iter().enumerate() {
+            let t = k as f64 / 8.0;
+            assert_eq!(*w, CardinalSpline::basis_weights(0.6, t));
+            assert_eq!(plan.ts()[k], t);
+        }
+    }
+
+    #[test]
+    fn registry_shares_plans() {
+        let a = SamplingPlan::get(16, 0.5);
+        let b = SamplingPlan::get(16, 0.5);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = SamplingPlan::get(16, 0.6);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_per_segment_panics() {
+        let _ = SamplingPlan::get(0, 0.6);
+    }
+}

@@ -1,7 +1,9 @@
 //! Property-based tests for spline invariants.
 
 use cardopc_geometry::{Point, Polygon, SplitMix64};
-use cardopc_spline::{fit::resample_closed, fit_contour, BezierChain, CardinalSpline, FitConfig};
+use cardopc_spline::{
+    fit::resample_closed, fit_contour, BezierChain, CardinalSpline, FitConfig, SamplingPlan,
+};
 use proptest::prelude::*;
 
 /// A random simple (star-shaped) closed control polygon.
@@ -147,6 +149,25 @@ proptest! {
         let cfg = FitConfig { iterations: 50, ..FitConfig::default() };
         let fit = fit_contour(&contour, &cfg).unwrap();
         prop_assert!(fit.final_loss <= fit.initial_loss + 1e-9);
+    }
+
+    /// Plan-based sampling matches direct Eq. (2) evaluation to 1e-12 for
+    /// random control sets, tensions and sampling densities.
+    #[test]
+    fn sampling_plan_matches_direct_point(seed in 0u64..200, n in 3usize..24,
+                                          s in -1.0..2.0f64, per in 1usize..16) {
+        let pts = star_points(seed, n);
+        prop_assume!(pts.len() >= 3);
+        let sp = CardinalSpline::closed(pts, s).unwrap();
+        let plan = SamplingPlan::get(per, s);
+        let planned = sp.sample_with_plan(&plan);
+        prop_assert_eq!(planned.len(), sp.segment_count() * per);
+        for (idx, p) in planned.iter().enumerate() {
+            let seg = idx / per;
+            let t = (idx % per) as f64 / per as f64;
+            prop_assert!(p.distance(sp.point(seg, t)) < 1e-12,
+                         "seg {} t {}: planned {} direct {}", seg, t, p, sp.point(seg, t));
+        }
     }
 
     /// basis_weights always sums to 1 (affine invariance of the spline).
