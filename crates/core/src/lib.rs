@@ -20,6 +20,7 @@
 //! | [`mrc`] | curvilinear mask rule checking and violation resolving |
 //! | [`opc`] | the CardOPC flow and rectilinear baselines |
 //! | [`ilt`] | pixel ILT and the ILT-OPC hybrid flow |
+//! | [`runtime`] | tiled full-chip runtime: halo partitioning, scheduling, checkpoint/resume |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use cardopc_layout as layout;
 pub use cardopc_litho as litho;
 pub use cardopc_mrc as mrc;
 pub use cardopc_opc as opc;
+pub use cardopc_runtime as runtime;
 pub use cardopc_spline as spline;
 
 /// One-import convenience module with the names most programs need.
@@ -60,6 +62,7 @@ pub mod prelude {
         engine_for_extent, evaluate_mask, CardOpc, MeasureConvention, OpcConfig, RectOpc,
         RectOpcConfig,
     };
+    pub use crate::runtime::{run_clip, RunConfig, RunManifest, RuntimeError, TilingConfig};
     pub use crate::spline::{fit_contour, BezierChain, CardinalSpline, FitConfig};
 }
 

@@ -94,6 +94,33 @@ impl Clip {
             .collect();
         Clip::new(name, width, height, targets)
     }
+
+    /// Crops a sub-window like [`Clip::crop`], but keeps every shape whose
+    /// bounding box *intersects* the window — shapes straddling the
+    /// boundary are kept whole (and may extend outside the new clip's
+    /// window). This is the halo-tile convention: a tiled runtime needs
+    /// boundary shapes present for optical context even though another
+    /// tile owns them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the requested dimensions are not strictly positive.
+    pub fn crop_intersecting(
+        &self,
+        origin: Point,
+        width: f64,
+        height: f64,
+        name: impl Into<String>,
+    ) -> Clip {
+        let window = BBox::new(origin, origin + Point::new(width, height));
+        let targets = self
+            .targets
+            .iter()
+            .filter(|t| window.intersects(&t.bbox()))
+            .map(|t| t.translated(-origin))
+            .collect();
+        Clip::new(name, width, height, targets)
+    }
 }
 
 impl fmt::Display for Clip {
@@ -124,6 +151,20 @@ mod tests {
         assert_eq!(clip.drawn_area(), 100.0);
         assert!(clip.targets_in_window());
         assert!(clip.to_string().contains("1 shapes"));
+    }
+
+    #[test]
+    fn crop_intersecting_keeps_straddlers() {
+        let inside = Polygon::rect(Point::new(10.0, 10.0), Point::new(20.0, 20.0));
+        let straddling = Polygon::rect(Point::new(45.0, 10.0), Point::new(70.0, 20.0));
+        let outside = Polygon::rect(Point::new(80.0, 10.0), Point::new(90.0, 20.0));
+        let clip = Clip::new("T", 100.0, 50.0, vec![inside, straddling, outside]);
+        let origin = Point::new(0.0, 0.0);
+        assert_eq!(clip.crop(origin, 50.0, 50.0, "strict").targets().len(), 1);
+        let halo = clip.crop_intersecting(origin, 50.0, 50.0, "halo");
+        assert_eq!(halo.targets().len(), 2);
+        // Straddler kept whole, untranslated (origin at zero).
+        assert_eq!(halo.targets()[1].bbox().max.x, 70.0);
     }
 
     #[test]

@@ -125,6 +125,14 @@ pub fn large_tile(kind: DesignKind, index: usize) -> Clip {
     )
 }
 
+/// The first `count` tiles of a design, generated lazily in index order
+/// (a full-chip runtime iterates these without materialising every 30×30 µm
+/// tile up front). `design_tiles(kind, kind.paper_tile_count())` is the
+/// paper's Table III workload.
+pub fn design_tiles(kind: DesignKind, count: usize) -> impl Iterator<Item = Clip> {
+    (0..count).map(move |i| large_tile(kind, i))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +161,16 @@ mod tests {
         let aes = area(DesignKind::Aes);
         let dyn_ = area(DesignKind::DynamicNode);
         assert!(aes > dyn_ && dyn_ > gcd, "densities {gcd} {dyn_} {aes}");
+    }
+
+    #[test]
+    fn design_tiles_iterates_in_index_order() {
+        let tiles: Vec<Clip> = design_tiles(DesignKind::Gcd, 3).collect();
+        assert_eq!(tiles.len(), 3);
+        for (i, t) in tiles.iter().enumerate() {
+            assert_eq!(t.name(), format!("gcd[{i}]"));
+            assert_eq!(*t, large_tile(DesignKind::Gcd, i));
+        }
     }
 
     #[test]

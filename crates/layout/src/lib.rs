@@ -35,6 +35,6 @@ mod metal;
 mod via;
 
 pub use clip::Clip;
-pub use largescale::{large_tile, DesignKind};
+pub use largescale::{design_tiles, large_tile, DesignKind};
 pub use metal::metal_clips;
 pub use via::via_clips;

@@ -23,6 +23,10 @@ pub enum LithoError {
         /// Provided (width, height).
         got: (usize, usize),
     },
+    /// A rasterisation parameter (pitch, grid extent) is unusable.
+    InvalidRaster(&'static str),
+    /// A worker thread could not be spawned.
+    WorkerSpawn(String),
 }
 
 impl fmt::Display for LithoError {
@@ -38,6 +42,8 @@ impl fmt::Display for LithoError {
                 "mask grid is {}x{} but engine expects {}x{}",
                 got.0, got.1, expected.0, expected.1
             ),
+            LithoError::InvalidRaster(what) => write!(f, "invalid raster parameter: {what}"),
+            LithoError::WorkerSpawn(what) => write!(f, "failed to spawn litho worker: {what}"),
         }
     }
 }

@@ -53,5 +53,5 @@ pub use metrics::{
 pub use optics::{build_kernels, OpticsConfig, SocsKernel};
 pub use plan::FftPlan;
 pub use pool::WorkerPool;
-pub use raster::{rasterize, rasterize_into, RasterCache};
+pub use raster::{rasterize, rasterize_into, try_rasterize, RasterCache};
 pub use workspace::LithoWorkspace;

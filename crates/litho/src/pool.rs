@@ -15,8 +15,9 @@
 //! environment variable when set, otherwise `std::thread::available_
 //! parallelism()` — queried exactly once, never per call.
 
+use crate::error::LithoError;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// A lifetime-erased pointer to the job closure.
 ///
@@ -76,6 +77,19 @@ struct Shared {
     job_done: Condvar,
 }
 
+impl Shared {
+    /// Locks the pool state, recovering from mutex poisoning.
+    ///
+    /// Task panics are caught inside [`Job::drain`] (never under the lock),
+    /// so a poisoned mutex can only come from a panic in one of the trivial
+    /// critical sections below — all of which leave `PoolState` in a valid
+    /// state (plain assignments). Recovering keeps an otherwise-healthy
+    /// pool usable instead of cascading panics into every later job.
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 /// A fixed-size persistent worker pool.
 pub struct WorkerPool {
     shared: Arc<Shared>,
@@ -96,27 +110,59 @@ impl WorkerPool {
     /// Creates a pool with `parallelism` total executors (the submitting
     /// thread counts as one, so `parallelism - 1` worker threads are
     /// spawned; `parallelism <= 1` spawns none and `run` executes inline).
+    ///
+    /// When the OS refuses a thread, the pool degrades to the executors
+    /// that did spawn (worst case: inline execution on the submitter) —
+    /// use [`WorkerPool::try_new`] to surface spawn failures instead.
     pub fn new(parallelism: usize) -> WorkerPool {
+        Self::build(parallelism).0
+    }
+
+    /// [`WorkerPool::new`], surfacing thread-spawn failures as
+    /// [`LithoError::WorkerSpawn`] instead of silently degrading.
+    ///
+    /// # Errors
+    ///
+    /// [`LithoError::WorkerSpawn`] when any worker thread could not be
+    /// spawned (already-spawned workers are shut down and joined).
+    pub fn try_new(parallelism: usize) -> Result<WorkerPool, LithoError> {
+        let (pool, err) = Self::build(parallelism);
+        match err {
+            None => Ok(pool),
+            Some(e) => Err(e), // dropping `pool` joins the partial spawn set
+        }
+    }
+
+    /// Spawns up to `parallelism - 1` workers, stopping at the first spawn
+    /// failure; returns the (possibly degraded) pool and the failure.
+    fn build(parallelism: usize) -> (WorkerPool, Option<LithoError>) {
         let parallelism = parallelism.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState::default()),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
         });
-        let handles = (1..parallelism)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("cardopc-litho-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("failed to spawn litho worker")
-            })
-            .collect();
-        WorkerPool {
-            shared,
-            handles,
-            parallelism,
+        let mut handles = Vec::with_capacity(parallelism - 1);
+        let mut err = None;
+        for i in 1..parallelism {
+            let worker_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("cardopc-litho-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+            {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    err = Some(LithoError::WorkerSpawn(e.to_string()));
+                    break;
+                }
+            }
         }
+        let pool = WorkerPool {
+            shared,
+            parallelism: handles.len() + 1,
+            handles,
+        };
+        (pool, err)
     }
 
     /// The process-wide pool shared by the litho engine, pixel ILT and the
@@ -167,7 +213,7 @@ impl WorkerPool {
         });
 
         {
-            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            let mut state = self.shared.lock_state();
             state.job = Some(Arc::clone(&job));
             state.generation = state.generation.wrapping_add(1);
             self.shared.work_ready.notify_all();
@@ -177,13 +223,13 @@ impl WorkerPool {
         job.drain();
 
         // Wait for stragglers, then retire the job slot if it is still ours.
-        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        let mut state = self.shared.lock_state();
         while job.pending.load(Ordering::Acquire) != 0 {
             state = self
                 .shared
                 .job_done
                 .wait(state)
-                .expect("pool state poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if state
             .job
@@ -227,7 +273,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            let mut state = self.shared.lock_state();
             state.shutdown = true;
             self.shared.work_ready.notify_all();
         }
@@ -241,7 +287,7 @@ fn worker_loop(shared: &Shared) {
     let mut seen_generation = 0u64;
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pool state poisoned");
+            let mut state = shared.lock_state();
             loop {
                 if state.shutdown {
                     return;
@@ -252,12 +298,15 @@ fn worker_loop(shared: &Shared) {
                         break job;
                     }
                 }
-                state = shared.work_ready.wait(state).expect("pool state poisoned");
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         if job.drain() {
             // This worker finished the job's last task: wake the submitter.
-            let _guard = shared.state.lock().expect("pool state poisoned");
+            let _guard = shared.lock_state();
             shared.job_done.notify_all();
         }
     }
@@ -348,6 +397,17 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn try_new_spawns_and_runs() {
+        let pool = WorkerPool::try_new(3).expect("spawn failed");
+        assert_eq!(pool.parallelism(), 3);
+        let counter = AtomicU64::new(0);
+        pool.run(9, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 9);
     }
 
     #[test]

@@ -6,10 +6,23 @@
 //! a scanline algorithm: vertical anti-aliasing via sub-scanlines, exact
 //! horizontal span-fraction coverage.
 
+use crate::error::LithoError;
 use cardopc_geometry::{Grid, Polygon};
 
 /// Number of sub-scanlines per pixel row (vertical anti-aliasing quality).
 const SUBSAMPLES: usize = 4;
+
+/// Validates a raster grid specification (pitch must be a positive finite
+/// number; the span-filling math divides by it).
+fn validate_raster(pitch: f64) -> Result<(), LithoError> {
+    if !pitch.is_finite() {
+        return Err(LithoError::InvalidRaster("pitch must be finite"));
+    }
+    if pitch <= 0.0 {
+        return Err(LithoError::InvalidRaster("pitch must be positive"));
+    }
+    Ok(())
+}
 
 /// Rasterises a set of polygons into a fresh grid; overlapping shapes union
 /// (coverage saturates at 1).
@@ -24,12 +37,30 @@ const SUBSAMPLES: usize = 4;
 /// assert!((grid.sum() - 64.0).abs() < 1.0);
 /// ```
 pub fn rasterize(polygons: &[Polygon], width: usize, height: usize, pitch: f64) -> Grid {
+    try_rasterize(polygons, width, height, pitch).expect("invalid raster grid")
+}
+
+/// [`rasterize`], rejecting unusable grid specifications instead of
+/// producing a garbage raster (a zero/NaN pitch sends every coverage
+/// division to ±∞).
+///
+/// # Errors
+///
+/// [`LithoError::InvalidRaster`] when `pitch` is not a positive finite
+/// number.
+pub fn try_rasterize(
+    polygons: &[Polygon],
+    width: usize,
+    height: usize,
+    pitch: f64,
+) -> Result<Grid, LithoError> {
+    validate_raster(pitch)?;
     let mut grid = Grid::zeros(width, height, pitch);
     for poly in polygons {
         rasterize_into(&mut grid, poly);
     }
     grid.map_inplace(|v| v.min(1.0));
-    grid
+    Ok(grid)
 }
 
 /// Adds one polygon's coverage into an existing grid (no clamping — callers
@@ -101,12 +132,23 @@ pub struct RasterCache {
 impl RasterCache {
     /// An empty cache over a `width`×`height` grid with `pitch` nm pixels.
     pub fn new(width: usize, height: usize, pitch: f64) -> RasterCache {
+        Self::try_new(width, height, pitch).expect("invalid raster grid")
+    }
+
+    /// [`RasterCache::new`], rejecting unusable grid specifications.
+    ///
+    /// # Errors
+    ///
+    /// [`LithoError::InvalidRaster`] when `pitch` is not a positive finite
+    /// number.
+    pub fn try_new(width: usize, height: usize, pitch: f64) -> Result<RasterCache, LithoError> {
+        validate_raster(pitch)?;
         let base = Grid::zeros(width, height, pitch);
-        RasterCache {
+        Ok(RasterCache {
             work: base.clone(),
             base,
             dirty: None,
-        }
+        })
     }
 
     /// Rasterises the frozen layer (clamped union coverage) into the cached
@@ -342,6 +384,21 @@ mod tests {
         assert!((cache.composite(&[sq]).sum() - 4.0).abs() < 1e-9);
         // Moving layer removed again: base restored.
         assert_eq!(cache.composite(&[]).sum(), 0.0);
+    }
+
+    #[test]
+    fn invalid_pitch_rejected() {
+        for pitch in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                try_rasterize(&[], 8, 8, pitch),
+                Err(LithoError::InvalidRaster(_))
+            ));
+            assert!(matches!(
+                RasterCache::try_new(8, 8, pitch),
+                Err(LithoError::InvalidRaster(_))
+            ));
+        }
+        assert!(try_rasterize(&[], 8, 8, 1.0).is_ok());
     }
 
     #[test]

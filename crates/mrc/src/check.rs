@@ -323,6 +323,44 @@ impl MrcChecker {
         out
     }
 
+    /// Spacing-rule check restricted to a set of rectangular bands:
+    /// probes are launched only from boundary samples inside one of the
+    /// `bands`, and shapes whose bbox misses every band are skipped
+    /// entirely.
+    ///
+    /// Tiled runtimes use this as the cross-boundary seam pass — each
+    /// tile's interior was checked during its own MRC stage, so only the
+    /// strips around tile boundaries (sized at least `min_space` each
+    /// side) need the global re-check. A violation between shapes from
+    /// different tiles is reported from the sample inside the band, so a
+    /// band covering `± min_space` around a seam sees every cross-seam
+    /// pair.
+    pub fn check_spacing_in_bands(
+        &self,
+        shapes: &[CardinalSpline],
+        bands: &[BBox],
+    ) -> Vec<Violation> {
+        if bands.is_empty() {
+            return Vec::new();
+        }
+        let world = MrcWorld::build(shapes, self.samples_per_segment);
+        let shape_tree = world.shape_tree();
+        let c = self.rules.min_space;
+        let mut out = Vec::new();
+        for (si, cache) in world.shapes.iter().enumerate() {
+            if !bands.iter().any(|b| b.intersects(&cache.bbox)) {
+                continue;
+            }
+            for s in &cache.sampled.samples {
+                if !bands.iter().any(|b| b.contains(s.position)) {
+                    continue;
+                }
+                self.spacing_probe(world.shapes.as_slice(), &shape_tree, si, s, c, &mut out);
+            }
+        }
+        out
+    }
+
     /// Width-rule check only.
     pub fn check_width(&self, shapes: &[CardinalSpline]) -> Vec<Violation> {
         let world = MrcWorld::build(shapes, self.samples_per_segment);
@@ -360,39 +398,53 @@ impl MrcChecker {
         let c = self.rules.min_space;
         for (si, cache) in world.shapes.iter().enumerate() {
             for s in &cache.sampled.samples {
-                let start = s.position + s.outward * PROBE_LIFT;
-                let probe = Segment::new(start, s.position + s.outward * c);
-                let mut worst: Option<f64> = None;
-                for cand in shape_tree.query_segment_indices(&probe) {
-                    let sj = shape_tree.item(cand).1;
-                    if sj == si {
-                        // Spacing is checked between distinct shapes
-                        // (Fig. 5(a)); same-shape notch spacing is part of
-                        // the "well-optimized checking" the paper defers to
-                        // future work.
-                        continue;
-                    }
-                    let other = &world.shapes[sj];
-                    for idx in other.edges.query_segment_indices(&probe) {
-                        let edge = &other.edges.item(idx).1;
-                        if probe.intersects(&edge.segment) {
-                            let dist = edge.segment.distance_to_point(s.position);
-                            worst = Some(worst.map_or(dist, |w: f64| w.min(dist)));
-                        }
-                    }
-                }
-                if let Some(dist) = worst {
-                    out.push(Violation {
-                        kind: ViolationKind::Spacing,
-                        shape: si,
-                        segment: s.segment,
-                        location: s.position,
-                        normal: s.outward,
-                        value: dist,
-                        limit: c,
-                    });
+                self.spacing_probe(world.shapes.as_slice(), shape_tree, si, s, c, out);
+            }
+        }
+    }
+
+    /// Launches one spacing probe from sample `s` of shape `si` and
+    /// appends a violation when a distinct shape's edge lies within `c`.
+    fn spacing_probe(
+        &self,
+        shapes: &[ShapeCache],
+        shape_tree: &RTree<usize>,
+        si: usize,
+        s: &SamplePoint,
+        c: f64,
+        out: &mut Vec<Violation>,
+    ) {
+        let start = s.position + s.outward * PROBE_LIFT;
+        let probe = Segment::new(start, s.position + s.outward * c);
+        let mut worst: Option<f64> = None;
+        for cand in shape_tree.query_segment_indices(&probe) {
+            let sj = shape_tree.item(cand).1;
+            if sj == si {
+                // Spacing is checked between distinct shapes
+                // (Fig. 5(a)); same-shape notch spacing is part of
+                // the "well-optimized checking" the paper defers to
+                // future work.
+                continue;
+            }
+            let other = &shapes[sj];
+            for idx in other.edges.query_segment_indices(&probe) {
+                let edge = &other.edges.item(idx).1;
+                if probe.intersects(&edge.segment) {
+                    let dist = edge.segment.distance_to_point(s.position);
+                    worst = Some(worst.map_or(dist, |w: f64| w.min(dist)));
                 }
             }
+        }
+        if let Some(dist) = worst {
+            out.push(Violation {
+                kind: ViolationKind::Spacing,
+                shape: si,
+                segment: s.segment,
+                location: s.position,
+                normal: s.outward,
+                value: dist,
+                limit: c,
+            });
         }
     }
 
@@ -652,6 +704,33 @@ mod tests {
             .iter()
             .filter(|v| v.kind == ViolationKind::Width)
             .all(|v| v.shape == 0));
+    }
+
+    #[test]
+    fn band_restricted_spacing_matches_full_check_inside_band() {
+        // Two violating pairs: one straddling x = 105 (inside the band),
+        // one far away at x ≈ 500 (outside). The band check must report
+        // exactly the full check's violations whose samples fall in the
+        // band, and nothing from the far pair.
+        let shapes = [
+            square(0.0, 0.0, 100.0, 100.0),
+            square(110.0, 0.0, 100.0, 100.0),
+            square(480.0, 300.0, 100.0, 100.0),
+            square(590.0, 300.0, 100.0, 100.0),
+        ];
+        let checker = MrcChecker::new(MrcRules::default());
+        let band = BBox::new(Point::new(80.0, -50.0), Point::new(130.0, 200.0));
+        let banded = checker.check_spacing_in_bands(&shapes, &[band]);
+        assert!(!banded.is_empty());
+        assert!(banded.iter().all(|v| v.shape <= 1), "far pair leaked in");
+        let full = checker.check_spacing(&shapes);
+        let expected: Vec<_> = full
+            .iter()
+            .filter(|v| band.contains(v.location))
+            .cloned()
+            .collect();
+        assert_eq!(banded, expected);
+        assert!(checker.check_spacing_in_bands(&shapes, &[]).is_empty());
     }
 
     #[test]

@@ -53,6 +53,31 @@ pub fn correct_shapes(
     correct_shapes_with_pool(shapes, aerial, threshold, step, WorkerPool::global())
 }
 
+/// [`correct_shapes`], additionally recording each shape's |EPE| sum for
+/// this sweep into `per_shape` (resized to `shapes.len()`; SRAF entries
+/// stay `0.0`). The returned total is the sum of `per_shape` in shape
+/// order, so it is bit-identical to [`correct_shapes`] for the same
+/// inputs. Tiled runtimes use the per-shape totals to aggregate
+/// convergence signals over owner-tile shapes only.
+pub fn correct_shapes_recording(
+    shapes: &mut [OpcShape],
+    aerial: &Grid,
+    threshold: f64,
+    step: &CorrectionStep,
+    per_shape: &mut Vec<f64>,
+) -> f64 {
+    per_shape.clear();
+    per_shape.resize(shapes.len(), 0.0);
+    correct_into(
+        shapes,
+        aerial,
+        threshold,
+        step,
+        WorkerPool::global(),
+        per_shape,
+    )
+}
+
 /// One correction sweep with an explicit worker pool.
 ///
 /// Each shape's correction only reads the (shared) aerial image and writes
@@ -69,7 +94,23 @@ pub fn correct_shapes_with_pool(
     step: &CorrectionStep,
     pool: &WorkerPool,
 ) -> f64 {
+    let mut totals = vec![0.0f64; shapes.len()];
+    correct_into(shapes, aerial, threshold, step, pool, &mut totals)
+}
+
+/// The shared sweep body: writes per-shape |EPE| totals into the
+/// caller-provided shape-indexed buffer (`totals.len() == shapes.len()`)
+/// and returns their sum in shape order.
+fn correct_into(
+    shapes: &mut [OpcShape],
+    aerial: &Grid,
+    threshold: f64,
+    step: &CorrectionStep,
+    pool: &WorkerPool,
+    totals: &mut [f64],
+) -> f64 {
     let n = shapes.len();
+    debug_assert_eq!(totals.len(), n);
     if n == 0 {
         return 0.0;
     }
@@ -81,13 +122,15 @@ pub fn correct_shapes_with_pool(
         work: Vec<(&'a mut OpcShape, &'a mut f64)>,
         scratch: CorrectScratch,
     }
-    let mut totals = vec![0.0f64; n];
     let mut slots: Vec<Slot> = (0..tasks)
         .map(|_| Slot {
             work: Vec::new(),
             scratch: CorrectScratch::default(),
         })
         .collect();
+    for t in totals.iter_mut() {
+        *t = 0.0;
+    }
     for (i, pair) in shapes.iter_mut().zip(totals.iter_mut()).enumerate() {
         slots[i / chunk].work.push(pair);
     }

@@ -7,7 +7,7 @@
 
 use crate::config::OpcConfig;
 use crate::control::OpcShape;
-use crate::correct::{correct_shapes, CorrectionStep};
+use crate::correct::{correct_shapes_recording, CorrectionStep};
 use crate::dissect::dissect_polygon;
 use crate::eval::{engine_for_extent, evaluate_mask, Evaluation, MeasureConvention};
 use crate::sraf::insert_srafs;
@@ -44,6 +44,27 @@ impl OpcOutcome {
             .map(|s| s.spline.to_polygon(samples_per_segment))
             .collect()
     }
+}
+
+/// Output of the optimisation loop alone (steps ①–⑥ minus the final
+/// scoring pass): what a tiled runtime needs when it evaluates the mask
+/// itself over a sub-window.
+#[derive(Clone, Debug)]
+pub struct OptimizedShapes {
+    /// The optimised mask shapes (main patterns and SRAFs).
+    pub shapes: Vec<OpcShape>,
+    /// Sum of |EPE| over all anchors, per iteration.
+    pub epe_history: Vec<f64>,
+    /// Per-iteration, per-shape |EPE| sums (`per_shape_epe[iter][shape]`,
+    /// shape order matching [`OptimizedShapes::shapes`]; SRAF entries are
+    /// `0.0`). Each row sums to the matching `epe_history` entry, letting
+    /// callers re-aggregate convergence over a subset of shapes (e.g. the
+    /// owner-tile shapes of a halo window).
+    pub per_shape_epe: Vec<Vec<f64>>,
+    /// MRC violations found after optimisation, before resolving.
+    pub mrc_initial_violations: usize,
+    /// MRC violations left after resolving.
+    pub mrc_remaining: usize,
 }
 
 /// The CardOPC curvilinear OPC flow.
@@ -162,8 +183,52 @@ impl CardOpc {
         clip: &Clip,
         engine: &LithoEngine,
     ) -> Result<OpcOutcome, OpcError> {
+        let optimized = self.optimize_with_engine(clip, engine)?;
+        let mask_polys: Vec<Polygon> = optimized
+            .shapes
+            .iter()
+            .map(|s| s.spline.to_polygon(self.config.samples_per_segment))
+            .collect();
+        let convention = self.measure_convention();
+        let evaluation = evaluate_mask(
+            engine,
+            &mask_polys,
+            clip.targets(),
+            convention,
+            self.config.dose_delta,
+            self.config.epe_search,
+        )?;
+
+        Ok(OpcOutcome {
+            shapes: optimized.shapes,
+            epe_history: optimized.epe_history,
+            evaluation,
+            mrc_initial_violations: optimized.mrc_initial_violations,
+            mrc_remaining: optimized.mrc_remaining,
+            threshold: engine.threshold(),
+        })
+    }
+
+    /// Runs steps ①–⑥ (initialise, iterate, MRC resolve) against a
+    /// caller-provided engine, without the final scoring pass.
+    ///
+    /// Tiled runtimes use this entry point when the evaluation window
+    /// differs from the optimisation window (e.g. scoring only the core of
+    /// a halo tile); [`CardOpc::run_with_engine`] is this plus
+    /// [`evaluate_mask`] over the whole clip.
+    ///
+    /// # Errors
+    ///
+    /// [`OpcError::EmptyClip`], [`OpcError::Litho`] on grid mismatches, or
+    /// spline errors for degenerate shapes.
+    pub fn optimize_with_engine(
+        &self,
+        clip: &Clip,
+        engine: &LithoEngine,
+    ) -> Result<OptimizedShapes, OpcError> {
         let mut shapes = self.initialize(clip)?;
         let mut epe_history = Vec::with_capacity(self.config.iterations);
+        let mut per_shape_epe = Vec::with_capacity(self.config.iterations);
         let mut step_limit = self.config.move_step;
 
         // Per-iteration simulation state, set up once. SRAFs are frozen
@@ -215,7 +280,8 @@ impl CardOpc {
                 None => engine.aerial_image(mask)?,
             };
             // ⑤ EPE feedback (shape-parallel on the shared pool).
-            let total = correct_shapes(
+            let mut per_shape = Vec::new();
+            let total = correct_shapes_recording(
                 &mut shapes,
                 &aerial,
                 engine.threshold(),
@@ -225,8 +291,10 @@ impl CardOpc {
                     epe_search: self.config.epe_search,
                     spline_normals: self.config.spline_normals,
                 },
+                &mut per_shape,
             );
             epe_history.push(total);
+            per_shape_epe.push(per_shape);
         }
 
         // ⑥ MRC check and resolve.
@@ -249,27 +317,12 @@ impl CardOpc {
             (0, 0)
         };
 
-        let mask_polys: Vec<Polygon> = shapes
-            .iter()
-            .map(|s| s.spline.to_polygon(self.config.samples_per_segment))
-            .collect();
-        let convention = self.measure_convention();
-        let evaluation = evaluate_mask(
-            engine,
-            &mask_polys,
-            clip.targets(),
-            convention,
-            self.config.dose_delta,
-            self.config.epe_search,
-        )?;
-
-        Ok(OpcOutcome {
+        Ok(OptimizedShapes {
             shapes,
             epe_history,
-            evaluation,
+            per_shape_epe,
             mrc_initial_violations: mrc_initial,
             mrc_remaining,
-            threshold: engine.threshold(),
         })
     }
 
@@ -325,6 +378,7 @@ impl CardOpc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::correct::correct_shapes;
     use cardopc_geometry::Point;
 
     /// A small clip with one 120 nm square, cheap enough for debug-mode

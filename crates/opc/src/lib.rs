@@ -49,8 +49,8 @@ pub use baseline::{RectOpc, RectOpcConfig, RectOutcome};
 pub use config::{OpcConfig, SrafConfig};
 pub use control::OpcShape;
 pub use correct::{
-    correct_shapes, correct_shapes_with_pool, outward_normals, relax_shape, CorrectScratch,
-    CorrectionStep,
+    correct_shapes, correct_shapes_recording, correct_shapes_with_pool, outward_normals,
+    relax_shape, CorrectScratch, CorrectionStep,
 };
 pub use dissect::{dissect_polygon, DissectedSegment};
 pub use error::OpcError;
@@ -58,5 +58,5 @@ pub use eval::{
     engine_for_extent, evaluate_mask, evaluate_mask_grid, raster_for_engine, Evaluation,
     MeasureConvention, EPE_TOLERANCE,
 };
-pub use flow::{CardOpc, OpcOutcome};
+pub use flow::{CardOpc, OpcOutcome, OptimizedShapes};
 pub use sraf::insert_srafs;

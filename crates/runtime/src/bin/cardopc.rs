@@ -1,0 +1,215 @@
+//! `cardopc` — command-line tiled full-chip OPC runner.
+//!
+//! Runs the CardOPC flow over a (synthetic) large-scale design through
+//! the tiled runtime: partition into halo tiles, correct tiles over the
+//! worker pool, checkpoint each finished tile, stitch, and report a run
+//! manifest.
+//!
+//! ```text
+//! cargo run --release -p cardopc-runtime --bin cardopc -- \
+//!     --design gcd --quick --run-dir out/gcd-quick
+//! ```
+//!
+//! Interrupted runs (Ctrl-C, crash, or a deliberate `--max-tiles` budget)
+//! resume from the run directory: tiles whose checkpoint records still
+//! match their input hash are skipped.
+
+use cardopc_layout::{design_tiles, Clip, DesignKind};
+use cardopc_litho::WorkerPool;
+use cardopc_opc::OpcConfig;
+use cardopc_runtime::{run_clip, RunConfig, TilingConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cardopc — tiled full-chip curvilinear OPC runner
+
+USAGE:
+    cardopc [OPTIONS]
+
+OPTIONS:
+    --design <gcd|aes|dynamicnode>  synthetic design to correct [gcd]
+    --design-tiles <N>              concatenate N 30x30 um design tiles [1]
+    --crop <NM>                     crop a centred NM x NM window first
+    --tile <NM>                     core tile size [4096]
+    --halo <NM>                     halo margin per side [1024]
+    --pitch <NM>                    simulation pixel pitch [8]
+    --iterations <N>                OPC iterations [10]
+    --workers <N>                   worker pool size [CARDOPC_THREADS/auto]
+    --run-dir <PATH>                checkpoint + manifest directory
+    --max-tiles <N>                 execute at most N tiles, then stop
+    --quick                         small smoke preset: gcd, 2048 nm crop,
+                                    1024 nm tiles, 512 nm halo, 4 iterations
+    --help                          print this help
+";
+
+struct Args {
+    design: DesignKind,
+    design_tiles: usize,
+    crop: Option<f64>,
+    tile: f64,
+    halo: f64,
+    pitch: f64,
+    iterations: usize,
+    workers: Option<usize>,
+    run_dir: Option<String>,
+    max_tiles: Option<usize>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            design: DesignKind::Gcd,
+            design_tiles: 1,
+            crop: None,
+            tile: 4096.0,
+            halo: 1024.0,
+            pitch: 8.0,
+            iterations: 10,
+            workers: None,
+            run_dir: None,
+            max_tiles: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .ok_or_else(|| format!("{flag} expects a value\n\n{USAGE}"))
+            };
+            match flag.as_str() {
+                "--design" => {
+                    args.design = match value()?.as_str() {
+                        "gcd" => DesignKind::Gcd,
+                        "aes" => DesignKind::Aes,
+                        "dynamicnode" => DesignKind::DynamicNode,
+                        other => return Err(format!("unknown design '{other}'")),
+                    }
+                }
+                "--design-tiles" => args.design_tiles = parse_num(&flag, &value()?)?,
+                "--crop" => args.crop = Some(parse_num(&flag, &value()?)?),
+                "--tile" => args.tile = parse_num(&flag, &value()?)?,
+                "--halo" => args.halo = parse_num(&flag, &value()?)?,
+                "--pitch" => args.pitch = parse_num(&flag, &value()?)?,
+                "--iterations" => args.iterations = parse_num(&flag, &value()?)?,
+                "--workers" => args.workers = Some(parse_num(&flag, &value()?)?),
+                "--run-dir" => args.run_dir = Some(value()?),
+                "--max-tiles" => args.max_tiles = Some(parse_num(&flag, &value()?)?),
+                "--quick" => {
+                    args.design = DesignKind::Gcd;
+                    args.design_tiles = 1;
+                    args.crop = Some(2048.0);
+                    args.tile = 1024.0;
+                    args.halo = 512.0;
+                    args.pitch = 8.0;
+                    args.iterations = 4;
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: cannot parse '{raw}'"))
+}
+
+/// Builds the input clip: `count` design tiles side by side, optionally
+/// cropped to a centred window.
+fn build_clip(kind: DesignKind, count: usize, crop: Option<f64>) -> Clip {
+    let tiles: Vec<Clip> = design_tiles(kind, count.max(1)).collect();
+    let tile_w = tiles[0].width();
+    let tile_h = tiles[0].height();
+    let mut shapes = Vec::new();
+    for (i, tile) in tiles.iter().enumerate() {
+        let dx = cardopc_geometry::Point::new(i as f64 * tile_w, 0.0);
+        shapes.extend(tile.targets().iter().map(|t| t.translated(dx)));
+    }
+    let clip = Clip::new(
+        format!("{}x{}", kind.name(), count.max(1)),
+        tile_w * count.max(1) as f64,
+        tile_h,
+        shapes,
+    );
+    match crop {
+        Some(size) => {
+            let origin = cardopc_geometry::Point::new(
+                ((clip.width() - size) * 0.5).max(0.0),
+                ((clip.height() - size) * 0.5).max(0.0),
+            );
+            let name = format!("{}@{}", clip.name(), size);
+            clip.crop_intersecting(origin, size, size, name)
+        }
+        None => clip,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let clip = build_clip(args.design, args.design_tiles, args.crop);
+    let mut opc = OpcConfig::large_scale();
+    opc.pitch = args.pitch;
+    opc.iterations = args.iterations;
+
+    let config = RunConfig {
+        opc,
+        tiling: TilingConfig {
+            tile_size: args.tile,
+            halo: args.halo,
+        },
+        run_dir: args.run_dir.as_ref().map(Into::into),
+        max_tiles: args.max_tiles,
+    };
+
+    let local_pool;
+    let pool = match args.workers {
+        Some(n) => {
+            local_pool = WorkerPool::new(n.max(1));
+            &local_pool
+        }
+        None => WorkerPool::global(),
+    };
+
+    eprintln!(
+        "cardopc: {} ({} targets), tile {} nm + halo {} nm, pitch {} nm, {} workers",
+        clip.name(),
+        clip.targets().len(),
+        args.tile,
+        args.halo,
+        args.pitch,
+        pool.parallelism()
+    );
+
+    let outcome = match run_clip(&clip, &config, pool) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("cardopc: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", outcome.manifest.render_table());
+    println!(
+        "executed {} resumed {} remaining {}",
+        outcome.manifest.executed, outcome.manifest.resumed, outcome.manifest.remaining
+    );
+    if let Some(dir) = &config.run_dir {
+        if outcome.complete {
+            println!("manifest: {}", dir.join("manifest.json").display());
+        } else {
+            println!(
+                "partial run ({} tiles left): re-run with the same --run-dir to resume",
+                outcome.manifest.remaining
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,572 @@
+//! Checkpoint/resume: self-describing JSONL tile records.
+//!
+//! Each finished tile appends one line to `tiles.jsonl` in the run
+//! directory. A record carries everything needed to (a) skip the tile on
+//! resume and (b) stitch its output without re-running it: the tile id,
+//! an input hash, the owned output shapes' control points (chip
+//! coordinates), per-iteration EPE sums and the tile metrics. Floats are
+//! serialised as shortest-roundtrip decimals (see [`crate::json`]), so a
+//! resumed run reconstructs bit-identical geometry and metrics.
+//!
+//! Resume safety: a record is only honoured when its `hash` matches the
+//! FNV-1a hash of the tile's current input (geometry bits + OPC
+//! configuration). A truncated final line — the signature of a killed
+//! run — fails to parse and is simply ignored, so the tile re-executes.
+
+use crate::json::Json;
+use crate::partition::Tile;
+use crate::RuntimeError;
+use cardopc_geometry::Point;
+use cardopc_opc::{MeasureConvention, OpcConfig};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Record format version.
+const RECORD_VERSION: f64 = 1.0;
+
+/// One corrected shape in chip coordinates, ready for stitching.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StitchedShape {
+    /// Index of the target in the source clip (None for SRAFs).
+    pub global_id: Option<usize>,
+    /// Whether the shape is a sub-resolution assist.
+    pub is_sraf: bool,
+    /// Cardinal tension of the shape's spline.
+    pub tension: f64,
+    /// Control points, chip coordinates.
+    pub control_points: Vec<Point>,
+}
+
+/// Quality/accounting metrics of one tile.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TileMetrics {
+    /// Targets in the tile's halo window.
+    pub shapes: usize,
+    /// Targets owned by this tile.
+    pub owned: usize,
+    /// Sum of |EPE| over the owned targets' measure sites, nm.
+    pub epe_sum_nm: f64,
+    /// EPE violations (|EPE| > tolerance) over the owned sites.
+    pub epe_violations: usize,
+    /// PV-band area restricted to the tile core, nm².
+    pub pvb_nm2: f64,
+    /// MRC violations before resolving (whole halo window).
+    pub mrc_initial: usize,
+    /// MRC violations left after resolving.
+    pub mrc_remaining: usize,
+}
+
+/// The checkpoint record of one finished tile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TileRecord {
+    /// Tile index within the partition.
+    pub index: usize,
+    /// Tile name (`clip:txxty`).
+    pub name: String,
+    /// FNV-1a hash of the tile input (geometry + configuration).
+    pub input_hash: u64,
+    /// Per-iteration sum of |EPE| over the tile's *owned* shapes — the
+    /// quantity that aggregates across tiles to the monolithic history.
+    pub owned_epe_history: Vec<f64>,
+    /// Per-iteration sum of |EPE| over every shape in the halo window
+    /// (the tile flow's own convergence signal).
+    pub epe_history: Vec<f64>,
+    /// Owned output shapes in chip coordinates.
+    pub shapes: Vec<StitchedShape>,
+    /// Tile metrics.
+    pub metrics: TileMetrics,
+    /// Wall time spent correcting the tile, seconds.
+    pub seconds: f64,
+}
+
+// ---------------------------------------------------------------- hashing
+
+/// 64-bit FNV-1a.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write(&(v as u64).to_le_bytes());
+    }
+}
+
+/// Hashes a tile's complete input: identity, window geometry, every
+/// target's vertices and ownership, and the OPC configuration. Any change
+/// to any of these invalidates the tile's checkpoint record.
+pub fn tile_input_hash(tile: &Tile, config: &OpcConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.write_usize(tile.index);
+    h.write_usize(tile.tx);
+    h.write_usize(tile.ty);
+    h.write_f64(tile.origin.x);
+    h.write_f64(tile.origin.y);
+    h.write_f64(tile.clip.width());
+    h.write_f64(tile.clip.height());
+    h.write_usize(tile.clip.targets().len());
+    for ((target, gid), owned) in tile
+        .clip
+        .targets()
+        .iter()
+        .zip(&tile.global_ids)
+        .zip(&tile.owned)
+    {
+        h.write_usize(*gid);
+        h.write(&[*owned as u8]);
+        h.write_usize(target.len());
+        for v in target.vertices() {
+            h.write_f64(v.x);
+            h.write_f64(v.y);
+        }
+    }
+    hash_config(&mut h, config);
+    h.0
+}
+
+fn hash_config(h: &mut Fnv, c: &OpcConfig) {
+    h.write_f64(c.l_c);
+    h.write_f64(c.l_u);
+    h.write_f64(c.move_step);
+    h.write_usize(c.iterations);
+    h.write_usize(c.decay_at);
+    h.write_f64(c.decay_factor);
+    h.write_f64(c.tension);
+    h.write_f64(c.corner_pull);
+    h.write_usize(c.smooth_window);
+    h.write(&[c.spline_normals as u8]);
+    h.write_usize(c.relax_every);
+    h.write_f64(c.relax_strength);
+    h.write_usize(c.samples_per_segment);
+    h.write_f64(c.epe_search);
+    h.write_f64(c.pitch);
+    h.write_f64(c.dose_delta);
+    match &c.sraf {
+        None => h.write(&[0]),
+        Some(s) => {
+            h.write(&[1]);
+            h.write_f64(s.length_ratio);
+            h.write_f64(s.width);
+            h.write_f64(s.distance);
+            h.write_f64(s.min_edge);
+        }
+    }
+    match &c.mrc {
+        None => h.write(&[0]),
+        Some(r) => {
+            h.write(&[1]);
+            h.write_f64(r.min_space);
+            h.write_f64(r.min_width);
+            h.write_f64(r.min_area);
+            h.write_f64(r.max_curvature);
+        }
+    }
+    match c.convention {
+        MeasureConvention::ViaEdgeCenters => h.write(&[0]),
+        MeasureConvention::MetalSpacing(s) => {
+            h.write(&[1]);
+            h.write_f64(s);
+        }
+    }
+}
+
+// ---------------------------------------------------------- serialisation
+
+impl TileRecord {
+    /// Serialises the record as one compact JSON line (no newline).
+    pub fn to_json_line(&self) -> String {
+        let shapes = Json::Arr(
+            self.shapes
+                .iter()
+                .map(|s| {
+                    let mut cps = Vec::with_capacity(2 * s.control_points.len());
+                    for p in &s.control_points {
+                        cps.push(p.x);
+                        cps.push(p.y);
+                    }
+                    Json::obj(vec![
+                        ("id", s.global_id.map_or(Json::Null, Json::num_usize)),
+                        ("sraf", Json::Bool(s.is_sraf)),
+                        ("tension", Json::Num(s.tension)),
+                        ("cps", Json::num_arr(&cps)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("v", Json::Num(RECORD_VERSION)),
+            ("tile", Json::num_usize(self.index)),
+            ("name", Json::Str(self.name.clone())),
+            ("hash", Json::Str(format!("{:016x}", self.input_hash))),
+            ("owned_epe", Json::num_arr(&self.owned_epe_history)),
+            ("epe", Json::num_arr(&self.epe_history)),
+            ("metrics", metrics_json(&self.metrics)),
+            ("seconds", Json::Num(self.seconds)),
+            ("shapes", shapes),
+        ])
+        .to_string_compact()
+    }
+
+    /// Parses one JSONL line back into a record.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the malformed field; callers treat any error
+    /// as "no record" (the tile re-executes).
+    pub fn from_json_line(line: &str) -> Result<TileRecord, String> {
+        let v = Json::parse(line)?;
+        if v.get("v").and_then(Json::as_f64) != Some(RECORD_VERSION) {
+            return Err("unknown record version".into());
+        }
+        let field = |key: &str| v.get(key).ok_or_else(|| format!("missing field {key}"));
+        let index = field("tile")?.as_usize().ok_or("bad tile index")?;
+        let name = field("name")?.as_str().ok_or("bad name")?.to_string();
+        let input_hash = u64::from_str_radix(field("hash")?.as_str().ok_or("bad hash")?, 16)
+            .map_err(|_| "bad hash".to_string())?;
+        let floats = |key: &str| -> Result<Vec<f64>, String> {
+            field(key)?
+                .as_arr()
+                .ok_or_else(|| format!("bad array {key}"))?
+                .iter()
+                .map(|j| j.as_f64().ok_or_else(|| format!("bad number in {key}")))
+                .collect()
+        };
+        let owned_epe_history = floats("owned_epe")?;
+        let epe_history = floats("epe")?;
+        let metrics = parse_metrics(field("metrics")?)?;
+        let seconds = field("seconds")?.as_f64().ok_or("bad seconds")?;
+        let mut shapes = Vec::new();
+        for s in field("shapes")?.as_arr().ok_or("bad shapes")? {
+            let global_id = match s.get("id").ok_or("missing shape id")? {
+                Json::Null => None,
+                j => Some(j.as_usize().ok_or("bad shape id")?),
+            };
+            let is_sraf = s.get("sraf").and_then(Json::as_bool).ok_or("bad sraf")?;
+            let tension = s
+                .get("tension")
+                .and_then(Json::as_f64)
+                .ok_or("bad tension")?;
+            let flat = s.get("cps").and_then(Json::as_arr).ok_or("bad cps")?;
+            if flat.len() % 2 != 0 {
+                return Err("odd cps length".into());
+            }
+            let mut control_points = Vec::with_capacity(flat.len() / 2);
+            for pair in flat.chunks_exact(2) {
+                let x = pair[0].as_f64().ok_or("bad cp")?;
+                let y = pair[1].as_f64().ok_or("bad cp")?;
+                control_points.push(Point::new(x, y));
+            }
+            shapes.push(StitchedShape {
+                global_id,
+                is_sraf,
+                tension,
+                control_points,
+            });
+        }
+        Ok(TileRecord {
+            index,
+            name,
+            input_hash,
+            owned_epe_history,
+            epe_history,
+            shapes,
+            metrics,
+            seconds,
+        })
+    }
+}
+
+fn metrics_json(m: &TileMetrics) -> Json {
+    Json::obj(vec![
+        ("shapes", Json::num_usize(m.shapes)),
+        ("owned", Json::num_usize(m.owned)),
+        ("epe_sum_nm", Json::Num(m.epe_sum_nm)),
+        ("epe_violations", Json::num_usize(m.epe_violations)),
+        ("pvb_nm2", Json::Num(m.pvb_nm2)),
+        ("mrc_initial", Json::num_usize(m.mrc_initial)),
+        ("mrc_remaining", Json::num_usize(m.mrc_remaining)),
+    ])
+}
+
+fn parse_metrics(v: &Json) -> Result<TileMetrics, String> {
+    let us = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("bad metric {key}"))
+    };
+    let fl = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("bad metric {key}"))
+    };
+    Ok(TileMetrics {
+        shapes: us("shapes")?,
+        owned: us("owned")?,
+        epe_sum_nm: fl("epe_sum_nm")?,
+        epe_violations: us("epe_violations")?,
+        pvb_nm2: fl("pvb_nm2")?,
+        mrc_initial: us("mrc_initial")?,
+        mrc_remaining: us("mrc_remaining")?,
+    })
+}
+
+// ------------------------------------------------------------- run dir
+
+/// A checkpoint directory: `tiles.jsonl` (appended as tiles finish) and
+/// `manifest.json` (written on completion).
+#[derive(Debug)]
+pub struct RunDir {
+    root: PathBuf,
+}
+
+impl RunDir {
+    /// Opens (creating if needed) a run directory.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Io`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<RunDir, RuntimeError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| RuntimeError::Io(format!("create {}: {e}", root.display())))?;
+        Ok(RunDir { root })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// The JSONL checkpoint file path.
+    pub fn tiles_path(&self) -> PathBuf {
+        self.root.join("tiles.jsonl")
+    }
+
+    /// The manifest file path.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.json")
+    }
+
+    /// Loads usable checkpoint records: the last parseable record per tile
+    /// index. Hash validation against the current partition happens in the
+    /// scheduler (it knows the tiles). Missing file → empty map.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Io`] when the file exists but cannot be read.
+    pub fn load_records(&self) -> Result<HashMap<usize, TileRecord>, RuntimeError> {
+        let path = self.tiles_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+            Err(e) => return Err(RuntimeError::Io(format!("read {}: {e}", path.display()))),
+        };
+        let mut records = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            // Malformed lines (e.g. the torn final line of a killed run)
+            // are skipped: their tiles simply re-execute.
+            if let Ok(record) = TileRecord::from_json_line(line) {
+                records.insert(record.index, record);
+            }
+        }
+        Ok(records)
+    }
+
+    /// Opens the checkpoint file for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Io`] on open failure.
+    pub fn append_handle(&self) -> Result<std::fs::File, RuntimeError> {
+        let path = self.tiles_path();
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| RuntimeError::Io(format!("open {}: {e}", path.display())))
+    }
+
+    /// Appends one record line and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Io`] on write failure.
+    pub fn append_record(
+        file: &mut std::fs::File,
+        record: &TileRecord,
+    ) -> Result<(), RuntimeError> {
+        let mut line = record.to_json_line();
+        line.push('\n');
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| RuntimeError::Io(format!("append checkpoint: {e}")))
+    }
+
+    /// Writes the manifest JSON (atomically via a temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Io`] on write failure.
+    pub fn write_manifest(&self, json: &str) -> Result<(), RuntimeError> {
+        let tmp = self.root.join("manifest.json.tmp");
+        let path = self.manifest_path();
+        std::fs::write(&tmp, json)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| RuntimeError::Io(format!("write {}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> TileRecord {
+        TileRecord {
+            index: 3,
+            name: "gcd[0]:1x0".into(),
+            input_hash: 0xdead_beef_cafe_f00d,
+            owned_epe_history: vec![10.5, 7.25, 0.1 + 0.2],
+            epe_history: vec![20.0, 14.5, 1.0 / 3.0],
+            shapes: vec![
+                StitchedShape {
+                    global_id: Some(42),
+                    is_sraf: false,
+                    tension: 0.6,
+                    control_points: vec![Point::new(1.5, -2.25), Point::new(1e-12, 3.0)],
+                },
+                StitchedShape {
+                    global_id: None,
+                    is_sraf: true,
+                    tension: 0.6,
+                    control_points: vec![Point::new(0.1, 0.2), Point::new(0.3, 0.4)],
+                },
+            ],
+            metrics: TileMetrics {
+                shapes: 12,
+                owned: 7,
+                epe_sum_nm: 33.75,
+                epe_violations: 2,
+                pvb_nm2: 1234.0,
+                mrc_initial: 1,
+                mrc_remaining: 0,
+            },
+            seconds: 1.75,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_is_exact() {
+        let r = record();
+        let line = r.to_json_line();
+        assert!(!line.contains('\n'));
+        let back = TileRecord::from_json_line(&line).unwrap();
+        assert_eq!(back, r);
+        // Bit-exactness of the awkward floats.
+        assert_eq!(
+            back.owned_epe_history[2].to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
+    }
+
+    #[test]
+    fn truncated_line_rejected() {
+        let line = record().to_json_line();
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(TileRecord::from_json_line(&line[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn run_dir_roundtrip_and_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("cardopc-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = RunDir::open(&dir).unwrap();
+        assert!(run.load_records().unwrap().is_empty());
+
+        let mut file = run.append_handle().unwrap();
+        let a = record();
+        let mut b = record();
+        b.index = 5;
+        RunDir::append_record(&mut file, &a).unwrap();
+        RunDir::append_record(&mut file, &b).unwrap();
+        // Simulate a kill mid-append: a torn, unparseable final line.
+        {
+            use std::io::Write;
+            let mut f = run.append_handle().unwrap();
+            write!(f, "{}", &record().to_json_line()[..40]).unwrap();
+        }
+        let records = run.load_records().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[&3], a);
+        assert_eq!(records[&5], b);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_changes_invalidate_hash() {
+        use crate::partition::{partition_clip, TilingConfig};
+        use cardopc_geometry::Polygon;
+        use cardopc_layout::Clip;
+
+        let clip = Clip::new(
+            "h",
+            500.0,
+            500.0,
+            vec![Polygon::rect(
+                Point::new(100.0, 100.0),
+                Point::new(200.0, 170.0),
+            )],
+        );
+        let p = partition_clip(
+            &clip,
+            &TilingConfig {
+                tile_size: 500.0,
+                halo: 0.0,
+            },
+        )
+        .unwrap();
+        let base = OpcConfig::large_scale();
+        let h0 = tile_input_hash(&p.tiles[0], &base);
+        assert_eq!(h0, tile_input_hash(&p.tiles[0], &base), "deterministic");
+        let mut changed = base.clone();
+        changed.iterations += 1;
+        assert_ne!(h0, tile_input_hash(&p.tiles[0], &changed));
+        // Geometry change checked via a shifted clip:
+        let clip2 = Clip::new(
+            "h",
+            500.0,
+            500.0,
+            vec![Polygon::rect(
+                Point::new(101.0, 100.0),
+                Point::new(201.0, 170.0),
+            )],
+        );
+        let p2 = partition_clip(
+            &clip2,
+            &TilingConfig {
+                tile_size: 500.0,
+                halo: 0.0,
+            },
+        )
+        .unwrap();
+        assert_ne!(h0, tile_input_hash(&p2.tiles[0], &base));
+    }
+}

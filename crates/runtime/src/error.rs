@@ -1,0 +1,71 @@
+//! Error type for the tiled runtime.
+
+use cardopc_litho::LithoError;
+use cardopc_opc::OpcError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the tiled full-chip runtime.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A tile's OPC flow failed; carries the tile index.
+    Tile {
+        /// Tile index within the partition.
+        tile: usize,
+        /// The underlying flow error.
+        source: OpcError,
+    },
+    /// The lithography layer rejected a configuration.
+    Litho(LithoError),
+    /// A checkpoint/manifest file operation failed.
+    Io(String),
+    /// A runtime configuration value is unusable.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Tile { tile, source } => write!(f, "tile {tile} failed: {source}"),
+            RuntimeError::Litho(e) => write!(f, "lithography error: {e}"),
+            RuntimeError::Io(msg) => write!(f, "run directory i/o failed: {msg}"),
+            RuntimeError::InvalidConfig(what) => write!(f, "invalid runtime config: {what}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Tile { source, .. } => Some(source),
+            RuntimeError::Litho(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LithoError> for RuntimeError {
+    fn from(e: LithoError) -> Self {
+        RuntimeError::Litho(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RuntimeError::Tile {
+            tile: 7,
+            source: OpcError::EmptyClip,
+        };
+        assert!(e.to_string().contains("tile 7"));
+        assert!(e.source().is_some());
+        assert!(RuntimeError::Io("nope".into()).source().is_none());
+        assert!(RuntimeError::InvalidConfig("halo")
+            .to_string()
+            .contains("halo"));
+    }
+}

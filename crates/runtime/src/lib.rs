@@ -1,0 +1,168 @@
+//! `cardopc-runtime` — a tiled full-chip OPC runtime.
+//!
+//! [`CardOpc`](cardopc_opc::CardOpc) corrects one clip against one
+//! simulation grid; full-chip layouts are far larger than the maximum
+//! grid. This crate scales the flow out by tiling:
+//!
+//! 1. **Partition** ([`partition_clip`]): the clip is split into core
+//!    windows with a halo margin; every target is owned by exactly one
+//!    tile (bbox-centre rule over an R-tree), and halo copies give each
+//!    tile the optical context a monolithic run would see.
+//! 2. **Schedule** ([`run_tiles`]): tiles fan out over the shared
+//!    [`WorkerPool`], each slot holding its own calibrated
+//!    [`LithoEngine`](cardopc_litho::LithoEngine) keyed by the (uniform)
+//!    window extent. Results are merged in tile order, so the outcome is
+//!    deterministic for any scheduler pool size.
+//! 3. **Checkpoint** ([`RunDir`]): finished tiles append self-describing
+//!    JSONL records (input hash, control points, metrics); a resumed run
+//!    skips every tile whose record still matches its input hash.
+//! 4. **Stitch** ([`stitch`]): owner-tile shapes are merged into the
+//!    full-chip mask and a cross-boundary MRC spacing pass runs on the
+//!    seam bands only.
+//! 5. **Manifest** ([`RunManifest`]): per-tile and aggregate statistics,
+//!    renderable as a table or JSON; the timing-free JSON form is
+//!    byte-identical across reruns and resumes of the same input.
+//!
+//! The `cardopc` binary wraps this into a command-line runner.
+
+pub mod checkpoint;
+mod error;
+pub mod json;
+pub mod manifest;
+pub mod partition;
+pub mod schedule;
+pub mod stitch;
+
+pub use checkpoint::{tile_input_hash, RunDir, StitchedShape, TileMetrics, TileRecord};
+pub use error::RuntimeError;
+pub use manifest::{Aggregate, RunManifest, TileSummary};
+pub use partition::{partition_clip, Partition, Tile, TilingConfig};
+pub use schedule::{run_tiles, ScheduleOutcome, TileResult};
+pub use stitch::{seam_bands, stitch, Stitched};
+
+use cardopc_layout::Clip;
+use cardopc_litho::WorkerPool;
+use cardopc_opc::{CardOpc, OpcConfig};
+use std::path::PathBuf;
+
+/// Configuration of one tiled run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// The per-tile OPC flow configuration.
+    pub opc: OpcConfig,
+    /// Tiling geometry.
+    pub tiling: TilingConfig,
+    /// Checkpoint/manifest directory. `None` disables checkpointing.
+    /// When the directory already holds records from a previous run over
+    /// the same input, those tiles are resumed instead of re-executed.
+    pub run_dir: Option<PathBuf>,
+    /// Execute at most this many tiles, then stop (resumed tiles are
+    /// free). `None` runs to completion.
+    pub max_tiles: Option<usize>,
+}
+
+impl RunConfig {
+    /// A run configuration with no checkpointing and no tile budget.
+    pub fn new(opc: OpcConfig, tiling: TilingConfig) -> RunConfig {
+        RunConfig {
+            opc,
+            tiling,
+            run_dir: None,
+            max_tiles: None,
+        }
+    }
+}
+
+/// Result of [`run_clip`].
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The run manifest (written to `run_dir/manifest.json` when the run
+    /// completed and a run directory was configured).
+    pub manifest: RunManifest,
+    /// The stitched full-chip mask; `None` when the tile budget left the
+    /// run incomplete.
+    pub stitched: Option<Stitched>,
+    /// Per-tile results, sorted by tile index.
+    pub results: Vec<TileResult>,
+    /// `true` when every tile of the partition completed.
+    pub complete: bool,
+}
+
+/// Runs the tiled flow end to end: partition → (resume) → schedule →
+/// stitch → manifest.
+///
+/// # Errors
+///
+/// [`RuntimeError::InvalidConfig`] for unusable tiling parameters,
+/// [`RuntimeError::Tile`] when a tile's flow fails, [`RuntimeError::Io`]
+/// on checkpoint/manifest file failures.
+///
+/// # Panics
+///
+/// Panics when `config.opc` is invalid (see
+/// [`OpcConfig::assert_valid`](cardopc_opc::OpcConfig)); the OPC
+/// configuration is build-time data, not user input.
+pub fn run_clip(
+    clip: &Clip,
+    config: &RunConfig,
+    pool: &WorkerPool,
+) -> Result<RunOutcome, RuntimeError> {
+    let start = std::time::Instant::now();
+    let flow = CardOpc::new(config.opc.clone());
+    let partition = partition_clip(clip, &config.tiling)?;
+
+    let run_dir = match &config.run_dir {
+        Some(path) => Some(RunDir::open(path)?),
+        None => None,
+    };
+    let checkpoints = match &run_dir {
+        Some(dir) => dir.load_records()?,
+        None => Default::default(),
+    };
+    let mut sink = match &run_dir {
+        Some(dir) => Some(dir.append_handle()?),
+        None => None,
+    };
+
+    let outcome = run_tiles(
+        &partition,
+        &flow,
+        pool,
+        &checkpoints,
+        config.max_tiles,
+        sink.as_mut(),
+    )?;
+    let complete = outcome.remaining == 0;
+
+    let stitched = complete.then(|| {
+        stitch(
+            &partition,
+            outcome
+                .results
+                .iter()
+                .flat_map(|r| r.record.shapes.iter().cloned()),
+            config.opc.mrc.as_ref(),
+        )
+    });
+
+    let manifest = RunManifest::build(
+        clip.name(),
+        &partition,
+        &outcome,
+        stitched.as_ref(),
+        pool.parallelism(),
+        start.elapsed().as_secs_f64(),
+    );
+    if complete {
+        if let Some(dir) = &run_dir {
+            dir.write_manifest(&manifest.to_json(true))?;
+        }
+    }
+
+    Ok(RunOutcome {
+        manifest,
+        stitched,
+        results: outcome.results,
+        complete,
+    })
+}

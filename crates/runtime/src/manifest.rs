@@ -1,0 +1,397 @@
+//! The run manifest: per-tile and aggregate statistics of a tiled run.
+//!
+//! Two renderings: a human table for stdout, and JSON for tooling. The
+//! JSON comes in two forms — with timing (`to_json(true)`, what the CLI
+//! writes) and without (`to_json(false)`): the timing-free form contains
+//! only quantities that are a pure function of the input (design, tiling,
+//! per-tile metrics, aggregate scores), so two runs over the same input
+//! produce byte-identical strings regardless of scheduler pool size, wall
+//! time,
+//! or whether tiles were resumed from a checkpoint.
+
+use crate::json::Json;
+use crate::schedule::{ScheduleOutcome, TileResult};
+use crate::stitch::Stitched;
+use std::fmt::Write as _;
+
+/// Per-tile summary row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TileSummary {
+    /// Tile index.
+    pub index: usize,
+    /// Tile name (`clip:txxty`).
+    pub name: String,
+    /// Targets in the halo window.
+    pub shapes: usize,
+    /// Targets owned.
+    pub owned: usize,
+    /// Sum of |EPE| over owned sites, nm.
+    pub epe_sum_nm: f64,
+    /// EPE violations over owned sites.
+    pub epe_violations: usize,
+    /// Core-restricted PV-band area, nm².
+    pub pvb_nm2: f64,
+    /// MRC violations before/after the tile's resolve pass.
+    pub mrc_initial: usize,
+    /// MRC violations left after resolving.
+    pub mrc_remaining: usize,
+    /// Wall seconds spent correcting the tile.
+    pub seconds: f64,
+    /// Whether the tile was resumed from a checkpoint.
+    pub resumed: bool,
+}
+
+/// Aggregate scores over the completed tiles.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Aggregate {
+    /// Total targets (each counted once, by its owner tile).
+    pub shapes: usize,
+    /// Sum of |EPE| in nm.
+    pub epe_sum_nm: f64,
+    /// EPE violation count.
+    pub epe_violations: usize,
+    /// PV-band area, nm².
+    pub pvb_nm2: f64,
+    /// MRC violations before resolving, summed over tiles.
+    pub mrc_initial: usize,
+    /// MRC violations left after resolving, summed over tiles.
+    pub mrc_remaining: usize,
+    /// Cross-tile seam spacing violations found at stitch time.
+    pub seam_violations: usize,
+}
+
+/// The manifest of one tiled run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunManifest {
+    /// Design/clip name.
+    pub design: String,
+    /// Grid columns.
+    pub nx: usize,
+    /// Grid rows.
+    pub ny: usize,
+    /// Core tile edge, nm.
+    pub tile_size: f64,
+    /// Halo margin, nm.
+    pub halo: f64,
+    /// Per-tile rows, sorted by tile index (completed tiles only).
+    pub tiles: Vec<TileSummary>,
+    /// Aggregates over the completed tiles.
+    pub total: Aggregate,
+    /// Aggregated owned-shape |EPE| per iteration (element-wise sum of
+    /// the tiles' owned histories).
+    pub epe_history: Vec<f64>,
+    /// `true` when every tile of the partition completed.
+    pub complete: bool,
+    /// Tiles executed this run.
+    pub executed: usize,
+    /// Tiles resumed from checkpoints.
+    pub resumed: usize,
+    /// Tiles left unfinished.
+    pub remaining: usize,
+    /// Pool executors used.
+    pub workers: usize,
+    /// End-to-end wall seconds of this run.
+    pub wall_seconds: f64,
+    /// Sum of per-tile correction seconds (executed tiles).
+    pub tile_seconds: f64,
+}
+
+impl RunManifest {
+    /// Assembles a manifest from the scheduler outcome and (when the run
+    /// completed) the stitched mask.
+    pub fn build(
+        design: &str,
+        partition: &crate::partition::Partition,
+        outcome: &ScheduleOutcome,
+        stitched: Option<&Stitched>,
+        workers: usize,
+        wall_seconds: f64,
+    ) -> RunManifest {
+        let tiles: Vec<TileSummary> = outcome.results.iter().map(summarize).collect();
+        let mut total = Aggregate {
+            seam_violations: stitched.map_or(0, |s| s.seam_violations.len()),
+            ..Aggregate::default()
+        };
+        let mut epe_history: Vec<f64> = Vec::new();
+        for t in &outcome.results {
+            let m = &t.record.metrics;
+            total.shapes += m.owned;
+            total.epe_sum_nm += m.epe_sum_nm;
+            total.epe_violations += m.epe_violations;
+            total.pvb_nm2 += m.pvb_nm2;
+            total.mrc_initial += m.mrc_initial;
+            total.mrc_remaining += m.mrc_remaining;
+            if epe_history.len() < t.record.owned_epe_history.len() {
+                epe_history.resize(t.record.owned_epe_history.len(), 0.0);
+            }
+            for (acc, v) in epe_history.iter_mut().zip(&t.record.owned_epe_history) {
+                *acc += v;
+            }
+        }
+        RunManifest {
+            design: design.to_string(),
+            nx: partition.nx,
+            ny: partition.ny,
+            tile_size: partition.config.tile_size,
+            halo: partition.config.halo,
+            tiles,
+            total,
+            epe_history,
+            complete: outcome.remaining == 0,
+            executed: outcome.executed,
+            resumed: outcome.resumed,
+            remaining: outcome.remaining,
+            workers,
+            wall_seconds,
+            tile_seconds: outcome.tile_seconds,
+        }
+    }
+
+    /// Worker utilization: correction seconds per executor-second of wall
+    /// time (1.0 = every executor busy correcting for the whole run).
+    pub fn utilization(&self) -> f64 {
+        if self.wall_seconds > 0.0 && self.workers > 0 {
+            self.tile_seconds / (self.workers as f64 * self.wall_seconds)
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialises the manifest as JSON.
+    ///
+    /// With `include_timing` the output carries seconds, worker counts and
+    /// execute/resume tallies. Without, it is restricted to
+    /// input-determined quantities and is **byte-identical** across
+    /// reruns, scheduler pool sizes, and checkpoint resumes of the same
+    /// input — the form tests and CI compare.
+    pub fn to_json(&self, include_timing: bool) -> String {
+        let tiles = Json::Arr(
+            self.tiles
+                .iter()
+                .map(|t| {
+                    let mut fields = vec![
+                        ("tile", Json::num_usize(t.index)),
+                        ("name", Json::Str(t.name.clone())),
+                        ("shapes", Json::num_usize(t.shapes)),
+                        ("owned", Json::num_usize(t.owned)),
+                        ("epe_sum_nm", Json::Num(t.epe_sum_nm)),
+                        ("epe_violations", Json::num_usize(t.epe_violations)),
+                        ("pvb_nm2", Json::Num(t.pvb_nm2)),
+                        ("mrc_initial", Json::num_usize(t.mrc_initial)),
+                        ("mrc_remaining", Json::num_usize(t.mrc_remaining)),
+                    ];
+                    if include_timing {
+                        fields.push(("seconds", Json::Num(t.seconds)));
+                        fields.push(("resumed", Json::Bool(t.resumed)));
+                    }
+                    Json::obj(fields)
+                })
+                .collect(),
+        );
+        let total = Json::obj(vec![
+            ("shapes", Json::num_usize(self.total.shapes)),
+            ("epe_sum_nm", Json::Num(self.total.epe_sum_nm)),
+            ("epe_violations", Json::num_usize(self.total.epe_violations)),
+            ("pvb_nm2", Json::Num(self.total.pvb_nm2)),
+            ("mrc_initial", Json::num_usize(self.total.mrc_initial)),
+            ("mrc_remaining", Json::num_usize(self.total.mrc_remaining)),
+            (
+                "seam_violations",
+                Json::num_usize(self.total.seam_violations),
+            ),
+        ]);
+        let mut fields = vec![
+            ("design", Json::Str(self.design.clone())),
+            ("nx", Json::num_usize(self.nx)),
+            ("ny", Json::num_usize(self.ny)),
+            ("tile_size", Json::Num(self.tile_size)),
+            ("halo", Json::Num(self.halo)),
+            ("complete", Json::Bool(self.complete)),
+            ("tiles", tiles),
+            ("total", total),
+            ("epe_history", Json::num_arr(&self.epe_history)),
+        ];
+        if include_timing {
+            fields.push(("executed", Json::num_usize(self.executed)));
+            fields.push(("resumed", Json::num_usize(self.resumed)));
+            fields.push(("remaining", Json::num_usize(self.remaining)));
+            fields.push(("workers", Json::num_usize(self.workers)));
+            fields.push(("wall_seconds", Json::Num(self.wall_seconds)));
+            fields.push(("tile_seconds", Json::Num(self.tile_seconds)));
+            fields.push(("utilization", Json::Num(self.utilization())));
+        }
+        Json::obj(fields).to_string_compact()
+    }
+
+    /// Renders the manifest as a fixed-width table for the terminal.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run: {}  grid {}x{}  tile {} nm  halo {} nm  workers {}",
+            self.design, self.nx, self.ny, self.tile_size, self.halo, self.workers
+        );
+        let _ = writeln!(
+            out,
+            "{:>5} {:<18} {:>7} {:>7} {:>12} {:>7} {:>14} {:>5} {:>8} {:>8}",
+            "tile", "name", "shapes", "owned", "epe[nm]", "viol", "pvb[nm2]", "mrc", "sec", "state"
+        );
+        for t in &self.tiles {
+            let _ = writeln!(
+                out,
+                "{:>5} {:<18} {:>7} {:>7} {:>12.2} {:>7} {:>14.0} {:>5} {:>8.2} {:>8}",
+                t.index,
+                t.name,
+                t.shapes,
+                t.owned,
+                t.epe_sum_nm,
+                t.epe_violations,
+                t.pvb_nm2,
+                t.mrc_remaining,
+                t.seconds,
+                if t.resumed { "resumed" } else { "run" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>5} {:<18} {:>7} {:>7} {:>12.2} {:>7} {:>14.0} {:>5} {:>8.2}",
+            "all",
+            if self.complete { "complete" } else { "PARTIAL" },
+            "",
+            self.total.shapes,
+            self.total.epe_sum_nm,
+            self.total.epe_violations,
+            self.total.pvb_nm2,
+            self.total.mrc_remaining,
+            self.tile_seconds,
+        );
+        let _ = writeln!(
+            out,
+            "seam spacing violations: {}   wall {:.2} s   utilization {:.0}%",
+            self.total.seam_violations,
+            self.wall_seconds,
+            100.0 * self.utilization()
+        );
+        out
+    }
+}
+
+fn summarize(t: &TileResult) -> TileSummary {
+    let m = &t.record.metrics;
+    TileSummary {
+        index: t.record.index,
+        name: t.record.name.clone(),
+        shapes: m.shapes,
+        owned: m.owned,
+        epe_sum_nm: m.epe_sum_nm,
+        epe_violations: m.epe_violations,
+        pvb_nm2: m.pvb_nm2,
+        mrc_initial: m.mrc_initial,
+        mrc_remaining: m.mrc_remaining,
+        seconds: t.record.seconds,
+        resumed: t.resumed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{TileMetrics, TileRecord};
+    use crate::partition::{partition_clip, TilingConfig};
+    use cardopc_geometry::{Point, Polygon};
+    use cardopc_layout::Clip;
+
+    fn outcome() -> (crate::partition::Partition, ScheduleOutcome) {
+        let clip = Clip::new(
+            "man-test",
+            1000.0,
+            1000.0,
+            vec![Polygon::rect(
+                Point::new(100.0, 100.0),
+                Point::new(300.0, 170.0),
+            )],
+        );
+        let partition = partition_clip(
+            &clip,
+            &TilingConfig {
+                tile_size: 500.0,
+                halo: 100.0,
+            },
+        )
+        .unwrap();
+        let record = |index: usize, seconds: f64| TileRecord {
+            index,
+            name: format!("man-test:{}x0", index),
+            input_hash: index as u64,
+            owned_epe_history: vec![4.0, 2.0],
+            epe_history: vec![5.0, 3.0],
+            shapes: Vec::new(),
+            metrics: TileMetrics {
+                shapes: 2,
+                owned: 1,
+                epe_sum_nm: 2.5,
+                epe_violations: 1,
+                pvb_nm2: 100.0,
+                mrc_initial: 1,
+                mrc_remaining: 0,
+                ..TileMetrics::default()
+            },
+            seconds,
+        };
+        let sched = ScheduleOutcome {
+            results: vec![
+                TileResult {
+                    record: record(0, 1.0),
+                    resumed: false,
+                },
+                TileResult {
+                    record: record(1, 9.0),
+                    resumed: true,
+                },
+            ],
+            executed: 1,
+            resumed: 1,
+            remaining: 0,
+            tile_seconds: 1.0,
+        };
+        (partition, sched)
+    }
+
+    #[test]
+    fn aggregates_and_history_sum_over_tiles() {
+        let (p, sched) = outcome();
+        let m = RunManifest::build("man-test", &p, &sched, None, 2, 0.5);
+        assert_eq!(m.total.shapes, 2);
+        assert_eq!(m.total.epe_sum_nm, 5.0);
+        assert_eq!(m.total.epe_violations, 2);
+        assert_eq!(m.epe_history, vec![8.0, 4.0]);
+        assert!(m.complete);
+        assert!((m.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_free_json_ignores_resume_and_timing() {
+        let (p, mut sched) = outcome();
+        let m1 = RunManifest::build("man-test", &p, &sched, None, 2, 0.5);
+        // Same records, different timing/resume provenance.
+        sched.results[1].resumed = false;
+        sched.results[0].record.seconds = 99.0;
+        sched.executed = 2;
+        sched.resumed = 0;
+        let m2 = RunManifest::build("man-test", &p, &sched, None, 7, 123.0);
+        assert_eq!(m1.to_json(false), m2.to_json(false));
+        assert_ne!(m1.to_json(true), m2.to_json(true));
+        // Parseable by our own reader.
+        assert!(crate::json::Json::parse(&m1.to_json(true)).is_ok());
+    }
+
+    #[test]
+    fn table_renders_every_tile() {
+        let (p, sched) = outcome();
+        let m = RunManifest::build("man-test", &p, &sched, None, 2, 0.5);
+        let table = m.render_table();
+        assert!(table.contains("man-test:0x0"));
+        assert!(table.contains("resumed"));
+        assert!(table.contains("complete"));
+    }
+}

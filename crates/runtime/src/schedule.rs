@@ -1,0 +1,497 @@
+//! Tile job scheduling over the shared worker pool.
+//!
+//! Tiles are fanned over [`WorkerPool`] slots: each slot (one worker
+//! thread, plus the participating submitter) claims tiles from a shared
+//! atomic counter and runs the full OPC flow on them with a per-slot
+//! [`LithoEngine`] cache keyed by window extent — tile windows are
+//! uniform, so in practice each slot builds exactly one engine and reuses
+//! it for every tile it claims. The claim order is dynamic (load
+//! balanced), but results are merged and sorted by tile index afterwards,
+//! so the outcome is **deterministic for any scheduler pool size**: each
+//! tile's correction is a pure function of its input clip, and the
+//! per-tile outputs are order-independent. (The litho engine separately
+//! snapshots the *global* pool's parallelism for SOCS chunking, so
+//! `CARDOPC_THREADS` can shift raw sums within the litho layer's
+//! documented < 1e-12 reassociation rounding — the same effect it has on
+//! a monolithic run.)
+//!
+//! Finished tiles are appended to the checkpoint file (when one is given)
+//! as they complete, under a mutex; line order in the file is
+//! nondeterministic but records are self-describing, so resume does not
+//! care.
+
+use crate::checkpoint::{tile_input_hash, RunDir, StitchedShape, TileMetrics, TileRecord};
+use crate::partition::{Partition, Tile};
+use crate::RuntimeError;
+use cardopc_geometry::{Grid, Point, Polygon};
+use cardopc_litho::{measure_epe, metal_measure_points, via_measure_points, LithoEngine};
+use cardopc_litho::{ProcessCondition, WorkerPool};
+use cardopc_opc::{engine_for_extent, CardOpc, MeasureConvention, EPE_TOLERANCE};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Outcome of one tile: its checkpoint record, and whether it was resumed
+/// from a previous run rather than executed.
+#[derive(Clone, Debug)]
+pub struct TileResult {
+    /// The tile's record (identical whether executed or resumed).
+    pub record: TileRecord,
+    /// `true` when the record came from the checkpoint file.
+    pub resumed: bool,
+}
+
+/// The scheduler's result over a whole partition.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleOutcome {
+    /// Completed tiles sorted by tile index. With a tile budget this can
+    /// be a prefix of the partition (not necessarily contiguous: resumed
+    /// tiles are kept wherever they fall).
+    pub results: Vec<TileResult>,
+    /// Tiles executed in this run.
+    pub executed: usize,
+    /// Tiles reused from checkpoints.
+    pub resumed: usize,
+    /// Tiles left unfinished (tile budget exhausted).
+    pub remaining: usize,
+    /// Sum of per-tile wall seconds spent executing (not resumed) tiles.
+    pub tile_seconds: f64,
+}
+
+/// Per-slot state: an engine cache keyed by `(width, height, pitch bits)`.
+/// Windows are uniform per run, so this holds one engine per slot, but the
+/// key keeps correctness if a future caller mixes extents.
+struct Slot {
+    engines: HashMap<(usize, usize, u64), LithoEngine>,
+    results: Vec<(usize, Result<TileRecord, RuntimeError>)>,
+}
+
+/// Runs every not-yet-checkpointed tile of `partition` over `pool`.
+///
+/// `checkpoints` is consulted per tile: a record whose stored hash matches
+/// the tile's current input hash is reused verbatim (the tile is not
+/// executed); stale or missing records mean the tile runs. At most
+/// `max_tiles` tiles are *executed* (resumed tiles are free); `None` means
+/// no budget. Records of executed tiles are appended to `sink` as they
+/// complete.
+///
+/// # Errors
+///
+/// [`RuntimeError::Tile`] for the lowest-indexed tile whose flow failed,
+/// or [`RuntimeError::Io`] when checkpoint appending failed.
+pub fn run_tiles(
+    partition: &Partition,
+    flow: &CardOpc,
+    pool: &WorkerPool,
+    checkpoints: &HashMap<usize, TileRecord>,
+    max_tiles: Option<usize>,
+    sink: Option<&mut std::fs::File>,
+) -> Result<ScheduleOutcome, RuntimeError> {
+    let config = flow.config();
+
+    // Split tiles into resumable and to-run.
+    let mut results: Vec<TileResult> = Vec::with_capacity(partition.tiles.len());
+    let mut todo: Vec<&Tile> = Vec::new();
+    for tile in &partition.tiles {
+        let hash = tile_input_hash(tile, config);
+        match checkpoints.get(&tile.index) {
+            Some(record) if record.input_hash == hash => results.push(TileResult {
+                record: record.clone(),
+                resumed: true,
+            }),
+            _ => todo.push(tile),
+        }
+    }
+    let resumed = results.len();
+    let remaining = match max_tiles {
+        Some(budget) => {
+            let executed = todo.len().min(budget);
+            todo.truncate(executed);
+            partition.tiles.len() - resumed - executed
+        }
+        None => 0,
+    };
+    let executed = todo.len();
+
+    // Fan the to-run tiles over the pool: each slot claims tiles from the
+    // shared cursor until the list is drained.
+    let cursor = AtomicUsize::new(0);
+    let sink = Mutex::new(sink);
+    let io_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+    let mut slots: Vec<Slot> = (0..pool.parallelism().max(1))
+        .map(|_| Slot {
+            engines: HashMap::new(),
+            results: Vec::new(),
+        })
+        .collect();
+
+    pool.run_with_slots(&mut slots, |_, slot| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(tile) = todo.get(i) else { return };
+        let outcome = execute_tile(tile, partition, flow, config, slot);
+        if let Ok(record) = &outcome {
+            let mut guard = sink
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(file) = guard.as_deref_mut() {
+                if let Err(e) = RunDir::append_record(file, record) {
+                    let mut io = io_error
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    io.get_or_insert(e);
+                }
+            }
+        }
+        slot.results.push((tile.index, outcome));
+    });
+
+    if let Some(e) = io_error
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        return Err(e);
+    }
+
+    // Merge per-slot results; surface the lowest-indexed failure so the
+    // reported error is deterministic regardless of claim order.
+    let mut executed_results: Vec<(usize, Result<TileRecord, RuntimeError>)> =
+        slots.into_iter().flat_map(|s| s.results).collect();
+    executed_results.sort_unstable_by_key(|(index, _)| *index);
+    let mut tile_seconds = 0.0;
+    for (_, outcome) in executed_results {
+        let record = outcome?;
+        tile_seconds += record.seconds;
+        results.push(TileResult {
+            record,
+            resumed: false,
+        });
+    }
+    results.sort_unstable_by_key(|r| r.record.index);
+
+    Ok(ScheduleOutcome {
+        results,
+        executed,
+        resumed,
+        remaining,
+        tile_seconds,
+    })
+}
+
+/// Runs the OPC flow on one tile and assembles its checkpoint record.
+fn execute_tile(
+    tile: &Tile,
+    partition: &Partition,
+    flow: &CardOpc,
+    config: &cardopc_opc::OpcConfig,
+    slot: &mut Slot,
+) -> Result<TileRecord, RuntimeError> {
+    let start = std::time::Instant::now();
+    let input_hash = tile_input_hash(tile, config);
+    let iterations = config.iterations;
+
+    // Empty tiles (no targets anywhere in the halo window) produce an
+    // empty record without touching the engine; the zero EPE histories
+    // keep cross-tile aggregation aligned.
+    if tile.clip.targets().is_empty() {
+        return Ok(TileRecord {
+            index: tile.index,
+            name: tile.clip.name().to_string(),
+            input_hash,
+            owned_epe_history: vec![0.0; iterations],
+            epe_history: vec![0.0; iterations],
+            shapes: Vec::new(),
+            metrics: TileMetrics::default(),
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+
+    let key = (
+        tile.clip.width().to_bits() as usize,
+        tile.clip.height().to_bits() as usize,
+        config.pitch.to_bits(),
+    );
+    let engine = match slot.engines.entry(key) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => v.insert(
+            engine_for_extent(tile.clip.width(), tile.clip.height(), config.pitch).map_err(
+                |source| RuntimeError::Tile {
+                    tile: tile.index,
+                    source,
+                },
+            )?,
+        ),
+    };
+
+    let optimized = flow
+        .optimize_with_engine(&tile.clip, engine)
+        .map_err(|source| RuntimeError::Tile {
+            tile: tile.index,
+            source,
+        })?;
+
+    // Owned-only convergence history: main shape `i` corresponds to
+    // target `i` of the tile clip (SRAFs are appended after the mains and
+    // carry 0.0 entries), so the ownership mask indexes rows directly.
+    let owned_epe_history: Vec<f64> = optimized
+        .per_shape_epe
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(tile.owned.iter().chain(std::iter::repeat(&false)))
+                .filter_map(|(epe, owned)| owned.then_some(*epe))
+                .sum()
+        })
+        .collect();
+
+    // Score the tile: simulate the whole halo window once, then measure
+    // EPE only at the owned targets' sites and PVB only over the core.
+    let mask_polys: Vec<Polygon> = optimized
+        .shapes
+        .iter()
+        .map(|s| s.spline.to_polygon(config.samples_per_segment))
+        .collect();
+    let raster =
+        cardopc_litho::rasterize(&mask_polys, engine.width(), engine.height(), engine.pitch());
+    let aerial = engine
+        .aerial_image(&raster)
+        .map_err(|e| RuntimeError::Tile {
+            tile: tile.index,
+            source: e.into(),
+        })?;
+
+    let owned_targets: Vec<Polygon> = tile
+        .clip
+        .targets()
+        .iter()
+        .zip(&tile.owned)
+        .filter(|&(_, owned)| *owned)
+        .map(|(t, _)| t.clone())
+        .collect();
+    let sites = match config.convention {
+        MeasureConvention::ViaEdgeCenters => via_measure_points(&owned_targets),
+        MeasureConvention::MetalSpacing(s) => metal_measure_points(&owned_targets, s),
+    };
+    let epe = measure_epe(&aerial, engine.threshold(), &sites, config.epe_search);
+
+    let outer =
+        aerial.binarize(engine.effective_threshold(ProcessCondition::outer(config.dose_delta)));
+    let inner_aerial = engine
+        .aerial_image_defocused(&raster)
+        .map_err(|e| RuntimeError::Tile {
+            tile: tile.index,
+            source: e.into(),
+        })?;
+    let inner = inner_aerial
+        .binarize(engine.effective_threshold(ProcessCondition::inner(config.dose_delta)));
+    let pvb_nm2 = core_pvb(&outer, &inner, tile);
+
+    // Stitchable shapes, chip coordinates: every owned main, plus SRAFs
+    // whose centre falls in the core under the partitioner's half-open
+    // owner convention (each assist is generated identically by every tile
+    // whose halo window sees its parents, so core ownership deduplicates
+    // them the same way it deduplicates mains).
+    let ts = partition.config.tile_size;
+    let owns = |c: Point| -> bool {
+        let ox = ((c.x / ts).floor().max(0.0) as usize).min(partition.nx - 1);
+        let oy = ((c.y / ts).floor().max(0.0) as usize).min(partition.ny - 1);
+        (ox, oy) == (tile.tx, tile.ty)
+    };
+    let mut shapes = Vec::new();
+    let mut main_index = 0usize;
+    for shape in &optimized.shapes {
+        if shape.is_sraf {
+            let centre = control_centre(&shape.spline) + tile.origin;
+            if owns(centre) {
+                shapes.push(stitched(shape, None, tile.origin));
+            }
+        } else {
+            if tile.owned[main_index] {
+                shapes.push(stitched(
+                    shape,
+                    Some(tile.global_ids[main_index]),
+                    tile.origin,
+                ));
+            }
+            main_index += 1;
+        }
+    }
+
+    let metrics = TileMetrics {
+        shapes: tile.clip.targets().len(),
+        owned: owned_targets.len(),
+        epe_sum_nm: epe.sum_abs(),
+        epe_violations: epe.violations(EPE_TOLERANCE),
+        pvb_nm2,
+        mrc_initial: optimized.mrc_initial_violations,
+        mrc_remaining: optimized.mrc_remaining,
+    };
+
+    Ok(TileRecord {
+        index: tile.index,
+        name: tile.clip.name().to_string(),
+        input_hash,
+        owned_epe_history,
+        epe_history: optimized.epe_history,
+        shapes,
+        metrics,
+        seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Centre of a spline's control-point bounding box.
+fn control_centre(spline: &cardopc_spline::CardinalSpline) -> Point {
+    cardopc_geometry::BBox::from_points(spline.control_points().iter().copied()).center()
+}
+
+fn stitched(
+    shape: &cardopc_opc::OpcShape,
+    global_id: Option<usize>,
+    origin: Point,
+) -> StitchedShape {
+    StitchedShape {
+        global_id,
+        is_sraf: shape.is_sraf,
+        tension: shape.spline.tension(),
+        control_points: shape
+            .spline
+            .control_points()
+            .iter()
+            .map(|p| *p + origin)
+            .collect(),
+    }
+}
+
+/// PV-band area restricted to the tile's core, nm². Pixel membership is
+/// by pixel centre, so the disjoint cores of a partition count every seam
+/// pixel exactly once across tiles.
+fn core_pvb(outer: &Grid, inner: &Grid, tile: &Tile) -> f64 {
+    let pitch = outer.pitch();
+    let px = pitch * pitch;
+    // Core in window coordinates.
+    let x0 = tile.core.min.x - tile.origin.x;
+    let x1 = tile.core.max.x - tile.origin.x;
+    let y0 = tile.core.min.y - tile.origin.y;
+    let y1 = tile.core.max.y - tile.origin.y;
+    let mut count = 0usize;
+    for iy in 0..outer.height() {
+        let cy = (iy as f64 + 0.5) * pitch;
+        if cy < y0 || cy >= y1 {
+            continue;
+        }
+        for ix in 0..outer.width() {
+            let cx = (ix as f64 + 0.5) * pitch;
+            if cx < x0 || cx >= x1 {
+                continue;
+            }
+            let a = outer.get(ix, iy).unwrap_or(0.0);
+            let b = inner.get(ix, iy).unwrap_or(0.0);
+            if (a > 0.5) != (b > 0.5) {
+                count += 1;
+            }
+        }
+    }
+    count as f64 * px
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition_clip, TilingConfig};
+    use cardopc_layout::Clip;
+    use cardopc_opc::OpcConfig;
+
+    fn small_clip() -> Clip {
+        Clip::new(
+            "sched-test",
+            1024.0,
+            1024.0,
+            vec![
+                Polygon::rect(Point::new(200.0, 200.0), Point::new(420.0, 270.0)),
+                Polygon::rect(Point::new(460.0, 600.0), Point::new(900.0, 670.0)),
+            ],
+        )
+    }
+
+    fn config() -> OpcConfig {
+        let mut c = OpcConfig::large_scale();
+        c.iterations = 2;
+        c.pitch = 16.0;
+        c.mrc = None;
+        c
+    }
+
+    #[test]
+    fn schedule_is_deterministic_across_worker_counts() {
+        let clip = small_clip();
+        let partition = partition_clip(
+            &clip,
+            &TilingConfig {
+                tile_size: 512.0,
+                halo: 256.0,
+            },
+        )
+        .unwrap();
+        let flow = CardOpc::new(config());
+        let none = HashMap::new();
+        let one = run_tiles(&partition, &flow, &WorkerPool::new(1), &none, None, None).unwrap();
+        let four = run_tiles(&partition, &flow, &WorkerPool::new(4), &none, None, None).unwrap();
+        assert_eq!(one.results.len(), 4);
+        assert_eq!(one.executed, 4);
+        for (a, b) in one.results.iter().zip(&four.results) {
+            assert_eq!(a.record.index, b.record.index);
+            assert_eq!(a.record.shapes, b.record.shapes, "tile {}", a.record.index);
+            assert_eq!(a.record.owned_epe_history, b.record.owned_epe_history);
+            assert_eq!(a.record.metrics, b.record.metrics);
+        }
+        // Every target stitched exactly once across tiles.
+        let mut ids: Vec<usize> = one
+            .results
+            .iter()
+            .flat_map(|r| r.record.shapes.iter().filter_map(|s| s.global_id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn checkpoints_skip_matching_tiles_and_budget_limits_execution() {
+        let clip = small_clip();
+        let partition = partition_clip(
+            &clip,
+            &TilingConfig {
+                tile_size: 512.0,
+                halo: 256.0,
+            },
+        )
+        .unwrap();
+        let flow = CardOpc::new(config());
+        let pool = WorkerPool::new(2);
+        let none = HashMap::new();
+
+        // Budgeted run: only 3 of 4 tiles execute.
+        let partial = run_tiles(&partition, &flow, &pool, &none, Some(3), None).unwrap();
+        assert_eq!(partial.executed, 3);
+        assert_eq!(partial.remaining, 1);
+        assert_eq!(partial.results.len(), 3);
+
+        // Resume from those records: one tile left to run.
+        let ckpts: HashMap<usize, TileRecord> = partial
+            .results
+            .iter()
+            .map(|r| (r.record.index, r.record.clone()))
+            .collect();
+        let rest = run_tiles(&partition, &flow, &pool, &ckpts, None, None).unwrap();
+        assert_eq!(rest.resumed, 3);
+        assert_eq!(rest.executed, 1);
+        assert_eq!(rest.remaining, 0);
+        assert_eq!(rest.results.len(), 4);
+
+        // Stale checkpoints (different config → different hash) re-run.
+        let mut other = config();
+        other.iterations = 3;
+        let flow2 = CardOpc::new(other);
+        let rerun = run_tiles(&partition, &flow2, &pool, &ckpts, None, None).unwrap();
+        assert_eq!(rerun.resumed, 0);
+        assert_eq!(rerun.executed, 4);
+    }
+}
