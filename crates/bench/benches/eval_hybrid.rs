@@ -1,0 +1,77 @@
+//! Criterion benchmark of the evaluation & fitting hot path: full-metric
+//! mask scoring (`evaluate_mask_grid`: nominal + defocused aerial images,
+//! EPE / PVB / L2) and the hybrid flow's contour fitting stage
+//! (`fit_mask_shapes` on a Fig. 7 metal clip).
+//!
+//! Every table and figure of the paper's evaluation is gated on these two
+//! functions, so they are benchmarked at the grid sizes the experiments
+//! use (128² for the via tables, 256²/512² for the metal clips).
+
+use cardopc::ilt::{fit_mask_shapes, HybridConfig};
+use cardopc::litho::rasterize;
+use cardopc::opc::{engine_for_extent, evaluate_mask_grid, MeasureConvention};
+use cardopc::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Target patterns spanning the 1024 nm clip used at both grid sizes.
+fn targets() -> Vec<Polygon> {
+    vec![
+        Polygon::rect(Point::new(250.0, 440.0), Point::new(370.0, 560.0)),
+        Polygon::rect(Point::new(620.0, 440.0), Point::new(740.0, 560.0)),
+        Polygon::rect(Point::new(200.0, 700.0), Point::new(820.0, 780.0)),
+    ]
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_mask_grid");
+    group.sample_size(20);
+    for pitch in [8.0f64, 4.0] {
+        let engine = engine_for_extent(1024.0, 1024.0, pitch).unwrap();
+        let targets = targets();
+        let mask = rasterize(&targets, engine.width(), engine.height(), engine.pitch());
+        group.bench_function(format!("{}x{}", engine.width(), engine.height()), |b| {
+            b.iter(|| {
+                black_box(
+                    evaluate_mask_grid(
+                        &engine,
+                        black_box(&mask),
+                        &targets,
+                        MeasureConvention::MetalSpacing(60.0),
+                        0.02,
+                        40.0,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    // The fitting stage of the hybrid flow on a Fig. 7 metal clip: the
+    // rasterised M1 wire pattern, smoothed so the traced contours carry the
+    // curvature a real ILT mask would (pixel ILT itself is benched by the
+    // fig7 binary; here we isolate regularise + trace + Algorithm 1).
+    let clip = &metal_clips()[0];
+    let engine = engine_for_extent(clip.width(), clip.height(), 4.0).unwrap();
+    let raster = rasterize(
+        clip.targets(),
+        engine.width(),
+        engine.height(),
+        engine.pitch(),
+    );
+    let mask = cardopc::ilt::cleanup::blur(&raster, 3);
+    let config = HybridConfig::default();
+
+    let mut group = c.benchmark_group("fit_mask_shapes");
+    group.sample_size(10);
+    group.bench_function("fig7_metal_512", |b| {
+        b.iter(|| black_box(fit_mask_shapes(black_box(&mask), &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate, bench_fit);
+criterion_main!(benches);

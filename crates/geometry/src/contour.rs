@@ -12,7 +12,6 @@
 //! Outer contours are oriented counter-clockwise, holes clockwise.
 
 use crate::{Grid, Point, Polygon};
-use std::collections::HashMap;
 
 /// Cell edges, named by compass direction with `y` increasing northward.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,7 +50,32 @@ struct Link {
 /// assert!(contours[0].signed_area() > 0.0);
 /// ```
 pub fn trace_contours(grid: &Grid, threshold: f64) -> Vec<Polygon> {
-    Tracer::new(grid, threshold).run()
+    let mut out = Vec::new();
+    ContourTracer::new().trace_into(grid, threshold, &mut out);
+    out
+}
+
+/// A reusable contour tracer: keeps the per-cell visited-edge bitmask
+/// alive across calls so repeated tracing (e.g. an ILT loop extracting
+/// contours every iteration) only allocates the returned polygons.
+#[derive(Clone, Debug, Default)]
+pub struct ContourTracer {
+    /// One entry-edge bitmask byte per cell of the virtually padded raster.
+    visited: Vec<u8>,
+}
+
+impl ContourTracer {
+    /// An empty tracer; the visited buffer is sized lazily per grid.
+    pub fn new() -> ContourTracer {
+        ContourTracer::default()
+    }
+
+    /// [`trace_contours`] writing into a caller-owned vector (cleared
+    /// first), reusing this tracer's visited buffer.
+    pub fn trace_into(&mut self, grid: &Grid, threshold: f64, out: &mut Vec<Polygon>) {
+        out.clear();
+        Tracer::new(grid, threshold).run(&mut self.visited, out);
+    }
 }
 
 struct Tracer<'a> {
@@ -180,11 +204,17 @@ impl<'a> Tracer<'a> {
         }
     }
 
-    fn run(self) -> Vec<Polygon> {
+    fn run(self, visited: &mut Vec<u8>, contours: &mut Vec<Polygon>) {
         let w = self.grid.width() as i64;
         let h = self.grid.height() as i64;
-        // (cell, entry edge) pairs already consumed.
-        let mut visited: HashMap<(i64, i64), u8> = HashMap::new();
+        // Entry-edge bits already consumed, one byte per cell. Cells span
+        // the virtually padded raster (`-1..w` × `-1..h`, stored at
+        // `(cx + 1, cy + 1)`); the walk never steps outside it because the
+        // padding ring has no crossing on its outward edges.
+        let stride = (w + 1) as usize;
+        visited.clear();
+        visited.resize(stride * (h + 1) as usize, 0);
+        let cell = |cx: i64, cy: i64| (cy + 1) as usize * stride + (cx + 1) as usize;
         let edge_bit = |e: Edge| -> u8 {
             match e {
                 Edge::South => 1,
@@ -193,9 +223,7 @@ impl<'a> Tracer<'a> {
                 Edge::West => 8,
             }
         };
-        let mut contours = Vec::new();
 
-        // Cells span the virtually padded raster.
         for cy in -1..h {
             for cx in -1..w {
                 let case = self.case(cx, cy);
@@ -204,7 +232,7 @@ impl<'a> Tracer<'a> {
                 }
                 for link in self.links(cx, cy, case).into_iter().flatten() {
                     let bit = edge_bit(link.from);
-                    if visited.get(&(cx, cy)).is_some_and(|&m| m & bit != 0) {
+                    if visited[cell(cx, cy)] & bit != 0 {
                         continue;
                     }
                     // Trace the loop starting from this (cell, entry edge).
@@ -212,7 +240,7 @@ impl<'a> Tracer<'a> {
                     let (mut ccx, mut ccy, mut entry) = (cx, cy, link.from);
                     loop {
                         let bit = edge_bit(entry);
-                        let mask = visited.entry((ccx, ccy)).or_insert(0);
+                        let mask = &mut visited[cell(ccx, ccy)];
                         if *mask & bit != 0 {
                             break; // closed the loop
                         }
@@ -237,7 +265,6 @@ impl<'a> Tracer<'a> {
                 }
             }
         }
-        contours
     }
 }
 

@@ -42,7 +42,7 @@ mod segment;
 pub mod svg;
 
 pub use bbox::BBox;
-pub use contour::trace_contours;
+pub use contour::{trace_contours, ContourTracer};
 pub use grid::Grid;
 pub use point::Point;
 pub use polygon::{Orientation, Polygon};

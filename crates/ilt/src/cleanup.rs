@@ -16,34 +16,57 @@ use cardopc_geometry::Grid;
 /// Applies `passes` rounds of 3×3 binomial smoothing (kernel
 /// `[1 2 1]/4` per axis), clamping the border.
 pub fn blur(grid: &Grid, passes: usize) -> Grid {
+    let mut out = grid.clone();
     let (w, h) = (grid.width(), grid.height());
-    let mut cur = grid.clone();
-    for _ in 0..passes {
-        let mut next = Grid::zeros(w, h, grid.pitch());
-        // Horizontal pass.
-        let mut tmp = vec![0.0f64; w * h];
-        for iy in 0..h {
-            for ix in 0..w {
-                let c = cur.get_clamped(ix as isize, iy as isize);
-                let l = cur.get_clamped(ix as isize - 1, iy as isize);
-                let r = cur.get_clamped(ix as isize + 1, iy as isize);
-                tmp[iy * w + ix] = 0.25 * l + 0.5 * c + 0.25 * r;
-            }
-        }
-        // Vertical pass.
-        for iy in 0..h {
-            for ix in 0..w {
-                let at = |y: isize| -> f64 {
-                    let y = y.clamp(0, h as isize - 1) as usize;
-                    tmp[y * w + ix]
-                };
-                next[(ix, iy)] =
-                    0.25 * at(iy as isize - 1) + 0.5 * at(iy as isize) + 0.25 * at(iy as isize + 1);
-            }
-        }
-        cur = next;
+    blur_field(out.data_mut(), w, h, passes, &mut Vec::new());
+    out
+}
+
+/// In-place, slice-level form of [`blur`]: smooths `data` (a row-major
+/// `width` × `height` field) with the same separable binomial kernel,
+/// keeping the horizontal intermediate in `scratch`. The ILT loop
+/// regularises its parameter field through this instead of cloning the
+/// parameters into a fresh [`Grid`] every few iterations.
+///
+/// # Panics
+///
+/// Panics when `data.len() != width * height`.
+pub fn blur_field(
+    data: &mut [f64],
+    width: usize,
+    height: usize,
+    passes: usize,
+    scratch: &mut Vec<f64>,
+) {
+    assert_eq!(data.len(), width * height, "field size mismatch");
+    if width == 0 || height == 0 {
+        return;
     }
-    cur
+    scratch.clear();
+    scratch.resize(width * height, 0.0);
+    for _ in 0..passes {
+        // Horizontal pass, border clamped.
+        for iy in 0..height {
+            let row = &data[iy * width..(iy + 1) * width];
+            let out = &mut scratch[iy * width..(iy + 1) * width];
+            for ix in 0..width {
+                let l = row[ix.saturating_sub(1)];
+                let c = row[ix];
+                let r = row[(ix + 1).min(width - 1)];
+                out[ix] = 0.25 * l + 0.5 * c + 0.25 * r;
+            }
+        }
+        // Vertical pass, border clamped.
+        for iy in 0..height {
+            let up = iy.saturating_sub(1) * width;
+            let mid = iy * width;
+            let down = (iy + 1).min(height - 1) * width;
+            for ix in 0..width {
+                data[mid + ix] =
+                    0.25 * scratch[up + ix] + 0.5 * scratch[mid + ix] + 0.25 * scratch[down + ix];
+            }
+        }
+    }
 }
 
 /// Morphological opening (erosion then dilation) of the binary image

@@ -151,12 +151,13 @@ pub fn pixel_ilt(
     let mut fwd_scratch: Vec<Complex> = Vec::new();
     let mut intensity = vec![0.0f64; n];
     let mut grad_m = vec![0.0f64; n];
+    let mut f_field = vec![0.0f64; n]; // F = 2(Z-Ẑ)·Z(1-Z)·θ_Z
+    let mut blur_scratch: Vec<f64> = Vec::new();
 
     let mut mask_vals = vec![0.0f64; n];
     for iter in 0..config.iterations {
         if config.regularize_every > 0 && iter > 0 && iter % config.regularize_every == 0 {
-            let p = crate::cleanup::blur(&Grid::from_data(w, h, engine.pitch(), params.clone()), 1);
-            params.copy_from_slice(p.data());
+            crate::cleanup::blur_field(&mut params, w, h, 1, &mut blur_scratch);
         }
         // Forward: mask, coherent fields, intensity, resist. Each pool task
         // owns a disjoint chunk of `a_fields`, leaving A_k (unscaled by
@@ -187,7 +188,6 @@ pub fn pixel_ilt(
 
         // Resist and loss.
         let mut loss = 0.0;
-        let mut f_field = vec![0.0f64; n]; // F = 2(Z-Ẑ)·Z(1-Z)·θ_Z
         for i in 0..n {
             let z = sigmoid(config.theta_resist * (intensity[i] - threshold));
             let zt = if target.data()[i] > 0.5 { 1.0 } else { 0.0 };

@@ -316,6 +316,103 @@ impl LithoEngine {
         Ok(self.image_with(&self.defocused, mask))
     }
 
+    /// Aerial images at several process conditions from a **single**
+    /// forward mask FFT.
+    ///
+    /// The mask spectrum is computed once and shared across every
+    /// condition's SOCS convolution; distinct focus states are convolved in
+    /// one fan-out over the worker pool and duplicated focus states (dose
+    /// only changes thresholding, not the image) are served by cloning the
+    /// state's image. The returned grids align with `conditions`, and each
+    /// is **bit-identical** to the serial [`LithoEngine::aerial_image`] /
+    /// [`LithoEngine::aerial_image_defocused`] call at the same worker
+    /// count — every kernel set keeps its standalone chunking and
+    /// slot-ordered reduction
+    /// ([`LithoWorkspace::socs_intensity_multi`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LithoError::GridMismatch`] when the mask grid has the wrong shape.
+    pub fn aerial_images_multi(
+        &self,
+        mask: &Grid,
+        conditions: &[ProcessCondition],
+    ) -> Result<Vec<Grid>, LithoError> {
+        self.check_mask(mask)?;
+        if conditions.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Unique focus states in first-appearance order.
+        let mut states: Vec<bool> = Vec::with_capacity(2);
+        for c in conditions {
+            if !states.contains(&c.defocused) {
+                states.push(c.defocused);
+            }
+        }
+        let kernel_sets: Vec<&[SocsKernel]> = states
+            .iter()
+            .map(|&defocused| {
+                if defocused {
+                    self.defocused.as_slice()
+                } else {
+                    self.nominal.as_slice()
+                }
+            })
+            .collect();
+        let n = self.width * self.height;
+        let mut buffers: Vec<Vec<f64>> = states.iter().map(|_| vec![0.0f64; n]).collect();
+        {
+            let mut outputs: Vec<&mut [f64]> =
+                buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
+            let pool = WorkerPool::global();
+            match self.workspace.try_lock() {
+                Ok(mut ws) => ws.socs_intensity_multi(
+                    self.width,
+                    self.height,
+                    mask.data(),
+                    &kernel_sets,
+                    pool,
+                    self.workers,
+                    &mut outputs,
+                ),
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    poisoned.into_inner().socs_intensity_multi(
+                        self.width,
+                        self.height,
+                        mask.data(),
+                        &kernel_sets,
+                        pool,
+                        self.workers,
+                        &mut outputs,
+                    )
+                }
+                Err(TryLockError::WouldBlock) => LithoWorkspace::new().socs_intensity_multi(
+                    self.width,
+                    self.height,
+                    mask.data(),
+                    &kernel_sets,
+                    pool,
+                    self.workers,
+                    &mut outputs,
+                ),
+            }
+        }
+        let state_grids: Vec<Grid> = buffers
+            .into_iter()
+            .map(|b| Grid::from_data(self.width, self.height, self.pitch, b))
+            .collect();
+        Ok(conditions
+            .iter()
+            .map(|c| {
+                let idx = states
+                    .iter()
+                    .position(|&d| d == c.defocused)
+                    .expect("state collected above");
+                state_grids[idx].clone()
+            })
+            .collect())
+    }
+
     /// Aerial image at an arbitrary process condition (focus part only —
     /// dose affects thresholding, not the image).
     ///
@@ -446,6 +543,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn aerial_images_multi_matches_serial_pair_bitwise() {
+        let mut rng = cardopc_geometry::SplitMix64::new(79);
+        let mut mask = Grid::zeros(64, 64, 8.0);
+        for v in mask.data_mut() {
+            *v = rng.range_f64(0.0, 1.0);
+        }
+        let mut engine = small_engine();
+        // Three conditions over two focus states: the outer corner repeats
+        // the nominal focus state and must be served from the same image.
+        let conditions = [
+            ProcessCondition::NOMINAL,
+            ProcessCondition::inner(0.02),
+            ProcessCondition::outer(0.02),
+        ];
+        for workers in [1usize, 2, 3, 4, 16] {
+            engine.set_workers(workers);
+            let nominal = engine.aerial_image(&mask).unwrap();
+            let defocused = engine.aerial_image_defocused(&mask).unwrap();
+            let multi = engine.aerial_images_multi(&mask, &conditions).unwrap();
+            assert_eq!(multi.len(), 3);
+            assert_eq!(multi[0].data(), nominal.data(), "nominal @ {workers}");
+            assert_eq!(multi[1].data(), defocused.data(), "defocused @ {workers}");
+            assert_eq!(multi[2].data(), nominal.data(), "outer corner @ {workers}");
+        }
+    }
+
+    #[test]
+    fn aerial_images_multi_empty_conditions() {
+        let engine = small_engine();
+        let mask = Grid::zeros(64, 64, 8.0);
+        assert!(engine.aerial_images_multi(&mask, &[]).unwrap().is_empty());
     }
 
     #[test]

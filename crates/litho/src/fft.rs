@@ -170,6 +170,30 @@ fn transpose_into(src: &[Complex], width: usize, height: usize, dst: &mut [Compl
     }
 }
 
+/// Cache-blocked real-valued transpose: `src` is `rows` rows of `cols`
+/// samples, `dst[c * rows + r] = src[r * cols + c]`.
+///
+/// Used to unfold the transposed SOCS accumulator layout of
+/// [`Field::ifft2_pruned_accumulate_t`] back to row-major, once per image
+/// instead of once per kernel.
+pub(crate) fn transpose_real_into(src: &[f64], rows: usize, cols: usize, dst: &mut [f64]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    const TILE: usize = 32;
+    for r0 in (0..rows).step_by(TILE) {
+        let r1 = (r0 + TILE).min(rows);
+        for c0 in (0..cols).step_by(TILE) {
+            let c1 = (c0 + TILE).min(cols);
+            for r in r0..r1 {
+                let row = r * cols;
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[row + c];
+                }
+            }
+        }
+    }
+}
+
 /// A 2-D complex field of power-of-two dimensions, row-major.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Field {
@@ -339,6 +363,69 @@ impl Field {
             plan_h.execute_unscaled(col_buf, true);
             for (y, z) in col_buf.iter().enumerate() {
                 acc[y * self.width + x] += weight * z.norm_sq();
+            }
+        }
+    }
+
+    /// Row-pruned unscaled inverse transform over *every* column, fused
+    /// with the SOCS reduction into a **transposed** accumulator:
+    /// `acc_t[x·height + y] += weight · |z(x, y)|²`.
+    ///
+    /// Runs the same pruned inverse row pass as
+    /// [`Field::ifft2_pruned_unscaled`], then gathers each column's live
+    /// entries into a contiguous buffer (dead rows contribute exact zeros
+    /// and are **never read**, so callers may leave them unwritten — see
+    /// [`Field::mul_pointwise_live_rows_into`]), applies the identical
+    /// column transform, and accumulates the weighted squared magnitudes
+    /// column-contiguously. Compared to the full path this skips both
+    /// blocked transposes, the write-back of the transformed field, and
+    /// every dead-row load/store — the accumulated values are bit-identical
+    /// (the same [`crate::FftPlan`] runs on the same values in the same
+    /// order), only stored transposed; callers undo the layout with one
+    /// real-valued transpose after the kernel loop.
+    ///
+    /// `self` is left partially transformed (rows done, columns untouched)
+    /// — callers must treat the field as scratch afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-mask or accumulator length mismatch.
+    pub fn ifft2_pruned_accumulate_t(
+        &mut self,
+        live_rows: &[bool],
+        scratch: &mut Vec<Complex>,
+        weight: f64,
+        acc_t: &mut [f64],
+    ) {
+        assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
+        assert_eq!(
+            acc_t.len(),
+            self.width * self.height,
+            "accumulator length mismatch"
+        );
+        let plan_w = crate::plan::FftPlan::get(self.width);
+        let plan_h = crate::plan::FftPlan::get(self.height);
+        for (row, &live) in self.data.chunks_exact_mut(self.width).zip(live_rows) {
+            if live {
+                plan_w.execute_unscaled(row, true);
+            }
+        }
+        if scratch.len() < self.height {
+            scratch.resize(self.height, Complex::ZERO);
+        }
+        let col_buf = &mut scratch[..self.height];
+        for x in 0..self.width {
+            for (y, (dst, &live)) in col_buf.iter_mut().zip(live_rows).enumerate() {
+                *dst = if live {
+                    self.data[y * self.width + x]
+                } else {
+                    Complex::ZERO
+                };
+            }
+            plan_h.execute_unscaled(col_buf, true);
+            let acc_col = &mut acc_t[x * self.height..(x + 1) * self.height];
+            for (a, z) in acc_col.iter_mut().zip(col_buf.iter()) {
+                *a += weight * z.norm_sq();
             }
         }
     }
@@ -536,6 +623,45 @@ impl Field {
                 }
             } else {
                 d.fill(Complex::ZERO);
+            }
+        }
+    }
+
+    /// Row-pruned pointwise multiplication writing **only** the live rows
+    /// of `dst`; dead rows are left untouched (possibly holding stale data
+    /// from a previous kernel).
+    ///
+    /// Pairs with [`Field::ifft2_pruned_accumulate_t`], which never reads
+    /// dead rows — together they skip every dead-row store and load of the
+    /// SOCS hot loop. Do **not** combine with the transposing inverse
+    /// paths, which read the whole field.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or mask-length mismatch.
+    pub fn mul_pointwise_live_rows_into(&self, other: &Field, live_rows: &[bool], dst: &mut Field) {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "dimension mismatch"
+        );
+        assert_eq!(
+            (self.width, self.height),
+            (dst.width, dst.height),
+            "dimension mismatch"
+        );
+        assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
+        let w = self.width;
+        for (y, &live) in live_rows.iter().enumerate() {
+            if !live {
+                continue;
+            }
+            let row = y * w..(y + 1) * w;
+            for (d, (&a, &b)) in dst.data[row.clone()]
+                .iter_mut()
+                .zip(self.data[row.clone()].iter().zip(&other.data[row]))
+            {
+                *d = a * b;
             }
         }
     }

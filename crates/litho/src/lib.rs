@@ -47,8 +47,9 @@ mod workspace;
 pub use engine::{LithoEngine, ProcessCondition};
 pub use error::LithoError;
 pub use metrics::{
-    epe_at, l2_error, measure_epe, metal_measure_points, pvb_area, via_measure_points, EpeReport,
-    MeasurePoint,
+    epe_at, l2_error, measure_epe, measure_epe_into, metal_measure_points,
+    metal_measure_points_into, pvb_area, thresholded_xor_area, via_measure_points,
+    via_measure_points_into, EpeReport, MeasurePoint,
 };
 pub use optics::{build_kernels, OpticsConfig, SocsKernel};
 pub use plan::FftPlan;

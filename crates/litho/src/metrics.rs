@@ -1,6 +1,13 @@
 //! OPC quality metrics: EPE, L2 and the process variation band (§II-B).
+//!
+//! Every metric has a zero-allocation form for scoring loops: site
+//! generation and EPE evaluation write into caller-owned buffers
+//! ([`via_measure_points_into`], [`metal_measure_points_into`],
+//! [`measure_epe_into`]), and the binary-image comparisons fuse the
+//! thresholding with the XOR count ([`thresholded_xor_area`]) instead of
+//! materialising binarized grids.
 
-use cardopc_geometry::{Grid, Point, Polygon};
+use cardopc_geometry::{Grid, Orientation, Point, Polygon, Segment};
 
 /// An edge placement error measurement site: a point on a target edge and
 /// the outward normal of that edge.
@@ -86,6 +93,23 @@ pub fn epe_at(aerial: &Grid, threshold: f64, site: &MeasurePoint, search_range: 
     dir * search_range
 }
 
+/// Evaluates EPE at every measure point into a caller-owned buffer
+/// (cleared first) — the zero-allocation form of [`measure_epe`].
+pub fn measure_epe_into(
+    aerial: &Grid,
+    threshold: f64,
+    sites: &[MeasurePoint],
+    search_range: f64,
+    values: &mut Vec<f64>,
+) {
+    values.clear();
+    values.extend(
+        sites
+            .iter()
+            .map(|s| epe_at(aerial, threshold, s, search_range)),
+    );
+}
+
 /// Evaluates EPE at every measure point.
 pub fn measure_epe(
     aerial: &Grid,
@@ -93,22 +117,41 @@ pub fn measure_epe(
     sites: &[MeasurePoint],
     search_range: f64,
 ) -> EpeReport {
+    let mut values = Vec::with_capacity(sites.len());
+    measure_epe_into(aerial, threshold, sites, search_range, &mut values);
     EpeReport {
-        values: sites
-            .iter()
-            .map(|s| epe_at(aerial, threshold, s, search_range))
-            .collect(),
+        values,
         search_range,
     }
 }
 
-/// Generates via-layer measure points: the centre of every polygon edge
-/// (the paper's convention for via clips).
-pub fn via_measure_points(targets: &[Polygon]) -> Vec<MeasurePoint> {
-    let mut out = Vec::new();
+/// Visits a polygon's edges in counter-clockwise ring order without
+/// cloning: clockwise rings are walked through the same index reflection
+/// `into_ccw`'s vertex reversal would produce, so the edge sequence is
+/// identical to `poly.clone().into_ccw().edges()`.
+fn for_each_ccw_edge(poly: &Polygon, mut f: impl FnMut(Segment)) {
+    let v = poly.vertices();
+    let n = v.len();
+    if n == 0 {
+        return;
+    }
+    if poly.orientation() == Orientation::Clockwise {
+        for i in 0..n {
+            f(Segment::new(v[n - 1 - i], v[(2 * n - 2 - i) % n]));
+        }
+    } else {
+        for i in 0..n {
+            f(Segment::new(v[i], v[(i + 1) % n]));
+        }
+    }
+}
+
+/// Generates via-layer measure points into a caller-owned buffer (cleared
+/// first) — the zero-allocation form of [`via_measure_points`].
+pub fn via_measure_points_into(targets: &[Polygon], out: &mut Vec<MeasurePoint>) {
+    out.clear();
     for poly in targets {
-        let ccw = poly.clone().into_ccw();
-        for e in ccw.edges() {
+        for_each_ccw_edge(poly, |e| {
             if let Some(dir) = e.delta().normalized() {
                 out.push(MeasurePoint {
                     position: e.midpoint(),
@@ -116,22 +159,27 @@ pub fn via_measure_points(targets: &[Polygon]) -> Vec<MeasurePoint> {
                     normal: -dir.perp(),
                 });
             }
-        }
+        });
     }
+}
+
+/// Generates via-layer measure points: the centre of every polygon edge
+/// (the paper's convention for via clips).
+pub fn via_measure_points(targets: &[Polygon]) -> Vec<MeasurePoint> {
+    let mut out = Vec::new();
+    via_measure_points_into(targets, &mut out);
     out
 }
 
-/// Generates metal-layer measure points: sites every `spacing` nanometres
-/// along each edge (plus the edge midpoint for short edges), matching the
-/// paper's 60 nm-pitch convention.
-pub fn metal_measure_points(targets: &[Polygon], spacing: f64) -> Vec<MeasurePoint> {
-    let mut out = Vec::new();
+/// Generates metal-layer measure points into a caller-owned buffer
+/// (cleared first) — the zero-allocation form of [`metal_measure_points`].
+pub fn metal_measure_points_into(targets: &[Polygon], spacing: f64, out: &mut Vec<MeasurePoint>) {
+    out.clear();
     for poly in targets {
-        let ccw = poly.clone().into_ccw();
-        for e in ccw.edges() {
+        for_each_ccw_edge(poly, |e| {
             let len = e.length();
             let Some(dir) = e.delta().normalized() else {
-                continue;
+                return;
             };
             let normal = -dir.perp();
             let count = (len / spacing).floor() as usize;
@@ -150,9 +198,43 @@ pub fn metal_measure_points(targets: &[Polygon], spacing: f64) -> Vec<MeasurePoi
                     });
                 }
             }
+        });
+    }
+}
+
+/// Generates metal-layer measure points: sites every `spacing` nanometres
+/// along each edge (plus the edge midpoint for short edges), matching the
+/// paper's 60 nm-pitch convention.
+pub fn metal_measure_points(targets: &[Polygon], spacing: f64) -> Vec<MeasurePoint> {
+    let mut out = Vec::new();
+    metal_measure_points_into(targets, spacing, &mut out);
+    out
+}
+
+/// Fused threshold-and-XOR area: the area (nm²) where `(a >= threshold_a)`
+/// and `(b >= threshold_b)` disagree.
+///
+/// Exactly equivalent to `l2_error(&a.binarize(threshold_a),
+/// &b.binarize(threshold_b))` — `Grid::binarize` maps `v >= t` to 1.0 and
+/// the XOR counts compare against 0.5 — but without materialising either
+/// binarized grid. Evaluation loops use this for both the L2 term (nominal
+/// print vs rasterised target) and the PV band (outer vs inner corner
+/// prints on the raw aerial images).
+///
+/// # Panics
+///
+/// Panics when the two grids have different dimensions.
+pub fn thresholded_xor_area(a: &Grid, threshold_a: f64, b: &Grid, threshold_b: f64) -> f64 {
+    assert_eq!(a.width(), b.width(), "grid width mismatch");
+    assert_eq!(a.height(), b.height(), "grid height mismatch");
+    let px = a.pitch() * a.pitch();
+    let mut count = 0usize;
+    for (&va, &vb) in a.data().iter().zip(b.data()) {
+        if (va >= threshold_a) != (vb >= threshold_b) {
+            count += 1;
         }
     }
-    out
+    count as f64 * px
 }
 
 /// Squared L2 error between a printed binary image and the binary target:

@@ -156,6 +156,12 @@ impl SocsKernel {
 /// `pitch` the pixel size in nanometres, `defocus` the defocus distance in
 /// nanometres (0 for the nominal-focus stack).
 ///
+/// Zero-defocus stacks fold antipodal source-point pairs into single
+/// kernels with doubled weights (the transfers are real, so the paired
+/// intensities are equal for any real mask) — on the default annular
+/// source this halves the nominal stack from 16 to 8 kernels without
+/// changing the aerial image.
+///
 /// # Errors
 ///
 /// Propagates [`OpticsConfig::validate`] failures and rejects
@@ -177,9 +183,35 @@ pub fn build_kernels(
 
     let fc = config.cutoff();
     let lambda = config.wavelength;
+
+    // Hermitian fold, zero-defocus stacks only. At nominal focus the
+    // transfer is the real-valued pupil indicator, and for a *real* mask
+    // the coherent amplitude at source point `−s` is the pointwise complex
+    // conjugate of the amplitude at `+s` (the transfer at `−s` is the
+    // `f → −f` reflection of the one at `+s`, and the mask spectrum is
+    // Hermitian), so `|A_{−s}|² == |A_s|²` — identically in the mask, which
+    // also keeps ILT gradients exact. Each azimuthal ring places points at
+    // equal angular steps, so with an even point count every source point's
+    // antipode is also a source point: folding each pair into one kernel
+    // with doubled weight halves the SOCS stack. The fold is skipped when
+    // the shifted pupil could reach the Nyquist row/column, whose frequency
+    // does not negate under the grid's `f → −f` index reflection.
+    let fold = defocus == 0.0
+        && config.points_per_ring.is_multiple_of(2)
+        && 0.5 / pitch > fc * (1.0 + config.sigma_outer);
+    let half_ring = config.points_per_ring / 2;
     let mut kernels = Vec::new();
 
-    for (fsx, fsy, weight) in config.source_points() {
+    for (index, (fsx, fsy, weight)) in config.source_points().into_iter().enumerate() {
+        let weight = if fold {
+            if index % config.points_per_ring >= half_ring {
+                // Covered by its antipodal partner's doubled weight.
+                continue;
+            }
+            2.0 * weight
+        } else {
+            weight
+        };
         let mut transfer = Field::zeros(width, height);
         for ky in 0..height {
             // FFT frequency layout: wrap the upper half to negatives.
@@ -272,7 +304,8 @@ mod tests {
     fn kernels_pass_dc_and_block_high_frequencies() {
         let cfg = OpticsConfig::default();
         let ks = build_kernels(&cfg, 64, 64, 4.0, 0.0).unwrap();
-        assert_eq!(ks.len(), 16);
+        // 16 source points, Hermitian-folded into 8 nominal kernels.
+        assert_eq!(ks.len(), 8);
         for k in &ks {
             // DC term passes (source points lie inside the pupil).
             assert!((k.transfer.at(0, 0).norm() - 1.0).abs() < 1e-12);
@@ -287,7 +320,15 @@ mod tests {
         let cfg = OpticsConfig::default();
         let nominal = build_kernels(&cfg, 32, 32, 8.0, 0.0).unwrap();
         let defocused = build_kernels(&cfg, 32, 32, 8.0, 80.0).unwrap();
-        for (a, b) in nominal.iter().zip(&defocused) {
+        // The nominal stack is Hermitian-folded (first half of each ring);
+        // pair each folded kernel with the defocused kernel for the same
+        // source point.
+        assert_eq!(nominal.len(), 8);
+        assert_eq!(defocused.len(), 16);
+        let half = cfg.points_per_ring / 2;
+        for (i, a) in nominal.iter().enumerate() {
+            let source_index = (i / half) * cfg.points_per_ring + i % half;
+            let b = &defocused[source_index];
             let mut phase_differs = false;
             for (za, zb) in a.transfer.data().iter().zip(b.transfer.data()) {
                 assert!((za.norm() - zb.norm()).abs() < 1e-12);
@@ -296,6 +337,51 @@ mod tests {
                 }
             }
             assert!(phase_differs, "defocus should modify kernel phase");
+        }
+    }
+
+    #[test]
+    fn hermitian_fold_preserves_intensity() {
+        // The folded nominal stack must reproduce the unfolded sum: for a
+        // real mask, the kernel at `−s` (the `f → −f` reflection of the
+        // kernel at `+s`) contributes exactly the intensity of its partner.
+        let cfg = OpticsConfig::default();
+        let (w, h, pitch) = (32usize, 32usize, 8.0);
+        let folded = build_kernels(&cfg, w, h, pitch, 0.0).unwrap();
+        assert_eq!(folded.len(), 8);
+
+        let mut rng = cardopc_geometry::SplitMix64::new(314);
+        let mask: Vec<f64> = (0..w * h).map(|_| rng.range_f64(0.0, 1.0)).collect();
+        let mut spectrum = Field::from_real(w, h, &mask);
+        spectrum.fft2_inplace(false);
+
+        let intensity = |transfer: &Field, weight: f64| {
+            let mut f = spectrum.mul_pointwise(transfer);
+            f.fft2_inplace(true);
+            f.data()
+                .iter()
+                .map(|z| weight * z.norm_sq())
+                .collect::<Vec<f64>>()
+        };
+
+        for k in &folded {
+            // Reconstruct the dropped partner by index reflection f → −f.
+            let mut mirror = Field::zeros(w, h);
+            for ky in 0..h {
+                for kx in 0..w {
+                    let mx = (w - kx) % w;
+                    let my = (h - ky) % h;
+                    *mirror.at_mut(kx, ky) = k.transfer.at(mx, my);
+                }
+            }
+            let a = intensity(&k.transfer, 0.5 * k.weight);
+            let b = intensity(&mirror, 0.5 * k.weight);
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-12 * (1.0 + x.abs()),
+                    "pixel {i}: {x} vs {y}"
+                );
+            }
         }
     }
 

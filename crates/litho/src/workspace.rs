@@ -2,11 +2,13 @@
 //!
 //! One [`LithoWorkspace`] holds every buffer `LithoEngine::image_with` (and
 //! pixel ILT's forward/backward passes) needs: the mask spectrum, one work
-//! field + transpose scratch + accumulator per parallel task slot. After the
+//! field + column scratch + accumulator per parallel task slot. After the
 //! first call at a given grid size, the per-kernel loop performs **zero heap
-//! allocations** — `mul_pointwise_pruned_into` writes into the slot's field,
-//! the pruned inverse FFT reuses the slot's transpose scratch, and the
-//! `|z|²` reduction accumulates in place.
+//! allocations** — the frequency product writes only the kernel's live rows
+//! into the slot's field, the pruned inverse gathers each column through the
+//! slot's scratch, and the `|z|²` reduction accumulates in place. The
+//! multi-condition entry ([`LithoWorkspace::socs_intensity_multi`]) computes
+//! every process condition's image from a single forward mask FFT.
 
 use crate::fft::{Complex, Field};
 use crate::optics::SocsKernel;
@@ -15,11 +17,15 @@ use crate::pool::WorkerPool;
 /// Scratch owned by one parallel task slot.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct WorkSlot {
-    /// Frequency/space work field for the per-kernel product + inverse FFT.
+    /// Frequency/space work field for the per-kernel product + inverse FFT
+    /// (only live rows are ever written or read on the full-image path).
     pub field: Option<Field>,
-    /// Blocked-transpose scratch for the 2-D FFT column pass.
+    /// Column gather buffer for the fused inverse column pass (also the
+    /// blocked-transpose scratch on the ROI-columns path).
     pub scratch: Vec<Complex>,
-    /// Per-slot partial accumulator (reduced in slot order afterwards).
+    /// Per-slot partial accumulator, reduced in slot order afterwards —
+    /// transposed layout (`acc[x·height + y]`) on the full-image path,
+    /// row-major on the ROI-columns path.
     pub acc: Vec<f64>,
 }
 
@@ -79,6 +85,13 @@ impl LithoWorkspace {
     /// ascending kernel order regardless of `parallelism` (results match
     /// the single-threaded path to reassociation rounding, < 1e-12).
     ///
+    /// The per-kernel loop is the fully fused path: the frequency product
+    /// writes only the kernel's live rows, the pruned inverse gathers each
+    /// column's live entries and accumulates `w·|z|²` into a transposed
+    /// per-slot accumulator without ever touching dead rows, and one
+    /// real-valued transpose after the reduction restores row-major layout
+    /// ([`Field::ifft2_pruned_accumulate_t`]).
+    ///
     /// # Panics
     ///
     /// Panics when `mask.len()` or `intensity.len()` differ from
@@ -104,25 +117,129 @@ impl LithoWorkspace {
         spectrum.fill_forward_real_with(mask, &mut self.forward_scratch);
         let spectrum: &Field = spectrum;
 
+        let slots = &mut self.slots[..tasks];
         // |IFFT_unscaled(z)/n|² = |z|²/n²: fold the normalisation into w_k.
         let inv_n2 = 1.0 / (n as f64 * n as f64);
         let chunk = kernels.len().div_ceil(tasks);
-        let slots = &mut self.slots[..tasks];
         pool.run_with_slots(slots, |t, slot| {
-            let field = slot.field.as_mut().expect("prepared above");
-            slot.acc.fill(0.0);
-            for kernel in kernels.iter().skip(t * chunk).take(chunk) {
-                spectrum.mul_pointwise_pruned_into(&kernel.transfer, &kernel.live_rows, field);
-                field.ifft2_pruned_unscaled(&kernel.live_rows, &mut slot.scratch);
-                field.accumulate_norm_sq(kernel.weight * inv_n2, &mut slot.acc);
-            }
+            Self::convolve_chunk(
+                spectrum,
+                kernels.iter().skip(t * chunk).take(chunk),
+                inv_n2,
+                slot,
+            );
         });
+        Self::reduce_set(slots, width, height, intensity);
+    }
 
-        intensity.fill(0.0);
-        for slot in slots.iter() {
-            for (dst, &v) in intensity.iter_mut().zip(&slot.acc) {
+    /// One slot's share of a kernel set: the fused product → pruned
+    /// inverse → `w·|z|²` accumulation loop over `kernels`.
+    fn convolve_chunk<'k>(
+        spectrum: &Field,
+        kernels: impl Iterator<Item = &'k SocsKernel>,
+        inv_n2: f64,
+        slot: &mut WorkSlot,
+    ) {
+        let field = slot.field.as_mut().expect("prepared above");
+        slot.acc.fill(0.0);
+        for kernel in kernels {
+            spectrum.mul_pointwise_live_rows_into(&kernel.transfer, &kernel.live_rows, field);
+            field.ifft2_pruned_accumulate_t(
+                &kernel.live_rows,
+                &mut slot.scratch,
+                kernel.weight * inv_n2,
+                &mut slot.acc,
+            );
+        }
+    }
+
+    /// Reduces a contiguous slot range's transposed partial accumulators in
+    /// slot order and writes the row-major intensity.
+    fn reduce_set(slots: &mut [WorkSlot], width: usize, height: usize, intensity: &mut [f64]) {
+        let (first, rest) = slots.split_first_mut().expect("at least one slot");
+        for slot in rest.iter() {
+            for (dst, &v) in first.acc.iter_mut().zip(&slot.acc) {
                 *dst += v;
             }
+        }
+        crate::fft::transpose_real_into(&first.acc, width, height, intensity);
+    }
+
+    /// Multi-condition SOCS intensity: computes one aerial image per kernel
+    /// set from a **single** forward mask FFT, dispatching every set's
+    /// convolutions over `pool` in one fan-out.
+    ///
+    /// Each set is chunked exactly as a standalone
+    /// [`LithoWorkspace::socs_intensity`] call at the same `parallelism`
+    /// would chunk it (its own `tasks`/`chunk` split, its own slot range,
+    /// slot-ordered reduction), so every output is **bit-identical** to the
+    /// serial per-set path — the only sharing is the forward spectrum,
+    /// which is a pure function of the mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outputs.len() != kernel_sets.len()`, or on any sample
+    /// count mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn socs_intensity_multi(
+        &mut self,
+        width: usize,
+        height: usize,
+        mask: &[f64],
+        kernel_sets: &[&[SocsKernel]],
+        pool: &WorkerPool,
+        parallelism: usize,
+        outputs: &mut [&mut [f64]],
+    ) {
+        let n = width * height;
+        assert_eq!(mask.len(), n, "mask sample count mismatch");
+        assert_eq!(
+            outputs.len(),
+            kernel_sets.len(),
+            "one output per kernel set required"
+        );
+        for out in outputs.iter() {
+            assert_eq!(out.len(), n, "intensity sample count mismatch");
+        }
+        // Per-set slot ranges, identical to each set's standalone chunking.
+        let tasks_per_set: Vec<usize> = kernel_sets
+            .iter()
+            .map(|set| parallelism.clamp(1, set.len().max(1)))
+            .collect();
+        let total_slots: usize = tasks_per_set.iter().sum();
+        self.prepare(width, height, total_slots);
+
+        let spectrum = self.spectrum.as_mut().expect("prepared above");
+        spectrum.fill_forward_real_with(mask, &mut self.forward_scratch);
+        let spectrum: &Field = spectrum;
+
+        // One pool fan-out over every set's slots: global slot index `s`
+        // maps statically to (set, in-set task) so results do not depend on
+        // which worker claims which slot.
+        let inv_n2 = 1.0 / (n as f64 * n as f64);
+        let slots = &mut self.slots[..total_slots];
+        let tasks_per_set = &tasks_per_set;
+        pool.run_with_slots(slots, |s, slot| {
+            let mut c = 0usize;
+            let mut base = 0usize;
+            while s >= base + tasks_per_set[c] {
+                base += tasks_per_set[c];
+                c += 1;
+            }
+            let set = kernel_sets[c];
+            let chunk = set.len().div_ceil(tasks_per_set[c]);
+            let t = s - base;
+            Self::convolve_chunk(
+                spectrum,
+                set.iter().skip(t * chunk).take(chunk),
+                inv_n2,
+                slot,
+            );
+        });
+        let mut slot_base = 0usize;
+        for (out, &tasks) in outputs.iter_mut().zip(tasks_per_set) {
+            Self::reduce_set(&mut slots[slot_base..slot_base + tasks], width, height, out);
+            slot_base += tasks;
         }
     }
 

@@ -2,7 +2,7 @@
 
 use cardopc_geometry::{Grid, Point, Polygon, SplitMix64};
 use cardopc_litho::fft::{fft_inplace, Complex, Field};
-use cardopc_litho::{l2_error, pvb_area, rasterize};
+use cardopc_litho::{epe_at, l2_error, pvb_area, rasterize, thresholded_xor_area, MeasurePoint};
 use proptest::prelude::*;
 
 proptest! {
@@ -121,5 +121,78 @@ proptest! {
         }
         let expected = (4 * outer_half * outer_half - 4 * inner_half * inner_half) as f64;
         prop_assert_eq!(pvb_area(&outer, &inner), expected);
+    }
+
+    /// PVB is symmetric in its arguments and monotone in the band width:
+    /// widening either print of a nested pair can only grow the band.
+    #[test]
+    fn pvb_symmetric_and_monotone(inner_half in 1usize..6, g1 in 1usize..4, g2 in 1usize..4) {
+        let mid_half = inner_half + g1;
+        let outer_half = mid_half + g2;
+        prop_assume!(outer_half < 16);
+        let square = |half: usize| {
+            let mut g = Grid::zeros(32, 32, 1.0);
+            for iy in 16 - half..16 + half {
+                for ix in 16 - half..16 + half {
+                    g[(ix, iy)] = 1.0;
+                }
+            }
+            g
+        };
+        let inner = square(inner_half);
+        let mid = square(mid_half);
+        let outer = square(outer_half);
+        prop_assert_eq!(pvb_area(&outer, &inner), pvb_area(&inner, &outer));
+        prop_assert!(pvb_area(&outer, &inner) >= pvb_area(&mid, &inner));
+        prop_assert!(pvb_area(&outer, &inner) >= pvb_area(&outer, &mid));
+    }
+
+    /// The fused threshold-XOR count equals binarising both grids first and
+    /// taking the 0.5-level XOR area — bit-for-bit, any thresholds.
+    #[test]
+    fn thresholded_xor_matches_binarized_pvb(seed in 0u64..200,
+                                             ta in 0.2..0.8f64, tb in 0.2..0.8f64) {
+        let mut rng = SplitMix64::new(seed);
+        let mut mk = || {
+            let data: Vec<f64> = (0..256).map(|_| rng.range_f64(0.0, 1.0)).collect();
+            Grid::from_data(16, 16, 2.0, data)
+        };
+        let a = mk();
+        let b = mk();
+        let fused = thresholded_xor_area(&a, ta, &b, tb);
+        let reference = pvb_area(&a.binarize(ta), &b.binarize(tb));
+        prop_assert_eq!(fused, reference);
+        // L2 against a binary target is the same fused count.
+        prop_assert_eq!(thresholded_xor_area(&a, ta, &b.binarize(tb), 0.5),
+                        l2_error(&a.binarize(ta), &b.binarize(tb)));
+    }
+
+    /// EPE sign convention on a linear aerial ramp: a printed edge lying
+    /// outside the target edge measures positive (over-print), inside
+    /// negative (under-print), with the exact offset recovered.
+    #[test]
+    fn epe_sign_convention_on_ramp(shift in 0.75..6.0f64) {
+        // Intensity falls linearly with x; the 0.5-threshold print edge
+        // sits at x = 16. Bilinear sampling and the crossing interpolation
+        // are both exact on a linear field.
+        let mut aerial = Grid::zeros(32, 32, 1.0);
+        for iy in 0..32 {
+            for ix in 0..32 {
+                aerial[(ix, iy)] = 1.0 - (ix as f64 + 0.5) / 32.0;
+            }
+        }
+        let site_at = |x: f64| MeasurePoint {
+            position: Point::new(x, 16.0),
+            normal: Point::new(1.0, 0.0),
+        };
+        // Target edge inside the print: printed edge is `shift` outward.
+        let over = epe_at(&aerial, 0.5, &site_at(16.0 - shift), 20.0);
+        prop_assert!((over - shift).abs() < 1e-6, "over-print EPE {} vs {}", over, shift);
+        // Target edge outside the print: printed edge is `shift` inward.
+        let under = epe_at(&aerial, 0.5, &site_at(16.0 + shift), 20.0);
+        prop_assert!((under + shift).abs() < 1e-6, "under-print EPE {} vs {}", under, shift);
+        // No crossing within range saturates at ±search_range.
+        let saturated = epe_at(&aerial, 0.5, &site_at(16.0 - shift), shift * 0.5);
+        prop_assert!((saturated - shift * 0.5).abs() < 1e-9);
     }
 }

@@ -8,8 +8,8 @@
 use crate::OpcError;
 use cardopc_geometry::{Grid, Polygon};
 use cardopc_litho::{
-    l2_error, measure_epe, metal_measure_points, pvb_area, rasterize, via_measure_points,
-    EpeReport, LithoEngine, ProcessCondition,
+    measure_epe, metal_measure_points_into, rasterize, thresholded_xor_area,
+    via_measure_points_into, EpeReport, LithoEngine, MeasurePoint, ProcessCondition,
 };
 
 /// Which measure point convention to evaluate EPE with.
@@ -73,8 +73,29 @@ pub fn evaluate_mask(
     )
 }
 
+/// Reusable buffers for repeated mask scoring (the ILT/hybrid inner loops
+/// and the runtime's per-tile scoring evaluate thousands of masks against
+/// the same handful of targets).
+#[derive(Clone, Debug, Default)]
+pub struct EvalScratch {
+    sites: Vec<MeasurePoint>,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+}
+
 /// Scores a rasterised mask (e.g. a pixel ILT output) against target
 /// patterns; same metrics as [`evaluate_mask`].
+///
+/// Both aerial images (nominal + defocused) come from a single forward
+/// mask FFT ([`LithoEngine::aerial_images_multi`]), and the L2/PVB terms
+/// fuse thresholding with the XOR count instead of materialising binarized
+/// grids — the scores are identical to the serial
+/// `aerial_image`/`aerial_image_defocused` + `binarize` formulation.
 ///
 /// # Errors
 ///
@@ -87,24 +108,68 @@ pub fn evaluate_mask_grid(
     dose_delta: f64,
     epe_search: f64,
 ) -> Result<Evaluation, OpcError> {
+    let mut scratch = EvalScratch::new();
+    evaluate_mask_grid_with(
+        engine,
+        mask_raster,
+        targets,
+        convention,
+        dose_delta,
+        epe_search,
+        &mut scratch,
+    )
+}
+
+/// [`evaluate_mask_grid`] with caller-owned scratch buffers — the form the
+/// scoring loops use to avoid re-allocating measure sites per candidate.
+///
+/// # Errors
+///
+/// Propagates [`OpcError::Litho`] on engine/grid mismatches.
+pub fn evaluate_mask_grid_with(
+    engine: &LithoEngine,
+    mask_raster: &Grid,
+    targets: &[Polygon],
+    convention: MeasureConvention,
+    dose_delta: f64,
+    epe_search: f64,
+    scratch: &mut EvalScratch,
+) -> Result<Evaluation, OpcError> {
     let (w, h, pitch) = (engine.width(), engine.height(), engine.pitch());
 
-    let aerial = engine.aerial_image(mask_raster)?;
-    let sites = match convention {
-        MeasureConvention::ViaEdgeCenters => via_measure_points(targets),
-        MeasureConvention::MetalSpacing(s) => metal_measure_points(targets, s),
-    };
-    let epe = measure_epe(&aerial, engine.threshold(), &sites, epe_search);
+    // One shared-spectrum litho pass for both focus states.
+    let images = engine.aerial_images_multi(
+        mask_raster,
+        &[
+            ProcessCondition::NOMINAL,
+            ProcessCondition::inner(dose_delta),
+        ],
+    )?;
+    let (aerial, inner_aerial) = (&images[0], &images[1]);
 
-    let printed = aerial.binarize(engine.effective_threshold(ProcessCondition::NOMINAL));
-    let target_raster = rasterize(targets, w, h, pitch).binarize(0.5);
-    let l2 = l2_error(&printed, &target_raster);
+    match convention {
+        MeasureConvention::ViaEdgeCenters => via_measure_points_into(targets, &mut scratch.sites),
+        MeasureConvention::MetalSpacing(s) => {
+            metal_measure_points_into(targets, s, &mut scratch.sites)
+        }
+    }
+    let epe = measure_epe(aerial, engine.threshold(), &scratch.sites, epe_search);
 
-    let outer = aerial.binarize(engine.effective_threshold(ProcessCondition::outer(dose_delta)));
-    let inner_aerial = engine.aerial_image_defocused(mask_raster)?;
-    let inner =
-        inner_aerial.binarize(engine.effective_threshold(ProcessCondition::inner(dose_delta)));
-    let pvb = pvb_area(&outer, &inner);
+    // Fused threshold + XOR counts on the raw aerials: `binarize` maps
+    // `v >= t` to 1.0, so comparing `v >= t` directly is exact.
+    let target_raster = rasterize(targets, w, h, pitch);
+    let l2 = thresholded_xor_area(
+        aerial,
+        engine.effective_threshold(ProcessCondition::NOMINAL),
+        &target_raster,
+        0.5,
+    );
+    let pvb = thresholded_xor_area(
+        aerial,
+        engine.effective_threshold(ProcessCondition::outer(dose_delta)),
+        inner_aerial,
+        engine.effective_threshold(ProcessCondition::inner(dose_delta)),
+    );
 
     Ok(Evaluation {
         epe_sum_nm: epe.sum_abs(),

@@ -252,12 +252,20 @@ fn execute_tile(
         .collect();
     let raster =
         cardopc_litho::rasterize(&mask_polys, engine.width(), engine.height(), engine.pitch());
-    let aerial = engine
-        .aerial_image(&raster)
+    // Both focus states from a single forward mask FFT.
+    let images = engine
+        .aerial_images_multi(
+            &raster,
+            &[
+                ProcessCondition::NOMINAL,
+                ProcessCondition::inner(config.dose_delta),
+            ],
+        )
         .map_err(|e| RuntimeError::Tile {
             tile: tile.index,
             source: e.into(),
         })?;
+    let (aerial, inner_aerial) = (&images[0], &images[1]);
 
     let owned_targets: Vec<Polygon> = tile
         .clip
@@ -271,19 +279,18 @@ fn execute_tile(
         MeasureConvention::ViaEdgeCenters => via_measure_points(&owned_targets),
         MeasureConvention::MetalSpacing(s) => metal_measure_points(&owned_targets, s),
     };
-    let epe = measure_epe(&aerial, engine.threshold(), &sites, config.epe_search);
+    let epe = measure_epe(aerial, engine.threshold(), &sites, config.epe_search);
 
-    let outer =
-        aerial.binarize(engine.effective_threshold(ProcessCondition::outer(config.dose_delta)));
-    let inner_aerial = engine
-        .aerial_image_defocused(&raster)
-        .map_err(|e| RuntimeError::Tile {
-            tile: tile.index,
-            source: e.into(),
-        })?;
-    let inner = inner_aerial
-        .binarize(engine.effective_threshold(ProcessCondition::inner(config.dose_delta)));
-    let pvb_nm2 = core_pvb(&outer, &inner, tile);
+    // Core-restricted PV band on the raw aerials: thresholding is fused
+    // into the count (`binarize` maps `v >= t` to 1.0, so comparing
+    // `v >= t` directly is exact).
+    let pvb_nm2 = core_pvb(
+        aerial,
+        engine.effective_threshold(ProcessCondition::outer(config.dose_delta)),
+        inner_aerial,
+        engine.effective_threshold(ProcessCondition::inner(config.dose_delta)),
+        tile,
+    );
 
     // Stitchable shapes, chip coordinates: every owned main, plus SRAFs
     // whose centre falls in the core under the partitioner's half-open
@@ -361,10 +368,18 @@ fn stitched(
     }
 }
 
-/// PV-band area restricted to the tile's core, nm². Pixel membership is
-/// by pixel centre, so the disjoint cores of a partition count every seam
-/// pixel exactly once across tiles.
-fn core_pvb(outer: &Grid, inner: &Grid, tile: &Tile) -> f64 {
+/// PV-band area restricted to the tile's core, nm², computed directly on
+/// the raw outer/inner aerial images with their effective print thresholds
+/// (equivalent to binarizing both and XOR-counting, without materialising
+/// the binary grids). Pixel membership is by pixel centre, so the disjoint
+/// cores of a partition count every seam pixel exactly once across tiles.
+fn core_pvb(
+    outer: &Grid,
+    outer_threshold: f64,
+    inner: &Grid,
+    inner_threshold: f64,
+    tile: &Tile,
+) -> f64 {
     let pitch = outer.pitch();
     let px = pitch * pitch;
     // Core in window coordinates.
@@ -385,7 +400,7 @@ fn core_pvb(outer: &Grid, inner: &Grid, tile: &Tile) -> f64 {
             }
             let a = outer.get(ix, iy).unwrap_or(0.0);
             let b = inner.get(ix, iy).unwrap_or(0.0);
-            if (a > 0.5) != (b > 0.5) {
+            if (a >= outer_threshold) != (b >= inner_threshold) {
                 count += 1;
             }
         }

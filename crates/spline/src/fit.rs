@@ -70,36 +70,82 @@ pub struct FitResult {
 ///
 /// Panics when `points` is empty or `n == 0`.
 pub fn resample_closed(points: &[Point], n: usize) -> Vec<Point> {
+    let mut out = Vec::new();
+    resample_closed_into(points, n, &mut out);
+    out
+}
+
+/// [`resample_closed`] writing into a caller-owned buffer (cleared first) —
+/// the fitting loop resamples every contour twice per shape, so the
+/// reusable form avoids two fresh `Vec<Point>` allocations each time.
+///
+/// Both the arc-length targets and the segment starts advance
+/// monotonically, so one merge-walk over the loop's segments replaces the
+/// cumulative-length table the allocating version used to build. The
+/// partial sums accumulate in the same left-to-right order, so the samples
+/// are identical.
+///
+/// # Panics
+///
+/// Panics when `points` is empty or `n == 0`.
+pub fn resample_closed_into(points: &[Point], n: usize, out: &mut Vec<Point>) {
     assert!(!points.is_empty(), "cannot resample an empty polyline");
     assert!(n > 0, "need at least one sample");
+    out.clear();
     let m = points.len();
-    // Cumulative arc length over the closed loop.
-    let mut cum = Vec::with_capacity(m + 1);
-    cum.push(0.0);
+    let mut total = 0.0;
     for i in 0..m {
-        let d = points[i].distance(points[(i + 1) % m]);
-        cum.push(cum[i] + d);
+        total += points[i].distance(points[(i + 1) % m]);
     }
-    let total = *cum.last().expect("nonempty");
     if total <= 0.0 {
-        return vec![points[0]; n];
+        out.resize(n, points[0]);
+        return;
     }
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
+    // Walk state: segment `seg` spans [start, end) in cumulative arc length.
     let mut seg = 0usize;
+    let mut start = 0.0;
+    let mut end = points[0].distance(points[1 % m]);
     for k in 0..n {
         let target = total * k as f64 / n as f64;
-        while seg + 1 < cum.len() && cum[seg + 1] < target {
+        while seg + 1 < m && end < target {
             seg += 1;
+            start = end;
+            end += points[seg].distance(points[(seg + 1) % m]);
         }
-        let seg_len = cum[seg + 1] - cum[seg];
+        let seg_len = end - start;
         let t = if seg_len <= 0.0 {
             0.0
         } else {
-            (target - cum[seg]) / seg_len
+            (target - start) / seg_len
         };
-        out.push(points[seg % m].lerp(points[(seg + 1) % m], t));
+        out.push(points[seg].lerp(points[(seg + 1) % m], t));
     }
-    out
+}
+
+/// Reusable buffers for [`fit_contour_with`] — control/reference samples,
+/// the per-reference sampling plan, and the Adam optimiser state. One
+/// scratch per worker lets the hybrid flow fit thousands of contours with
+/// no per-shape allocation beyond the returned spline itself.
+///
+/// Every buffer is fully re-initialised per contour, so results never
+/// depend on what a scratch fitted before (this is what makes pool-parallel
+/// fitting independent of the worker count).
+#[derive(Clone, Debug, Default)]
+pub struct FitScratch {
+    q: Vec<Point>,
+    r: Vec<Point>,
+    plan: Vec<(usize, f64, [f64; 4])>,
+    m: Vec<Point>,
+    v: Vec<f64>,
+    grad: Vec<Point>,
+}
+
+impl FitScratch {
+    /// An empty scratch; buffers grow lazily on first use.
+    pub fn new() -> FitScratch {
+        FitScratch::default()
+    }
 }
 
 /// Fits a closed cardinal spline to a traced contour (Algorithm 1).
@@ -126,6 +172,21 @@ pub fn resample_closed(points: &[Point], n: usize) -> Vec<Point> {
 /// # Ok::<(), cardopc_spline::SplineError>(())
 /// ```
 pub fn fit_contour(contour: &Polygon, config: &FitConfig) -> Result<FitResult, SplineError> {
+    fit_contour_with(contour, config, &mut FitScratch::new())
+}
+
+/// [`fit_contour`] with caller-owned scratch buffers — the form the hybrid
+/// flow's pool workers use so the Adam loop allocates nothing per contour
+/// (only the returned spline's control points are freshly allocated).
+///
+/// # Errors
+///
+/// Same as [`fit_contour`].
+pub fn fit_contour_with(
+    contour: &Polygon,
+    config: &FitConfig,
+    scratch: &mut FitScratch,
+) -> Result<FitResult, SplineError> {
     if !(0.0..=1.0).contains(&config.control_ratio)
         || config.control_ratio <= 0.0
         || !(0.0..=1.0).contains(&config.reference_ratio)
@@ -145,8 +206,16 @@ pub fn fit_contour(contour: &Polygon, config: &FitConfig) -> Result<FitResult, S
         .max(config.min_control_points.max(3));
     let n_r = ((boundary.len() as f64 * config.reference_ratio).round() as usize).max(n_q);
 
-    let mut q = resample_closed(boundary, n_q);
-    let r = resample_closed(boundary, n_r);
+    let FitScratch {
+        q,
+        r,
+        plan,
+        m,
+        v,
+        grad,
+    } = scratch;
+    resample_closed_into(boundary, n_q, q);
+    resample_closed_into(boundary, n_r, r);
 
     // Sampling plan: reference k pairs with spline parameter
     // u_k = k · n_q / n_r over the closed parameter domain [0, n_q).
@@ -154,44 +223,34 @@ pub fn fit_contour(contour: &Polygon, config: &FitConfig) -> Result<FitResult, S
     // When n_r is an exact multiple of n_q the parameters land on the
     // uniform per-segment grid, so the process-wide cached [`SamplingPlan`]
     // supplies the weights instead of recomputing them per reference point.
-    let plan: Vec<(usize, f64, [f64; 4])> = if n_r.is_multiple_of(n_q) {
+    plan.clear();
+    if n_r.is_multiple_of(n_q) {
         let per = n_r / n_q;
         let shared = SamplingPlan::get(per, config.tension);
-        (0..n_r)
-            .map(|k| (k / per, shared.ts()[k % per], shared.weights()[k % per]))
-            .collect()
+        plan.extend((0..n_r).map(|k| (k / per, shared.ts()[k % per], shared.weights()[k % per])));
     } else {
-        (0..n_r)
-            .map(|k| {
-                let u = k as f64 * n_q as f64 / n_r as f64;
-                let seg = (u.floor() as usize).min(n_q - 1);
-                let t = u - seg as f64;
-                (seg, t, CardinalSpline::basis_weights(config.tension, t))
-            })
-            .collect()
-    };
+        plan.extend((0..n_r).map(|k| {
+            let u = k as f64 * n_q as f64 / n_r as f64;
+            let seg = (u.floor() as usize).min(n_q - 1);
+            let t = u - seg as f64;
+            (seg, t, CardinalSpline::basis_weights(config.tension, t))
+        }));
+    }
 
-    let loss_of = |q: &[Point]| -> f64 {
-        let mut acc = 0.0;
-        for (k, &(seg, _t, w)) in plan.iter().enumerate() {
-            let p = interp(q, seg, &w);
-            acc += p.distance_sq(r[k]);
-        }
-        acc / n_r as f64
-    };
+    let initial_loss = plan_loss(plan, r, q);
 
-    let initial_loss = loss_of(&q);
-
-    // Adam state.
-    let mut m = vec![Point::ZERO; n_q];
-    let mut v = vec![0.0f64; n_q];
+    // Adam state, re-zeroed per contour.
+    m.clear();
+    m.resize(n_q, Point::ZERO);
+    v.clear();
+    v.resize(n_q, 0.0);
+    grad.resize(n_q, Point::ZERO);
     let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
 
-    let mut grad = vec![Point::ZERO; n_q];
     for step in 1..=config.iterations {
         grad.fill(Point::ZERO);
         for (k, &(seg, _t, w)) in plan.iter().enumerate() {
-            let p = interp(&q, seg, &w);
+            let p = interp(q, seg, &w);
             let residual = (p - r[k]) * (2.0 / n_r as f64);
             for (j, &wj) in w.iter().enumerate() {
                 let idx = wrap(seg as isize + j as isize - 1, n_q);
@@ -207,14 +266,25 @@ pub fn fit_contour(contour: &Polygon, config: &FitConfig) -> Result<FitResult, S
         }
     }
 
-    let final_loss = loss_of(&q);
-    let spline = CardinalSpline::closed(q, config.tension)?;
+    let final_loss = plan_loss(plan, r, q);
+    let spline = CardinalSpline::closed(q.clone(), config.tension)?;
     Ok(FitResult {
         spline,
         initial_loss,
         final_loss,
         iterations: config.iterations,
     })
+}
+
+/// Mean squared distance between the spline sampled by `plan` over control
+/// points `q` and the reference samples `r`.
+fn plan_loss(plan: &[(usize, f64, [f64; 4])], r: &[Point], q: &[Point]) -> f64 {
+    let mut acc = 0.0;
+    for (k, &(seg, _t, w)) in plan.iter().enumerate() {
+        let p = interp(q, seg, &w);
+        acc += p.distance_sq(r[k]);
+    }
+    acc / r.len() as f64
 }
 
 #[inline]

@@ -42,5 +42,8 @@ mod plan;
 pub use bezier::BezierChain;
 pub use cardinal::CardinalSpline;
 pub use error::SplineError;
-pub use fit::{fit_contour, FitConfig, FitResult};
+pub use fit::{
+    fit_contour, fit_contour_with, resample_closed, resample_closed_into, FitConfig, FitResult,
+    FitScratch,
+};
 pub use plan::SamplingPlan;

@@ -2,7 +2,8 @@
 
 use cardopc_geometry::{Point, Polygon, SplitMix64};
 use cardopc_spline::{
-    fit::resample_closed, fit_contour, BezierChain, CardinalSpline, FitConfig, SamplingPlan,
+    fit::resample_closed, fit_contour, fit_contour_with, BezierChain, CardinalSpline, FitConfig,
+    FitScratch, SamplingPlan,
 };
 use proptest::prelude::*;
 
@@ -176,5 +177,25 @@ proptest! {
         let w = CardinalSpline::basis_weights(s, t);
         let sum: f64 = w.iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    /// Fitting with a scratch dirtied by a previous (different-sized)
+    /// contour is bitwise identical to fitting with a fresh scratch — the
+    /// guarantee pool-parallel fitting relies on for worker-count
+    /// independence.
+    #[test]
+    fn fit_scratch_reuse_is_stateless(seed in 0u64..50, n1 in 24usize..96, n2 in 24usize..96) {
+        let first: Polygon = star_points(seed, n1).into_iter().collect();
+        let second: Polygon = star_points(seed.wrapping_add(1), n2).into_iter().collect();
+        prop_assume!(first.len() >= 3 && second.len() >= 3);
+        let cfg = FitConfig { iterations: 30, ..FitConfig::default() };
+
+        let mut scratch = FitScratch::new();
+        let _ = fit_contour_with(&first, &cfg, &mut scratch); // dirty the buffers
+        let reused = fit_contour_with(&second, &cfg, &mut scratch).unwrap();
+        let fresh = fit_contour(&second, &cfg).unwrap();
+        prop_assert_eq!(reused.spline.control_points(), fresh.spline.control_points());
+        prop_assert_eq!(reused.initial_loss, fresh.initial_loss);
+        prop_assert_eq!(reused.final_loss, fresh.final_loss);
     }
 }
