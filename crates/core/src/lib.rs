@@ -21,6 +21,8 @@
 //! | [`opc`] | the CardOPC flow and rectilinear baselines |
 //! | [`ilt`] | pixel ILT and the ILT-OPC hybrid flow |
 //! | [`runtime`] | tiled full-chip runtime: halo partitioning, scheduling, checkpoint/resume |
+//! | [`json`] | dependency-free JSON used by checkpoints, manifests, and the service wire format |
+//! | [`serve`] | HTTP correction service: bounded admission, job lifecycle, metrics, drain |
 //!
 //! ## Quickstart
 //!
@@ -44,11 +46,13 @@
 
 pub use cardopc_geometry as geometry;
 pub use cardopc_ilt as ilt;
+pub use cardopc_json as json;
 pub use cardopc_layout as layout;
 pub use cardopc_litho as litho;
 pub use cardopc_mrc as mrc;
 pub use cardopc_opc as opc;
 pub use cardopc_runtime as runtime;
+pub use cardopc_serve as serve;
 pub use cardopc_spline as spline;
 
 /// One-import convenience module with the names most programs need.
@@ -62,7 +66,11 @@ pub mod prelude {
         engine_for_extent, evaluate_mask, CardOpc, MeasureConvention, OpcConfig, RectOpc,
         RectOpcConfig,
     };
-    pub use crate::runtime::{run_clip, RunConfig, RunManifest, RuntimeError, TilingConfig};
+    pub use crate::runtime::{
+        run_clip, run_clip_controlled, RunConfig, RunControl, RunHandle, RunManifest, RuntimeError,
+        TilingConfig,
+    };
+    pub use crate::serve::{ServeConfig, Server};
     pub use crate::spline::{fit_contour, BezierChain, CardinalSpline, FitConfig};
 }
 

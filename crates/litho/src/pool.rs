@@ -178,6 +178,15 @@ impl WorkerPool {
         self.parallelism
     }
 
+    /// The parallelism [`WorkerPool::global`] resolves to:
+    /// `CARDOPC_THREADS` when set to a positive integer, otherwise the
+    /// machine's available parallelism. Exposed so embedders (the
+    /// `cardopc` CLI and `cardopc-serve`) can document and implement
+    /// thread-count precedence against the same source of truth.
+    pub fn configured_parallelism() -> usize {
+        configured_parallelism()
+    }
+
     /// Runs `f(0..tasks)` across the pool, returning when every task has
     /// finished. Tasks are claimed dynamically in ascending index order.
     ///

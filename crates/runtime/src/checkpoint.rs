@@ -326,29 +326,50 @@ fn parse_metrics(v: &Json) -> Result<TileMetrics, String> {
 
 // ------------------------------------------------------------- run dir
 
-/// A checkpoint directory: `tiles.jsonl` (appended as tiles finish) and
-/// `manifest.json` (written on completion).
+/// A checkpoint directory: `tiles.jsonl` (appended as tiles finish),
+/// `manifest.json` (written on completion), and `run.lock` (held while
+/// this process owns the directory).
+///
+/// The lock prevents two processes — e.g. a `cardopc` CLI invocation and
+/// a `cardopc-serve` job — from appending to the same `tiles.jsonl`
+/// concurrently, which would interleave torn lines. It is a PID file
+/// acquired with an atomic create; a lock left behind by a dead process
+/// (the PID no longer runs) is reclaimed with a warning, so crashed runs
+/// never wedge their directory. The lock is released when the [`RunDir`]
+/// is dropped.
 #[derive(Debug)]
 pub struct RunDir {
     root: PathBuf,
+    /// The lock file owned by this handle, removed on drop.
+    lock: Option<PathBuf>,
 }
 
 impl RunDir {
-    /// Opens (creating if needed) a run directory.
+    /// Opens (creating if needed) a run directory and acquires its lock.
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::Io`] when the directory cannot be created.
+    /// [`RuntimeError::Io`] when the directory cannot be created, or
+    /// [`RuntimeError::Locked`] when another live process holds the lock.
     pub fn open(root: impl Into<PathBuf>) -> Result<RunDir, RuntimeError> {
         let root = root.into();
         std::fs::create_dir_all(&root)
             .map_err(|e| RuntimeError::Io(format!("create {}: {e}", root.display())))?;
-        Ok(RunDir { root })
+        let lock = acquire_lock(&root)?;
+        Ok(RunDir {
+            root,
+            lock: Some(lock),
+        })
     }
 
     /// The directory path.
     pub fn path(&self) -> &Path {
         &self.root
+    }
+
+    /// The lock file path.
+    pub fn lock_path(&self) -> PathBuf {
+        self.root.join("run.lock")
     }
 
     /// The JSONL checkpoint file path.
@@ -431,6 +452,85 @@ impl RunDir {
         std::fs::write(&tmp, json)
             .and_then(|()| std::fs::rename(&tmp, &path))
             .map_err(|e| RuntimeError::Io(format!("write {}: {e}", path.display())))
+    }
+}
+
+impl Drop for RunDir {
+    fn drop(&mut self) {
+        if let Some(lock) = self.lock.take() {
+            // Best effort: a failed removal leaves a stale lock that the
+            // next opener reclaims (our PID is gone by then).
+            let _ = std::fs::remove_file(lock);
+        }
+    }
+}
+
+/// Acquires `root/run.lock` with an atomic create-new, reclaiming locks
+/// whose owning PID is no longer alive.
+fn acquire_lock(root: &Path) -> Result<PathBuf, RuntimeError> {
+    let path = root.join("run.lock");
+    // Two attempts: acquire, or (reclaim stale then) acquire.
+    for attempt in 0..2 {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                // PID written best-effort: an unreadable/empty lock is
+                // treated as stale by later openers.
+                let _ = writeln!(file, "{}", std::process::id());
+                return Ok(path);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let owner = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match owner {
+                    Some(pid) if pid_alive(pid) => {
+                        return Err(RuntimeError::Locked {
+                            path: path.display().to_string(),
+                            pid,
+                        });
+                    }
+                    _ => {
+                        if attempt == 1 {
+                            // Lost the reclaim race to another process
+                            // that is now live.
+                            return Err(RuntimeError::Locked {
+                                path: path.display().to_string(),
+                                pid: owner.unwrap_or(0),
+                            });
+                        }
+                        eprintln!(
+                            "cardopc: reclaiming stale run lock {} (owner {} is gone)",
+                            path.display(),
+                            owner.map_or_else(|| "<unreadable>".into(), |p| p.to_string()),
+                        );
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
+            }
+            Err(e) => {
+                return Err(RuntimeError::Io(format!("lock {}: {e}", path.display())));
+            }
+        }
+    }
+    unreachable!("lock acquisition loop returns on every branch")
+}
+
+/// Whether a PID refers to a live process. The runtime's own PID is
+/// always live; other PIDs are probed via `/proc` where available and
+/// conservatively assumed live elsewhere (a false "live" merely refuses
+/// the lock, never corrupts the checkpoint file).
+fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
     }
 }
 
@@ -517,6 +617,46 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[&3], a);
         assert_eq!(records[&5], b);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_dir_lock_excludes_second_opener() {
+        let dir = std::env::temp_dir().join(format!("cardopc-lock-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = RunDir::open(&dir).unwrap();
+        assert!(run.lock_path().exists());
+
+        // A second opener in the same (live) process is refused.
+        match RunDir::open(&dir) {
+            Err(RuntimeError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+
+        // Dropping the handle releases the lock.
+        drop(run);
+        let reopened = RunDir::open(&dir).expect("lock must be released on drop");
+        drop(reopened);
+        assert!(!dir.join("run.lock").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn stale_and_unreadable_locks_are_reclaimed() {
+        let dir = std::env::temp_dir().join(format!("cardopc-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A lock held by a long-dead PID (Linux pid_max < 2^22) is stale.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("run.lock"), "999999999\n").unwrap();
+        let run = RunDir::open(&dir).expect("stale lock must be reclaimed");
+        drop(run);
+
+        // An unreadable lock (no PID) is treated as stale too.
+        std::fs::write(dir.join("run.lock"), "not a pid").unwrap();
+        let run = RunDir::open(&dir).expect("unreadable lock must be reclaimed");
+        drop(run);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

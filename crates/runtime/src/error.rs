@@ -22,6 +22,14 @@ pub enum RuntimeError {
     Io(String),
     /// A runtime configuration value is unusable.
     InvalidConfig(&'static str),
+    /// The run directory is locked by another live process (e.g. a CLI
+    /// run and a serve job pointed at the same `--run-dir`).
+    Locked {
+        /// The lock file path.
+        path: String,
+        /// PID of the live owner (0 when the lock file was unreadable).
+        pid: u32,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -31,6 +39,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Litho(e) => write!(f, "lithography error: {e}"),
             RuntimeError::Io(msg) => write!(f, "run directory i/o failed: {msg}"),
             RuntimeError::InvalidConfig(what) => write!(f, "invalid runtime config: {what}"),
+            RuntimeError::Locked { path, pid } => {
+                write!(f, "run directory locked by live process {pid} ({path})")
+            }
         }
     }
 }

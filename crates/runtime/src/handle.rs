@@ -1,0 +1,245 @@
+//! Library-level run control: progress observation, cooperative
+//! cancellation, and cross-run litho engine sharing.
+//!
+//! The PR-3 runtime buried "watch a run" and "stop a run" in the
+//! `cardopc` binary (stdout logging, Ctrl-C killing the process and
+//! relying on checkpoint resume). Long-lived embedders — the
+//! `cardopc-serve` correction service foremost — need those as library
+//! concepts instead:
+//!
+//! * [`RunControl`] bundles the optional hooks a caller can attach to
+//!   [`run_clip_controlled`](crate::run_clip_controlled) /
+//!   [`run_tiles_controlled`](crate::schedule::run_tiles_controlled).
+//! * [`RunHandle`] is a cheaply clonable cancellation token. Cancellation
+//!   is cooperative and checked at **tile boundaries**: tiles already in
+//!   flight finish (and are checkpointed), no new tiles are claimed, and
+//!   the run returns an incomplete-but-resumable outcome.
+//! * [`TileEvent`] is emitted once per finished tile (resumed or
+//!   executed), mirroring the checkpoint record stream 1:1 — a progress
+//!   observer sees exactly what `tiles.jsonl` receives.
+//! * [`EngineCache`] lets *different* runs share calibrated
+//!   [`LithoEngine`]s. Engines are immutable after calibration (every
+//!   litho entry point takes `&self`), so sharing cannot perturb results:
+//!   a tile corrected against a cached engine is bit-identical to one
+//!   corrected against a freshly built engine of the same extent.
+
+use cardopc_litho::LithoEngine;
+use cardopc_opc::OpcError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Engine identity: `(width nm bits, height nm bits, pitch nm bits)` of
+/// the window the engine was calibrated for.
+pub type EngineKey = (u64, u64, u64);
+
+/// One progress event: a tile finished (executed or resumed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TileEvent {
+    /// Tile index within the partition.
+    pub tile: usize,
+    /// Tile name (`clip:txxty`).
+    pub name: String,
+    /// `true` when the tile was reused from a checkpoint record.
+    pub resumed: bool,
+    /// Wall seconds spent correcting the tile (the checkpointed value for
+    /// resumed tiles).
+    pub seconds: f64,
+    /// Tiles finished so far, including this one.
+    pub completed: usize,
+    /// Total tiles in the partition.
+    pub total: usize,
+}
+
+/// A cooperative cancellation token, checked at tile boundaries.
+///
+/// Clones share the same flag; any clone can cancel. Cancelling an
+/// already-finished run is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct RunHandle {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl RunHandle {
+    /// A fresh, not-yet-cancelled handle.
+    pub fn new() -> RunHandle {
+        RunHandle::default()
+    }
+
+    /// Requests cancellation: the run stops claiming tiles, finishes (and
+    /// checkpoints) the tiles already in flight, and returns incomplete.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// A calibrated-engine cache shared across runs.
+///
+/// The scheduler keys engines per pool *slot* so that, within one run,
+/// each executor finds its engine without touching a lock on the hot
+/// path; the cache preserves that sharding (one mutexed map per slot) so
+/// a server running jobs back to back — or two jobs concurrently — reuses
+/// kernels instead of re-deriving them per job. Engines are handed out as
+/// [`Arc`]s and never mutated, so sharing is invisible to results.
+#[derive(Debug)]
+pub struct EngineCache {
+    slots: Vec<Mutex<HashMap<EngineKey, Arc<LithoEngine>>>>,
+}
+
+impl EngineCache {
+    /// A cache with `slots` independent shards (use the worker pool's
+    /// parallelism; a smaller count still works — slots wrap around).
+    pub fn new(slots: usize) -> EngineCache {
+        EngineCache {
+            slots: (0..slots.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total engines currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(|s| self.lock(s).len()).sum()
+    }
+
+    /// Whether no engine is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the engine for `key` in shard `slot`, building (and
+    /// caching) it with `build` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` returns; failures are not cached.
+    pub fn get_or_build(
+        &self,
+        slot: usize,
+        key: EngineKey,
+        build: impl FnOnce() -> Result<LithoEngine, OpcError>,
+    ) -> Result<Arc<LithoEngine>, OpcError> {
+        let shard = &self.slots[slot % self.slots.len()];
+        // Fast path: already built.
+        if let Some(engine) = self.lock(shard).get(&key) {
+            return Ok(Arc::clone(engine));
+        }
+        // Build outside the lock (kernel derivation is the expensive
+        // part); a concurrent builder of the same key may win the insert,
+        // in which case its engine is kept and ours dropped — both are
+        // deterministic functions of `key`, so either is correct.
+        let engine = Arc::new(build()?);
+        let mut map = self.lock(shard);
+        Ok(Arc::clone(map.entry(key).or_insert(engine)))
+    }
+
+    fn lock<'a>(
+        &self,
+        shard: &'a Mutex<HashMap<EngineKey, Arc<LithoEngine>>>,
+    ) -> std::sync::MutexGuard<'a, HashMap<EngineKey, Arc<LithoEngine>>> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Optional hooks threaded through a controlled run.
+///
+/// The default value reproduces the PR-3 behaviour exactly: no progress
+/// reporting, no cancellation, run-local engines.
+#[derive(Clone, Copy, Default)]
+pub struct RunControl<'a> {
+    /// Called once per finished tile (resumed tiles first, then executed
+    /// tiles as they complete). Invoked from scheduler threads — keep it
+    /// cheap and non-blocking.
+    pub progress: Option<&'a (dyn Fn(&TileEvent) + Sync)>,
+    /// Cooperative cancellation token.
+    pub handle: Option<&'a RunHandle>,
+    /// Shared engine cache; `None` builds engines run-locally (and drops
+    /// them when the run ends).
+    pub engines: Option<&'a EngineCache>,
+}
+
+impl std::fmt::Debug for RunControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunControl")
+            .field("progress", &self.progress.is_some())
+            .field("handle", &self.handle.is_some())
+            .field("engines", &self.engines.is_some())
+            .finish()
+    }
+}
+
+impl RunControl<'_> {
+    /// Whether the attached handle (if any) has been cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.handle.is_some_and(RunHandle::is_cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_clones_share_the_flag() {
+        let h = RunHandle::new();
+        let clone = h.clone();
+        assert!(!h.is_cancelled());
+        clone.cancel();
+        assert!(h.is_cancelled());
+        assert!(RunControl {
+            handle: Some(&h),
+            ..RunControl::default()
+        }
+        .cancelled());
+        assert!(!RunControl::default().cancelled());
+    }
+
+    #[test]
+    fn engine_cache_builds_once_per_slot_and_key() {
+        let cache = EngineCache::new(2);
+        let mut builds = 0;
+        let key = (1024f64.to_bits(), 1024f64.to_bits(), 16f64.to_bits());
+        for _ in 0..3 {
+            let engine = cache
+                .get_or_build(0, key, || {
+                    builds += 1;
+                    cardopc_opc::engine_for_extent(1024.0, 1024.0, 16.0)
+                })
+                .unwrap();
+            assert_eq!(engine.width(), 64);
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.len(), 1);
+        // A different slot is an independent shard.
+        cache
+            .get_or_build(1, key, || {
+                cardopc_opc::engine_for_extent(1024.0, 1024.0, 16.0)
+            })
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        // Slot indices wrap.
+        cache
+            .get_or_build(2, key, || panic!("slot 2 wraps onto slot 0's shard"))
+            .unwrap();
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn engine_cache_build_failures_are_not_cached() {
+        let cache = EngineCache::new(1);
+        let key = (1.0f64.to_bits(), 1.0f64.to_bits(), 1.0f64.to_bits());
+        let err = cache.get_or_build(0, key, || cardopc_opc::engine_for_extent(1e9, 1e9, 1.0));
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -22,11 +22,17 @@
 //! 5. **Manifest** ([`RunManifest`]): per-tile and aggregate statistics,
 //!    renderable as a table or JSON; the timing-free JSON form is
 //!    byte-identical across reruns and resumes of the same input.
+//! 6. **Control** ([`RunControl`]): long-lived embedders attach per-tile
+//!    progress callbacks, a cooperative [`RunHandle`] cancellation token
+//!    (checked at tile boundaries, so cancelled runs stay resumable), and
+//!    a cross-run [`EngineCache`] via [`run_clip_controlled`].
 //!
-//! The `cardopc` binary wraps this into a command-line runner.
+//! The `cardopc` binary (in the `cardopc-serve` crate) wraps this into a
+//! command-line runner and an HTTP correction service.
 
 pub mod checkpoint;
 mod error;
+pub mod handle;
 pub mod json;
 pub mod manifest;
 pub mod partition;
@@ -35,9 +41,10 @@ pub mod stitch;
 
 pub use checkpoint::{tile_input_hash, RunDir, StitchedShape, TileMetrics, TileRecord};
 pub use error::RuntimeError;
+pub use handle::{EngineCache, RunControl, RunHandle, TileEvent};
 pub use manifest::{Aggregate, RunManifest, TileSummary};
 pub use partition::{partition_clip, Partition, Tile, TilingConfig};
-pub use schedule::{run_tiles, ScheduleOutcome, TileResult};
+pub use schedule::{run_tiles, run_tiles_controlled, ScheduleOutcome, TileResult};
 pub use stitch::{seam_bands, stitch, Stitched};
 
 use cardopc_layout::Clip;
@@ -86,6 +93,9 @@ pub struct RunOutcome {
     pub results: Vec<TileResult>,
     /// `true` when every tile of the partition completed.
     pub complete: bool,
+    /// `true` when the run stopped early because its [`RunHandle`] was
+    /// cancelled (the checkpointed tiles make it resumable).
+    pub cancelled: bool,
 }
 
 /// Runs the tiled flow end to end: partition → (resume) → schedule →
@@ -107,6 +117,29 @@ pub fn run_clip(
     config: &RunConfig,
     pool: &WorkerPool,
 ) -> Result<RunOutcome, RuntimeError> {
+    run_clip_controlled(clip, config, pool, &RunControl::default())
+}
+
+/// [`run_clip`] with [`RunControl`] hooks attached: per-tile progress
+/// callbacks, cooperative cancellation (checked at tile boundaries — a
+/// cancelled run checkpoints its finished tiles and returns an
+/// incomplete, resumable outcome), and an optional cross-run
+/// [`EngineCache`]. This is the entry point long-lived embedders such as
+/// `cardopc-serve` drive; `run_clip` is this with no hooks.
+///
+/// # Errors
+///
+/// See [`run_clip`].
+///
+/// # Panics
+///
+/// See [`run_clip`].
+pub fn run_clip_controlled(
+    clip: &Clip,
+    config: &RunConfig,
+    pool: &WorkerPool,
+    control: &RunControl<'_>,
+) -> Result<RunOutcome, RuntimeError> {
     let start = std::time::Instant::now();
     let flow = CardOpc::new(config.opc.clone());
     let partition = partition_clip(clip, &config.tiling)?;
@@ -124,13 +157,14 @@ pub fn run_clip(
         None => None,
     };
 
-    let outcome = run_tiles(
+    let outcome = run_tiles_controlled(
         &partition,
         &flow,
         pool,
         &checkpoints,
         config.max_tiles,
         sink.as_mut(),
+        control,
     )?;
     let complete = outcome.remaining == 0;
 
@@ -162,6 +196,7 @@ pub fn run_clip(
     Ok(RunOutcome {
         manifest,
         stitched,
+        cancelled: outcome.cancelled,
         results: outcome.results,
         complete,
     })

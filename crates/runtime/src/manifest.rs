@@ -334,7 +334,6 @@ mod tests {
                 pvb_nm2: 100.0,
                 mrc_initial: 1,
                 mrc_remaining: 0,
-                ..TileMetrics::default()
             },
             seconds,
         };
@@ -352,6 +351,7 @@ mod tests {
             executed: 1,
             resumed: 1,
             remaining: 0,
+            cancelled: false,
             tile_seconds: 1.0,
         };
         (partition, sched)

@@ -21,6 +21,7 @@
 //! care.
 
 use crate::checkpoint::{tile_input_hash, RunDir, StitchedShape, TileMetrics, TileRecord};
+use crate::handle::{EngineCache, EngineKey, RunControl, TileEvent};
 use crate::partition::{Partition, Tile};
 use crate::RuntimeError;
 use cardopc_geometry::{Grid, Point, Polygon};
@@ -29,7 +30,7 @@ use cardopc_litho::{ProcessCondition, WorkerPool};
 use cardopc_opc::{engine_for_extent, CardOpc, MeasureConvention, EPE_TOLERANCE};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Outcome of one tile: its checkpoint record, and whether it was resumed
 /// from a previous run rather than executed.
@@ -44,25 +45,30 @@ pub struct TileResult {
 /// The scheduler's result over a whole partition.
 #[derive(Clone, Debug, Default)]
 pub struct ScheduleOutcome {
-    /// Completed tiles sorted by tile index. With a tile budget this can
-    /// be a prefix of the partition (not necessarily contiguous: resumed
-    /// tiles are kept wherever they fall).
+    /// Completed tiles sorted by tile index. With a tile budget or a
+    /// cancelled run this can be a subset of the partition (not
+    /// necessarily contiguous: resumed tiles are kept wherever they fall).
     pub results: Vec<TileResult>,
     /// Tiles executed in this run.
     pub executed: usize,
     /// Tiles reused from checkpoints.
     pub resumed: usize,
-    /// Tiles left unfinished (tile budget exhausted).
+    /// Tiles left unfinished (tile budget exhausted or run cancelled).
     pub remaining: usize,
     /// Sum of per-tile wall seconds spent executing (not resumed) tiles.
     pub tile_seconds: f64,
+    /// `true` when the run stopped early because its [`RunHandle`]
+    /// (see [`crate::RunControl`]) was cancelled.
+    pub cancelled: bool,
 }
 
-/// Per-slot state: an engine cache keyed by `(width, height, pitch bits)`.
+/// Per-slot state: an engine memo keyed by `(width, height, pitch bits)`.
 /// Windows are uniform per run, so this holds one engine per slot, but the
-/// key keeps correctness if a future caller mixes extents.
+/// key keeps correctness if a future caller mixes extents. When a shared
+/// [`EngineCache`] is attached the memo holds `Arc`s into it (no lock on
+/// the per-tile hot path); otherwise the engines are run-local.
 struct Slot {
-    engines: HashMap<(usize, usize, u64), LithoEngine>,
+    engines: HashMap<EngineKey, Arc<LithoEngine>>,
     results: Vec<(usize, Result<TileRecord, RuntimeError>)>,
 }
 
@@ -87,10 +93,44 @@ pub fn run_tiles(
     max_tiles: Option<usize>,
     sink: Option<&mut std::fs::File>,
 ) -> Result<ScheduleOutcome, RuntimeError> {
+    run_tiles_controlled(
+        partition,
+        flow,
+        pool,
+        checkpoints,
+        max_tiles,
+        sink,
+        &RunControl::default(),
+    )
+}
+
+/// [`run_tiles`] with [`RunControl`] hooks: per-tile progress events,
+/// cooperative cancellation checked before each tile claim, and an
+/// optional cross-run engine cache.
+///
+/// Cancellation stops new tiles from being claimed; tiles already in
+/// flight finish and are checkpointed, so a cancelled run resumes exactly
+/// like a budget-limited one. The outcome's `cancelled` flag records that
+/// the handle fired.
+///
+/// # Errors
+///
+/// See [`run_tiles`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_tiles_controlled(
+    partition: &Partition,
+    flow: &CardOpc,
+    pool: &WorkerPool,
+    checkpoints: &HashMap<usize, TileRecord>,
+    max_tiles: Option<usize>,
+    sink: Option<&mut std::fs::File>,
+    control: &RunControl<'_>,
+) -> Result<ScheduleOutcome, RuntimeError> {
     let config = flow.config();
+    let total = partition.tiles.len();
 
     // Split tiles into resumable and to-run.
-    let mut results: Vec<TileResult> = Vec::with_capacity(partition.tiles.len());
+    let mut results: Vec<TileResult> = Vec::with_capacity(total);
     let mut todo: Vec<&Tile> = Vec::new();
     for tile in &partition.tiles {
         let hash = tile_input_hash(tile, config);
@@ -103,19 +143,29 @@ pub fn run_tiles(
         }
     }
     let resumed = results.len();
-    let remaining = match max_tiles {
-        Some(budget) => {
-            let executed = todo.len().min(budget);
-            todo.truncate(executed);
-            partition.tiles.len() - resumed - executed
+    if let Some(budget) = max_tiles {
+        todo.truncate(budget);
+    }
+
+    // Resumed tiles are "finished" before any correction work starts:
+    // report them first so an observer's completed counter is monotonic.
+    if let Some(progress) = control.progress {
+        for (done, r) in results.iter().enumerate() {
+            progress(&TileEvent {
+                tile: r.record.index,
+                name: r.record.name.clone(),
+                resumed: true,
+                seconds: r.record.seconds,
+                completed: done + 1,
+                total,
+            });
         }
-        None => 0,
-    };
-    let executed = todo.len();
+    }
 
     // Fan the to-run tiles over the pool: each slot claims tiles from the
-    // shared cursor until the list is drained.
+    // shared cursor until the list is drained or the run is cancelled.
     let cursor = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(resumed);
     let sink = Mutex::new(sink);
     let io_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
     let mut slots: Vec<Slot> = (0..pool.parallelism().max(1))
@@ -125,10 +175,21 @@ pub fn run_tiles(
         })
         .collect();
 
-    pool.run_with_slots(&mut slots, |_, slot| loop {
+    pool.run_with_slots(&mut slots, |slot_index, slot| loop {
+        if control.cancelled() {
+            return;
+        }
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         let Some(tile) = todo.get(i) else { return };
-        let outcome = execute_tile(tile, partition, flow, config, slot);
+        let outcome = execute_tile(
+            tile,
+            partition,
+            flow,
+            config,
+            slot,
+            slot_index,
+            control.engines,
+        );
         if let Ok(record) = &outcome {
             let mut guard = sink
                 .lock()
@@ -140,6 +201,17 @@ pub fn run_tiles(
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     io.get_or_insert(e);
                 }
+            }
+            drop(guard);
+            if let Some(progress) = control.progress {
+                progress(&TileEvent {
+                    tile: record.index,
+                    name: record.name.clone(),
+                    resumed: false,
+                    seconds: record.seconds,
+                    completed: completed.fetch_add(1, Ordering::AcqRel) + 1,
+                    total,
+                });
             }
         }
         slot.results.push((tile.index, outcome));
@@ -157,6 +229,7 @@ pub fn run_tiles(
     let mut executed_results: Vec<(usize, Result<TileRecord, RuntimeError>)> =
         slots.into_iter().flat_map(|s| s.results).collect();
     executed_results.sort_unstable_by_key(|(index, _)| *index);
+    let executed = executed_results.len();
     let mut tile_seconds = 0.0;
     for (_, outcome) in executed_results {
         let record = outcome?;
@@ -169,11 +242,12 @@ pub fn run_tiles(
     results.sort_unstable_by_key(|r| r.record.index);
 
     Ok(ScheduleOutcome {
+        remaining: total - resumed - executed,
         results,
         executed,
         resumed,
-        remaining,
         tile_seconds,
+        cancelled: control.cancelled(),
     })
 }
 
@@ -184,6 +258,8 @@ fn execute_tile(
     flow: &CardOpc,
     config: &cardopc_opc::OpcConfig,
     slot: &mut Slot,
+    slot_index: usize,
+    cache: Option<&EngineCache>,
 ) -> Result<TileRecord, RuntimeError> {
     let start = std::time::Instant::now();
     let input_hash = tile_input_hash(tile, config);
@@ -205,21 +281,25 @@ fn execute_tile(
         });
     }
 
-    let key = (
-        tile.clip.width().to_bits() as usize,
-        tile.clip.height().to_bits() as usize,
+    let key: EngineKey = (
+        tile.clip.width().to_bits(),
+        tile.clip.height().to_bits(),
         config.pitch.to_bits(),
     );
-    let engine = match slot.engines.entry(key) {
+    let engine: &LithoEngine = match slot.engines.entry(key) {
         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-        std::collections::hash_map::Entry::Vacant(v) => v.insert(
-            engine_for_extent(tile.clip.width(), tile.clip.height(), config.pitch).map_err(
-                |source| RuntimeError::Tile {
-                    tile: tile.index,
-                    source,
-                },
-            )?,
-        ),
+        std::collections::hash_map::Entry::Vacant(v) => {
+            let build = || engine_for_extent(tile.clip.width(), tile.clip.height(), config.pitch);
+            let engine = match cache {
+                Some(cache) => cache.get_or_build(slot_index, key, build),
+                None => build().map(Arc::new),
+            }
+            .map_err(|source| RuntimeError::Tile {
+                tile: tile.index,
+                source,
+            })?;
+            v.insert(engine)
+        }
     };
 
     let optimized = flow

@@ -1,32 +1,47 @@
-//! `cardopc` — command-line tiled full-chip OPC runner.
+//! `cardopc` — command-line tiled full-chip OPC runner and HTTP service.
 //!
-//! Runs the CardOPC flow over a (synthetic) large-scale design through
-//! the tiled runtime: partition into halo tiles, correct tiles over the
-//! worker pool, checkpoint each finished tile, stitch, and report a run
-//! manifest.
+//! **Run mode** (the default) corrects a (synthetic) large-scale design
+//! through the tiled runtime: partition into halo tiles, correct tiles
+//! over the worker pool, checkpoint each finished tile, stitch, and
+//! report a run manifest.
 //!
 //! ```text
-//! cargo run --release -p cardopc-runtime --bin cardopc -- \
+//! cargo run --release -p cardopc-serve --bin cardopc -- \
 //!     --design gcd --quick --run-dir out/gcd-quick
 //! ```
 //!
 //! Interrupted runs (Ctrl-C, crash, or a deliberate `--max-tiles` budget)
 //! resume from the run directory: tiles whose checkpoint records still
 //! match their input hash are skipped.
+//!
+//! **Serve mode** starts the HTTP correction service and blocks until a
+//! `POST /admin/drain` finishes the in-flight work:
+//!
+//! ```text
+//! cargo run --release -p cardopc-serve --bin cardopc -- \
+//!     serve --addr 127.0.0.1:8650 --run-root runs
+//! ```
+//!
+//! Worker-thread precedence (both modes): `--threads` beats `--workers`
+//! (run-mode legacy alias), which beats the `CARDOPC_THREADS` environment
+//! variable, which beats the auto-detected CPU count.
 
-use cardopc_layout::{design_tiles, Clip, DesignKind};
+use cardopc_layout::DesignKind;
 use cardopc_litho::WorkerPool;
 use cardopc_opc::OpcConfig;
 use cardopc_runtime::{run_clip, RunConfig, TilingConfig};
+use cardopc_serve::wire::build_clip;
+use cardopc_serve::{ServeConfig, Server};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-cardopc — tiled full-chip curvilinear OPC runner
+cardopc — tiled full-chip curvilinear OPC runner and HTTP service
 
 USAGE:
-    cardopc [OPTIONS]
+    cardopc [OPTIONS]            correct a design and exit
+    cardopc serve [OPTIONS]      run the HTTP correction service
 
-OPTIONS:
+RUN OPTIONS:
     --design <gcd|aes|dynamicnode>  synthetic design to correct [gcd]
     --design-tiles <N>              concatenate N 30x30 um design tiles [1]
     --crop <NM>                     crop a centred NM x NM window first
@@ -34,15 +49,29 @@ OPTIONS:
     --halo <NM>                     halo margin per side [1024]
     --pitch <NM>                    simulation pixel pitch [8]
     --iterations <N>                OPC iterations [10]
-    --workers <N>                   worker pool size [CARDOPC_THREADS/auto]
+    --threads <N>                   worker pool size (beats --workers and
+                                    CARDOPC_THREADS)
+    --workers <N>                   legacy alias for --threads
     --run-dir <PATH>                checkpoint + manifest directory
     --max-tiles <N>                 execute at most N tiles, then stop
     --quick                         small smoke preset: gcd, 2048 nm crop,
                                     1024 nm tiles, 512 nm halo, 4 iterations
     --help                          print this help
+
+SERVE OPTIONS:
+    --addr <HOST:PORT>              bind address [127.0.0.1:8650]; port 0
+                                    picks an ephemeral port
+    --max-queued <N>                queued-job bound; beyond it submissions
+                                    get 429 + Retry-After [16]
+    --max-inflight <N>              concurrent jobs [1]
+    --threads <N>                   worker pool size (beats CARDOPC_THREADS)
+    --run-root <PATH>               directory for job run_dir names [runs]
+
+THREADS:
+    --threads > --workers > CARDOPC_THREADS > auto-detected CPUs
 ";
 
-struct Args {
+struct RunArgs {
     design: DesignKind,
     design_tiles: usize,
     crop: Option<f64>,
@@ -50,14 +79,15 @@ struct Args {
     halo: f64,
     pitch: f64,
     iterations: usize,
+    threads: Option<usize>,
     workers: Option<usize>,
     run_dir: Option<String>,
     max_tiles: Option<usize>,
 }
 
-impl Args {
-    fn parse() -> Result<Args, String> {
-        let mut args = Args {
+impl RunArgs {
+    fn parse(it: &mut std::vec::IntoIter<String>) -> Result<RunArgs, String> {
+        let mut args = RunArgs {
             design: DesignKind::Gcd,
             design_tiles: 1,
             crop: None,
@@ -65,11 +95,11 @@ impl Args {
             halo: 1024.0,
             pitch: 8.0,
             iterations: 10,
+            threads: None,
             workers: None,
             run_dir: None,
             max_tiles: None,
         };
-        let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             let mut value = || {
                 it.next()
@@ -90,6 +120,7 @@ impl Args {
                 "--halo" => args.halo = parse_num(&flag, &value()?)?,
                 "--pitch" => args.pitch = parse_num(&flag, &value()?)?,
                 "--iterations" => args.iterations = parse_num(&flag, &value()?)?,
+                "--threads" => args.threads = Some(parse_num(&flag, &value()?)?),
                 "--workers" => args.workers = Some(parse_num(&flag, &value()?)?),
                 "--run-dir" => args.run_dir = Some(value()?),
                 "--max-tiles" => args.max_tiles = Some(parse_num(&flag, &value()?)?),
@@ -110,43 +141,80 @@ impl Args {
     }
 }
 
+struct ServeArgs {
+    config: ServeConfig,
+}
+
+impl ServeArgs {
+    fn parse(it: &mut std::vec::IntoIter<String>) -> Result<ServeArgs, String> {
+        let mut config = ServeConfig::default();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .ok_or_else(|| format!("{flag} expects a value\n\n{USAGE}"))
+            };
+            match flag.as_str() {
+                "--addr" => config.addr = value()?,
+                "--max-queued" => config.max_queued = parse_num(&flag, &value()?)?,
+                "--max-inflight" => config.max_inflight = parse_num(&flag, &value()?)?,
+                "--threads" => config.threads = Some(parse_num(&flag, &value()?)?),
+                "--run-root" => config.run_root = value()?.into(),
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+            }
+        }
+        Ok(ServeArgs { config })
+    }
+}
+
 fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
     raw.parse()
         .map_err(|_| format!("{flag}: cannot parse '{raw}'"))
 }
 
-/// Builds the input clip: `count` design tiles side by side, optionally
-/// cropped to a centred window.
-fn build_clip(kind: DesignKind, count: usize, crop: Option<f64>) -> Clip {
-    let tiles: Vec<Clip> = design_tiles(kind, count.max(1)).collect();
-    let tile_w = tiles[0].width();
-    let tile_h = tiles[0].height();
-    let mut shapes = Vec::new();
-    for (i, tile) in tiles.iter().enumerate() {
-        let dx = cardopc_geometry::Point::new(i as f64 * tile_w, 0.0);
-        shapes.extend(tile.targets().iter().map(|t| t.translated(dx)));
+fn main() -> ExitCode {
+    let mut it = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
+    if it.as_slice().first().map(String::as_str) == Some("serve") {
+        let _ = it.next();
+        return serve_main(&mut it);
     }
-    let clip = Clip::new(
-        format!("{}x{}", kind.name(), count.max(1)),
-        tile_w * count.max(1) as f64,
-        tile_h,
-        shapes,
-    );
-    match crop {
-        Some(size) => {
-            let origin = cardopc_geometry::Point::new(
-                ((clip.width() - size) * 0.5).max(0.0),
-                ((clip.height() - size) * 0.5).max(0.0),
-            );
-            let name = format!("{}@{}", clip.name(), size);
-            clip.crop_intersecting(origin, size, size, name)
-        }
-        None => clip,
-    }
+    run_main(&mut it)
 }
 
-fn main() -> ExitCode {
-    let args = match Args::parse() {
+/// Serve mode: start the service, print the bound address, block until a
+/// drain completes, exit 0.
+fn serve_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
+    let args = match ServeArgs::parse(it) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads = args
+        .config
+        .threads
+        .unwrap_or_else(WorkerPool::configured_parallelism);
+    let mut server = match Server::start(args.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cardopc serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The address line is machine-readable: CI starts the server on port
+    // 0 and scrapes the port from here.
+    println!("cardopc-serve listening on {}", server.local_addr());
+    eprintln!("cardopc serve: {threads} workers; POST /admin/drain to stop");
+    server.wait_drained();
+    server.shutdown();
+    eprintln!("cardopc serve: drained, exiting");
+    ExitCode::SUCCESS
+}
+
+/// Run mode: one correction, manifest to stdout.
+fn run_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
+    let args = match RunArgs::parse(it) {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("{msg}");
@@ -170,7 +238,8 @@ fn main() -> ExitCode {
     };
 
     let local_pool;
-    let pool = match args.workers {
+    // --threads beats --workers beats CARDOPC_THREADS (inside global()).
+    let pool = match args.threads.or(args.workers) {
         Some(n) => {
             local_pool = WorkerPool::new(n.max(1));
             &local_pool

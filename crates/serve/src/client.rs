@@ -1,0 +1,140 @@
+//! A tiny blocking HTTP client for tests, smoke scripts, and CI.
+//!
+//! Speaks exactly the subset the server does — one request per
+//! connection, `Content-Length` framing, `Connection: close` — so a test
+//! exercises the real wire path end to end without external tooling.
+
+use cardopc_json::Json;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// The parser's message for non-JSON bodies.
+    pub fn json(&self) -> Result<Json, String> {
+        Json::parse(&self.body_str())
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Connection/IO failures and unparseable responses.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    let raw = send_raw(addr, format!("{head}{body}").as_bytes())?;
+    parse_response(&raw)
+}
+
+/// `GET path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<HttpResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<HttpResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// Writes arbitrary bytes to the server and reads until the connection
+/// closes. The fuzz tests use this to deliver malformed requests that
+/// [`request`] could never produce.
+///
+/// # Errors
+///
+/// Connection/IO failures.
+pub fn send_raw(addr: SocketAddr, bytes: &[u8]) -> io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(bytes)?;
+    let _ = stream.flush();
+    // Half-close: the server sees EOF instead of waiting out its read
+    // timeout when `bytes` is a truncated request.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    Ok(response)
+}
+
+/// Splits a raw response into status, headers, and body.
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-utf8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}

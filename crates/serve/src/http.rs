@@ -1,0 +1,348 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! The build containers have no crates.io access, so — like the in-repo
+//! proptest/criterion stand-ins — the server speaks HTTP with its own
+//! parser over [`std::net::TcpStream`]. The subset is deliberately small
+//! and strict: one request per connection (`Connection: close` on every
+//! response), `Content-Length` framing only (chunked bodies are answered
+//! with 501), and hard limits on header and body sizes so a hostile peer
+//! cannot grow memory unboundedly. Every parse failure maps to a 4xx/5xx
+//! status; the connection handler never panics on malformed input.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum request body bytes (correction requests are small JSON).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Per-connection socket read/write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercase as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Raw query string (without the `?`), if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// A request parse failure, carrying the status the peer should receive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// HTTP status to answer with (always 4xx or 5xx).
+    pub status: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(status: u16, message: impl Into<String>) -> ParseError {
+        ParseError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Outcome of reading one request off a connection.
+pub enum ReadOutcome {
+    /// A syntactically valid request.
+    Request(Request),
+    /// Malformed input; answer with the carried status and close.
+    Malformed(ParseError),
+    /// The peer closed or timed out before sending a full head; there is
+    /// nobody to answer.
+    Disconnected,
+}
+
+/// Reads and parses one request, enforcing the size limits.
+pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return ReadOutcome::Malformed(ParseError::new(431, "request head too large"));
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    ReadOutcome::Disconnected
+                } else {
+                    ReadOutcome::Malformed(ParseError::new(400, "truncated request head"))
+                }
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return ReadOutcome::Disconnected,
+        }
+    };
+
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return ReadOutcome::Malformed(ParseError::new(400, "non-utf8 request head")),
+    };
+    let mut request = match parse_head(head) {
+        Ok(r) => r,
+        Err(e) => return ReadOutcome::Malformed(e),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.trim().is_empty())
+    {
+        return ReadOutcome::Malformed(ParseError::new(501, "chunked bodies not supported"));
+    }
+
+    // Body framing: Content-Length only.
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return ReadOutcome::Malformed(ParseError::new(400, "bad content-length")),
+        },
+    };
+    if content_length > MAX_BODY_BYTES {
+        return ReadOutcome::Malformed(ParseError::new(413, "request body too large"));
+    }
+
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 8192];
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Malformed(ParseError::new(400, "truncated body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return ReadOutcome::Malformed(ParseError::new(408, "body read timed out")),
+        }
+    }
+    body.truncate(content_length);
+    request.body = body;
+    ReadOutcome::Request(request)
+}
+
+/// Index of the `\r\n\r\n` terminating the head, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the request line and headers (everything before the blank line).
+fn parse_head(head: &str) -> Result<Request, ParseError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ParseError::new(400, "empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| ParseError::new(400, "bad method"))?;
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or_else(|| ParseError::new(400, "bad request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::new(400, "missing http version"))?;
+    if parts.next().is_some() {
+        return Err(ParseError::new(400, "malformed request line"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::new(505, "unsupported http version"));
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::new(400, "malformed header"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::new(400, "malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// A response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra `(name, value)` headers (e.g. `Retry-After`).
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error document `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            cardopc_json::Json::obj(vec![("error", cardopc_json::Json::Str(message.into()))])
+                .to_string_compact(),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serialises and writes the response; errors are swallowed (the peer
+    /// may already be gone, which is its prerogative).
+    pub fn write(&self, stream: &mut TcpStream) {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let _ = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(&self.body))
+            .and_then(|()| stream.flush());
+    }
+}
+
+/// Canonical reason phrases for the statuses the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_head_accepts_basic_requests() {
+        let r = parse_head("GET /healthz HTTP/1.1\r\nHost: x\r\nAccept: */*").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.query, None);
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+
+        let r = parse_head("POST /v1/jobs?dry=1 HTTP/1.1\r\nContent-Length: 2").unwrap();
+        assert_eq!(r.path, "/v1/jobs");
+        assert_eq!(r.query.as_deref(), Some("dry=1"));
+    }
+
+    #[test]
+    fn parse_head_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "GET",
+            "GET /x",
+            "get /x HTTP/1.1",
+            "GET x HTTP/1.1",
+            "GET /x HTTP/2.0",
+            "GET /x HTTP/1.1 extra",
+            "GET /x HTTP/1.1\r\nno-colon-header",
+            "GET /x HTTP/1.1\r\nbad name: v",
+            "GET /x HTTP/1.1\r\n: empty",
+        ] {
+            let e = parse_head(bad).unwrap_err();
+            assert!((400..600).contains(&e.status), "{bad:?} -> {e:?}");
+        }
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,509 @@
+//! Job lifecycle: bounded admission, queued→running→terminal state
+//! machine, and the executor threads that drive the runtime.
+//!
+//! The store is one mutex + condvar. Admission (`submit`) is O(1) and
+//! rejects — never blocks — when the queue is full or the server is
+//! draining; correction work happens on dedicated executor threads (one
+//! per `max_inflight` slot) that share the process-wide
+//! [`WorkerPool`](cardopc_litho::WorkerPool) and a cross-job
+//! [`EngineCache`]. Because each tile's correction is a pure function of
+//! its input and results are merged in tile order, jobs running
+//! concurrently produce byte-identical manifests to jobs run alone.
+
+use crate::metrics::Metrics;
+use crate::wire::JobSpec;
+use cardopc_json::Json;
+use cardopc_litho::WorkerPool;
+use cardopc_runtime::{run_clip_controlled, EngineCache, RunControl, RunHandle, RunOutcome};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Which worker pool the executors correct tiles on.
+#[derive(Clone)]
+pub enum PoolRef {
+    /// The process-global pool (sized by `CARDOPC_THREADS`).
+    Global,
+    /// A pool owned by this server (the `threads` config override).
+    Owned(Arc<WorkerPool>),
+}
+
+impl PoolRef {
+    /// The underlying pool.
+    pub fn get(&self) -> &WorkerPool {
+        match self {
+            PoolRef::Global => WorkerPool::global(),
+            PoolRef::Owned(pool) => pool,
+        }
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for an executor slot.
+    Queued,
+    /// An executor is correcting tiles.
+    Running,
+    /// Finished; the result is available.
+    Done,
+    /// The runtime returned an error (or panicked).
+    Failed,
+    /// Cancelled while queued, or cancelled mid-run (checkpointed tiles
+    /// remain; resubmitting with the same `run_dir` resumes).
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire name of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// Per-tile progress, mirrored from the runtime's checkpoint stream.
+#[derive(Clone, Copy, Debug, Default)]
+struct Progress {
+    completed: usize,
+    total: usize,
+    resumed: usize,
+}
+
+struct Job {
+    state: JobState,
+    /// Consumed when the job starts running.
+    spec: Option<JobSpec>,
+    run_dir_name: Option<String>,
+    handle: RunHandle,
+    progress: Progress,
+    error: Option<String>,
+    /// Full result document, set when the job reaches `Done`.
+    result: Option<Json>,
+    submitted: Instant,
+}
+
+struct Inner {
+    jobs: HashMap<String, Job>,
+    /// FIFO of queued job ids (entries may point at jobs cancelled while
+    /// queued; executors skip those).
+    queue: std::collections::VecDeque<String>,
+    next_id: u64,
+    draining: bool,
+    shutdown: bool,
+}
+
+/// Admission failure modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full; the client should retry later (429).
+    Full,
+    /// The server is draining and admits nothing new (503).
+    Draining,
+}
+
+/// Result of a `GET .../result` lookup.
+pub enum ResultLookup {
+    /// No such job (404).
+    NotFound,
+    /// The job is not `Done`; the carried state explains why (409).
+    NotReady(JobState),
+    /// The serialised result document (200).
+    Ready(String),
+}
+
+/// The shared job store.
+pub struct JobStore {
+    inner: Mutex<Inner>,
+    wake: Condvar,
+    max_queued: usize,
+    metrics: Arc<Metrics>,
+    engines: EngineCache,
+    pool: PoolRef,
+}
+
+impl JobStore {
+    /// An empty store admitting at most `max_queued` waiting jobs.
+    pub fn new(max_queued: usize, metrics: Arc<Metrics>, pool: PoolRef) -> JobStore {
+        let slots = pool.get().parallelism();
+        JobStore {
+            inner: Mutex::new(Inner {
+                jobs: HashMap::new(),
+                queue: std::collections::VecDeque::new(),
+                next_id: 1,
+                draining: false,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            max_queued: max_queued.max(1),
+            metrics,
+            engines: EngineCache::new(slots),
+            pool,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Draining`] once a drain has begun,
+    /// [`SubmitError::Full`] when `max_queued` jobs are already waiting.
+    pub fn submit(&self, spec: JobSpec) -> Result<String, SubmitError> {
+        let mut inner = self.lock();
+        if inner.draining || inner.shutdown {
+            self.metrics.drain_rejected.inc();
+            return Err(SubmitError::Draining);
+        }
+        let queued = inner
+            .queue
+            .iter()
+            .filter(|id| {
+                inner
+                    .jobs
+                    .get(*id)
+                    .is_some_and(|j| j.state == JobState::Queued)
+            })
+            .count();
+        if queued >= self.max_queued {
+            self.metrics.admission_rejected.inc();
+            return Err(SubmitError::Full);
+        }
+        let id = format!("job-{}", inner.next_id);
+        inner.next_id += 1;
+        let run_dir_name = spec.run_dir_name.clone();
+        inner.jobs.insert(
+            id.clone(),
+            Job {
+                state: JobState::Queued,
+                spec: Some(spec),
+                run_dir_name,
+                handle: RunHandle::new(),
+                progress: Progress::default(),
+                error: None,
+                result: None,
+                submitted: Instant::now(),
+            },
+        );
+        inner.queue.push_back(id.clone());
+        self.metrics.jobs_submitted.inc();
+        self.metrics.queue_depth.inc();
+        drop(inner);
+        self.wake.notify_all();
+        Ok(id)
+    }
+
+    /// The job's status document, or `None` for an unknown id.
+    pub fn status(&self, id: &str) -> Option<String> {
+        let inner = self.lock();
+        let job = inner.jobs.get(id)?;
+        let p = job.progress;
+        let doc = Json::obj(vec![
+            ("id", Json::Str(id.to_string())),
+            ("state", Json::Str(job.state.name().to_string())),
+            (
+                "progress",
+                Json::obj(vec![
+                    ("completed", Json::num_usize(p.completed)),
+                    ("total", Json::num_usize(p.total)),
+                    ("resumed", Json::num_usize(p.resumed)),
+                ]),
+            ),
+            (
+                "run_dir",
+                match &job.run_dir_name {
+                    Some(name) => Json::Str(name.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "error",
+                match &job.error {
+                    Some(msg) => Json::Str(msg.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ]);
+        Some(doc.to_string_compact())
+    }
+
+    /// The job's result document (only once `Done`).
+    pub fn result(&self, id: &str) -> ResultLookup {
+        let inner = self.lock();
+        match inner.jobs.get(id) {
+            None => ResultLookup::NotFound,
+            Some(job) => match &job.result {
+                Some(doc) => ResultLookup::Ready(doc.to_string_compact()),
+                None => ResultLookup::NotReady(job.state),
+            },
+        }
+    }
+
+    /// Requests cancellation. Queued jobs terminate immediately; running
+    /// jobs stop at the next tile boundary (their checkpoints remain).
+    /// Returns the job's state after the request, `None` for unknown ids.
+    /// Cancelling a terminal job is a no-op (idempotent).
+    pub fn cancel(&self, id: &str) -> Option<JobState> {
+        let mut inner = self.lock();
+        let job = inner.jobs.get_mut(id)?;
+        match job.state {
+            JobState::Queued => {
+                job.state = JobState::Cancelled;
+                job.spec = None;
+                let elapsed = job.submitted.elapsed().as_secs_f64();
+                self.metrics.jobs_cancelled.inc();
+                self.metrics.queue_depth.dec();
+                self.metrics.job_seconds.observe(elapsed);
+                drop(inner);
+                self.wake.notify_all();
+                Some(JobState::Cancelled)
+            }
+            JobState::Running => {
+                job.handle.cancel();
+                Some(JobState::Running)
+            }
+            terminal => Some(terminal),
+        }
+    }
+
+    /// Begins a drain: stop admitting, cancel queued jobs, and ask running
+    /// jobs to stop at their next tile boundary (checkpointing what
+    /// finished). Idempotent.
+    pub fn drain(&self) {
+        let mut inner = self.lock();
+        inner.draining = true;
+        let queued: Vec<String> = inner.queue.iter().cloned().collect();
+        for id in queued {
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                if job.state == JobState::Queued {
+                    job.state = JobState::Cancelled;
+                    job.spec = None;
+                    self.metrics.jobs_cancelled.inc();
+                    self.metrics.queue_depth.dec();
+                }
+            }
+        }
+        for job in inner.jobs.values() {
+            if job.state == JobState::Running {
+                job.handle.cancel();
+            }
+        }
+        drop(inner);
+        self.wake.notify_all();
+    }
+
+    /// Whether a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Blocks until a drain is requested.
+    pub fn wait_drain_requested(&self) {
+        let mut inner = self.lock();
+        while !inner.draining {
+            inner = self
+                .wake
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until no job is queued or running (used by the drain path).
+    pub fn wait_idle(&self) {
+        let mut inner = self.lock();
+        while inner.jobs.values().any(|j| !j.state.terminal()) {
+            inner = self
+                .wake
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Tells executor threads to exit once the queue is empty.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.wake.notify_all();
+    }
+
+    /// Executor thread body: claim queued jobs and run them until
+    /// shutdown. The server spawns `max_inflight` of these.
+    pub fn run_executor(self: &Arc<Self>) {
+        loop {
+            let (id, spec, handle) = {
+                let mut inner = self.lock();
+                loop {
+                    // Skip over entries cancelled while queued.
+                    while let Some(front) = inner.queue.front() {
+                        if inner
+                            .jobs
+                            .get(front)
+                            .is_some_and(|j| j.state == JobState::Queued)
+                        {
+                            break;
+                        }
+                        inner.queue.pop_front();
+                    }
+                    if inner.queue.is_empty() {
+                        if inner.shutdown {
+                            return;
+                        }
+                        inner = self
+                            .wake
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        continue;
+                    }
+                    break;
+                }
+                let id = inner.queue.pop_front().expect("non-empty queue");
+                let job = inner.jobs.get_mut(&id).expect("queued job exists");
+                job.state = JobState::Running;
+                let spec = job.spec.take().expect("queued job has a spec");
+                let handle = job.handle.clone();
+                self.metrics.queue_depth.dec();
+                self.metrics.inflight.inc();
+                (id, spec, handle)
+            };
+
+            let outcome = self.execute(&id, &spec, &handle);
+            self.finish(&id, outcome);
+        }
+    }
+
+    /// Runs one job's correction (no store lock held).
+    fn execute(&self, id: &str, spec: &JobSpec, handle: &RunHandle) -> Result<RunOutcome, String> {
+        let progress = |event: &cardopc_runtime::TileEvent| {
+            let mut inner = self.lock();
+            if let Some(job) = inner.jobs.get_mut(id) {
+                job.progress.completed = event.completed;
+                job.progress.total = event.total;
+                if event.resumed {
+                    job.progress.resumed += 1;
+                } else {
+                    self.metrics.tile_seconds.observe(event.seconds);
+                }
+            }
+        };
+        let control = RunControl {
+            progress: Some(&progress),
+            handle: Some(handle),
+            engines: Some(&self.engines),
+        };
+        let run = AssertUnwindSafe(|| {
+            run_clip_controlled(&spec.clip, &spec.config, self.pool.get(), &control)
+        });
+        match catch_unwind(run) {
+            Ok(Ok(outcome)) => Ok(outcome),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "correction panicked".to_string());
+                Err(format!("internal error: {msg}"))
+            }
+        }
+    }
+
+    /// Records a job's terminal state and result document.
+    fn finish(&self, id: &str, outcome: Result<RunOutcome, String>) {
+        let mut inner = self.lock();
+        if let Some(job) = inner.jobs.get_mut(id) {
+            let elapsed = job.submitted.elapsed().as_secs_f64();
+            match outcome {
+                Ok(outcome) if outcome.cancelled => {
+                    job.state = JobState::Cancelled;
+                    self.metrics.jobs_cancelled.inc();
+                }
+                Ok(outcome) => {
+                    job.result = Some(result_document(id, &outcome));
+                    job.state = JobState::Done;
+                    self.metrics.jobs_done.inc();
+                }
+                Err(msg) => {
+                    job.error = Some(msg);
+                    job.state = JobState::Failed;
+                    self.metrics.jobs_failed.inc();
+                }
+            }
+            self.metrics.inflight.dec();
+            self.metrics.job_seconds.observe(elapsed);
+        }
+        drop(inner);
+        self.wake.notify_all();
+    }
+}
+
+/// Builds the result document: the *timing-free* manifest embedded as a
+/// parsed subtree (the hand-rolled JSON round-trips bit-exactly, so
+/// re-serialising it reproduces `manifest.to_json(false)` byte for byte)
+/// plus the stitched contours when the run completed.
+fn result_document(id: &str, outcome: &RunOutcome) -> Json {
+    let manifest =
+        Json::parse(&outcome.manifest.to_json(false)).expect("runtime manifests are valid JSON");
+    let contours = match &outcome.stitched {
+        None => Json::Null,
+        Some(stitched) => Json::obj(vec![
+            ("mains", shapes_json(&stitched.mains)),
+            ("srafs", shapes_json(&stitched.srafs)),
+            (
+                "seam_violations",
+                Json::num_usize(stitched.seam_violations.len()),
+            ),
+        ]),
+    };
+    Json::obj(vec![
+        ("id", Json::Str(id.to_string())),
+        ("complete", Json::Bool(outcome.complete)),
+        ("manifest", manifest),
+        ("contours", contours),
+    ])
+}
+
+fn shapes_json(shapes: &[cardopc_runtime::StitchedShape]) -> Json {
+    Json::Arr(
+        shapes
+            .iter()
+            .map(|shape| {
+                Json::obj(vec![
+                    (
+                        "global_id",
+                        match shape.global_id {
+                            Some(id) => Json::num_usize(id),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("tension", Json::Num(shape.tension)),
+                    (
+                        "control_points",
+                        Json::Arr(
+                            shape
+                                .control_points
+                                .iter()
+                                .map(|p| Json::num_arr(&[p.x, p.y]))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}

@@ -1,0 +1,328 @@
+//! `cardopc-serve` — an HTTP correction service over the tiled runtime.
+//!
+//! The service turns [`cardopc_runtime`] into a long-lived process:
+//! clients `POST` correction jobs as JSON, poll per-tile progress, and
+//! fetch results whose timing-free manifest is **byte-identical** to a
+//! direct `cardopc-runtime` run of the same input — including when jobs
+//! run concurrently, because every tile is a pure function of its input
+//! and the scheduler merges results in tile order.
+//!
+//! Like the repo's proptest/criterion stand-ins, everything is
+//! hand-rolled on `std` (the build containers have no crates.io access):
+//! HTTP parsing ([`http`]), the wire format ([`wire`]), metrics
+//! ([`metrics`]), and the job machinery ([`job`]).
+//!
+//! # Endpoints
+//!
+//! | Method & path               | Purpose                                   |
+//! |-----------------------------|-------------------------------------------|
+//! | `POST /v1/jobs`             | submit a job (201, or 429/503 on refusal) |
+//! | `GET /v1/jobs/{id}`         | state + per-tile progress                 |
+//! | `GET /v1/jobs/{id}/result`  | manifest + corrected contours (409 early) |
+//! | `POST /v1/jobs/{id}/cancel` | cooperative cancel (checkpoints remain)   |
+//! | `GET /healthz`              | liveness + drain state                    |
+//! | `GET /metrics`              | Prometheus text metrics                   |
+//! | `POST /admin/drain`         | stop admitting, finish in-flight, exit    |
+//!
+//! # Backpressure
+//!
+//! Admission is bounded: at most `max_queued` jobs wait and
+//! `max_inflight` run. An overflowing submit is answered `429 Too Many
+//! Requests` with a `Retry-After` header — the service sheds load at the
+//! door instead of queueing unboundedly.
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod metrics;
+pub mod wire;
+
+use http::{ReadOutcome, Response};
+use job::{JobStore, PoolRef, ResultLookup, SubmitError};
+use metrics::Metrics;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Maximum jobs waiting for an executor (beyond → 429).
+    pub max_queued: usize,
+    /// Number of executor threads (concurrent jobs).
+    pub max_inflight: usize,
+    /// Worker pool size override; `None` uses the process-global pool
+    /// (sized by `CARDOPC_THREADS`, falling back to the CPU count).
+    pub threads: Option<usize>,
+    /// Directory under which job `run_dir` names are resolved.
+    pub run_root: PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8650".to_string(),
+            max_queued: 16,
+            max_inflight: 1,
+            threads: None,
+            run_root: PathBuf::from("runs"),
+        }
+    }
+}
+
+/// Shared per-connection context.
+struct Shared {
+    store: Arc<JobStore>,
+    metrics: Arc<Metrics>,
+    run_root: PathBuf,
+}
+
+/// A running correction service.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop_accepting: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the executor and accept threads, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures and an uncreatable run root.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        std::fs::create_dir_all(&config.run_root)?;
+        let pool = match config.threads {
+            Some(n) => PoolRef::Owned(Arc::new(cardopc_litho::WorkerPool::new(n.max(1)))),
+            None => PoolRef::Global,
+        };
+        let metrics = Arc::new(Metrics::default());
+        let store = Arc::new(JobStore::new(config.max_queued, Arc::clone(&metrics), pool));
+
+        let executors = (0..config.max_inflight.max(1))
+            .map(|i| {
+                let store = Arc::clone(&store);
+                std::thread::Builder::new()
+                    .name(format!("cardopc-exec-{i}"))
+                    .spawn(move || store.run_executor())
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store,
+            metrics,
+            run_root: config.run_root,
+        });
+        let stop_accepting = Arc::new(AtomicBool::new(false));
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop_accepting);
+            std::thread::Builder::new()
+                .name("cardopc-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared, &stop))?
+        };
+
+        Ok(Server {
+            local_addr,
+            shared,
+            stop_accepting,
+            accept_thread: Some(accept_thread),
+            executors,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until a drain has been requested (via `POST /admin/drain`
+    /// or [`Server::drain`]) and every job has reached a terminal state.
+    /// This is the serve-mode main thread's parking spot; returning means
+    /// the process can exit 0.
+    pub fn wait_drained(&self) {
+        self.shared.store.wait_drain_requested();
+        self.shared.store.wait_idle();
+    }
+
+    /// Initiates a drain programmatically (equivalent to
+    /// `POST /admin/drain`): stop admitting, cancel queued jobs, stop
+    /// running jobs at their next tile boundary.
+    pub fn drain(&self) {
+        self.shared.store.drain();
+    }
+
+    /// Full stop: drain, wait for jobs to settle, stop the accept loop,
+    /// and join every thread. Called by `Drop`; explicit calls are
+    /// idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.store.drain();
+        self.shared.store.wait_idle();
+        self.shared.store.shutdown();
+        self.stop_accepting.store(true, Ordering::Release);
+        // Unblock the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        for thread in self.executors.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accepts connections until told to stop; each connection is served on
+/// its own short-lived thread (requests are small and bounded by the
+/// parser's limits).
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, stop: &Arc<AtomicBool>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("cardopc-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+/// Serves one connection: read one request, route, answer, close.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let response = match http::read_request(&mut stream) {
+        ReadOutcome::Disconnected => return,
+        ReadOutcome::Malformed(e) => Response::error(e.status, &e.message),
+        ReadOutcome::Request(request) => route(&request, shared),
+    };
+    shared.metrics.http_requests.inc();
+    match response.status {
+        400..=499 => shared.metrics.http_client_errors.inc(),
+        500..=599 => shared.metrics.http_server_errors.inc(),
+        _ => {}
+    }
+    response.write(&mut stream);
+}
+
+/// Maps a parsed request to a response.
+fn route(request: &http::Request, shared: &Shared) -> Response {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            cardopc_json::Json::obj(vec![
+                ("ok", cardopc_json::Json::Bool(true)),
+                (
+                    "draining",
+                    cardopc_json::Json::Bool(shared.store.draining()),
+                ),
+            ])
+            .to_string_compact(),
+        ),
+        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
+        ("POST", "/v1/jobs") => submit(request, shared),
+        ("POST", "/admin/drain") => {
+            shared.store.drain();
+            Response::json(202, r#"{"draining":true}"#)
+        }
+        ("GET" | "POST", _) if path.starts_with("/v1/jobs/") => job_route(request, shared),
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/admin/drain") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+/// `POST /v1/jobs`: parse, validate, admit.
+fn submit(request: &http::Request, shared: &Shared) -> Response {
+    let Some(body) = request.body_str() else {
+        return Response::error(400, "request body must be UTF-8 JSON");
+    };
+    let spec = match wire::parse_job(body, &shared.run_root) {
+        Ok(spec) => spec,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    match shared.store.submit(spec) {
+        Ok(id) => Response::json(
+            201,
+            cardopc_json::Json::obj(vec![
+                ("id", cardopc_json::Json::Str(id)),
+                ("state", cardopc_json::Json::Str("queued".to_string())),
+            ])
+            .to_string_compact(),
+        ),
+        Err(SubmitError::Full) => {
+            Response::error(429, "job queue is full").with_header("retry-after", "1")
+        }
+        Err(SubmitError::Draining) => Response::error(503, "server is draining"),
+    }
+}
+
+/// Routes `/v1/jobs/{id}[/result|/cancel]`.
+fn job_route(request: &http::Request, shared: &Shared) -> Response {
+    let rest = &request.path["/v1/jobs/".len()..];
+    let method = request.method.as_str();
+    if let Some(id) = rest.strip_suffix("/cancel") {
+        if method != "POST" {
+            return Response::error(405, "cancel requires POST");
+        }
+        return match shared.store.cancel(id) {
+            None => Response::error(404, "no such job"),
+            Some(state) => Response::json(
+                200,
+                cardopc_json::Json::obj(vec![
+                    ("id", cardopc_json::Json::Str(id.to_string())),
+                    ("state", cardopc_json::Json::Str(state.name().to_string())),
+                ])
+                .to_string_compact(),
+            ),
+        };
+    }
+    if let Some(id) = rest.strip_suffix("/result") {
+        if method != "GET" {
+            return Response::error(405, "result requires GET");
+        }
+        return match shared.store.result(id) {
+            ResultLookup::NotFound => Response::error(404, "no such job"),
+            ResultLookup::NotReady(state) => Response::error(
+                409,
+                &format!("job is {}; result requires state 'done'", state.name()),
+            ),
+            ResultLookup::Ready(doc) => Response::json(200, doc),
+        };
+    }
+    if rest.contains('/') {
+        return Response::error(404, "no such route");
+    }
+    if method != "GET" {
+        return Response::error(405, "status requires GET");
+    }
+    match shared.store.status(rest) {
+        None => Response::error(404, "no such job"),
+        Some(doc) => Response::json(200, doc),
+    }
+}

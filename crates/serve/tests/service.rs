@@ -1,0 +1,378 @@
+//! End-to-end tests of the correction service over real TCP sockets.
+//!
+//! Every test starts a real [`Server`] on an ephemeral port and talks to
+//! it through the in-repo [`client`] — the same wire path production
+//! traffic takes. The headline assertion: a job's timing-free manifest
+//! fetched over HTTP is **byte-identical** to a direct
+//! `cardopc-runtime::run_clip` of the same spec, including with a second
+//! job running concurrently.
+
+use cardopc_geometry::SplitMix64;
+use cardopc_json::Json;
+use cardopc_litho::WorkerPool;
+use cardopc_runtime::run_clip;
+use cardopc_serve::{client, wire, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A fast 2×2-tile job: 1024 nm gcd crop, 512 nm tiles + 256 nm halo →
+/// 1024 nm windows on 64² grids at pitch 16.
+const SMOKE_JOB: &str = r#"{
+    "design": {"kind": "gcd", "crop": 1024.0},
+    "tiling": {"tile": 512.0, "halo": 256.0},
+    "opc": {"preset": "large_scale", "pitch": 16.0, "iterations": 3}
+}"#;
+
+/// A second, different job for concurrency tests (same engine extent, so
+/// the shared cache is actually exercised across jobs).
+const AES_JOB: &str = r#"{
+    "design": {"kind": "aes", "crop": 1024.0},
+    "tiling": {"tile": 512.0, "halo": 256.0},
+    "opc": {"preset": "large_scale", "pitch": 16.0, "iterations": 3}
+}"#;
+
+/// A 4×4-tile job (16 tiles, 768 nm windows) — enough tile boundaries
+/// that a cancel reliably lands mid-run.
+fn slow_job(run_dir: &str) -> String {
+    format!(
+        r#"{{
+            "design": {{"kind": "gcd", "crop": 1024.0}},
+            "tiling": {{"tile": 256.0, "halo": 256.0}},
+            "opc": {{"preset": "large_scale", "pitch": 16.0, "iterations": 4}},
+            "run_dir": "{run_dir}"
+        }}"#
+    )
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("cardopc-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn start(tag: &str, max_queued: usize, max_inflight: usize) -> (Server, SocketAddr, PathBuf) {
+    let root = temp_root(tag);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_queued,
+        max_inflight,
+        threads: Some(2),
+        run_root: root.clone(),
+    })
+    .expect("server starts on an ephemeral port");
+    let addr = server.local_addr();
+    (server, addr, root)
+}
+
+/// Submits a job, asserting admission, and returns its id.
+fn submit(addr: SocketAddr, body: &str) -> String {
+    let response = client::post_json(addr, "/v1/jobs", body).unwrap();
+    assert_eq!(response.status, 201, "submit: {}", response.body_str());
+    let doc = response.json().unwrap();
+    doc.get("id").unwrap().as_str().unwrap().to_string()
+}
+
+/// Polls the job until `stop(status)` returns true, then returns the
+/// status document. Panics after `timeout`.
+fn poll_until(addr: SocketAddr, id: &str, timeout: Duration, stop: impl Fn(&Json) -> bool) -> Json {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let response = client::get(addr, &format!("/v1/jobs/{id}")).unwrap();
+        assert_eq!(response.status, 200, "status: {}", response.body_str());
+        let doc = response.json().unwrap();
+        if stop(&doc) {
+            return doc;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting on {id}: {}",
+            doc.to_string_compact()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn state(doc: &Json) -> &str {
+    doc.get("state").unwrap().as_str().unwrap()
+}
+
+fn wait_terminal(addr: SocketAddr, id: &str) -> Json {
+    poll_until(addr, id, Duration::from_secs(300), |doc| {
+        matches!(state(doc), "done" | "failed" | "cancelled")
+    })
+}
+
+/// Runs the same spec directly through the runtime (no HTTP, no
+/// checkpointing) and returns the timing-free manifest JSON.
+fn direct_manifest(body: &str, workers: usize) -> String {
+    let spec = wire::parse_job(body, &temp_root("direct-unused")).unwrap();
+    let mut config = spec.config;
+    config.run_dir = None;
+    let pool = WorkerPool::new(workers);
+    let outcome = run_clip(&spec.clip, &config, &pool).unwrap();
+    assert!(outcome.complete);
+    outcome.manifest.to_json(false)
+}
+
+/// Fetches a done job's result and returns the embedded manifest subtree,
+/// re-serialised (bit-exact round-trip through the hand-rolled JSON).
+fn result_manifest(addr: SocketAddr, id: &str) -> String {
+    let response = client::get(addr, &format!("/v1/jobs/{id}/result")).unwrap();
+    assert_eq!(response.status, 200, "result: {}", response.body_str());
+    let doc = response.json().unwrap();
+    assert_eq!(doc.get("complete").unwrap().as_bool(), Some(true));
+    assert!(doc.get("contours").unwrap().get("mains").is_some());
+    doc.get("manifest").unwrap().to_string_compact()
+}
+
+#[test]
+fn smoke_concurrent_jobs_match_direct_runs_byte_for_byte() {
+    let (server, addr, root) = start("smoke", 4, 2);
+
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health.json().unwrap().get("ok").unwrap().as_bool(),
+        Some(true)
+    );
+
+    // Two different jobs in flight at once (max_inflight = 2).
+    let gcd = submit(addr, SMOKE_JOB);
+    let aes = submit(addr, AES_JOB);
+    let gcd_status = wait_terminal(addr, &gcd);
+    let aes_status = wait_terminal(addr, &aes);
+    assert_eq!(state(&gcd_status), "done", "{gcd_status:?}");
+    assert_eq!(state(&aes_status), "done", "{aes_status:?}");
+
+    // Progress reached the partition size (2×2 tiles).
+    let progress = gcd_status.get("progress").unwrap();
+    assert_eq!(progress.get("completed").unwrap().as_usize(), Some(4));
+    assert_eq!(progress.get("total").unwrap().as_usize(), Some(4));
+
+    // The HTTP result manifests are byte-identical to direct runtime runs
+    // — despite concurrency, a different worker count, and the wire trip.
+    assert_eq!(result_manifest(addr, &gcd), direct_manifest(SMOKE_JOB, 1));
+    assert_eq!(result_manifest(addr, &aes), direct_manifest(AES_JOB, 3));
+
+    // The smoke traffic shows up in /metrics, including nonzero tile
+    // latency histograms.
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_str();
+    assert!(text.contains("cardopc_jobs_submitted_total 2"), "{text}");
+    assert!(text.contains("cardopc_jobs_done_total 2"), "{text}");
+    let count = text
+        .lines()
+        .find_map(|l| l.strip_prefix("cardopc_tile_seconds_count "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap();
+    assert!(count >= 8, "expected 8 executed tiles, saw {count}");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn bounded_admission_rejects_with_429_and_retry_after() {
+    let (server, addr, root) = start("backpressure", 1, 1);
+
+    // First job occupies the single executor...
+    let running = submit(addr, &slow_job("bp-running"));
+    poll_until(addr, &running, Duration::from_secs(60), |doc| {
+        state(doc) != "queued"
+    });
+    // ...second fills the queue...
+    let queued = submit(addr, &slow_job("bp-queued"));
+    // ...third is shed at the door.
+    let rejected = client::post_json(addr, "/v1/jobs", &slow_job("bp-rejected")).unwrap();
+    assert_eq!(rejected.status, 429, "{}", rejected.body_str());
+    assert!(
+        rejected.header("retry-after").is_some(),
+        "429 must carry Retry-After"
+    );
+
+    let metrics = client::get(addr, "/metrics").unwrap().body_str();
+    assert!(
+        metrics.contains("cardopc_admission_rejected_total 1"),
+        "{metrics}"
+    );
+
+    // Cancel both admitted jobs so teardown is fast.
+    for id in [&running, &queued] {
+        let response = client::post_json(addr, &format!("/v1/jobs/{id}/cancel"), "").unwrap();
+        assert_eq!(response.status, 200);
+    }
+    assert_eq!(state(&wait_terminal(addr, &queued)), "cancelled");
+    assert_eq!(state(&wait_terminal(addr, &running)), "cancelled");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn cancel_leaves_a_resumable_checkpoint() {
+    let (server, addr, root) = start("cancel", 4, 1);
+    let body = slow_job("resume-me");
+
+    // Cancel mid-run: after at least one tile checkpointed, before all 16.
+    let first = submit(addr, &body);
+    poll_until(addr, &first, Duration::from_secs(120), |doc| {
+        doc.get("progress")
+            .unwrap()
+            .get("completed")
+            .unwrap()
+            .as_usize()
+            .unwrap()
+            >= 1
+    });
+    let response = client::post_json(addr, &format!("/v1/jobs/{first}/cancel"), "").unwrap();
+    assert_eq!(response.status, 200);
+    let cancelled = wait_terminal(addr, &first);
+    assert_eq!(state(&cancelled), "cancelled", "{cancelled:?}");
+
+    // The run directory holds the finished tiles' records.
+    let records = std::fs::read_to_string(root.join("resume-me").join("tiles.jsonl")).unwrap();
+    let checkpointed = records.lines().count();
+    assert!(checkpointed >= 1, "cancelled run must keep its checkpoints");
+
+    // Resubmitting the identical spec resumes those tiles and completes.
+    let second = submit(addr, &body);
+    let done = wait_terminal(addr, &second);
+    assert_eq!(state(&done), "done", "{done:?}");
+    let resumed = done
+        .get("progress")
+        .unwrap()
+        .get("resumed")
+        .unwrap()
+        .as_usize()
+        .unwrap();
+    assert!(
+        resumed >= checkpointed.min(16),
+        "resume must reuse the cancelled run's tiles (resumed {resumed})"
+    );
+
+    // And the cancel/resume detour is invisible in the manifest.
+    assert_eq!(result_manifest(addr, &second), direct_manifest(&body, 2));
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn malformed_requests_never_panic_the_server() {
+    let (server, addr, root) = start("fuzz", 2, 1);
+
+    // Hand-picked nasties covering each parser rejection path.
+    let nasties: Vec<Vec<u8>> = vec![
+        b"garbage\r\n\r\n".to_vec(),
+        b"GET\r\n\r\n".to_vec(),
+        b"GET /healthz HTTP/2.0\r\n\r\n".to_vec(),
+        b"get /healthz HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET healthz HTTP/1.1\r\n\r\n".to_vec(),
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: nope\r\n\r\n".to_vec(),
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n".to_vec(),
+        b"POST /v1/jobs HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 7\r\n\r\n\xff\xfe\x00bad".to_vec(),
+        b"GET /healthz HTTP/1.1\r\nno-colon\r\n\r\n".to_vec(),
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}".to_vec(),
+        format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(20_000)).into_bytes(),
+    ];
+    for raw in &nasties {
+        let reply = client::send_raw(addr, raw).unwrap();
+        assert_status_is_sane(&reply, raw);
+    }
+
+    // Deterministic random mutations of a valid request.
+    let template = format!(
+        "POST /v1/jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        SMOKE_JOB.len(),
+        SMOKE_JOB
+    )
+    .into_bytes();
+    let mut rng = SplitMix64::new(0xcafe);
+    for _ in 0..48 {
+        let mut mutated = template.clone();
+        for _ in 0..(1 + rng.next_u64() % 8) {
+            let kind = rng.next_u64() % 3;
+            let at = (rng.next_u64() as usize) % mutated.len();
+            match kind {
+                0 => mutated[at] = (rng.next_u64() & 0xff) as u8,
+                1 => mutated.truncate(at),
+                _ => mutated.insert(at, (rng.next_u64() & 0xff) as u8),
+            }
+            if mutated.is_empty() {
+                break;
+            }
+        }
+        let reply = client::send_raw(addr, &mutated).unwrap();
+        assert_status_is_sane(&reply, &mutated);
+    }
+
+    // The server is still alive and sane afterwards.
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    // Any job a mutation accidentally admitted must settle on its own.
+    server.drain();
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// A reply to garbage must be either silence (peer-level drop) or a
+/// well-formed HTTP response; a mutated-but-still-valid request may
+/// legitimately succeed, so any status is acceptable — it just has to BE
+/// a status.
+fn assert_status_is_sane(reply: &[u8], sent: &[u8]) {
+    if reply.is_empty() {
+        return;
+    }
+    let head = String::from_utf8_lossy(&reply[..reply.len().min(64)]).into_owned();
+    assert!(
+        head.starts_with("HTTP/1.1 "),
+        "non-HTTP reply {head:?} to {:?}",
+        String::from_utf8_lossy(&sent[..sent.len().min(80)])
+    );
+    let status: u16 = head["HTTP/1.1 ".len()..]
+        .split(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("numeric status");
+    assert!((100..600).contains(&status), "status {status}");
+}
+
+#[test]
+fn drain_stops_admission_and_settles_jobs() {
+    let (server, addr, root) = start("drain", 4, 1);
+
+    let job = submit(addr, SMOKE_JOB);
+    let response = client::post_json(addr, "/admin/drain", "").unwrap();
+    assert_eq!(response.status, 202);
+
+    // New work is refused while draining.
+    let refused = client::post_json(addr, "/v1/jobs", SMOKE_JOB).unwrap();
+    assert_eq!(refused.status, 503, "{}", refused.body_str());
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(
+        health.json().unwrap().get("draining").unwrap().as_bool(),
+        Some(true)
+    );
+
+    // The admitted job settles (done if it outran the drain, cancelled
+    // otherwise — drain cancels cooperatively at tile boundaries).
+    let settled = wait_terminal(addr, &job);
+    assert!(matches!(state(&settled), "done" | "cancelled"));
+
+    // wait_drained returns promptly now that everything is terminal.
+    server.wait_drained();
+
+    let metrics = client::get(addr, "/metrics").unwrap().body_str();
+    assert!(
+        metrics.contains("cardopc_drain_rejected_total 1"),
+        "{metrics}"
+    );
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(root);
+}
