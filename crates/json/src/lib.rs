@@ -132,6 +132,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -184,9 +185,17 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. Recursion depth is
+/// proportional to nesting, so an attacker-supplied document like
+/// `"["×1e6` would otherwise overflow the stack — an uncatchable abort,
+/// not a panic. Legitimate checkpoint/wire documents nest < 10 deep.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting (arrays + objects entered).
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -313,12 +322,28 @@ impl<'a> Parser<'a> {
             .map_err(|_| format!("invalid number '{text}' at byte {start}"))
     }
 
+    /// Enters one container level; errors past [`MAX_PARSE_DEPTH`] so a
+    /// hostile `[[[[...` cannot overflow the call stack (which would abort
+    /// the process — stack overflow is not a catchable panic).
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -329,6 +354,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -338,10 +364,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -357,6 +385,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -419,6 +448,34 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // A 4 MB request body of '[' must come back as a parse error; the
+        // pre-limit parser recursed once per byte and aborted the process.
+        for pathological in [
+            "[".repeat(1_000_000),
+            "{\"k\":".repeat(500_000),
+            format!("{}1{}", "[".repeat(1_000_000), "]".repeat(1_000_000)),
+        ] {
+            let err = Json::parse(&pathological).unwrap_err();
+            assert!(err.contains("nesting"), "unexpected error: {err}");
+        }
+    }
+
+    #[test]
+    fn nesting_at_the_limit_parses() {
+        let deepest = MAX_PARSE_DEPTH;
+        let ok = format!("{}1{}", "[".repeat(deepest), "]".repeat(deepest));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(deepest + 1), "]".repeat(deepest + 1));
+        assert!(Json::parse(&too_deep).is_err());
+
+        // Depth is nesting, not total container count: a long *flat*
+        // document is fine because siblings re-use the same level.
+        let flat = format!("[{}]", vec!["[1]"; 10_000].join(","));
+        assert!(Json::parse(&flat).is_ok());
     }
 
     #[test]

@@ -64,6 +64,8 @@ SERVE OPTIONS:
     --max-queued <N>                queued-job bound; beyond it submissions
                                     get 429 + Retry-After [16]
     --max-inflight <N>              concurrent jobs [1]
+    --retain-terminal <N>           finished jobs kept queryable; older
+                                    ones are evicted [256]
     --threads <N>                   worker pool size (beats CARDOPC_THREADS)
     --run-root <PATH>               directory for job run_dir names [runs]
 
@@ -157,6 +159,7 @@ impl ServeArgs {
                 "--addr" => config.addr = value()?,
                 "--max-queued" => config.max_queued = parse_num(&flag, &value()?)?,
                 "--max-inflight" => config.max_inflight = parse_num(&flag, &value()?)?,
+                "--retain-terminal" => config.retain_terminal = parse_num(&flag, &value()?)?,
                 "--threads" => config.threads = Some(parse_num(&flag, &value()?)?),
                 "--run-root" => config.run_root = value()?.into(),
                 "--help" | "-h" => return Err(USAGE.to_string()),

@@ -83,6 +83,15 @@ pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<HttpRes
     request(addr, "POST", path, Some(body))
 }
 
+/// `DELETE path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn delete(addr: SocketAddr, path: &str) -> io::Result<HttpResponse> {
+    request(addr, "DELETE", path, None)
+}
+
 /// Writes arbitrary bytes to the server and reads until the connection
 /// closes. The fuzz tests use this to deliver malformed requests that
 /// [`request`] could never produce.

@@ -9,6 +9,10 @@
 //! [`EngineCache`]. Because each tile's correction is a pure function of
 //! its input and results are merged in tile order, jobs running
 //! concurrently produce byte-identical manifests to jobs run alone.
+//!
+//! Retention is bounded too: only the newest `retain_terminal` finished
+//! jobs (and their result documents) are kept — older ones are evicted,
+//! and clients can free a result early with `DELETE /v1/jobs/{id}`.
 
 use crate::metrics::Metrics;
 use crate::wire::JobSpec;
@@ -102,9 +106,28 @@ struct Inner {
     /// FIFO of queued job ids (entries may point at jobs cancelled while
     /// queued; executors skip those).
     queue: std::collections::VecDeque<String>,
+    /// Terminal job ids, oldest first. Bounds retention: once more than
+    /// `retain_terminal` jobs are terminal, the oldest are evicted from
+    /// `jobs` so a long-lived server's memory does not grow with every
+    /// job it has ever served (result documents hold full contour sets).
+    terminal: std::collections::VecDeque<String>,
     next_id: u64,
     draining: bool,
     shutdown: bool,
+}
+
+impl Inner {
+    /// Records `id` as terminal and evicts beyond the retention cap.
+    fn note_terminal(&mut self, id: &str, retain: usize, metrics: &Metrics) {
+        self.terminal.push_back(id.to_string());
+        while self.terminal.len() > retain {
+            if let Some(old) = self.terminal.pop_front() {
+                if self.jobs.remove(&old).is_some() {
+                    metrics.jobs_evicted.inc();
+                }
+            }
+        }
+    }
 }
 
 /// Admission failure modes.
@@ -126,30 +149,50 @@ pub enum ResultLookup {
     Ready(String),
 }
 
+/// Result of a `DELETE /v1/jobs/{id}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeleteOutcome {
+    /// No such job (404).
+    NotFound,
+    /// The job is still queued or running; cancel it first (409).
+    NotTerminal(JobState),
+    /// Removed from the store (200).
+    Deleted,
+}
+
 /// The shared job store.
 pub struct JobStore {
     inner: Mutex<Inner>,
     wake: Condvar,
     max_queued: usize,
+    retain_terminal: usize,
     metrics: Arc<Metrics>,
     engines: EngineCache,
     pool: PoolRef,
 }
 
 impl JobStore {
-    /// An empty store admitting at most `max_queued` waiting jobs.
-    pub fn new(max_queued: usize, metrics: Arc<Metrics>, pool: PoolRef) -> JobStore {
+    /// An empty store admitting at most `max_queued` waiting jobs and
+    /// retaining at most `retain_terminal` finished ones.
+    pub fn new(
+        max_queued: usize,
+        retain_terminal: usize,
+        metrics: Arc<Metrics>,
+        pool: PoolRef,
+    ) -> JobStore {
         let slots = pool.get().parallelism();
         JobStore {
             inner: Mutex::new(Inner {
                 jobs: HashMap::new(),
                 queue: std::collections::VecDeque::new(),
+                terminal: std::collections::VecDeque::new(),
                 next_id: 1,
                 draining: false,
                 shutdown: false,
             }),
             wake: Condvar::new(),
             max_queued: max_queued.max(1),
+            retain_terminal: retain_terminal.max(1),
             metrics,
             engines: EngineCache::new(slots),
             pool,
@@ -271,6 +314,7 @@ impl JobStore {
                 self.metrics.jobs_cancelled.inc();
                 self.metrics.queue_depth.dec();
                 self.metrics.job_seconds.observe(elapsed);
+                inner.note_terminal(id, self.retain_terminal, &self.metrics);
                 drop(inner);
                 self.wake.notify_all();
                 Some(JobState::Cancelled)
@@ -291,13 +335,15 @@ impl JobStore {
         inner.draining = true;
         let queued: Vec<String> = inner.queue.iter().cloned().collect();
         for id in queued {
-            if let Some(job) = inner.jobs.get_mut(&id) {
-                if job.state == JobState::Queued {
-                    job.state = JobState::Cancelled;
-                    job.spec = None;
-                    self.metrics.jobs_cancelled.inc();
-                    self.metrics.queue_depth.dec();
-                }
+            let Some(job) = inner.jobs.get_mut(&id) else {
+                continue;
+            };
+            if job.state == JobState::Queued {
+                job.state = JobState::Cancelled;
+                job.spec = None;
+                self.metrics.jobs_cancelled.inc();
+                self.metrics.queue_depth.dec();
+                inner.note_terminal(&id, self.retain_terminal, &self.metrics);
             }
         }
         for job in inner.jobs.values() {
@@ -423,6 +469,21 @@ impl JobStore {
         }
     }
 
+    /// Removes a terminal job from the store (freeing its result
+    /// document). Queued/running jobs must be cancelled first.
+    pub fn delete(&self, id: &str) -> DeleteOutcome {
+        let mut inner = self.lock();
+        match inner.jobs.get(id) {
+            None => DeleteOutcome::NotFound,
+            Some(job) if !job.state.terminal() => DeleteOutcome::NotTerminal(job.state),
+            Some(_) => {
+                inner.jobs.remove(id);
+                inner.terminal.retain(|t| t != id);
+                DeleteOutcome::Deleted
+            }
+        }
+    }
+
     /// Records a job's terminal state and result document.
     fn finish(&self, id: &str, outcome: Result<RunOutcome, String>) {
         let mut inner = self.lock();
@@ -446,6 +507,7 @@ impl JobStore {
             }
             self.metrics.inflight.dec();
             self.metrics.job_seconds.observe(elapsed);
+            inner.note_terminal(id, self.retain_terminal, &self.metrics);
         }
         drop(inner);
         self.wake.notify_all();

@@ -20,6 +20,7 @@
 //! | `GET /v1/jobs/{id}`         | state + per-tile progress                 |
 //! | `GET /v1/jobs/{id}/result`  | manifest + corrected contours (409 early) |
 //! | `POST /v1/jobs/{id}/cancel` | cooperative cancel (checkpoints remain)   |
+//! | `DELETE /v1/jobs/{id}`      | drop a terminal job's record (409 else)   |
 //! | `GET /healthz`              | liveness + drain state                    |
 //! | `GET /metrics`              | Prometheus text metrics                   |
 //! | `POST /admin/drain`         | stop admitting, finish in-flight, exit    |
@@ -29,7 +30,10 @@
 //! Admission is bounded: at most `max_queued` jobs wait and
 //! `max_inflight` run. An overflowing submit is answered `429 Too Many
 //! Requests` with a `Retry-After` header — the service sheds load at the
-//! door instead of queueing unboundedly.
+//! door instead of queueing unboundedly. Memory is bounded on the way
+//! out too: only the newest `retain_terminal` finished jobs stay
+//! queryable, and at most `MAX_CONNECTIONS` connection handlers run at
+//! once.
 
 pub mod client;
 pub mod http;
@@ -38,14 +42,24 @@ pub mod metrics;
 pub mod wire;
 
 use http::{ReadOutcome, Response};
-use job::{JobStore, PoolRef, ResultLookup, SubmitError};
+use job::{DeleteOutcome, JobStore, PoolRef, ResultLookup, SubmitError};
 use metrics::Metrics;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+
+/// Maximum concurrently served connections. Each connection gets a
+/// short-lived thread; past this the accept loop waits for a slot
+/// instead of spawning unboundedly (pending peers queue in the listen
+/// backlog, and per-connection IO timeouts guarantee slots free up).
+const MAX_CONNECTIONS: usize = 64;
+
+/// How long the accept loop backs off after `accept()` fails. A
+/// persistent error (e.g. EMFILE) would otherwise busy-spin the thread.
+const ACCEPT_ERROR_BACKOFF: std::time::Duration = std::time::Duration::from_millis(50);
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -56,6 +70,10 @@ pub struct ServeConfig {
     pub max_queued: usize,
     /// Number of executor threads (concurrent jobs).
     pub max_inflight: usize,
+    /// Newest terminal (done/failed/cancelled) jobs kept queryable;
+    /// older ones are evicted so memory does not grow with every job
+    /// ever served. `DELETE /v1/jobs/{id}` frees a result sooner.
+    pub retain_terminal: usize,
     /// Worker pool size override; `None` uses the process-global pool
     /// (sized by `CARDOPC_THREADS`, falling back to the CPU count).
     pub threads: Option<usize>,
@@ -69,6 +87,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:8650".to_string(),
             max_queued: 16,
             max_inflight: 1,
+            retain_terminal: 256,
             threads: None,
             run_root: PathBuf::from("runs"),
         }
@@ -104,7 +123,12 @@ impl Server {
             None => PoolRef::Global,
         };
         let metrics = Arc::new(Metrics::default());
-        let store = Arc::new(JobStore::new(config.max_queued, Arc::clone(&metrics), pool));
+        let store = Arc::new(JobStore::new(
+            config.max_queued,
+            config.retain_terminal,
+            Arc::clone(&metrics),
+            pool,
+        ));
 
         let executors = (0..config.max_inflight.max(1))
             .map(|i| {
@@ -187,10 +211,55 @@ impl Drop for Server {
     }
 }
 
+/// A counting semaphore bounding concurrent connection-handler threads.
+struct ConnGate {
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl ConnGate {
+    fn new() -> ConnGate {
+        ConnGate {
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a slot is free, then claims it.
+    fn acquire(&self) {
+        let mut active = self.active.lock().unwrap_or_else(PoisonError::into_inner);
+        while *active >= MAX_CONNECTIONS {
+            active = self
+                .freed
+                .wait(active)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *active += 1;
+    }
+
+    fn release(&self) {
+        let mut active = self.active.lock().unwrap_or_else(PoisonError::into_inner);
+        *active = active.saturating_sub(1);
+        drop(active);
+        self.freed.notify_one();
+    }
+}
+
+/// An acquired connection slot; released on drop (unwind included).
+struct ConnSlot(Arc<ConnGate>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
 /// Accepts connections until told to stop; each connection is served on
-/// its own short-lived thread (requests are small and bounded by the
-/// parser's limits).
+/// its own short-lived thread, at most [`MAX_CONNECTIONS`] at a time
+/// (requests are small and bounded by the parser's limits, and every
+/// socket read/write carries a timeout, so slots always come back).
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, stop: &Arc<AtomicBool>) {
+    let gate = Arc::new(ConnGate::new());
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -198,16 +267,24 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, stop: &Arc<AtomicBoo
                 if stop.load(Ordering::Acquire) {
                     return;
                 }
+                // Back off instead of busy-spinning: a persistent failure
+                // (fd exhaustion, say) repeats immediately otherwise.
+                std::thread::sleep(ACCEPT_ERROR_BACKOFF);
                 continue;
             }
         };
         if stop.load(Ordering::Acquire) {
             return;
         }
+        gate.acquire();
+        let slot = ConnSlot(Arc::clone(&gate));
         let shared = Arc::clone(shared);
         let _ = std::thread::Builder::new()
             .name("cardopc-conn".to_string())
-            .spawn(move || handle_connection(stream, &shared));
+            .spawn(move || {
+                let _slot = slot;
+                handle_connection(stream, &shared);
+            });
     }
 }
 
@@ -249,7 +326,9 @@ fn route(request: &http::Request, shared: &Shared) -> Response {
             shared.store.drain();
             Response::json(202, r#"{"draining":true}"#)
         }
-        ("GET" | "POST", _) if path.starts_with("/v1/jobs/") => job_route(request, shared),
+        // Any method: job_route answers 405 itself for wrong methods, so
+        // e.g. PUT /v1/jobs/{id} is a 405, not a 404 like unknown paths.
+        _ if path.starts_with("/v1/jobs/") => job_route(request, shared),
         (_, "/healthz" | "/metrics" | "/v1/jobs" | "/admin/drain") => {
             Response::error(405, "method not allowed")
         }
@@ -282,7 +361,8 @@ fn submit(request: &http::Request, shared: &Shared) -> Response {
     }
 }
 
-/// Routes `/v1/jobs/{id}[/result|/cancel]`.
+/// Routes `/v1/jobs/{id}[/result|/cancel]` for every method (wrong
+/// methods on a known sub-resource get 405, unknown sub-resources 404).
 fn job_route(request: &http::Request, shared: &Shared) -> Response {
     let rest = &request.path["/v1/jobs/".len()..];
     let method = request.method.as_str();
@@ -318,11 +398,26 @@ fn job_route(request: &http::Request, shared: &Shared) -> Response {
     if rest.contains('/') {
         return Response::error(404, "no such route");
     }
-    if method != "GET" {
-        return Response::error(405, "status requires GET");
-    }
-    match shared.store.status(rest) {
-        None => Response::error(404, "no such job"),
-        Some(doc) => Response::json(200, doc),
+    match method {
+        "GET" => match shared.store.status(rest) {
+            None => Response::error(404, "no such job"),
+            Some(doc) => Response::json(200, doc),
+        },
+        "DELETE" => match shared.store.delete(rest) {
+            DeleteOutcome::NotFound => Response::error(404, "no such job"),
+            DeleteOutcome::NotTerminal(state) => Response::error(
+                409,
+                &format!("job is {}; cancel it before deleting", state.name()),
+            ),
+            DeleteOutcome::Deleted => Response::json(
+                200,
+                cardopc_json::Json::obj(vec![
+                    ("id", cardopc_json::Json::Str(rest.to_string())),
+                    ("deleted", cardopc_json::Json::Bool(true)),
+                ])
+                .to_string_compact(),
+            ),
+        },
+        _ => Response::error(405, "job requires GET or DELETE"),
     }
 }

@@ -181,6 +181,8 @@ pub struct Metrics {
     pub jobs_failed: Counter,
     /// Jobs cancelled (by request or by drain).
     pub jobs_cancelled: Counter,
+    /// Terminal jobs evicted by the retention cap (`retain_terminal`).
+    pub jobs_evicted: Counter,
     /// Submissions rejected by the admission gate (429).
     pub admission_rejected: Counter,
     /// Submissions refused because the server is draining (503).
@@ -200,7 +202,7 @@ impl Metrics {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(2048);
-        let counters: [(&str, &Counter); 8] = [
+        let counters: [(&str, &Counter); 9] = [
             ("cardopc_http_requests_total", &self.http_requests),
             ("cardopc_http_client_errors_total", &self.http_client_errors),
             ("cardopc_http_server_errors_total", &self.http_server_errors),
@@ -208,6 +210,7 @@ impl Metrics {
             ("cardopc_jobs_done_total", &self.jobs_done),
             ("cardopc_jobs_failed_total", &self.jobs_failed),
             ("cardopc_jobs_cancelled_total", &self.jobs_cancelled),
+            ("cardopc_jobs_evicted_total", &self.jobs_evicted),
             ("cardopc_admission_rejected_total", &self.admission_rejected),
         ];
         for (name, counter) in counters {

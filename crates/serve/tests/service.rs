@@ -52,11 +52,21 @@ fn temp_root(tag: &str) -> PathBuf {
 }
 
 fn start(tag: &str, max_queued: usize, max_inflight: usize) -> (Server, SocketAddr, PathBuf) {
+    start_retaining(tag, max_queued, max_inflight, 256)
+}
+
+fn start_retaining(
+    tag: &str,
+    max_queued: usize,
+    max_inflight: usize,
+    retain_terminal: usize,
+) -> (Server, SocketAddr, PathBuf) {
     let root = temp_root(tag);
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         max_queued,
         max_inflight,
+        retain_terminal,
         threads: Some(2),
         run_root: root.clone(),
     })
@@ -277,6 +287,11 @@ fn malformed_requests_never_panic_the_server() {
         b"GET /healthz HTTP/1.1\r\nno-colon\r\n\r\n".to_vec(),
         b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}".to_vec(),
         format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(20_000)).into_bytes(),
+        // Deep nesting: a megabyte of '[' used to recurse once per byte
+        // and overflow the connection thread's stack (a process abort,
+        // not a panic); the parser's depth cap must answer 400 instead.
+        deep_nesting_request("[", 1_000_000),
+        deep_nesting_request("{\"k\":", 400_000),
     ];
     for raw in &nasties {
         let reply = client::send_raw(addr, raw).unwrap();
@@ -319,6 +334,17 @@ fn malformed_requests_never_panic_the_server() {
     let _ = std::fs::remove_dir_all(root);
 }
 
+/// A `POST /v1/jobs` whose body is `unit` repeated `times` — a
+/// pathologically deep JSON document within the 4 MB body limit.
+fn deep_nesting_request(unit: &str, times: usize) -> Vec<u8> {
+    let body = unit.repeat(times);
+    format!(
+        "POST /v1/jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
 /// A reply to garbage must be either silence (peer-level drop) or a
 /// well-formed HTTP response; a mutated-but-still-valid request may
 /// legitimately succeed, so any status is acceptable — it just has to BE
@@ -340,6 +366,64 @@ fn assert_status_is_sane(reply: &[u8], sent: &[u8]) {
         .parse()
         .expect("numeric status");
     assert!((100..600).contains(&status), "status {status}");
+}
+
+#[test]
+fn terminal_jobs_are_deletable_and_evicted_beyond_the_retention_cap() {
+    // Retain only one terminal job so eviction is observable quickly.
+    let (server, addr, root) = start_retaining("retain", 4, 1, 1);
+
+    // A running job cannot be deleted (409) — it must be cancelled first.
+    let first = submit(addr, &slow_job("retain-first"));
+    poll_until(addr, &first, Duration::from_secs(60), |doc| {
+        state(doc) != "queued"
+    });
+    let refused = client::delete(addr, &format!("/v1/jobs/{first}")).unwrap();
+    assert_eq!(refused.status, 409, "{}", refused.body_str());
+
+    // Unknown methods on job paths are 405 (method known-bad), not 404.
+    let put = client::request(addr, "PUT", &format!("/v1/jobs/{first}"), None).unwrap();
+    assert_eq!(put.status, 405, "{}", put.body_str());
+    let del_result = client::delete(addr, &format!("/v1/jobs/{first}/result")).unwrap();
+    assert_eq!(del_result.status, 405, "{}", del_result.body_str());
+
+    let cancel = client::post_json(addr, &format!("/v1/jobs/{first}/cancel"), "").unwrap();
+    assert_eq!(cancel.status, 200);
+    wait_terminal(addr, &first);
+
+    // Terminal now: DELETE drops the record; a second DELETE is a 404.
+    let deleted = client::delete(addr, &format!("/v1/jobs/{first}")).unwrap();
+    assert_eq!(deleted.status, 200, "{}", deleted.body_str());
+    assert_eq!(
+        deleted.json().unwrap().get("deleted").unwrap().as_bool(),
+        Some(true)
+    );
+    let gone = client::get(addr, &format!("/v1/jobs/{first}")).unwrap();
+    assert_eq!(gone.status, 404, "{}", gone.body_str());
+    let again = client::delete(addr, &format!("/v1/jobs/{first}")).unwrap();
+    assert_eq!(again.status, 404, "{}", again.body_str());
+
+    // Two more terminal jobs: with retain_terminal = 1 the older one is
+    // evicted automatically once the newer finishes.
+    let second = submit(addr, &slow_job("retain-second"));
+    let cancel = client::post_json(addr, &format!("/v1/jobs/{second}/cancel"), "").unwrap();
+    assert_eq!(cancel.status, 200);
+    wait_terminal(addr, &second);
+    let third = submit(addr, &slow_job("retain-third"));
+    let cancel = client::post_json(addr, &format!("/v1/jobs/{third}/cancel"), "").unwrap();
+    assert_eq!(cancel.status, 200);
+    wait_terminal(addr, &third);
+
+    let evicted = client::get(addr, &format!("/v1/jobs/{second}")).unwrap();
+    assert_eq!(evicted.status, 404, "{}", evicted.body_str());
+    let kept = client::get(addr, &format!("/v1/jobs/{third}")).unwrap();
+    assert_eq!(kept.status, 200, "{}", kept.body_str());
+
+    let metrics = client::get(addr, "/metrics").unwrap().body_str();
+    assert!(metrics.contains("cardopc_jobs_evicted_total 1"), "{metrics}");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(root);
 }
 
 #[test]
