@@ -1,14 +1,18 @@
 //! Criterion benchmark of the 2-D FFT kernels in isolation: forward vs
 //! inverse, complex vs real-packed input, across the grid sizes the OPC
-//! flows actually use.
+//! flows actually use — pow2 sizes plus the 5-smooth sizes (192, 320, 640)
+//! the mixed-radix core now runs directly instead of padding to pow2.
 //!
 //! ```sh
 //! cargo bench -p cardopc-bench --bench fft2
 //! ```
 
-use cardopc::litho::fft::{Complex, Field};
+use cardopc::litho::fft::{Complex, FftScratch, Field};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+/// Pow2 edges plus the 5-smooth non-pow2 edges of interest.
+const EDGES: [usize; 8] = [128, 192, 256, 320, 512, 640, 1024, 2048];
 
 fn real_samples(n: usize) -> Vec<f64> {
     // Deterministic, non-trivial content (no RNG needed for throughput).
@@ -17,8 +21,12 @@ fn real_samples(n: usize) -> Vec<f64> {
 
 fn complex_field(edge: usize) -> Field {
     let mut f = Field::zeros(edge, edge);
-    for (i, z) in f.data_mut().iter_mut().enumerate() {
-        *z = Complex::new(((i % 13) as f64 - 6.0) / 6.0, ((i % 7) as f64 - 3.0) / 3.0);
+    for iy in 0..edge {
+        for ix in 0..edge {
+            let i = iy * edge + ix;
+            let z = Complex::new(((i % 13) as f64 - 6.0) / 6.0, ((i % 7) as f64 - 3.0) / 3.0);
+            f.set(ix, iy, z);
+        }
     }
     f
 }
@@ -26,9 +34,9 @@ fn complex_field(edge: usize) -> Field {
 fn bench_forward_complex(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft2_forward_complex");
     group.sample_size(10);
-    for edge in [128usize, 256, 512, 1024, 2048] {
+    for edge in EDGES {
         let field = complex_field(edge);
-        let mut scratch = Vec::new();
+        let mut scratch = FftScratch::new();
         group.bench_function(format!("{edge}x{edge}"), |b| {
             b.iter(|| {
                 let mut f = field.clone();
@@ -43,9 +51,9 @@ fn bench_forward_complex(c: &mut Criterion) {
 fn bench_inverse_complex(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft2_inverse_complex");
     group.sample_size(10);
-    for edge in [128usize, 256, 512, 1024, 2048] {
+    for edge in EDGES {
         let field = complex_field(edge);
-        let mut scratch = Vec::new();
+        let mut scratch = FftScratch::new();
         group.bench_function(format!("{edge}x{edge}"), |b| {
             b.iter(|| {
                 let mut f = field.clone();
@@ -60,11 +68,31 @@ fn bench_inverse_complex(c: &mut Criterion) {
 fn bench_forward_real(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft2_forward_real");
     group.sample_size(10);
-    for edge in [128usize, 256, 512, 1024, 2048] {
+    for edge in EDGES {
         let real = real_samples(edge * edge);
         let mut field = Field::zeros(edge, edge);
-        let mut scratch = Vec::new();
+        let mut scratch = FftScratch::new();
         group.bench_function(format!("{edge}x{edge}"), |b| {
+            b.iter(|| {
+                field.fill_forward_real_with(black_box(&real), &mut scratch);
+                black_box(field.energy())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Row-set transforms: the shape the engine's row pass and the pruned
+/// inverse actually execute — many length-`edge` transforms back to back.
+fn bench_forward_real_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2_forward_real_rows");
+    group.sample_size(10);
+    for edge in [192usize, 320, 512, 640] {
+        let rows = 64usize;
+        let real = real_samples(edge * rows);
+        let mut field = Field::zeros(edge, rows);
+        let mut scratch = FftScratch::new();
+        group.bench_function(format!("{rows}x{edge}"), |b| {
             b.iter(|| {
                 field.fill_forward_real_with(black_box(&real), &mut scratch);
                 black_box(field.energy())
@@ -78,6 +106,7 @@ criterion_group!(
     benches,
     bench_forward_complex,
     bench_inverse_complex,
-    bench_forward_real
+    bench_forward_real,
+    bench_forward_real_rows
 );
 criterion_main!(benches);

@@ -13,7 +13,7 @@
 //! * gradient descent with momentum.
 
 use cardopc_geometry::Grid;
-use cardopc_litho::fft::{Complex, Field};
+use cardopc_litho::fft::{FftScratch, Field};
 use cardopc_litho::{LithoEngine, LithoError, WorkerPool};
 
 /// Configuration of the pixel ILT optimiser.
@@ -119,18 +119,16 @@ pub fn pixel_ilt(
     // Hot-loop state, allocated once and reused across all iterations:
     // per-kernel coherent fields A_k (kept for the backward pass), the mask
     // spectrum, and one work-slot per pool task. Kernels are statically
-    // chunked in ascending order and the slot partials reduced in slot
-    // order, so results are independent of the worker count (up to
-    // reassociation rounding).
+    // chunked in ascending order, each kernel accumulates into its own
+    // strip, and the strips are reduced in ascending kernel order — so
+    // results are byte-identical for any worker count (per dispatch mode).
     struct IltSlot {
         /// `F ⊙ A_k` and its forward transform.
         work: Field,
         /// `FFT(F ⊙ A_k) ⊙ H_k*` and its inverse transform.
         prod: Field,
-        /// Blocked-transpose scratch for the 2-D FFT column passes.
-        scratch: Vec<Complex>,
-        /// Partial intensity (forward) / gradient (backward) accumulator.
-        acc: Vec<f64>,
+        /// FFT scratch (ping-pong, transpose and column-gather lanes).
+        scratch: FftScratch,
     }
     let pool = WorkerPool::global();
     let tasks = engine.workers().clamp(1, kernels.len().max(1));
@@ -142,13 +140,15 @@ pub fn pixel_ilt(
         .map(|_| IltSlot {
             work: Field::zeros(w, h),
             prod: Field::zeros(w, h),
-            scratch: Vec::new(),
-            acc: vec![0.0f64; n],
+            scratch: FftScratch::new(),
         })
         .collect();
+    // One accumulator strip per kernel, shared by forward (w·|z|²) and
+    // backward (w·Re) passes; reduced in ascending kernel order.
+    let mut strips = vec![0.0f64; kernels.len().max(1) * n];
     let mut a_fields: Vec<Field> = kernels.iter().map(|_| Field::zeros(w, h)).collect();
     let mut spectrum = Field::zeros(w, h);
-    let mut fwd_scratch: Vec<Complex> = Vec::new();
+    let mut fwd_scratch = FftScratch::new();
     let mut intensity = vec![0.0f64; n];
     let mut grad_m = vec![0.0f64; n];
     let mut f_field = vec![0.0f64; n]; // F = 2(Z-Ẑ)·Z(1-Z)·θ_Z
@@ -168,23 +168,26 @@ pub fn pixel_ilt(
         spectrum.fill_forward_real_with(&mask_vals, &mut fwd_scratch);
         {
             let spectrum = &spectrum;
-            let mut units: Vec<(&mut IltSlot, &mut [Field])> =
-                slots.iter_mut().zip(a_fields.chunks_mut(chunk)).collect();
-            pool.run_with_slots(&mut units, |t, (slot, a_chunk)| {
-                slot.acc.fill(0.0);
-                for (a, kernel) in a_chunk.iter_mut().zip(kernels.iter().skip(t * chunk)) {
+            let mut units: Vec<(&mut IltSlot, &mut [Field], &mut [f64])> = slots
+                .iter_mut()
+                .zip(a_fields.chunks_mut(chunk))
+                .zip(strips.chunks_mut(chunk * n))
+                .map(|((slot, a), s)| (slot, a, s))
+                .collect();
+            pool.run_with_slots(&mut units, |t, (slot, a_chunk, strip_chunk)| {
+                for ((a, kernel), strip) in a_chunk
+                    .iter_mut()
+                    .zip(kernels.iter().skip(t * chunk))
+                    .zip(strip_chunk.chunks_mut(n))
+                {
+                    strip.fill(0.0);
                     spectrum.mul_pointwise_pruned_into(&kernel.transfer, &kernel.live_rows, a);
                     a.ifft2_pruned_unscaled(&kernel.live_rows, &mut slot.scratch);
-                    a.accumulate_norm_sq(kernel.weight * inv_n2, &mut slot.acc);
+                    a.accumulate_norm_sq(kernel.weight * inv_n2, strip);
                 }
             });
         }
-        intensity.fill(0.0);
-        for slot in &slots {
-            for (dst, &v) in intensity.iter_mut().zip(&slot.acc) {
-                *dst += v;
-            }
-        }
+        reduce_strips(&strips, kernels.len(), n, &mut intensity);
 
         // Resist and loss.
         let mut loss = 0.0;
@@ -203,11 +206,19 @@ pub fn pixel_ilt(
         // `inv_n2` in the accumulation weight restores the true scale.
         {
             let f_field = &f_field;
-            let mut units: Vec<(&mut IltSlot, &[Field])> =
-                slots.iter_mut().zip(a_fields.chunks(chunk)).collect();
-            pool.run_with_slots(&mut units, |t, (slot, a_chunk)| {
-                slot.acc.fill(0.0);
-                for (a, kernel) in a_chunk.iter().zip(kernels.iter().skip(t * chunk)) {
+            let mut units: Vec<(&mut IltSlot, &[Field], &mut [f64])> = slots
+                .iter_mut()
+                .zip(a_fields.chunks(chunk))
+                .zip(strips.chunks_mut(chunk * n))
+                .map(|((slot, a), s)| (slot, a, s))
+                .collect();
+            pool.run_with_slots(&mut units, |t, (slot, a_chunk, strip_chunk)| {
+                for ((a, kernel), strip) in a_chunk
+                    .iter()
+                    .zip(kernels.iter().skip(t * chunk))
+                    .zip(strip_chunk.chunks_mut(n))
+                {
+                    strip.fill(0.0);
                     a.mul_real_into(f_field, &mut slot.work);
                     slot.work.fft2_inplace_with(false, &mut slot.scratch);
                     slot.work.mul_conj_pointwise_pruned_into(
@@ -217,17 +228,11 @@ pub fn pixel_ilt(
                     );
                     slot.prod
                         .ifft2_pruned_unscaled(&kernel.live_rows, &mut slot.scratch);
-                    slot.prod
-                        .accumulate_re(2.0 * kernel.weight * inv_n2, &mut slot.acc);
+                    slot.prod.accumulate_re(2.0 * kernel.weight * inv_n2, strip);
                 }
             });
         }
-        grad_m.fill(0.0);
-        for slot in &slots {
-            for (dst, &v) in grad_m.iter_mut().zip(&slot.acc) {
-                *dst += v;
-            }
-        }
+        reduce_strips(&strips, kernels.len(), n, &mut grad_m);
 
         // Chain rule through the mask sigmoid; momentum update.
         for i in 0..n {
@@ -248,6 +253,23 @@ pub fn pixel_ilt(
         binary_mask,
         loss_history,
     })
+}
+
+/// Left-folds `count` per-kernel strips of `stride` samples into `out`, in
+/// ascending kernel order — a summation tree independent of how the kernels
+/// were chunked across pool tasks.
+fn reduce_strips(strips: &[f64], count: usize, stride: usize, out: &mut [f64]) {
+    if count == 0 {
+        out.fill(0.0);
+        return;
+    }
+    out.copy_from_slice(&strips[..stride]);
+    for k in 1..count {
+        let src = &strips[k * stride..(k + 1) * stride];
+        for (dst, &v) in out.iter_mut().zip(src) {
+            *dst += v;
+        }
+    }
 }
 
 /// Recomputes the relaxed ILT loss from raw parameters — used by the

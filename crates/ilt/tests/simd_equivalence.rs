@@ -1,0 +1,73 @@
+//! Scalar-vs-SIMD equivalence of the pixel ILT gradient path.
+//!
+//! The ILT loop runs forward transforms, per-kernel pointwise products,
+//! pruned inverse transforms and `w·|z|²` / `w·Re` accumulations — every
+//! dispatched kernel the litho crate has. A few gradient-descent iterations
+//! amplify any divergence through the nonlinear sigmoid updates, so a
+//! ≤1e-9 bound on the final mask is a much stronger statement than the same
+//! bound on a single aerial image.
+
+use cardopc_geometry::{Grid, Point, Polygon};
+use cardopc_ilt::{pixel_ilt, IltConfig};
+use cardopc_litho::simd::{self, SimdMode};
+use cardopc_litho::{rasterize, LithoEngine, OpticsConfig};
+use std::sync::Mutex;
+
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_mode<T>(mode: SimdMode, f: impl FnOnce() -> T) -> T {
+    simd::force_mode(Some(mode));
+    let out = f();
+    simd::force_mode(None);
+    out
+}
+
+fn run_ilt(w: usize, h: usize) -> (Grid, Vec<f64>) {
+    let mut engine = LithoEngine::new(OpticsConfig::default(), w, h, 4.0).unwrap();
+    engine.calibrate_threshold();
+    let extent = w as f64 * 4.0;
+    let target = rasterize(
+        &[
+            Polygon::rect(
+                Point::new(0.3 * extent, 0.25 * extent),
+                Point::new(0.5 * extent, 0.75 * extent),
+            ),
+            Polygon::rect(
+                Point::new(0.6 * extent, 0.4 * extent),
+                Point::new(0.75 * extent, 0.6 * extent),
+            ),
+        ],
+        w,
+        h,
+        4.0,
+    )
+    .binarize(0.5);
+    let config = IltConfig {
+        iterations: 8,
+        regularize_every: 0,
+        ..IltConfig::default()
+    };
+    let out = pixel_ilt(&engine, &target, &config).unwrap();
+    (out.mask, out.loss_history)
+}
+
+#[test]
+fn ilt_gradient_scalar_vs_simd_within_1e9() {
+    let _guard = MODE_LOCK.lock().unwrap();
+    if !simd::avx2_available() {
+        return; // single-mode machine: nothing to compare
+    }
+    let (scalar_mask, scalar_loss) = with_mode(SimdMode::Scalar, || run_ilt(96, 96));
+    let (simd_mask, simd_loss) = with_mode(SimdMode::Avx2, || run_ilt(96, 96));
+    let mask_diff = scalar_mask
+        .data()
+        .iter()
+        .zip(simd_mask.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(mask_diff <= 1e-9, "ILT mask scalar/SIMD diff {mask_diff}");
+    for (i, (a, b)) in scalar_loss.iter().zip(&simd_loss).enumerate() {
+        let d = (a - b).abs() / (1.0 + a.abs());
+        assert!(d <= 1e-9, "ILT loss[{i}] scalar/SIMD diff {d}");
+    }
+}

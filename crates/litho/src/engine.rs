@@ -111,7 +111,9 @@ impl LithoEngine {
     ///
     /// # Errors
     ///
-    /// * [`LithoError::NonPowerOfTwoGrid`] for FFT-incompatible dimensions,
+    /// * [`LithoError::EmptyGrid`] for zero-sized dimensions (any nonzero
+    ///   grid is FFT-compatible: 5-smooth sizes run on the direct
+    ///   mixed-radix path, everything else via Bluestein),
     /// * [`LithoError::InvalidOptics`] for bad physical parameters.
     pub fn new(
         config: OpticsConfig,

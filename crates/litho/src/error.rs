@@ -7,8 +7,10 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum LithoError {
-    /// Simulation grid dimensions must be powers of two (FFT constraint).
-    NonPowerOfTwoGrid {
+    /// Simulation grid dimensions must be nonzero. (Any nonzero size is
+    /// transformable: 5-smooth lengths on the direct mixed-radix path,
+    /// everything else via Bluestein.)
+    EmptyGrid {
         /// Offending width.
         width: usize,
         /// Offending height.
@@ -32,9 +34,9 @@ pub enum LithoError {
 impl fmt::Display for LithoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LithoError::NonPowerOfTwoGrid { width, height } => write!(
+            LithoError::EmptyGrid { width, height } => write!(
                 f,
-                "simulation grid must have power-of-two dimensions, got {width}x{height}"
+                "simulation grid must have nonzero dimensions, got {width}x{height}"
             ),
             LithoError::InvalidOptics(what) => write!(f, "invalid optics parameter: {what}"),
             LithoError::GridMismatch { expected, got } => write!(
@@ -56,7 +58,7 @@ mod tests {
 
     #[test]
     fn messages_nonempty() {
-        let e = LithoError::NonPowerOfTwoGrid {
+        let e = LithoError::EmptyGrid {
             width: 100,
             height: 64,
         };

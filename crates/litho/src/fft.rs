@@ -1,11 +1,22 @@
-//! Complex numbers and radix-2 FFT (1-D and 2-D).
+//! Complex numbers, split-complex 2-D fields, and FFT entry points.
 //!
 //! The lithography engine computes Hopkins/Abbe partially coherent images as
 //! weighted sums of `|IFFT(FFT(mask) · H_k)|²` terms; no FFT crate is on the
-//! approved dependency list, so this module implements an iterative
-//! decimation-in-time radix-2 transform with precomputed twiddle factors.
-//! Sizes must be powers of two — the engine pads rasters accordingly.
+//! approved dependency list, so the transforms are implemented in
+//! [`crate::plan`] (mixed-radix Stockham + Bluestein) and driven from here.
+//!
+//! [`Field`] stores its samples **split-complex** (structure-of-arrays:
+//! separate `re[]`/`im[]` vectors) rather than interleaved. Every hot loop —
+//! butterflies, twiddle rotation, frequency-domain products, the SOCS
+//! `w·|z|²` reduction — then runs over packed f64 lanes with no shuffles,
+//! which is what lets the scalar bodies autovectorize and the AVX2/FMA
+//! kernels in [`crate::simd`] stream at full width. Any nonzero dimensions
+//! are accepted; 5-smooth sizes (`2^a·3^b·5^c`) run the direct mixed-radix
+//! pipeline and are what [`next_five_smooth`] rounds grids to, while other
+//! sizes transparently fall back to Bluestein.
 
+use crate::plan::FftPlan;
+use crate::simd::{self, SimdMode};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
@@ -129,55 +140,122 @@ pub fn next_power_of_two(n: usize) -> usize {
     n.next_power_of_two()
 }
 
-/// In-place iterative radix-2 FFT.
-///
-/// `inverse = true` computes the inverse transform *including* the `1/n`
-/// normalisation, so `ifft(fft(x)) == x`.
-///
-/// # Panics
-///
-/// Panics when `data.len()` is not a power of two.
-pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
-    let n = data.len();
-    assert!(is_power_of_two(n), "FFT length must be a power of two");
-    if n <= 1 {
-        return;
+/// Returns `true` when `n` has no prime factors other than 2, 3 and 5
+/// (and is nonzero) — the lengths the direct mixed-radix FFT handles.
+pub fn is_five_smooth(n: usize) -> bool {
+    if n == 0 {
+        return false;
     }
-    crate::plan::FftPlan::get(n).execute(data, inverse);
+    let mut n = n;
+    for p in [2usize, 3, 5] {
+        while n.is_multiple_of(p) {
+            n /= p;
+        }
+    }
+    n == 1
 }
 
-/// Cache-blocked out-of-place transpose: `src` is `height` rows of `width`,
-/// `dst` becomes `width` rows of `height`.
+/// Smallest 5-smooth number `>= n` (`>= 1` for `n == 0`).
 ///
-/// The 2-D FFT's column pass runs row transforms on the transposed field
-/// instead of gather/scatter copies with stride `width`, keeping every
-/// butterfly pass on contiguous memory.
-fn transpose_into(src: &[Complex], width: usize, height: usize, dst: &mut [Complex]) {
-    debug_assert_eq!(src.len(), width * height);
-    debug_assert_eq!(dst.len(), width * height);
+/// Grid sizing rounds up to this instead of the next power of two: 5-smooth
+/// numbers are dense (worst-case overhead a few percent, vs up to 2× for
+/// pow2 padding), and the FFT runs its direct mixed-radix path on them.
+pub fn next_five_smooth(n: usize) -> usize {
+    let mut m = n.max(1);
+    while !is_five_smooth(m) {
+        m += 1;
+    }
+    m
+}
+
+/// In-place iterative FFT over interleaved complex samples (any length).
+///
+/// `inverse = true` computes the inverse transform *including* the `1/n`
+/// normalisation, so `ifft(fft(x)) == x`. Compatibility/diagnostic entry
+/// point — hot paths use the split-complex [`Field`]/[`FftPlan`] APIs.
+pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
+    if data.len() <= 1 {
+        return;
+    }
+    FftPlan::get(data.len()).execute(data, inverse);
+}
+
+/// Cache-blocked real-valued transpose: `src` is `rows` rows of `cols`
+/// samples, `dst[c * rows + r] = src[r * cols + c]`.
+///
+/// With the split-complex layout this is the only transpose the 2-D paths
+/// need (applied per lane); it also unfolds the transposed SOCS accumulator
+/// of [`Field::ifft2_pruned_accumulate_t`] back to row-major.
+pub(crate) fn transpose_real_into(src: &[f64], rows: usize, cols: usize, dst: &mut [f64]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    transpose_scatter(src, rows, cols, dst, rows);
+}
+
+/// Column stride for the 2-D transpose scratch: `height`, padded by one
+/// cache line when a tight stride would be a multiple of 256 samples.
+///
+/// Power-of-two strides ≥ 2 KiB alias to a handful of L1 sets, so the
+/// blocked transposes and the column transforms thrash the cache exactly at
+/// the "nice" grid sizes (512, 1024, …). Padding the scratch stride — the
+/// side of every transpose that needs lines to *persist* across the tile —
+/// spreads the accesses over all sets. Field layout stays tight; only the
+/// scratch pays `height·8` bytes per pad.
+#[inline]
+pub(crate) fn padded_stride(height: usize) -> usize {
+    if height.is_multiple_of(256) {
+        height + 8
+    } else {
+        height
+    }
+}
+
+/// Cache-blocked strided-destination transpose:
+/// `dst[c * dst_stride + r] = src[r * cols + c]`.
+///
+/// The inner loop reads `src` sequentially and writes the strided `dst`
+/// lines that persist across the tile — pair with a padded `dst_stride`
+/// (see [`padded_stride`]) to keep those lines in distinct cache sets.
+pub(crate) fn transpose_scatter(
+    src: &[f64],
+    rows: usize,
+    cols: usize,
+    dst: &mut [f64],
+    dst_stride: usize,
+) {
+    debug_assert!(dst_stride >= rows);
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert!(dst.len() >= (cols - 1) * dst_stride + rows);
     const TILE: usize = 32;
-    for y0 in (0..height).step_by(TILE) {
-        let y1 = (y0 + TILE).min(height);
-        for x0 in (0..width).step_by(TILE) {
-            let x1 = (x0 + TILE).min(width);
-            for y in y0..y1 {
-                let row = y * width;
-                for x in x0..x1 {
-                    dst[x * height + y] = src[row + x];
+    for r0 in (0..rows).step_by(TILE) {
+        let r1 = (r0 + TILE).min(rows);
+        for c0 in (0..cols).step_by(TILE) {
+            let c1 = (c0 + TILE).min(cols);
+            for r in r0..r1 {
+                let row = r * cols;
+                for c in c0..c1 {
+                    dst[c * dst_stride + r] = src[row + c];
                 }
             }
         }
     }
 }
 
-/// Cache-blocked real-valued transpose: `src` is `rows` rows of `cols`
-/// samples, `dst[c * rows + r] = src[r * cols + c]`.
+/// Cache-blocked strided-source transpose, the inverse access pattern of
+/// [`transpose_scatter`]: `dst[r * cols + c] = src[c * src_stride + r]`.
 ///
-/// Used to unfold the transposed SOCS accumulator layout of
-/// [`Field::ifft2_pruned_accumulate_t`] back to row-major, once per image
-/// instead of once per kernel.
-pub(crate) fn transpose_real_into(src: &[f64], rows: usize, cols: usize, dst: &mut [f64]) {
-    debug_assert_eq!(src.len(), rows * cols);
+/// The inner loop writes `dst` sequentially and re-reads the strided `src`
+/// lines across the tile — the persistent side, so `src` should carry the
+/// padded stride.
+pub(crate) fn transpose_gather(
+    src: &[f64],
+    src_stride: usize,
+    rows: usize,
+    cols: usize,
+    dst: &mut [f64],
+) {
+    debug_assert!(src_stride >= rows);
+    debug_assert!(src.len() >= (cols - 1) * src_stride + rows);
     debug_assert_eq!(dst.len(), rows * cols);
     const TILE: usize = 32;
     for r0 in (0..rows).step_by(TILE) {
@@ -187,19 +265,64 @@ pub(crate) fn transpose_real_into(src: &[f64], rows: usize, cols: usize, dst: &m
             for r in r0..r1 {
                 let row = r * cols;
                 for c in c0..c1 {
-                    dst[c * rows + r] = src[row + c];
+                    dst[row + c] = src[c * src_stride + r];
                 }
             }
         }
     }
 }
 
-/// A 2-D complex field of power-of-two dimensions, row-major.
+/// Reusable scratch buffers for FFT execution, one per worker/slot.
+///
+/// Holds the Stockham ping-pong pair, the Bluestein convolution pair, the
+/// 2-D transpose pair and the column-gather pair as separate allocations so
+/// the borrow checker can hand disjoint `&mut` views to nested plan
+/// executions. All buffers start empty and grow on demand, then are reused
+/// without further allocation — replacing the seed's per-call
+/// `Vec<Complex>` scratch arguments.
+#[derive(Clone, Debug, Default)]
+pub struct FftScratch {
+    /// Stockham ping-pong partner (re lane).
+    pub(crate) pong_re: Vec<f64>,
+    /// Stockham ping-pong partner (im lane).
+    pub(crate) pong_im: Vec<f64>,
+    /// Bluestein convolution workspace (re lane).
+    pub(crate) blu_re: Vec<f64>,
+    /// Bluestein convolution workspace (im lane).
+    pub(crate) blu_im: Vec<f64>,
+    /// Blocked-transpose buffer for 2-D column passes (re lane).
+    pub(crate) t_re: Vec<f64>,
+    /// Blocked-transpose buffer for 2-D column passes (im lane).
+    pub(crate) t_im: Vec<f64>,
+    /// Column gather buffer for the fused accumulate paths (re lane).
+    pub(crate) col_re: Vec<f64>,
+    /// Column gather buffer for the fused accumulate paths (im lane).
+    pub(crate) col_im: Vec<f64>,
+}
+
+impl FftScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> FftScratch {
+        FftScratch::default()
+    }
+}
+
+#[inline]
+fn ensure(buf: &mut Vec<f64>, n: usize) -> &mut [f64] {
+    if buf.len() < n {
+        buf.resize(n, 0.0);
+    }
+    &mut buf[..n]
+}
+
+/// A 2-D complex field, row-major, stored split-complex (separate re/im
+/// lanes). Any nonzero dimensions are accepted.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Field {
     width: usize,
     height: usize,
-    data: Vec<Complex>,
+    re: Vec<f64>,
+    im: Vec<f64>,
 }
 
 impl Field {
@@ -207,16 +330,14 @@ impl Field {
     ///
     /// # Panics
     ///
-    /// Panics when either dimension is not a power of two.
+    /// Panics when either dimension is zero.
     pub fn zeros(width: usize, height: usize) -> Self {
-        assert!(
-            is_power_of_two(width) && is_power_of_two(height),
-            "field dimensions must be powers of two"
-        );
+        assert!(width > 0 && height > 0, "field dimensions must be nonzero");
         Field {
             width,
             height,
-            data: vec![Complex::ZERO; width * height],
+            re: vec![0.0; width * height],
+            im: vec![0.0; width * height],
         }
     }
 
@@ -224,13 +345,11 @@ impl Field {
     ///
     /// # Panics
     ///
-    /// Panics on dimension mismatch or non-power-of-two dimensions.
+    /// Panics on sample-count mismatch or a zero dimension.
     pub fn from_real(width: usize, height: usize, real: &[f64]) -> Self {
         assert_eq!(real.len(), width * height, "sample count mismatch");
         let mut f = Field::zeros(width, height);
-        for (dst, &src) in f.data.iter_mut().zip(real) {
-            dst.re = src;
-        }
+        f.re.copy_from_slice(real);
         f
     }
 
@@ -246,44 +365,67 @@ impl Field {
         self.height
     }
 
-    /// Raw samples, row-major.
+    /// Real lane, row-major.
     #[inline]
-    pub fn data(&self) -> &[Complex] {
-        &self.data
+    pub fn re(&self) -> &[f64] {
+        &self.re
     }
 
-    /// Mutable raw samples, row-major.
+    /// Imaginary lane, row-major.
     #[inline]
-    pub fn data_mut(&mut self) -> &mut [Complex] {
-        &mut self.data
+    pub fn im(&self) -> &[f64] {
+        &self.im
+    }
+
+    /// Mutable real lane, row-major.
+    #[inline]
+    pub fn re_mut(&mut self) -> &mut [f64] {
+        &mut self.re
+    }
+
+    /// Mutable imaginary lane, row-major.
+    #[inline]
+    pub fn im_mut(&mut self) -> &mut [f64] {
+        &mut self.im
     }
 
     /// Sample accessor.
     #[inline]
     pub fn at(&self, ix: usize, iy: usize) -> Complex {
-        self.data[iy * self.width + ix]
+        let i = iy * self.width + ix;
+        Complex::new(self.re[i], self.im[i])
     }
 
-    /// Mutable sample accessor.
+    /// Sample writer (the split layout has no `&mut Complex` to hand out).
     #[inline]
-    pub fn at_mut(&mut self, ix: usize, iy: usize) -> &mut Complex {
-        &mut self.data[iy * self.width + ix]
+    pub fn set(&mut self, ix: usize, iy: usize, z: Complex) {
+        let i = iy * self.width + ix;
+        self.re[i] = z.re;
+        self.im[i] = z.im;
+    }
+
+    /// Iterates the samples in row-major order as [`Complex`] values.
+    pub fn iter(&self) -> impl Iterator<Item = Complex> + '_ {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| Complex::new(r, i))
     }
 
     /// In-place 2-D FFT (rows then columns).
     ///
-    /// Allocates a transient transpose scratch buffer; hot paths should hold
-    /// a [`crate::LithoWorkspace`] or call [`Field::fft2_inplace_with`] with
-    /// a reused buffer instead.
+    /// Allocates a transient scratch; hot paths should hold a
+    /// [`crate::LithoWorkspace`] or call [`Field::fft2_inplace_with`] with a
+    /// reused [`FftScratch`] instead.
     pub fn fft2_inplace(&mut self, inverse: bool) {
-        let mut scratch = Vec::new();
+        let mut scratch = FftScratch::new();
         self.fft2_inplace_with(inverse, &mut scratch);
     }
 
-    /// In-place 2-D FFT reusing `scratch` for the blocked-transpose column
-    /// pass (resized to `width * height` on first use, then reused without
-    /// further allocation).
-    pub fn fft2_inplace_with(&mut self, inverse: bool, scratch: &mut Vec<Complex>) {
+    /// In-place 2-D FFT reusing `scratch` for the ping-pong and
+    /// blocked-transpose passes (buffers grow on first use, then are reused
+    /// without further allocation).
+    pub fn fft2_inplace_with(&mut self, inverse: bool, scratch: &mut FftScratch) {
         self.fft2_core(inverse, scratch, None, true);
     }
 
@@ -301,24 +443,26 @@ impl Field {
     /// # Panics
     ///
     /// Panics when `live_rows.len() != height`.
-    pub fn ifft2_pruned_unscaled(&mut self, live_rows: &[bool], scratch: &mut Vec<Complex>) {
+    pub fn ifft2_pruned_unscaled(&mut self, live_rows: &[bool], scratch: &mut FftScratch) {
         assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
         self.fft2_core(true, scratch, Some(live_rows), false);
     }
 
     /// Row-pruned unscaled inverse transform restricted to the given
-    /// columns, fused with the SOCS reduction
-    /// `acc[y·width + x] += weight · |z(x, y)|²`.
+    /// columns, fused with the SOCS reduction into a **column-contiguous**
+    /// accumulator: `acc[ci·height + y] += weight · |z(cols[ci], y)|²`.
     ///
     /// Runs the same pruned inverse *row* pass as
     /// [`Field::ifft2_pruned_unscaled`], then — instead of transposing the
     /// whole field, transforming every column and transposing back —
     /// gathers each requested column into a contiguous buffer, applies the
     /// identical column transform, and accumulates the weighted squared
-    /// magnitudes directly. The accumulated pixels are bit-identical to the
-    /// full path (the same [`crate::FftPlan`] runs on the same contiguous
-    /// values), and both transposes plus the off-ROI column transforms are
-    /// skipped entirely.
+    /// magnitudes contiguously. The accumulated pixels are bit-identical to
+    /// the full path (the same [`crate::FftPlan`] and the same contiguous
+    /// [`crate::simd`] reduction kernel run on the same values in the same
+    /// order), and both transposes plus the off-ROI column transforms are
+    /// skipped entirely; callers scatter the per-column strips back to
+    /// row-major once per image.
     ///
     /// This is the OPC-iteration hot path: EPE correction only reads the
     /// aerial image near the frozen measurement anchors, so only those
@@ -328,42 +472,52 @@ impl Field {
     ///
     /// # Panics
     ///
-    /// Panics on mask/accumulator length mismatch or an out-of-range column
-    /// index.
+    /// Panics when `acc.len() != cols.len() * height`, on a row-mask length
+    /// mismatch, or on an out-of-range column index.
     pub fn ifft2_pruned_cols_accumulate(
         &mut self,
         live_rows: &[bool],
         cols: &[usize],
-        scratch: &mut Vec<Complex>,
+        scratch: &mut FftScratch,
         weight: f64,
         acc: &mut [f64],
     ) {
-        assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
-        assert_eq!(
-            acc.len(),
-            self.width * self.height,
-            "accumulator length mismatch"
-        );
-        let plan_w = crate::plan::FftPlan::get(self.width);
-        let plan_h = crate::plan::FftPlan::get(self.height);
-        for (row, &live) in self.data.chunks_exact_mut(self.width).zip(live_rows) {
+        let (w, h) = (self.width, self.height);
+        assert_eq!(live_rows.len(), h, "row mask length mismatch");
+        assert_eq!(acc.len(), cols.len() * h, "accumulator length mismatch");
+        let mode = simd::active_mode();
+        let plan_w = FftPlan::get(w);
+        let plan_h = FftPlan::get(h);
+        let FftScratch {
+            pong_re,
+            pong_im,
+            blu_re,
+            blu_im,
+            col_re,
+            col_im,
+            ..
+        } = scratch;
+        for ((rr, ri), &live) in self
+            .re
+            .chunks_exact_mut(w)
+            .zip(self.im.chunks_exact_mut(w))
+            .zip(live_rows)
+        {
             if live {
-                plan_w.execute_unscaled(row, true);
+                plan_w.execute_split_parts(mode, rr, ri, pong_re, pong_im, blu_re, blu_im, true);
             }
         }
-        if scratch.len() < self.height {
-            scratch.resize(self.height, Complex::ZERO);
-        }
-        let col_buf = &mut scratch[..self.height];
-        for &x in cols {
-            assert!(x < self.width, "column index out of range");
-            for (y, dst) in col_buf.iter_mut().enumerate() {
-                *dst = self.data[y * self.width + x];
+        let col_re = ensure(col_re, h);
+        let col_im = ensure(col_im, h);
+        for (ci, &x) in cols.iter().enumerate() {
+            assert!(x < w, "column index out of range");
+            for y in 0..h {
+                col_re[y] = self.re[y * w + x];
+                col_im[y] = self.im[y * w + x];
             }
-            plan_h.execute_unscaled(col_buf, true);
-            for (y, z) in col_buf.iter().enumerate() {
-                acc[y * self.width + x] += weight * z.norm_sq();
-            }
+            plan_h
+                .execute_split_parts(mode, col_re, col_im, pong_re, pong_im, blu_re, blu_im, true);
+            simd::acc_norm_sq(mode, col_re, col_im, weight, &mut acc[ci * h..(ci + 1) * h]);
         }
     }
 
@@ -380,9 +534,9 @@ impl Field {
     /// column-contiguously. Compared to the full path this skips both
     /// blocked transposes, the write-back of the transformed field, and
     /// every dead-row load/store — the accumulated values are bit-identical
-    /// (the same [`crate::FftPlan`] runs on the same values in the same
-    /// order), only stored transposed; callers undo the layout with one
-    /// real-valued transpose after the kernel loop.
+    /// (the same [`crate::FftPlan`] and reduction kernel run on the same
+    /// values in the same order), only stored transposed; callers undo the
+    /// layout with one real-valued transpose after the kernel loop.
     ///
     /// `self` is left partially transformed (rows done, columns untouched)
     /// — callers must treat the field as scratch afterwards.
@@ -393,39 +547,68 @@ impl Field {
     pub fn ifft2_pruned_accumulate_t(
         &mut self,
         live_rows: &[bool],
-        scratch: &mut Vec<Complex>,
+        scratch: &mut FftScratch,
         weight: f64,
         acc_t: &mut [f64],
     ) {
-        assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
-        assert_eq!(
-            acc_t.len(),
-            self.width * self.height,
-            "accumulator length mismatch"
-        );
-        let plan_w = crate::plan::FftPlan::get(self.width);
-        let plan_h = crate::plan::FftPlan::get(self.height);
-        for (row, &live) in self.data.chunks_exact_mut(self.width).zip(live_rows) {
+        let (w, h) = (self.width, self.height);
+        assert_eq!(live_rows.len(), h, "row mask length mismatch");
+        assert_eq!(acc_t.len(), w * h, "accumulator length mismatch");
+        let mode = simd::active_mode();
+        let plan_w = FftPlan::get(w);
+        let plan_h = FftPlan::get(h);
+        let FftScratch {
+            pong_re,
+            pong_im,
+            blu_re,
+            blu_im,
+            col_re,
+            col_im,
+            ..
+        } = scratch;
+        for ((rr, ri), &live) in self
+            .re
+            .chunks_exact_mut(w)
+            .zip(self.im.chunks_exact_mut(w))
+            .zip(live_rows)
+        {
             if live {
-                plan_w.execute_unscaled(row, true);
+                plan_w.execute_split_parts(mode, rr, ri, pong_re, pong_im, blu_re, blu_im, true);
             }
         }
-        if scratch.len() < self.height {
-            scratch.resize(self.height, Complex::ZERO);
-        }
-        let col_buf = &mut scratch[..self.height];
-        for x in 0..self.width {
-            for (y, (dst, &live)) in col_buf.iter_mut().zip(live_rows).enumerate() {
-                *dst = if live {
-                    self.data[y * self.width + x]
+        // Gather 8 adjacent columns per pass so each cache line of the
+        // row-major field is consumed once, into padded column lanes that
+        // don't alias each other (see [`padded_stride`]). The per-column
+        // transform + accumulate below is unchanged, so results stay
+        // bitwise identical to a column-at-a-time gather.
+        const COLS: usize = 8;
+        let cs = padded_stride(h);
+        let col_re = ensure(col_re, COLS * cs);
+        let col_im = ensure(col_im, COLS * cs);
+        for x0 in (0..w).step_by(COLS) {
+            let bw = COLS.min(w - x0);
+            for (y, &live) in live_rows.iter().enumerate() {
+                if live {
+                    let row = y * w + x0;
+                    for j in 0..bw {
+                        col_re[j * cs + y] = self.re[row + j];
+                        col_im[j * cs + y] = self.im[row + j];
+                    }
                 } else {
-                    Complex::ZERO
-                };
+                    for j in 0..bw {
+                        col_re[j * cs + y] = 0.0;
+                        col_im[j * cs + y] = 0.0;
+                    }
+                }
             }
-            plan_h.execute_unscaled(col_buf, true);
-            let acc_col = &mut acc_t[x * self.height..(x + 1) * self.height];
-            for (a, z) in acc_col.iter_mut().zip(col_buf.iter()) {
-                *a += weight * z.norm_sq();
+            for j in 0..bw {
+                let (cr, ci) = (
+                    &mut col_re[j * cs..j * cs + h],
+                    &mut col_im[j * cs..j * cs + h],
+                );
+                plan_h.execute_split_parts(mode, cr, ci, pong_re, pong_im, blu_re, blu_im, true);
+                let x = x0 + j;
+                simd::acc_norm_sq(mode, cr, ci, weight, &mut acc_t[x * h..(x + 1) * h]);
             }
         }
     }
@@ -433,40 +616,78 @@ impl Field {
     fn fft2_core(
         &mut self,
         inverse: bool,
-        scratch: &mut Vec<Complex>,
+        scratch: &mut FftScratch,
         live_rows: Option<&[bool]>,
         normalize: bool,
     ) {
-        let plan_w = crate::plan::FftPlan::get(self.width);
-        let plan_h = crate::plan::FftPlan::get(self.height);
+        let (w, h) = (self.width, self.height);
+        let mode = simd::active_mode();
+        let plan_w = FftPlan::get(w);
+        let plan_h = FftPlan::get(h);
+        let FftScratch {
+            pong_re,
+            pong_im,
+            blu_re,
+            blu_im,
+            t_re,
+            t_im,
+            ..
+        } = scratch;
         match live_rows {
             None => {
-                for row in self.data.chunks_exact_mut(self.width) {
-                    plan_w.execute_unscaled(row, inverse);
+                for (rr, ri) in self.re.chunks_exact_mut(w).zip(self.im.chunks_exact_mut(w)) {
+                    plan_w.execute_split_parts(
+                        mode, rr, ri, pong_re, pong_im, blu_re, blu_im, inverse,
+                    );
                 }
             }
             Some(mask) => {
-                for (row, &live) in self.data.chunks_exact_mut(self.width).zip(mask) {
+                for ((rr, ri), &live) in self
+                    .re
+                    .chunks_exact_mut(w)
+                    .zip(self.im.chunks_exact_mut(w))
+                    .zip(mask)
+                {
                     if live {
-                        plan_w.execute_unscaled(row, inverse);
+                        plan_w.execute_split_parts(
+                            mode, rr, ri, pong_re, pong_im, blu_re, blu_im, inverse,
+                        );
                     }
                 }
             }
         }
 
-        // Column pass on the transposed field: contiguous butterflies
-        // instead of stride-`width` gather/scatter.
-        scratch.resize(self.width * self.height, Complex::ZERO);
-        transpose_into(&self.data, self.width, self.height, scratch);
-        for col in scratch.chunks_exact_mut(self.height) {
-            plan_h.execute_unscaled(col, inverse);
+        // Column pass on the transposed lanes: contiguous butterflies
+        // instead of stride-`width` gather/scatter. The scratch stride is
+        // padded so pow2 heights don't alias the cache (see
+        // [`padded_stride`]).
+        let cs = padded_stride(h);
+        let t_re = ensure(t_re, w * cs);
+        let t_im = ensure(t_im, w * cs);
+        transpose_scatter(&self.re, h, w, t_re, cs);
+        transpose_scatter(&self.im, h, w, t_im, cs);
+        for (cr, ci) in t_re.chunks_exact_mut(cs).zip(t_im.chunks_exact_mut(cs)) {
+            plan_h.execute_split_parts(
+                mode,
+                &mut cr[..h],
+                &mut ci[..h],
+                pong_re,
+                pong_im,
+                blu_re,
+                blu_im,
+                inverse,
+            );
         }
-        transpose_into(scratch, self.height, self.width, &mut self.data);
+        transpose_gather(t_re, cs, h, w, &mut self.re);
+        transpose_gather(t_im, cs, h, w, &mut self.im);
 
         if inverse && normalize {
-            let inv = 1.0 / (self.width * self.height) as f64;
-            for z in self.data.iter_mut() {
-                *z = z.scale(inv);
+            let inv = 1.0 / (w * h) as f64;
+            for v in self.re.iter_mut() {
+                *v *= inv;
+            }
+            for v in self.im.iter_mut() {
+                *v *= inv;
             }
         }
     }
@@ -478,10 +699,10 @@ impl Field {
     ///
     /// # Panics
     ///
-    /// Panics on sample-count mismatch or non-power-of-two dimensions.
+    /// Panics on sample-count mismatch or a zero dimension.
     pub fn forward_real(width: usize, height: usize, real: &[f64]) -> Field {
         let mut out = Field::zeros(width, height);
-        let mut scratch = Vec::new();
+        let mut scratch = FftScratch::new();
         out.fill_forward_real_with(real, &mut scratch);
         out
     }
@@ -491,59 +712,110 @@ impl Field {
     /// Exploits that the input is real: two rows are packed into the real
     /// and imaginary lanes of a single complex transform and separated
     /// afterwards via Hermitian symmetry, roughly halving the row-pass cost
-    /// relative to transforming a zero-imaginary complex field.
+    /// relative to transforming a zero-imaginary complex field. With the
+    /// split layout the packing itself is two row memcpys. An odd trailing
+    /// row (odd heights) is transformed unpaired.
     ///
     /// # Panics
     ///
     /// Panics when `real.len() != width * height`.
-    pub fn fill_forward_real_with(&mut self, real: &[f64], scratch: &mut Vec<Complex>) {
+    pub fn fill_forward_real_with(&mut self, real: &[f64], scratch: &mut FftScratch) {
         let (w, h) = (self.width, self.height);
         assert_eq!(real.len(), w * h, "sample count mismatch");
-        let plan_w = crate::plan::FftPlan::get(w);
+        let mode = simd::active_mode();
+        let plan_w = FftPlan::get(w);
+        let FftScratch {
+            pong_re,
+            pong_im,
+            blu_re,
+            blu_im,
+            t_re,
+            t_im,
+            ..
+        } = scratch;
 
         if h == 1 {
-            for (dst, &src) in self.data.iter_mut().zip(real) {
-                *dst = Complex::new(src, 0.0);
-            }
-            plan_w.execute_unscaled(&mut self.data, false);
+            self.re.copy_from_slice(real);
+            self.im.fill(0.0);
+            plan_w.execute_split_parts(
+                mode,
+                &mut self.re,
+                &mut self.im,
+                pong_re,
+                pong_im,
+                blu_re,
+                blu_im,
+                false,
+            );
             return;
         }
 
-        // Row pass: pack real rows (2y, 2y+1) as re/im lanes of one complex
-        // row, transform, then split with A[k] = (Z[k] + conj(Z[-k]))/2 and
-        // B[k] = (Z[k] - conj(Z[-k]))/(2i).
-        for (pair, rpair) in self
-            .data
-            .chunks_exact_mut(2 * w)
-            .zip(real.chunks_exact(2 * w))
-        {
-            let (row_a, row_b) = pair.split_at_mut(w);
-            let (real_a, real_b) = rpair.split_at(w);
-            for j in 0..w {
-                row_a[j] = Complex::new(real_a[j], real_b[j]);
-            }
-            plan_w.execute_unscaled(row_a, false);
+        // Row pass: pack real rows (2t, 2t+1) as the re/im lanes of one
+        // complex row, transform, then split with
+        // A[k] = (Z[k] + conj(Z[-k]))/2 and B[k] = (Z[k] - conj(Z[-k]))/(2i).
+        let pairs = h / 2;
+        for t in 0..pairs {
+            let (re_a, re_b) = self.re[2 * t * w..(2 * t + 2) * w].split_at_mut(w);
+            let (im_a, im_b) = self.im[2 * t * w..(2 * t + 2) * w].split_at_mut(w);
+            re_a.copy_from_slice(&real[2 * t * w..(2 * t + 1) * w]);
+            im_a.copy_from_slice(&real[(2 * t + 1) * w..(2 * t + 2) * w]);
+            plan_w.execute_split_parts(mode, re_a, im_a, pong_re, pong_im, blu_re, blu_im, false);
             for k in 0..=w / 2 {
-                let km = (w - k) & (w - 1);
-                let zk = row_a[k];
-                let zm = row_a[km];
-                row_a[k] = Complex::new(0.5 * (zk.re + zm.re), 0.5 * (zk.im - zm.im));
-                row_b[k] = Complex::new(0.5 * (zk.im + zm.im), 0.5 * (zm.re - zk.re));
+                let km = (w - k) % w;
+                let (zkr, zki) = (re_a[k], im_a[k]);
+                let (zmr, zmi) = (re_a[km], im_a[km]);
+                re_a[k] = 0.5 * (zkr + zmr);
+                im_a[k] = 0.5 * (zki - zmi);
+                re_b[k] = 0.5 * (zki + zmi);
+                im_b[k] = 0.5 * (zmr - zkr);
                 if km != k {
-                    row_a[km] = Complex::new(0.5 * (zm.re + zk.re), 0.5 * (zm.im - zk.im));
-                    row_b[km] = Complex::new(0.5 * (zm.im + zk.im), 0.5 * (zk.re - zm.re));
+                    re_a[km] = 0.5 * (zmr + zkr);
+                    im_a[km] = 0.5 * (zmi - zki);
+                    re_b[km] = 0.5 * (zmi + zki);
+                    im_b[km] = 0.5 * (zkr - zmr);
                 }
             }
         }
-
-        // Column pass, identical to the complex path.
-        let plan_h = crate::plan::FftPlan::get(h);
-        scratch.resize(w * h, Complex::ZERO);
-        transpose_into(&self.data, w, h, scratch);
-        for col in scratch.chunks_exact_mut(h) {
-            plan_h.execute_unscaled(col, false);
+        if h % 2 == 1 {
+            // Unpaired last row: plain transform with a zero imaginary lane.
+            let row = (h - 1) * w;
+            let re_l = &mut self.re[row..row + w];
+            let im_l = &mut self.im[row..row + w];
+            re_l.copy_from_slice(&real[row..row + w]);
+            im_l.fill(0.0);
+            plan_w.execute_split_parts(mode, re_l, im_l, pong_re, pong_im, blu_re, blu_im, false);
         }
-        transpose_into(scratch, h, w, &mut self.data);
+
+        // Column pass, identical to the complex path (padded scratch
+        // stride, see [`padded_stride`]).
+        let plan_h = FftPlan::get(h);
+        let cs = padded_stride(h);
+        let t_re = ensure(t_re, w * cs);
+        let t_im = ensure(t_im, w * cs);
+        transpose_scatter(&self.re, h, w, t_re, cs);
+        transpose_scatter(&self.im, h, w, t_im, cs);
+        for (cr, ci) in t_re.chunks_exact_mut(cs).zip(t_im.chunks_exact_mut(cs)) {
+            plan_h.execute_split_parts(
+                mode,
+                &mut cr[..h],
+                &mut ci[..h],
+                pong_re,
+                pong_im,
+                blu_re,
+                blu_im,
+                false,
+            );
+        }
+        transpose_gather(t_re, cs, h, w, &mut self.re);
+        transpose_gather(t_im, cs, h, w, &mut self.im);
+    }
+
+    fn assert_same_dims(&self, other: &Field) {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "dimension mismatch"
+        );
     }
 
     /// Pointwise multiplication by another field of identical dimensions.
@@ -552,19 +824,10 @@ impl Field {
     ///
     /// Panics on dimension mismatch.
     pub fn mul_pointwise(&self, other: &Field) -> Field {
-        assert_eq!(self.width, other.width, "width mismatch");
-        assert_eq!(self.height, other.height, "height mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| a * b)
-            .collect();
-        Field {
-            width: self.width,
-            height: self.height,
-            data,
-        }
+        self.assert_same_dims(other);
+        let mut dst = Field::zeros(self.width, self.height);
+        self.mul_pointwise_into(other, &mut dst);
+        dst
     }
 
     /// Pointwise multiplication into a preallocated destination field.
@@ -573,19 +836,17 @@ impl Field {
     ///
     /// Panics on any dimension mismatch.
     pub fn mul_pointwise_into(&self, other: &Field, dst: &mut Field) {
-        assert_eq!(
-            (self.width, self.height),
-            (other.width, other.height),
-            "dimension mismatch"
+        self.assert_same_dims(other);
+        self.assert_same_dims(dst);
+        simd::cmul(
+            simd::active_mode(),
+            &self.re,
+            &self.im,
+            &other.re,
+            &other.im,
+            &mut dst.re,
+            &mut dst.im,
         );
-        assert_eq!(
-            (self.width, self.height),
-            (dst.width, dst.height),
-            "dimension mismatch"
-        );
-        for (d, (&a, &b)) in dst.data.iter_mut().zip(self.data.iter().zip(&other.data)) {
-            *d = a * b;
-        }
     }
 
     /// Row-pruned pointwise multiplication into a preallocated destination:
@@ -599,32 +860,7 @@ impl Field {
     ///
     /// Panics on dimension or mask-length mismatch.
     pub fn mul_pointwise_pruned_into(&self, other: &Field, live_rows: &[bool], dst: &mut Field) {
-        assert_eq!(
-            (self.width, self.height),
-            (other.width, other.height),
-            "dimension mismatch"
-        );
-        assert_eq!(
-            (self.width, self.height),
-            (dst.width, dst.height),
-            "dimension mismatch"
-        );
-        assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
-        let w = self.width;
-        for (y, &live) in live_rows.iter().enumerate() {
-            let row = y * w..(y + 1) * w;
-            let d = &mut dst.data[row.clone()];
-            if live {
-                for (d, (&a, &b)) in d
-                    .iter_mut()
-                    .zip(self.data[row.clone()].iter().zip(&other.data[row]))
-                {
-                    *d = a * b;
-                }
-            } else {
-                d.fill(Complex::ZERO);
-            }
-        }
+        self.mul_rows(other, live_rows, dst, true, false);
     }
 
     /// Row-pruned pointwise multiplication writing **only** the live rows
@@ -640,30 +876,7 @@ impl Field {
     ///
     /// Panics on dimension or mask-length mismatch.
     pub fn mul_pointwise_live_rows_into(&self, other: &Field, live_rows: &[bool], dst: &mut Field) {
-        assert_eq!(
-            (self.width, self.height),
-            (other.width, other.height),
-            "dimension mismatch"
-        );
-        assert_eq!(
-            (self.width, self.height),
-            (dst.width, dst.height),
-            "dimension mismatch"
-        );
-        assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
-        let w = self.width;
-        for (y, &live) in live_rows.iter().enumerate() {
-            if !live {
-                continue;
-            }
-            let row = y * w..(y + 1) * w;
-            for (d, (&a, &b)) in dst.data[row.clone()]
-                .iter_mut()
-                .zip(self.data[row.clone()].iter().zip(&other.data[row]))
-            {
-                *d = a * b;
-            }
-        }
+        self.mul_rows(other, live_rows, dst, false, false);
     }
 
     /// Row-pruned pointwise multiplication by the *conjugate* of `other`
@@ -679,30 +892,36 @@ impl Field {
         live_rows: &[bool],
         dst: &mut Field,
     ) {
-        assert_eq!(
-            (self.width, self.height),
-            (other.width, other.height),
-            "dimension mismatch"
-        );
-        assert_eq!(
-            (self.width, self.height),
-            (dst.width, dst.height),
-            "dimension mismatch"
-        );
+        self.mul_rows(other, live_rows, dst, true, true);
+    }
+
+    fn mul_rows(
+        &self,
+        other: &Field,
+        live_rows: &[bool],
+        dst: &mut Field,
+        zero_dead: bool,
+        conj: bool,
+    ) {
+        self.assert_same_dims(other);
+        self.assert_same_dims(dst);
         assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
         let w = self.width;
+        let mode = simd::active_mode();
         for (y, &live) in live_rows.iter().enumerate() {
             let row = y * w..(y + 1) * w;
-            let d = &mut dst.data[row.clone()];
             if live {
-                for (d, (&a, &b)) in d
-                    .iter_mut()
-                    .zip(self.data[row.clone()].iter().zip(&other.data[row]))
-                {
-                    *d = a * b.conj();
+                let (ar, ai) = (&self.re[row.clone()], &self.im[row.clone()]);
+                let (br, bi) = (&other.re[row.clone()], &other.im[row.clone()]);
+                let (dr, di) = (&mut dst.re[row.clone()], &mut dst.im[row]);
+                if conj {
+                    simd::cmul_conj(mode, ar, ai, br, bi, dr, di);
+                } else {
+                    simd::cmul(mode, ar, ai, br, bi, dr, di);
                 }
-            } else {
-                d.fill(Complex::ZERO);
+            } else if zero_dead {
+                dst.re[row.clone()].fill(0.0);
+                dst.im[row].fill(0.0);
             }
         }
     }
@@ -714,15 +933,16 @@ impl Field {
     ///
     /// Panics on dimension or length mismatch.
     pub fn mul_real_into(&self, real: &[f64], dst: &mut Field) {
-        assert_eq!(
-            (self.width, self.height),
-            (dst.width, dst.height),
-            "dimension mismatch"
+        self.assert_same_dims(dst);
+        assert_eq!(real.len(), self.re.len(), "sample count mismatch");
+        simd::mul_real(
+            simd::active_mode(),
+            &self.re,
+            &self.im,
+            real,
+            &mut dst.re,
+            &mut dst.im,
         );
-        assert_eq!(real.len(), self.data.len(), "sample count mismatch");
-        for (d, (&z, &r)) in dst.data.iter_mut().zip(self.data.iter().zip(real)) {
-            *d = z.scale(r);
-        }
     }
 
     /// Fused `acc[i] += weight · |self[i]|²` accumulation — the reduction
@@ -732,10 +952,8 @@ impl Field {
     ///
     /// Panics on length mismatch.
     pub fn accumulate_norm_sq(&self, weight: f64, acc: &mut [f64]) {
-        assert_eq!(acc.len(), self.data.len(), "sample count mismatch");
-        for (a, z) in acc.iter_mut().zip(&self.data) {
-            *a += weight * z.norm_sq();
-        }
+        assert_eq!(acc.len(), self.re.len(), "sample count mismatch");
+        simd::acc_norm_sq(simd::active_mode(), &self.re, &self.im, weight, acc);
     }
 
     /// Fused `acc[i] += weight · Re(self[i])` accumulation (ILT gradient
@@ -745,20 +963,32 @@ impl Field {
     ///
     /// Panics on length mismatch.
     pub fn accumulate_re(&self, weight: f64, acc: &mut [f64]) {
-        assert_eq!(acc.len(), self.data.len(), "sample count mismatch");
-        for (a, z) in acc.iter_mut().zip(&self.data) {
-            *a += weight * z.re;
-        }
+        assert_eq!(acc.len(), self.re.len(), "sample count mismatch");
+        simd::acc_re(simd::active_mode(), &self.re, weight, acc);
     }
 
     /// The per-sample squared magnitudes as a real vector.
     pub fn norm_sq_vec(&self) -> Vec<f64> {
-        self.data.iter().map(|z| z.norm_sq()).collect()
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| r * r + i * i)
+            .collect()
     }
 
     /// Sum of squared magnitudes (for Parseval checks).
     pub fn energy(&self) -> f64 {
-        self.data.iter().map(|z| z.norm_sq()).sum()
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| r * r + i * i)
+            .sum()
+    }
+
+    /// The dispatch mode pointwise/accumulate kernels currently run with
+    /// (diagnostic; forwards [`crate::simd::active_mode`]).
+    pub fn simd_mode() -> SimdMode {
+        simd::active_mode()
     }
 }
 
@@ -772,6 +1002,21 @@ mod tests {
         (0..n)
             .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
             .collect()
+    }
+
+    fn random_field(w: usize, h: usize, seed: u64) -> Field {
+        let mut rng = SplitMix64::new(seed);
+        let mut f = Field::zeros(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                f.set(
+                    x,
+                    y,
+                    Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)),
+                );
+            }
+        }
+        f
     }
 
     #[test]
@@ -809,97 +1054,105 @@ mod tests {
 
     #[test]
     fn fft_roundtrip() {
-        let orig = random_signal(64, 1);
-        let mut x = orig.clone();
-        fft_inplace(&mut x, false);
-        fft_inplace(&mut x, true);
-        for (a, b) in x.iter().zip(&orig) {
-            assert!((*a - *b).norm() < 1e-10);
+        // Pow2, mixed-radix 5-smooth, and Bluestein lengths all roundtrip.
+        for n in [64usize, 60, 45, 13] {
+            let orig = random_signal(n, 1);
+            let mut x = orig.clone();
+            fft_inplace(&mut x, false);
+            fft_inplace(&mut x, true);
+            for (a, b) in x.iter().zip(&orig) {
+                assert!((*a - *b).norm() < 1e-10, "n {n}");
+            }
         }
     }
 
     #[test]
     fn fft_single_tone_lands_in_right_bin() {
-        let n = 32;
-        let k = 5;
-        let mut x: Vec<Complex> = (0..n)
-            .map(|i| Complex::from_angle(std::f64::consts::TAU * k as f64 * i as f64 / n as f64))
-            .collect();
-        fft_inplace(&mut x, false);
-        for (bin, z) in x.iter().enumerate() {
-            if bin == k {
-                assert!((z.re - n as f64).abs() < 1e-9);
-            } else {
-                assert!(z.norm() < 1e-9, "leakage in bin {bin}");
+        for n in [32usize, 30] {
+            let k = 5;
+            let mut x: Vec<Complex> = (0..n)
+                .map(|i| {
+                    Complex::from_angle(std::f64::consts::TAU * k as f64 * i as f64 / n as f64)
+                })
+                .collect();
+            fft_inplace(&mut x, false);
+            for (bin, z) in x.iter().enumerate() {
+                if bin == k {
+                    assert!((z.re - n as f64).abs() < 1e-9);
+                } else {
+                    assert!(z.norm() < 1e-9, "leakage in bin {bin} (n {n})");
+                }
             }
         }
     }
 
     #[test]
     fn parseval_identity() {
-        let orig = random_signal(128, 2);
-        let time_energy: f64 = orig.iter().map(|z| z.norm_sq()).sum();
-        let mut x = orig;
-        fft_inplace(&mut x, false);
-        let freq_energy: f64 = x.iter().map(|z| z.norm_sq()).sum::<f64>() / 128.0;
-        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
-    }
-
-    #[test]
-    fn fft_linearity() {
-        let a = random_signal(32, 3);
-        let b = random_signal(32, 4);
-        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
-        let mut fa = a;
-        let mut fb = b;
-        let mut fs = sum;
-        fft_inplace(&mut fa, false);
-        fft_inplace(&mut fb, false);
-        fft_inplace(&mut fs, false);
-        for i in 0..32 {
-            assert!(((fa[i] + fb[i]) - fs[i]).norm() < 1e-10);
+        for n in [128usize, 120] {
+            let orig = random_signal(n, 2);
+            let time_energy: f64 = orig.iter().map(|z| z.norm_sq()).sum();
+            let mut x = orig;
+            fft_inplace(&mut x, false);
+            let freq_energy: f64 = x.iter().map(|z| z.norm_sq()).sum::<f64>() / n as f64;
+            assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
         }
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn non_power_of_two_panics() {
-        let mut x = vec![Complex::ZERO; 12];
-        fft_inplace(&mut x, false);
+    fn fft_linearity() {
+        for n in [32usize, 24] {
+            let a = random_signal(n, 3);
+            let b = random_signal(n, 4);
+            let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+            let mut fa = a;
+            let mut fb = b;
+            let mut fs = sum;
+            fft_inplace(&mut fa, false);
+            fft_inplace(&mut fb, false);
+            fft_inplace(&mut fs, false);
+            for i in 0..n {
+                assert!(((fa[i] + fb[i]) - fs[i]).norm() < 1e-10);
+            }
+        }
     }
 
     #[test]
     fn field_roundtrip_2d() {
-        let mut rng = SplitMix64::new(9);
-        let real: Vec<f64> = (0..16 * 8).map(|_| rng.range_f64(-1.0, 1.0)).collect();
-        let orig = Field::from_real(16, 8, &real);
-        let mut f = orig.clone();
-        f.fft2_inplace(false);
-        f.fft2_inplace(true);
-        for (a, b) in f.data().iter().zip(orig.data()) {
-            assert!((*a - *b).norm() < 1e-10);
+        // Pow2, mixed 5-smooth, and non-5-smooth (Bluestein) dimensions.
+        for (w, h, seed) in [(16, 8, 9u64), (12, 10, 10), (15, 9, 11), (7, 13, 12)] {
+            let mut rng = SplitMix64::new(seed);
+            let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let orig = Field::from_real(w, h, &real);
+            let mut f = orig.clone();
+            f.fft2_inplace(false);
+            f.fft2_inplace(true);
+            for (a, b) in f.iter().zip(orig.iter()) {
+                assert!((a - b).norm() < 1e-10, "{w}x{h}");
+            }
         }
     }
 
     #[test]
     fn field_2d_impulse_flat_spectrum() {
         let mut f = Field::zeros(8, 8);
-        *f.at_mut(0, 0) = Complex::ONE;
+        f.set(0, 0, Complex::ONE);
         f.fft2_inplace(false);
-        for z in f.data() {
+        for z in f.iter() {
             assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
         }
     }
 
     #[test]
     fn field_convolution_theorem() {
-        // Convolving with a shifted impulse shifts the signal (cyclically).
+        // Convolving with a shifted impulse shifts the signal (cyclically) —
+        // checked on a non-power-of-two grid.
+        let (w, h) = (12, 12);
         let mut rng = SplitMix64::new(11);
-        let real: Vec<f64> = (0..8 * 8).map(|_| rng.range_f64(0.0, 1.0)).collect();
-        let sig = Field::from_real(8, 8, &real);
+        let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(0.0, 1.0)).collect();
+        let sig = Field::from_real(w, h, &real);
 
-        let mut kernel = Field::zeros(8, 8);
-        *kernel.at_mut(1, 0) = Complex::ONE; // shift by one in x
+        let mut kernel = Field::zeros(w, h);
+        kernel.set(1, 0, Complex::ONE); // shift by one in x
 
         let mut fs = sig.clone();
         fs.fft2_inplace(false);
@@ -908,9 +1161,9 @@ mod tests {
         let mut prod = fs.mul_pointwise(&fk);
         prod.fft2_inplace(true);
 
-        for y in 0..8 {
-            for x in 0..8 {
-                let expected = sig.at((x + 8 - 1) % 8, y);
+        for y in 0..h {
+            for x in 0..w {
+                let expected = sig.at((x + w - 1) % w, y);
                 assert!((prod.at(x, y) - expected).norm() < 1e-10);
             }
         }
@@ -926,25 +1179,46 @@ mod tests {
     }
 
     #[test]
+    fn five_smooth_helpers() {
+        for n in [1usize, 2, 3, 4, 5, 6, 8, 9, 10, 125, 192, 320, 640, 4096] {
+            assert!(is_five_smooth(n), "{n}");
+        }
+        for n in [0usize, 7, 11, 13, 14, 97, 121, 508] {
+            assert!(!is_five_smooth(n), "{n}");
+        }
+        assert_eq!(next_five_smooth(0), 1);
+        assert_eq!(next_five_smooth(125), 125);
+        assert_eq!(next_five_smooth(126), 128);
+        assert_eq!(next_five_smooth(129), 135);
+        assert_eq!(next_five_smooth(321), 324);
+        assert_eq!(next_five_smooth(2049), 2160);
+    }
+
+    #[test]
     fn real_packed_forward_matches_complex_path() {
         // The two-rows-per-transform packed path must agree with the plain
-        // complex transform on real input, including non-square grids and
-        // the single-row degenerate case.
+        // complex transform on real input, including non-square grids, odd
+        // heights (unpaired trailing row), non-power-of-two widths (the
+        // `% w` Hermitian mirror), and the single-row degenerate case.
         for (w, h, seed) in [
             (8, 1, 20u64),
             (8, 2, 21),
             (16, 8, 22),
             (8, 16, 23),
             (64, 64, 24),
+            (8, 5, 25),
+            (12, 9, 26),
+            (15, 7, 27),
+            (20, 15, 28),
         ] {
             let mut rng = SplitMix64::new(seed);
             let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
             let packed = Field::forward_real(w, h, &real);
             let mut reference = Field::from_real(w, h, &real);
             reference.fft2_inplace(false);
-            for (i, (a, b)) in packed.data().iter().zip(reference.data()).enumerate() {
+            for (i, (a, b)) in packed.iter().zip(reference.iter()).enumerate() {
                 assert!(
-                    (*a - *b).norm() < 1e-9,
+                    (a - b).norm() < 1e-9,
                     "{w}x{h}, sample {i}: packed {a} vs complex {b}"
                 );
             }
@@ -958,12 +1232,12 @@ mod tests {
         let a: Vec<f64> = (0..16 * 16).map(|_| rng.range_f64(-1.0, 1.0)).collect();
         let b: Vec<f64> = (0..16 * 16).map(|_| rng.range_f64(-1.0, 1.0)).collect();
         let mut field = Field::zeros(16, 16);
-        let mut scratch = Vec::new();
+        let mut scratch = FftScratch::new();
         field.fill_forward_real_with(&a, &mut scratch);
         field.fill_forward_real_with(&b, &mut scratch);
         let fresh = Field::forward_real(16, 16, &b);
-        for (x, y) in field.data().iter().zip(fresh.data()) {
-            assert!((*x - *y).norm() < 1e-12);
+        for (x, y) in field.iter().zip(fresh.iter()) {
+            assert!((x - y).norm() < 1e-12);
         }
     }
 
@@ -971,26 +1245,29 @@ mod tests {
     fn pruned_inverse_matches_full_inverse() {
         // A spectrum whose dead rows are zero must invert identically
         // through the pruned path (up to the folded 1/n scale).
-        let (w, h) = (16, 16);
+        let (w, h) = (16, 12);
         let mut rng = SplitMix64::new(40);
         let mut spec = Field::zeros(w, h);
         let live: Vec<bool> = (0..h).map(|y| y < 3 || y >= h - 2).collect();
         for (y, &is_live) in live.iter().enumerate() {
             if is_live {
                 for x in 0..w {
-                    *spec.at_mut(x, y) =
-                        Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0));
+                    spec.set(
+                        x,
+                        y,
+                        Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)),
+                    );
                 }
             }
         }
         let mut full = spec.clone();
         full.fft2_inplace(true);
         let mut pruned = spec;
-        let mut scratch = Vec::new();
+        let mut scratch = FftScratch::new();
         pruned.ifft2_pruned_unscaled(&live, &mut scratch);
         let inv_n = 1.0 / (w * h) as f64;
-        for (a, b) in pruned.data().iter().zip(full.data()) {
-            assert!((a.scale(inv_n) - *b).norm() < 1e-12);
+        for (a, b) in pruned.iter().zip(full.iter()) {
+            assert!((a.scale(inv_n) - b).norm() < 1e-12);
         }
     }
 
@@ -998,7 +1275,7 @@ mod tests {
     fn pruned_cols_accumulate_matches_full_path() {
         // The fused column-restricted inverse must reproduce the full
         // pruned-inverse + accumulate_norm_sq result *bit-identically* on
-        // the requested columns and leave all other pixels untouched.
+        // the requested columns (column-contiguous accumulator layout).
         let (w, h) = (16, 8);
         let mut rng = SplitMix64::new(60);
         let mut spec = Field::zeros(w, h);
@@ -1006,30 +1283,66 @@ mod tests {
         for (y, &is_live) in live.iter().enumerate() {
             if is_live {
                 for x in 0..w {
-                    *spec.at_mut(x, y) =
-                        Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0));
+                    spec.set(
+                        x,
+                        y,
+                        Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)),
+                    );
                 }
             }
         }
         let weight = 0.37;
         let mut full = spec.clone();
-        let mut scratch = Vec::new();
+        let mut scratch = FftScratch::new();
         full.ifft2_pruned_unscaled(&live, &mut scratch);
         let mut expected = vec![0.5f64; w * h];
         full.accumulate_norm_sq(weight, &mut expected);
 
         let cols = [0usize, 3, 7, 15];
         let mut roi = spec;
-        let mut acc = vec![0.5f64; w * h];
+        let mut acc = vec![0.5f64; cols.len() * h];
         roi.ifft2_pruned_cols_accumulate(&live, &cols, &mut scratch, weight, &mut acc);
+        for (ci, &x) in cols.iter().enumerate() {
+            for y in 0..h {
+                assert_eq!(
+                    acc[ci * h + y],
+                    expected[y * w + x],
+                    "pixel ({x},{y}) not bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_accumulate_t_matches_full_path() {
+        let (w, h) = (12, 10);
+        let mut rng = SplitMix64::new(70);
+        let mut spec = Field::zeros(w, h);
+        let live: Vec<bool> = (0..h).map(|y| y < 4 || y >= h - 3).collect();
+        for (y, &is_live) in live.iter().enumerate() {
+            if is_live {
+                for x in 0..w {
+                    spec.set(
+                        x,
+                        y,
+                        Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)),
+                    );
+                }
+            }
+        }
+        let weight = 1.21;
+        let mut full = spec.clone();
+        let mut scratch = FftScratch::new();
+        full.ifft2_pruned_unscaled(&live, &mut scratch);
+        let mut expected = vec![0.0f64; w * h];
+        full.accumulate_norm_sq(weight, &mut expected);
+
+        let mut fused = spec;
+        let mut acc_t = vec![0.0f64; w * h];
+        fused.ifft2_pruned_accumulate_t(&live, &mut scratch, weight, &mut acc_t);
         for y in 0..h {
             for x in 0..w {
-                let i = y * w + x;
-                if cols.contains(&x) {
-                    assert_eq!(acc[i], expected[i], "pixel ({x},{y}) not bit-identical");
-                } else {
-                    assert_eq!(acc[i], 0.5, "pixel ({x},{y}) outside ROI was written");
-                }
+                assert_eq!(acc_t[x * h + y], expected[y * w + x], "pixel ({x},{y})");
             }
         }
     }
@@ -1037,38 +1350,41 @@ mod tests {
     #[test]
     fn pointwise_helpers_match_scalar_definitions() {
         let (w, h) = (8, 4);
-        let mut rng = SplitMix64::new(50);
-        let mut a = Field::zeros(w, h);
-        let mut b = Field::zeros(w, h);
-        for z in a.data_mut().iter_mut().chain(b.data_mut().iter_mut()) {
-            *z = Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0));
-        }
+        let a = random_field(w, h, 50);
+        let b = random_field(w, h, 51);
+        let mut rng = SplitMix64::new(52);
         let live = vec![true; h];
         let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
 
+        let idx = |i: usize| (i % w, i / w);
         let mut dst = Field::zeros(w, h);
         a.mul_pointwise_pruned_into(&b, &live, &mut dst);
-        for (i, d) in dst.data().iter().enumerate() {
-            assert!((*d - a.data()[i] * b.data()[i]).norm() < 1e-12);
+        for i in 0..w * h {
+            let (x, y) = idx(i);
+            assert!((dst.at(x, y) - a.at(x, y) * b.at(x, y)).norm() < 1e-12);
         }
         a.mul_conj_pointwise_pruned_into(&b, &live, &mut dst);
-        for (i, d) in dst.data().iter().enumerate() {
-            assert!((*d - a.data()[i] * b.data()[i].conj()).norm() < 1e-12);
+        for i in 0..w * h {
+            let (x, y) = idx(i);
+            assert!((dst.at(x, y) - a.at(x, y) * b.at(x, y).conj()).norm() < 1e-12);
         }
         a.mul_real_into(&real, &mut dst);
-        for (i, d) in dst.data().iter().enumerate() {
-            assert!((*d - a.data()[i].scale(real[i])).norm() < 1e-12);
+        for i in 0..w * h {
+            let (x, y) = idx(i);
+            assert!((dst.at(x, y) - a.at(x, y).scale(real[i])).norm() < 1e-12);
         }
 
         let mut acc = vec![1.0f64; w * h];
         a.accumulate_norm_sq(2.0, &mut acc);
         for (i, v) in acc.iter().enumerate() {
-            assert!((v - (1.0 + 2.0 * a.data()[i].norm_sq())).abs() < 1e-12);
+            let (x, y) = idx(i);
+            assert!((v - (1.0 + 2.0 * a.at(x, y).norm_sq())).abs() < 1e-12);
         }
         let mut acc = vec![0.0f64; w * h];
         a.accumulate_re(3.0, &mut acc);
         for (i, v) in acc.iter().enumerate() {
-            assert!((v - 3.0 * a.data()[i].re).abs() < 1e-12);
+            let (x, y) = idx(i);
+            assert!((v - 3.0 * a.at(x, y).re).abs() < 1e-12);
         }
 
         // Dead rows are zeroed by the pruned products.

@@ -6,8 +6,10 @@
 //! diffraction model, Eq. 1) and on Calibre; neither is redistributable, so
 //! this crate implements the full imaging chain from scratch:
 //!
-//! * [`fft`] — an in-repo radix-2 FFT (no FFT crate is on the approved
-//!   dependency list),
+//! * [`fft`] / [`plan`] / [`simd`] — an in-repo split-complex FFT core
+//!   (mixed-radix Stockham for 5-smooth sizes, Bluestein otherwise; no FFT
+//!   crate is on the approved dependency list) with runtime-dispatched
+//!   AVX2/FMA kernels behind a scalar fallback (`CARDOPC_SIMD=off`),
 //! * [`OpticsConfig`] / SOCS kernel synthesis — an annular partially
 //!   coherent source discretised by Abbe's method into a kernel stack with
 //!   exactly the Hopkins structure `I = Σ w_k |M ⊗ h_k|²`,
@@ -42,10 +44,12 @@ mod optics;
 pub mod plan;
 pub mod pool;
 mod raster;
+pub mod simd;
 mod workspace;
 
 pub use engine::{LithoEngine, ProcessCondition};
 pub use error::LithoError;
+pub use fft::{next_five_smooth, FftScratch, Field};
 pub use metrics::{
     epe_at, l2_error, measure_epe, measure_epe_into, metal_measure_points,
     metal_measure_points_into, pvb_area, thresholded_xor_area, via_measure_points,
@@ -55,4 +59,5 @@ pub use optics::{build_kernels, OpticsConfig, SocsKernel};
 pub use plan::FftPlan;
 pub use pool::WorkerPool;
 pub use raster::{rasterize, rasterize_into, try_rasterize, RasterCache};
+pub use simd::SimdMode;
 pub use workspace::LithoWorkspace;

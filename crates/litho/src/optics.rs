@@ -138,9 +138,10 @@ impl SocsKernel {
     pub fn new(weight: f64, transfer: Field) -> SocsKernel {
         let width = transfer.width();
         let live_rows = transfer
-            .data()
+            .re()
             .chunks_exact(width)
-            .map(|row| row.iter().any(|z| z.re != 0.0 || z.im != 0.0))
+            .zip(transfer.im().chunks_exact(width))
+            .map(|(re, im)| re.iter().any(|&v| v != 0.0) || im.iter().any(|&v| v != 0.0))
             .collect();
         SocsKernel {
             weight,
@@ -152,9 +153,10 @@ impl SocsKernel {
 
 /// Builds the SOCS kernel stack for a simulation grid.
 ///
-/// `width`/`height` are the grid dimensions in pixels (powers of two),
-/// `pitch` the pixel size in nanometres, `defocus` the defocus distance in
-/// nanometres (0 for the nominal-focus stack).
+/// `width`/`height` are the grid dimensions in pixels (any nonzero sizes;
+/// 5-smooth lengths run on the direct mixed-radix path, everything else
+/// falls back to Bluestein), `pitch` the pixel size in nanometres, `defocus`
+/// the defocus distance in nanometres (0 for the nominal-focus stack).
 ///
 /// Zero-defocus stacks fold antipodal source-point pairs into single
 /// kernels with doubled weights (the transfers are real, so the paired
@@ -164,8 +166,8 @@ impl SocsKernel {
 ///
 /// # Errors
 ///
-/// Propagates [`OpticsConfig::validate`] failures and rejects
-/// non-power-of-two grids.
+/// Propagates [`OpticsConfig::validate`] failures and rejects empty
+/// grids.
 pub fn build_kernels(
     config: &OpticsConfig,
     width: usize,
@@ -174,8 +176,8 @@ pub fn build_kernels(
     defocus: f64,
 ) -> Result<Vec<SocsKernel>, LithoError> {
     config.validate()?;
-    if !crate::fft::is_power_of_two(width) || !crate::fft::is_power_of_two(height) {
-        return Err(LithoError::NonPowerOfTwoGrid { width, height });
+    if width == 0 || height == 0 {
+        return Err(LithoError::EmptyGrid { width, height });
     }
     if !(pitch > 0.0 && pitch.is_finite()) {
         return Err(LithoError::InvalidOptics("pitch must be positive"));
@@ -234,7 +236,7 @@ pub fn build_kernels(
                 if g2 <= fc * fc {
                     // Paraxial defocus aberration phase.
                     let phase = -std::f64::consts::PI * lambda * defocus * g2;
-                    *transfer.at_mut(kx, ky) = Complex::from_angle(phase);
+                    transfer.set(kx, ky, Complex::from_angle(phase));
                 }
             }
         }
@@ -330,7 +332,7 @@ mod tests {
             let source_index = (i / half) * cfg.points_per_ring + i % half;
             let b = &defocused[source_index];
             let mut phase_differs = false;
-            for (za, zb) in a.transfer.data().iter().zip(b.transfer.data()) {
+            for (za, zb) in a.transfer.iter().zip(b.transfer.iter()) {
                 assert!((za.norm() - zb.norm()).abs() < 1e-12);
                 if (za.im - zb.im).abs() > 1e-9 {
                     phase_differs = true;
@@ -358,10 +360,7 @@ mod tests {
         let intensity = |transfer: &Field, weight: f64| {
             let mut f = spectrum.mul_pointwise(transfer);
             f.fft2_inplace(true);
-            f.data()
-                .iter()
-                .map(|z| weight * z.norm_sq())
-                .collect::<Vec<f64>>()
+            f.iter().map(|z| weight * z.norm_sq()).collect::<Vec<f64>>()
         };
 
         for k in &folded {
@@ -371,7 +370,7 @@ mod tests {
                 for kx in 0..w {
                     let mx = (w - kx) % w;
                     let my = (h - ky) % h;
-                    *mirror.at_mut(kx, ky) = k.transfer.at(mx, my);
+                    mirror.set(kx, ky, k.transfer.at(mx, my));
                 }
             }
             let a = intensity(&k.transfer, 0.5 * k.weight);
@@ -386,12 +385,24 @@ mod tests {
     }
 
     #[test]
-    fn non_power_of_two_grid_rejected() {
+    fn empty_grid_rejected() {
         let cfg = OpticsConfig::default();
         assert!(matches!(
-            build_kernels(&cfg, 100, 64, 1.0, 0.0),
-            Err(LithoError::NonPowerOfTwoGrid { .. })
+            build_kernels(&cfg, 0, 64, 1.0, 0.0),
+            Err(LithoError::EmptyGrid { .. })
         ));
+    }
+
+    #[test]
+    fn non_power_of_two_grid_accepted() {
+        // 100 = 2²·5² is 5-smooth; the kernel stack builds and the DC term
+        // passes exactly as on pow2 grids.
+        let cfg = OpticsConfig::default();
+        let ks = build_kernels(&cfg, 100, 60, 4.0, 0.0).unwrap();
+        assert_eq!(ks.len(), 8);
+        for k in &ks {
+            assert!((k.transfer.at(0, 0).norm() - 1.0).abs() < 1e-12);
+        }
     }
 
     #[test]

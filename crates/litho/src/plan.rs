@@ -1,31 +1,653 @@
-//! Cached FFT execution plans.
+//! Cached FFT execution plans: mixed-radix Stockham autosort + Bluestein.
 //!
-//! Every transform size used by the engine gets one [`FftPlan`] holding the
-//! bit-reversal permutation and a precomputed twiddle table, built once and
-//! shared process-wide through a registry behind a `OnceLock`. This replaces
-//! the seed implementation's per-call `sin_cos` recurrence, which both
-//! recomputed the twiddles on every transform and accumulated rounding error
-//! multiplicatively along each butterfly stage.
+//! Every transform size used by the engine gets one [`FftPlan`], built once
+//! and shared process-wide through a registry behind a `OnceLock`. Plans
+//! execute on *split-complex* data (separate `re[]`/`im[]` slices — see
+//! [`crate::Field`]) so every butterfly and twiddle loop runs over packed
+//! f64 lanes with no interleave shuffles.
 //!
-//! The table layout is the classic radix-2 one: `n/2` forward twiddles
-//! `w_n^k = exp(-2πik/n)`; a stage of length `len` reads them with stride
-//! `n/len`. Inverse twiddles are the conjugate table, stored separately so
-//! the butterfly loop stays branch-free.
+//! 5-smooth lengths (`2^a·3^b·5^c`, which covers every size the litho
+//! engine schedules) run a **Stockham autosort** decimation-in-frequency
+//! pipeline: radix-4 stages are peeled greedily, then one radix-2, then
+//! radix-3/5 — so the large-stride stages that dominate runtime are radix-4
+//! and the inner `q` loops are contiguous and autovectorize. Stockham
+//! ping-pongs between the data and a scratch buffer instead of performing a
+//! bit-reversal permutation, which is what makes the split layout pay: no
+//! index shuffling, just streaming passes.
+//!
+//! All other lengths fall back to **Bluestein's chirp-z** algorithm: the
+//! size-`n` DFT becomes a cyclic convolution of length `M = next 5-smooth
+//! ≥ 2n−1`, evaluated with the Stockham pipeline above. Any `n ≥ 1` is
+//! therefore accepted; 5-smooth sizes are simply faster (and are what
+//! [`crate::fft::next_five_smooth`] rounds grids to).
+//!
+//! Twiddles are precomputed per stage at plan build (`exp(∓2πi·pj/n_cur)`
+//! with the inverse table stored as the conjugate), replacing the seed's
+//! per-call `sin_cos` recurrence that accumulated rounding error along each
+//! stage.
 
-use crate::fft::Complex;
+use crate::fft::{Complex, FftScratch};
+use crate::simd::{self, SimdMode};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
-/// A reusable execution plan for power-of-two radix-2 FFTs of one size.
+/// One Stockham stage: combines `m` sub-DFTs of the current length into
+/// `m/radix` longer ones, with `s` interleaved transforms at this depth.
+#[derive(Clone, Copy, Debug)]
+struct Stage {
+    radix: u8,
+    /// `n_cur / radix` where `n_cur` is the sub-transform length entering
+    /// this stage (`n_cur · s == n` throughout).
+    m: usize,
+    /// Stride: the product of all earlier stages' radices.
+    s: usize,
+    /// Offset of this stage's `(radix−1)·m` twiddles in the shared tables.
+    tw_off: usize,
+}
+
+/// Stockham pipeline for a 5-smooth length.
+#[derive(Debug)]
+struct Stages {
+    stages: Vec<Stage>,
+    /// Twiddle real parts (shared by both directions).
+    tw_re: Vec<f64>,
+    /// Forward twiddle imaginary parts (`exp(−2πi·pj/n_cur)`).
+    tw_im_fwd: Vec<f64>,
+    /// Inverse twiddle imaginary parts (conjugates).
+    tw_im_inv: Vec<f64>,
+}
+
+impl Stages {
+    fn build(n: usize) -> Stages {
+        debug_assert!(crate::fft::is_five_smooth(n));
+        let mut stages = Vec::new();
+        let mut tw_re = Vec::new();
+        let mut tw_im_fwd = Vec::new();
+        let mut n_cur = n;
+        let mut s = 1usize;
+        while n_cur > 1 {
+            let radix = if n_cur.is_multiple_of(4) {
+                4
+            } else if n_cur.is_multiple_of(2) {
+                2
+            } else if n_cur.is_multiple_of(3) {
+                3
+            } else {
+                5
+            };
+            let m = n_cur / radix;
+            let tw_off = tw_re.len();
+            for j in 1..radix {
+                for p in 0..m {
+                    let ang = -std::f64::consts::TAU * (p * j) as f64 / n_cur as f64;
+                    let (si, co) = ang.sin_cos();
+                    tw_re.push(co);
+                    tw_im_fwd.push(si);
+                }
+            }
+            stages.push(Stage {
+                radix: radix as u8,
+                m,
+                s,
+                tw_off,
+            });
+            n_cur = m;
+            s *= radix;
+        }
+        let tw_im_inv = tw_im_fwd.iter().map(|v| -v).collect();
+        Stages {
+            stages,
+            tw_re,
+            tw_im_fwd,
+            tw_im_inv,
+        }
+    }
+
+    /// Runs the full pipeline; the result always ends in `(re, im)`
+    /// (`(pr, pi)` is the ping-pong partner, clobbered).
+    fn run(
+        &self,
+        mode: SimdMode,
+        inverse: bool,
+        re: &mut [f64],
+        im: &mut [f64],
+        pr: &mut [f64],
+        pi: &mut [f64],
+    ) {
+        let tw_im = if inverse {
+            &self.tw_im_inv
+        } else {
+            &self.tw_im_fwd
+        };
+        #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+        if mode == SimdMode::Avx2 {
+            // SAFETY: `SimdMode::Avx2` is only produced after runtime
+            // AVX2+FMA detection (crate::simd::active_mode / force_mode).
+            unsafe {
+                if inverse {
+                    stages_avx2::<false>(self, tw_im, re, im, pr, pi);
+                } else {
+                    stages_avx2::<true>(self, tw_im, re, im, pr, pi);
+                }
+            }
+            return;
+        }
+        let _ = mode;
+        if inverse {
+            stages_body::<false>(self, tw_im, re, im, pr, pi);
+        } else {
+            stages_body::<true>(self, tw_im, re, im, pr, pi);
+        }
+    }
+}
+
+/// The whole pipeline compiled with AVX2+FMA enabled. The body is the same
+/// as the scalar instantiation — Rust never contracts `a*b+c` into an FMA,
+/// so both instantiations are **bitwise identical**; this one just lets the
+/// autovectorizer use 256-bit lanes.
+///
+/// # Safety
+/// Caller must have verified AVX2+FMA support at runtime.
+#[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn stages_avx2<const FWD: bool>(
+    plan: &Stages,
+    tw_im: &[f64],
+    re: &mut [f64],
+    im: &mut [f64],
+    pr: &mut [f64],
+    pi: &mut [f64],
+) {
+    stages_body::<FWD>(plan, tw_im, re, im, pr, pi);
+}
+
+#[inline(always)]
+fn stages_body<const FWD: bool>(
+    plan: &Stages,
+    tw_im: &[f64],
+    re: &mut [f64],
+    im: &mut [f64],
+    pr: &mut [f64],
+    pi: &mut [f64],
+) {
+    let mut in_data = true;
+    for st in &plan.stages {
+        let tw_len = (st.radix as usize - 1) * st.m;
+        let twr = &plan.tw_re[st.tw_off..st.tw_off + tw_len];
+        let twi = &tw_im[st.tw_off..st.tw_off + tw_len];
+        if in_data {
+            stage_any::<FWD>(st, twr, twi, re, im, pr, pi);
+        } else {
+            stage_any::<FWD>(st, twr, twi, pr, pi, re, im);
+        }
+        in_data = !in_data;
+    }
+    if !in_data {
+        re.copy_from_slice(pr);
+        im.copy_from_slice(pi);
+    }
+}
+
+#[inline(always)]
+fn stage_any<const FWD: bool>(
+    st: &Stage,
+    twr: &[f64],
+    twi: &[f64],
+    xr: &mut [f64],
+    xi: &mut [f64],
+    yr: &mut [f64],
+    yi: &mut [f64],
+) {
+    let (xr, xi) = (&*xr, &*xi);
+    match st.radix {
+        2 => stage2(st.m, st.s, twr, twi, xr, xi, yr, yi),
+        3 => stage3::<FWD>(st.m, st.s, twr, twi, xr, xi, yr, yi),
+        4 => stage4::<FWD>(st.m, st.s, twr, twi, xr, xi, yr, yi),
+        _ => stage5::<FWD>(st.m, st.s, twr, twi, xr, xi, yr, yi),
+    }
+}
+
+// Stage kernels. Input layout `x[q + s·(p + j·m)]`, output
+// `y[q + s·(radix·p + j)]`, twiddle `w_j[p] = tw[(j−1)·m + p]` applied to
+// output `j` (the radix-2 case needs no direction flag: its butterfly is
+// real-coefficient, and direction lives entirely in the twiddle table).
+// The inner `q` loops run over exactly-`s` sub-slices so bounds checks hoist
+// and the loops autovectorize.
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn stage2(
+    m: usize,
+    s: usize,
+    twr: &[f64],
+    twi: &[f64],
+    xr: &[f64],
+    xi: &[f64],
+    yr: &mut [f64],
+    yi: &mut [f64],
+) {
+    if s == 1 {
+        for p in 0..m {
+            let (wr, wi) = (twr[p], twi[p]);
+            let (ar, ai) = (xr[p], xi[p]);
+            let (br, bi) = (xr[p + m], xi[p + m]);
+            yr[2 * p] = ar + br;
+            yi[2 * p] = ai + bi;
+            let (ur, ui) = (ar - br, ai - bi);
+            yr[2 * p + 1] = ur * wr - ui * wi;
+            yi[2 * p + 1] = ur * wi + ui * wr;
+        }
+    } else {
+        for p in 0..m {
+            let (wr, wi) = (twr[p], twi[p]);
+            let x0r = &xr[s * p..s * p + s];
+            let x0i = &xi[s * p..s * p + s];
+            let x1r = &xr[s * (p + m)..s * (p + m) + s];
+            let x1i = &xi[s * (p + m)..s * (p + m) + s];
+            let (y0r, y1r) = yr[2 * s * p..2 * s * p + 2 * s].split_at_mut(s);
+            let (y0i, y1i) = yi[2 * s * p..2 * s * p + 2 * s].split_at_mut(s);
+            for q in 0..s {
+                let (ar, ai) = (x0r[q], x0i[q]);
+                let (br, bi) = (x1r[q], x1i[q]);
+                y0r[q] = ar + br;
+                y0i[q] = ai + bi;
+                let (ur, ui) = (ar - br, ai - bi);
+                y1r[q] = ur * wr - ui * wi;
+                y1i[q] = ur * wi + ui * wr;
+            }
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn stage4<const FWD: bool>(
+    m: usize,
+    s: usize,
+    twr: &[f64],
+    twi: &[f64],
+    xr: &[f64],
+    xi: &[f64],
+    yr: &mut [f64],
+    yi: &mut [f64],
+) {
+    // Forward butterfly: b0 = t0+t2, b1 = t1 − i·u, b2 = t0−t2,
+    // b3 = t1 + i·u with t0 = a0+a2, t1 = a0−a2, t2 = a1+a3, u = a1−a3;
+    // inverse swaps b1/b3. Each b_j is then rotated by w_j.
+    macro_rules! butterfly {
+        ($a0r:expr, $a0i:expr, $a1r:expr, $a1i:expr, $a2r:expr, $a2i:expr,
+         $a3r:expr, $a3i:expr) => {{
+            let (t0r, t0i) = ($a0r + $a2r, $a0i + $a2i);
+            let (t1r, t1i) = ($a0r - $a2r, $a0i - $a2i);
+            let (t2r, t2i) = ($a1r + $a3r, $a1i + $a3i);
+            let (ur, ui) = ($a1r - $a3r, $a1i - $a3i);
+            let (b1r, b1i, b3r, b3i) = if FWD {
+                (t1r + ui, t1i - ur, t1r - ui, t1i + ur)
+            } else {
+                (t1r - ui, t1i + ur, t1r + ui, t1i - ur)
+            };
+            (
+                t0r + t2r,
+                t0i + t2i,
+                b1r,
+                b1i,
+                t0r - t2r,
+                t0i - t2i,
+                b3r,
+                b3i,
+            )
+        }};
+    }
+    if s == 1 {
+        for p in 0..m {
+            let (w1r, w1i) = (twr[p], twi[p]);
+            let (w2r, w2i) = (twr[m + p], twi[m + p]);
+            let (w3r, w3i) = (twr[2 * m + p], twi[2 * m + p]);
+            let (b0r, b0i, b1r, b1i, b2r, b2i, b3r, b3i) = butterfly!(
+                xr[p],
+                xi[p],
+                xr[p + m],
+                xi[p + m],
+                xr[p + 2 * m],
+                xi[p + 2 * m],
+                xr[p + 3 * m],
+                xi[p + 3 * m]
+            );
+            yr[4 * p] = b0r;
+            yi[4 * p] = b0i;
+            yr[4 * p + 1] = b1r * w1r - b1i * w1i;
+            yi[4 * p + 1] = b1r * w1i + b1i * w1r;
+            yr[4 * p + 2] = b2r * w2r - b2i * w2i;
+            yi[4 * p + 2] = b2r * w2i + b2i * w2r;
+            yr[4 * p + 3] = b3r * w3r - b3i * w3i;
+            yi[4 * p + 3] = b3r * w3i + b3i * w3r;
+        }
+    } else {
+        for p in 0..m {
+            let (w1r, w1i) = (twr[p], twi[p]);
+            let (w2r, w2i) = (twr[m + p], twi[m + p]);
+            let (w3r, w3i) = (twr[2 * m + p], twi[2 * m + p]);
+            let x0r = &xr[s * p..s * p + s];
+            let x0i = &xi[s * p..s * p + s];
+            let x1r = &xr[s * (p + m)..s * (p + m) + s];
+            let x1i = &xi[s * (p + m)..s * (p + m) + s];
+            let x2r = &xr[s * (p + 2 * m)..s * (p + 2 * m) + s];
+            let x2i = &xi[s * (p + 2 * m)..s * (p + 2 * m) + s];
+            let x3r = &xr[s * (p + 3 * m)..s * (p + 3 * m) + s];
+            let x3i = &xi[s * (p + 3 * m)..s * (p + 3 * m) + s];
+            let (y0r, rest) = yr[4 * s * p..4 * s * p + 4 * s].split_at_mut(s);
+            let (y1r, rest) = rest.split_at_mut(s);
+            let (y2r, y3r) = rest.split_at_mut(s);
+            let (y0i, rest) = yi[4 * s * p..4 * s * p + 4 * s].split_at_mut(s);
+            let (y1i, rest) = rest.split_at_mut(s);
+            let (y2i, y3i) = rest.split_at_mut(s);
+            for q in 0..s {
+                let (b0r, b0i, b1r, b1i, b2r, b2i, b3r, b3i) =
+                    butterfly!(x0r[q], x0i[q], x1r[q], x1i[q], x2r[q], x2i[q], x3r[q], x3i[q]);
+                y0r[q] = b0r;
+                y0i[q] = b0i;
+                y1r[q] = b1r * w1r - b1i * w1i;
+                y1i[q] = b1r * w1i + b1i * w1r;
+                y2r[q] = b2r * w2r - b2i * w2i;
+                y2i[q] = b2r * w2i + b2i * w2r;
+                y3r[q] = b3r * w3r - b3i * w3i;
+                y3i[q] = b3r * w3i + b3i * w3r;
+            }
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn stage3<const FWD: bool>(
+    m: usize,
+    s: usize,
+    twr: &[f64],
+    twi: &[f64],
+    xr: &[f64],
+    xi: &[f64],
+    yr: &mut [f64],
+    yi: &mut [f64],
+) {
+    // X1 = m0 − i·h·u, X2 = m0 + i·h·u (forward) with t = a1+a2,
+    // u = a1−a2, m0 = a0 − t/2, h = √3/2; inverse swaps X1/X2.
+    let h = 0.5 * 3.0f64.sqrt();
+    for p in 0..m {
+        let (w1r, w1i) = (twr[p], twi[p]);
+        let (w2r, w2i) = (twr[m + p], twi[m + p]);
+        let x0r = &xr[s * p..s * p + s];
+        let x0i = &xi[s * p..s * p + s];
+        let x1r = &xr[s * (p + m)..s * (p + m) + s];
+        let x1i = &xi[s * (p + m)..s * (p + m) + s];
+        let x2r = &xr[s * (p + 2 * m)..s * (p + 2 * m) + s];
+        let x2i = &xi[s * (p + 2 * m)..s * (p + 2 * m) + s];
+        let (y0r, rest) = yr[3 * s * p..3 * s * p + 3 * s].split_at_mut(s);
+        let (y1r, y2r) = rest.split_at_mut(s);
+        let (y0i, rest) = yi[3 * s * p..3 * s * p + 3 * s].split_at_mut(s);
+        let (y1i, y2i) = rest.split_at_mut(s);
+        for q in 0..s {
+            let (a0r, a0i) = (x0r[q], x0i[q]);
+            let (a1r, a1i) = (x1r[q], x1i[q]);
+            let (a2r, a2i) = (x2r[q], x2i[q]);
+            let (tr, ti) = (a1r + a2r, a1i + a2i);
+            let (ur, ui) = (a1r - a2r, a1i - a2i);
+            y0r[q] = a0r + tr;
+            y0i[q] = a0i + ti;
+            let (m0r, m0i) = (a0r - 0.5 * tr, a0i - 0.5 * ti);
+            let (b1r, b1i, b2r, b2i) = if FWD {
+                (m0r + h * ui, m0i - h * ur, m0r - h * ui, m0i + h * ur)
+            } else {
+                (m0r - h * ui, m0i + h * ur, m0r + h * ui, m0i - h * ur)
+            };
+            y1r[q] = b1r * w1r - b1i * w1i;
+            y1i[q] = b1r * w1i + b1i * w1r;
+            y2r[q] = b2r * w2r - b2i * w2i;
+            y2i[q] = b2r * w2i + b2i * w2r;
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn stage5<const FWD: bool>(
+    m: usize,
+    s: usize,
+    twr: &[f64],
+    twi: &[f64],
+    xr: &[f64],
+    xi: &[f64],
+    yr: &mut [f64],
+    yi: &mut [f64],
+) {
+    // Winograd-style radix-5: with t1 = a1+a4, t2 = a2+a3, t3 = a1−a4,
+    // t4 = a2−a3, m1 = a0 + c1·t1 + c2·t2, m2 = a0 + c2·t1 + c1·t2,
+    // m3 = −i(s1·t3 + s2·t4), m4 = −i(s2·t3 − s1·t4):
+    // X1 = m1+m3, X2 = m2+m4, X3 = m2−m4, X4 = m1−m3 (signs of m3/m4 flip
+    // for the inverse).
+    let (s1, c1) = (std::f64::consts::TAU / 5.0).sin_cos();
+    let (s2, c2) = (2.0 * std::f64::consts::TAU / 5.0).sin_cos();
+    let sg = if FWD { 1.0 } else { -1.0 };
+    for p in 0..m {
+        let base = |j: usize| s * (p + j * m);
+        let x0r = &xr[base(0)..base(0) + s];
+        let x0i = &xi[base(0)..base(0) + s];
+        let x1r = &xr[base(1)..base(1) + s];
+        let x1i = &xi[base(1)..base(1) + s];
+        let x2r = &xr[base(2)..base(2) + s];
+        let x2i = &xi[base(2)..base(2) + s];
+        let x3r = &xr[base(3)..base(3) + s];
+        let x3i = &xi[base(3)..base(3) + s];
+        let x4r = &xr[base(4)..base(4) + s];
+        let x4i = &xi[base(4)..base(4) + s];
+        let (y0r, rest) = yr[5 * s * p..5 * s * p + 5 * s].split_at_mut(s);
+        let (y1r, rest) = rest.split_at_mut(s);
+        let (y2r, rest) = rest.split_at_mut(s);
+        let (y3r, y4r) = rest.split_at_mut(s);
+        let (y0i, rest) = yi[5 * s * p..5 * s * p + 5 * s].split_at_mut(s);
+        let (y1i, rest) = rest.split_at_mut(s);
+        let (y2i, rest) = rest.split_at_mut(s);
+        let (y3i, y4i) = rest.split_at_mut(s);
+        for q in 0..s {
+            let (a0r, a0i) = (x0r[q], x0i[q]);
+            let (t1r, t1i) = (x1r[q] + x4r[q], x1i[q] + x4i[q]);
+            let (t2r, t2i) = (x2r[q] + x3r[q], x2i[q] + x3i[q]);
+            let (t3r, t3i) = (x1r[q] - x4r[q], x1i[q] - x4i[q]);
+            let (t4r, t4i) = (x2r[q] - x3r[q], x2i[q] - x3i[q]);
+            y0r[q] = a0r + t1r + t2r;
+            y0i[q] = a0i + t1i + t2i;
+            let (m1r, m1i) = (a0r + c1 * t1r + c2 * t2r, a0i + c1 * t1i + c2 * t2i);
+            let (m2r, m2i) = (a0r + c2 * t1r + c1 * t2r, a0i + c2 * t1i + c1 * t2i);
+            // v1 = s1·t3 + s2·t4, v2 = s2·t3 − s1·t4; m3 = ∓i·v1, m4 = ∓i·v2.
+            let (v1r, v1i) = (s1 * t3r + s2 * t4r, s1 * t3i + s2 * t4i);
+            let (v2r, v2i) = (s2 * t3r - s1 * t4r, s2 * t3i - s1 * t4i);
+            let (m3r, m3i) = (sg * v1i, -sg * v1r);
+            let (m4r, m4i) = (sg * v2i, -sg * v2r);
+            let (b1r, b1i) = (m1r + m3r, m1i + m3i);
+            let (b2r, b2i) = (m2r + m4r, m2i + m4i);
+            let (b3r, b3i) = (m2r - m4r, m2i - m4i);
+            let (b4r, b4i) = (m1r - m3r, m1i - m3i);
+            let (w1r, w1i) = (twr[p], twi[p]);
+            let (w2r, w2i) = (twr[m + p], twi[m + p]);
+            let (w3r, w3i) = (twr[2 * m + p], twi[2 * m + p]);
+            let (w4r, w4i) = (twr[3 * m + p], twi[3 * m + p]);
+            y1r[q] = b1r * w1r - b1i * w1i;
+            y1i[q] = b1r * w1i + b1i * w1r;
+            y2r[q] = b2r * w2r - b2i * w2i;
+            y2i[q] = b2r * w2i + b2i * w2r;
+            y3r[q] = b3r * w3r - b3i * w3i;
+            y3i[q] = b3r * w3i + b3i * w3r;
+            y4r[q] = b4r * w4r - b4i * w4i;
+            y4i[q] = b4r * w4i + b4i * w4r;
+        }
+    }
+}
+
+/// Bluestein chirp-z fallback: DFT of arbitrary `n` as a length-`m` cyclic
+/// convolution with a chirp, `m` 5-smooth and ≥ `2n−1`.
+#[derive(Debug)]
+struct Bluestein {
+    n: usize,
+    m: usize,
+    /// The (always-Direct) plan for the convolution length.
+    plan_m: Arc<FftPlan>,
+    /// `exp(−iπk²/n)` for `k in 0..n` (angles reduced with `k² mod 2n`).
+    chirp_re: Vec<f64>,
+    chirp_im: Vec<f64>,
+    /// Forward FFT of the conjugate-chirp filter, pre-scaled by `1/m` so the
+    /// unscaled inverse convolution comes out exactly normalised.
+    bf_re: Vec<f64>,
+    bf_im: Vec<f64>,
+}
+
+impl Bluestein {
+    fn build(n: usize) -> Bluestein {
+        let m = crate::fft::next_five_smooth(2 * n - 1);
+        let plan_m = FftPlan::get(m);
+        let two_n = 2 * n as u128;
+        let mut chirp_re = Vec::with_capacity(n);
+        let mut chirp_im = Vec::with_capacity(n);
+        for k in 0..n as u128 {
+            let sq = ((k * k) % two_n) as f64;
+            let ang = -std::f64::consts::PI * sq / n as f64;
+            let (si, co) = ang.sin_cos();
+            chirp_re.push(co);
+            chirp_im.push(si);
+        }
+        let mut bf_re = vec![0.0; m];
+        let mut bf_im = vec![0.0; m];
+        for k in 0..n {
+            bf_re[k] = chirp_re[k];
+            bf_im[k] = -chirp_im[k];
+            if k > 0 {
+                bf_re[m - k] = chirp_re[k];
+                bf_im[m - k] = -chirp_im[k];
+            }
+        }
+        // One-time build cost: the scalar path keeps the filter spectrum
+        // independent of the runtime dispatch decision (the Stockham stages
+        // are bitwise mode-identical anyway; this just makes it obvious).
+        let mut scratch = FftScratch::new();
+        plan_m.execute_unscaled_split_with(
+            SimdMode::Scalar,
+            &mut bf_re,
+            &mut bf_im,
+            &mut scratch,
+            false,
+        );
+        let inv_m = 1.0 / m as f64;
+        for v in bf_re.iter_mut().chain(bf_im.iter_mut()) {
+            *v *= inv_m;
+        }
+        Bluestein {
+            n,
+            m,
+            plan_m,
+            chirp_re,
+            chirp_im,
+            bf_re,
+            bf_im,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &self,
+        mode: SimdMode,
+        re: &mut [f64],
+        im: &mut [f64],
+        pong_re: &mut Vec<f64>,
+        pong_im: &mut Vec<f64>,
+        blu_re: &mut Vec<f64>,
+        blu_im: &mut Vec<f64>,
+        inverse: bool,
+    ) {
+        let (n, m) = (self.n, self.m);
+        // Unscaled IDFT via conjugation: conj(DFT(conj(x))).
+        if inverse {
+            for v in im.iter_mut() {
+                *v = -*v;
+            }
+        }
+        let stages = self.plan_m.direct_stages();
+        if pong_re.len() < m {
+            pong_re.resize(m, 0.0);
+        }
+        if pong_im.len() < m {
+            pong_im.resize(m, 0.0);
+        }
+        if blu_re.len() < m {
+            blu_re.resize(m, 0.0);
+        }
+        if blu_im.len() < m {
+            blu_im.resize(m, 0.0);
+        }
+        // a = x·chirp, zero-padded to m.
+        simd::cmul(
+            mode,
+            re,
+            im,
+            &self.chirp_re,
+            &self.chirp_im,
+            &mut blu_re[..n],
+            &mut blu_im[..n],
+        );
+        blu_re[n..m].fill(0.0);
+        blu_im[n..m].fill(0.0);
+        // A = FFT_m(a), C = A·(B/m), c = unscaled IFFT_m(C).
+        stages.run(
+            mode,
+            false,
+            &mut blu_re[..m],
+            &mut blu_im[..m],
+            &mut pong_re[..m],
+            &mut pong_im[..m],
+        );
+        simd::cmul(
+            mode,
+            &blu_re[..m],
+            &blu_im[..m],
+            &self.bf_re,
+            &self.bf_im,
+            &mut pong_re[..m],
+            &mut pong_im[..m],
+        );
+        stages.run(
+            mode,
+            true,
+            &mut pong_re[..m],
+            &mut pong_im[..m],
+            &mut blu_re[..m],
+            &mut blu_im[..m],
+        );
+        // y = c·chirp (first n samples).
+        simd::cmul(
+            mode,
+            &pong_re[..n],
+            &pong_im[..n],
+            &self.chirp_re,
+            &self.chirp_im,
+            re,
+            im,
+        );
+        if inverse {
+            for v in im.iter_mut() {
+                *v = -*v;
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum PlanKind {
+    Direct(Stages),
+    Bluestein(Box<Bluestein>),
+}
+
+/// A reusable execution plan for one transform size (any `n ≥ 1`).
 #[derive(Debug)]
 pub struct FftPlan {
     n: usize,
-    /// Index pairs `(i, j)` with `i < j` to swap for the bit-reversal pass.
-    swaps: Vec<(u32, u32)>,
-    /// Forward twiddles `exp(-2πik/n)` for `k in 0..n/2`.
-    forward: Vec<Complex>,
-    /// Inverse twiddles (conjugates of `forward`).
-    inverse: Vec<Complex>,
+    kind: PlanKind,
 }
 
 impl FftPlan {
@@ -42,36 +664,19 @@ impl FftPlan {
     }
 
     fn build(n: usize) -> FftPlan {
-        assert!(
-            crate::fft::is_power_of_two(n),
-            "FFT length must be a power of two"
-        );
-        let mut swaps = Vec::new();
-        let mut j = 0usize;
-        for i in 1..n {
-            let mut bit = n >> 1;
-            while j & bit != 0 {
-                j ^= bit;
-                bit >>= 1;
-            }
-            j |= bit;
-            if i < j {
-                swaps.push((i as u32, j as u32));
-            }
-        }
-        let half = n / 2;
-        let mut forward = Vec::with_capacity(half);
-        let mut inverse = Vec::with_capacity(half);
-        for k in 0..half {
-            let w = Complex::from_angle(-std::f64::consts::TAU * k as f64 / n as f64);
-            forward.push(w);
-            inverse.push(w.conj());
-        }
-        FftPlan {
-            n,
-            swaps,
-            forward,
-            inverse,
+        assert!(n >= 1, "FFT length must be at least 1");
+        let kind = if crate::fft::is_five_smooth(n) {
+            PlanKind::Direct(Stages::build(n))
+        } else {
+            PlanKind::Bluestein(Box::new(Bluestein::build(n)))
+        };
+        FftPlan { n, kind }
+    }
+
+    fn direct_stages(&self) -> &Stages {
+        match &self.kind {
+            PlanKind::Direct(s) => s,
+            PlanKind::Bluestein(_) => unreachable!("convolution length is always 5-smooth"),
         }
     }
 
@@ -79,12 +684,9 @@ impl FftPlan {
     ///
     /// # Panics
     ///
-    /// Panics when `n` is not a power of two.
+    /// Panics when `n == 0`.
     pub fn get(n: usize) -> Arc<FftPlan> {
-        assert!(
-            crate::fft::is_power_of_two(n),
-            "FFT length must be a power of two"
-        );
+        assert!(n >= 1, "FFT length must be at least 1");
         static REGISTRY: OnceLock<RwLock<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
         let registry = REGISTRY.get_or_init(|| RwLock::new(HashMap::new()));
         // A poisoned registry only means some unrelated thread panicked
@@ -92,12 +694,114 @@ impl FftPlan {
         if let Some(plan) = registry.read().unwrap_or_else(|e| e.into_inner()).get(&n) {
             return Arc::clone(plan);
         }
+        // Build outside the lock: a Bluestein plan recursively fetches its
+        // convolution-length plan, which must not re-enter a held write
+        // lock. A racing duplicate build is harmless (one Arc wins).
+        let plan = Arc::new(FftPlan::build(n));
         let mut map = registry.write().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::build(n))))
+        Arc::clone(map.entry(n).or_insert(plan))
     }
 
-    /// Executes the transform in place, including the `1/n` normalisation on
-    /// the inverse so `ifft(fft(x)) == x`.
+    /// Executes the transform on split-complex data without the inverse
+    /// `1/n` normalisation, using the process-wide dispatch mode.
+    ///
+    /// The 2-D paths use this to fold both axes' normalisations into a
+    /// single pass (or into the SOCS accumulation weight) instead of
+    /// re-scaling the whole field after every 1-D transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `re`/`im` lengths differ from the plan size.
+    #[inline]
+    pub fn execute_unscaled_split(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        scratch: &mut FftScratch,
+        inverse: bool,
+    ) {
+        self.execute_unscaled_split_with(simd::active_mode(), re, im, scratch, inverse);
+    }
+
+    /// [`FftPlan::execute_unscaled_split`] with an explicit dispatch mode
+    /// (equivalence tests and benchmarks compare both paths in-process).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `re`/`im` lengths differ from the plan size.
+    pub fn execute_unscaled_split_with(
+        &self,
+        mode: SimdMode,
+        re: &mut [f64],
+        im: &mut [f64],
+        scratch: &mut FftScratch,
+        inverse: bool,
+    ) {
+        let FftScratch {
+            pong_re,
+            pong_im,
+            blu_re,
+            blu_im,
+            ..
+        } = scratch;
+        self.execute_split_parts(mode, re, im, pong_re, pong_im, blu_re, blu_im, inverse);
+    }
+
+    /// Split execution with the scratch vectors passed individually, so 2-D
+    /// drivers holding other parts of an [`FftScratch`] (transpose/gather
+    /// lanes) can run row and column transforms without borrow conflicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `re`/`im` lengths differ from the plan size.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub(crate) fn execute_split_parts(
+        &self,
+        mode: SimdMode,
+        re: &mut [f64],
+        im: &mut [f64],
+        pong_re: &mut Vec<f64>,
+        pong_im: &mut Vec<f64>,
+        blu_re: &mut Vec<f64>,
+        blu_im: &mut Vec<f64>,
+        inverse: bool,
+    ) {
+        assert_eq!(re.len(), self.n, "re length does not match plan size");
+        assert_eq!(im.len(), self.n, "im length does not match plan size");
+        if self.n <= 1 {
+            return;
+        }
+        match &self.kind {
+            PlanKind::Direct(stages) => {
+                if pong_re.len() < self.n {
+                    pong_re.resize(self.n, 0.0);
+                }
+                if pong_im.len() < self.n {
+                    pong_im.resize(self.n, 0.0);
+                }
+                stages.run(
+                    mode,
+                    inverse,
+                    re,
+                    im,
+                    &mut pong_re[..self.n],
+                    &mut pong_im[..self.n],
+                );
+            }
+            PlanKind::Bluestein(b) => {
+                b.execute(mode, re, im, pong_re, pong_im, blu_re, blu_im, inverse)
+            }
+        }
+    }
+
+    /// Executes the transform in place on interleaved [`Complex`] samples,
+    /// including the `1/n` normalisation on the inverse so
+    /// `ifft(fft(x)) == x`.
+    ///
+    /// Compatibility wrapper: splits into a transient SoA pair per call.
+    /// Hot paths hold a [`crate::Field`] / [`FftScratch`] and use
+    /// [`FftPlan::execute_unscaled_split`] instead.
     ///
     /// # Panics
     ///
@@ -113,47 +817,23 @@ impl FftPlan {
         }
     }
 
-    /// Executes the transform without the inverse `1/n` normalisation.
-    ///
-    /// The 2-D paths use this to fold both axes' normalisations into a single
-    /// pass (or into the SOCS accumulation weight) instead of re-scaling the
-    /// whole field after every 1-D transform.
+    /// Executes the transform on interleaved samples without the inverse
+    /// `1/n` normalisation (compatibility wrapper, see [`FftPlan::execute`]).
     ///
     /// # Panics
     ///
     /// Panics when `data.len()` differs from the plan size.
     pub fn execute_unscaled(&self, data: &mut [Complex], inverse: bool) {
-        let n = self.n;
-        assert_eq!(data.len(), n, "data length does not match plan size");
-        if n <= 1 {
+        assert_eq!(data.len(), self.n, "data length does not match plan size");
+        if self.n <= 1 {
             return;
         }
-
-        for &(i, j) in &self.swaps {
-            data.swap(i as usize, j as usize);
-        }
-
-        let twiddles = if inverse {
-            &self.inverse
-        } else {
-            &self.forward
-        };
-        let mut len = 2;
-        while len <= n {
-            let half = len / 2;
-            let stride = n / len;
-            let mut i = 0;
-            while i < n {
-                let (lo, hi) = data[i..i + len].split_at_mut(half);
-                for k in 0..half {
-                    let u = lo[k];
-                    let v = hi[k] * twiddles[k * stride];
-                    lo[k] = u + v;
-                    hi[k] = u - v;
-                }
-                i += len;
-            }
-            len <<= 1;
+        let mut re: Vec<f64> = data.iter().map(|z| z.re).collect();
+        let mut im: Vec<f64> = data.iter().map(|z| z.im).collect();
+        let mut scratch = FftScratch::new();
+        self.execute_unscaled_split(&mut re, &mut im, &mut scratch, inverse);
+        for (z, (r, i)) in data.iter_mut().zip(re.iter().zip(&im)) {
+            *z = Complex::new(*r, *i);
         }
     }
 }
@@ -181,28 +861,65 @@ mod tests {
         out
     }
 
-    #[test]
-    fn plan_matches_naive_dft_for_all_sizes() {
+    fn check_against_dft(n: usize) {
         use cardopc_geometry::SplitMix64;
-        let mut n = 2usize;
-        while n <= 1024 {
+        let mut rng = SplitMix64::new(n as u64 + 7);
+        let input: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+            .collect();
+        for inverse in [false, true] {
+            let expected = dft(&input, inverse);
+            let mut got = input.clone();
+            FftPlan::get(n).execute(&mut got, inverse);
+            let scale = (n as f64).max(1.0);
+            for (a, b) in got.iter().zip(&expected) {
+                assert!(
+                    (*a - *b).norm() < 1e-9 * scale,
+                    "size {n} inverse {inverse}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_matches_naive_dft_for_all_small_sizes() {
+        // Every length 1..=36 — exercises all radix butterflies, every
+        // greedy factoring order, and the Bluestein fallback (7, 11, 13,
+        // 14, 17, 19, 21, 22, 23, 26, 28, 29, 31, 33, 34, 35 are not
+        // 5-smooth).
+        for n in 1..=36 {
+            check_against_dft(n);
+        }
+    }
+
+    #[test]
+    fn plan_matches_naive_dft_for_structured_sizes() {
+        // Pure powers of each radix, mixed 5-smooth composites, a prime,
+        // and a prime power.
+        for n in [64, 81, 125, 120, 135, 192, 243, 320, 360, 500, 512, 97, 121] {
+            check_against_dft(n);
+        }
+    }
+
+    #[test]
+    fn split_path_matches_interleaved_path_bitwise() {
+        use cardopc_geometry::SplitMix64;
+        for n in [16usize, 15, 13] {
             let mut rng = SplitMix64::new(n as u64);
             let input: Vec<Complex> = (0..n)
                 .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
                 .collect();
-            for inverse in [false, true] {
-                let expected = dft(&input, inverse);
-                let mut got = input.clone();
-                FftPlan::get(n).execute(&mut got, inverse);
-                let scale = (n as f64).max(1.0);
-                for (a, b) in got.iter().zip(&expected) {
-                    assert!(
-                        (*a - *b).norm() < 1e-9 * scale,
-                        "size {n} inverse {inverse}: {a} vs {b}"
-                    );
-                }
+            let plan = FftPlan::get(n);
+            let mut interleaved = input.clone();
+            plan.execute_unscaled(&mut interleaved, false);
+            let mut re: Vec<f64> = input.iter().map(|z| z.re).collect();
+            let mut im: Vec<f64> = input.iter().map(|z| z.im).collect();
+            let mut scratch = FftScratch::new();
+            plan.execute_unscaled_split(&mut re, &mut im, &mut scratch, false);
+            for (k, z) in interleaved.iter().enumerate() {
+                assert_eq!(z.re, re[k], "n {n} sample {k}");
+                assert_eq!(z.im, im[k], "n {n} sample {k}");
             }
-            n *= 2;
         }
     }
 
@@ -217,22 +934,42 @@ mod tests {
 
     #[test]
     fn unscaled_inverse_differs_by_n() {
-        let plan = FftPlan::get(8);
-        let input: Vec<Complex> = (0..8)
-            .map(|i| Complex::new(i as f64, -(i as f64)))
-            .collect();
-        let mut scaled = input.clone();
-        plan.execute(&mut scaled, true);
-        let mut unscaled = input;
-        plan.execute_unscaled(&mut unscaled, true);
-        for (s, u) in scaled.iter().zip(&unscaled) {
-            assert!((u.scale(1.0 / 8.0) - *s).norm() < 1e-12);
+        for n in [8usize, 12, 11] {
+            let plan = FftPlan::get(n);
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64, -(i as f64)))
+                .collect();
+            let mut scaled = input.clone();
+            plan.execute(&mut scaled, true);
+            let mut unscaled = input;
+            plan.execute_unscaled(&mut unscaled, true);
+            for (s, u) in scaled.iter().zip(&unscaled) {
+                assert!((u.scale(1.0 / n as f64) - *s).norm() < 1e-12);
+            }
         }
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn non_power_of_two_plan_panics() {
-        let _ = FftPlan::get(12);
+    fn non_five_smooth_sizes_roundtrip() {
+        use cardopc_geometry::SplitMix64;
+        // Bluestein path: prime, prime-squared, and 2·prime lengths.
+        for n in [7usize, 49, 14, 97] {
+            let mut rng = SplitMix64::new(n as u64);
+            let input: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+                .collect();
+            let plan = FftPlan::get(n);
+            let mut x = input.clone();
+            plan.execute(&mut x, false);
+            plan.execute(&mut x, true);
+            for (a, b) in x.iter().zip(&input) {
+                assert!((*a - *b).norm() < 1e-10, "n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_plan_rejected() {
+        assert!(std::panic::catch_unwind(|| FftPlan::get(0)).is_err());
     }
 }

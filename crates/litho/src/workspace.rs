@@ -2,15 +2,22 @@
 //!
 //! One [`LithoWorkspace`] holds every buffer `LithoEngine::image_with` (and
 //! pixel ILT's forward/backward passes) needs: the mask spectrum, one work
-//! field + column scratch + accumulator per parallel task slot. After the
-//! first call at a given grid size, the per-kernel loop performs **zero heap
-//! allocations** — the frequency product writes only the kernel's live rows
-//! into the slot's field, the pruned inverse gathers each column through the
-//! slot's scratch, and the `|z|²` reduction accumulates in place. The
-//! multi-condition entry ([`LithoWorkspace::socs_intensity_multi`]) computes
-//! every process condition's image from a single forward mask FFT.
+//! field + FFT scratch per parallel task slot, and one accumulator strip
+//! per *kernel*. After the first call at a given grid size, the per-kernel
+//! loop performs **zero heap allocations** — the frequency product writes
+//! only the kernel's live rows into the slot's field, the pruned inverse
+//! gathers each column through the slot's scratch, and the `|z|²` reduction
+//! accumulates in place. The multi-condition entry
+//! ([`LithoWorkspace::socs_intensity_multi`]) computes every process
+//! condition's image from a single forward mask FFT.
+//!
+//! Accumulation granularity is one strip per kernel (not per task slot), and
+//! strips are reduced in ascending kernel order. The per-pixel floating
+//! point summation tree is therefore a fixed left fold over kernels no
+//! matter how the kernels are chunked across tasks — outputs are
+//! **byte-identical for any worker count**, per dispatch mode.
 
-use crate::fft::{Complex, Field};
+use crate::fft::{FftScratch, Field};
 use crate::optics::SocsKernel;
 use crate::pool::WorkerPool;
 
@@ -20,13 +27,9 @@ pub(crate) struct WorkSlot {
     /// Frequency/space work field for the per-kernel product + inverse FFT
     /// (only live rows are ever written or read on the full-image path).
     pub field: Option<Field>,
-    /// Column gather buffer for the fused inverse column pass (also the
-    /// blocked-transpose scratch on the ROI-columns path).
-    pub scratch: Vec<Complex>,
-    /// Per-slot partial accumulator, reduced in slot order afterwards —
-    /// transposed layout (`acc[x·height + y]`) on the full-image path,
-    /// row-major on the ROI-columns path.
-    pub acc: Vec<f64>,
+    /// FFT scratch (ping-pong, transpose and column-gather lanes) for the
+    /// fused inverse column pass.
+    pub scratch: FftScratch,
 }
 
 /// Reusable buffers for aerial-image / ILT hot loops on one grid size.
@@ -36,9 +39,14 @@ pub struct LithoWorkspace {
     height: usize,
     /// Forward spectrum of the current mask.
     pub(crate) spectrum: Option<Field>,
-    /// Scratch for the forward transform's column pass.
-    pub(crate) forward_scratch: Vec<Complex>,
+    /// Scratch for the forward transform.
+    pub(crate) forward_scratch: FftScratch,
     pub(crate) slots: Vec<WorkSlot>,
+    /// Per-kernel accumulator strips (`strips[k·stride .. (k+1)·stride]`
+    /// holds kernel `k`'s `w·|z|²` contribution), reduced in ascending
+    /// kernel order after the fan-out so the summation tree is independent
+    /// of the task count.
+    strips: Vec<f64>,
 }
 
 impl LithoWorkspace {
@@ -50,12 +58,12 @@ impl LithoWorkspace {
     /// Ensures buffers exist for a `width`×`height` grid and `slots`
     /// parallel task slots (no-op when already sized).
     fn prepare(&mut self, width: usize, height: usize, slots: usize) {
-        let n = width * height;
         if self.width != width || self.height != height {
             self.width = width;
             self.height = height;
             self.spectrum = None;
             self.slots.clear();
+            self.strips.clear();
         }
         if self.spectrum.is_none() {
             self.spectrum = Some(Field::zeros(width, height));
@@ -67,9 +75,13 @@ impl LithoWorkspace {
             if slot.field.is_none() {
                 slot.field = Some(Field::zeros(width, height));
             }
-            if slot.acc.len() != n {
-                slot.acc = vec![0.0; n];
-            }
+        }
+    }
+
+    /// Grows the per-kernel strip buffer to at least `len` samples.
+    fn ensure_strips(&mut self, len: usize) {
+        if self.strips.len() < len {
+            self.strips.resize(len, 0.0);
         }
     }
 
@@ -79,11 +91,11 @@ impl LithoWorkspace {
     /// overwritten.
     ///
     /// The per-kernel normalisation `1/(width·height)²` (from the unscaled
-    /// inverse transform) is folded into each kernel's weight, and kernels
-    /// are statically chunked in ascending order with the slot partials
-    /// reduced in slot order, so the summation order per pixel is the
-    /// ascending kernel order regardless of `parallelism` (results match
-    /// the single-threaded path to reassociation rounding, < 1e-12).
+    /// inverse transform) is folded into each kernel's weight. Each kernel
+    /// accumulates into its own strip and the strips are reduced in
+    /// ascending kernel order, so the per-pixel summation tree is the same
+    /// left fold over kernels regardless of `parallelism` — the output is
+    /// **byte-identical** for any worker count (per dispatch mode).
     ///
     /// The per-kernel loop is the fully fused path: the frequency product
     /// writes only the kernel's live rows, the pruned inverse gathers each
@@ -110,71 +122,88 @@ impl LithoWorkspace {
         let n = width * height;
         assert_eq!(mask.len(), n, "mask sample count mismatch");
         assert_eq!(intensity.len(), n, "intensity sample count mismatch");
-        let tasks = parallelism.clamp(1, kernels.len().max(1));
+        let nk = kernels.len();
+        let tasks = parallelism.clamp(1, nk.max(1));
         self.prepare(width, height, tasks);
+        self.ensure_strips(nk * n);
 
         let spectrum = self.spectrum.as_mut().expect("prepared above");
         spectrum.fill_forward_real_with(mask, &mut self.forward_scratch);
         let spectrum: &Field = spectrum;
+        if nk == 0 {
+            intensity.fill(0.0);
+            return;
+        }
 
-        let slots = &mut self.slots[..tasks];
         // |IFFT_unscaled(z)/n|² = |z|²/n²: fold the normalisation into w_k.
         let inv_n2 = 1.0 / (n as f64 * n as f64);
-        let chunk = kernels.len().div_ceil(tasks);
-        pool.run_with_slots(slots, |t, slot| {
+        let chunk = nk.div_ceil(tasks);
+        let strips = &mut self.strips[..nk * n];
+        let mut units: Vec<(&mut WorkSlot, &mut [f64])> = self.slots[..tasks]
+            .iter_mut()
+            .zip(strips.chunks_mut(chunk * n))
+            .collect();
+        pool.run_with_slots(&mut units, |t, (slot, strip_chunk)| {
             Self::convolve_chunk(
                 spectrum,
                 kernels.iter().skip(t * chunk).take(chunk),
                 inv_n2,
                 slot,
+                strip_chunk,
+                n,
             );
         });
-        Self::reduce_set(slots, width, height, intensity);
+        Self::reduce_strips(strips, nk, n);
+        crate::fft::transpose_real_into(&strips[..n], width, height, intensity);
     }
 
-    /// One slot's share of a kernel set: the fused product → pruned
-    /// inverse → `w·|z|²` accumulation loop over `kernels`.
+    /// One task's share of a kernel set: the fused product → pruned
+    /// inverse → `w·|z|²` loop, each kernel accumulating into its own strip
+    /// of `strips` (so results are independent of the chunking).
     fn convolve_chunk<'k>(
         spectrum: &Field,
         kernels: impl Iterator<Item = &'k SocsKernel>,
         inv_n2: f64,
         slot: &mut WorkSlot,
+        strips: &mut [f64],
+        stride: usize,
     ) {
         let field = slot.field.as_mut().expect("prepared above");
-        slot.acc.fill(0.0);
-        for kernel in kernels {
+        for (kernel, strip) in kernels.zip(strips.chunks_mut(stride)) {
+            strip.fill(0.0);
             spectrum.mul_pointwise_live_rows_into(&kernel.transfer, &kernel.live_rows, field);
             field.ifft2_pruned_accumulate_t(
                 &kernel.live_rows,
                 &mut slot.scratch,
                 kernel.weight * inv_n2,
-                &mut slot.acc,
+                strip,
             );
         }
     }
 
-    /// Reduces a contiguous slot range's transposed partial accumulators in
-    /// slot order and writes the row-major intensity.
-    fn reduce_set(slots: &mut [WorkSlot], width: usize, height: usize, intensity: &mut [f64]) {
-        let (first, rest) = slots.split_first_mut().expect("at least one slot");
-        for slot in rest.iter() {
-            for (dst, &v) in first.acc.iter_mut().zip(&slot.acc) {
+    /// Left-folds `count` per-kernel strips of `stride` samples into the
+    /// first strip, in ascending kernel order — the canonical summation
+    /// tree every entry point shares, whatever the task chunking was.
+    fn reduce_strips(strips: &mut [f64], count: usize, stride: usize) {
+        let (first, rest) = strips.split_at_mut(stride);
+        for k in 1..count {
+            let src = &rest[(k - 1) * stride..k * stride];
+            for (dst, &v) in first.iter_mut().zip(src) {
                 *dst += v;
             }
         }
-        crate::fft::transpose_real_into(&first.acc, width, height, intensity);
     }
 
     /// Multi-condition SOCS intensity: computes one aerial image per kernel
     /// set from a **single** forward mask FFT, dispatching every set's
     /// convolutions over `pool` in one fan-out.
     ///
-    /// Each set is chunked exactly as a standalone
-    /// [`LithoWorkspace::socs_intensity`] call at the same `parallelism`
-    /// would chunk it (its own `tasks`/`chunk` split, its own slot range,
-    /// slot-ordered reduction), so every output is **bit-identical** to the
-    /// serial per-set path — the only sharing is the forward spectrum,
-    /// which is a pure function of the mask.
+    /// Each set accumulates into its own contiguous per-kernel strip region
+    /// and is reduced in ascending kernel order, exactly as a standalone
+    /// [`LithoWorkspace::socs_intensity`] call would — so every output is
+    /// **bit-identical** to the serial per-set path at *any* `parallelism`;
+    /// the only sharing is the forward spectrum, which is a pure function
+    /// of the mask.
     ///
     /// # Panics
     ///
@@ -201,45 +230,65 @@ impl LithoWorkspace {
         for out in outputs.iter() {
             assert_eq!(out.len(), n, "intensity sample count mismatch");
         }
-        // Per-set slot ranges, identical to each set's standalone chunking.
-        let tasks_per_set: Vec<usize> = kernel_sets
-            .iter()
-            .map(|set| parallelism.clamp(1, set.len().max(1)))
-            .collect();
-        let total_slots: usize = tasks_per_set.iter().sum();
-        self.prepare(width, height, total_slots);
+        // Per-set chunk sizes, identical to each set's standalone chunking,
+        // and one work unit (task) per chunk. Each unit descriptor is
+        // `(set index, first kernel, kernel count)`.
+        let mut descs: Vec<(usize, usize, usize)> = Vec::new();
+        for (c, set) in kernel_sets.iter().enumerate() {
+            let tasks = parallelism.clamp(1, set.len().max(1));
+            let chunk = set.len().div_ceil(tasks).max(1);
+            let mut start = 0usize;
+            while start < set.len() {
+                let count = chunk.min(set.len() - start);
+                descs.push((c, start, count));
+                start += count;
+            }
+        }
+        let total_nk: usize = kernel_sets.iter().map(|set| set.len()).sum();
+        self.prepare(width, height, descs.len().max(1));
+        self.ensure_strips(total_nk * n);
 
         let spectrum = self.spectrum.as_mut().expect("prepared above");
         spectrum.fill_forward_real_with(mask, &mut self.forward_scratch);
         let spectrum: &Field = spectrum;
 
-        // One pool fan-out over every set's slots: global slot index `s`
-        // maps statically to (set, in-set task) so results do not depend on
-        // which worker claims which slot.
+        // One pool fan-out over every set's chunks. Unit `u` statically owns
+        // its kernel range and strip region, so results do not depend on
+        // which worker claims which unit.
         let inv_n2 = 1.0 / (n as f64 * n as f64);
-        let slots = &mut self.slots[..total_slots];
-        let tasks_per_set = &tasks_per_set;
-        pool.run_with_slots(slots, |s, slot| {
-            let mut c = 0usize;
-            let mut base = 0usize;
-            while s >= base + tasks_per_set[c] {
-                base += tasks_per_set[c];
-                c += 1;
+        {
+            let mut rest: &mut [f64] = &mut self.strips[..total_nk * n];
+            #[allow(clippy::type_complexity)]
+            let mut units: Vec<((usize, usize, usize), &mut WorkSlot, &mut [f64])> =
+                Vec::with_capacity(descs.len());
+            for (&desc, slot) in descs.iter().zip(self.slots.iter_mut()) {
+                let (head, tail) = rest.split_at_mut(desc.2 * n);
+                rest = tail;
+                units.push((desc, slot, head));
             }
-            let set = kernel_sets[c];
-            let chunk = set.len().div_ceil(tasks_per_set[c]);
-            let t = s - base;
-            Self::convolve_chunk(
-                spectrum,
-                set.iter().skip(t * chunk).take(chunk),
-                inv_n2,
-                slot,
-            );
-        });
-        let mut slot_base = 0usize;
-        for (out, &tasks) in outputs.iter_mut().zip(tasks_per_set) {
-            Self::reduce_set(&mut slots[slot_base..slot_base + tasks], width, height, out);
-            slot_base += tasks;
+            pool.run_with_slots(&mut units, |_u, ((c, start, count), slot, strips)| {
+                let set = kernel_sets[*c];
+                Self::convolve_chunk(
+                    spectrum,
+                    set[*start..*start + *count].iter(),
+                    inv_n2,
+                    slot,
+                    strips,
+                    n,
+                );
+            });
+        }
+        // Ascending-kernel-order reduction per set, over its strip region.
+        let mut base = 0usize;
+        for (out, set) in outputs.iter_mut().zip(kernel_sets) {
+            if set.is_empty() {
+                out.fill(0.0);
+                continue;
+            }
+            let region = &mut self.strips[base * n..(base + set.len()) * n];
+            Self::reduce_strips(region, set.len(), n);
+            crate::fft::transpose_real_into(&region[..n], width, height, out);
+            base += set.len();
         }
     }
 
@@ -252,8 +301,8 @@ impl LithoWorkspace {
     /// off-ROI column transform ([`Field::ifft2_pruned_cols_accumulate`]),
     /// which is what makes restricted re-simulation inside the OPC
     /// correction loop cheap. Computed pixels are bit-identical to the full
-    /// path for the same `parallelism` chunking (same kernel order, same
-    /// slot-ordered reduction).
+    /// path at *any* `parallelism` (identical per-column kernel operations,
+    /// same ascending-kernel reduction order).
     ///
     /// # Panics
     ///
@@ -273,37 +322,56 @@ impl LithoWorkspace {
         let n = width * height;
         assert_eq!(mask.len(), n, "mask sample count mismatch");
         assert_eq!(intensity.len(), n, "intensity sample count mismatch");
-        let tasks = parallelism.clamp(1, kernels.len().max(1));
+        let nk = kernels.len();
+        let tasks = parallelism.clamp(1, nk.max(1));
+        let stride = cols.len() * height;
         self.prepare(width, height, tasks);
+        self.ensure_strips(nk * stride);
 
         let spectrum = self.spectrum.as_mut().expect("prepared above");
         spectrum.fill_forward_real_with(mask, &mut self.forward_scratch);
         let spectrum: &Field = spectrum;
+        if nk == 0 || stride == 0 {
+            intensity.fill(0.0);
+            return;
+        }
 
         let inv_n2 = 1.0 / (n as f64 * n as f64);
-        let chunk = kernels.len().div_ceil(tasks);
-        let slots = &mut self.slots[..tasks];
-        pool.run_with_slots(slots, |t, slot| {
+        let chunk = nk.div_ceil(tasks);
+        let strips = &mut self.strips[..nk * stride];
+        let mut units: Vec<(&mut WorkSlot, &mut [f64])> = self.slots[..tasks]
+            .iter_mut()
+            .zip(strips.chunks_mut(chunk * stride))
+            .collect();
+        pool.run_with_slots(&mut units, |t, (slot, strip_chunk)| {
             let field = slot.field.as_mut().expect("prepared above");
-            slot.acc.fill(0.0);
-            for kernel in kernels.iter().skip(t * chunk).take(chunk) {
+            for (kernel, strip) in kernels
+                .iter()
+                .skip(t * chunk)
+                .take(chunk)
+                .zip(strip_chunk.chunks_mut(stride))
+            {
+                strip.fill(0.0);
                 spectrum.mul_pointwise_pruned_into(&kernel.transfer, &kernel.live_rows, field);
                 field.ifft2_pruned_cols_accumulate(
                     &kernel.live_rows,
                     cols,
                     &mut slot.scratch,
                     kernel.weight * inv_n2,
-                    &mut slot.acc,
+                    strip,
                 );
             }
         });
 
+        // Ascending-kernel reduction, then scatter the column-contiguous
+        // result back to row-major (bit-identical summation tree to the
+        // full path).
+        Self::reduce_strips(strips, nk, stride);
         intensity.fill(0.0);
-        for slot in slots.iter() {
-            for &x in cols {
-                for y in 0..height {
-                    intensity[y * width + x] += slot.acc[y * width + x];
-                }
+        let first = &strips[..stride];
+        for (ci, &x) in cols.iter().enumerate() {
+            for y in 0..height {
+                intensity[y * width + x] = first[ci * height + y];
             }
         }
     }
@@ -340,7 +408,7 @@ mod tests {
         for k in kernels {
             let mut field = spectrum.mul_pointwise(&k.transfer);
             field.fft2_inplace(true);
-            for (dst, z) in intensity.iter_mut().zip(field.data()) {
+            for (dst, z) in intensity.iter_mut().zip(field.iter()) {
                 *dst += k.weight * z.norm_sq();
             }
         }

@@ -6,10 +6,11 @@ use cardopc_litho::{epe_at, l2_error, pvb_area, rasterize, thresholded_xor_area,
 use proptest::prelude::*;
 
 proptest! {
-    /// FFT round trip is the identity for arbitrary signals.
+    /// FFT round trip is the identity for arbitrary signals of *any*
+    /// length — 5-smooth sizes exercise the mixed-radix Stockham path,
+    /// everything else (primes, 7-smooth, …) the Bluestein fallback.
     #[test]
-    fn fft_roundtrip(seed in 0u64..1000, log_n in 1u32..9) {
-        let n = 1usize << log_n;
+    fn fft_roundtrip(seed in 0u64..1000, n in 1usize..300) {
         let mut rng = SplitMix64::new(seed);
         let orig: Vec<Complex> = (0..n)
             .map(|_| Complex::new(rng.range_f64(-10.0, 10.0), rng.range_f64(-10.0, 10.0)))
@@ -23,10 +24,9 @@ proptest! {
     }
 
     /// Parseval: time-domain and (normalised) frequency-domain energies
-    /// agree.
+    /// agree at any transform length.
     #[test]
-    fn fft_parseval(seed in 0u64..1000, log_n in 1u32..9) {
-        let n = 1usize << log_n;
+    fn fft_parseval(seed in 0u64..1000, n in 1usize..300) {
         let mut rng = SplitMix64::new(seed);
         let sig: Vec<Complex> = (0..n)
             .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
@@ -38,18 +38,59 @@ proptest! {
         prop_assert!((e_time - e_freq).abs() < 1e-8 * (1.0 + e_time));
     }
 
-    /// 2-D FFT round trip on Fields.
+    /// 2-D FFT round trip on Fields of arbitrary (non-pow2 included)
+    /// dimensions.
     #[test]
-    fn field_roundtrip(seed in 0u64..200, log_w in 1u32..6, log_h in 1u32..6) {
-        let (w, h) = (1usize << log_w, 1usize << log_h);
+    fn field_roundtrip(seed in 0u64..200, w in 1usize..40, h in 1usize..40) {
         let mut rng = SplitMix64::new(seed);
         let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
         let orig = Field::from_real(w, h, &real);
         let mut f = orig.clone();
         f.fft2_inplace(false);
         f.fft2_inplace(true);
-        for (a, b) in f.data().iter().zip(orig.data()) {
-            prop_assert!((*a - *b).norm() < 1e-8);
+        for (a, b) in f.iter().zip(orig.iter()) {
+            prop_assert!((a - b).norm() < 1e-8);
+        }
+    }
+
+    /// Linearity: FFT(αx + βy) == α·FFT(x) + β·FFT(y), any length.
+    #[test]
+    fn fft_linearity(seed in 0u64..500, n in 1usize..200,
+                     alpha in -3.0..3.0f64, beta in -3.0..3.0f64) {
+        let mut rng = SplitMix64::new(seed);
+        let gen = |rng: &mut SplitMix64| -> Vec<Complex> {
+            (0..n)
+                .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+                .collect()
+        };
+        let x = gen(&mut rng);
+        let y = gen(&mut rng);
+        let mut combo: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| Complex::new(alpha * a.re + beta * b.re, alpha * a.im + beta * b.im))
+            .collect();
+        let (mut fx, mut fy) = (x, y);
+        fft_inplace(&mut fx, false);
+        fft_inplace(&mut fy, false);
+        fft_inplace(&mut combo, false);
+        for ((c, a), b) in combo.iter().zip(&fx).zip(&fy) {
+            let want = Complex::new(alpha * a.re + beta * b.re, alpha * a.im + beta * b.im);
+            prop_assert!((*c - want).norm() < 1e-7 * (1.0 + want.norm()));
+        }
+    }
+
+    /// Real-packed forward transform agrees with the complex path at
+    /// arbitrary dimensions (both parities of height).
+    #[test]
+    fn forward_real_matches_complex(seed in 0u64..200, w in 1usize..24, h in 1usize..24) {
+        let mut rng = SplitMix64::new(seed);
+        let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let packed = Field::forward_real(w, h, &real);
+        let mut full = Field::from_real(w, h, &real);
+        full.fft2_inplace(false);
+        for (a, b) in packed.iter().zip(full.iter()) {
+            prop_assert!((a - b).norm() < 1e-9 * (1.0 + b.norm()));
         }
     }
 

@@ -184,8 +184,9 @@ pub fn evaluate_mask_grid_with(
 /// Builds a lithography engine sized for a clip, with calibrated resist
 /// threshold.
 ///
-/// The grid edge is the next power of two covering `max(width, height)` at
-/// `pitch` nm per pixel.
+/// The grid edge is the next 5-smooth integer (the FFT core's direct
+/// mixed-radix sizes) covering `max(width, height)` at `pitch` nm per
+/// pixel — no more rounding all the way up to a power of two.
 ///
 /// # Errors
 ///
@@ -198,7 +199,7 @@ pub fn engine_for_extent(
 ) -> Result<LithoEngine, OpcError> {
     const MAX_EDGE: usize = 4096;
     let needed = (width_nm.max(height_nm) / pitch).ceil() as usize;
-    let edge = needed.next_power_of_two();
+    let edge = cardopc_litho::next_five_smooth(needed);
     if edge > MAX_EDGE {
         return Err(OpcError::ClipTooLarge {
             needed: edge,
@@ -226,9 +227,13 @@ mod tests {
 
     #[test]
     fn engine_sizing() {
+        // 1000 nm / 8 nm = 125 px = 5³, already 5-smooth: no padding at
+        // all (the pow2 sizing rule used to round this up to 128).
         let e = engine();
-        assert_eq!(e.width(), 128);
+        assert_eq!(e.width(), 125);
         assert_eq!(e.pitch(), 8.0);
+        // Non-smooth requirements round up to the nearest 5-smooth edge.
+        assert_eq!(engine_for_extent(1010.0, 1010.0, 8.0).unwrap().width(), 128);
         assert!(matches!(
             engine_for_extent(100_000.0, 100_000.0, 1.0),
             Err(OpcError::ClipTooLarge { .. })

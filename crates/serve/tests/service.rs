@@ -420,7 +420,10 @@ fn terminal_jobs_are_deletable_and_evicted_beyond_the_retention_cap() {
     assert_eq!(kept.status, 200, "{}", kept.body_str());
 
     let metrics = client::get(addr, "/metrics").unwrap().body_str();
-    assert!(metrics.contains("cardopc_jobs_evicted_total 1"), "{metrics}");
+    assert!(
+        metrics.contains("cardopc_jobs_evicted_total 1"),
+        "{metrics}"
+    );
 
     drop(server);
     let _ = std::fs::remove_dir_all(root);
