@@ -1,0 +1,119 @@
+//! Benchmark of the content-addressed tile cache on a repeated-cell
+//! layout: a 4×4 grid of one 1024 nm cell, tiled at 1024 nm + 512 nm halo
+//! (16 tiles, 9 unique window patterns by edge-clamping class).
+//!
+//! Three configurations of the same run:
+//!
+//! * `uncached` — the tile cache disabled; every tile corrected.
+//! * `cold`     — a fresh cache per run; the 9 unique patterns are
+//!                corrected, the 7 congruent repeats replay (hit rate
+//!                1 − unique/total = 7/16).
+//! * `warm`     — a pre-populated cache; all 16 tiles replay.
+//!
+//! The run also asserts the expected hit counts and prints them, so a
+//! regression in key canonicalisation (fewer collisions than expected)
+//! shows up as a failed bench, not just a slower one.
+
+use cardopc::geometry::{Point, Polygon};
+use cardopc::layout::Clip;
+use cardopc::litho::WorkerPool;
+use cardopc::opc::OpcConfig;
+use cardopc::runtime::{
+    run_clip, run_clip_controlled, CacheConfig, RunConfig, RunControl, TileCache, TilingConfig,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const GRID: usize = 4;
+const CELL: f64 = 1024.0;
+const TILES: usize = GRID * GRID;
+/// Edge-clamping classes of a 4×4 partition with halo < tile: 3 window
+/// shapes per axis (left/interior/right), so 3 × 3 unique patterns.
+const UNIQUE: usize = 9;
+
+/// One cell: two wires, repeated on a `GRID`×`GRID` lattice. The 0.5 nm
+/// offset keeps straight edges off the rasteriser's sub-scanlines.
+fn repeated_cells() -> Clip {
+    let mut targets = Vec::new();
+    for gy in 0..GRID {
+        for gx in 0..GRID {
+            let d = Point::new(gx as f64 * CELL, gy as f64 * CELL);
+            targets.push(Polygon::rect(
+                Point::new(d.x + 300.5, d.y + 220.5),
+                Point::new(d.x + 380.5, d.y + 700.5),
+            ));
+            targets.push(Polygon::rect(
+                Point::new(d.x + 460.5, d.y + 220.5),
+                Point::new(d.x + 700.5, d.y + 300.5),
+            ));
+        }
+    }
+    Clip::new(
+        format!("repeated-cells-{GRID}x{GRID}"),
+        GRID as f64 * CELL,
+        GRID as f64 * CELL,
+        targets,
+    )
+}
+
+fn run_config() -> RunConfig {
+    let mut opc = OpcConfig::large_scale();
+    opc.pitch = 16.0;
+    opc.iterations = 4;
+    opc.mrc = None;
+    RunConfig::new(
+        opc,
+        TilingConfig {
+            tile_size: CELL,
+            halo: 512.0,
+        },
+    )
+}
+
+fn cached_run(clip: &Clip, cfg: &RunConfig, pool: &WorkerPool, cache: &TileCache) -> usize {
+    let control = RunControl {
+        cache: Some(cache),
+        ..RunControl::default()
+    };
+    let outcome = run_clip_controlled(clip, cfg, pool, &control).unwrap();
+    assert!(outcome.complete);
+    outcome.manifest.cache_hits
+}
+
+fn bench_repeated_cells(c: &mut Criterion) {
+    let clip = repeated_cells();
+    let cfg = run_config();
+    let pool = WorkerPool::new(2);
+
+    let mut group = c.benchmark_group(format!("repeated_cells_{GRID}x{GRID}"));
+    group.sample_size(3);
+    group.bench_function("uncached", |b| {
+        b.iter(|| black_box(run_clip(&clip, &cfg, &pool).unwrap().manifest.executed))
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let cache = TileCache::open(&CacheConfig::default()).unwrap();
+            let hits = cached_run(&clip, &cfg, &pool, &cache);
+            assert_eq!(hits, TILES - UNIQUE, "cold hit count");
+            black_box(hits)
+        })
+    });
+    let warm = TileCache::open(&CacheConfig::default()).unwrap();
+    cached_run(&clip, &cfg, &pool, &warm);
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let hits = cached_run(&clip, &cfg, &pool, &warm);
+            assert_eq!(hits, TILES, "warm runs replay every tile");
+            black_box(hits)
+        })
+    });
+    group.finish();
+
+    println!(
+        "repeated_cells_{GRID}x{GRID}: {TILES} tiles, {UNIQUE} unique patterns; \
+         cold hit rate {:.4} (1 - unique/total), warm hit rate 1.0000",
+        1.0 - UNIQUE as f64 / TILES as f64
+    );
+}
+
+criterion_group!(benches, bench_repeated_cells);
+criterion_main!(benches);

@@ -1,0 +1,1095 @@
+//! Content-addressed cross-job tile correction cache.
+//!
+//! Real layouts are massively repetitive: standard cells and via arrays
+//! recur across the chip (and across jobs), so full-chip OPC cost should
+//! scale with the number of *unique* tile patterns, not with area. This
+//! module maps a **canonical tile key** — a translation-normalised hash of
+//! the tile's halo-inclusive geometry plus the full `OpcConfig` — to the
+//! tile's corrected output stored *window-relative*, so a hit is replayed
+//! by pure translation into any congruent tile anywhere on the chip or in
+//! a later job.
+//!
+//! Key canonicalisation ([`tile_cache_key`]): the partitioner already
+//! rebases every target into window coordinates (chip position minus the
+//! window origin), so hashing those vertices — plus the window extent,
+//! the `(tile_size, halo)` split (the ownership core's position within
+//! the window depends on it), each target's ownership flag, and every
+//! `OpcConfig` field — erases the tile's absolute position while keeping
+//! everything the correction depends on. Positional identity (tile index,
+//! grid coordinates, origin, global target ids) is deliberately excluded.
+//! Floats hash through the canonicalising [`Fnv`] writer, so `-0.0` vs
+//! `0.0` bit patterns cannot cause a spurious miss.
+//!
+//! What is stored ([`CachedTile`]): the owned main shapes (tagged with
+//! their *local* target index) and **all** assist features of the window,
+//! in the optimizer's output order, window-relative. SRAF seam ownership
+//! is decided at replay time by the *replaying* tile's own owner test —
+//! an edge tile and an interior tile can legally share a key yet keep
+//! different halo assists, because the clamped owner grid treats the chip
+//! boundary differently. Storing the full assist set and filtering late
+//! makes a replay bit-identical to a cold run by construction: both paths
+//! materialise records through the same code.
+//!
+//! Concurrency: a lock-striped index (16 shards) with **single-flight**
+//! de-duplication. The first thread to miss a key installs an in-flight
+//! marker and corrects; concurrent requesters of the same key block on
+//! the shard's condvar (with a cancellation-aware timeout) and receive
+//! the finished value as a hit. A failed leader removes the marker and
+//! wakes the waiters, the first of which becomes the next leader. Waiting
+//! threads belong to the scheduler's worker pool; the pool's nested-run
+//! protocol degrades a blocked submitter to draining its own queue, so a
+//! waiter can never deadlock the leader's litho work.
+//!
+//! Eviction mirrors the serve layer's terminal-job retention: the store
+//! is bounded by entry count and byte budget, evicting the
+//! least-recently-hit entry first and counting evictions.
+//!
+//! Persistence reuses the checkpoint file discipline: an append-only
+//! `cache.jsonl` of self-describing lines (a torn final line from a
+//! killed process parses as garbage and is skipped; the last line per key
+//! wins), a `cache.lock` PID file with stale-lock reclaim, and a
+//! compaction rewrite on drop when the file has accumulated dead lines.
+//! A directory locked by a live process degrades to a read-only open (the
+//! store is still consulted and new corrections are kept in memory for
+//! the run, just not written back).
+
+use crate::checkpoint::{
+    acquire_pid_lock, hash_config, metrics_json, parse_metrics, Fnv, TileMetrics,
+};
+use crate::json::Json;
+use crate::partition::{Tile, TilingConfig};
+use crate::RuntimeError;
+use cardopc_geometry::Point;
+use cardopc_opc::OpcConfig;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Bumped whenever the key composition or the stored-value semantics
+/// change, so stale stores from older builds can never replay.
+const KEY_VERSION: u8 = 1;
+
+/// Entry line format version.
+const ENTRY_VERSION: f64 = 1.0;
+
+/// Lock stripes of the index.
+const SHARDS: usize = 16;
+
+/// How long a single-flight waiter sleeps between cancellation checks.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+// ------------------------------------------------------------------ key
+
+/// The canonical, translation-normalised content key of a tile.
+///
+/// Two tiles share a key exactly when their halo windows hold bitwise
+/// congruent geometry (same window-relative target vertices, same
+/// ownership flags), the same `(tile_size, halo)` split, and the same
+/// complete OPC configuration — in which case their corrections are the
+/// same pure function of the window and one can replay for the other by
+/// translation. Tile position (index, grid cell, origin) and global
+/// target ids are excluded; they are reapplied at replay time.
+pub fn tile_cache_key(tile: &Tile, tiling: &TilingConfig, config: &OpcConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&[KEY_VERSION]);
+    h.write_f64(tile.clip.width());
+    h.write_f64(tile.clip.height());
+    // The core's placement inside the window — and thus PV-band
+    // restriction and SRAF seam ownership — depends on the split, not
+    // just the window extent.
+    h.write_f64(tiling.tile_size);
+    h.write_f64(tiling.halo);
+    h.write_usize(tile.clip.targets().len());
+    for (target, owned) in tile.clip.targets().iter().zip(&tile.owned) {
+        h.write(&[*owned as u8]);
+        h.write_usize(target.len());
+        for v in target.vertices() {
+            // Window-relative coordinates: the partitioner already
+            // subtracted the window origin.
+            h.write_f64(v.x);
+            h.write_f64(v.y);
+        }
+    }
+    hash_config(&mut h, config);
+    h.0
+}
+
+// ---------------------------------------------------------------- values
+
+/// One corrected shape in window coordinates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedShape {
+    /// For main patterns, the index of the corrected target in the tile
+    /// clip's target list (always an *owned* target). `None` marks an
+    /// assist feature.
+    pub target: Option<usize>,
+    /// Cardinal tension of the shape's spline.
+    pub tension: f64,
+    /// Control points, window coordinates.
+    pub control_points: Vec<Point>,
+}
+
+/// The cached correction of one tile pattern, window-relative.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedTile {
+    /// Per-iteration |EPE| sums over the tile's owned targets.
+    pub owned_epe_history: Vec<f64>,
+    /// Per-iteration |EPE| sums over the whole halo window.
+    pub epe_history: Vec<f64>,
+    /// Owned mains followed by **every** window assist, in optimizer
+    /// output order. Assist seam filtering happens at replay.
+    pub shapes: Vec<CachedShape>,
+    /// Tile metrics (position-independent: EPE over owned sites, PV band
+    /// over the core, MRC over the window).
+    pub metrics: TileMetrics,
+    /// Wall seconds the original (cold) correction took.
+    pub seconds: f64,
+}
+
+impl CachedTile {
+    /// Serialises the entry as one compact JSON line (no newline).
+    fn to_json_line(&self, key: u64) -> String {
+        let shapes = Json::Arr(
+            self.shapes
+                .iter()
+                .map(|s| {
+                    let mut cps = Vec::with_capacity(2 * s.control_points.len());
+                    for p in &s.control_points {
+                        cps.push(p.x);
+                        cps.push(p.y);
+                    }
+                    Json::obj(vec![
+                        ("t", s.target.map_or(Json::Null, Json::num_usize)),
+                        ("tension", Json::Num(s.tension)),
+                        ("cps", Json::num_arr(&cps)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("v", Json::Num(ENTRY_VERSION)),
+            ("key", Json::Str(format!("{key:016x}"))),
+            ("owned_epe", Json::num_arr(&self.owned_epe_history)),
+            ("epe", Json::num_arr(&self.epe_history)),
+            ("metrics", metrics_json(&self.metrics)),
+            ("seconds", Json::Num(self.seconds)),
+            ("shapes", shapes),
+        ])
+        .to_string_compact()
+    }
+
+    /// Parses one JSONL line back into `(key, entry)`.
+    fn from_json_line(line: &str) -> Result<(u64, CachedTile), String> {
+        let v = Json::parse(line)?;
+        if v.get("v").and_then(Json::as_f64) != Some(ENTRY_VERSION) {
+            return Err("unknown cache entry version".into());
+        }
+        let field = |key: &str| v.get(key).ok_or_else(|| format!("missing field {key}"));
+        let key = u64::from_str_radix(field("key")?.as_str().ok_or("bad key")?, 16)
+            .map_err(|_| "bad key".to_string())?;
+        let floats = |name: &str| -> Result<Vec<f64>, String> {
+            field(name)?
+                .as_arr()
+                .ok_or_else(|| format!("bad array {name}"))?
+                .iter()
+                .map(|j| j.as_f64().ok_or_else(|| format!("bad number in {name}")))
+                .collect()
+        };
+        let owned_epe_history = floats("owned_epe")?;
+        let epe_history = floats("epe")?;
+        let metrics = parse_metrics(field("metrics")?)?;
+        let seconds = field("seconds")?.as_f64().ok_or("bad seconds")?;
+        let mut shapes = Vec::new();
+        for s in field("shapes")?.as_arr().ok_or("bad shapes")? {
+            let target = match s.get("t").ok_or("missing shape target")? {
+                Json::Null => None,
+                j => Some(j.as_usize().ok_or("bad shape target")?),
+            };
+            let tension = s
+                .get("tension")
+                .and_then(Json::as_f64)
+                .ok_or("bad tension")?;
+            let flat = s.get("cps").and_then(Json::as_arr).ok_or("bad cps")?;
+            if flat.len() % 2 != 0 {
+                return Err("odd cps length".into());
+            }
+            let mut control_points = Vec::with_capacity(flat.len() / 2);
+            for pair in flat.chunks_exact(2) {
+                let x = pair[0].as_f64().ok_or("bad cp")?;
+                let y = pair[1].as_f64().ok_or("bad cp")?;
+                control_points.push(Point::new(x, y));
+            }
+            shapes.push(CachedShape {
+                target,
+                tension,
+                control_points,
+            });
+        }
+        Ok((
+            key,
+            CachedTile {
+                owned_epe_history,
+                epe_history,
+                shapes,
+                metrics,
+                seconds,
+            },
+        ))
+    }
+}
+
+// ---------------------------------------------------------------- config
+
+/// Tile cache configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheConfig {
+    /// Backing directory; `None` keeps the cache in memory only (still
+    /// shared across jobs within the process).
+    pub dir: Option<PathBuf>,
+    /// Maximum live entries before LRU eviction.
+    pub max_entries: usize,
+    /// Maximum live bytes (serialised-line accounting) before eviction.
+    pub max_bytes: u64,
+    /// Consult the store but never write the backing file. Corrections
+    /// are still kept in memory for the life of the process.
+    pub read_only: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            dir: None,
+            max_entries: 65_536,
+            max_bytes: 256 * 1024 * 1024,
+            read_only: false,
+        }
+    }
+}
+
+/// A point-in-time snapshot of cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the store (including single-flight waits).
+    pub hits: u64,
+    /// Lookups that corrected and inserted.
+    pub misses: u64,
+    /// Entries evicted by the budget.
+    pub evicted: u64,
+    /// Live entries.
+    pub entries: u64,
+    /// Live bytes (serialised accounting).
+    pub bytes: u64,
+}
+
+// ----------------------------------------------------------------- store
+
+struct Entry {
+    value: Arc<CachedTile>,
+    bytes: u64,
+    last_hit: u64,
+}
+
+enum Slot {
+    Ready(Entry),
+    /// A leader is correcting this key right now.
+    InFlight,
+}
+
+struct Shard {
+    map: Mutex<HashMap<u64, Slot>>,
+    cond: Condvar,
+}
+
+/// The shared, bounded, content-addressed tile store. See the module docs
+/// for the full design.
+pub struct TileCache {
+    shards: Vec<Shard>,
+    /// Append handle to `cache.jsonl`; `None` in memory-only or
+    /// read-only mode.
+    writer: Option<Mutex<std::fs::File>>,
+    dir: Option<PathBuf>,
+    /// Owned `cache.lock`, removed on drop.
+    lock: Option<PathBuf>,
+    read_only: bool,
+    max_entries: u64,
+    max_bytes: u64,
+    /// Global recency clock for LRU eviction.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evicted: AtomicU64,
+    entries: AtomicU64,
+    bytes: AtomicU64,
+    /// Bytes currently in the backing file (live + dead lines), used to
+    /// decide whether dropping should compact.
+    file_bytes: AtomicU64,
+}
+
+impl std::fmt::Debug for TileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TileCache")
+            .field("dir", &self.dir)
+            .field("read_only", &self.read_only)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl TileCache {
+    /// Opens a cache.
+    ///
+    /// With a directory: creates it, takes `cache.lock` (falling back to
+    /// a read-only open with a warning when another live process holds
+    /// it), loads every parseable line of `cache.jsonl` (last line per
+    /// key wins; a torn tail is skipped) and enforces the budget. Without
+    /// a directory the cache is memory-only.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Io`] when the directory or file cannot be
+    /// created/read.
+    pub fn open(config: &CacheConfig) -> Result<TileCache, RuntimeError> {
+        let mut cache = TileCache {
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    map: Mutex::new(HashMap::new()),
+                    cond: Condvar::new(),
+                })
+                .collect(),
+            writer: None,
+            dir: None,
+            lock: None,
+            read_only: config.read_only,
+            max_entries: (config.max_entries.max(1)) as u64,
+            max_bytes: config.max_bytes.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            file_bytes: AtomicU64::new(0),
+        };
+        let Some(dir) = &config.dir else {
+            return Ok(cache);
+        };
+        std::fs::create_dir_all(dir)
+            .map_err(|e| RuntimeError::Io(format!("create {}: {e}", dir.display())))?;
+        if !cache.read_only {
+            match acquire_pid_lock(dir, "cache.lock") {
+                Ok(path) => cache.lock = Some(path),
+                Err(RuntimeError::Locked { path, pid }) => {
+                    eprintln!(
+                        "cardopc: tile cache {path} is held by live process {pid}; \
+                         opening read-only"
+                    );
+                    cache.read_only = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Load the backing file: last parseable line per key wins, keyed
+        // to its line position as the initial recency.
+        let path = dir.join("cache.jsonl");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                cache.file_bytes.store(text.len() as u64, Ordering::Relaxed);
+                let mut loaded: HashMap<u64, (u64, Arc<CachedTile>, u64)> = HashMap::new();
+                for line in text.lines() {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if let Ok((key, value)) = CachedTile::from_json_line(line) {
+                        let tick = cache.tick.fetch_add(1, Ordering::Relaxed);
+                        loaded.insert(key, (tick, Arc::new(value), line.len() as u64 + 1));
+                    }
+                }
+                for (key, (tick, value, bytes)) in loaded {
+                    let shard = cache.shard(key);
+                    shard
+                        .map
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(
+                            key,
+                            Slot::Ready(Entry {
+                                value,
+                                bytes,
+                                last_hit: tick,
+                            }),
+                        );
+                    cache.entries.fetch_add(1, Ordering::Relaxed);
+                    cache.bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(RuntimeError::Io(format!("read {}: {e}", path.display())));
+            }
+        }
+
+        if !cache.read_only {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| RuntimeError::Io(format!("open {}: {e}", path.display())))?;
+            cache.writer = Some(Mutex::new(file));
+        }
+        cache.dir = Some(dir.clone());
+        cache.enforce_budget();
+        Ok(cache)
+    }
+
+    /// Whether the backing store is write-protected (explicitly, or by
+    /// falling back when another process held the lock).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks `key` up, correcting-and-inserting on a miss with
+    /// single-flight de-duplication: concurrent callers of an in-flight
+    /// key block until the leader finishes and then share its value as a
+    /// hit. Returns `Ok(None)` when `cancelled` fires while waiting; the
+    /// leader itself never waits (it checks nothing beyond `correct`).
+    /// A failed leader propagates its error and releases the key, so the
+    /// next caller retries.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `correct` returns; failures are never cached.
+    pub fn get_or_correct<E>(
+        &self,
+        key: u64,
+        cancelled: &(dyn Fn() -> bool + '_),
+        correct: impl FnOnce() -> Result<CachedTile, E>,
+    ) -> Result<Option<(Arc<CachedTile>, bool)>, E> {
+        let shard = self.shard(key);
+        let mut map = self.lock_shard(shard);
+        loop {
+            match map.get_mut(&key) {
+                Some(Slot::Ready(entry)) => {
+                    entry.last_hit = self.tick.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some((Arc::clone(&entry.value), true)));
+                }
+                Some(Slot::InFlight) => {
+                    let (guard, _timeout) = shard
+                        .cond
+                        .wait_timeout(map, WAIT_SLICE)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    map = guard;
+                    if cancelled() {
+                        return Ok(None);
+                    }
+                }
+                None => {
+                    map.insert(key, Slot::InFlight);
+                    drop(map);
+                    break;
+                }
+            }
+        }
+
+        // This caller is the leader for `key`.
+        match correct() {
+            Ok(value) => {
+                let value = Arc::new(value);
+                let line = value.to_json_line(key);
+                let bytes = line.len() as u64 + 1;
+                {
+                    let mut map = self.lock_shard(shard);
+                    map.insert(
+                        key,
+                        Slot::Ready(Entry {
+                            value: Arc::clone(&value),
+                            bytes,
+                            last_hit: self.tick.fetch_add(1, Ordering::Relaxed),
+                        }),
+                    );
+                }
+                shard.cond.notify_all();
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.persist(&line);
+                self.enforce_budget();
+                Ok(Some((value, false)))
+            }
+            Err(e) => {
+                let mut map = self.lock_shard(shard);
+                map.remove(&key);
+                drop(map);
+                shard.cond.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Shard {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, HashMap<u64, Slot>> {
+        shard.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Best-effort append of one entry line to the backing file. A write
+    /// failure degrades the cache to memory-only behaviour for that
+    /// entry; it never fails the correction.
+    fn persist(&self, line: &str) {
+        if let Some(writer) = &self.writer {
+            let mut file = writer.lock().unwrap_or_else(PoisonError::into_inner);
+            let ok = file
+                .write_all(line.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .and_then(|()| file.flush());
+            match ok {
+                Ok(()) => {
+                    self.file_bytes
+                        .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    eprintln!("cardopc: tile cache append failed ({e}); entry kept in memory")
+                }
+            }
+        }
+    }
+
+    /// Evicts least-recently-hit entries until the store fits its entry
+    /// and byte budgets. In-flight keys are never evicted.
+    fn enforce_budget(&self) {
+        loop {
+            if self.entries.load(Ordering::Relaxed) <= self.max_entries
+                && self.bytes.load(Ordering::Relaxed) <= self.max_bytes
+            {
+                return;
+            }
+            // Global LRU candidate: scan shards one lock at a time.
+            let mut victim: Option<(usize, u64, u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let map = self.lock_shard(shard);
+                for (k, slot) in map.iter() {
+                    if let Slot::Ready(entry) = slot {
+                        if victim.is_none_or(|(_, _, t)| entry.last_hit < t) {
+                            victim = Some((i, *k, entry.last_hit));
+                        }
+                    }
+                }
+            }
+            let Some((i, key, tick)) = victim else {
+                // Nothing evictable (everything in flight).
+                return;
+            };
+            let mut map = self.lock_shard(&self.shards[i]);
+            let still_lru = matches!(map.get(&key), Some(Slot::Ready(e)) if e.last_hit == tick);
+            if still_lru {
+                if let Some(Slot::Ready(entry)) = map.remove(&key) {
+                    self.entries.fetch_sub(1, Ordering::Relaxed);
+                    self.bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // A raced hit bumped the candidate; rescan.
+        }
+    }
+}
+
+impl Drop for TileCache {
+    fn drop(&mut self) {
+        // Compact the backing file when it carries dead weight (evicted
+        // or superseded lines). `&mut self` means no other user: plain
+        // lock-and-collect is race-free here.
+        let dead_weight =
+            self.file_bytes.load(Ordering::Relaxed) > self.bytes.load(Ordering::Relaxed);
+        if let (Some(dir), true, true) = (&self.dir, self.writer.is_some(), dead_weight) {
+            let mut lines: Vec<(u64, String)> = Vec::new();
+            for shard in &self.shards {
+                let map = shard.map.lock().unwrap_or_else(PoisonError::into_inner);
+                for (key, slot) in map.iter() {
+                    if let Slot::Ready(entry) = slot {
+                        lines.push((entry.last_hit, entry.value.to_json_line(*key)));
+                    }
+                }
+            }
+            lines.sort_unstable_by_key(|(tick, _)| *tick);
+            let mut text = String::new();
+            for (_, line) in &lines {
+                text.push_str(line);
+                text.push('\n');
+            }
+            let tmp = dir.join("cache.jsonl.tmp");
+            let path = dir.join("cache.jsonl");
+            // Best effort: a failed compaction leaves the (valid,
+            // merely larger) append-only file in place.
+            let _ = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, &path));
+        }
+        if let Some(lock) = self.lock.take() {
+            let _ = std::fs::remove_file(lock);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::config_mutations;
+    use crate::partition::partition_clip;
+    use cardopc_geometry::Polygon;
+    use cardopc_layout::Clip;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cardopc-cache-{tag}-{}", std::process::id()))
+    }
+
+    fn sample(seed: f64) -> CachedTile {
+        CachedTile {
+            owned_epe_history: vec![3.0 + seed, 1.5],
+            epe_history: vec![6.0, 2.0 + seed],
+            shapes: vec![
+                CachedShape {
+                    target: Some(0),
+                    tension: 0.6,
+                    control_points: vec![Point::new(1.25 + seed, 2.0), Point::new(3.0, 4.5)],
+                },
+                CachedShape {
+                    target: None,
+                    tension: 0.6,
+                    control_points: vec![Point::new(0.5, 0.25), Point::new(0.125, 9.0)],
+                },
+            ],
+            metrics: TileMetrics {
+                shapes: 2,
+                owned: 1,
+                epe_sum_nm: 4.25,
+                epe_violations: 0,
+                pvb_nm2: 512.0,
+                mrc_initial: 0,
+                mrc_remaining: 0,
+            },
+            seconds: 0.75,
+        }
+    }
+
+    #[test]
+    fn entry_line_roundtrip_is_exact() {
+        let entry = sample(0.0);
+        let line = entry.to_json_line(0xfeed_f00d_dead_beef);
+        assert!(!line.contains('\n'));
+        let (key, back) = CachedTile::from_json_line(&line).unwrap();
+        assert_eq!(key, 0xfeed_f00d_dead_beef);
+        assert_eq!(back, entry);
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(CachedTile::from_json_line(&line[..cut]).is_err());
+        }
+    }
+
+    // ------------------------------------------------------ key property
+
+    /// A 3000×2000 clip with two cells' worth of geometry; `shift` moves
+    /// everything (content only — the partition grid stays put) by whole
+    /// tiles.
+    fn keyed_partition(dx: f64, dy: f64) -> crate::partition::Partition {
+        let rects = vec![
+            Polygon::rect(
+                Point::new(100.0 + dx, 120.0 + dy),
+                Point::new(300.0 + dx, 190.0 + dy),
+            ),
+            Polygon::rect(
+                Point::new(400.0 + dx, 500.0 + dy),
+                Point::new(800.0 + dx, 570.0 + dy),
+            ),
+        ];
+        let clip = Clip::new("key-prop", 3000.0, 3000.0, rects);
+        partition_clip(
+            &clip,
+            &TilingConfig {
+                tile_size: 1000.0,
+                halo: 100.0,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn whole_grid_translation_preserves_the_key() {
+        let tiling = TilingConfig {
+            tile_size: 1000.0,
+            halo: 100.0,
+        };
+        let config = OpcConfig::large_scale();
+        let base = keyed_partition(0.0, 0.0);
+        let k0 = tile_cache_key(&base.tiles[0], &tiling, &config);
+        // Content translated by one and two whole tiles, in x, y and both:
+        // the now-congruent tile must produce the identical key.
+        for (sx, sy) in [(1.0, 0.0), (0.0, 1.0), (1.0, 1.0), (2.0, 1.0)] {
+            let moved = keyed_partition(sx * 1000.0, sy * 1000.0);
+            let congruent = &moved.tiles[(sy as usize) * moved.nx + sx as usize];
+            assert_eq!(
+                k0,
+                tile_cache_key(congruent, &tiling, &config),
+                "shift ({sx}, {sy}) tiles"
+            );
+            // And it is genuinely a different tile.
+            assert_ne!(congruent.index, base.tiles[0].index);
+        }
+    }
+
+    #[test]
+    fn geometry_and_config_perturbations_change_the_key() {
+        let tiling = TilingConfig {
+            tile_size: 1000.0,
+            halo: 100.0,
+        };
+        let config = OpcConfig::large_scale();
+        let base = keyed_partition(0.0, 0.0);
+        let k0 = tile_cache_key(&base.tiles[0], &tiling, &config);
+
+        // Any sub-grid nudge of one rectangle is a different pattern.
+        for nudge in [1.0, 0.5, 1e-9] {
+            let moved = keyed_partition(nudge, 0.0);
+            assert_ne!(
+                k0,
+                tile_cache_key(&moved.tiles[0], &tiling, &config),
+                "nudge {nudge} nm"
+            );
+        }
+
+        // A different (tile_size, halo) split of the same window size is
+        // a different key: 1000+2·100 == 1100+2·50 == 1200 nm windows.
+        let alt = TilingConfig {
+            tile_size: 1100.0,
+            halo: 50.0,
+        };
+        let clip = Clip::new(
+            "key-prop",
+            3000.0,
+            3000.0,
+            vec![Polygon::rect(
+                Point::new(100.0, 120.0),
+                Point::new(300.0, 190.0),
+            )],
+        );
+        let p_alt = partition_clip(&clip, &alt).unwrap();
+        assert_eq!(p_alt.tiles[0].clip.width(), 1200.0);
+        assert_eq!(base.tiles[0].clip.width(), 1200.0);
+        assert_ne!(
+            tile_cache_key(&base.tiles[0], &tiling, &config),
+            tile_cache_key(&p_alt.tiles[0], &alt, &config),
+        );
+
+        // Every single OpcConfig field mutation invalidates the key.
+        for (field, changed) in config_mutations(&config) {
+            assert_ne!(
+                k0,
+                tile_cache_key(&base.tiles[0], &tiling, &changed),
+                "mutating {field} must change the cache key"
+            );
+        }
+    }
+
+    // -------------------------------------------------------- store tests
+
+    fn memory_cache() -> TileCache {
+        TileCache::open(&CacheConfig::default()).unwrap()
+    }
+
+    fn ok_sample(seed: f64) -> Result<CachedTile, RuntimeError> {
+        Ok(sample(seed))
+    }
+
+    #[test]
+    fn get_or_correct_hits_after_miss() {
+        let cache = memory_cache();
+        let never = || false;
+        let (first, hit) = cache
+            .get_or_correct(7, &never, || ok_sample(0.0))
+            .unwrap()
+            .unwrap();
+        assert!(!hit);
+        let (second, hit) = cache
+            .get_or_correct(7, &never, || -> Result<CachedTile, RuntimeError> {
+                panic!("must not correct twice")
+            })
+            .unwrap()
+            .unwrap();
+        assert!(hit);
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn failed_leader_releases_the_key() {
+        let cache = memory_cache();
+        let never = || false;
+        let err: Result<Option<_>, RuntimeError> =
+            cache.get_or_correct(9, &never, || Err(RuntimeError::InvalidConfig("boom")));
+        assert!(err.is_err());
+        // The key is free again: the next caller corrects.
+        let (_, hit) = cache
+            .get_or_correct(9, &never, || ok_sample(1.0))
+            .unwrap()
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn single_flight_corrects_once_across_threads() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = Arc::new(memory_cache());
+        let corrections = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let corrections = Arc::clone(&corrections);
+            handles.push(std::thread::spawn(move || {
+                let never = || false;
+                let (value, _hit) = cache
+                    .get_or_correct(42, &never, || {
+                        corrections.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(30));
+                        ok_sample(0.0)
+                    })
+                    .unwrap()
+                    .unwrap();
+                assert_eq!(*value, sample(0.0));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(corrections.load(Ordering::SeqCst), 1, "single flight");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn waiters_observe_cancellation() {
+        let cache = Arc::new(memory_cache());
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // Leader holds the key in flight until released.
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                let never = || false;
+                cache
+                    .get_or_correct(5, &never, || {
+                        while !release.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        ok_sample(0.0)
+                    })
+                    .unwrap();
+            })
+        };
+        // A cancelled waiter gives up with Ok(None) while the leader is
+        // still in flight.
+        std::thread::sleep(Duration::from_millis(20));
+        let cancelled = || true;
+        let waited: Option<_> = cache
+            .get_or_correct(5, &cancelled, || -> Result<CachedTile, RuntimeError> {
+                panic!("waiter must not become leader while in flight")
+            })
+            .unwrap();
+        assert!(waited.is_none());
+        release.store(true, Ordering::SeqCst);
+        leader.join().unwrap();
+    }
+
+    #[test]
+    fn eviction_keeps_the_store_within_budget() {
+        let cache = TileCache::open(&CacheConfig {
+            max_entries: 4,
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        let never = || false;
+        for key in 0..20u64 {
+            cache
+                .get_or_correct(key, &never, || ok_sample(key as f64))
+                .unwrap();
+            // Keep key 0 hot so LRU must spare it.
+            cache
+                .get_or_correct(0, &never, || -> Result<CachedTile, RuntimeError> {
+                    panic!("key 0 must stay resident")
+                })
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 4, "entries {} > budget", stats.entries);
+        assert_eq!(stats.evicted, 20 - stats.entries);
+        assert_eq!(stats.misses, 20);
+
+        // Byte budget alone also bounds the store.
+        let line_bytes = sample(0.0).to_json_line(0).len() as u64 + 1;
+        let tight = TileCache::open(&CacheConfig {
+            max_bytes: 3 * line_bytes,
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        for key in 0..10u64 {
+            tight
+                .get_or_correct(key, &never, || ok_sample(0.0))
+                .unwrap();
+        }
+        let stats = tight.stats();
+        assert!(stats.bytes <= 3 * line_bytes);
+        assert!(stats.evicted >= 7);
+    }
+
+    #[test]
+    fn persistence_survives_reopen_and_torn_tail() {
+        let dir = tmp("persist");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig {
+            dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        };
+        let never = || false;
+        {
+            let cache = TileCache::open(&config).unwrap();
+            cache.get_or_correct(1, &never, || ok_sample(1.0)).unwrap();
+            cache.get_or_correct(2, &never, || ok_sample(2.0)).unwrap();
+        }
+        // Simulate a kill mid-append: torn final line.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("cache.jsonl"))
+                .unwrap();
+            write!(f, "{}", &sample(9.0).to_json_line(3)[..25]).unwrap();
+        }
+        {
+            let cache = TileCache::open(&config).unwrap();
+            assert_eq!(cache.stats().entries, 2, "torn tail skipped");
+            let (v, hit) = cache
+                .get_or_correct(1, &never, || -> Result<CachedTile, RuntimeError> {
+                    panic!("persisted entry must hit")
+                })
+                .unwrap()
+                .unwrap();
+            assert!(hit);
+            assert_eq!(*v, sample(1.0));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_compacts_dead_lines() {
+        let dir = tmp("compact");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig {
+            dir: Some(dir.clone()),
+            max_entries: 2,
+            ..CacheConfig::default()
+        };
+        let never = || false;
+        {
+            let cache = TileCache::open(&config).unwrap();
+            for key in 0..6u64 {
+                cache
+                    .get_or_correct(key, &never, || ok_sample(key as f64))
+                    .unwrap();
+            }
+            assert_eq!(cache.stats().entries, 2);
+            // The append-only file still carries all 6 lines.
+            let text = std::fs::read_to_string(dir.join("cache.jsonl")).unwrap();
+            assert_eq!(text.lines().count(), 6);
+        }
+        // Dropping compacted the file down to the live entries.
+        let text = std::fs::read_to_string(dir.join("cache.jsonl")).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let reopened = TileCache::open(&config).unwrap();
+        assert_eq!(reopened.stats().entries, 2);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_only_mode_never_writes_but_still_serves() {
+        let dir = tmp("readonly");
+        let _ = std::fs::remove_dir_all(&dir);
+        let rw = CacheConfig {
+            dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        };
+        let never = || false;
+        {
+            let cache = TileCache::open(&rw).unwrap();
+            cache.get_or_correct(1, &never, || ok_sample(1.0)).unwrap();
+        }
+        let before = std::fs::read_to_string(dir.join("cache.jsonl")).unwrap();
+        {
+            let cache = TileCache::open(&CacheConfig {
+                read_only: true,
+                ..rw.clone()
+            })
+            .unwrap();
+            assert!(cache.is_read_only());
+            // Persisted entry hits; a new correction stays in memory.
+            let (_, hit) = cache
+                .get_or_correct(1, &never, || ok_sample(0.0))
+                .unwrap()
+                .unwrap();
+            assert!(hit);
+            let (_, hit) = cache
+                .get_or_correct(2, &never, || ok_sample(2.0))
+                .unwrap()
+                .unwrap();
+            assert!(!hit);
+            let (_, hit) = cache
+                .get_or_correct(2, &never, || -> Result<CachedTile, RuntimeError> {
+                    panic!("in-memory entry must hit")
+                })
+                .unwrap()
+                .unwrap();
+            assert!(hit);
+            assert!(!dir.join("cache.lock").exists(), "read-only takes no lock");
+        }
+        assert_eq!(
+            before,
+            std::fs::read_to_string(dir.join("cache.jsonl")).unwrap(),
+            "read-only must not touch the file"
+        );
+
+        // A directory locked by this (live) process degrades to read-only.
+        let holder = TileCache::open(&rw).unwrap();
+        let fallback = TileCache::open(&rw).unwrap();
+        assert!(!holder.is_read_only());
+        assert!(fallback.is_read_only());
+        drop(fallback);
+        drop(holder);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_mode_has_no_directory_side_effects() {
+        let cache = memory_cache();
+        assert!(!cache.is_read_only());
+        let never = || false;
+        cache.get_or_correct(1, &never, || ok_sample(0.0)).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -82,26 +82,40 @@ pub struct TileRecord {
 
 // ---------------------------------------------------------------- hashing
 
+/// Canonical bit pattern of an `f64` for hashing: `-0.0` folds onto `0.0`
+/// (they compare equal, and geometry that differs only in signed zeros is
+/// identical) and every NaN payload folds onto one canonical NaN, so a
+/// hash can never distinguish values the geometry itself cannot.
+pub(crate) fn canon_f64_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0u64 // +0.0; catches -0.0 too, since -0.0 == 0.0
+    } else if v.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
 /// 64-bit FNV-1a.
-struct Fnv(u64);
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn write_f64(&mut self, v: f64) {
-        self.write(&v.to_bits().to_le_bytes());
+    pub(crate) fn write_f64(&mut self, v: f64) {
+        self.write(&canon_f64_bits(v).to_le_bytes());
     }
 
-    fn write_usize(&mut self, v: usize) {
+    pub(crate) fn write_usize(&mut self, v: usize) {
         self.write(&(v as u64).to_le_bytes());
     }
 }
@@ -138,48 +152,83 @@ pub fn tile_input_hash(tile: &Tile, config: &OpcConfig) -> u64 {
     h.0
 }
 
-fn hash_config(h: &mut Fnv, c: &OpcConfig) {
-    h.write_f64(c.l_c);
-    h.write_f64(c.l_u);
-    h.write_f64(c.move_step);
-    h.write_usize(c.iterations);
-    h.write_usize(c.decay_at);
-    h.write_f64(c.decay_factor);
-    h.write_f64(c.tension);
-    h.write_f64(c.corner_pull);
-    h.write_usize(c.smooth_window);
-    h.write(&[c.spline_normals as u8]);
-    h.write_usize(c.relax_every);
-    h.write_f64(c.relax_strength);
-    h.write_usize(c.samples_per_segment);
-    h.write_f64(c.epe_search);
-    h.write_f64(c.pitch);
-    h.write_f64(c.dose_delta);
-    match &c.sraf {
+/// Hashes every `OpcConfig` field. The exhaustive destructuring (no `..`
+/// rest patterns anywhere) is deliberate: adding a field to `OpcConfig`,
+/// `SrafConfig` or `MrcRules` breaks this function at compile time, so a
+/// new knob can never silently be left out of checkpoint/cache keys.
+pub(crate) fn hash_config(h: &mut Fnv, c: &OpcConfig) {
+    let OpcConfig {
+        l_c,
+        l_u,
+        move_step,
+        iterations,
+        decay_at,
+        decay_factor,
+        tension,
+        corner_pull,
+        smooth_window,
+        spline_normals,
+        relax_every,
+        relax_strength,
+        samples_per_segment,
+        epe_search,
+        pitch,
+        dose_delta,
+        sraf,
+        mrc,
+        convention,
+    } = c;
+    h.write_f64(*l_c);
+    h.write_f64(*l_u);
+    h.write_f64(*move_step);
+    h.write_usize(*iterations);
+    h.write_usize(*decay_at);
+    h.write_f64(*decay_factor);
+    h.write_f64(*tension);
+    h.write_f64(*corner_pull);
+    h.write_usize(*smooth_window);
+    h.write(&[*spline_normals as u8]);
+    h.write_usize(*relax_every);
+    h.write_f64(*relax_strength);
+    h.write_usize(*samples_per_segment);
+    h.write_f64(*epe_search);
+    h.write_f64(*pitch);
+    h.write_f64(*dose_delta);
+    match sraf {
         None => h.write(&[0]),
-        Some(s) => {
+        Some(cardopc_opc::SrafConfig {
+            length_ratio,
+            width,
+            distance,
+            min_edge,
+        }) => {
             h.write(&[1]);
-            h.write_f64(s.length_ratio);
-            h.write_f64(s.width);
-            h.write_f64(s.distance);
-            h.write_f64(s.min_edge);
+            h.write_f64(*length_ratio);
+            h.write_f64(*width);
+            h.write_f64(*distance);
+            h.write_f64(*min_edge);
         }
     }
-    match &c.mrc {
+    match mrc {
         None => h.write(&[0]),
-        Some(r) => {
+        Some(cardopc_mrc::MrcRules {
+            min_space,
+            min_width,
+            min_area,
+            max_curvature,
+        }) => {
             h.write(&[1]);
-            h.write_f64(r.min_space);
-            h.write_f64(r.min_width);
-            h.write_f64(r.min_area);
-            h.write_f64(r.max_curvature);
+            h.write_f64(*min_space);
+            h.write_f64(*min_width);
+            h.write_f64(*min_area);
+            h.write_f64(*max_curvature);
         }
     }
-    match c.convention {
+    match convention {
         MeasureConvention::ViaEdgeCenters => h.write(&[0]),
         MeasureConvention::MetalSpacing(s) => {
             h.write(&[1]);
-            h.write_f64(s);
+            h.write_f64(*s);
         }
     }
 }
@@ -290,7 +339,7 @@ impl TileRecord {
     }
 }
 
-fn metrics_json(m: &TileMetrics) -> Json {
+pub(crate) fn metrics_json(m: &TileMetrics) -> Json {
     Json::obj(vec![
         ("shapes", Json::num_usize(m.shapes)),
         ("owned", Json::num_usize(m.owned)),
@@ -302,7 +351,7 @@ fn metrics_json(m: &TileMetrics) -> Json {
     ])
 }
 
-fn parse_metrics(v: &Json) -> Result<TileMetrics, String> {
+pub(crate) fn parse_metrics(v: &Json) -> Result<TileMetrics, String> {
     let us = |key: &str| {
         v.get(key)
             .and_then(Json::as_usize)
@@ -382,6 +431,13 @@ impl RunDir {
         self.root.join("manifest.json")
     }
 
+    /// The timing-free ("stable") manifest file path. This variant is
+    /// byte-identical across reruns, resumes, worker counts and cache
+    /// states of the same input, so CI can `cmp` it directly.
+    pub fn stable_manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.stable.json")
+    }
+
     /// Loads usable checkpoint records: the last parseable record per tile
     /// index. Hash validation against the current partition happens in the
     /// scheduler (it knows the tiles). Missing file → empty map.
@@ -453,6 +509,20 @@ impl RunDir {
             .and_then(|()| std::fs::rename(&tmp, &path))
             .map_err(|e| RuntimeError::Io(format!("write {}: {e}", path.display())))
     }
+
+    /// Writes the timing-free manifest JSON (atomically, like
+    /// [`RunDir::write_manifest`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Io`] on write failure.
+    pub fn write_stable_manifest(&self, json: &str) -> Result<(), RuntimeError> {
+        let tmp = self.root.join("manifest.stable.json.tmp");
+        let path = self.stable_manifest_path();
+        std::fs::write(&tmp, json)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| RuntimeError::Io(format!("write {}: {e}", path.display())))
+    }
 }
 
 impl Drop for RunDir {
@@ -468,7 +538,14 @@ impl Drop for RunDir {
 /// Acquires `root/run.lock` with an atomic create-new, reclaiming locks
 /// whose owning PID is no longer alive.
 fn acquire_lock(root: &Path) -> Result<PathBuf, RuntimeError> {
-    let path = root.join("run.lock");
+    acquire_pid_lock(root, "run.lock")
+}
+
+/// Acquires `root/<name>` as a PID lock file with an atomic create-new,
+/// reclaiming locks whose owning PID is no longer alive. Shared by the
+/// run directory (`run.lock`) and the tile cache (`cache.lock`).
+pub(crate) fn acquire_pid_lock(root: &Path, name: &str) -> Result<PathBuf, RuntimeError> {
+    let path = root.join(name);
     // Two attempts: acquire, or (reclaim stale then) acquire.
     for attempt in 0..2 {
         match std::fs::OpenOptions::new()
@@ -534,6 +611,96 @@ fn pid_alive(pid: u32) -> bool {
     }
 }
 
+/// Every single-field mutation of a base `OpcConfig`, labelled, for
+/// hash/cache-key invalidation sweeps. One entry per field (plus the
+/// `Some`/`None` flips of the optional groups), so a future field that is
+/// added to `hash_config` (the compiler forces that much) should also be
+/// added here to get invalidation coverage.
+#[cfg(test)]
+pub(crate) fn config_mutations(base: &OpcConfig) -> Vec<(&'static str, OpcConfig)> {
+    let mut out: Vec<(&'static str, OpcConfig)> = Vec::new();
+    {
+        let mut push = |name: &'static str, f: &dyn Fn(&mut OpcConfig)| {
+            let mut c = base.clone();
+            f(&mut c);
+            out.push((name, c));
+        };
+        push("l_c", &|c| c.l_c += 1.0);
+        push("l_u", &|c| c.l_u += 1.0);
+        push("move_step", &|c| c.move_step += 0.5);
+        push("iterations", &|c| c.iterations += 1);
+        push("decay_at", &|c| c.decay_at += 1);
+        push("decay_factor", &|c| c.decay_factor *= 0.5);
+        push("tension", &|c| c.tension += 0.05);
+        push("corner_pull", &|c| c.corner_pull += 0.1);
+        push("smooth_window", &|c| c.smooth_window += 1);
+        push("spline_normals", &|c| c.spline_normals = !c.spline_normals);
+        push("relax_every", &|c| c.relax_every += 1);
+        push("relax_strength", &|c| c.relax_strength += 0.01);
+        push("samples_per_segment", &|c| c.samples_per_segment += 1);
+        push("epe_search", &|c| c.epe_search += 1.0);
+        push("pitch", &|c| c.pitch *= 2.0);
+        push("dose_delta", &|c| c.dose_delta += 0.01);
+        push("sraf presence", &|c| {
+            c.sraf = match c.sraf {
+                None => Some(cardopc_opc::SrafConfig::default()),
+                Some(_) => None,
+            }
+        });
+        push("mrc presence", &|c| {
+            c.mrc = match c.mrc {
+                None => Some(cardopc_mrc::MrcRules::default()),
+                Some(_) => None,
+            }
+        });
+        push("convention kind", &|c| {
+            c.convention = match c.convention {
+                MeasureConvention::ViaEdgeCenters => MeasureConvention::MetalSpacing(60.0),
+                MeasureConvention::MetalSpacing(_) => MeasureConvention::ViaEdgeCenters,
+            }
+        });
+        push("convention spacing", &|c| {
+            c.convention = match c.convention {
+                MeasureConvention::MetalSpacing(s) => MeasureConvention::MetalSpacing(s + 1.0),
+                MeasureConvention::ViaEdgeCenters => MeasureConvention::MetalSpacing(1.0),
+            }
+        });
+    }
+    {
+        let with_sraf = {
+            let mut c = base.clone();
+            c.sraf.get_or_insert_with(cardopc_opc::SrafConfig::default);
+            c
+        };
+        let mut push_sraf = |name: &'static str, f: &dyn Fn(&mut cardopc_opc::SrafConfig)| {
+            let mut c = with_sraf.clone();
+            f(c.sraf.as_mut().unwrap());
+            out.push((name, c));
+        };
+        push_sraf("sraf.length_ratio", &|s| s.length_ratio += 0.1);
+        push_sraf("sraf.width", &|s| s.width += 1.0);
+        push_sraf("sraf.distance", &|s| s.distance += 1.0);
+        push_sraf("sraf.min_edge", &|s| s.min_edge += 1.0);
+    }
+    {
+        let with_mrc = {
+            let mut c = base.clone();
+            c.mrc.get_or_insert_with(cardopc_mrc::MrcRules::default);
+            c
+        };
+        let mut push_mrc = |name: &'static str, f: &dyn Fn(&mut cardopc_mrc::MrcRules)| {
+            let mut c = with_mrc.clone();
+            f(c.mrc.as_mut().unwrap());
+            out.push((name, c));
+        };
+        push_mrc("mrc.min_space", &|r| r.min_space += 1.0);
+        push_mrc("mrc.min_width", &|r| r.min_width += 1.0);
+        push_mrc("mrc.min_area", &|r| r.min_area += 1.0);
+        push_mrc("mrc.max_curvature", &|r| r.max_curvature *= 2.0);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +737,28 @@ mod tests {
             },
             seconds: 1.75,
         }
+    }
+
+    #[test]
+    fn f64_hashing_canonicalises_signed_zero_and_nan() {
+        // -0.0 and +0.0 are the same geometry; their hashes must agree.
+        assert_eq!(canon_f64_bits(0.0), canon_f64_bits(-0.0));
+        let hash_one = |v: f64| {
+            let mut h = Fnv::new();
+            h.write_f64(v);
+            h.0
+        };
+        assert_eq!(hash_one(0.0), hash_one(-0.0));
+        assert_ne!(hash_one(0.0), hash_one(f64::MIN_POSITIVE));
+        // Every NaN payload folds onto one canonical NaN.
+        let quiet = f64::NAN;
+        let payload = f64::from_bits(f64::NAN.to_bits() | 0xdead);
+        assert!(payload.is_nan());
+        assert_eq!(hash_one(quiet), hash_one(payload));
+        assert_eq!(hash_one(quiet), hash_one(-quiet));
+        // Ordinary values still hash by exact bits: 1-ulp neighbours differ.
+        let x = 1.0f64;
+        assert_ne!(hash_one(x), hash_one(f64::from_bits(x.to_bits() + 1)));
     }
 
     #[test]
@@ -686,9 +875,15 @@ mod tests {
         let base = OpcConfig::large_scale();
         let h0 = tile_input_hash(&p.tiles[0], &base);
         assert_eq!(h0, tile_input_hash(&p.tiles[0], &base), "deterministic");
-        let mut changed = base.clone();
-        changed.iterations += 1;
-        assert_ne!(h0, tile_input_hash(&p.tiles[0], &changed));
+        // Every single-field mutation of the configuration must change
+        // the hash (guards future fields via the exhaustive helper).
+        for (field, changed) in config_mutations(&base) {
+            assert_ne!(
+                h0,
+                tile_input_hash(&p.tiles[0], &changed),
+                "mutating {field} must invalidate the hash"
+            );
+        }
         // Geometry change checked via a shifted clip:
         let clip2 = Clip::new(
             "h",

@@ -23,6 +23,7 @@
 //!   a tile corrected against a cached engine is bit-identical to one
 //!   corrected against a freshly built engine of the same extent.
 
+use crate::cache::TileCache;
 use cardopc_litho::LithoEngine;
 use cardopc_opc::OpcError;
 use std::collections::HashMap;
@@ -42,8 +43,11 @@ pub struct TileEvent {
     pub name: String,
     /// `true` when the tile was reused from a checkpoint record.
     pub resumed: bool,
+    /// `true` when the tile was replayed from the content-addressed tile
+    /// cache instead of being corrected.
+    pub cached: bool,
     /// Wall seconds spent correcting the tile (the checkpointed value for
-    /// resumed tiles).
+    /// resumed tiles; the replay cost for cached ones).
     pub seconds: f64,
     /// Tiles finished so far, including this one.
     pub completed: usize,
@@ -166,6 +170,9 @@ pub struct RunControl<'a> {
     /// Shared engine cache; `None` builds engines run-locally (and drops
     /// them when the run ends).
     pub engines: Option<&'a EngineCache>,
+    /// Content-addressed tile correction cache (see [`crate::cache`]);
+    /// `None` corrects every tile.
+    pub cache: Option<&'a TileCache>,
 }
 
 impl std::fmt::Debug for RunControl<'_> {
@@ -174,6 +181,7 @@ impl std::fmt::Debug for RunControl<'_> {
             .field("progress", &self.progress.is_some())
             .field("handle", &self.handle.is_some())
             .field("engines", &self.engines.is_some())
+            .field("cache", &self.cache.is_some())
             .finish()
     }
 }

@@ -26,10 +26,16 @@
 //!    progress callbacks, a cooperative [`RunHandle`] cancellation token
 //!    (checked at tile boundaries, so cancelled runs stay resumable), and
 //!    a cross-run [`EngineCache`] via [`run_clip_controlled`].
+//! 7. **Tile cache** ([`TileCache`]): a persistent content-addressed
+//!    store keyed by a translation-normalised tile pattern hash; a
+//!    congruent tile anywhere on the chip — or in a later job — replays
+//!    the stored window-relative correction instead of re-running it, so
+//!    cost collapses from total tiles to *unique* tile patterns.
 //!
 //! The `cardopc` binary (in the `cardopc-serve` crate) wraps this into a
 //! command-line runner and an HTTP correction service.
 
+pub mod cache;
 pub mod checkpoint;
 mod error;
 pub mod handle;
@@ -39,6 +45,7 @@ pub mod partition;
 pub mod schedule;
 pub mod stitch;
 
+pub use cache::{tile_cache_key, CacheConfig, CacheStats, CachedShape, CachedTile, TileCache};
 pub use checkpoint::{tile_input_hash, RunDir, StitchedShape, TileMetrics, TileRecord};
 pub use error::RuntimeError;
 pub use handle::{EngineCache, RunControl, RunHandle, TileEvent};
@@ -190,6 +197,9 @@ pub fn run_clip_controlled(
     if complete {
         if let Some(dir) = &run_dir {
             dir.write_manifest(&manifest.to_json(true))?;
+            // The timing-free companion: byte-identical across reruns,
+            // resumes, worker counts and cache states of the same input.
+            dir.write_stable_manifest(&manifest.to_json(false))?;
         }
     }
 

@@ -39,6 +39,9 @@ pub struct TileSummary {
     pub seconds: f64,
     /// Whether the tile was resumed from a checkpoint.
     pub resumed: bool,
+    /// Whether the tile was replayed from the content-addressed tile
+    /// cache.
+    pub cached: bool,
 }
 
 /// Aggregate scores over the completed tiles.
@@ -90,6 +93,11 @@ pub struct RunManifest {
     pub remaining: usize,
     /// Pool executors used.
     pub workers: usize,
+    /// Executed tiles replayed from the tile cache.
+    pub cache_hits: usize,
+    /// Executed tiles corrected and fed into the tile cache (0 when no
+    /// cache was attached).
+    pub cache_misses: usize,
     /// End-to-end wall seconds of this run.
     pub wall_seconds: f64,
     /// Sum of per-tile correction seconds (executed tiles).
@@ -142,6 +150,8 @@ impl RunManifest {
             resumed: outcome.resumed,
             remaining: outcome.remaining,
             workers,
+            cache_hits: outcome.cache_hits,
+            cache_misses: outcome.cache_misses,
             wall_seconds,
             tile_seconds: outcome.tile_seconds,
         }
@@ -183,6 +193,7 @@ impl RunManifest {
                     if include_timing {
                         fields.push(("seconds", Json::Num(t.seconds)));
                         fields.push(("resumed", Json::Bool(t.resumed)));
+                        fields.push(("cached", Json::Bool(t.cached)));
                     }
                     Json::obj(fields)
                 })
@@ -216,6 +227,8 @@ impl RunManifest {
             fields.push(("resumed", Json::num_usize(self.resumed)));
             fields.push(("remaining", Json::num_usize(self.remaining)));
             fields.push(("workers", Json::num_usize(self.workers)));
+            fields.push(("cache_hits", Json::num_usize(self.cache_hits)));
+            fields.push(("cache_misses", Json::num_usize(self.cache_misses)));
             fields.push(("wall_seconds", Json::Num(self.wall_seconds)));
             fields.push(("tile_seconds", Json::Num(self.tile_seconds)));
             fields.push(("utilization", Json::Num(self.utilization())));
@@ -249,7 +262,13 @@ impl RunManifest {
                 t.pvb_nm2,
                 t.mrc_remaining,
                 t.seconds,
-                if t.resumed { "resumed" } else { "run" }
+                if t.resumed {
+                    "resumed"
+                } else if t.cached {
+                    "cached"
+                } else {
+                    "run"
+                }
             );
         }
         let _ = writeln!(
@@ -290,6 +309,7 @@ fn summarize(t: &TileResult) -> TileSummary {
         mrc_remaining: m.mrc_remaining,
         seconds: t.record.seconds,
         resumed: t.resumed,
+        cached: t.cached,
     }
 }
 
@@ -342,10 +362,12 @@ mod tests {
                 TileResult {
                     record: record(0, 1.0),
                     resumed: false,
+                    cached: false,
                 },
                 TileResult {
                     record: record(1, 9.0),
                     resumed: true,
+                    cached: false,
                 },
             ],
             executed: 1,
@@ -353,6 +375,8 @@ mod tests {
             remaining: 0,
             cancelled: false,
             tile_seconds: 1.0,
+            cache_hits: 0,
+            cache_misses: 0,
         };
         (partition, sched)
     }

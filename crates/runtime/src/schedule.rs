@@ -20,8 +20,9 @@
 //! nondeterministic but records are self-describing, so resume does not
 //! care.
 
+use crate::cache::{tile_cache_key, CachedShape, CachedTile};
 use crate::checkpoint::{tile_input_hash, RunDir, StitchedShape, TileMetrics, TileRecord};
-use crate::handle::{EngineCache, EngineKey, RunControl, TileEvent};
+use crate::handle::{EngineKey, RunControl, TileEvent};
 use crate::partition::{Partition, Tile};
 use crate::RuntimeError;
 use cardopc_geometry::{Grid, Point, Polygon};
@@ -36,10 +37,14 @@ use std::sync::{Arc, Mutex};
 /// from a previous run rather than executed.
 #[derive(Clone, Debug)]
 pub struct TileResult {
-    /// The tile's record (identical whether executed or resumed).
+    /// The tile's record (identical whether executed, replayed from the
+    /// tile cache, or resumed).
     pub record: TileRecord,
     /// `true` when the record came from the checkpoint file.
     pub resumed: bool,
+    /// `true` when the record was replayed from the content-addressed
+    /// tile cache rather than corrected.
+    pub cached: bool,
 }
 
 /// The scheduler's result over a whole partition.
@@ -57,6 +62,12 @@ pub struct ScheduleOutcome {
     pub remaining: usize,
     /// Sum of per-tile wall seconds spent executing (not resumed) tiles.
     pub tile_seconds: f64,
+    /// Executed tiles answered by the tile cache (replayed, not
+    /// corrected). Always ≤ `executed`; 0 when no cache was attached.
+    pub cache_hits: usize,
+    /// Executed tiles that corrected and fed the tile cache. 0 when no
+    /// cache was attached.
+    pub cache_misses: usize,
     /// `true` when the run stopped early because its [`RunHandle`]
     /// (see [`crate::RunControl`]) was cancelled.
     pub cancelled: bool,
@@ -67,9 +78,12 @@ pub struct ScheduleOutcome {
 /// key keeps correctness if a future caller mixes extents. When a shared
 /// [`EngineCache`] is attached the memo holds `Arc`s into it (no lock on
 /// the per-tile hot path); otherwise the engines are run-local.
+/// Per-tile outcome: the record plus whether it came out of the tile cache.
+type SlotResult = (usize, Result<(TileRecord, bool), RuntimeError>);
+
 struct Slot {
     engines: HashMap<EngineKey, Arc<LithoEngine>>,
-    results: Vec<(usize, Result<TileRecord, RuntimeError>)>,
+    results: Vec<SlotResult>,
 }
 
 /// Runs every not-yet-checkpointed tile of `partition` over `pool`.
@@ -138,6 +152,7 @@ pub fn run_tiles_controlled(
             Some(record) if record.input_hash == hash => results.push(TileResult {
                 record: record.clone(),
                 resumed: true,
+                cached: false,
             }),
             _ => todo.push(tile),
         }
@@ -155,6 +170,7 @@ pub fn run_tiles_controlled(
                 tile: r.record.index,
                 name: r.record.name.clone(),
                 resumed: true,
+                cached: false,
                 seconds: r.record.seconds,
                 completed: done + 1,
                 total,
@@ -181,16 +197,15 @@ pub fn run_tiles_controlled(
         }
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         let Some(tile) = todo.get(i) else { return };
-        let outcome = execute_tile(
-            tile,
-            partition,
-            flow,
-            config,
-            slot,
-            slot_index,
-            control.engines,
-        );
-        if let Ok(record) = &outcome {
+        let outcome = execute_tile(tile, partition, flow, config, slot, slot_index, control);
+        let outcome = match outcome {
+            // Cancelled while waiting on an in-flight cache key: no
+            // result for this tile; the loop's cancellation check exits.
+            Ok(None) => continue,
+            Ok(Some(pair)) => Ok(pair),
+            Err(e) => Err(e),
+        };
+        if let Ok((record, cached)) = &outcome {
             let mut guard = sink
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -208,6 +223,7 @@ pub fn run_tiles_controlled(
                     tile: record.index,
                     name: record.name.clone(),
                     resumed: false,
+                    cached: *cached,
                     seconds: record.seconds,
                     completed: completed.fetch_add(1, Ordering::AcqRel) + 1,
                     total,
@@ -226,20 +242,27 @@ pub fn run_tiles_controlled(
 
     // Merge per-slot results; surface the lowest-indexed failure so the
     // reported error is deterministic regardless of claim order.
-    let mut executed_results: Vec<(usize, Result<TileRecord, RuntimeError>)> =
-        slots.into_iter().flat_map(|s| s.results).collect();
+    let mut executed_results: Vec<SlotResult> = slots.into_iter().flat_map(|s| s.results).collect();
     executed_results.sort_unstable_by_key(|(index, _)| *index);
     let executed = executed_results.len();
     let mut tile_seconds = 0.0;
+    let mut cache_hits = 0usize;
     for (_, outcome) in executed_results {
-        let record = outcome?;
+        let (record, cached) = outcome?;
         tile_seconds += record.seconds;
+        cache_hits += cached as usize;
         results.push(TileResult {
             record,
             resumed: false,
+            cached,
         });
     }
     results.sort_unstable_by_key(|r| r.record.index);
+    let cache_misses = if control.cache.is_some() {
+        executed - cache_hits
+    } else {
+        0
+    };
 
     Ok(ScheduleOutcome {
         remaining: total - resumed - executed,
@@ -247,11 +270,17 @@ pub fn run_tiles_controlled(
         executed,
         resumed,
         tile_seconds,
+        cache_hits,
+        cache_misses,
         cancelled: control.cancelled(),
     })
 }
 
-/// Runs the OPC flow on one tile and assembles its checkpoint record.
+/// Runs one tile through the (optionally cached) correction path and
+/// assembles its checkpoint record. `Ok(None)` means the run was
+/// cancelled while the tile waited on another caller's in-flight
+/// correction of the same pattern. The boolean is `true` for a cache
+/// replay.
 fn execute_tile(
     tile: &Tile,
     partition: &Partition,
@@ -259,20 +288,67 @@ fn execute_tile(
     config: &cardopc_opc::OpcConfig,
     slot: &mut Slot,
     slot_index: usize,
-    cache: Option<&EngineCache>,
-) -> Result<TileRecord, RuntimeError> {
+    control: &RunControl<'_>,
+) -> Result<Option<(TileRecord, bool)>, RuntimeError> {
     let start = std::time::Instant::now();
-    let input_hash = tile_input_hash(tile, config);
+    let correct = |slot: &mut Slot| correct_tile(tile, flow, config, slot, slot_index, control);
+    let (value, cached) = match control.cache {
+        Some(cache) => {
+            let key = tile_cache_key(tile, &partition.config, config);
+            let cancelled = || control.cancelled();
+            match cache.get_or_correct(key, &cancelled, || correct(slot))? {
+                Some((value, hit)) => (CachedRef::Shared(value), hit),
+                None => return Ok(None),
+            }
+        }
+        None => (CachedRef::Owned(correct(slot)?), false),
+    };
+    let record = materialize(
+        tile,
+        partition,
+        config,
+        value.as_ref(),
+        start.elapsed().as_secs_f64(),
+    );
+    Ok(Some((record, cached)))
+}
+
+/// Owned-or-shared corrected tile (avoids an `Arc` round trip on the
+/// uncached path).
+enum CachedRef {
+    Shared(Arc<CachedTile>),
+    Owned(CachedTile),
+}
+
+impl CachedRef {
+    fn as_ref(&self) -> &CachedTile {
+        match self {
+            CachedRef::Shared(v) => v,
+            CachedRef::Owned(v) => v,
+        }
+    }
+}
+
+/// Corrects one tile — the expensive part: the full OPC flow plus
+/// scoring — producing a *window-relative* [`CachedTile`] that this tile
+/// or any congruent one can replay via [`materialize`].
+fn correct_tile(
+    tile: &Tile,
+    flow: &CardOpc,
+    config: &cardopc_opc::OpcConfig,
+    slot: &mut Slot,
+    slot_index: usize,
+    control: &RunControl<'_>,
+) -> Result<CachedTile, RuntimeError> {
+    let start = std::time::Instant::now();
+    let cache = control.engines;
     let iterations = config.iterations;
 
     // Empty tiles (no targets anywhere in the halo window) produce an
-    // empty record without touching the engine; the zero EPE histories
+    // empty result without touching the engine; the zero EPE histories
     // keep cross-tile aggregation aligned.
     if tile.clip.targets().is_empty() {
-        return Ok(TileRecord {
-            index: tile.index,
-            name: tile.clip.name().to_string(),
-            input_hash,
+        return Ok(CachedTile {
             owned_epe_history: vec![0.0; iterations],
             epe_history: vec![0.0; iterations],
             shapes: Vec::new(),
@@ -372,32 +448,20 @@ fn execute_tile(
         tile,
     );
 
-    // Stitchable shapes, chip coordinates: every owned main, plus SRAFs
-    // whose centre falls in the core under the partitioner's half-open
-    // owner convention (each assist is generated identically by every tile
-    // whose halo window sees its parents, so core ownership deduplicates
-    // them the same way it deduplicates mains).
-    let ts = partition.config.tile_size;
-    let owns = |c: Point| -> bool {
-        let ox = ((c.x / ts).floor().max(0.0) as usize).min(partition.nx - 1);
-        let oy = ((c.y / ts).floor().max(0.0) as usize).min(partition.ny - 1);
-        (ox, oy) == (tile.tx, tile.ty)
-    };
+    // Window-relative output shapes: every *owned* main tagged with its
+    // local target index, then every assist of the window. Assist seam
+    // ownership is deliberately NOT decided here — an edge tile and an
+    // interior tile can share a pattern yet split halo assists
+    // differently (the owner grid clamps at the chip boundary), so the
+    // filter runs per replaying tile in [`materialize`].
     let mut shapes = Vec::new();
     let mut main_index = 0usize;
     for shape in &optimized.shapes {
         if shape.is_sraf {
-            let centre = control_centre(&shape.spline) + tile.origin;
-            if owns(centre) {
-                shapes.push(stitched(shape, None, tile.origin));
-            }
+            shapes.push(cached_shape(shape, None));
         } else {
             if tile.owned[main_index] {
-                shapes.push(stitched(
-                    shape,
-                    Some(tile.global_ids[main_index]),
-                    tile.origin,
-                ));
+                shapes.push(cached_shape(shape, Some(main_index)));
             }
             main_index += 1;
         }
@@ -413,10 +477,7 @@ fn execute_tile(
         mrc_remaining: optimized.mrc_remaining,
     };
 
-    Ok(TileRecord {
-        index: tile.index,
-        name: tile.clip.name().to_string(),
-        input_hash,
+    Ok(CachedTile {
         owned_epe_history,
         epe_history: optimized.epe_history,
         shapes,
@@ -425,26 +486,71 @@ fn execute_tile(
     })
 }
 
-/// Centre of a spline's control-point bounding box.
-fn control_centre(spline: &cardopc_spline::CardinalSpline) -> Point {
-    cardopc_geometry::BBox::from_points(spline.control_points().iter().copied()).center()
+fn cached_shape(shape: &cardopc_opc::OpcShape, target: Option<usize>) -> CachedShape {
+    CachedShape {
+        target,
+        tension: shape.spline.tension(),
+        control_points: shape.spline.control_points().to_vec(),
+    }
 }
 
-fn stitched(
-    shape: &cardopc_opc::OpcShape,
-    global_id: Option<usize>,
-    origin: Point,
-) -> StitchedShape {
-    StitchedShape {
-        global_id,
-        is_sraf: shape.is_sraf,
-        tension: shape.spline.tension(),
-        control_points: shape
-            .spline
-            .control_points()
-            .iter()
-            .map(|p| *p + origin)
-            .collect(),
+/// Replays a window-relative corrected tile into a concrete tile's
+/// checkpoint record by pure translation: control points gain the tile's
+/// window origin, global target ids come from the tile's own id map, and
+/// assists keep only those whose centre falls in this tile's core under
+/// the partitioner's half-open owner convention (each assist is produced
+/// identically by every tile whose window sees its parents, so core
+/// ownership deduplicates them the same way it deduplicates mains). The
+/// cold path routes through this same function, so a cache replay is
+/// byte-identical to a cold correction by construction.
+fn materialize(
+    tile: &Tile,
+    partition: &Partition,
+    config: &cardopc_opc::OpcConfig,
+    value: &CachedTile,
+    seconds: f64,
+) -> TileRecord {
+    let ts = partition.config.tile_size;
+    let owns = |c: Point| -> bool {
+        let ox = ((c.x / ts).floor().max(0.0) as usize).min(partition.nx - 1);
+        let oy = ((c.y / ts).floor().max(0.0) as usize).min(partition.ny - 1);
+        (ox, oy) == (tile.tx, tile.ty)
+    };
+    let translate =
+        |cps: &[Point]| -> Vec<Point> { cps.iter().map(|p| *p + tile.origin).collect() };
+    let mut shapes = Vec::with_capacity(value.shapes.len());
+    for s in &value.shapes {
+        match s.target {
+            Some(t) => shapes.push(StitchedShape {
+                global_id: Some(tile.global_ids[t]),
+                is_sraf: false,
+                tension: s.tension,
+                control_points: translate(&s.control_points),
+            }),
+            None => {
+                let centre = cardopc_geometry::BBox::from_points(s.control_points.iter().copied())
+                    .center()
+                    + tile.origin;
+                if owns(centre) {
+                    shapes.push(StitchedShape {
+                        global_id: None,
+                        is_sraf: true,
+                        tension: s.tension,
+                        control_points: translate(&s.control_points),
+                    });
+                }
+            }
+        }
+    }
+    TileRecord {
+        index: tile.index,
+        name: tile.clip.name().to_string(),
+        input_hash: tile_input_hash(tile, config),
+        owned_epe_history: value.owned_epe_history.clone(),
+        epe_history: value.epe_history.clone(),
+        shapes,
+        metrics: value.metrics.clone(),
+        seconds,
     }
 }
 

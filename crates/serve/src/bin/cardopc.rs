@@ -29,7 +29,9 @@
 use cardopc_layout::DesignKind;
 use cardopc_litho::WorkerPool;
 use cardopc_opc::OpcConfig;
-use cardopc_runtime::{run_clip, RunConfig, TilingConfig};
+use cardopc_runtime::{
+    run_clip_controlled, CacheConfig, RunConfig, RunControl, TileCache, TilingConfig,
+};
 use cardopc_serve::wire::build_clip;
 use cardopc_serve::{ServeConfig, Server};
 use std::process::ExitCode;
@@ -54,6 +56,11 @@ RUN OPTIONS:
     --workers <N>                   legacy alias for --threads
     --run-dir <PATH>                checkpoint + manifest directory
     --max-tiles <N>                 execute at most N tiles, then stop
+    --cache-dir <PATH>              persistent content-addressed tile cache;
+                                    congruent tiles (this run or any later
+                                    one) replay instead of re-correcting
+    --no-cache                      disable the tile cache entirely
+                                    (default: in-memory, this run only)
     --quick                         small smoke preset: gcd, 2048 nm crop,
                                     1024 nm tiles, 512 nm halo, 4 iterations
     --help                          print this help
@@ -68,6 +75,9 @@ SERVE OPTIONS:
                                     ones are evicted [256]
     --threads <N>                   worker pool size (beats CARDOPC_THREADS)
     --run-root <PATH>               directory for job run_dir names [runs]
+    --cache-dir <PATH>              persist the cross-job tile cache here
+                                    (default: in-memory, per server)
+    --no-cache                      disable the cross-job tile cache
 
 THREADS:
     --threads > --workers > CARDOPC_THREADS > auto-detected CPUs
@@ -85,6 +95,8 @@ struct RunArgs {
     workers: Option<usize>,
     run_dir: Option<String>,
     max_tiles: Option<usize>,
+    cache_dir: Option<String>,
+    no_cache: bool,
 }
 
 impl RunArgs {
@@ -101,6 +113,8 @@ impl RunArgs {
             workers: None,
             run_dir: None,
             max_tiles: None,
+            cache_dir: None,
+            no_cache: false,
         };
         while let Some(flag) = it.next() {
             let mut value = || {
@@ -126,6 +140,8 @@ impl RunArgs {
                 "--workers" => args.workers = Some(parse_num(&flag, &value()?)?),
                 "--run-dir" => args.run_dir = Some(value()?),
                 "--max-tiles" => args.max_tiles = Some(parse_num(&flag, &value()?)?),
+                "--cache-dir" => args.cache_dir = Some(value()?),
+                "--no-cache" => args.no_cache = true,
                 "--quick" => {
                     args.design = DesignKind::Gcd;
                     args.design_tiles = 1;
@@ -162,6 +178,8 @@ impl ServeArgs {
                 "--retain-terminal" => config.retain_terminal = parse_num(&flag, &value()?)?,
                 "--threads" => config.threads = Some(parse_num(&flag, &value()?)?),
                 "--run-root" => config.run_root = value()?.into(),
+                "--cache-dir" => config.cache_dir = Some(value()?.into()),
+                "--no-cache" => config.cache = false,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
             }
@@ -260,7 +278,30 @@ fn run_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
         pool.parallelism()
     );
 
-    let outcome = match run_clip(&clip, &config, pool) {
+    // Tile cache: --no-cache disables it, --cache-dir persists it across
+    // runs; the default is an in-memory cache scoped to this run (so a
+    // repeated-cell design still collapses to its unique tile patterns).
+    let cache = if args.no_cache {
+        None
+    } else {
+        let cache_config = CacheConfig {
+            dir: args.cache_dir.as_ref().map(Into::into),
+            ..CacheConfig::default()
+        };
+        match TileCache::open(&cache_config) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!("cardopc: error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let control = RunControl {
+        cache: cache.as_ref(),
+        ..RunControl::default()
+    };
+
+    let outcome = match run_clip_controlled(&clip, &config, pool, &control) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("cardopc: error: {e}");
@@ -273,6 +314,12 @@ fn run_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
         "executed {} resumed {} remaining {}",
         outcome.manifest.executed, outcome.manifest.resumed, outcome.manifest.remaining
     );
+    if cache.is_some() {
+        println!(
+            "cache hits {} misses {}",
+            outcome.manifest.cache_hits, outcome.manifest.cache_misses
+        );
+    }
     if let Some(dir) = &config.run_dir {
         if outcome.complete {
             println!("manifest: {}", dir.join("manifest.json").display());

@@ -18,7 +18,9 @@ use crate::metrics::Metrics;
 use crate::wire::JobSpec;
 use cardopc_json::Json;
 use cardopc_litho::WorkerPool;
-use cardopc_runtime::{run_clip_controlled, EngineCache, RunControl, RunHandle, RunOutcome};
+use cardopc_runtime::{
+    run_clip_controlled, EngineCache, RunControl, RunHandle, RunOutcome, TileCache,
+};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -86,6 +88,8 @@ struct Progress {
     completed: usize,
     total: usize,
     resumed: usize,
+    cache_hits: usize,
+    cache_misses: usize,
 }
 
 struct Job {
@@ -168,6 +172,10 @@ pub struct JobStore {
     retain_terminal: usize,
     metrics: Arc<Metrics>,
     engines: EngineCache,
+    /// Cross-job content-addressed tile cache; `None` disables caching
+    /// server-wide (jobs can also opt out individually via the wire
+    /// format's `"cache": false`).
+    cache: Option<Arc<TileCache>>,
     pool: PoolRef,
 }
 
@@ -178,6 +186,7 @@ impl JobStore {
         max_queued: usize,
         retain_terminal: usize,
         metrics: Arc<Metrics>,
+        cache: Option<Arc<TileCache>>,
         pool: PoolRef,
     ) -> JobStore {
         let slots = pool.get().parallelism();
@@ -195,6 +204,7 @@ impl JobStore {
             retain_terminal: retain_terminal.max(1),
             metrics,
             engines: EngineCache::new(slots),
+            cache,
             pool,
         }
     }
@@ -267,6 +277,8 @@ impl JobStore {
                     ("completed", Json::num_usize(p.completed)),
                     ("total", Json::num_usize(p.total)),
                     ("resumed", Json::num_usize(p.resumed)),
+                    ("cache_hits", Json::num_usize(p.cache_hits)),
+                    ("cache_misses", Json::num_usize(p.cache_misses)),
                 ]),
             ),
             (
@@ -435,6 +447,12 @@ impl JobStore {
 
     /// Runs one job's correction (no store lock held).
     fn execute(&self, id: &str, spec: &JobSpec, handle: &RunHandle) -> Result<RunOutcome, String> {
+        let cache = if spec.cache {
+            self.cache.as_deref()
+        } else {
+            None
+        };
+        let cache_enabled = cache.is_some();
         let progress = |event: &cardopc_runtime::TileEvent| {
             let mut inner = self.lock();
             if let Some(job) = inner.jobs.get_mut(id) {
@@ -442,7 +460,15 @@ impl JobStore {
                 job.progress.total = event.total;
                 if event.resumed {
                     job.progress.resumed += 1;
+                } else if event.cached {
+                    // Replayed from the tile cache: count the hit, but
+                    // keep the (near-zero) replay time out of the
+                    // correction-latency histogram.
+                    job.progress.cache_hits += 1;
                 } else {
+                    if cache_enabled {
+                        job.progress.cache_misses += 1;
+                    }
                     self.metrics.tile_seconds.observe(event.seconds);
                 }
             }
@@ -451,6 +477,7 @@ impl JobStore {
             progress: Some(&progress),
             handle: Some(handle),
             engines: Some(&self.engines),
+            cache,
         };
         let run = AssertUnwindSafe(|| {
             run_clip_controlled(&spec.clip, &spec.config, self.pool.get(), &control)

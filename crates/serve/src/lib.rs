@@ -79,6 +79,13 @@ pub struct ServeConfig {
     pub threads: Option<usize>,
     /// Directory under which job `run_dir` names are resolved.
     pub run_root: PathBuf,
+    /// Whether jobs share a content-addressed tile correction cache
+    /// (`false` disables it server-wide; individual jobs can also opt
+    /// out with `"cache": false`).
+    pub cache: bool,
+    /// Persist the tile cache under this directory; `None` keeps it
+    /// in memory only (lost on restart).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +97,8 @@ impl Default for ServeConfig {
             retain_terminal: 256,
             threads: None,
             run_root: PathBuf::from("runs"),
+            cache: true,
+            cache_dir: None,
         }
     }
 }
@@ -98,6 +107,7 @@ impl Default for ServeConfig {
 struct Shared {
     store: Arc<JobStore>,
     metrics: Arc<Metrics>,
+    cache: Option<Arc<cardopc_runtime::TileCache>>,
     run_root: PathBuf,
 }
 
@@ -123,10 +133,23 @@ impl Server {
             None => PoolRef::Global,
         };
         let metrics = Arc::new(Metrics::default());
+        let cache = if config.cache {
+            let cache_config = cardopc_runtime::CacheConfig {
+                dir: config.cache_dir.clone(),
+                ..cardopc_runtime::CacheConfig::default()
+            };
+            Some(Arc::new(
+                cardopc_runtime::TileCache::open(&cache_config)
+                    .map_err(|e| io::Error::other(e.to_string()))?,
+            ))
+        } else {
+            None
+        };
         let store = Arc::new(JobStore::new(
             config.max_queued,
             config.retain_terminal,
             Arc::clone(&metrics),
+            cache.clone(),
             pool,
         ));
 
@@ -144,6 +167,7 @@ impl Server {
         let shared = Arc::new(Shared {
             store,
             metrics,
+            cache,
             run_root: config.run_root,
         });
         let stop_accepting = Arc::new(AtomicBool::new(false));
@@ -320,7 +344,12 @@ fn route(request: &http::Request, shared: &Shared) -> Response {
             ])
             .to_string_compact(),
         ),
-        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
+        ("GET", "/metrics") => Response::text(
+            200,
+            shared
+                .metrics
+                .render_with_cache(shared.cache.as_ref().map(|c| c.stats())),
+        ),
         ("POST", "/v1/jobs") => submit(request, shared),
         ("POST", "/admin/drain") => {
             shared.store.drain();

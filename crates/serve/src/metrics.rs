@@ -198,6 +198,33 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// [`Metrics::render`] plus the tile-cache series, when the server
+    /// has a cache attached (`None` leaves the cache series out rather
+    /// than exporting misleading zeros).
+    pub fn render_with_cache(&self, cache: Option<cardopc_runtime::CacheStats>) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.render();
+        let Some(stats) = cache else {
+            return out;
+        };
+        for (name, value) in [
+            ("cardopc_cache_hits_total", stats.hits),
+            ("cardopc_cache_misses_total", stats.misses),
+            ("cardopc_cache_evicted_total", stats.evicted),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in [
+            ("cardopc_cache_entries", stats.entries),
+            ("cardopc_cache_bytes", stats.bytes),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
+
     /// Renders every metric in the Prometheus text format.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -286,5 +313,25 @@ mod tests {
         assert!(text.contains("cardopc_tile_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("cardopc_tile_seconds_count 1"));
         assert!(text.contains("cardopc_tile_seconds_estimate{quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn cache_series_render_only_when_a_cache_exists() {
+        let m = Metrics::default();
+        let without = m.render_with_cache(None);
+        assert!(!without.contains("cardopc_cache_hits_total"));
+        let stats = cardopc_runtime::CacheStats {
+            hits: 7,
+            misses: 2,
+            evicted: 1,
+            entries: 2,
+            bytes: 4096,
+        };
+        let with = m.render_with_cache(Some(stats));
+        assert!(with.contains("cardopc_cache_hits_total 7"));
+        assert!(with.contains("cardopc_cache_misses_total 2"));
+        assert!(with.contains("cardopc_cache_evicted_total 1"));
+        assert!(with.contains("cardopc_cache_entries 2"));
+        assert!(with.contains("cardopc_cache_bytes 4096"));
     }
 }

@@ -16,7 +16,8 @@
 //!   "tiling": {"tile": 1024.0, "halo": 512.0},
 //!   "opc": {"preset": "large_scale", "pitch": 8.0, "iterations": 4},
 //!   "run_dir": "smoke",
-//!   "max_tiles": 3
+//!   "max_tiles": 3,
+//!   "cache": true
 //! }
 //! ```
 //!
@@ -45,6 +46,9 @@ pub struct JobSpec {
     pub config: RunConfig,
     /// The `run_dir` name as submitted, if any (echoed in job status).
     pub run_dir_name: Option<String>,
+    /// Whether this job may use the server's shared tile cache (default
+    /// `true`; `"cache": false` opts a single job out).
+    pub cache: bool,
 }
 
 /// A request rejection: the message lands in the 400 response body.
@@ -61,7 +65,10 @@ pub fn parse_job(body: &str, run_root: &Path) -> Result<JobSpec, BadRequest> {
     let Json::Obj(_) = &json else {
         return Err("request body must be a JSON object".into());
     };
-    reject_unknown(&json, &["design", "tiling", "opc", "run_dir", "max_tiles"])?;
+    reject_unknown(
+        &json,
+        &["design", "tiling", "opc", "run_dir", "max_tiles", "cache"],
+    )?;
 
     let design = json
         .get("design")
@@ -100,6 +107,11 @@ pub fn parse_job(body: &str, run_root: &Path) -> Result<JobSpec, BadRequest> {
             Some(n)
         }
     };
+    let cache = match json.get("cache") {
+        None | Some(Json::Null) => true,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("'cache' must be a boolean".into()),
+    };
 
     Ok(JobSpec {
         clip,
@@ -110,6 +122,7 @@ pub fn parse_job(body: &str, run_root: &Path) -> Result<JobSpec, BadRequest> {
             max_tiles,
         },
         run_dir_name,
+        cache,
     })
 }
 
@@ -334,7 +347,14 @@ mod tests {
         assert_eq!(spec.config.opc.iterations, 10);
         assert!(spec.config.run_dir.is_none());
         assert!(spec.config.max_tiles.is_none());
+        assert!(spec.cache, "cache defaults on");
         assert!(!spec.clip.targets().is_empty());
+    }
+
+    #[test]
+    fn cache_opt_out_parses() {
+        let spec = parse_job(r#"{"design": {"kind": "gcd"}, "cache": false}"#, &root()).unwrap();
+        assert!(!spec.cache);
     }
 
     #[test]
@@ -374,6 +394,7 @@ mod tests {
             r#"{"design": {"kind": "gcd"}, "run_dir": ""}"#,
             r#"{"design": {"kind": "gcd"}, "run_dir": ".hidden"}"#,
             r#"{"design": {"kind": "gcd"}, "max_tiles": 0}"#,
+            r#"{"design": {"kind": "gcd"}, "cache": "yes"}"#,
             r#"{"design": {"kind": "gcd"}, "surprise": true}"#,
         ] {
             assert!(parse_job(bad, &root()).is_err(), "accepted: {bad}");

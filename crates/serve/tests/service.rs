@@ -69,6 +69,7 @@ fn start_retaining(
         retain_terminal,
         threads: Some(2),
         run_root: root.clone(),
+        ..ServeConfig::default()
     })
     .expect("server starts on an ephemeral port");
     let addr = server.local_addr();
