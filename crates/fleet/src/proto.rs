@@ -1,0 +1,98 @@
+//! The coordinator ↔ worker wire schema.
+//!
+//! Four endpoints, all over the same HTTP/1.1 subset `cardopc-serve`
+//! speaks (one request per connection, `Content-Length` framing):
+//!
+//! | Method & path          | Purpose                                       |
+//! |------------------------|-----------------------------------------------|
+//! | `POST /v1/tiles`       | correct one tile; 200 body = checkpoint line  |
+//! | `GET /v1/records`      | every checkpointed record, as JSONL           |
+//! | `GET /healthz`         | heartbeat (liveness + tiles-done counter)     |
+//! | `POST /admin/shutdown` | stop accepting and let the process exit 0     |
+//!
+//! A dispatch body is `{"spec": <work spec>, "tile": <index>}` — the
+//! [`WorkSpec`] is self-contained, so a worker needs no session state and
+//! any worker can serve any tile of any job. The 200 response body is the
+//! runtime's own `TileRecord` JSONL line, which carries the tile input
+//! hash; the coordinator recomputes that hash locally and rejects a
+//! mismatched record, so a worker that somehow expanded a different
+//! partition cannot corrupt the run.
+
+use crate::spec::{reject_unknown, BadRequest, WorkSpec};
+use cardopc_json::Json;
+
+/// Serialises a tile dispatch request body.
+pub fn dispatch_body(spec: &WorkSpec, tile: usize) -> String {
+    Json::obj(vec![
+        ("spec", spec.to_json()),
+        ("tile", Json::num_usize(tile)),
+    ])
+    .to_string_compact()
+}
+
+/// Parses a `POST /v1/tiles` body.
+///
+/// # Errors
+///
+/// A message for malformed JSON, unknown fields, or an invalid spec;
+/// workers answer 400 with it.
+pub fn parse_dispatch(body: &str) -> Result<(WorkSpec, usize), BadRequest> {
+    let json = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Json::Obj(_) = &json else {
+        return Err("dispatch body must be a JSON object".into());
+    };
+    reject_unknown(&json, &["spec", "tile"])?;
+    let spec = WorkSpec::from_json(json.get("spec").ok_or("missing 'spec'")?)?;
+    let tile = json
+        .get("tile")
+        .and_then(Json::as_usize)
+        .ok_or("'tile' must be a non-negative integer")?;
+    Ok((spec, tile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DesignSpec;
+    use cardopc_layout::DesignKind;
+    use cardopc_opc::OpcConfig;
+    use cardopc_runtime::TilingConfig;
+
+    fn spec() -> WorkSpec {
+        WorkSpec {
+            design: DesignSpec {
+                kind: DesignKind::Gcd,
+                tiles: 1,
+                crop: Some(2048.0),
+            },
+            tiling: TilingConfig {
+                tile_size: 1024.0,
+                halo: 512.0,
+            },
+            opc: OpcConfig::large_scale(),
+        }
+    }
+
+    #[test]
+    fn dispatch_roundtrips() {
+        let body = dispatch_body(&spec(), 3);
+        let (back, tile) = parse_dispatch(&body).unwrap();
+        assert_eq!(back, spec());
+        assert_eq!(tile, 3);
+    }
+
+    #[test]
+    fn dispatch_rejections() {
+        let good = dispatch_body(&spec(), 0);
+        for bad in [
+            "not json",
+            "[]",
+            r#"{"tile": 0}"#,
+            r#"{"spec": {}, "tile": 0}"#,
+            &good.replace("\"tile\":0", "\"tile\":-1"),
+            &good.replace("\"tile\":0", "\"tile\":0,\"extra\":1"),
+        ] {
+            assert!(parse_dispatch(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,767 @@
+//! The fleet work specification: a compact, wire-serialisable description
+//! of one correction job that every worker can expand into the *same*
+//! clip + partition.
+//!
+//! The coordinator never ships tile geometry — a [`WorkSpec`] is a design
+//! recipe (`kind`/`tiles`/`crop`), a [`TilingConfig`], and the **full**
+//! [`OpcConfig`]. Workers rebuild the clip and run the halo-aware
+//! partitioner locally; because both constructions are deterministic, a
+//! tile index alone identifies the exact work unit on every process, and
+//! the runtime's `tile_input_hash` double-checks the agreement on every
+//! result.
+//!
+//! This module also owns the *non-panicking* validation layer that
+//! `cardopc-serve` uses for untrusted request bytes (`parse_design`,
+//! `parse_tiling`, `parse_opc`, [`validate`], [`sanitize_run_dir`]);
+//! serve's `wire` module re-exports it so the HTTP job format and the
+//! fleet work-unit format can never drift apart.
+//!
+//! The `OpcConfig` serialisation destructures the struct exhaustively —
+//! adding a field to `OpcConfig` without extending the wire format is a
+//! compile error, mirroring the runtime's `hash_config` guarantee.
+
+use cardopc_json::Json;
+use cardopc_layout::{design_tiles, Clip, DesignKind};
+use cardopc_mrc::MrcRules;
+use cardopc_opc::{MeasureConvention, OpcConfig, SrafConfig};
+use cardopc_runtime::TilingConfig;
+
+/// Upper bound on `design.tiles`: neither a correction service nor a
+/// worker may let one request allocate an arbitrarily large synthetic
+/// design.
+pub const MAX_DESIGN_TILES: usize = 16;
+
+/// A request rejection: the message lands in a 400 response body.
+pub type BadRequest = String;
+
+/// The synthetic-design recipe shared by the CLI (`--design`/
+/// `--design-tiles`/`--crop`), the service wire format, and the fleet
+/// work unit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DesignSpec {
+    /// Which paper design to instantiate.
+    pub kind: DesignKind,
+    /// Number of design tiles laid side by side (1..=[`MAX_DESIGN_TILES`]).
+    pub tiles: usize,
+    /// Optional centred square crop, nm.
+    pub crop: Option<f64>,
+}
+
+impl DesignSpec {
+    /// Builds the input clip: `tiles` design tiles side by side,
+    /// optionally cropped to a centred window. Every process that expands
+    /// the same spec sees the same input.
+    pub fn build_clip(&self) -> Clip {
+        build_clip(self.kind, self.tiles, self.crop)
+    }
+
+    fn to_json(self) -> Json {
+        let mut members = vec![
+            ("kind", Json::Str(self.kind.name().to_string())),
+            ("tiles", Json::num_usize(self.tiles)),
+        ];
+        if let Some(crop) = self.crop {
+            members.push(("crop", Json::Num(crop)));
+        }
+        Json::obj(members)
+    }
+}
+
+/// Parses a `design` object into a spec (strict: unknown keys rejected).
+///
+/// # Errors
+///
+/// A human-readable message for any malformed or out-of-range field.
+pub fn parse_design(design: &Json) -> Result<DesignSpec, BadRequest> {
+    let Json::Obj(_) = design else {
+        return Err("'design' must be an object".into());
+    };
+    reject_unknown(design, &["kind", "tiles", "crop"])?;
+    let kind = match design
+        .get("kind")
+        .ok_or("missing 'design.kind'")?
+        .as_str()
+        .ok_or("'design.kind' must be a string")?
+    {
+        "gcd" => DesignKind::Gcd,
+        "aes" => DesignKind::Aes,
+        "dynamicnode" => DesignKind::DynamicNode,
+        other => return Err(format!("unknown design kind '{other}'")),
+    };
+    let tiles = match design.get("tiles") {
+        None => 1,
+        Some(v) => v.as_usize().ok_or("'design.tiles' must be an integer")?,
+    };
+    if tiles == 0 || tiles > MAX_DESIGN_TILES {
+        return Err(format!("'design.tiles' must be in 1..={MAX_DESIGN_TILES}"));
+    }
+    let crop = match design.get("crop") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let nm = v.as_f64().ok_or("'design.crop' must be a number")?;
+            if !nm.is_finite() || nm <= 0.0 {
+                return Err("'design.crop' must be positive".into());
+            }
+            Some(nm)
+        }
+    };
+    Ok(DesignSpec { kind, tiles, crop })
+}
+
+/// Builds the input clip: `count` design tiles side by side, optionally
+/// cropped to a centred window. Shared by the CLI, the service, and the
+/// fleet so every expansion of the same spec sees the same input.
+pub fn build_clip(kind: DesignKind, count: usize, crop: Option<f64>) -> Clip {
+    let tiles: Vec<Clip> = design_tiles(kind, count.max(1)).collect();
+    let tile_w = tiles[0].width();
+    let tile_h = tiles[0].height();
+    let mut shapes = Vec::new();
+    for (i, tile) in tiles.iter().enumerate() {
+        let dx = cardopc_geometry::Point::new(i as f64 * tile_w, 0.0);
+        shapes.extend(tile.targets().iter().map(|t| t.translated(dx)));
+    }
+    let clip = Clip::new(
+        format!("{}x{}", kind.name(), count.max(1)),
+        tile_w * count.max(1) as f64,
+        tile_h,
+        shapes,
+    );
+    match crop {
+        Some(size) => {
+            let origin = cardopc_geometry::Point::new(
+                ((clip.width() - size) * 0.5).max(0.0),
+                ((clip.height() - size) * 0.5).max(0.0),
+            );
+            let name = format!("{}@{}", clip.name(), size);
+            clip.crop_intersecting(origin, size, size, name)
+        }
+        None => clip,
+    }
+}
+
+/// Parses a `tiling` object (strict; defaults 4096/1024 nm).
+///
+/// # Errors
+///
+/// A message for non-numeric, non-finite, or non-positive extents.
+pub fn parse_tiling(tiling: &Json) -> Result<TilingConfig, BadRequest> {
+    let Json::Obj(_) = tiling else {
+        return Err("'tiling' must be an object".into());
+    };
+    reject_unknown(tiling, &["tile", "halo"])?;
+    let tile_size = match tiling.get("tile") {
+        None => 4096.0,
+        Some(v) => v.as_f64().ok_or("'tiling.tile' must be a number")?,
+    };
+    let halo = match tiling.get("halo") {
+        None => 1024.0,
+        Some(v) => v.as_f64().ok_or("'tiling.halo' must be a number")?,
+    };
+    if !tile_size.is_finite() || tile_size <= 0.0 {
+        return Err("'tiling.tile' must be positive and finite".into());
+    }
+    if !halo.is_finite() || halo < 0.0 {
+        return Err("'tiling.halo' must be non-negative and finite".into());
+    }
+    Ok(TilingConfig { tile_size, halo })
+}
+
+/// Numeric `OpcConfig` overrides the job wire format accepts on top of a
+/// preset. Deliberately a subset: the exotic fields (corner pull, relax
+/// schedule, conventions) stay preset-controlled. (The fleet work-unit
+/// format is different — it carries the *full* config; see
+/// [`WorkSpec::from_json`].)
+const OPC_KEYS: [&str; 7] = [
+    "preset",
+    "pitch",
+    "iterations",
+    "move_step",
+    "l_c",
+    "l_u",
+    "decay_at",
+];
+
+/// Parses an `opc` object: a preset name plus numeric overrides.
+///
+/// # Errors
+///
+/// A message for unknown presets, unknown keys, or non-numeric overrides.
+pub fn parse_opc(opc: &Json) -> Result<OpcConfig, BadRequest> {
+    let Json::Obj(_) = opc else {
+        return Err("'opc' must be an object".into());
+    };
+    reject_unknown(opc, &OPC_KEYS)?;
+    let mut config = match opc.get("preset") {
+        None => OpcConfig::large_scale(),
+        Some(v) => match v.as_str().ok_or("'opc.preset' must be a string")? {
+            "via" => OpcConfig::via(),
+            "metal" => OpcConfig::metal(),
+            "large_scale" => OpcConfig::large_scale(),
+            other => return Err(format!("unknown opc preset '{other}'")),
+        },
+    };
+    if let Some(v) = opc.get("pitch") {
+        config.pitch = v.as_f64().ok_or("'opc.pitch' must be a number")?;
+    }
+    if let Some(v) = opc.get("iterations") {
+        config.iterations = v.as_usize().ok_or("'opc.iterations' must be an integer")?;
+    }
+    if let Some(v) = opc.get("move_step") {
+        config.move_step = v.as_f64().ok_or("'opc.move_step' must be a number")?;
+    }
+    if let Some(v) = opc.get("l_c") {
+        config.l_c = v.as_f64().ok_or("'opc.l_c' must be a number")?;
+    }
+    if let Some(v) = opc.get("l_u") {
+        config.l_u = v.as_f64().ok_or("'opc.l_u' must be a number")?;
+    }
+    if let Some(v) = opc.get("decay_at") {
+        config.decay_at = v.as_usize().ok_or("'opc.decay_at' must be an integer")?;
+    }
+    Ok(config)
+}
+
+/// Non-panicking mirror of [`OpcConfig::assert_valid`] (plus finiteness,
+/// which the panic path trusts the compiler's literals for).
+///
+/// # Errors
+///
+/// The first violated constraint, phrased for a 400 response body.
+pub fn validate(config: &OpcConfig) -> Result<(), BadRequest> {
+    let finite_pos = |name: &str, v: f64| {
+        if v.is_finite() && v > 0.0 {
+            Ok(())
+        } else {
+            Err(format!("'opc.{name}' must be positive and finite"))
+        }
+    };
+    finite_pos("l_c", config.l_c)?;
+    finite_pos("l_u", config.l_u)?;
+    finite_pos("move_step", config.move_step)?;
+    finite_pos("pitch", config.pitch)?;
+    if config.iterations == 0 {
+        return Err("'opc.iterations' must be at least 1".into());
+    }
+    if !(config.decay_factor > 0.0 && config.decay_factor <= 1.0) {
+        return Err("'opc.decay_factor' must be in (0, 1]".into());
+    }
+    if !config.tension.is_finite() {
+        return Err("'opc.tension' must be finite".into());
+    }
+    if config.samples_per_segment == 0 {
+        return Err("'opc.samples_per_segment' must be at least 1".into());
+    }
+    if !config.epe_search.is_finite() || config.epe_search <= 0.0 {
+        return Err("'opc.epe_search' must be positive".into());
+    }
+    if config.dose_delta.is_nan() || config.dose_delta < 0.0 {
+        return Err("'opc.dose_delta' must be non-negative".into());
+    }
+    Ok(())
+}
+
+/// Validates a `run_dir` name: a single path component of safe
+/// characters, so a request can never escape the configured run root.
+///
+/// # Errors
+///
+/// A message for empty, oversized, dot-leading, or unsafe names.
+pub fn sanitize_run_dir(name: &str) -> Result<String, BadRequest> {
+    if name.is_empty() || name.len() > 128 {
+        return Err("'run_dir' must be 1..=128 characters".into());
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+    {
+        return Err("'run_dir' may only contain [A-Za-z0-9._-]".into());
+    }
+    if name.starts_with('.') {
+        return Err("'run_dir' must not start with '.'".into());
+    }
+    Ok(name.to_string())
+}
+
+/// Rejects object members outside `allowed` (strict wire format).
+///
+/// # Errors
+///
+/// Names the first unknown field.
+pub fn reject_unknown(obj: &Json, allowed: &[&str]) -> Result<(), BadRequest> {
+    if let Json::Obj(members) = obj {
+        for (key, _) in members {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown field '{key}'"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One correction job as the fleet ships it: a design recipe, the tiling,
+/// and the **full** `OpcConfig`. Every worker expands this into the same
+/// clip + partition, so a tile index alone is a complete work unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkSpec {
+    /// The synthetic-design recipe.
+    pub design: DesignSpec,
+    /// Tile/halo extents for the partitioner.
+    pub tiling: TilingConfig,
+    /// The complete correction configuration.
+    pub opc: OpcConfig,
+}
+
+impl WorkSpec {
+    /// Expands the design recipe into the input clip.
+    pub fn build_clip(&self) -> Clip {
+        self.design.build_clip()
+    }
+
+    /// Serialises the spec. Deterministic (insertion-ordered objects,
+    /// shortest-roundtrip floats): equal specs produce equal strings, so
+    /// the serialised form doubles as a worker-side preparation cache key.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("design", self.design.to_json()),
+            (
+                "tiling",
+                Json::obj(vec![
+                    ("tile", Json::Num(self.tiling.tile_size)),
+                    ("halo", Json::Num(self.tiling.halo)),
+                ]),
+            ),
+            ("opc", opc_to_json(&self.opc)),
+        ])
+    }
+
+    /// Parses a spec produced by [`WorkSpec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A message for any missing, unknown, or ill-typed field.
+    pub fn from_json(json: &Json) -> Result<WorkSpec, BadRequest> {
+        let Json::Obj(_) = json else {
+            return Err("work spec must be a JSON object".into());
+        };
+        reject_unknown(json, &["design", "tiling", "opc"])?;
+        let design = parse_design(json.get("design").ok_or("missing 'design'")?)?;
+        let tiling = parse_tiling(json.get("tiling").ok_or("missing 'tiling'")?)?;
+        let opc = opc_from_json(json.get("opc").ok_or("missing 'opc'")?)?;
+        validate(&opc)?;
+        Ok(WorkSpec {
+            design,
+            tiling,
+            opc,
+        })
+    }
+}
+
+/// Serialises the complete `OpcConfig`. The exhaustive destructure makes
+/// a new config field a compile error here (and in [`opc_from_json`]),
+/// exactly like the runtime's `hash_config`: the wire format can never
+/// silently drop a knob that changes correction output.
+fn opc_to_json(config: &OpcConfig) -> Json {
+    let OpcConfig {
+        l_c,
+        l_u,
+        move_step,
+        iterations,
+        decay_at,
+        decay_factor,
+        tension,
+        corner_pull,
+        smooth_window,
+        spline_normals,
+        relax_every,
+        relax_strength,
+        samples_per_segment,
+        epe_search,
+        pitch,
+        dose_delta,
+        sraf,
+        mrc,
+        convention,
+    } = config;
+    let mut members = vec![
+        ("l_c", Json::Num(*l_c)),
+        ("l_u", Json::Num(*l_u)),
+        ("move_step", Json::Num(*move_step)),
+        ("iterations", Json::num_usize(*iterations)),
+        ("decay_at", Json::num_usize(*decay_at)),
+        ("decay_factor", Json::Num(*decay_factor)),
+        ("tension", Json::Num(*tension)),
+        ("corner_pull", Json::Num(*corner_pull)),
+        ("smooth_window", Json::num_usize(*smooth_window)),
+        ("spline_normals", Json::Bool(*spline_normals)),
+        ("relax_every", Json::num_usize(*relax_every)),
+        ("relax_strength", Json::Num(*relax_strength)),
+        ("samples_per_segment", Json::num_usize(*samples_per_segment)),
+        ("epe_search", Json::Num(*epe_search)),
+        ("pitch", Json::Num(*pitch)),
+        ("dose_delta", Json::Num(*dose_delta)),
+    ];
+    match sraf {
+        None => members.push(("sraf", Json::Null)),
+        Some(SrafConfig {
+            length_ratio,
+            width,
+            distance,
+            min_edge,
+        }) => members.push((
+            "sraf",
+            Json::obj(vec![
+                ("length_ratio", Json::Num(*length_ratio)),
+                ("width", Json::Num(*width)),
+                ("distance", Json::Num(*distance)),
+                ("min_edge", Json::Num(*min_edge)),
+            ]),
+        )),
+    }
+    match mrc {
+        None => members.push(("mrc", Json::Null)),
+        Some(MrcRules {
+            min_space,
+            min_width,
+            min_area,
+            max_curvature,
+        }) => members.push((
+            "mrc",
+            Json::obj(vec![
+                ("min_space", Json::Num(*min_space)),
+                ("min_width", Json::Num(*min_width)),
+                ("min_area", Json::Num(*min_area)),
+                ("max_curvature", Json::Num(*max_curvature)),
+            ]),
+        )),
+    }
+    members.push((
+        "convention",
+        match convention {
+            MeasureConvention::ViaEdgeCenters => Json::Str("via_edge_centers".into()),
+            MeasureConvention::MetalSpacing(nm) => {
+                Json::obj(vec![("metal_spacing", Json::Num(*nm))])
+            }
+        },
+    ));
+    Json::obj(members)
+}
+
+/// Parses a config produced by [`opc_to_json`]. Every field is required —
+/// the full-config wire format has no defaults to hide behind.
+fn opc_from_json(json: &Json) -> Result<OpcConfig, BadRequest> {
+    let Json::Obj(_) = json else {
+        return Err("'opc' must be an object".into());
+    };
+    reject_unknown(
+        json,
+        &[
+            "l_c",
+            "l_u",
+            "move_step",
+            "iterations",
+            "decay_at",
+            "decay_factor",
+            "tension",
+            "corner_pull",
+            "smooth_window",
+            "spline_normals",
+            "relax_every",
+            "relax_strength",
+            "samples_per_segment",
+            "epe_search",
+            "pitch",
+            "dose_delta",
+            "sraf",
+            "mrc",
+            "convention",
+        ],
+    )?;
+    let num = |key: &str| -> Result<f64, BadRequest> {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("'opc.{key}' must be a number"))
+    };
+    let int = |key: &str| -> Result<usize, BadRequest> {
+        json.get(key)
+            .and_then(Json::as_usize)
+            .ok_or(format!("'opc.{key}' must be an integer"))
+    };
+    let sraf = match json.get("sraf") {
+        None => return Err("missing 'opc.sraf' (use null to disable)".into()),
+        Some(Json::Null) => None,
+        Some(s) => {
+            reject_unknown(s, &["length_ratio", "width", "distance", "min_edge"])?;
+            let field = |key: &str| -> Result<f64, BadRequest> {
+                s.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("'opc.sraf.{key}' must be a number"))
+            };
+            Some(SrafConfig {
+                length_ratio: field("length_ratio")?,
+                width: field("width")?,
+                distance: field("distance")?,
+                min_edge: field("min_edge")?,
+            })
+        }
+    };
+    let mrc = match json.get("mrc") {
+        None => return Err("missing 'opc.mrc' (use null to disable)".into()),
+        Some(Json::Null) => None,
+        Some(m) => {
+            reject_unknown(m, &["min_space", "min_width", "min_area", "max_curvature"])?;
+            let field = |key: &str| -> Result<f64, BadRequest> {
+                m.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("'opc.mrc.{key}' must be a number"))
+            };
+            Some(MrcRules {
+                min_space: field("min_space")?,
+                min_width: field("min_width")?,
+                min_area: field("min_area")?,
+                max_curvature: field("max_curvature")?,
+            })
+        }
+    };
+    let convention = match json.get("convention") {
+        Some(Json::Str(s)) if s == "via_edge_centers" => MeasureConvention::ViaEdgeCenters,
+        Some(obj @ Json::Obj(_)) => {
+            reject_unknown(obj, &["metal_spacing"])?;
+            let nm = obj
+                .get("metal_spacing")
+                .and_then(Json::as_f64)
+                .ok_or("'opc.convention.metal_spacing' must be a number")?;
+            MeasureConvention::MetalSpacing(nm)
+        }
+        _ => {
+            return Err(
+                "'opc.convention' must be \"via_edge_centers\" or {\"metal_spacing\": nm}".into(),
+            )
+        }
+    };
+    Ok(OpcConfig {
+        l_c: num("l_c")?,
+        l_u: num("l_u")?,
+        move_step: num("move_step")?,
+        iterations: int("iterations")?,
+        decay_at: int("decay_at")?,
+        decay_factor: num("decay_factor")?,
+        tension: num("tension")?,
+        corner_pull: num("corner_pull")?,
+        smooth_window: int("smooth_window")?,
+        spline_normals: json
+            .get("spline_normals")
+            .and_then(Json::as_bool)
+            .ok_or("'opc.spline_normals' must be a boolean")?,
+        relax_every: int("relax_every")?,
+        relax_strength: num("relax_strength")?,
+        samples_per_segment: int("samples_per_segment")?,
+        epe_search: num("epe_search")?,
+        pitch: num("pitch")?,
+        dose_delta: num("dose_delta")?,
+        sraf,
+        mrc,
+        convention,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
+    #[test]
+    fn design_parses_and_builds() {
+        let spec = parse_design(&parse(r#"{"kind": "gcd", "tiles": 2, "crop": 2048.0}"#)).unwrap();
+        assert_eq!(spec.kind, DesignKind::Gcd);
+        assert_eq!(spec.tiles, 2);
+        assert_eq!(spec.crop, Some(2048.0));
+        assert!(!spec.build_clip().targets().is_empty());
+    }
+
+    #[test]
+    fn design_rejections() {
+        for bad in [
+            r#"{"kind": "warp-core"}"#,
+            r#"{"kind": "gcd", "tiles": 0}"#,
+            r#"{"kind": "gcd", "tiles": 1000}"#,
+            r#"{"kind": "gcd", "crop": -5}"#,
+            r#"{"kind": "gcd", "surprise": 1}"#,
+            r#"{}"#,
+            r#"[1]"#,
+        ] {
+            assert!(parse_design(&parse(bad)).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn tiling_defaults_and_rejections() {
+        let t = parse_tiling(&parse("{}")).unwrap();
+        assert_eq!(t.tile_size, 4096.0);
+        assert_eq!(t.halo, 1024.0);
+        for bad in [
+            r#"{"tile": 0}"#,
+            r#"{"halo": -1}"#,
+            r#"{"tile": "big"}"#,
+            r#"{"mystery": 1}"#,
+        ] {
+            assert!(parse_tiling(&parse(bad)).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn opc_presets_and_overrides() {
+        let c = parse_opc(&parse(
+            r#"{"preset": "via", "pitch": 16.0, "iterations": 3}"#,
+        ))
+        .unwrap();
+        assert_eq!(c.pitch, 16.0);
+        assert_eq!(c.iterations, 3);
+        for bad in [r#"{"preset": "nope"}"#, r#"{"mystery": 1}"#] {
+            assert!(parse_opc(&parse(bad)).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn validate_mirrors_assert_valid() {
+        validate(&OpcConfig::via()).unwrap();
+        validate(&OpcConfig::metal()).unwrap();
+        validate(&OpcConfig::large_scale()).unwrap();
+        let mut c = OpcConfig::via();
+        c.move_step = 0.0;
+        assert!(validate(&c).is_err());
+        c = OpcConfig::via();
+        c.pitch = f64::NAN;
+        assert!(validate(&c).is_err());
+    }
+
+    #[test]
+    fn run_dir_sanitizer() {
+        assert_eq!(sanitize_run_dir("job_7.retry-2").unwrap(), "job_7.retry-2");
+        for bad in ["", ".hidden", "a/b", "../up", &"x".repeat(129)] {
+            assert!(sanitize_run_dir(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    /// Every field — including both `Option`s populated, a non-default
+    /// convention, and awkward floats — must survive the wire round trip
+    /// bit-exactly. `OpcConfig` derives `PartialEq`, so one comparison
+    /// covers the lot.
+    #[test]
+    fn work_spec_roundtrips_every_field() {
+        let mut opc = OpcConfig::metal();
+        opc.l_c = 0.1 + 0.2;
+        opc.l_u = 1.0 / 3.0;
+        opc.move_step = 0.875;
+        opc.iterations = 7;
+        opc.decay_at = 5;
+        opc.decay_factor = 0.75;
+        opc.tension = 0.3;
+        opc.corner_pull = 1.25;
+        opc.smooth_window = 3;
+        opc.spline_normals = !opc.spline_normals;
+        opc.relax_every = 2;
+        opc.relax_strength = 0.125;
+        opc.samples_per_segment = 9;
+        opc.epe_search = 33.5;
+        opc.pitch = 12.0;
+        opc.dose_delta = 0.02;
+        opc.sraf = Some(SrafConfig {
+            length_ratio: 0.55,
+            width: 21.0,
+            distance: 63.0,
+            min_edge: 97.0,
+        });
+        opc.mrc = Some(MrcRules {
+            min_space: 24.0,
+            min_width: 20.0,
+            min_area: 400.0,
+            max_curvature: 0.05,
+        });
+        opc.convention = MeasureConvention::MetalSpacing(60.0);
+        let spec = WorkSpec {
+            design: DesignSpec {
+                kind: DesignKind::Aes,
+                tiles: 3,
+                crop: Some(1536.0),
+            },
+            tiling: TilingConfig {
+                tile_size: 1024.0,
+                halo: 256.0,
+            },
+            opc,
+        };
+        let text = spec.to_json().to_string_compact();
+        let back = WorkSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        // And the None/ViaEdgeCenters arm of each branch.
+        let mut bare = OpcConfig::via();
+        bare.sraf = None;
+        bare.mrc = None;
+        bare.convention = MeasureConvention::ViaEdgeCenters;
+        let spec2 = WorkSpec {
+            design: DesignSpec {
+                kind: DesignKind::Gcd,
+                tiles: 1,
+                crop: None,
+            },
+            tiling: spec.tiling,
+            opc: bare,
+        };
+        let text2 = spec2.to_json().to_string_compact();
+        let back2 = WorkSpec::from_json(&Json::parse(&text2).unwrap()).unwrap();
+        assert_eq!(back2, spec2);
+        // Determinism: equal specs serialise to equal strings.
+        assert_eq!(spec2.to_json().to_string_compact(), text2);
+    }
+
+    #[test]
+    fn work_spec_rejects_unknown_and_missing_fields() {
+        let spec = WorkSpec {
+            design: DesignSpec {
+                kind: DesignKind::Gcd,
+                tiles: 1,
+                crop: None,
+            },
+            tiling: TilingConfig {
+                tile_size: 1024.0,
+                halo: 256.0,
+            },
+            opc: OpcConfig::large_scale(),
+        };
+        let good = spec.to_json().to_string_compact();
+        assert!(WorkSpec::from_json(&Json::parse(&good).unwrap()).is_ok());
+        // Dropping any opc field must fail: the full-config format has no
+        // defaults.
+        let Json::Obj(mut members) = spec.to_json() else {
+            unreachable!()
+        };
+        let Json::Obj(opc_members) = members.remove(2).1 else {
+            unreachable!()
+        };
+        for drop in 0..opc_members.len() {
+            let mut trimmed = opc_members.clone();
+            let (name, _) = trimmed.remove(drop);
+            let mutated = Json::Obj(vec![
+                ("design".into(), spec.design.to_json()),
+                (
+                    "tiling".into(),
+                    Json::obj(vec![
+                        ("tile", Json::Num(1024.0)),
+                        ("halo", Json::Num(256.0)),
+                    ]),
+                ),
+                ("opc".into(), Json::Obj(trimmed)),
+            ]);
+            assert!(
+                WorkSpec::from_json(&mutated).is_err(),
+                "parsed without '{name}'"
+            );
+        }
+        for bad in [r#"{"design": {"kind": "gcd"}}"#, r#"{"extra": 1}"#, "[]"] {
+            assert!(WorkSpec::from_json(&Json::parse(bad).unwrap()).is_err());
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! The fleet worker: a stateless-by-design tile-correction process.
+//!
+//! A worker holds no job state a coordinator depends on for progress —
+//! every `POST /v1/tiles` request is self-contained (full [`WorkSpec`] +
+//! tile index), so any worker can serve any tile of any job at any time.
+//! What a worker *does* keep is pure gain:
+//!
+//! - a **prepared-state cache** keyed by the spec's canonical JSON: the
+//!   expanded clip + partition + flow are built once per distinct spec
+//!   and shared across requests;
+//! - a shared [`EngineCache`] so concurrent dispatch lanes reuse litho
+//!   engines across tiles and specs;
+//! - an optional in-memory tile cache (repeated patterns replay);
+//! - a **checkpoint map** keyed by tile input hash, optionally persisted
+//!   to a `RunDir`. A re-dispatched, duplicate-dispatched (work-steal),
+//!   or post-restart tile whose hash is already known is answered from
+//!   the checkpoint without recomputation — this is what makes the
+//!   coordinator's aggressive re-dispatch and crash recovery cheap, and
+//!   `GET /v1/records` is how a restarted coordinator harvests it.
+//!
+//! Determinism: the correction path is `cardopc_runtime`'s own
+//! `correct_single_tile`, so a record produced here is byte-identical
+//! (timing aside) to the single-process scheduler's for the same tile.
+
+use crate::http::{self, ReadOutcome, Request, Response};
+use crate::proto;
+use cardopc_opc::CardOpc;
+use cardopc_runtime::{
+    correct_single_tile, partition_clip, tile_input_hash, CacheConfig, EngineCache, Partition,
+    RunControl, RunDir, TileCache, TileRecord,
+};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Engine-cache stripes: dispatch lanes are spread round-robin across
+/// these to keep lock contention off the per-tile hot path.
+const ENGINE_SLOTS: usize = 4;
+
+/// Maximum concurrently served connections; beyond this the worker sheds
+/// load with a 503 instead of spawning unboundedly.
+const MAX_CONNECTIONS: usize = 64;
+
+/// Worker configuration.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Checkpoint directory: finished tiles are appended here and loaded
+    /// back on start, so a restarted worker answers its old tiles from
+    /// disk. `None` keeps checkpoints in memory only.
+    pub run_dir: Option<PathBuf>,
+    /// Whether to keep an in-memory content-addressed tile cache
+    /// (repeated patterns replay instead of re-correcting).
+    pub cache: bool,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> WorkerConfig {
+        WorkerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            run_dir: None,
+            cache: true,
+        }
+    }
+}
+
+/// Clip + partition + flow expanded from one spec, built once and shared.
+struct Prepared {
+    partition: Partition,
+    flow: CardOpc,
+}
+
+struct WorkerState {
+    local_addr: SocketAddr,
+    /// Finished tiles keyed by tile input hash (multi-spec by nature:
+    /// different specs produce different hashes).
+    records: Mutex<HashMap<u64, TileRecord>>,
+    /// Append handle into `run_dir`'s checkpoint file, when persistent.
+    sink: Option<Mutex<std::fs::File>>,
+    /// Held for its PID lock; also the source of loaded checkpoints.
+    _run_dir: Option<RunDir>,
+    prepared: Mutex<HashMap<String, Arc<Prepared>>>,
+    engines: EngineCache,
+    cache: Option<TileCache>,
+    lane_counter: AtomicUsize,
+    tiles_done: AtomicUsize,
+    active_connections: AtomicUsize,
+    stopping: AtomicBool,
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+/// A running fleet worker.
+pub struct WorkerServer {
+    local_addr: SocketAddr,
+    state: Arc<WorkerState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerServer {
+    /// Binds, loads any persisted checkpoints, and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures, an unopenable run directory (including one
+    /// locked by another live worker), or an unreadable checkpoint file.
+    pub fn start(config: WorkerConfig) -> io::Result<WorkerServer> {
+        let run_dir = match &config.run_dir {
+            Some(path) => Some(RunDir::open(path).map_err(|e| io::Error::other(e.to_string()))?),
+            None => None,
+        };
+        let mut records = HashMap::new();
+        if let Some(dir) = &run_dir {
+            for (_, record) in dir
+                .load_records()
+                .map_err(|e| io::Error::other(e.to_string()))?
+            {
+                records.insert(record.input_hash, record);
+            }
+        }
+        let sink = match &run_dir {
+            Some(dir) => Some(Mutex::new(
+                dir.append_handle()
+                    .map_err(|e| io::Error::other(e.to_string()))?,
+            )),
+            None => None,
+        };
+        let cache = if config.cache {
+            let cache_config = CacheConfig {
+                dir: None,
+                ..CacheConfig::default()
+            };
+            Some(TileCache::open(&cache_config).map_err(|e| io::Error::other(e.to_string()))?)
+        } else {
+            None
+        };
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(WorkerState {
+            local_addr,
+            records: Mutex::new(records),
+            sink,
+            _run_dir: run_dir,
+            prepared: Mutex::new(HashMap::new()),
+            engines: EngineCache::new(ENGINE_SLOTS),
+            cache,
+            lane_counter: AtomicUsize::new(0),
+            tiles_done: AtomicUsize::new(0),
+            active_connections: AtomicUsize::new(0),
+            stopping: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+
+        let accept_thread = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("cardopc-worker-accept".to_string())
+                .spawn(move || accept_loop(listener, &state))?
+        };
+
+        Ok(WorkerServer {
+            local_addr,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until `POST /admin/shutdown` arrives (the worker-process
+    /// main thread's parking spot).
+    pub fn wait_shutdown(&self) {
+        let mut requested = self
+            .state
+            .shutdown_requested
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !*requested {
+            requested = self
+                .state
+                .shutdown_cv
+                .wait(requested)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops accepting and joins the accept thread. Called by `Drop`;
+    /// explicit calls are idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.stopping.store(true, Ordering::Release);
+        let mut requested = self
+            .state
+            .shutdown_requested
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *requested = true;
+        drop(requested);
+        self.state.shutdown_cv.notify_all();
+        // Unblock the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for WorkerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: &Arc<WorkerState>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        if state.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        let state = Arc::clone(state);
+        let _ = std::thread::Builder::new()
+            .name("cardopc-worker-conn".to_string())
+            .spawn(move || handle_connection(stream, &state));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<WorkerState>) {
+    // Shed load instead of spawning handler work unboundedly; correction
+    // requests can hold a thread for seconds.
+    if state.active_connections.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS {
+        Response::error(503, "worker is saturated").write(&mut stream);
+        state.active_connections.fetch_sub(1, Ordering::AcqRel);
+        return;
+    }
+    let response = match http::read_request(&mut stream) {
+        ReadOutcome::Disconnected => {
+            state.active_connections.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        ReadOutcome::Malformed(e) => Response::error(e.status, &e.message),
+        ReadOutcome::Request(request) => route(&request, state),
+    };
+    response.write(&mut stream);
+    state.active_connections.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn route(request: &Request, state: &Arc<WorkerState>) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            cardopc_json::Json::obj(vec![
+                ("ok", cardopc_json::Json::Bool(true)),
+                (
+                    "tiles_done",
+                    cardopc_json::Json::num_usize(state.tiles_done.load(Ordering::Acquire)),
+                ),
+            ])
+            .to_string_compact(),
+        ),
+        ("POST", "/v1/tiles") => dispatch(request, state),
+        ("GET", "/v1/records") => records_jsonl(state),
+        ("POST", "/admin/shutdown") => {
+            state.stopping.store(true, Ordering::Release);
+            let mut requested = state
+                .shutdown_requested
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *requested = true;
+            drop(requested);
+            state.shutdown_cv.notify_all();
+            // Unblock the accept loop so it observes the stop flag.
+            let _ = TcpStream::connect(state.local_addr);
+            Response::json(202, r#"{"stopping":true}"#)
+        }
+        (_, "/healthz" | "/v1/tiles" | "/v1/records" | "/admin/shutdown") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+/// `POST /v1/tiles`: correct (or answer from checkpoint) one tile.
+fn dispatch(request: &Request, state: &Arc<WorkerState>) -> Response {
+    let Some(body) = request.body_str() else {
+        return Response::error(400, "request body must be UTF-8 JSON");
+    };
+    let (spec, tile_index) = match proto::parse_dispatch(body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return Response::error(400, &msg),
+    };
+
+    // Expand the spec (once per distinct spec; canonical JSON is the key).
+    let spec_key = spec.to_json().to_string_compact();
+    let prepared = {
+        let guard = state
+            .prepared
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.get(&spec_key).cloned()
+    };
+    let prepared = match prepared {
+        Some(p) => p,
+        None => {
+            // Built outside the lock: preparation rasterises nothing but
+            // partitioning a big clip is not free, and a concurrent
+            // duplicate build is harmless (both produce identical state).
+            let clip = spec.build_clip();
+            let partition = match partition_clip(&clip, &spec.tiling) {
+                Ok(p) => p,
+                Err(e) => return Response::error(400, &format!("unusable spec: {e}")),
+            };
+            let flow = CardOpc::new(spec.opc.clone());
+            let built = Arc::new(Prepared { partition, flow });
+            let mut guard = state
+                .prepared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            guard.entry(spec_key).or_insert_with(|| Arc::clone(&built));
+            built
+        }
+    };
+
+    let Some(tile) = prepared.partition.tiles.get(tile_index) else {
+        return Response::error(
+            400,
+            &format!(
+                "tile {tile_index} outside the partition ({} tiles)",
+                prepared.partition.tiles.len()
+            ),
+        );
+    };
+    let hash = tile_input_hash(tile, prepared.flow.config());
+
+    // Checkpoint hit: a re-dispatch, steal duplicate, or post-restart
+    // replay is answered without recomputation.
+    {
+        let records = state.records.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(record) = records.get(&hash) {
+            return Response::json(200, record.to_json_line());
+        }
+    }
+
+    let lane = state.lane_counter.fetch_add(1, Ordering::Relaxed);
+    let control = RunControl {
+        engines: Some(&state.engines),
+        cache: state.cache.as_ref(),
+        ..RunControl::default()
+    };
+    let record = match correct_single_tile(
+        &prepared.partition,
+        tile_index,
+        &prepared.flow,
+        &control,
+        lane,
+    ) {
+        Ok(Some(record)) => record,
+        // No cancellation handle is attached, so `None` cannot happen;
+        // answer defensively rather than panicking the handler.
+        Ok(None) => return Response::error(500, "correction cancelled"),
+        Err(e) => return Response::error(500, &format!("tile {tile_index} failed: {e}")),
+    };
+
+    let mut records = state.records.lock().unwrap_or_else(PoisonError::into_inner);
+    let line = match records.entry(record.input_hash) {
+        std::collections::hash_map::Entry::Occupied(existing) => {
+            // A concurrent duplicate finished first; serve its record so
+            // the checkpoint file and the response agree.
+            existing.get().to_json_line()
+        }
+        std::collections::hash_map::Entry::Vacant(slot) => {
+            let line = record.to_json_line();
+            if let Some(sink) = &state.sink {
+                let mut file = sink.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Err(e) = RunDir::append_record(&mut file, &record) {
+                    return Response::error(500, &format!("checkpoint append failed: {e}"));
+                }
+            }
+            slot.insert(record);
+            state.tiles_done.fetch_add(1, Ordering::AcqRel);
+            line
+        }
+    };
+    Response::json(200, line)
+}
+
+/// `GET /v1/records`: every checkpointed record as JSONL, sorted by tile
+/// index then hash (deterministic output for tests and debugging).
+fn records_jsonl(state: &Arc<WorkerState>) -> Response {
+    let records = state.records.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut entries: Vec<(usize, u64, String)> = records
+        .values()
+        .map(|r| (r.index, r.input_hash, r.to_json_line()))
+        .collect();
+    drop(records);
+    entries.sort_unstable_by_key(|&(index, hash, _)| (index, hash));
+    let mut body = String::new();
+    for (_, _, line) in entries {
+        body.push_str(&line);
+        body.push('\n');
+    }
+    Response::text(200, body)
+}

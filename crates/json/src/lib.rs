@@ -78,6 +78,15 @@ impl Json {
         }
     }
 
+    /// The value as object members (insertion-ordered `(key, value)`
+    /// pairs).
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
     /// Serialises to a compact JSON string.
     pub fn to_string_compact(&self) -> String {
         let mut out = String::new();
@@ -414,6 +423,17 @@ mod tests {
         let text = v.to_string_compact();
         let back = Json::parse(&text).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn as_obj_exposes_ordered_members() {
+        let v = Json::obj(vec![("b", Json::num_usize(2)), ("a", Json::num_usize(1))]);
+        let members = v.as_obj().unwrap();
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert!(Json::Arr(vec![]).as_obj().is_none());
+        assert!(Json::Null.as_obj().is_none());
     }
 
     #[test]

@@ -1369,9 +1369,9 @@ mod tests {
             assert!((dst.at(x, y) - a.at(x, y) * b.at(x, y).conj()).norm() < 1e-12);
         }
         a.mul_real_into(&real, &mut dst);
-        for i in 0..w * h {
+        for (i, &r) in real.iter().enumerate() {
             let (x, y) = idx(i);
-            assert!((dst.at(x, y) - a.at(x, y).scale(real[i])).norm() < 1e-12);
+            assert!((dst.at(x, y) - a.at(x, y).scale(r)).norm() < 1e-12);
         }
 
         let mut acc = vec![1.0f64; w * h];

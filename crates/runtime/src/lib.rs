@@ -51,8 +51,10 @@ pub use error::RuntimeError;
 pub use handle::{EngineCache, RunControl, RunHandle, TileEvent};
 pub use manifest::{Aggregate, RunManifest, TileSummary};
 pub use partition::{partition_clip, Partition, Tile, TilingConfig};
-pub use schedule::{run_tiles, run_tiles_controlled, ScheduleOutcome, TileResult};
-pub use stitch::{seam_bands, stitch, Stitched};
+pub use schedule::{
+    correct_single_tile, run_tiles, run_tiles_controlled, ScheduleOutcome, TileResult,
+};
+pub use stitch::{seam_bands, stitch, StitchAccumulator, Stitched};
 
 use cardopc_layout::Clip;
 use cardopc_litho::WorkerPool;

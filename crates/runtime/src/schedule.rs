@@ -276,6 +276,50 @@ pub fn run_tiles_controlled(
     })
 }
 
+/// Corrects exactly one tile of `partition` and returns its checkpoint
+/// record — the fleet worker's entry point. Runs through the same
+/// (optionally cached) `correct_tile` → `materialize` path as the full
+/// scheduler, so the record is byte-identical to what a single-process
+/// run produces for that tile. `slot_index` selects the stripe of an
+/// attached [`EngineCache`](crate::EngineCache) (callers with several
+/// executor threads should spread indices to avoid lock contention).
+/// `Ok(None)` means the control's handle was cancelled while the tile
+/// waited on another caller's in-flight correction.
+///
+/// # Errors
+///
+/// [`RuntimeError::Tile`] when the flow fails, or
+/// [`RuntimeError::InvalidConfig`] for an out-of-range tile index.
+pub fn correct_single_tile(
+    partition: &Partition,
+    tile_index: usize,
+    flow: &CardOpc,
+    control: &RunControl<'_>,
+    slot_index: usize,
+) -> Result<Option<TileRecord>, RuntimeError> {
+    let tile = partition
+        .tiles
+        .iter()
+        .find(|t| t.index == tile_index)
+        .ok_or(RuntimeError::InvalidConfig(
+            "tile index outside the partition",
+        ))?;
+    let mut slot = Slot {
+        engines: HashMap::new(),
+        results: Vec::new(),
+    };
+    let outcome = execute_tile(
+        tile,
+        partition,
+        flow,
+        flow.config(),
+        &mut slot,
+        slot_index,
+        control,
+    )?;
+    Ok(outcome.map(|(record, _cached)| record))
+}
+
 /// Runs one tile through the (optionally cached) correction path and
 /// assembles its checkpoint record. `Ok(None)` means the run was
 /// cancelled while the tile waited on another caller's in-flight

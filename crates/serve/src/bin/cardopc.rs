@@ -22,10 +22,22 @@
 //!     serve --addr 127.0.0.1:8650 --run-root runs
 //! ```
 //!
-//! Worker-thread precedence (both modes): `--threads` beats `--workers`
-//! (run-mode legacy alias), which beats the `CARDOPC_THREADS` environment
-//! variable, which beats the auto-detected CPU count.
+//! **Worker mode** starts a fleet worker process that corrects tiles
+//! dispatched by a coordinator (`--workers-local` / `--worker-addr` run
+//! flags, or a serve-mode registry):
+//!
+//! ```text
+//! cargo run --release -p cardopc-serve --bin cardopc -- \
+//!     worker --addr 127.0.0.1:9100
+//! ```
+//!
+//! Worker-thread precedence (run/serve modes): `--threads` beats
+//! `--workers` (run-mode legacy alias), which beats the `CARDOPC_THREADS`
+//! environment variable, which beats the auto-detected CPU count.
 
+use cardopc_fleet::spec::DesignSpec;
+use cardopc_fleet::worker::{WorkerConfig, WorkerServer};
+use cardopc_fleet::{client, run_fleet, FleetConfig, WorkSpec};
 use cardopc_layout::DesignKind;
 use cardopc_litho::WorkerPool;
 use cardopc_opc::OpcConfig;
@@ -34,7 +46,9 @@ use cardopc_runtime::{
 };
 use cardopc_serve::wire::build_clip;
 use cardopc_serve::{ServeConfig, Server};
+use std::io::BufRead;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 cardopc — tiled full-chip curvilinear OPC runner and HTTP service
@@ -42,6 +56,7 @@ cardopc — tiled full-chip curvilinear OPC runner and HTTP service
 USAGE:
     cardopc [OPTIONS]            correct a design and exit
     cardopc serve [OPTIONS]      run the HTTP correction service
+    cardopc worker [OPTIONS]     run a fleet worker process
 
 RUN OPTIONS:
     --design <gcd|aes|dynamicnode>  synthetic design to correct [gcd]
@@ -63,7 +78,25 @@ RUN OPTIONS:
                                     (default: in-memory, this run only)
     --quick                         small smoke preset: gcd, 2048 nm crop,
                                     1024 nm tiles, 512 nm halo, 4 iterations
+    --workers-local <N>             shard across N spawned worker processes
+                                    (fleet mode)
+    --worker-addr <HOST:PORT>       shard across an already-running
+                                    `cardopc worker` (repeatable; combines
+                                    with --workers-local)
+    --lease-secs <S>                fleet per-tile lease timeout [120]
+    --steal-secs <S>                fleet steal threshold: idle workers
+                                    duplicate-dispatch tiles leased longer
+                                    than this [20]
     --help                          print this help
+
+WORKER OPTIONS:
+    --addr <HOST:PORT>              bind address [127.0.0.1:0]; port 0
+                                    picks an ephemeral port
+    --run-dir <PATH>                worker checkpoint directory (lets a
+                                    coordinator restart recover finished
+                                    tiles from this worker)
+    --no-cache                      disable the worker's in-memory tile
+                                    cache
 
 SERVE OPTIONS:
     --addr <HOST:PORT>              bind address [127.0.0.1:8650]; port 0
@@ -97,6 +130,10 @@ struct RunArgs {
     max_tiles: Option<usize>,
     cache_dir: Option<String>,
     no_cache: bool,
+    workers_local: usize,
+    worker_addrs: Vec<std::net::SocketAddr>,
+    lease_secs: f64,
+    steal_secs: f64,
 }
 
 impl RunArgs {
@@ -115,6 +152,10 @@ impl RunArgs {
             max_tiles: None,
             cache_dir: None,
             no_cache: false,
+            workers_local: 0,
+            worker_addrs: Vec::new(),
+            lease_secs: 120.0,
+            steal_secs: 20.0,
         };
         while let Some(flag) = it.next() {
             let mut value = || {
@@ -142,6 +183,16 @@ impl RunArgs {
                 "--max-tiles" => args.max_tiles = Some(parse_num(&flag, &value()?)?),
                 "--cache-dir" => args.cache_dir = Some(value()?),
                 "--no-cache" => args.no_cache = true,
+                "--workers-local" => args.workers_local = parse_num(&flag, &value()?)?,
+                "--worker-addr" => {
+                    let raw = value()?;
+                    args.worker_addrs.push(
+                        raw.parse()
+                            .map_err(|_| format!("--worker-addr: cannot parse '{raw}'"))?,
+                    );
+                }
+                "--lease-secs" => args.lease_secs = parse_num(&flag, &value()?)?,
+                "--steal-secs" => args.steal_secs = parse_num(&flag, &value()?)?,
                 "--quick" => {
                     args.design = DesignKind::Gcd;
                     args.design_tiles = 1;
@@ -195,11 +246,56 @@ fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
 
 fn main() -> ExitCode {
     let mut it = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
-    if it.as_slice().first().map(String::as_str) == Some("serve") {
-        let _ = it.next();
-        return serve_main(&mut it);
+    match it.as_slice().first().map(String::as_str) {
+        Some("serve") => {
+            let _ = it.next();
+            serve_main(&mut it)
+        }
+        Some("worker") => {
+            let _ = it.next();
+            worker_main(&mut it)
+        }
+        _ => run_main(&mut it),
     }
-    run_main(&mut it)
+}
+
+/// Worker mode: serve tile dispatches until a `POST /admin/shutdown`.
+fn worker_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
+    let mut config = WorkerConfig::default();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{flag} expects a value\n\n{USAGE}"))
+        };
+        let result = match flag.as_str() {
+            "--addr" => value().map(|v| config.addr = v),
+            "--run-dir" => value().map(|v| config.run_dir = Some(v.into())),
+            "--no-cache" => {
+                config.cache = false;
+                Ok(())
+            }
+            "--help" | "-h" => Err(USAGE.to_string()),
+            other => Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+        };
+        if let Err(msg) = result {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let worker = match WorkerServer::start(config) {
+        Ok(worker) => worker,
+        Err(e) => {
+            eprintln!("cardopc worker: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Machine-readable: coordinators spawning local workers on port 0
+    // scrape the bound address from this line.
+    println!("cardopc-worker listening on {}", worker.local_addr());
+    eprintln!("cardopc worker: POST /admin/shutdown to stop");
+    worker.wait_shutdown();
+    eprintln!("cardopc worker: stopped");
+    ExitCode::SUCCESS
 }
 
 /// Serve mode: start the service, print the bound address, block until a
@@ -233,6 +329,145 @@ fn serve_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// A spawned local worker process; shut down (politely, then by force)
+/// on drop so an aborted coordinator does not leak children.
+struct LocalWorker {
+    child: std::process::Child,
+    addr: std::net::SocketAddr,
+}
+
+impl Drop for LocalWorker {
+    fn drop(&mut self) {
+        let _ = client::request_with_timeout(
+            self.addr,
+            "POST",
+            "/admin/shutdown",
+            Some("{}"),
+            Duration::from_secs(2),
+        );
+        // Give the polite path a moment, then make sure.
+        for _ in 0..20 {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns one `cardopc worker` child on an ephemeral port and scrapes
+/// its bound address from the announce line.
+fn spawn_local_worker() -> Result<LocalWorker, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let mut child = std::process::Command::new(exe)
+        .args(["worker", "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn worker: {e}"))?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut line = String::new();
+    if let Err(e) = std::io::BufReader::new(stdout).read_line(&mut line) {
+        let _ = child.kill();
+        return Err(format!("cannot read worker announce line: {e}"));
+    }
+    let Some(addr) = line
+        .trim()
+        .strip_prefix("cardopc-worker listening on ")
+        .and_then(|a| a.parse().ok())
+    else {
+        let _ = child.kill();
+        return Err(format!("unexpected worker announce line: {line:?}"));
+    };
+    Ok(LocalWorker { child, addr })
+}
+
+/// Fleet mode: shard the run across worker processes (spawned locally
+/// and/or already running remotely) and print the same manifest a
+/// single-process run would.
+fn fleet_main(args: &RunArgs, opc: OpcConfig) -> ExitCode {
+    let mut locals = Vec::new();
+    for _ in 0..args.workers_local {
+        match spawn_local_worker() {
+            Ok(worker) => locals.push(worker),
+            Err(msg) => {
+                eprintln!("cardopc: error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let workers: Vec<std::net::SocketAddr> = locals
+        .iter()
+        .map(|w| w.addr)
+        .chain(args.worker_addrs.iter().copied())
+        .collect();
+
+    let spec = WorkSpec {
+        design: DesignSpec {
+            kind: args.design,
+            tiles: args.design_tiles,
+            crop: args.crop,
+        },
+        tiling: TilingConfig {
+            tile_size: args.tile,
+            halo: args.halo,
+        },
+        opc,
+    };
+    let config = FleetConfig {
+        workers,
+        lease: Duration::from_secs_f64(args.lease_secs.max(0.1)),
+        steal_after: Duration::from_secs_f64(args.steal_secs.max(0.1)),
+        run_dir: args.run_dir.as_ref().map(Into::into),
+        max_tiles: args.max_tiles,
+        ..FleetConfig::default()
+    };
+    eprintln!(
+        "cardopc: fleet of {} workers ({} spawned local), lease {:.0}s, steal after {:.0}s",
+        config.workers.len(),
+        locals.len(),
+        config.lease.as_secs_f64(),
+        config.steal_after.as_secs_f64(),
+    );
+
+    let outcome = match run_fleet(&spec, &config, &RunControl::default()) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("cardopc: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", outcome.manifest.render_table());
+    println!(
+        "executed {} resumed {} remaining {}",
+        outcome.manifest.executed, outcome.manifest.resumed, outcome.manifest.remaining
+    );
+    let stats = outcome.stats;
+    println!(
+        "fleet dispatched {} stolen {} duplicates {} redispatched {} retired {} recovered {}",
+        stats.dispatched,
+        stats.stolen,
+        stats.duplicates,
+        stats.redispatched,
+        stats.retired_workers,
+        stats.recovered
+    );
+    if let Some(dir) = &config.run_dir {
+        if outcome.complete {
+            println!("manifest: {}", dir.join("manifest.json").display());
+        } else {
+            println!(
+                "partial run ({} tiles left): re-run with the same --run-dir to resume",
+                outcome.manifest.remaining
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Run mode: one correction, manifest to stdout.
 fn run_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
     let args = match RunArgs::parse(it) {
@@ -247,6 +482,10 @@ fn run_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
     let mut opc = OpcConfig::large_scale();
     opc.pitch = args.pitch;
     opc.iterations = args.iterations;
+
+    if args.workers_local > 0 || !args.worker_addrs.is_empty() {
+        return fleet_main(&args, opc);
+    }
 
     let config = RunConfig {
         opc,

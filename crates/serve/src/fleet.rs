@@ -1,0 +1,192 @@
+//! The server's worker registry: which fleet workers (if any) jobs are
+//! sharded across.
+//!
+//! Two registration flavours, both via `POST /v1/workers`:
+//!
+//! - **spawn-local** (`{"spawn_local": N}`): N in-process
+//!   [`WorkerServer`]s on ephemeral loopback ports — one command turns a
+//!   single server into a fleet (useful for many-core boxes, where
+//!   process-level sharding isolates per-worker engine caches, and for
+//!   tests).
+//! - **connect-remote** (`{"addr": "host:port"}`): an already-running
+//!   `cardopc worker` process anywhere reachable; registration probes
+//!   `/healthz` first so a typo'd address is a 400 now rather than a
+//!   retired worker later.
+//!
+//! While the registry is non-empty, executor threads route jobs through
+//! [`cardopc_fleet::run_fleet`] instead of the in-process runtime; an
+//! empty registry is the plain single-process service.
+
+use crate::metrics::Metrics;
+use cardopc_fleet::client;
+use cardopc_fleet::worker::{WorkerConfig, WorkerServer};
+use cardopc_json::Json;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// How long a registration probe waits for a remote worker's `/healthz`.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Registered fleet workers (spawn-local servers plus remote addresses).
+pub struct WorkerRegistry {
+    inner: Mutex<Inner>,
+    metrics: Arc<Metrics>,
+}
+
+struct Inner {
+    /// In-process workers owned (and shut down) by this registry.
+    locals: Vec<WorkerServer>,
+    /// External `cardopc worker` processes.
+    remotes: Vec<SocketAddr>,
+}
+
+impl WorkerRegistry {
+    /// An empty registry.
+    pub fn new(metrics: Arc<Metrics>) -> WorkerRegistry {
+        WorkerRegistry {
+            inner: Mutex::new(Inner {
+                locals: Vec::new(),
+                remotes: Vec::new(),
+            }),
+            metrics,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn note_size(&self, inner: &Inner) {
+        self.metrics
+            .fleet_workers
+            .set((inner.locals.len() + inner.remotes.len()) as u64);
+    }
+
+    /// Spawns `count` in-process workers on ephemeral loopback ports and
+    /// returns their addresses.
+    ///
+    /// # Errors
+    ///
+    /// Bind/spawn failures (already-spawned workers of the same call are
+    /// kept).
+    pub fn spawn_local(&self, count: usize) -> std::io::Result<Vec<SocketAddr>> {
+        let mut added = Vec::with_capacity(count);
+        let mut inner = self.lock();
+        for _ in 0..count {
+            let worker = WorkerServer::start(WorkerConfig::default())?;
+            added.push(worker.local_addr());
+            inner.locals.push(worker);
+            self.note_size(&inner);
+        }
+        Ok(added)
+    }
+
+    /// Registers a remote worker after probing its `/healthz`.
+    ///
+    /// # Errors
+    ///
+    /// A message when the worker is unreachable or unhealthy (the caller
+    /// answers 400 with it). Re-registering a known address is an
+    /// idempotent success.
+    pub fn connect(&self, addr: SocketAddr) -> Result<(), String> {
+        let response = client::request_with_timeout(addr, "GET", "/healthz", None, PROBE_TIMEOUT)
+            .map_err(|e| format!("worker at {addr} is unreachable: {e}"))?;
+        if response.status != 200 {
+            return Err(format!(
+                "worker at {addr} answered {} to the health probe",
+                response.status
+            ));
+        }
+        let mut inner = self.lock();
+        if !inner.remotes.contains(&addr) {
+            inner.remotes.push(addr);
+        }
+        self.note_size(&inner);
+        Ok(())
+    }
+
+    /// Every registered worker address (spawn-local first, then remote);
+    /// empty means jobs run in-process.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        let inner = self.lock();
+        inner
+            .locals
+            .iter()
+            .map(WorkerServer::local_addr)
+            .chain(inner.remotes.iter().copied())
+            .collect()
+    }
+
+    /// The `GET /v1/workers` document: each worker's address, kind, and a
+    /// live health-probe verdict.
+    pub fn document(&self) -> String {
+        let entries: Vec<(SocketAddr, &'static str)> = {
+            let inner = self.lock();
+            inner
+                .locals
+                .iter()
+                .map(|w| (w.local_addr(), "local"))
+                .chain(inner.remotes.iter().map(|&a| (a, "remote")))
+                .collect()
+        };
+        // Probe outside the lock: a dead remote costs a timeout, and the
+        // registry must stay usable meanwhile.
+        let workers = entries
+            .into_iter()
+            .map(|(addr, kind)| {
+                let healthy =
+                    client::request_with_timeout(addr, "GET", "/healthz", None, PROBE_TIMEOUT)
+                        .map(|r| r.status == 200)
+                        .unwrap_or(false);
+                Json::obj(vec![
+                    ("addr", Json::Str(addr.to_string())),
+                    ("kind", Json::Str(kind.to_string())),
+                    ("healthy", Json::Bool(healthy)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Json::obj(vec![
+            ("count", Json::num_usize(workers.len())),
+            ("workers", Json::Arr(workers)),
+        ])
+        .to_string_compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_local_registers_and_reports() {
+        let registry = WorkerRegistry::new(Arc::new(Metrics::default()));
+        assert!(registry.addrs().is_empty());
+        let added = registry.spawn_local(2).unwrap();
+        assert_eq!(added.len(), 2);
+        assert_eq!(registry.addrs(), added);
+        assert_eq!(registry.metrics.fleet_workers.get(), 2);
+        let doc = registry.document();
+        assert!(doc.contains("\"count\":2"), "{doc}");
+        assert!(doc.contains("\"healthy\":true"), "{doc}");
+        // A spawn-local worker is also connectable as a "remote" (probe
+        // passes), and re-registering is idempotent.
+        registry.connect(added[0]).unwrap();
+        registry.connect(added[0]).unwrap();
+        assert_eq!(registry.addrs().len(), 3);
+    }
+
+    #[test]
+    fn connect_rejects_unreachable_addresses() {
+        let registry = WorkerRegistry::new(Arc::new(Metrics::default()));
+        // A bound-then-dropped listener's port refuses connections.
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+        let err = registry.connect(addr).unwrap_err();
+        assert!(err.contains("unreachable"), "{err}");
+        assert!(registry.addrs().is_empty());
+    }
+}

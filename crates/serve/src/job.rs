@@ -14,8 +14,10 @@
 //! jobs (and their result documents) are kept — older ones are evicted,
 //! and clients can free a result early with `DELETE /v1/jobs/{id}`.
 
+use crate::fleet::WorkerRegistry;
 use crate::metrics::Metrics;
 use crate::wire::JobSpec;
+use cardopc_fleet::{run_fleet, FleetConfig, FleetError};
 use cardopc_json::Json;
 use cardopc_litho::WorkerPool;
 use cardopc_runtime::{
@@ -147,8 +149,9 @@ pub enum SubmitError {
 pub enum ResultLookup {
     /// No such job (404).
     NotFound,
-    /// The job is not `Done`; the carried state explains why (409).
-    NotReady(JobState),
+    /// The job is not `Done`; the carried state explains why, and a
+    /// failed job also carries its error detail (409).
+    NotReady(JobState, Option<String>),
     /// The serialised result document (200).
     Ready(String),
 }
@@ -177,6 +180,9 @@ pub struct JobStore {
     /// format's `"cache": false`).
     cache: Option<Arc<TileCache>>,
     pool: PoolRef,
+    /// Fleet worker registry; while non-empty, jobs are sharded across
+    /// the registered workers instead of running in-process.
+    workers: Arc<WorkerRegistry>,
 }
 
 impl JobStore {
@@ -188,6 +194,7 @@ impl JobStore {
         metrics: Arc<Metrics>,
         cache: Option<Arc<TileCache>>,
         pool: PoolRef,
+        workers: Arc<WorkerRegistry>,
     ) -> JobStore {
         let slots = pool.get().parallelism();
         JobStore {
@@ -206,6 +213,7 @@ impl JobStore {
             engines: EngineCache::new(slots),
             cache,
             pool,
+            workers,
         }
     }
 
@@ -306,7 +314,7 @@ impl JobStore {
             None => ResultLookup::NotFound,
             Some(job) => match &job.result {
                 Some(doc) => ResultLookup::Ready(doc.to_string_compact()),
-                None => ResultLookup::NotReady(job.state),
+                None => ResultLookup::NotReady(job.state, job.error.clone()),
             },
         }
     }
@@ -480,6 +488,17 @@ impl JobStore {
             cache,
         };
         let run = AssertUnwindSafe(|| {
+            let workers = self.workers.addrs();
+            if !workers.is_empty() {
+                match self.execute_fleet(spec, workers, &control) {
+                    Ok(outcome) => return Ok(outcome),
+                    // The fleet ran dry (every worker crashed/retired):
+                    // finish the job in-process — checkpointed tiles are
+                    // resumed when the job has a run_dir.
+                    Err(FleetError::NoWorkers | FleetError::WorkersExhausted { .. }) => {}
+                    Err(FleetError::Runtime(e)) => return Err(e),
+                }
+            }
             run_clip_controlled(&spec.clip, &spec.config, self.pool.get(), &control)
         });
         match catch_unwind(run) {
@@ -494,6 +513,48 @@ impl JobStore {
                 Err(format!("internal error: {msg}"))
             }
         }
+    }
+
+    /// Shards one job across the registered fleet workers, mapping the
+    /// fleet outcome onto the runtime's [`RunOutcome`] shape (the
+    /// timing-free manifest is byte-identical by construction, so
+    /// clients cannot tell where a job ran).
+    fn execute_fleet(
+        &self,
+        spec: &JobSpec,
+        workers: Vec<std::net::SocketAddr>,
+        control: &RunControl<'_>,
+    ) -> Result<cardopc_runtime::RunOutcome, FleetError> {
+        self.metrics.fleet_jobs.inc();
+        let config = FleetConfig {
+            workers,
+            run_dir: spec.config.run_dir.clone(),
+            max_tiles: spec.config.max_tiles,
+            ..FleetConfig::default()
+        };
+        let outcome = run_fleet(&spec.work, &config, control)?;
+        let stats = outcome.stats;
+        self.metrics
+            .fleet_tiles_dispatched
+            .add(stats.dispatched as u64);
+        self.metrics.fleet_tiles_stolen.add(stats.stolen as u64);
+        self.metrics
+            .fleet_tiles_redispatched
+            .add(stats.redispatched as u64);
+        self.metrics.fleet_duplicates.add(stats.duplicates as u64);
+        self.metrics
+            .fleet_workers_retired
+            .add(stats.retired_workers as u64);
+        self.metrics
+            .fleet_tiles_recovered
+            .add(stats.recovered as u64);
+        Ok(cardopc_runtime::RunOutcome {
+            manifest: outcome.manifest,
+            stitched: outcome.stitched,
+            results: outcome.outcome.results,
+            complete: outcome.complete,
+            cancelled: outcome.cancelled,
+        })
     }
 
     /// Removes a terminal job from the store (freeing its result

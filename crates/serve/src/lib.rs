@@ -21,6 +21,8 @@
 //! | `GET /v1/jobs/{id}/result`  | manifest + corrected contours (409 early) |
 //! | `POST /v1/jobs/{id}/cancel` | cooperative cancel (checkpoints remain)   |
 //! | `DELETE /v1/jobs/{id}`      | drop a terminal job's record (409 else)   |
+//! | `POST /v1/workers`          | register fleet workers (spawn or connect) |
+//! | `GET /v1/workers`           | registered workers with health probes     |
 //! | `GET /healthz`              | liveness + drain state                    |
 //! | `GET /metrics`              | Prometheus text metrics                   |
 //! | `POST /admin/drain`         | stop admitting, finish in-flight, exit    |
@@ -35,12 +37,17 @@
 //! queryable, and at most `MAX_CONNECTIONS` connection handlers run at
 //! once.
 
-pub mod client;
-pub mod http;
+pub mod fleet;
 pub mod job;
 pub mod metrics;
 pub mod wire;
 
+// The HTTP subset and its client grew up here and moved to
+// `cardopc-fleet` (the fleet wire protocol reuses them); re-exported so
+// `cardopc_serve::http`/`::client` paths keep working.
+pub use cardopc_fleet::{client, http};
+
+use fleet::WorkerRegistry;
 use http::{ReadOutcome, Response};
 use job::{DeleteOutcome, JobStore, PoolRef, ResultLookup, SubmitError};
 use metrics::Metrics;
@@ -108,6 +115,7 @@ struct Shared {
     store: Arc<JobStore>,
     metrics: Arc<Metrics>,
     cache: Option<Arc<cardopc_runtime::TileCache>>,
+    workers: Arc<WorkerRegistry>,
     run_root: PathBuf,
 }
 
@@ -145,12 +153,14 @@ impl Server {
         } else {
             None
         };
+        let workers = Arc::new(WorkerRegistry::new(Arc::clone(&metrics)));
         let store = Arc::new(JobStore::new(
             config.max_queued,
             config.retain_terminal,
             Arc::clone(&metrics),
             cache.clone(),
             pool,
+            Arc::clone(&workers),
         ));
 
         let executors = (0..config.max_inflight.max(1))
@@ -168,6 +178,7 @@ impl Server {
             store,
             metrics,
             cache,
+            workers,
             run_root: config.run_root,
         });
         let stop_accepting = Arc::new(AtomicBool::new(false));
@@ -192,6 +203,12 @@ impl Server {
     /// The bound address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The fleet worker registry (what `POST /v1/workers` mutates);
+    /// embedders can register workers programmatically.
+    pub fn workers(&self) -> &Arc<WorkerRegistry> {
+        &self.shared.workers
     }
 
     /// Blocks until a drain has been requested (via `POST /admin/drain`
@@ -351,6 +368,8 @@ fn route(request: &http::Request, shared: &Shared) -> Response {
                 .render_with_cache(shared.cache.as_ref().map(|c| c.stats())),
         ),
         ("POST", "/v1/jobs") => submit(request, shared),
+        ("POST", "/v1/workers") => register_workers(request, shared),
+        ("GET", "/v1/workers") => Response::json(200, shared.workers.document()),
         ("POST", "/admin/drain") => {
             shared.store.drain();
             Response::json(202, r#"{"draining":true}"#)
@@ -358,7 +377,7 @@ fn route(request: &http::Request, shared: &Shared) -> Response {
         // Any method: job_route answers 405 itself for wrong methods, so
         // e.g. PUT /v1/jobs/{id} is a 405, not a 404 like unknown paths.
         _ if path.starts_with("/v1/jobs/") => job_route(request, shared),
-        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/admin/drain") => {
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/workers" | "/admin/drain") => {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, "no such route"),
@@ -386,8 +405,73 @@ fn submit(request: &http::Request, shared: &Shared) -> Response {
         Err(SubmitError::Full) => {
             Response::error(429, "job queue is full").with_header("retry-after", "1")
         }
-        Err(SubmitError::Draining) => Response::error(503, "server is draining"),
+        // Draining is longer-lived than a full queue, so hint a longer
+        // retry (the peer may be load-balancing across replicas anyway).
+        Err(SubmitError::Draining) => {
+            Response::error(503, "server is draining").with_header("retry-after", "5")
+        }
     }
+}
+
+/// `POST /v1/workers`: register fleet workers — `{"spawn_local": N}`
+/// starts N in-process workers, `{"addr": "host:port"}` connects a
+/// running `cardopc worker` after a health probe.
+fn register_workers(request: &http::Request, shared: &Shared) -> Response {
+    let Some(body) = request.body_str() else {
+        return Response::error(400, "request body must be UTF-8 JSON");
+    };
+    let json = match cardopc_json::Json::parse(body) {
+        Ok(json) => json,
+        Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+    };
+    if !matches!(json, cardopc_json::Json::Obj(_)) {
+        return Response::error(400, "body must be a JSON object");
+    }
+    if let Err(msg) = cardopc_fleet::spec::reject_unknown(&json, &["spawn_local", "addr"]) {
+        return Response::error(400, &msg);
+    }
+    let added = match (json.get("spawn_local"), json.get("addr")) {
+        (Some(n), None) => {
+            let Some(count) = n.as_usize().filter(|&c| (1..=64).contains(&c)) else {
+                return Response::error(400, "'spawn_local' must be an integer in 1..=64");
+            };
+            match shared.workers.spawn_local(count) {
+                Ok(addrs) => addrs,
+                Err(e) => return Response::error(500, &format!("cannot spawn workers: {e}")),
+            }
+        }
+        (None, Some(addr)) => {
+            let Some(addr) = addr.as_str().and_then(|s| s.parse::<SocketAddr>().ok()) else {
+                return Response::error(400, "'addr' must be a \"host:port\" socket address");
+            };
+            if let Err(msg) = shared.workers.connect(addr) {
+                return Response::error(400, &msg);
+            }
+            vec![addr]
+        }
+        _ => {
+            return Response::error(400, "provide exactly one of 'spawn_local' or 'addr'");
+        }
+    };
+    Response::json(
+        201,
+        cardopc_json::Json::obj(vec![
+            (
+                "added",
+                cardopc_json::Json::Arr(
+                    added
+                        .iter()
+                        .map(|a| cardopc_json::Json::Str(a.to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "total",
+                cardopc_json::Json::num_usize(shared.workers.addrs().len()),
+            ),
+        ])
+        .to_string_compact(),
+    )
 }
 
 /// Routes `/v1/jobs/{id}[/result|/cancel]` for every method (wrong
@@ -417,7 +501,12 @@ fn job_route(request: &http::Request, shared: &Shared) -> Response {
         }
         return match shared.store.result(id) {
             ResultLookup::NotFound => Response::error(404, "no such job"),
-            ResultLookup::NotReady(state) => Response::error(
+            // A failed job's 409 carries the underlying failure detail
+            // (panic payload / litho error), not just the bare state.
+            ResultLookup::NotReady(state, Some(error)) => {
+                Response::error(409, &format!("job is {}: {error}", state.name()))
+            }
+            ResultLookup::NotReady(state, None) => Response::error(
                 409,
                 &format!("job is {}; result requires state 'done'", state.name()),
             ),

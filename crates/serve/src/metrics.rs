@@ -20,6 +20,11 @@ impl Counter {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` (batch updates, e.g. per-job fleet stats).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -187,10 +192,27 @@ pub struct Metrics {
     pub admission_rejected: Counter,
     /// Submissions refused because the server is draining (503).
     pub drain_rejected: Counter,
+    /// Jobs routed through the worker fleet instead of the in-process
+    /// runtime.
+    pub fleet_jobs: Counter,
+    /// Fleet tile dispatch attempts (including steals and re-dispatches).
+    pub fleet_tiles_dispatched: Counter,
+    /// Fleet steal dispatches (duplicate of a still-leased tile).
+    pub fleet_tiles_stolen: Counter,
+    /// Fleet tiles re-queued after a failed or expired dispatch.
+    pub fleet_tiles_redispatched: Counter,
+    /// Fleet results discarded because another dispatch won the tile.
+    pub fleet_duplicates: Counter,
+    /// Fleet workers retired (crashed, hung, or persistently failing).
+    pub fleet_workers_retired: Counter,
+    /// Fleet tiles adopted from workers' checkpoints during recovery.
+    pub fleet_tiles_recovered: Counter,
     /// Jobs currently queued.
     pub queue_depth: Gauge,
     /// Jobs currently running.
     pub inflight: Gauge,
+    /// Registered fleet workers (spawn-local + remote).
+    pub fleet_workers: Gauge,
     /// Per-tile correction latency (executed tiles only).
     pub tile_seconds: Histogram,
     /// End-to-end job latency (queued → terminal).
@@ -229,7 +251,7 @@ impl Metrics {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(2048);
-        let counters: [(&str, &Counter); 9] = [
+        let counters: [(&str, &Counter); 16] = [
             ("cardopc_http_requests_total", &self.http_requests),
             ("cardopc_http_client_errors_total", &self.http_client_errors),
             ("cardopc_http_server_errors_total", &self.http_server_errors),
@@ -239,6 +261,25 @@ impl Metrics {
             ("cardopc_jobs_cancelled_total", &self.jobs_cancelled),
             ("cardopc_jobs_evicted_total", &self.jobs_evicted),
             ("cardopc_admission_rejected_total", &self.admission_rejected),
+            ("cardopc_fleet_jobs_total", &self.fleet_jobs),
+            (
+                "cardopc_fleet_tiles_dispatched_total",
+                &self.fleet_tiles_dispatched,
+            ),
+            ("cardopc_fleet_tiles_stolen_total", &self.fleet_tiles_stolen),
+            (
+                "cardopc_fleet_tiles_redispatched_total",
+                &self.fleet_tiles_redispatched,
+            ),
+            ("cardopc_fleet_duplicates_total", &self.fleet_duplicates),
+            (
+                "cardopc_fleet_workers_retired_total",
+                &self.fleet_workers_retired,
+            ),
+            (
+                "cardopc_fleet_tiles_recovered_total",
+                &self.fleet_tiles_recovered,
+            ),
         ];
         for (name, counter) in counters {
             let _ = writeln!(out, "# TYPE {name} counter");
@@ -253,6 +294,7 @@ impl Metrics {
         for (name, gauge) in [
             ("cardopc_queue_depth", &self.queue_depth),
             ("cardopc_jobs_inflight", &self.inflight),
+            ("cardopc_fleet_workers", &self.fleet_workers),
         ] {
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {}", gauge.get());

@@ -1,12 +1,11 @@
 //! Wire format of the correction service: JSON job requests parsed into
 //! runtime inputs, with *non-panicking* validation.
 //!
-//! [`OpcConfig::assert_valid`](cardopc_opc::OpcConfig) panics by design —
-//! flow configurations are build-time data inside the library. A network
-//! service cannot extend that contract to untrusted bytes, so this module
-//! re-checks every override with [`validate`] and maps each failure to a
-//! 400 response instead. Unknown keys are rejected (strict API: a typoed
-//! parameter must not silently fall back to its default).
+//! The parsing/validation core (design recipe, tiling, OPC presets and
+//! overrides, run-dir sanitisation) lives in [`cardopc_fleet::spec`] so
+//! the HTTP job format and the fleet work-unit format can never drift
+//! apart; this module re-exports it and adds the job-level envelope
+//! (`run_dir`, `max_tiles`, `cache`).
 //!
 //! A job request looks like:
 //!
@@ -26,15 +25,16 @@
 //! 1024 nm halo). `run_dir` is a *name*, resolved under the server's run
 //! root — submitting the same name again resumes that checkpoint.
 
+pub use cardopc_fleet::spec::{build_clip, validate, BadRequest, MAX_DESIGN_TILES};
+use cardopc_fleet::spec::{
+    parse_design, parse_opc, parse_tiling, reject_unknown, sanitize_run_dir,
+};
+use cardopc_fleet::WorkSpec;
 use cardopc_json::Json;
-use cardopc_layout::{design_tiles, Clip, DesignKind};
+use cardopc_layout::Clip;
 use cardopc_opc::OpcConfig;
 use cardopc_runtime::{RunConfig, TilingConfig};
 use std::path::Path;
-
-/// Upper bound on `design.tiles`: a correction service must not let one
-/// request allocate an arbitrarily large synthetic design.
-pub const MAX_DESIGN_TILES: usize = 16;
 
 /// A validated job specification.
 #[derive(Clone, Debug)]
@@ -49,10 +49,11 @@ pub struct JobSpec {
     /// Whether this job may use the server's shared tile cache (default
     /// `true`; `"cache": false` opts a single job out).
     pub cache: bool,
+    /// The same job as a fleet work unit, for distribution to registered
+    /// workers (every HTTP job is expressible as one — the clip above is
+    /// `work.build_clip()`).
+    pub work: WorkSpec,
 }
-
-/// A request rejection: the message lands in the 400 response body.
-pub type BadRequest = String;
 
 /// Parses and validates a `POST /v1/jobs` body.
 ///
@@ -70,10 +71,11 @@ pub fn parse_job(body: &str, run_root: &Path) -> Result<JobSpec, BadRequest> {
         &["design", "tiling", "opc", "run_dir", "max_tiles", "cache"],
     )?;
 
-    let design = json
-        .get("design")
-        .ok_or("missing required field 'design'")?;
-    let clip = parse_design(design)?;
+    let design = parse_design(
+        json.get("design")
+            .ok_or("missing required field 'design'")?,
+    )?;
+    let clip = design.build_clip();
 
     let tiling = match json.get("tiling") {
         Some(t) => parse_tiling(t)?,
@@ -116,218 +118,19 @@ pub fn parse_job(body: &str, run_root: &Path) -> Result<JobSpec, BadRequest> {
     Ok(JobSpec {
         clip,
         config: RunConfig {
-            opc,
+            opc: opc.clone(),
             tiling,
             run_dir: run_dir_name.as_ref().map(|name| run_root.join(name)),
             max_tiles,
         },
         run_dir_name,
         cache,
-    })
-}
-
-/// Parses the `design` object into a clip (same construction as the CLI's
-/// `--design`/`--design-tiles`/`--crop` flags).
-fn parse_design(design: &Json) -> Result<Clip, BadRequest> {
-    let Json::Obj(_) = design else {
-        return Err("'design' must be an object".into());
-    };
-    reject_unknown(design, &["kind", "tiles", "crop"])?;
-    let kind = match design
-        .get("kind")
-        .ok_or("missing 'design.kind'")?
-        .as_str()
-        .ok_or("'design.kind' must be a string")?
-    {
-        "gcd" => DesignKind::Gcd,
-        "aes" => DesignKind::Aes,
-        "dynamicnode" => DesignKind::DynamicNode,
-        other => return Err(format!("unknown design kind '{other}'")),
-    };
-    let tiles = match design.get("tiles") {
-        None => 1,
-        Some(v) => v.as_usize().ok_or("'design.tiles' must be an integer")?,
-    };
-    if tiles == 0 || tiles > MAX_DESIGN_TILES {
-        return Err(format!("'design.tiles' must be in 1..={MAX_DESIGN_TILES}"));
-    }
-    let crop = match design.get("crop") {
-        None | Some(Json::Null) => None,
-        Some(v) => {
-            let nm = v.as_f64().ok_or("'design.crop' must be a number")?;
-            if !nm.is_finite() || nm <= 0.0 {
-                return Err("'design.crop' must be positive".into());
-            }
-            Some(nm)
-        }
-    };
-    Ok(build_clip(kind, tiles, crop))
-}
-
-/// Builds the input clip: `count` design tiles side by side, optionally
-/// cropped to a centred window. Shared by the CLI and the service so an
-/// HTTP job and a command-line run over the same spec see the same input.
-pub fn build_clip(kind: DesignKind, count: usize, crop: Option<f64>) -> Clip {
-    let tiles: Vec<Clip> = design_tiles(kind, count.max(1)).collect();
-    let tile_w = tiles[0].width();
-    let tile_h = tiles[0].height();
-    let mut shapes = Vec::new();
-    for (i, tile) in tiles.iter().enumerate() {
-        let dx = cardopc_geometry::Point::new(i as f64 * tile_w, 0.0);
-        shapes.extend(tile.targets().iter().map(|t| t.translated(dx)));
-    }
-    let clip = Clip::new(
-        format!("{}x{}", kind.name(), count.max(1)),
-        tile_w * count.max(1) as f64,
-        tile_h,
-        shapes,
-    );
-    match crop {
-        Some(size) => {
-            let origin = cardopc_geometry::Point::new(
-                ((clip.width() - size) * 0.5).max(0.0),
-                ((clip.height() - size) * 0.5).max(0.0),
-            );
-            let name = format!("{}@{}", clip.name(), size);
-            clip.crop_intersecting(origin, size, size, name)
-        }
-        None => clip,
-    }
-}
-
-fn parse_tiling(tiling: &Json) -> Result<TilingConfig, BadRequest> {
-    let Json::Obj(_) = tiling else {
-        return Err("'tiling' must be an object".into());
-    };
-    reject_unknown(tiling, &["tile", "halo"])?;
-    let tile_size = match tiling.get("tile") {
-        None => 4096.0,
-        Some(v) => v.as_f64().ok_or("'tiling.tile' must be a number")?,
-    };
-    let halo = match tiling.get("halo") {
-        None => 1024.0,
-        Some(v) => v.as_f64().ok_or("'tiling.halo' must be a number")?,
-    };
-    if !tile_size.is_finite() || tile_size <= 0.0 {
-        return Err("'tiling.tile' must be positive and finite".into());
-    }
-    if !halo.is_finite() || halo < 0.0 {
-        return Err("'tiling.halo' must be non-negative and finite".into());
-    }
-    Ok(TilingConfig { tile_size, halo })
-}
-
-/// Numeric `OpcConfig` overrides the wire format accepts on top of a
-/// preset. Deliberately a subset: the exotic fields (corner pull, relax
-/// schedule, conventions) stay preset-controlled.
-const OPC_KEYS: [&str; 7] = [
-    "preset",
-    "pitch",
-    "iterations",
-    "move_step",
-    "l_c",
-    "l_u",
-    "decay_at",
-];
-
-fn parse_opc(opc: &Json) -> Result<OpcConfig, BadRequest> {
-    let Json::Obj(_) = opc else {
-        return Err("'opc' must be an object".into());
-    };
-    reject_unknown(opc, &OPC_KEYS)?;
-    let mut config = match opc.get("preset") {
-        None => OpcConfig::large_scale(),
-        Some(v) => match v.as_str().ok_or("'opc.preset' must be a string")? {
-            "via" => OpcConfig::via(),
-            "metal" => OpcConfig::metal(),
-            "large_scale" => OpcConfig::large_scale(),
-            other => return Err(format!("unknown opc preset '{other}'")),
+        work: WorkSpec {
+            design,
+            tiling,
+            opc,
         },
-    };
-    if let Some(v) = opc.get("pitch") {
-        config.pitch = v.as_f64().ok_or("'opc.pitch' must be a number")?;
-    }
-    if let Some(v) = opc.get("iterations") {
-        config.iterations = v.as_usize().ok_or("'opc.iterations' must be an integer")?;
-    }
-    if let Some(v) = opc.get("move_step") {
-        config.move_step = v.as_f64().ok_or("'opc.move_step' must be a number")?;
-    }
-    if let Some(v) = opc.get("l_c") {
-        config.l_c = v.as_f64().ok_or("'opc.l_c' must be a number")?;
-    }
-    if let Some(v) = opc.get("l_u") {
-        config.l_u = v.as_f64().ok_or("'opc.l_u' must be a number")?;
-    }
-    if let Some(v) = opc.get("decay_at") {
-        config.decay_at = v.as_usize().ok_or("'opc.decay_at' must be an integer")?;
-    }
-    Ok(config)
-}
-
-/// Non-panicking mirror of [`OpcConfig::assert_valid`] (plus finiteness,
-/// which the panic path trusts the compiler's literals for).
-pub fn validate(config: &OpcConfig) -> Result<(), BadRequest> {
-    let finite_pos = |name: &str, v: f64| {
-        if v.is_finite() && v > 0.0 {
-            Ok(())
-        } else {
-            Err(format!("'opc.{name}' must be positive and finite"))
-        }
-    };
-    finite_pos("l_c", config.l_c)?;
-    finite_pos("l_u", config.l_u)?;
-    finite_pos("move_step", config.move_step)?;
-    finite_pos("pitch", config.pitch)?;
-    if config.iterations == 0 {
-        return Err("'opc.iterations' must be at least 1".into());
-    }
-    if !(config.decay_factor > 0.0 && config.decay_factor <= 1.0) {
-        return Err("'opc.decay_factor' must be in (0, 1]".into());
-    }
-    if !config.tension.is_finite() {
-        return Err("'opc.tension' must be finite".into());
-    }
-    if config.samples_per_segment == 0 {
-        return Err("'opc.samples_per_segment' must be at least 1".into());
-    }
-    if !config.epe_search.is_finite() || config.epe_search <= 0.0 {
-        return Err("'opc.epe_search' must be positive".into());
-    }
-    if config.dose_delta.is_nan() || config.dose_delta < 0.0 {
-        return Err("'opc.dose_delta' must be non-negative".into());
-    }
-    Ok(())
-}
-
-/// Validates a `run_dir` name: a single path component of safe
-/// characters, so a request can never escape the server's run root.
-fn sanitize_run_dir(name: &str) -> Result<String, BadRequest> {
-    if name.is_empty() || name.len() > 128 {
-        return Err("'run_dir' must be 1..=128 characters".into());
-    }
-    if !name
-        .bytes()
-        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
-    {
-        return Err("'run_dir' may only contain [A-Za-z0-9._-]".into());
-    }
-    if name.starts_with('.') {
-        return Err("'run_dir' must not start with '.'".into());
-    }
-    Ok(name.to_string())
-}
-
-/// Rejects object members outside `allowed` (strict wire format).
-fn reject_unknown(obj: &Json, allowed: &[&str]) -> Result<(), BadRequest> {
-    if let Json::Obj(members) = obj {
-        for (key, _) in members {
-            if !allowed.contains(&key.as_str()) {
-                return Err(format!("unknown field '{key}'"));
-            }
-        }
-    }
-    Ok(())
+    })
 }
 
 #[cfg(test)]
@@ -349,6 +152,8 @@ mod tests {
         assert!(spec.config.max_tiles.is_none());
         assert!(spec.cache, "cache defaults on");
         assert!(!spec.clip.targets().is_empty());
+        assert_eq!(spec.work.opc, spec.config.opc, "work spec mirrors the job");
+        assert_eq!(spec.work.build_clip().name(), spec.clip.name());
     }
 
     #[test]

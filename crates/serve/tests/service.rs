@@ -438,9 +438,14 @@ fn drain_stops_admission_and_settles_jobs() {
     let response = client::post_json(addr, "/admin/drain", "").unwrap();
     assert_eq!(response.status, 202);
 
-    // New work is refused while draining.
+    // New work is refused while draining — with a Retry-After, like the
+    // 429 backpressure path, so well-behaved clients back off the same way.
     let refused = client::post_json(addr, "/v1/jobs", SMOKE_JOB).unwrap();
     assert_eq!(refused.status, 503, "{}", refused.body_str());
+    assert!(
+        refused.header("retry-after").is_some(),
+        "503 draining must carry Retry-After"
+    );
     let health = client::get(addr, "/healthz").unwrap();
     assert_eq!(
         health.json().unwrap().get("draining").unwrap().as_bool(),
@@ -458,6 +463,170 @@ fn drain_stops_admission_and_settles_jobs() {
     let metrics = client::get(addr, "/metrics").unwrap().body_str();
     assert!(
         metrics.contains("cardopc_drain_rejected_total 1"),
+        "{metrics}"
+    );
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// The value of a counter/gauge line in a `/metrics` rendering.
+fn metric_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+        .unwrap_or_else(|| panic!("metric {name} missing:\n{metrics}"))
+}
+
+fn progress_cache_hits(doc: &Json) -> usize {
+    doc.get("progress")
+        .unwrap()
+        .get("cache_hits")
+        .unwrap()
+        .as_usize()
+        .unwrap()
+}
+
+#[test]
+fn sequential_jobs_share_the_cache_across_jobs_and_restarts() {
+    let root = temp_root("cache-e2e");
+    let cache_dir = root.join("cache");
+    let start_cached = |tag: &str| {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: Some(2),
+            run_root: root.join(tag),
+            cache_dir: Some(cache_dir.clone()),
+            ..ServeConfig::default()
+        })
+        .expect("cached server starts")
+    };
+
+    // Job 1 populates the cache; job 2 (identical spec, same server)
+    // replays every one of its 4 tiles from it.
+    let server = start_cached("first");
+    let addr = server.local_addr();
+    let first = submit(addr, SMOKE_JOB);
+    assert_eq!(state(&wait_terminal(addr, &first)), "done");
+    let hits_after_first = metric_value(
+        &client::get(addr, "/metrics").unwrap().body_str(),
+        "cardopc_cache_hits_total ",
+    );
+
+    let second = submit(addr, SMOKE_JOB);
+    let done = wait_terminal(addr, &second);
+    assert_eq!(state(&done), "done", "{done:?}");
+    assert_eq!(
+        progress_cache_hits(&done),
+        4,
+        "second job must replay all tiles from the shared cache: {done:?}"
+    );
+    let metrics = client::get(addr, "/metrics").unwrap().body_str();
+    assert_eq!(
+        metric_value(&metrics, "cardopc_cache_hits_total "),
+        hits_after_first + 4,
+        "cache hit counter must move with the second job"
+    );
+    assert!(metric_value(&metrics, "cardopc_cache_entries ") >= 1);
+    drop(server);
+
+    // A fresh server on the same cache_dir still replays: the cache
+    // outlives the process, not just the job.
+    let server = start_cached("second");
+    let addr = server.local_addr();
+    let third = submit(addr, SMOKE_JOB);
+    let done = wait_terminal(addr, &third);
+    assert_eq!(state(&done), "done", "{done:?}");
+    assert_eq!(
+        progress_cache_hits(&done),
+        4,
+        "restarted server must hit the on-disk cache: {done:?}"
+    );
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn failed_jobs_surface_the_underlying_error_detail() {
+    // Two executors so a second job can run into the first one's lock.
+    let (server, addr, root) = start("failure-detail", 4, 2);
+    let body = slow_job("lock-holder");
+
+    // The holder acquires the run-directory lock...
+    let holder = submit(addr, &body);
+    poll_until(addr, &holder, Duration::from_secs(120), |doc| {
+        doc.get("progress")
+            .unwrap()
+            .get("completed")
+            .unwrap()
+            .as_usize()
+            .unwrap()
+            >= 1
+    });
+    // ...so an identical concurrent job fails — and the status document
+    // must say *why*, not just "failed".
+    let conflicting = submit(addr, &body);
+    let failed = wait_terminal(addr, &conflicting);
+    assert_eq!(state(&failed), "failed", "{failed:?}");
+    let error = failed.get("error").unwrap().as_str().unwrap();
+    assert!(
+        error.contains("locked by live process"),
+        "failed state must carry the runtime's own message, got {error:?}"
+    );
+
+    // The result endpoint's 409 carries the same detail.
+    let result = client::get(addr, &format!("/v1/jobs/{conflicting}/result")).unwrap();
+    assert_eq!(result.status, 409, "{}", result.body_str());
+    assert!(
+        result.body_str().contains("locked by live process"),
+        "result 409 must explain the failure: {}",
+        result.body_str()
+    );
+
+    let cancel = client::post_json(addr, &format!("/v1/jobs/{holder}/cancel"), "").unwrap();
+    assert_eq!(cancel.status, 200);
+    wait_terminal(addr, &holder);
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn registered_fleet_workers_run_jobs_byte_identically() {
+    let (server, addr, root) = start("fleet", 4, 1);
+
+    // Register two spawn-local worker processes over the wire.
+    let created = client::post_json(addr, "/v1/workers", r#"{"spawn_local": 2}"#).unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_str());
+    let doc = created.json().unwrap();
+    assert_eq!(doc.get("total").unwrap().as_usize(), Some(2));
+
+    // The registry lists them as healthy; bad registrations are rejected.
+    let listing = client::get(addr, "/v1/workers").unwrap();
+    assert_eq!(listing.status, 200);
+    let listing = listing.json().unwrap();
+    assert_eq!(listing.get("count").unwrap().as_usize(), Some(2));
+    for worker in listing.get("workers").unwrap().as_arr().unwrap() {
+        assert_eq!(worker.get("healthy").unwrap().as_bool(), Some(true));
+    }
+    let bad = client::post_json(addr, "/v1/workers", r#"{"nope": 1}"#).unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.body_str());
+    let bad = client::post_json(addr, "/v1/workers", r#"{"spawn_local": 1, "addr": "x"}"#).unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.body_str());
+
+    // A job now routes through the fleet — and the client cannot tell:
+    // the result manifest is byte-identical to an in-process run.
+    let job = submit(addr, SMOKE_JOB);
+    let done = wait_terminal(addr, &job);
+    assert_eq!(state(&done), "done", "{done:?}");
+    assert_eq!(result_manifest(addr, &job), direct_manifest(SMOKE_JOB, 1));
+
+    let metrics = client::get(addr, "/metrics").unwrap().body_str();
+    assert_eq!(metric_value(&metrics, "cardopc_fleet_jobs_total "), 1);
+    assert_eq!(metric_value(&metrics, "cardopc_fleet_workers "), 2);
+    assert!(
+        metric_value(&metrics, "cardopc_fleet_tiles_dispatched_total ") >= 4,
         "{metrics}"
     );
 
