@@ -11,7 +11,7 @@
 
 use cardopc::fleet::spec::DesignSpec;
 use cardopc::fleet::worker::{WorkerConfig, WorkerServer};
-use cardopc::fleet::{run_fleet, FleetConfig, WorkSpec};
+use cardopc::fleet::{client, proto, run_fleet, FleetConfig, WorkSpec};
 use cardopc::layout::DesignKind;
 use cardopc::litho::WorkerPool;
 use cardopc::opc::OpcConfig;
@@ -95,6 +95,62 @@ fn bench_fleet_scaling(c: &mut Criterion) {
     println!(
         "fleet_scaling_4x4: 16 tiles over the wire; manifests byte-identical \
          to single-process for every worker count"
+    );
+
+    report_dispatch_overhead(&spec);
+}
+
+/// Measures the pure per-tile dispatch tax — the wire round-trip with no
+/// correction attached — by re-dispatching an already-checkpointed tile,
+/// which the worker answers from its checkpoint map.
+///
+/// Two client modes: a fresh TCP connection per request (the coordinator's
+/// pre-keep-alive behaviour) and one kept-alive connection reused across
+/// requests (what dispatch lanes do now). The gap between the two is the
+/// connect/teardown cost the keep-alive lanes removed.
+fn report_dispatch_overhead(spec: &WorkSpec) {
+    use std::time::{Duration, Instant};
+
+    let worker = WorkerServer::start(WorkerConfig::default()).unwrap();
+    let addr = worker.local_addr();
+    let body = proto::dispatch_body(spec, 0);
+    let timeout = Duration::from_secs(30);
+
+    // Prime: correct tile 0 once so every timed dispatch replays the
+    // checkpoint instead of recomputing.
+    let primed = client::request_with_timeout(addr, "POST", "/v1/tiles", Some(&body), timeout)
+        .expect("prime dispatch failed");
+    assert_eq!(primed.status, 200, "{}", primed.body_str());
+
+    const ROUNDS: u32 = 200;
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        let r = client::request_with_timeout(addr, "POST", "/v1/tiles", Some(&body), timeout)
+            .expect("one-shot dispatch failed");
+        assert_eq!(r.status, 200);
+    }
+    let per_connect = start.elapsed().as_secs_f64() * 1e3 / f64::from(ROUNDS);
+
+    let mut connection = client::Connection::new(addr);
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        let r = connection
+            .request_with_timeout("POST", "/v1/tiles", Some(&body), timeout)
+            .expect("keep-alive dispatch failed");
+        assert_eq!(r.status, 200);
+    }
+    let per_keepalive = start.elapsed().as_secs_f64() * 1e3 / f64::from(ROUNDS);
+    assert_eq!(
+        connection.reused(),
+        u64::from(ROUNDS) - 1,
+        "keep-alive lane must reuse its stream"
+    );
+
+    println!(
+        "fleet dispatch overhead ({ROUNDS} checkpoint-replay round-trips): \
+         {per_connect:.3} ms/tile fresh-connection, {per_keepalive:.3} ms/tile keep-alive \
+         ({:.1}% of the fresh-connection tax removed)",
+        (1.0 - per_keepalive / per_connect) * 100.0
     );
 }
 

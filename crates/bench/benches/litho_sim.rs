@@ -22,16 +22,25 @@ fn mask_with_squares(edge: usize, pitch: f64) -> Grid {
 }
 
 fn bench_aerial(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aerial_image");
-    group.sample_size(10);
-    for edge in [128usize, 256, 512] {
-        let engine = LithoEngine::new(OpticsConfig::default(), edge, edge, 8.0).unwrap();
-        let mask = mask_with_squares(edge, 8.0);
-        group.bench_function(format!("{edge}x{edge}"), |b| {
-            b.iter(|| black_box(engine.aerial_image(black_box(&mask)).unwrap()))
-        });
+    use cardopc::litho::Precision;
+    for precision in [Precision::F64, Precision::F32] {
+        let name = match precision {
+            Precision::F64 => "aerial_image".to_string(),
+            Precision::F32 => "aerial_image_f32".to_string(),
+        };
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+        for edge in [128usize, 256, 512] {
+            let engine =
+                LithoEngine::with_precision(OpticsConfig::default(), edge, edge, 8.0, precision)
+                    .unwrap();
+            let mask = mask_with_squares(edge, 8.0);
+            group.bench_function(format!("{edge}x{edge}"), |b| {
+                b.iter(|| black_box(engine.aerial_image(black_box(&mask)).unwrap()))
+            });
+        }
+        group.finish();
     }
-    group.finish();
 }
 
 fn bench_fft(c: &mut Criterion) {
@@ -39,7 +48,7 @@ fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft2");
     for edge in [128usize, 256, 512] {
         let data: Vec<f64> = (0..edge * edge).map(|i| (i % 7) as f64).collect();
-        let field = Field::from_real(edge, edge, &data);
+        let field: Field = Field::from_real(edge, edge, &data);
         group.bench_function(format!("{edge}x{edge}"), |b| {
             b.iter(|| {
                 let mut f = field.clone();

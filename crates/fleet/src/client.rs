@@ -1,8 +1,15 @@
-//! A tiny blocking HTTP client for tests, smoke scripts, and CI.
+//! A tiny blocking HTTP client for the coordinator, tests, smoke
+//! scripts, and CI.
 //!
-//! Speaks exactly the subset the server does — one request per
-//! connection, `Content-Length` framing, `Connection: close` — so a test
-//! exercises the real wire path end to end without external tooling.
+//! Two flavours share one wire parser:
+//!
+//! - the free functions ([`request`], [`get`], ...) open a fresh
+//!   connection per request (`Connection: close`, read to EOF) — fine
+//!   for tests and one-shot admin calls;
+//! - [`Connection`] keeps one TCP connection alive across requests
+//!   (`Connection: keep-alive`, `Content-Length`-framed reads) — the
+//!   coordinator holds one per dispatch lane so the per-tile dispatch
+//!   path pays no connect/teardown tax.
 
 use cardopc_json::Json;
 use std::io::{self, Read, Write};
@@ -108,6 +115,165 @@ pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<HttpRes
 /// See [`request`].
 pub fn delete(addr: SocketAddr, path: &str) -> io::Result<HttpResponse> {
     request(addr, "DELETE", path, None)
+}
+
+/// A keep-alive HTTP connection to one peer.
+///
+/// The first request connects lazily; later requests reuse the stream.
+/// Responses are `Content-Length`-framed (reading to EOF would wait out
+/// the peer, which is holding the connection open on purpose). A request
+/// that fails on a *reused* stream retries once on a fresh connection —
+/// the idle server end may have timed the old one out between requests —
+/// so callers see a stale-connection race as one successful request, not
+/// an error. Tile dispatch is idempotent (workers answer re-sends from
+/// their checkpoint), which is what makes the retry safe.
+#[derive(Debug)]
+pub struct Connection {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Requests that reused an already-open stream (telemetry for the
+    /// dispatch-overhead accounting in the scaling bench).
+    reused: u64,
+}
+
+impl Connection {
+    /// A connection handle to `addr`; nothing is connected yet.
+    pub fn new(addr: SocketAddr) -> Connection {
+        Connection {
+            addr,
+            stream: None,
+            reused: 0,
+        }
+    }
+
+    /// The peer address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many requests reused an already-open stream.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Sends one request over the kept-alive stream and reads the framed
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Connection/IO failures (after the single stale-reuse retry) and
+    /// unparseable responses.
+    pub fn request_with_timeout(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        timeout: Duration,
+    ) -> io::Result<HttpResponse> {
+        let had_stream = self.stream.is_some();
+        match self.try_request(method, path, body, timeout) {
+            Ok(response) => {
+                if had_stream {
+                    self.reused += 1;
+                }
+                Ok(response)
+            }
+            // The reused stream was stale (server idle-timeout, worker
+            // restart); retry once on a fresh connection. `try_request`
+            // already dropped the dead stream.
+            Err(_) if had_stream => self.try_request(method, path, body, timeout),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        timeout: Duration,
+    ) -> io::Result<HttpResponse> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, timeout)?;
+            // Small request/response exchanges on a long-lived stream are
+            // exactly what Nagle + delayed-ACK punishes (~40 ms per
+            // coalesced write); send segments immediately.
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("just ensured");
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let body = body.unwrap_or("");
+        // One buffer, one write: a head-then-body write pair on a reused
+        // stream can stall on the peer's delayed ACK.
+        let mut message = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        message.push_str(body);
+        let result = stream
+            .write_all(message.as_bytes())
+            .and_then(|()| stream.flush())
+            .and_then(|()| read_framed_response(stream));
+        match result {
+            Ok(response) => {
+                // Honour the server's decision to close (errors, drains).
+                if response
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                {
+                    self.stream = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one `Content-Length`-framed response off a kept-alive stream.
+fn read_framed_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let mut chunk = [0u8; 8192];
+        match stream.read(&mut chunk)? {
+            0 => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let mut response = parse_response(&buf[..head_end + 4])?;
+    let content_length = match response.header("content-length") {
+        Some(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| bad("bad content-length in response"))?,
+        None => return Err(bad("response lacks content-length")),
+    };
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 8192];
+        match stream.read(&mut chunk)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated body",
+                ))
+            }
+            n => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
+    response.body = body;
+    Ok(response)
 }
 
 /// Writes arbitrary bytes to the server and reads until the connection

@@ -487,24 +487,26 @@ enum Claim {
 /// One dispatch lane: claim → HTTP dispatch (lease = IO timeout) →
 /// settle. Exits when all tiles are done, the run is aborted/cancelled,
 /// or its worker is retired.
+///
+/// Each lane owns one keep-alive [`client::Connection`] to its worker, so
+/// after the first tile a dispatch costs a request/response exchange, not
+/// a TCP connect + teardown per tile. A stale connection (worker idle
+/// timeout between tiles) is retried once on a fresh one inside the
+/// client; dispatch is idempotent, so the retry is safe.
 fn lane_loop(shared: &Shared<'_>, worker_id: usize) {
+    let addr = {
+        let state = shared.lock();
+        state.workers[worker_id].addr
+    };
+    let mut connection = client::Connection::new(addr);
     loop {
         let claim = claim_tile(shared, worker_id);
         let Claim::Dispatch { pos, index, hash } = claim else {
             break;
         };
-        let addr = {
-            let state = shared.lock();
-            state.workers[worker_id].addr
-        };
         let body = proto::dispatch_body(shared.spec, index);
-        let outcome = client::request_with_timeout(
-            addr,
-            "POST",
-            "/v1/tiles",
-            Some(&body),
-            shared.config.lease,
-        )
+        let outcome = connection
+            .request_with_timeout("POST", "/v1/tiles", Some(&body), shared.config.lease)
         .map_err(|e| (false, e.to_string()))
         .and_then(|response| {
             if response.status == 200 {

@@ -3,11 +3,15 @@
 //! The build containers have no crates.io access, so — like the in-repo
 //! proptest/criterion stand-ins — the server speaks HTTP with its own
 //! parser over [`std::net::TcpStream`]. The subset is deliberately small
-//! and strict: one request per connection (`Connection: close` on every
-//! response), `Content-Length` framing only (chunked bodies are answered
-//! with 501), and hard limits on header and body sizes so a hostile peer
-//! cannot grow memory unboundedly. Every parse failure maps to a 4xx/5xx
-//! status; the connection handler never panics on malformed input.
+//! and strict: `Content-Length` framing only (chunked bodies are answered
+//! with 501) and hard limits on header and body sizes so a hostile peer
+//! cannot grow memory unboundedly. Connections default to one request
+//! (`Connection: close`); a server may grant an explicit
+//! `Connection: keep-alive` request header via
+//! [`Response::write_framed`] — the fleet worker does, so coordinator
+//! dispatch lanes reuse one stream across tiles. Every parse failure maps
+//! to a 4xx/5xx status; the connection handler never panics on malformed
+//! input.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -48,6 +52,17 @@ impl Request {
     /// The body as UTF-8, if valid.
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Whether the peer asked to keep the connection open for further
+    /// requests (`Connection: keep-alive`). Absent or any other value —
+    /// including HTTP/1.1's implicit default — is treated as close: every
+    /// in-repo client that wants reuse says so explicitly, and one
+    /// request per connection stays the conservative default for
+    /// everything else.
+    pub fn wants_keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
     }
 }
 
@@ -257,11 +272,21 @@ impl Response {
         self
     }
 
-    /// Serialises and writes the response; errors are swallowed (the peer
-    /// may already be gone, which is its prerogative).
+    /// Serialises and writes the response with `Connection: close`;
+    /// errors are swallowed (the peer may already be gone, which is its
+    /// prerogative).
     pub fn write(&self, stream: &mut TcpStream) {
+        self.write_framed(stream, false);
+    }
+
+    /// [`Response::write`] with an explicit connection disposition:
+    /// `keep_alive` answers `Connection: keep-alive` so the peer may send
+    /// another request on the same stream (the fleet worker grants this
+    /// to coordinator dispatch lanes).
+    pub fn write_framed(&self, stream: &mut TcpStream, keep_alive: bool) {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
@@ -274,10 +299,11 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        let _ = stream
-            .write_all(head.as_bytes())
-            .and_then(|()| stream.write_all(&self.body))
-            .and_then(|()| stream.flush());
+        // Head and body go out in one write: separate small writes on a
+        // kept-alive stream can stall on Nagle + the peer's delayed ACK.
+        let mut message = head.into_bytes();
+        message.extend_from_slice(&self.body);
+        let _ = stream.write_all(&message).and_then(|()| stream.flush());
     }
 }
 

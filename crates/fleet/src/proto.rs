@@ -1,7 +1,9 @@
 //! The coordinator ↔ worker wire schema.
 //!
 //! Four endpoints, all over the same HTTP/1.1 subset `cardopc-serve`
-//! speaks (one request per connection, `Content-Length` framing):
+//! speaks (`Content-Length` framing; workers additionally honour
+//! `Connection: keep-alive`, so a dispatch lane reuses one stream for
+//! every tile it sends):
 //!
 //! | Method & path          | Purpose                                       |
 //! |------------------------|-----------------------------------------------|

@@ -171,7 +171,7 @@ pub fn parse_tiling(tiling: &Json) -> Result<TilingConfig, BadRequest> {
 /// schedule, conventions) stay preset-controlled. (The fleet work-unit
 /// format is different — it carries the *full* config; see
 /// [`WorkSpec::from_json`].)
-const OPC_KEYS: [&str; 7] = [
+const OPC_KEYS: [&str; 8] = [
     "preset",
     "pitch",
     "iterations",
@@ -179,6 +179,7 @@ const OPC_KEYS: [&str; 7] = [
     "l_c",
     "l_u",
     "decay_at",
+    "precision",
 ];
 
 /// Parses an `opc` object: a preset name plus numeric overrides.
@@ -218,7 +219,19 @@ pub fn parse_opc(opc: &Json) -> Result<OpcConfig, BadRequest> {
     if let Some(v) = opc.get("decay_at") {
         config.decay_at = v.as_usize().ok_or("'opc.decay_at' must be an integer")?;
     }
+    if let Some(v) = opc.get("precision") {
+        config.precision = parse_precision(v)?;
+    }
     Ok(config)
+}
+
+/// Parses a precision value strictly: exactly `"f64"` or `"f32"`, with a
+/// field-naming message for everything else. Shared by the job wire format
+/// (optional, defaults to `f64`) and the fleet work-unit format (required).
+fn parse_precision(v: &Json) -> Result<cardopc_litho::Precision, BadRequest> {
+    v.as_str()
+        .and_then(cardopc_litho::Precision::parse)
+        .ok_or_else(|| "'opc.precision' must be \"f64\" or \"f32\"".into())
 }
 
 /// Non-panicking mirror of [`OpcConfig::assert_valid`] (plus finiteness,
@@ -381,6 +394,7 @@ fn opc_to_json(config: &OpcConfig) -> Json {
         sraf,
         mrc,
         convention,
+        precision,
     } = config;
     let mut members = vec![
         ("l_c", Json::Num(*l_c)),
@@ -443,6 +457,7 @@ fn opc_to_json(config: &OpcConfig) -> Json {
             }
         },
     ));
+    members.push(("precision", Json::Str(precision.name().into())));
     Json::obj(members)
 }
 
@@ -474,6 +489,7 @@ fn opc_from_json(json: &Json) -> Result<OpcConfig, BadRequest> {
             "sraf",
             "mrc",
             "convention",
+            "precision",
         ],
     )?;
     let num = |key: &str| -> Result<f64, BadRequest> {
@@ -538,6 +554,13 @@ fn opc_from_json(json: &Json) -> Result<OpcConfig, BadRequest> {
             )
         }
     };
+    // REQUIRED, like every other field of the full-config format: a worker
+    // must never fall back to a default precision and silently produce
+    // results the coordinator would reject by hash.
+    let precision = match json.get("precision") {
+        None => return Err("missing 'opc.precision' (\"f64\" or \"f32\")".into()),
+        Some(v) => parse_precision(v)?,
+    };
     Ok(OpcConfig {
         l_c: num("l_c")?,
         l_u: num("l_u")?,
@@ -561,6 +584,7 @@ fn opc_from_json(json: &Json) -> Result<OpcConfig, BadRequest> {
         sraf,
         mrc,
         convention,
+        precision,
     })
 }
 
@@ -622,6 +646,60 @@ mod tests {
         for bad in [r#"{"preset": "nope"}"#, r#"{"mystery": 1}"#] {
             assert!(parse_opc(&parse(bad)).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn opc_precision_is_strict() {
+        use cardopc_litho::Precision;
+        // Absent: the job format defaults to the preset's f64.
+        assert_eq!(parse_opc(&parse("{}")).unwrap().precision, Precision::F64);
+        let c = parse_opc(&parse(r#"{"precision": "f32"}"#)).unwrap();
+        assert_eq!(c.precision, Precision::F32);
+        let c = parse_opc(&parse(r#"{"precision": "f64"}"#)).unwrap();
+        assert_eq!(c.precision, Precision::F64);
+        // Anything else names the field in the rejection.
+        for bad in [
+            r#"{"precision": "f16"}"#,
+            r#"{"precision": "F32"}"#,
+            r#"{"precision": "double"}"#,
+            r#"{"precision": 32}"#,
+            r#"{"precision": null}"#,
+        ] {
+            let err = parse_opc(&parse(bad)).unwrap_err();
+            assert!(
+                err.contains("'opc.precision'"),
+                "message must name the field: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_spec_requires_precision_and_roundtrips_f32() {
+        let mut opc = OpcConfig::large_scale();
+        opc.precision = cardopc_litho::Precision::F32;
+        let spec = WorkSpec {
+            design: DesignSpec {
+                kind: DesignKind::Gcd,
+                tiles: 1,
+                crop: None,
+            },
+            tiling: TilingConfig {
+                tile_size: 1024.0,
+                halo: 256.0,
+            },
+            opc,
+        };
+        let text = spec.to_json().to_string_compact();
+        assert!(text.contains(r#""precision":"f32""#), "wire form: {text}");
+        let back = WorkSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        // A spec with the field stripped must be rejected, not defaulted.
+        let stripped = text.replace(r#","precision":"f32""#, "");
+        let err = WorkSpec::from_json(&Json::parse(&stripped).unwrap()).unwrap_err();
+        assert!(
+            err.contains("missing 'opc.precision'"),
+            "message was: {err}"
+        );
     }
 
     #[test]

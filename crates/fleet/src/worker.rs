@@ -243,22 +243,40 @@ fn accept_loop(listener: TcpListener, state: &Arc<WorkerState>) {
 }
 
 fn handle_connection(mut stream: TcpStream, state: &Arc<WorkerState>) {
+    // Keep-alive lanes exchange small messages back to back; Nagle would
+    // add delayed-ACK stalls between them.
+    let _ = stream.set_nodelay(true);
     // Shed load instead of spawning handler work unboundedly; correction
-    // requests can hold a thread for seconds.
+    // requests can hold a thread for seconds. Keep-alive lanes hold their
+    // connection for a whole run, but there are only workers × window of
+    // them — far under the cap.
     if state.active_connections.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS {
         Response::error(503, "worker is saturated").write(&mut stream);
         state.active_connections.fetch_sub(1, Ordering::AcqRel);
         return;
     }
-    let response = match http::read_request(&mut stream) {
-        ReadOutcome::Disconnected => {
-            state.active_connections.fetch_sub(1, Ordering::AcqRel);
-            return;
+    // Serve requests until the peer closes, stops asking for keep-alive,
+    // sends garbage, or the worker is shutting down. Coordinator dispatch
+    // lanes ride one connection across every tile they dispatch; plain
+    // `Connection: close` clients get the old one-request behaviour.
+    loop {
+        let request = match http::read_request(&mut stream) {
+            ReadOutcome::Disconnected => break,
+            ReadOutcome::Malformed(e) => {
+                // Framing is unrecoverable after a malformed request;
+                // answer and close.
+                Response::error(e.status, &e.message).write(&mut stream);
+                break;
+            }
+            ReadOutcome::Request(request) => request,
+        };
+        let keep_alive = request.wants_keep_alive() && !state.stopping.load(Ordering::Acquire);
+        let response = route(&request, state);
+        response.write_framed(&mut stream, keep_alive);
+        if !keep_alive {
+            break;
         }
-        ReadOutcome::Malformed(e) => Response::error(e.status, &e.message),
-        ReadOutcome::Request(request) => route(&request, state),
-    };
-    response.write(&mut stream);
+    }
     state.active_connections.fetch_sub(1, Ordering::AcqRel);
 }
 

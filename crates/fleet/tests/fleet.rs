@@ -281,6 +281,46 @@ fn coordinator_run_dir_resumes_without_asking_workers() {
 }
 
 #[test]
+fn keep_alive_connection_reuses_one_stream_across_requests() {
+    let w = worker();
+    let mut conn = client::Connection::new(w.local_addr());
+    for _ in 0..3 {
+        let r = conn
+            .request_with_timeout("GET", "/healthz", None, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("connection"), Some("keep-alive"));
+    }
+    assert_eq!(conn.reused(), 2, "requests 2 and 3 must reuse the stream");
+}
+
+#[test]
+fn stale_keep_alive_stream_is_retried_on_a_fresh_connection() {
+    // A server that grants keep-alive but drops the stream after every
+    // response — the idle-timeout race a lane can hit between tiles.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            if let ReadOutcome::Request(_) = http::read_request(&mut stream) {
+                Response::text(200, "ok").write_framed(&mut stream, true);
+            }
+        }
+    });
+    let mut conn = client::Connection::new(addr);
+    for _ in 0..3 {
+        let r = conn
+            .request_with_timeout("GET", "/x", None, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(
+            r.status, 200,
+            "stale reuse must retry, not surface an error"
+        );
+    }
+}
+
+#[test]
 fn unusable_fleets_error_instead_of_hanging() {
     let spec = spec();
     let err = run_fleet(&spec, &FleetConfig::default(), &RunControl::default()).unwrap_err();

@@ -14,7 +14,7 @@
 
 use cardopc_geometry::Grid;
 use cardopc_litho::fft::{FftScratch, Field};
-use cardopc_litho::{LithoEngine, LithoError, WorkerPool};
+use cardopc_litho::{LithoEngine, LithoError, Precision, Scalar, SocsKernel, WorkerPool};
 
 /// Configuration of the pixel ILT optimiser.
 #[derive(Clone, Debug, PartialEq)]
@@ -95,9 +95,36 @@ pub fn pixel_ilt(
             got: (target.width(), target.height()),
         });
     }
+    // The gradient loop runs at the engine's simulation precision: the f64
+    // path borrows the reference kernel stack directly, the f32 path
+    // narrows it once per call (pixel ILT runs once per tile — the narrow
+    // is noise next to the iteration loop it feeds).
+    match engine.precision() {
+        Precision::F64 => pixel_ilt_impl(engine, target, config, engine.nominal_kernels()),
+        Precision::F32 => {
+            let kernels: Vec<SocsKernel<f32>> = engine
+                .nominal_kernels()
+                .iter()
+                .map(SocsKernel::to_precision)
+                .collect();
+            pixel_ilt_impl(engine, target, config, &kernels)
+        }
+    }
+}
+
+/// The optimiser loop, generic over the simulation scalar. Parameters,
+/// losses and the returned mask stay `f64`; the Hopkins forward/backward
+/// passes (coherent fields, spectra, accumulator strips and the resist
+/// sensitivity field `F`) run in `T`.
+fn pixel_ilt_impl<T: Scalar>(
+    engine: &LithoEngine,
+    target: &Grid,
+    config: &IltConfig,
+    kernels: &[SocsKernel<T>],
+) -> Result<IltOutcome, LithoError> {
+    let (w, h) = (engine.width(), engine.height());
     let n = w * h;
     let threshold = engine.threshold();
-    let kernels = engine.nominal_kernels();
 
     // Parameter initialisation from the target.
     let mut params: Vec<f64> = target
@@ -122,21 +149,26 @@ pub fn pixel_ilt(
     // chunked in ascending order, each kernel accumulates into its own
     // strip, and the strips are reduced in ascending kernel order — so
     // results are byte-identical for any worker count (per dispatch mode).
-    struct IltSlot {
+    struct IltSlot<T: Scalar> {
         /// `F ⊙ A_k` and its forward transform.
-        work: Field,
+        work: Field<T>,
         /// `FFT(F ⊙ A_k) ⊙ H_k*` and its inverse transform.
-        prod: Field,
+        prod: Field<T>,
         /// FFT scratch (ping-pong, transpose and column-gather lanes).
-        scratch: FftScratch,
+        scratch: FftScratch<T>,
     }
+    /// Per-task work unit: a slot plus its chunk of coherent fields A_k and
+    /// accumulator strips (fields mutable in the forward pass, read-only in
+    /// the backward pass).
+    type FwdUnit<'a, T> = (&'a mut IltSlot<T>, &'a mut [Field<T>], &'a mut [T]);
+    type BwdUnit<'a, T> = (&'a mut IltSlot<T>, &'a [Field<T>], &'a mut [T]);
     let pool = WorkerPool::global();
     let tasks = engine.workers().clamp(1, kernels.len().max(1));
     let chunk = kernels.len().div_ceil(tasks);
     // The pruned inverse transforms are unscaled; fold both axes'
     // normalisations into the accumulation weights instead.
     let inv_n2 = 1.0 / (n as f64 * n as f64);
-    let mut slots: Vec<IltSlot> = (0..tasks)
+    let mut slots: Vec<IltSlot<T>> = (0..tasks)
         .map(|_| IltSlot {
             work: Field::zeros(w, h),
             prod: Field::zeros(w, h),
@@ -145,13 +177,13 @@ pub fn pixel_ilt(
         .collect();
     // One accumulator strip per kernel, shared by forward (w·|z|²) and
     // backward (w·Re) passes; reduced in ascending kernel order.
-    let mut strips = vec![0.0f64; kernels.len().max(1) * n];
-    let mut a_fields: Vec<Field> = kernels.iter().map(|_| Field::zeros(w, h)).collect();
-    let mut spectrum = Field::zeros(w, h);
-    let mut fwd_scratch = FftScratch::new();
+    let mut strips = vec![T::ZERO; kernels.len().max(1) * n];
+    let mut a_fields: Vec<Field<T>> = kernels.iter().map(|_| Field::zeros(w, h)).collect();
+    let mut spectrum: Field<T> = Field::zeros(w, h);
+    let mut fwd_scratch: FftScratch<T> = FftScratch::new();
     let mut intensity = vec![0.0f64; n];
     let mut grad_m = vec![0.0f64; n];
-    let mut f_field = vec![0.0f64; n]; // F = 2(Z-Ẑ)·Z(1-Z)·θ_Z
+    let mut f_field = vec![T::ZERO; n]; // F = 2(Z-Ẑ)·Z(1-Z)·θ_Z
     let mut blur_scratch: Vec<f64> = Vec::new();
 
     let mut mask_vals = vec![0.0f64; n];
@@ -168,7 +200,7 @@ pub fn pixel_ilt(
         spectrum.fill_forward_real_with(&mask_vals, &mut fwd_scratch);
         {
             let spectrum = &spectrum;
-            let mut units: Vec<(&mut IltSlot, &mut [Field], &mut [f64])> = slots
+            let mut units: Vec<FwdUnit<T>> = slots
                 .iter_mut()
                 .zip(a_fields.chunks_mut(chunk))
                 .zip(strips.chunks_mut(chunk * n))
@@ -180,10 +212,10 @@ pub fn pixel_ilt(
                     .zip(kernels.iter().skip(t * chunk))
                     .zip(strip_chunk.chunks_mut(n))
                 {
-                    strip.fill(0.0);
+                    strip.fill(T::ZERO);
                     spectrum.mul_pointwise_pruned_into(&kernel.transfer, &kernel.live_rows, a);
                     a.ifft2_pruned_unscaled(&kernel.live_rows, &mut slot.scratch);
-                    a.accumulate_norm_sq(kernel.weight * inv_n2, strip);
+                    a.accumulate_norm_sq(T::from_f64(kernel.weight * inv_n2), strip);
                 }
             });
         }
@@ -196,7 +228,7 @@ pub fn pixel_ilt(
             let zt = if target.data()[i] > 0.5 { 1.0 } else { 0.0 };
             let diff = z - zt;
             loss += diff * diff;
-            f_field[i] = 2.0 * diff * z * (1.0 - z) * config.theta_resist;
+            f_field[i] = T::from_f64(2.0 * diff * z * (1.0 - z) * config.theta_resist);
         }
         loss_history.push(loss / n as f64);
 
@@ -206,7 +238,7 @@ pub fn pixel_ilt(
         // `inv_n2` in the accumulation weight restores the true scale.
         {
             let f_field = &f_field;
-            let mut units: Vec<(&mut IltSlot, &[Field], &mut [f64])> = slots
+            let mut units: Vec<BwdUnit<T>> = slots
                 .iter_mut()
                 .zip(a_fields.chunks(chunk))
                 .zip(strips.chunks_mut(chunk * n))
@@ -218,7 +250,7 @@ pub fn pixel_ilt(
                     .zip(kernels.iter().skip(t * chunk))
                     .zip(strip_chunk.chunks_mut(n))
                 {
-                    strip.fill(0.0);
+                    strip.fill(T::ZERO);
                     a.mul_real_into(f_field, &mut slot.work);
                     slot.work.fft2_inplace_with(false, &mut slot.scratch);
                     slot.work.mul_conj_pointwise_pruned_into(
@@ -228,7 +260,8 @@ pub fn pixel_ilt(
                     );
                     slot.prod
                         .ifft2_pruned_unscaled(&kernel.live_rows, &mut slot.scratch);
-                    slot.prod.accumulate_re(2.0 * kernel.weight * inv_n2, strip);
+                    slot.prod
+                        .accumulate_re(T::from_f64(2.0 * kernel.weight * inv_n2), strip);
                 }
             });
         }
@@ -257,17 +290,21 @@ pub fn pixel_ilt(
 
 /// Left-folds `count` per-kernel strips of `stride` samples into `out`, in
 /// ascending kernel order — a summation tree independent of how the kernels
-/// were chunked across pool tasks.
-fn reduce_strips(strips: &[f64], count: usize, stride: usize, out: &mut [f64]) {
+/// were chunked across pool tasks. Each strip sample is widened and the
+/// fold accumulates in the `f64` output domain (still a fixed tree, so
+/// still byte-deterministic across worker counts for any `T`).
+fn reduce_strips<T: Scalar>(strips: &[T], count: usize, stride: usize, out: &mut [f64]) {
     if count == 0 {
         out.fill(0.0);
         return;
     }
-    out.copy_from_slice(&strips[..stride]);
+    for (dst, &v) in out.iter_mut().zip(&strips[..stride]) {
+        *dst = v.to_f64();
+    }
     for k in 1..count {
         let src = &strips[k * stride..(k + 1) * stride];
         for (dst, &v) in out.iter_mut().zip(src) {
-            *dst += v;
+            *dst += v.to_f64();
         }
     }
 }
@@ -385,6 +422,48 @@ mod tests {
         for &v in out.binary_mask.data() {
             assert!(v == 0.0 || v == 1.0);
         }
+    }
+
+    #[test]
+    fn f32_ilt_tracks_f64_loss_and_mask() {
+        let e64 = small_engine();
+        let cfg32 = OpticsConfig {
+            source_rings: 1,
+            points_per_ring: 4,
+            ..OpticsConfig::default()
+        };
+        let mut e32 =
+            LithoEngine::with_precision(cfg32, 64, 64, 8.0, cardopc_litho::Precision::F32).unwrap();
+        // Share the calibrated threshold so both runs optimise against the
+        // same resist model; only the interior arithmetic differs.
+        e32.set_threshold(e64.threshold());
+        assert_eq!(e32.precision(), cardopc_litho::Precision::F32);
+        let target = square_target(&e64, 10);
+        let cfg = IltConfig {
+            iterations: 10,
+            ..IltConfig::default()
+        };
+        let out64 = pixel_ilt(&e64, &target, &cfg).unwrap();
+        let out32 = pixel_ilt(&e32, &target, &cfg).unwrap();
+        for (i, (a, b)) in out32
+            .loss_history
+            .iter()
+            .zip(&out64.loss_history)
+            .enumerate()
+        {
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                "iteration {i}: f32 loss {a} vs f64 loss {b}"
+            );
+        }
+        let drift = out32
+            .mask
+            .data()
+            .iter()
+            .zip(out64.mask.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(drift < 5e-2, "max mask drift {drift}");
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! The lithography simulation engine (Hopkins Eq. 1 via SOCS kernels).
 
+use crate::backend::{make_backend, LithoBackend};
 use crate::optics::{build_kernels, OpticsConfig, SocsKernel};
 use crate::pool::WorkerPool;
-use crate::workspace::LithoWorkspace;
+use crate::scalar::Precision;
 use crate::LithoError;
 use cardopc_geometry::Grid;
-use std::sync::{Mutex, TryLockError};
+use std::sync::Arc;
 
 /// A process condition at which the mask can be printed.
 ///
@@ -69,16 +70,22 @@ pub struct LithoEngine {
     height: usize,
     pitch: f64,
     threshold: f64,
-    nominal: Vec<SocsKernel>,
-    defocused: Vec<SocsKernel>,
+    /// Reference (`f64`) kernel stacks — always synthesised in double
+    /// precision whatever the simulation backend runs, so gradient-based
+    /// ILT and kernel introspection see one set of physics.
+    nominal: Arc<Vec<SocsKernel>>,
+    defocused: Arc<Vec<SocsKernel>>,
     /// Parallel task-slot count, resolved once at construction from the
     /// shared pool (itself sized from `CARDOPC_THREADS` or the machine's
     /// available parallelism) — never queried per call.
     workers: usize,
-    /// Reusable hot-loop buffers; `aerial_image` is zero-allocation per
-    /// kernel after the first call. Falls back to a transient workspace if
-    /// the engine is used from several threads at once.
-    workspace: Mutex<LithoWorkspace>,
+    /// Interior arithmetic of the simulation backend.
+    precision: Precision,
+    /// The simulation backend: owns the hot-loop workspace and, for reduced
+    /// precisions, a narrowed copy of the kernel stacks. Repeat calls are
+    /// allocation-free; concurrent callers on the same engine fall back to
+    /// a transient workspace rather than serialising on the lock.
+    backend: Box<dyn LithoBackend>,
 }
 
 impl Clone for LithoEngine {
@@ -89,11 +96,12 @@ impl Clone for LithoEngine {
             height: self.height,
             pitch: self.pitch,
             threshold: self.threshold,
-            nominal: self.nominal.clone(),
-            defocused: self.defocused.clone(),
+            nominal: Arc::clone(&self.nominal),
+            defocused: Arc::clone(&self.defocused),
             workers: self.workers,
-            // Scratch is not shared between clones; it refills lazily.
-            workspace: Mutex::new(LithoWorkspace::new()),
+            precision: self.precision,
+            // Kernel stacks are shared; scratch is not — it refills lazily.
+            backend: self.backend.clone_box(),
         }
     }
 }
@@ -121,8 +129,37 @@ impl LithoEngine {
         height: usize,
         pitch: f64,
     ) -> Result<Self, LithoError> {
-        let nominal = build_kernels(&config, width, height, pitch, 0.0)?;
-        let defocused = build_kernels(&config, width, height, pitch, config.defocus)?;
+        Self::with_precision(config, width, height, pitch, Precision::F64)
+    }
+
+    /// Builds an engine whose simulation interior runs at `precision`.
+    ///
+    /// Kernel synthesis always happens in `f64`; an `F32` engine narrows
+    /// the stacks once at construction and runs the convolution hot loop
+    /// (spectrum, per-kernel products, pruned inverse transforms, `|z|²`
+    /// accumulation) in single precision — masks and intensities remain
+    /// `f64` at the API boundary. See `DESIGN.md` §12 for the accuracy
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LithoEngine::new`].
+    pub fn with_precision(
+        config: OpticsConfig,
+        width: usize,
+        height: usize,
+        pitch: f64,
+        precision: Precision,
+    ) -> Result<Self, LithoError> {
+        let nominal = Arc::new(build_kernels(&config, width, height, pitch, 0.0)?);
+        let defocused = Arc::new(build_kernels(
+            &config,
+            width,
+            height,
+            pitch,
+            config.defocus,
+        )?);
+        let backend = make_backend(precision, width, height, &nominal, &defocused);
         Ok(LithoEngine {
             config,
             width,
@@ -132,8 +169,14 @@ impl LithoEngine {
             nominal,
             defocused,
             workers: WorkerPool::global().parallelism(),
-            workspace: Mutex::new(LithoWorkspace::new()),
+            precision,
+            backend,
         })
+    }
+
+    /// The interior arithmetic of the simulation backend.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The optics configuration.
@@ -201,79 +244,28 @@ impl LithoEngine {
         Ok(())
     }
 
-    fn image_with(&self, kernels: &[SocsKernel], mask: &Grid) -> Grid {
+    fn image_with(&self, defocused: bool, mask: &Grid) -> Grid {
         let mut intensity = vec![0.0f64; self.width * self.height];
-        let pool = WorkerPool::global();
-        // The engine-owned workspace makes repeat calls allocation-free;
-        // concurrent callers on the same engine fall back to a transient
-        // workspace rather than serialising on the lock.
-        match self.workspace.try_lock() {
-            Ok(mut ws) => ws.socs_intensity(
-                self.width,
-                self.height,
-                mask.data(),
-                kernels,
-                pool,
-                self.workers,
-                &mut intensity,
-            ),
-            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner().socs_intensity(
-                self.width,
-                self.height,
-                mask.data(),
-                kernels,
-                pool,
-                self.workers,
-                &mut intensity,
-            ),
-            Err(TryLockError::WouldBlock) => LithoWorkspace::new().socs_intensity(
-                self.width,
-                self.height,
-                mask.data(),
-                kernels,
-                pool,
-                self.workers,
-                &mut intensity,
-            ),
-        }
+        self.backend.intensity(
+            mask.data(),
+            defocused,
+            WorkerPool::global(),
+            self.workers,
+            &mut intensity,
+        );
         Grid::from_data(self.width, self.height, self.pitch, intensity)
     }
 
-    fn image_with_cols(&self, kernels: &[SocsKernel], mask: &Grid, cols: &[usize]) -> Grid {
+    fn image_with_cols(&self, defocused: bool, mask: &Grid, cols: &[usize]) -> Grid {
         let mut intensity = vec![0.0f64; self.width * self.height];
-        let pool = WorkerPool::global();
-        match self.workspace.try_lock() {
-            Ok(mut ws) => ws.socs_intensity_cols(
-                self.width,
-                self.height,
-                mask.data(),
-                kernels,
-                cols,
-                pool,
-                self.workers,
-                &mut intensity,
-            ),
-            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner().socs_intensity_cols(
-                self.width,
-                self.height,
-                mask.data(),
-                kernels,
-                cols,
-                pool,
-                self.workers,
-                &mut intensity,
-            ),
-            Err(TryLockError::WouldBlock) => LithoWorkspace::new().socs_intensity_cols(
-                self.width,
-                self.height,
-                mask.data(),
-                kernels,
-                cols,
-                pool,
-                self.workers,
-                &mut intensity,
-            ),
-        }
+        self.backend.intensity_cols(
+            mask.data(),
+            defocused,
+            cols,
+            WorkerPool::global(),
+            self.workers,
+            &mut intensity,
+        );
         Grid::from_data(self.width, self.height, self.pitch, intensity)
     }
 
@@ -284,7 +276,7 @@ impl LithoEngine {
     /// [`LithoError::GridMismatch`] when the mask grid has the wrong shape.
     pub fn aerial_image(&self, mask: &Grid) -> Result<Grid, LithoError> {
         self.check_mask(mask)?;
-        Ok(self.image_with(&self.nominal, mask))
+        Ok(self.image_with(false, mask))
     }
 
     /// Nominal-focus aerial image restricted to the given pixel columns
@@ -305,7 +297,7 @@ impl LithoEngine {
     /// Panics when a column index is out of range.
     pub fn aerial_image_cols(&self, mask: &Grid, cols: &[usize]) -> Result<Grid, LithoError> {
         self.check_mask(mask)?;
-        Ok(self.image_with_cols(&self.nominal, mask, cols))
+        Ok(self.image_with_cols(false, mask, cols))
     }
 
     /// Aerial image at the defocused condition.
@@ -315,7 +307,7 @@ impl LithoEngine {
     /// [`LithoError::GridMismatch`] when the mask grid has the wrong shape.
     pub fn aerial_image_defocused(&self, mask: &Grid) -> Result<Grid, LithoError> {
         self.check_mask(mask)?;
-        Ok(self.image_with(&self.defocused, mask))
+        Ok(self.image_with(true, mask))
     }
 
     /// Aerial images at several process conditions from a **single**
@@ -351,53 +343,18 @@ impl LithoEngine {
                 states.push(c.defocused);
             }
         }
-        let kernel_sets: Vec<&[SocsKernel]> = states
-            .iter()
-            .map(|&defocused| {
-                if defocused {
-                    self.defocused.as_slice()
-                } else {
-                    self.nominal.as_slice()
-                }
-            })
-            .collect();
         let n = self.width * self.height;
         let mut buffers: Vec<Vec<f64>> = states.iter().map(|_| vec![0.0f64; n]).collect();
         {
             let mut outputs: Vec<&mut [f64]> =
                 buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
-            let pool = WorkerPool::global();
-            match self.workspace.try_lock() {
-                Ok(mut ws) => ws.socs_intensity_multi(
-                    self.width,
-                    self.height,
-                    mask.data(),
-                    &kernel_sets,
-                    pool,
-                    self.workers,
-                    &mut outputs,
-                ),
-                Err(TryLockError::Poisoned(poisoned)) => {
-                    poisoned.into_inner().socs_intensity_multi(
-                        self.width,
-                        self.height,
-                        mask.data(),
-                        &kernel_sets,
-                        pool,
-                        self.workers,
-                        &mut outputs,
-                    )
-                }
-                Err(TryLockError::WouldBlock) => LithoWorkspace::new().socs_intensity_multi(
-                    self.width,
-                    self.height,
-                    mask.data(),
-                    &kernel_sets,
-                    pool,
-                    self.workers,
-                    &mut outputs,
-                ),
-            }
+            self.backend.intensity_multi(
+                mask.data(),
+                &states,
+                WorkerPool::global(),
+                self.workers,
+                &mut outputs,
+            );
         }
         let state_grids: Vec<Grid> = buffers
             .into_iter()
@@ -461,7 +418,7 @@ impl LithoEngine {
                 mask[(ix, iy)] = 1.0;
             }
         }
-        let aerial = self.image_with(&self.nominal, &mask);
+        let aerial = self.image_with(false, &mask);
         // Intensity exactly at the edge (x = width/2 · pitch), mid-height.
         let edge_x = (self.width / 2) as f64 * self.pitch;
         let mid_y = self.height as f64 * self.pitch * 0.5;
@@ -699,6 +656,67 @@ mod tests {
             (edge as i64 - 16).unsigned_abs() <= 2,
             "printed edge at {edge}, drawn at 16"
         );
+    }
+
+    fn small_engine_f32() -> LithoEngine {
+        let config = OpticsConfig {
+            source_rings: 1,
+            points_per_ring: 4,
+            ..OpticsConfig::default()
+        };
+        LithoEngine::with_precision(config, 64, 64, 8.0, Precision::F32).unwrap()
+    }
+
+    #[test]
+    fn default_engine_runs_f64_and_with_precision_selects_f32() {
+        assert_eq!(small_engine().precision(), Precision::F64);
+        let engine = small_engine_f32();
+        assert_eq!(engine.precision(), Precision::F32);
+        // Clones keep the backend precision.
+        assert_eq!(engine.clone().precision(), Precision::F32);
+        // Reference kernels stay f64 whatever the backend runs.
+        assert!(!engine.nominal_kernels().is_empty());
+    }
+
+    #[test]
+    fn f32_engine_tracks_f64_within_tolerance() {
+        let mut rng = cardopc_geometry::SplitMix64::new(80);
+        let mut mask = Grid::zeros(64, 64, 8.0);
+        for v in mask.data_mut() {
+            *v = rng.range_f64(0.0, 1.0);
+        }
+        let e64 = small_engine();
+        let e32 = small_engine_f32();
+        let conditions = [ProcessCondition::NOMINAL, ProcessCondition::inner(0.02)];
+        let multi64 = e64.aerial_images_multi(&mask, &conditions).unwrap();
+        let multi32 = e32.aerial_images_multi(&mask, &conditions).unwrap();
+        for (c, (a, b)) in multi32.iter().zip(&multi64).enumerate() {
+            let peak = b.max_value();
+            assert!(peak > 0.0);
+            for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+                assert!(
+                    (x - y).abs() < 2e-4 * peak,
+                    "condition {c}, pixel {i}: f32 {x} vs f64 {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_engine_is_identical_across_worker_counts() {
+        let mut rng = cardopc_geometry::SplitMix64::new(81);
+        let mut mask = Grid::zeros(64, 64, 8.0);
+        for v in mask.data_mut() {
+            *v = rng.range_f64(0.0, 1.0);
+        }
+        let mut engine = small_engine_f32();
+        engine.set_workers(1);
+        let reference = engine.aerial_image(&mask).unwrap();
+        for workers in [2usize, 3, 16] {
+            engine.set_workers(workers);
+            let got = engine.aerial_image(&mask).unwrap();
+            assert_eq!(got.data(), reference.data(), "workers {workers}");
+        }
     }
 
     #[test]

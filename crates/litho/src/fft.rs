@@ -8,14 +8,19 @@
 //! [`Field`] stores its samples **split-complex** (structure-of-arrays:
 //! separate `re[]`/`im[]` vectors) rather than interleaved. Every hot loop —
 //! butterflies, twiddle rotation, frequency-domain products, the SOCS
-//! `w·|z|²` reduction — then runs over packed f64 lanes with no shuffles,
-//! which is what lets the scalar bodies autovectorize and the AVX2/FMA
-//! kernels in [`crate::simd`] stream at full width. Any nonzero dimensions
-//! are accepted; 5-smooth sizes (`2^a·3^b·5^c`) run the direct mixed-radix
-//! pipeline and are what [`next_five_smooth`] rounds grids to, while other
-//! sizes transparently fall back to Bluestein.
+//! `w·|z|²` reduction — then runs over packed lanes with no shuffles, which
+//! is what lets the scalar bodies autovectorize and the AVX2/FMA kernels in
+//! [`crate::simd`] stream at full width. Fields are generic over the
+//! [`Scalar`] element (`f64` by default, `f32` for the single-precision
+//! simulation backend); the boundary values — mask samples in, intensities
+//! out — stay `f64` and are narrowed/widened at the edges, so for
+//! `T = f64` every path is bit-identical to the pre-generic code. Any
+//! nonzero dimensions are accepted; 5-smooth sizes (`2^a·3^b·5^c`) run the
+//! direct mixed-radix pipeline and are what [`next_five_smooth`] rounds
+//! grids to, while other sizes transparently fall back to Bluestein.
 
 use crate::plan::FftPlan;
+use crate::scalar::Scalar;
 use crate::simd::{self, SimdMode};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
@@ -177,19 +182,32 @@ pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
     if data.len() <= 1 {
         return;
     }
-    FftPlan::get(data.len()).execute(data, inverse);
+    FftPlan::<f64>::get(data.len()).execute(data, inverse);
 }
 
-/// Cache-blocked real-valued transpose: `src` is `rows` rows of `cols`
-/// samples, `dst[c * rows + r] = src[r * cols + c]`.
+/// Cache-blocked widening transpose: `src` is `rows` rows of `cols`
+/// samples, `dst[c * rows + r] = src[r * cols + c]` converted to `f64`.
 ///
-/// With the split-complex layout this is the only transpose the 2-D paths
-/// need (applied per lane); it also unfolds the transposed SOCS accumulator
-/// of [`Field::ifft2_pruned_accumulate_t`] back to row-major.
-pub(crate) fn transpose_real_into(src: &[f64], rows: usize, cols: usize, dst: &mut [f64]) {
+/// With the split-complex layout this is the only transpose the SOCS
+/// reduction needs on its way out: it unfolds the transposed accumulator of
+/// [`Field::ifft2_pruned_accumulate_t`] back to row-major while widening the
+/// simulation precision to the `f64` output domain (identity for `T = f64`).
+pub(crate) fn transpose_real_into<T: Scalar>(src: &[T], rows: usize, cols: usize, dst: &mut [f64]) {
     debug_assert_eq!(src.len(), rows * cols);
     debug_assert_eq!(dst.len(), rows * cols);
-    transpose_scatter(src, rows, cols, dst, rows);
+    const TILE: usize = 32;
+    for r0 in (0..rows).step_by(TILE) {
+        let r1 = (r0 + TILE).min(rows);
+        for c0 in (0..cols).step_by(TILE) {
+            let c1 = (c0 + TILE).min(cols);
+            for r in r0..r1 {
+                let row = r * cols;
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[row + c].to_f64();
+                }
+            }
+        }
+    }
 }
 
 /// Column stride for the 2-D transpose scratch: `height`, padded by one
@@ -200,11 +218,11 @@ pub(crate) fn transpose_real_into(src: &[f64], rows: usize, cols: usize, dst: &m
 /// the "nice" grid sizes (512, 1024, …). Padding the scratch stride — the
 /// side of every transpose that needs lines to *persist* across the tile —
 /// spreads the accesses over all sets. Field layout stays tight; only the
-/// scratch pays `height·8` bytes per pad.
+/// scratch pays one cache line (8 `f64` or 16 `f32` samples) per pad.
 #[inline]
-pub(crate) fn padded_stride(height: usize) -> usize {
+pub(crate) fn padded_stride<T: Scalar>(height: usize) -> usize {
     if height.is_multiple_of(256) {
-        height + 8
+        height + 64 / std::mem::size_of::<T>()
     } else {
         height
     }
@@ -216,29 +234,26 @@ pub(crate) fn padded_stride(height: usize) -> usize {
 /// The inner loop reads `src` sequentially and writes the strided `dst`
 /// lines that persist across the tile — pair with a padded `dst_stride`
 /// (see [`padded_stride`]) to keep those lines in distinct cache sets.
-pub(crate) fn transpose_scatter(
-    src: &[f64],
+pub(crate) fn transpose_scatter<T: Scalar>(
+    src: &[T],
     rows: usize,
     cols: usize,
-    dst: &mut [f64],
+    dst: &mut [T],
     dst_stride: usize,
 ) {
     debug_assert!(dst_stride >= rows);
     debug_assert_eq!(src.len(), rows * cols);
     debug_assert!(dst.len() >= (cols - 1) * dst_stride + rows);
-    const TILE: usize = 32;
-    for r0 in (0..rows).step_by(TILE) {
-        let r1 = (r0 + TILE).min(rows);
-        for c0 in (0..cols).step_by(TILE) {
-            let c1 = (c0 + TILE).min(cols);
-            for r in r0..r1 {
-                let row = r * cols;
-                for c in c0..c1 {
-                    dst[c * dst_stride + r] = src[row + c];
-                }
-            }
-        }
-    }
+    crate::simd::transpose_strided(
+        crate::simd::active_mode(),
+        src,
+        cols,
+        rows,
+        cols,
+        dst,
+        dst_stride,
+        false,
+    );
 }
 
 /// Cache-blocked strided-source transpose, the inverse access pattern of
@@ -247,29 +262,26 @@ pub(crate) fn transpose_scatter(
 /// The inner loop writes `dst` sequentially and re-reads the strided `src`
 /// lines across the tile — the persistent side, so `src` should carry the
 /// padded stride.
-pub(crate) fn transpose_gather(
-    src: &[f64],
+pub(crate) fn transpose_gather<T: Scalar>(
+    src: &[T],
     src_stride: usize,
     rows: usize,
     cols: usize,
-    dst: &mut [f64],
+    dst: &mut [T],
 ) {
     debug_assert!(src_stride >= rows);
     debug_assert!(src.len() >= (cols - 1) * src_stride + rows);
     debug_assert_eq!(dst.len(), rows * cols);
-    const TILE: usize = 32;
-    for r0 in (0..rows).step_by(TILE) {
-        let r1 = (r0 + TILE).min(rows);
-        for c0 in (0..cols).step_by(TILE) {
-            let c1 = (c0 + TILE).min(cols);
-            for r in r0..r1 {
-                let row = r * cols;
-                for c in c0..c1 {
-                    dst[row + c] = src[c * src_stride + r];
-                }
-            }
-        }
-    }
+    crate::simd::transpose_strided(
+        crate::simd::active_mode(),
+        src,
+        src_stride,
+        cols,
+        rows,
+        dst,
+        cols,
+        true,
+    );
 }
 
 /// Reusable scratch buffers for FFT execution, one per worker/slot.
@@ -281,51 +293,52 @@ pub(crate) fn transpose_gather(
 /// without further allocation — replacing the seed's per-call
 /// `Vec<Complex>` scratch arguments.
 #[derive(Clone, Debug, Default)]
-pub struct FftScratch {
+pub struct FftScratch<T: Scalar = f64> {
     /// Stockham ping-pong partner (re lane).
-    pub(crate) pong_re: Vec<f64>,
+    pub(crate) pong_re: Vec<T>,
     /// Stockham ping-pong partner (im lane).
-    pub(crate) pong_im: Vec<f64>,
+    pub(crate) pong_im: Vec<T>,
     /// Bluestein convolution workspace (re lane).
-    pub(crate) blu_re: Vec<f64>,
+    pub(crate) blu_re: Vec<T>,
     /// Bluestein convolution workspace (im lane).
-    pub(crate) blu_im: Vec<f64>,
+    pub(crate) blu_im: Vec<T>,
     /// Blocked-transpose buffer for 2-D column passes (re lane).
-    pub(crate) t_re: Vec<f64>,
+    pub(crate) t_re: Vec<T>,
     /// Blocked-transpose buffer for 2-D column passes (im lane).
-    pub(crate) t_im: Vec<f64>,
+    pub(crate) t_im: Vec<T>,
     /// Column gather buffer for the fused accumulate paths (re lane).
-    pub(crate) col_re: Vec<f64>,
+    pub(crate) col_re: Vec<T>,
     /// Column gather buffer for the fused accumulate paths (im lane).
-    pub(crate) col_im: Vec<f64>,
+    pub(crate) col_im: Vec<T>,
 }
 
-impl FftScratch {
+impl<T: Scalar> FftScratch<T> {
     /// An empty scratch; buffers are sized lazily on first use.
-    pub fn new() -> FftScratch {
+    pub fn new() -> FftScratch<T> {
         FftScratch::default()
     }
 }
 
 #[inline]
-fn ensure(buf: &mut Vec<f64>, n: usize) -> &mut [f64] {
+fn ensure<T: Scalar>(buf: &mut Vec<T>, n: usize) -> &mut [T] {
     if buf.len() < n {
-        buf.resize(n, 0.0);
+        buf.resize(n, T::ZERO);
     }
     &mut buf[..n]
 }
 
 /// A 2-D complex field, row-major, stored split-complex (separate re/im
-/// lanes). Any nonzero dimensions are accepted.
+/// lanes of [`Scalar`] samples, `f64` by default). Any nonzero dimensions
+/// are accepted.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Field {
+pub struct Field<T: Scalar = f64> {
     width: usize,
     height: usize,
-    re: Vec<f64>,
-    im: Vec<f64>,
+    re: Vec<T>,
+    im: Vec<T>,
 }
 
-impl Field {
+impl<T: Scalar> Field<T> {
     /// Zero-filled field.
     ///
     /// # Panics
@@ -336,12 +349,13 @@ impl Field {
         Field {
             width,
             height,
-            re: vec![0.0; width * height],
-            im: vec![0.0; width * height],
+            re: vec![T::ZERO; width * height],
+            im: vec![T::ZERO; width * height],
         }
     }
 
-    /// Builds a field from real samples (imaginary parts zero).
+    /// Builds a field from real `f64` samples (imaginary parts zero),
+    /// narrowing to the field's precision on the way in.
     ///
     /// # Panics
     ///
@@ -349,8 +363,21 @@ impl Field {
     pub fn from_real(width: usize, height: usize, real: &[f64]) -> Self {
         assert_eq!(real.len(), width * height, "sample count mismatch");
         let mut f = Field::zeros(width, height);
-        f.re.copy_from_slice(real);
+        for (d, &s) in f.re.iter_mut().zip(real) {
+            *d = T::from_f64(s);
+        }
         f
+    }
+
+    /// Converts the field to another simulation precision sample-by-sample
+    /// (through the `f64` reference domain; identity for the same scalar).
+    pub fn to_precision<U: Scalar>(&self) -> Field<U> {
+        Field {
+            width: self.width,
+            height: self.height,
+            re: self.re.iter().map(|&v| U::from_f64(v.to_f64())).collect(),
+            im: self.im.iter().map(|&v| U::from_f64(v.to_f64())).collect(),
+        }
     }
 
     /// Width in samples.
@@ -367,41 +394,42 @@ impl Field {
 
     /// Real lane, row-major.
     #[inline]
-    pub fn re(&self) -> &[f64] {
+    pub fn re(&self) -> &[T] {
         &self.re
     }
 
     /// Imaginary lane, row-major.
     #[inline]
-    pub fn im(&self) -> &[f64] {
+    pub fn im(&self) -> &[T] {
         &self.im
     }
 
     /// Mutable real lane, row-major.
     #[inline]
-    pub fn re_mut(&mut self) -> &mut [f64] {
+    pub fn re_mut(&mut self) -> &mut [T] {
         &mut self.re
     }
 
     /// Mutable imaginary lane, row-major.
     #[inline]
-    pub fn im_mut(&mut self) -> &mut [f64] {
+    pub fn im_mut(&mut self) -> &mut [T] {
         &mut self.im
     }
 
-    /// Sample accessor.
+    /// Sample accessor (widened to the `f64` [`Complex`] domain).
     #[inline]
     pub fn at(&self, ix: usize, iy: usize) -> Complex {
         let i = iy * self.width + ix;
-        Complex::new(self.re[i], self.im[i])
+        Complex::new(self.re[i].to_f64(), self.im[i].to_f64())
     }
 
-    /// Sample writer (the split layout has no `&mut Complex` to hand out).
+    /// Sample writer (the split layout has no `&mut Complex` to hand out;
+    /// narrows to the field's precision).
     #[inline]
     pub fn set(&mut self, ix: usize, iy: usize, z: Complex) {
         let i = iy * self.width + ix;
-        self.re[i] = z.re;
-        self.im[i] = z.im;
+        self.re[i] = T::from_f64(z.re);
+        self.im[i] = T::from_f64(z.im);
     }
 
     /// Iterates the samples in row-major order as [`Complex`] values.
@@ -409,7 +437,7 @@ impl Field {
         self.re
             .iter()
             .zip(&self.im)
-            .map(|(&r, &i)| Complex::new(r, i))
+            .map(|(&r, &i)| Complex::new(r.to_f64(), i.to_f64()))
     }
 
     /// In-place 2-D FFT (rows then columns).
@@ -425,7 +453,7 @@ impl Field {
     /// In-place 2-D FFT reusing `scratch` for the ping-pong and
     /// blocked-transpose passes (buffers grow on first use, then are reused
     /// without further allocation).
-    pub fn fft2_inplace_with(&mut self, inverse: bool, scratch: &mut FftScratch) {
+    pub fn fft2_inplace_with(&mut self, inverse: bool, scratch: &mut FftScratch<T>) {
         self.fft2_core(inverse, scratch, None, true);
     }
 
@@ -443,7 +471,7 @@ impl Field {
     /// # Panics
     ///
     /// Panics when `live_rows.len() != height`.
-    pub fn ifft2_pruned_unscaled(&mut self, live_rows: &[bool], scratch: &mut FftScratch) {
+    pub fn ifft2_pruned_unscaled(&mut self, live_rows: &[bool], scratch: &mut FftScratch<T>) {
         assert_eq!(live_rows.len(), self.height, "row mask length mismatch");
         self.fft2_core(true, scratch, Some(live_rows), false);
     }
@@ -478,16 +506,16 @@ impl Field {
         &mut self,
         live_rows: &[bool],
         cols: &[usize],
-        scratch: &mut FftScratch,
-        weight: f64,
-        acc: &mut [f64],
+        scratch: &mut FftScratch<T>,
+        weight: T,
+        acc: &mut [T],
     ) {
         let (w, h) = (self.width, self.height);
         assert_eq!(live_rows.len(), h, "row mask length mismatch");
         assert_eq!(acc.len(), cols.len() * h, "accumulator length mismatch");
         let mode = simd::active_mode();
-        let plan_w = FftPlan::get(w);
-        let plan_h = FftPlan::get(h);
+        let plan_w = FftPlan::<T>::get(w);
+        let plan_h = FftPlan::<T>::get(h);
         let FftScratch {
             pong_re,
             pong_im,
@@ -547,16 +575,16 @@ impl Field {
     pub fn ifft2_pruned_accumulate_t(
         &mut self,
         live_rows: &[bool],
-        scratch: &mut FftScratch,
-        weight: f64,
-        acc_t: &mut [f64],
+        scratch: &mut FftScratch<T>,
+        weight: T,
+        acc_t: &mut [T],
     ) {
         let (w, h) = (self.width, self.height);
         assert_eq!(live_rows.len(), h, "row mask length mismatch");
         assert_eq!(acc_t.len(), w * h, "accumulator length mismatch");
         let mode = simd::active_mode();
-        let plan_w = FftPlan::get(w);
-        let plan_h = FftPlan::get(h);
+        let plan_w = FftPlan::<T>::get(w);
+        let plan_h = FftPlan::<T>::get(h);
         let FftScratch {
             pong_re,
             pong_im,
@@ -582,7 +610,7 @@ impl Field {
         // transform + accumulate below is unchanged, so results stay
         // bitwise identical to a column-at-a-time gather.
         const COLS: usize = 8;
-        let cs = padded_stride(h);
+        let cs = padded_stride::<T>(h);
         let col_re = ensure(col_re, COLS * cs);
         let col_im = ensure(col_im, COLS * cs);
         for x0 in (0..w).step_by(COLS) {
@@ -596,8 +624,8 @@ impl Field {
                     }
                 } else {
                     for j in 0..bw {
-                        col_re[j * cs + y] = 0.0;
-                        col_im[j * cs + y] = 0.0;
+                        col_re[j * cs + y] = T::ZERO;
+                        col_im[j * cs + y] = T::ZERO;
                     }
                 }
             }
@@ -616,14 +644,14 @@ impl Field {
     fn fft2_core(
         &mut self,
         inverse: bool,
-        scratch: &mut FftScratch,
+        scratch: &mut FftScratch<T>,
         live_rows: Option<&[bool]>,
         normalize: bool,
     ) {
         let (w, h) = (self.width, self.height);
         let mode = simd::active_mode();
-        let plan_w = FftPlan::get(w);
-        let plan_h = FftPlan::get(h);
+        let plan_w = FftPlan::<T>::get(w);
+        let plan_h = FftPlan::<T>::get(h);
         let FftScratch {
             pong_re,
             pong_im,
@@ -661,7 +689,7 @@ impl Field {
         // instead of stride-`width` gather/scatter. The scratch stride is
         // padded so pow2 heights don't alias the cache (see
         // [`padded_stride`]).
-        let cs = padded_stride(h);
+        let cs = padded_stride::<T>(h);
         let t_re = ensure(t_re, w * cs);
         let t_im = ensure(t_im, w * cs);
         transpose_scatter(&self.re, h, w, t_re, cs);
@@ -682,7 +710,7 @@ impl Field {
         transpose_gather(t_im, cs, h, w, &mut self.im);
 
         if inverse && normalize {
-            let inv = 1.0 / (w * h) as f64;
+            let inv = T::from_f64(1.0 / (w * h) as f64);
             for v in self.re.iter_mut() {
                 *v *= inv;
             }
@@ -700,30 +728,31 @@ impl Field {
     /// # Panics
     ///
     /// Panics on sample-count mismatch or a zero dimension.
-    pub fn forward_real(width: usize, height: usize, real: &[f64]) -> Field {
+    pub fn forward_real(width: usize, height: usize, real: &[f64]) -> Field<T> {
         let mut out = Field::zeros(width, height);
         let mut scratch = FftScratch::new();
         out.fill_forward_real_with(real, &mut scratch);
         out
     }
 
-    /// Fills `self` with the forward 2-D FFT of `real` (row-major samples).
+    /// Fills `self` with the forward 2-D FFT of `real` (row-major `f64`
+    /// samples, narrowed to the field's precision on the way in).
     ///
     /// Exploits that the input is real: two rows are packed into the real
     /// and imaginary lanes of a single complex transform and separated
     /// afterwards via Hermitian symmetry, roughly halving the row-pass cost
     /// relative to transforming a zero-imaginary complex field. With the
-    /// split layout the packing itself is two row memcpys. An odd trailing
+    /// split layout the packing itself is two row copies. An odd trailing
     /// row (odd heights) is transformed unpaired.
     ///
     /// # Panics
     ///
     /// Panics when `real.len() != width * height`.
-    pub fn fill_forward_real_with(&mut self, real: &[f64], scratch: &mut FftScratch) {
+    pub fn fill_forward_real_with(&mut self, real: &[f64], scratch: &mut FftScratch<T>) {
         let (w, h) = (self.width, self.height);
         assert_eq!(real.len(), w * h, "sample count mismatch");
         let mode = simd::active_mode();
-        let plan_w = FftPlan::get(w);
+        let plan_w = FftPlan::<T>::get(w);
         let FftScratch {
             pong_re,
             pong_im,
@@ -734,9 +763,16 @@ impl Field {
             ..
         } = scratch;
 
+        #[inline]
+        fn narrow<T: Scalar>(dst: &mut [T], src: &[f64]) {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = T::from_f64(s);
+            }
+        }
+
         if h == 1 {
-            self.re.copy_from_slice(real);
-            self.im.fill(0.0);
+            narrow(&mut self.re, real);
+            self.im.fill(T::ZERO);
             plan_w.execute_split_parts(
                 mode,
                 &mut self.re,
@@ -757,22 +793,22 @@ impl Field {
         for t in 0..pairs {
             let (re_a, re_b) = self.re[2 * t * w..(2 * t + 2) * w].split_at_mut(w);
             let (im_a, im_b) = self.im[2 * t * w..(2 * t + 2) * w].split_at_mut(w);
-            re_a.copy_from_slice(&real[2 * t * w..(2 * t + 1) * w]);
-            im_a.copy_from_slice(&real[(2 * t + 1) * w..(2 * t + 2) * w]);
+            narrow(re_a, &real[2 * t * w..(2 * t + 1) * w]);
+            narrow(im_a, &real[(2 * t + 1) * w..(2 * t + 2) * w]);
             plan_w.execute_split_parts(mode, re_a, im_a, pong_re, pong_im, blu_re, blu_im, false);
             for k in 0..=w / 2 {
                 let km = (w - k) % w;
                 let (zkr, zki) = (re_a[k], im_a[k]);
                 let (zmr, zmi) = (re_a[km], im_a[km]);
-                re_a[k] = 0.5 * (zkr + zmr);
-                im_a[k] = 0.5 * (zki - zmi);
-                re_b[k] = 0.5 * (zki + zmi);
-                im_b[k] = 0.5 * (zmr - zkr);
+                re_a[k] = T::HALF * (zkr + zmr);
+                im_a[k] = T::HALF * (zki - zmi);
+                re_b[k] = T::HALF * (zki + zmi);
+                im_b[k] = T::HALF * (zmr - zkr);
                 if km != k {
-                    re_a[km] = 0.5 * (zmr + zkr);
-                    im_a[km] = 0.5 * (zmi - zki);
-                    re_b[km] = 0.5 * (zmi + zki);
-                    im_b[km] = 0.5 * (zkr - zmr);
+                    re_a[km] = T::HALF * (zmr + zkr);
+                    im_a[km] = T::HALF * (zmi - zki);
+                    re_b[km] = T::HALF * (zmi + zki);
+                    im_b[km] = T::HALF * (zkr - zmr);
                 }
             }
         }
@@ -781,15 +817,15 @@ impl Field {
             let row = (h - 1) * w;
             let re_l = &mut self.re[row..row + w];
             let im_l = &mut self.im[row..row + w];
-            re_l.copy_from_slice(&real[row..row + w]);
-            im_l.fill(0.0);
+            narrow(re_l, &real[row..row + w]);
+            im_l.fill(T::ZERO);
             plan_w.execute_split_parts(mode, re_l, im_l, pong_re, pong_im, blu_re, blu_im, false);
         }
 
         // Column pass, identical to the complex path (padded scratch
         // stride, see [`padded_stride`]).
-        let plan_h = FftPlan::get(h);
-        let cs = padded_stride(h);
+        let plan_h = FftPlan::<T>::get(h);
+        let cs = padded_stride::<T>(h);
         let t_re = ensure(t_re, w * cs);
         let t_im = ensure(t_im, w * cs);
         transpose_scatter(&self.re, h, w, t_re, cs);
@@ -810,7 +846,7 @@ impl Field {
         transpose_gather(t_im, cs, h, w, &mut self.im);
     }
 
-    fn assert_same_dims(&self, other: &Field) {
+    fn assert_same_dims(&self, other: &Field<T>) {
         assert_eq!(
             (self.width, self.height),
             (other.width, other.height),
@@ -823,7 +859,7 @@ impl Field {
     /// # Panics
     ///
     /// Panics on dimension mismatch.
-    pub fn mul_pointwise(&self, other: &Field) -> Field {
+    pub fn mul_pointwise(&self, other: &Field<T>) -> Field<T> {
         self.assert_same_dims(other);
         let mut dst = Field::zeros(self.width, self.height);
         self.mul_pointwise_into(other, &mut dst);
@@ -835,7 +871,7 @@ impl Field {
     /// # Panics
     ///
     /// Panics on any dimension mismatch.
-    pub fn mul_pointwise_into(&self, other: &Field, dst: &mut Field) {
+    pub fn mul_pointwise_into(&self, other: &Field<T>, dst: &mut Field<T>) {
         self.assert_same_dims(other);
         self.assert_same_dims(dst);
         simd::cmul(
@@ -859,7 +895,12 @@ impl Field {
     /// # Panics
     ///
     /// Panics on dimension or mask-length mismatch.
-    pub fn mul_pointwise_pruned_into(&self, other: &Field, live_rows: &[bool], dst: &mut Field) {
+    pub fn mul_pointwise_pruned_into(
+        &self,
+        other: &Field<T>,
+        live_rows: &[bool],
+        dst: &mut Field<T>,
+    ) {
         self.mul_rows(other, live_rows, dst, true, false);
     }
 
@@ -875,7 +916,12 @@ impl Field {
     /// # Panics
     ///
     /// Panics on dimension or mask-length mismatch.
-    pub fn mul_pointwise_live_rows_into(&self, other: &Field, live_rows: &[bool], dst: &mut Field) {
+    pub fn mul_pointwise_live_rows_into(
+        &self,
+        other: &Field<T>,
+        live_rows: &[bool],
+        dst: &mut Field<T>,
+    ) {
         self.mul_rows(other, live_rows, dst, false, false);
     }
 
@@ -888,18 +934,18 @@ impl Field {
     /// Panics on dimension or mask-length mismatch.
     pub fn mul_conj_pointwise_pruned_into(
         &self,
-        other: &Field,
+        other: &Field<T>,
         live_rows: &[bool],
-        dst: &mut Field,
+        dst: &mut Field<T>,
     ) {
         self.mul_rows(other, live_rows, dst, true, true);
     }
 
     fn mul_rows(
         &self,
-        other: &Field,
+        other: &Field<T>,
         live_rows: &[bool],
-        dst: &mut Field,
+        dst: &mut Field<T>,
         zero_dead: bool,
         conj: bool,
     ) {
@@ -920,8 +966,8 @@ impl Field {
                     simd::cmul(mode, ar, ai, br, bi, dr, di);
                 }
             } else if zero_dead {
-                dst.re[row.clone()].fill(0.0);
-                dst.im[row].fill(0.0);
+                dst.re[row.clone()].fill(T::ZERO);
+                dst.im[row].fill(T::ZERO);
             }
         }
     }
@@ -932,7 +978,7 @@ impl Field {
     /// # Panics
     ///
     /// Panics on dimension or length mismatch.
-    pub fn mul_real_into(&self, real: &[f64], dst: &mut Field) {
+    pub fn mul_real_into(&self, real: &[T], dst: &mut Field<T>) {
         self.assert_same_dims(dst);
         assert_eq!(real.len(), self.re.len(), "sample count mismatch");
         simd::mul_real(
@@ -951,7 +997,7 @@ impl Field {
     /// # Panics
     ///
     /// Panics on length mismatch.
-    pub fn accumulate_norm_sq(&self, weight: f64, acc: &mut [f64]) {
+    pub fn accumulate_norm_sq(&self, weight: T, acc: &mut [T]) {
         assert_eq!(acc.len(), self.re.len(), "sample count mismatch");
         simd::acc_norm_sq(simd::active_mode(), &self.re, &self.im, weight, acc);
     }
@@ -962,26 +1008,33 @@ impl Field {
     /// # Panics
     ///
     /// Panics on length mismatch.
-    pub fn accumulate_re(&self, weight: f64, acc: &mut [f64]) {
+    pub fn accumulate_re(&self, weight: T, acc: &mut [T]) {
         assert_eq!(acc.len(), self.re.len(), "sample count mismatch");
         simd::acc_re(simd::active_mode(), &self.re, weight, acc);
     }
 
-    /// The per-sample squared magnitudes as a real vector.
+    /// The per-sample squared magnitudes as a real `f64` vector.
     pub fn norm_sq_vec(&self) -> Vec<f64> {
         self.re
             .iter()
             .zip(&self.im)
-            .map(|(&r, &i)| r * r + i * i)
+            .map(|(&r, &i)| {
+                let (r, i) = (r.to_f64(), i.to_f64());
+                r * r + i * i
+            })
             .collect()
     }
 
-    /// Sum of squared magnitudes (for Parseval checks).
+    /// Sum of squared magnitudes (for Parseval checks), accumulated in
+    /// `f64` regardless of the field precision.
     pub fn energy(&self) -> f64 {
         self.re
             .iter()
             .zip(&self.im)
-            .map(|(&r, &i)| r * r + i * i)
+            .map(|(&r, &i)| {
+                let (r, i) = (r.to_f64(), i.to_f64());
+                r * r + i * i
+            })
             .sum()
     }
 
@@ -1006,7 +1059,7 @@ mod tests {
 
     fn random_field(w: usize, h: usize, seed: u64) -> Field {
         let mut rng = SplitMix64::new(seed);
-        let mut f = Field::zeros(w, h);
+        let mut f: Field = Field::zeros(w, h);
         for y in 0..h {
             for x in 0..w {
                 f.set(
@@ -1122,7 +1175,7 @@ mod tests {
         for (w, h, seed) in [(16, 8, 9u64), (12, 10, 10), (15, 9, 11), (7, 13, 12)] {
             let mut rng = SplitMix64::new(seed);
             let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
-            let orig = Field::from_real(w, h, &real);
+            let orig: Field = Field::from_real(w, h, &real);
             let mut f = orig.clone();
             f.fft2_inplace(false);
             f.fft2_inplace(true);
@@ -1134,7 +1187,7 @@ mod tests {
 
     #[test]
     fn field_2d_impulse_flat_spectrum() {
-        let mut f = Field::zeros(8, 8);
+        let mut f: Field = Field::zeros(8, 8);
         f.set(0, 0, Complex::ONE);
         f.fft2_inplace(false);
         for z in f.iter() {
@@ -1149,9 +1202,9 @@ mod tests {
         let (w, h) = (12, 12);
         let mut rng = SplitMix64::new(11);
         let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(0.0, 1.0)).collect();
-        let sig = Field::from_real(w, h, &real);
+        let sig: Field = Field::from_real(w, h, &real);
 
-        let mut kernel = Field::zeros(w, h);
+        let mut kernel: Field = Field::zeros(w, h);
         kernel.set(1, 0, Complex::ONE); // shift by one in x
 
         let mut fs = sig.clone();
@@ -1166,6 +1219,27 @@ mod tests {
                 let expected = sig.at((x + w - 1) % w, y);
                 assert!((prod.at(x, y) - expected).norm() < 1e-10);
             }
+        }
+    }
+
+    #[test]
+    fn f32_field_roundtrip_and_precision_conversion() {
+        let (w, h) = (16, 12);
+        let mut rng = SplitMix64::new(77);
+        let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let mut f: Field<f32> = Field::from_real(w, h, &real);
+        f.fft2_inplace(false);
+        f.fft2_inplace(true);
+        for (z, &r) in f.iter().zip(&real) {
+            assert!((z.re - r).abs() < 1e-5 && z.im.abs() < 1e-5);
+        }
+        // Narrow-then-widen keeps the f32 value exactly.
+        let f64_field: Field = Field::from_real(w, h, &real);
+        let narrowed: Field<f32> = f64_field.to_precision();
+        let widened: Field<f64> = narrowed.to_precision();
+        for (a, b) in narrowed.iter().zip(widened.iter()) {
+            assert_eq!(a.re, b.re);
+            assert_eq!(a.im, b.im);
         }
     }
 
@@ -1213,8 +1287,8 @@ mod tests {
         ] {
             let mut rng = SplitMix64::new(seed);
             let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
-            let packed = Field::forward_real(w, h, &real);
-            let mut reference = Field::from_real(w, h, &real);
+            let packed: Field = Field::forward_real(w, h, &real);
+            let mut reference: Field = Field::from_real(w, h, &real);
             reference.fft2_inplace(false);
             for (i, (a, b)) in packed.iter().zip(reference.iter()).enumerate() {
                 assert!(
@@ -1231,11 +1305,11 @@ mod tests {
         let mut rng = SplitMix64::new(30);
         let a: Vec<f64> = (0..16 * 16).map(|_| rng.range_f64(-1.0, 1.0)).collect();
         let b: Vec<f64> = (0..16 * 16).map(|_| rng.range_f64(-1.0, 1.0)).collect();
-        let mut field = Field::zeros(16, 16);
+        let mut field: Field = Field::zeros(16, 16);
         let mut scratch = FftScratch::new();
         field.fill_forward_real_with(&a, &mut scratch);
         field.fill_forward_real_with(&b, &mut scratch);
-        let fresh = Field::forward_real(16, 16, &b);
+        let fresh: Field = Field::forward_real(16, 16, &b);
         for (x, y) in field.iter().zip(fresh.iter()) {
             assert!((x - y).norm() < 1e-12);
         }
@@ -1247,7 +1321,7 @@ mod tests {
         // through the pruned path (up to the folded 1/n scale).
         let (w, h) = (16, 12);
         let mut rng = SplitMix64::new(40);
-        let mut spec = Field::zeros(w, h);
+        let mut spec: Field = Field::zeros(w, h);
         let live: Vec<bool> = (0..h).map(|y| y < 3 || y >= h - 2).collect();
         for (y, &is_live) in live.iter().enumerate() {
             if is_live {
@@ -1278,7 +1352,7 @@ mod tests {
         // the requested columns (column-contiguous accumulator layout).
         let (w, h) = (16, 8);
         let mut rng = SplitMix64::new(60);
-        let mut spec = Field::zeros(w, h);
+        let mut spec: Field = Field::zeros(w, h);
         let live: Vec<bool> = (0..h).map(|y| y < 3 || y >= h - 2).collect();
         for (y, &is_live) in live.iter().enumerate() {
             if is_live {
@@ -1317,7 +1391,7 @@ mod tests {
     fn pruned_accumulate_t_matches_full_path() {
         let (w, h) = (12, 10);
         let mut rng = SplitMix64::new(70);
-        let mut spec = Field::zeros(w, h);
+        let mut spec: Field = Field::zeros(w, h);
         let live: Vec<bool> = (0..h).map(|y| y < 4 || y >= h - 3).collect();
         for (y, &is_live) in live.iter().enumerate() {
             if is_live {
@@ -1357,7 +1431,7 @@ mod tests {
         let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
 
         let idx = |i: usize| (i % w, i / w);
-        let mut dst = Field::zeros(w, h);
+        let mut dst: Field = Field::zeros(w, h);
         a.mul_pointwise_pruned_into(&b, &live, &mut dst);
         for i in 0..w * h {
             let (x, y) = idx(i);

@@ -15,6 +15,11 @@
 //!   exactly the Hopkins structure `I = Σ w_k |M ⊗ h_k|²`,
 //! * [`LithoEngine`] — aerial images at nominal/defocused conditions,
 //!   threshold resist, dose scaling, process corners,
+//! * [`LithoBackend`] / [`Precision`] — the simulation-precision seam:
+//!   kernels are always synthesised in `f64`, and the convolution hot loop
+//!   runs at a per-run precision ([`CpuBackend<f64>`] reference path or the
+//!   narrowed [`CpuBackend<f32>`] 8-lane AVX2 path); masks and intensities
+//!   stay `f64` at the API boundary,
 //! * [`rasterize`] — anti-aliased polygon rasterisation bridging the
 //!   geometric OPC world and image-space simulation,
 //! * [`metrics`] — EPE (per-site, signed), L2 and PV-band, with the paper's
@@ -36,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod engine;
 mod error;
 pub mod fft;
@@ -44,9 +50,12 @@ mod optics;
 pub mod plan;
 pub mod pool;
 mod raster;
+mod scalar;
 pub mod simd;
+mod stage_ps;
 mod workspace;
 
+pub use backend::{CpuBackend, LithoBackend};
 pub use engine::{LithoEngine, ProcessCondition};
 pub use error::LithoError;
 pub use fft::{next_five_smooth, FftScratch, Field};
@@ -59,5 +68,6 @@ pub use optics::{build_kernels, OpticsConfig, SocsKernel};
 pub use plan::FftPlan;
 pub use pool::WorkerPool;
 pub use raster::{rasterize, rasterize_into, try_rasterize, RasterCache};
+pub use scalar::{Precision, Scalar};
 pub use simd::SimdMode;
 pub use workspace::LithoWorkspace;

@@ -17,6 +17,7 @@
 //! `I = Σ_s w_s · |M ⊗ h_s|²`, evaluated in the frequency domain.
 
 use crate::fft::{Complex, Field};
+use crate::scalar::Scalar;
 use crate::LithoError;
 
 /// Physical configuration of the projection system.
@@ -118,12 +119,18 @@ impl OpticsConfig {
 }
 
 /// One SOCS kernel: a weight and its frequency-domain transfer function.
+///
+/// Kernels are always *synthesised* in `f64` ([`build_kernels`]); the
+/// single-precision backend narrows a finished stack once per engine via
+/// [`SocsKernel::to_precision`]. The weight stays `f64` — it is folded into
+/// accumulation weights in the reference domain and narrowed at the point
+/// of use.
 #[derive(Clone, Debug)]
-pub struct SocsKernel {
+pub struct SocsKernel<T: Scalar = f64> {
     /// Hopkins weight `w_k`.
     pub weight: f64,
     /// Frequency-domain transfer function on the simulation grid.
-    pub transfer: Field,
+    pub transfer: Field<T>,
     /// Per-row support mask: `live_rows[y]` is `true` when row `y` of
     /// `transfer` has any nonzero sample. The pupil is band-limited, so on
     /// production grids most rows are dead and the convolution hot loop
@@ -132,21 +139,34 @@ pub struct SocsKernel {
     pub live_rows: Vec<bool>,
 }
 
-impl SocsKernel {
+impl<T: Scalar> SocsKernel<T> {
     /// Builds a kernel from a weight and transfer function, computing the
     /// row support mask.
-    pub fn new(weight: f64, transfer: Field) -> SocsKernel {
+    pub fn new(weight: f64, transfer: Field<T>) -> SocsKernel<T> {
         let width = transfer.width();
         let live_rows = transfer
             .re()
             .chunks_exact(width)
             .zip(transfer.im().chunks_exact(width))
-            .map(|(re, im)| re.iter().any(|&v| v != 0.0) || im.iter().any(|&v| v != 0.0))
+            .map(|(re, im)| re.iter().any(|&v| v != T::ZERO) || im.iter().any(|&v| v != T::ZERO))
             .collect();
         SocsKernel {
             weight,
             transfer,
             live_rows,
+        }
+    }
+
+    /// Converts the kernel to another simulation precision. The row support
+    /// mask carries over unchanged: narrowing maps zeros to zeros, and any
+    /// sample small enough to flush to a subnormal-zero still lies on a row
+    /// the mask already marks live (harmless — the row transforms run, they
+    /// just produce zeros).
+    pub fn to_precision<U: Scalar>(&self) -> SocsKernel<U> {
+        SocsKernel {
+            weight: self.weight,
+            transfer: self.transfer.to_precision(),
+            live_rows: self.live_rows.clone(),
         }
     }
 }
@@ -214,7 +234,7 @@ pub fn build_kernels(
         } else {
             weight
         };
-        let mut transfer = Field::zeros(width, height);
+        let mut transfer: Field = Field::zeros(width, height);
         for ky in 0..height {
             // FFT frequency layout: wrap the upper half to negatives.
             let fy_idx = if ky <= height / 2 {
@@ -354,7 +374,7 @@ mod tests {
 
         let mut rng = cardopc_geometry::SplitMix64::new(314);
         let mask: Vec<f64> = (0..w * h).map(|_| rng.range_f64(0.0, 1.0)).collect();
-        let mut spectrum = Field::from_real(w, h, &mask);
+        let mut spectrum: Field = Field::from_real(w, h, &mask);
         spectrum.fft2_inplace(false);
 
         let intensity = |transfer: &Field, weight: f64| {
@@ -365,7 +385,7 @@ mod tests {
 
         for k in &folded {
             // Reconstruct the dropped partner by index reflection f → −f.
-            let mut mirror = Field::zeros(w, h);
+            let mut mirror: Field = Field::zeros(w, h);
             for ky in 0..h {
                 for kx in 0..w {
                     let mx = (w - kx) % w;

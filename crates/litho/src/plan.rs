@@ -4,7 +4,14 @@
 //! and shared process-wide through a registry behind a `OnceLock`. Plans
 //! execute on *split-complex* data (separate `re[]`/`im[]` slices — see
 //! [`crate::Field`]) so every butterfly and twiddle loop runs over packed
-//! f64 lanes with no interleave shuffles.
+//! lanes with no interleave shuffles.
+//!
+//! Plans are generic over the [`Scalar`] element type: one registry entry
+//! per `(precision, size)` pair, so the `f32` backend gets its own narrowed
+//! twiddle tables without touching the `f64` reference plans. All twiddles
+//! and chirps are *computed* in `f64` and narrowed through
+//! [`Scalar::from_f64`] — for `T = f64` the tables (and the executed
+//! arithmetic) are bit-identical to the pre-generic implementation.
 //!
 //! 5-smooth lengths (`2^a·3^b·5^c`, which covers every size the litho
 //! engine schedules) run a **Stockham autosort** decimation-in-frequency
@@ -27,7 +34,9 @@
 //! stage.
 
 use crate::fft::{Complex, FftScratch};
+use crate::scalar::Scalar;
 use crate::simd::{self, SimdMode};
+use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -47,22 +56,22 @@ struct Stage {
 
 /// Stockham pipeline for a 5-smooth length.
 #[derive(Debug)]
-struct Stages {
+struct Stages<T: Scalar> {
     stages: Vec<Stage>,
     /// Twiddle real parts (shared by both directions).
-    tw_re: Vec<f64>,
+    tw_re: Vec<T>,
     /// Forward twiddle imaginary parts (`exp(−2πi·pj/n_cur)`).
-    tw_im_fwd: Vec<f64>,
+    tw_im_fwd: Vec<T>,
     /// Inverse twiddle imaginary parts (conjugates).
-    tw_im_inv: Vec<f64>,
+    tw_im_inv: Vec<T>,
 }
 
-impl Stages {
-    fn build(n: usize) -> Stages {
+impl<T: Scalar> Stages<T> {
+    fn build(n: usize) -> Stages<T> {
         debug_assert!(crate::fft::is_five_smooth(n));
         let mut stages = Vec::new();
         let mut tw_re = Vec::new();
-        let mut tw_im_fwd = Vec::new();
+        let mut tw_im_fwd: Vec<T> = Vec::new();
         let mut n_cur = n;
         let mut s = 1usize;
         while n_cur > 1 {
@@ -81,8 +90,8 @@ impl Stages {
                 for p in 0..m {
                     let ang = -std::f64::consts::TAU * (p * j) as f64 / n_cur as f64;
                     let (si, co) = ang.sin_cos();
-                    tw_re.push(co);
-                    tw_im_fwd.push(si);
+                    tw_re.push(T::from_f64(co));
+                    tw_im_fwd.push(T::from_f64(si));
                 }
             }
             stages.push(Stage {
@@ -94,7 +103,7 @@ impl Stages {
             n_cur = m;
             s *= radix;
         }
-        let tw_im_inv = tw_im_fwd.iter().map(|v| -v).collect();
+        let tw_im_inv = tw_im_fwd.iter().map(|&v| -v).collect();
         Stages {
             stages,
             tw_re,
@@ -109,10 +118,10 @@ impl Stages {
         &self,
         mode: SimdMode,
         inverse: bool,
-        re: &mut [f64],
-        im: &mut [f64],
-        pr: &mut [f64],
-        pi: &mut [f64],
+        re: &mut [T],
+        im: &mut [T],
+        pr: &mut [T],
+        pi: &mut [T],
     ) {
         let tw_im = if inverse {
             &self.tw_im_inv
@@ -125,18 +134,18 @@ impl Stages {
             // AVX2+FMA detection (crate::simd::active_mode / force_mode).
             unsafe {
                 if inverse {
-                    stages_avx2::<false>(self, tw_im, re, im, pr, pi);
+                    stages_avx2::<false, T>(self, tw_im, re, im, pr, pi);
                 } else {
-                    stages_avx2::<true>(self, tw_im, re, im, pr, pi);
+                    stages_avx2::<true, T>(self, tw_im, re, im, pr, pi);
                 }
             }
             return;
         }
         let _ = mode;
         if inverse {
-            stages_body::<false>(self, tw_im, re, im, pr, pi);
+            stages_body::<false, T>(self, tw_im, re, im, pr, pi);
         } else {
-            stages_body::<true>(self, tw_im, re, im, pr, pi);
+            stages_body::<true, T>(self, tw_im, re, im, pr, pi);
         }
     }
 }
@@ -144,41 +153,69 @@ impl Stages {
 /// The whole pipeline compiled with AVX2+FMA enabled. The body is the same
 /// as the scalar instantiation — Rust never contracts `a*b+c` into an FMA,
 /// so both instantiations are **bitwise identical**; this one just lets the
-/// autovectorizer use 256-bit lanes.
+/// autovectorizer use 256-bit lanes (4 `f64` or 8 `f32` per op).
 ///
 /// # Safety
 /// Caller must have verified AVX2+FMA support at runtime.
 #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
 #[target_feature(enable = "avx2,fma")]
-unsafe fn stages_avx2<const FWD: bool>(
-    plan: &Stages,
-    tw_im: &[f64],
-    re: &mut [f64],
-    im: &mut [f64],
-    pr: &mut [f64],
-    pi: &mut [f64],
+unsafe fn stages_avx2<const FWD: bool, T: Scalar>(
+    plan: &Stages<T>,
+    tw_im: &[T],
+    re: &mut [T],
+    im: &mut [T],
+    pr: &mut [T],
+    pi: &mut [T],
 ) {
-    stages_body::<FWD>(plan, tw_im, re, im, pr, pi);
+    if T::PRECISION == crate::scalar::Precision::F32 {
+        // SAFETY: `Scalar` is sealed, so `PRECISION == F32` implies
+        // `T == f32`; the casts below are identity reinterpretations.
+        unsafe {
+            let plan = &*(plan as *const Stages<T> as *const Stages<f32>);
+            let tw_im = &*(tw_im as *const [T] as *const [f32]);
+            let re = &mut *(re as *mut [T] as *mut [f32]);
+            let im = &mut *(im as *mut [T] as *mut [f32]);
+            let pr = &mut *(pr as *mut [T] as *mut [f32]);
+            let pi = &mut *(pi as *mut [T] as *mut [f32]);
+            stages_body_ps::<FWD>(plan, tw_im, re, im, pr, pi);
+        }
+        return;
+    }
+    stages_body::<FWD, T>(plan, tw_im, re, im, pr, pi);
 }
 
-#[inline(always)]
-fn stages_body<const FWD: bool>(
-    plan: &Stages,
-    tw_im: &[f64],
-    re: &mut [f64],
-    im: &mut [f64],
-    pr: &mut [f64],
-    pi: &mut [f64],
+/// The `f32` pipeline over the hand-written 8-lane stage kernels in
+/// [`crate::stage_ps`] (bitwise identical to the scalar dispatch — the
+/// kernels use the same per-lane expressions without FMA contraction).
+///
+/// # Safety
+/// Caller must have verified AVX2+FMA support at runtime.
+#[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn stages_body_ps<const FWD: bool>(
+    plan: &Stages<f32>,
+    tw_im: &[f32],
+    re: &mut [f32],
+    im: &mut [f32],
+    pr: &mut [f32],
+    pi: &mut [f32],
 ) {
+    use crate::stage_ps::{stage2_ps, stage3_ps, stage4_ps, stage5_ps};
     let mut in_data = true;
     for st in &plan.stages {
         let tw_len = (st.radix as usize - 1) * st.m;
         let twr = &plan.tw_re[st.tw_off..st.tw_off + tw_len];
         let twi = &tw_im[st.tw_off..st.tw_off + tw_len];
-        if in_data {
-            stage_any::<FWD>(st, twr, twi, re, im, pr, pi);
+        let (xr, xi, yr, yi) = if in_data {
+            (&*re, &*im, &mut *pr, &mut *pi)
         } else {
-            stage_any::<FWD>(st, twr, twi, pr, pi, re, im);
+            (&*pr, &*pi, &mut *re, &mut *im)
+        };
+        match st.radix {
+            2 => stage2_ps(st.m, st.s, twr, twi, xr, xi, yr, yi),
+            3 => stage3_ps::<FWD>(st.m, st.s, twr, twi, xr, xi, yr, yi),
+            4 => stage4_ps::<FWD>(st.m, st.s, twr, twi, xr, xi, yr, yi),
+            _ => stage5_ps::<FWD>(st.m, st.s, twr, twi, xr, xi, yr, yi),
         }
         in_data = !in_data;
     }
@@ -189,21 +226,48 @@ fn stages_body<const FWD: bool>(
 }
 
 #[inline(always)]
-fn stage_any<const FWD: bool>(
+fn stages_body<const FWD: bool, T: Scalar>(
+    plan: &Stages<T>,
+    tw_im: &[T],
+    re: &mut [T],
+    im: &mut [T],
+    pr: &mut [T],
+    pi: &mut [T],
+) {
+    let mut in_data = true;
+    for st in &plan.stages {
+        let tw_len = (st.radix as usize - 1) * st.m;
+        let twr = &plan.tw_re[st.tw_off..st.tw_off + tw_len];
+        let twi = &tw_im[st.tw_off..st.tw_off + tw_len];
+        if in_data {
+            stage_any::<FWD, T>(st, twr, twi, re, im, pr, pi);
+        } else {
+            stage_any::<FWD, T>(st, twr, twi, pr, pi, re, im);
+        }
+        in_data = !in_data;
+    }
+    if !in_data {
+        re.copy_from_slice(pr);
+        im.copy_from_slice(pi);
+    }
+}
+
+#[inline(always)]
+fn stage_any<const FWD: bool, T: Scalar>(
     st: &Stage,
-    twr: &[f64],
-    twi: &[f64],
-    xr: &mut [f64],
-    xi: &mut [f64],
-    yr: &mut [f64],
-    yi: &mut [f64],
+    twr: &[T],
+    twi: &[T],
+    xr: &mut [T],
+    xi: &mut [T],
+    yr: &mut [T],
+    yi: &mut [T],
 ) {
     let (xr, xi) = (&*xr, &*xi);
     match st.radix {
-        2 => stage2(st.m, st.s, twr, twi, xr, xi, yr, yi),
-        3 => stage3::<FWD>(st.m, st.s, twr, twi, xr, xi, yr, yi),
-        4 => stage4::<FWD>(st.m, st.s, twr, twi, xr, xi, yr, yi),
-        _ => stage5::<FWD>(st.m, st.s, twr, twi, xr, xi, yr, yi),
+        2 => stage2_generic(st.m, st.s, twr, twi, xr, xi, yr, yi),
+        3 => stage3_generic::<FWD, T>(st.m, st.s, twr, twi, xr, xi, yr, yi),
+        4 => stage4_generic::<FWD, T>(st.m, st.s, twr, twi, xr, xi, yr, yi),
+        _ => stage5_generic::<FWD, T>(st.m, st.s, twr, twi, xr, xi, yr, yi),
     }
 }
 
@@ -216,15 +280,15 @@ fn stage_any<const FWD: bool>(
 
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn stage2(
+pub(crate) fn stage2_generic<T: Scalar>(
     m: usize,
     s: usize,
-    twr: &[f64],
-    twi: &[f64],
-    xr: &[f64],
-    xi: &[f64],
-    yr: &mut [f64],
-    yi: &mut [f64],
+    twr: &[T],
+    twi: &[T],
+    xr: &[T],
+    xi: &[T],
+    yr: &mut [T],
+    yi: &mut [T],
 ) {
     if s == 1 {
         for p in 0..m {
@@ -261,15 +325,15 @@ fn stage2(
 
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn stage4<const FWD: bool>(
+pub(crate) fn stage4_generic<const FWD: bool, T: Scalar>(
     m: usize,
     s: usize,
-    twr: &[f64],
-    twi: &[f64],
-    xr: &[f64],
-    xi: &[f64],
-    yr: &mut [f64],
-    yi: &mut [f64],
+    twr: &[T],
+    twi: &[T],
+    xr: &[T],
+    xi: &[T],
+    yr: &mut [T],
+    yi: &mut [T],
 ) {
     // Forward butterfly: b0 = t0+t2, b1 = t1 − i·u, b2 = t0−t2,
     // b3 = t1 + i·u with t0 = a0+a2, t1 = a0−a2, t2 = a1+a3, u = a1−a3;
@@ -359,19 +423,19 @@ fn stage4<const FWD: bool>(
 
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn stage3<const FWD: bool>(
+pub(crate) fn stage3_generic<const FWD: bool, T: Scalar>(
     m: usize,
     s: usize,
-    twr: &[f64],
-    twi: &[f64],
-    xr: &[f64],
-    xi: &[f64],
-    yr: &mut [f64],
-    yi: &mut [f64],
+    twr: &[T],
+    twi: &[T],
+    xr: &[T],
+    xi: &[T],
+    yr: &mut [T],
+    yi: &mut [T],
 ) {
     // X1 = m0 − i·h·u, X2 = m0 + i·h·u (forward) with t = a1+a2,
     // u = a1−a2, m0 = a0 − t/2, h = √3/2; inverse swaps X1/X2.
-    let h = 0.5 * 3.0f64.sqrt();
+    let h = T::from_f64(0.5 * 3.0f64.sqrt());
     for p in 0..m {
         let (w1r, w1i) = (twr[p], twi[p]);
         let (w2r, w2i) = (twr[m + p], twi[m + p]);
@@ -393,7 +457,7 @@ fn stage3<const FWD: bool>(
             let (ur, ui) = (a1r - a2r, a1i - a2i);
             y0r[q] = a0r + tr;
             y0i[q] = a0i + ti;
-            let (m0r, m0i) = (a0r - 0.5 * tr, a0i - 0.5 * ti);
+            let (m0r, m0i) = (a0r - T::HALF * tr, a0i - T::HALF * ti);
             let (b1r, b1i, b2r, b2i) = if FWD {
                 (m0r + h * ui, m0i - h * ur, m0r - h * ui, m0i + h * ur)
             } else {
@@ -409,24 +473,26 @@ fn stage3<const FWD: bool>(
 
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn stage5<const FWD: bool>(
+pub(crate) fn stage5_generic<const FWD: bool, T: Scalar>(
     m: usize,
     s: usize,
-    twr: &[f64],
-    twi: &[f64],
-    xr: &[f64],
-    xi: &[f64],
-    yr: &mut [f64],
-    yi: &mut [f64],
+    twr: &[T],
+    twi: &[T],
+    xr: &[T],
+    xi: &[T],
+    yr: &mut [T],
+    yi: &mut [T],
 ) {
     // Winograd-style radix-5: with t1 = a1+a4, t2 = a2+a3, t3 = a1−a4,
     // t4 = a2−a3, m1 = a0 + c1·t1 + c2·t2, m2 = a0 + c2·t1 + c1·t2,
     // m3 = −i(s1·t3 + s2·t4), m4 = −i(s2·t3 − s1·t4):
     // X1 = m1+m3, X2 = m2+m4, X3 = m2−m4, X4 = m1−m3 (signs of m3/m4 flip
     // for the inverse).
-    let (s1, c1) = (std::f64::consts::TAU / 5.0).sin_cos();
-    let (s2, c2) = (2.0 * std::f64::consts::TAU / 5.0).sin_cos();
-    let sg = if FWD { 1.0 } else { -1.0 };
+    let (s1f, c1f) = (std::f64::consts::TAU / 5.0).sin_cos();
+    let (s2f, c2f) = (2.0 * std::f64::consts::TAU / 5.0).sin_cos();
+    let (s1, c1) = (T::from_f64(s1f), T::from_f64(c1f));
+    let (s2, c2) = (T::from_f64(s2f), T::from_f64(c2f));
+    let sg = if FWD { T::ONE } else { -T::ONE };
     for p in 0..m {
         let base = |j: usize| s * (p + j * m);
         let x0r = &xr[base(0)..base(0) + s];
@@ -485,24 +551,24 @@ fn stage5<const FWD: bool>(
 /// Bluestein chirp-z fallback: DFT of arbitrary `n` as a length-`m` cyclic
 /// convolution with a chirp, `m` 5-smooth and ≥ `2n−1`.
 #[derive(Debug)]
-struct Bluestein {
+struct Bluestein<T: Scalar> {
     n: usize,
     m: usize,
     /// The (always-Direct) plan for the convolution length.
-    plan_m: Arc<FftPlan>,
+    plan_m: Arc<FftPlan<T>>,
     /// `exp(−iπk²/n)` for `k in 0..n` (angles reduced with `k² mod 2n`).
-    chirp_re: Vec<f64>,
-    chirp_im: Vec<f64>,
+    chirp_re: Vec<T>,
+    chirp_im: Vec<T>,
     /// Forward FFT of the conjugate-chirp filter, pre-scaled by `1/m` so the
     /// unscaled inverse convolution comes out exactly normalised.
-    bf_re: Vec<f64>,
-    bf_im: Vec<f64>,
+    bf_re: Vec<T>,
+    bf_im: Vec<T>,
 }
 
-impl Bluestein {
-    fn build(n: usize) -> Bluestein {
+impl<T: Scalar> Bluestein<T> {
+    fn build(n: usize) -> Bluestein<T> {
         let m = crate::fft::next_five_smooth(2 * n - 1);
-        let plan_m = FftPlan::get(m);
+        let plan_m = FftPlan::<T>::get(m);
         let two_n = 2 * n as u128;
         let mut chirp_re = Vec::with_capacity(n);
         let mut chirp_im = Vec::with_capacity(n);
@@ -510,11 +576,11 @@ impl Bluestein {
             let sq = ((k * k) % two_n) as f64;
             let ang = -std::f64::consts::PI * sq / n as f64;
             let (si, co) = ang.sin_cos();
-            chirp_re.push(co);
-            chirp_im.push(si);
+            chirp_re.push(T::from_f64(co));
+            chirp_im.push(T::from_f64(si));
         }
-        let mut bf_re = vec![0.0; m];
-        let mut bf_im = vec![0.0; m];
+        let mut bf_re = vec![T::ZERO; m];
+        let mut bf_im = vec![T::ZERO; m];
         for k in 0..n {
             bf_re[k] = chirp_re[k];
             bf_im[k] = -chirp_im[k];
@@ -534,7 +600,7 @@ impl Bluestein {
             &mut scratch,
             false,
         );
-        let inv_m = 1.0 / m as f64;
+        let inv_m = T::from_f64(1.0 / m as f64);
         for v in bf_re.iter_mut().chain(bf_im.iter_mut()) {
             *v *= inv_m;
         }
@@ -553,12 +619,12 @@ impl Bluestein {
     fn execute(
         &self,
         mode: SimdMode,
-        re: &mut [f64],
-        im: &mut [f64],
-        pong_re: &mut Vec<f64>,
-        pong_im: &mut Vec<f64>,
-        blu_re: &mut Vec<f64>,
-        blu_im: &mut Vec<f64>,
+        re: &mut [T],
+        im: &mut [T],
+        pong_re: &mut Vec<T>,
+        pong_im: &mut Vec<T>,
+        blu_re: &mut Vec<T>,
+        blu_im: &mut Vec<T>,
         inverse: bool,
     ) {
         let (n, m) = (self.n, self.m);
@@ -570,16 +636,16 @@ impl Bluestein {
         }
         let stages = self.plan_m.direct_stages();
         if pong_re.len() < m {
-            pong_re.resize(m, 0.0);
+            pong_re.resize(m, T::ZERO);
         }
         if pong_im.len() < m {
-            pong_im.resize(m, 0.0);
+            pong_im.resize(m, T::ZERO);
         }
         if blu_re.len() < m {
-            blu_re.resize(m, 0.0);
+            blu_re.resize(m, T::ZERO);
         }
         if blu_im.len() < m {
-            blu_im.resize(m, 0.0);
+            blu_im.resize(m, T::ZERO);
         }
         // a = x·chirp, zero-padded to m.
         simd::cmul(
@@ -591,8 +657,8 @@ impl Bluestein {
             &mut blu_re[..n],
             &mut blu_im[..n],
         );
-        blu_re[n..m].fill(0.0);
-        blu_im[n..m].fill(0.0);
+        blu_re[n..m].fill(T::ZERO);
+        blu_im[n..m].fill(T::ZERO);
         // A = FFT_m(a), C = A·(B/m), c = unscaled IFFT_m(C).
         stages.run(
             mode,
@@ -638,19 +704,20 @@ impl Bluestein {
 }
 
 #[derive(Debug)]
-enum PlanKind {
-    Direct(Stages),
-    Bluestein(Box<Bluestein>),
+enum PlanKind<T: Scalar> {
+    Direct(Stages<T>),
+    Bluestein(Box<Bluestein<T>>),
 }
 
-/// A reusable execution plan for one transform size (any `n ≥ 1`).
+/// A reusable execution plan for one transform size (any `n ≥ 1`) at one
+/// [`Scalar`] precision (defaulting to the `f64` reference).
 #[derive(Debug)]
-pub struct FftPlan {
+pub struct FftPlan<T: Scalar = f64> {
     n: usize,
-    kind: PlanKind,
+    kind: PlanKind<T>,
 }
 
-impl FftPlan {
+impl<T: Scalar> FftPlan<T> {
     /// Transform size this plan executes.
     #[inline]
     pub fn len(&self) -> usize {
@@ -663,7 +730,7 @@ impl FftPlan {
         self.n == 0
     }
 
-    fn build(n: usize) -> FftPlan {
+    fn build(n: usize) -> FftPlan<T> {
         assert!(n >= 1, "FFT length must be at least 1");
         let kind = if crate::fft::is_five_smooth(n) {
             PlanKind::Direct(Stages::build(n))
@@ -673,33 +740,46 @@ impl FftPlan {
         FftPlan { n, kind }
     }
 
-    fn direct_stages(&self) -> &Stages {
+    fn direct_stages(&self) -> &Stages<T> {
         match &self.kind {
             PlanKind::Direct(s) => s,
             PlanKind::Bluestein(_) => unreachable!("convolution length is always 5-smooth"),
         }
     }
 
-    /// Fetches (building on first use) the shared plan for size `n`.
+    /// Fetches (building on first use) the shared plan for size `n` at this
+    /// precision. `f64` and `f32` plans are distinct registry entries —
+    /// each precision carries its own narrowed twiddle/chirp tables.
     ///
     /// # Panics
     ///
     /// Panics when `n == 0`.
-    pub fn get(n: usize) -> Arc<FftPlan> {
+    pub fn get(n: usize) -> Arc<FftPlan<T>> {
         assert!(n >= 1, "FFT length must be at least 1");
-        static REGISTRY: OnceLock<RwLock<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+        // One registry for both precisions, keyed by the scalar's TypeId;
+        // entries are type-erased and downcast on the way out (infallible
+        // by construction of the key).
+        type Registry = RwLock<HashMap<(TypeId, usize), Arc<dyn Any + Send + Sync>>>;
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
         let registry = REGISTRY.get_or_init(|| RwLock::new(HashMap::new()));
+        let key = (TypeId::of::<T>(), n);
         // A poisoned registry only means some unrelated thread panicked
         // while inserting; the map itself is still consistent.
-        if let Some(plan) = registry.read().unwrap_or_else(|e| e.into_inner()).get(&n) {
-            return Arc::clone(plan);
+        if let Some(plan) = registry.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            return match Arc::clone(plan).downcast::<FftPlan<T>>() {
+                Ok(p) => p,
+                Err(_) => unreachable!("registry entry matches its TypeId key"),
+            };
         }
         // Build outside the lock: a Bluestein plan recursively fetches its
         // convolution-length plan, which must not re-enter a held write
         // lock. A racing duplicate build is harmless (one Arc wins).
-        let plan = Arc::new(FftPlan::build(n));
+        let plan: Arc<dyn Any + Send + Sync> = Arc::new(FftPlan::<T>::build(n));
         let mut map = registry.write().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(map.entry(n).or_insert(plan))
+        match Arc::clone(map.entry(key).or_insert(plan)).downcast::<FftPlan<T>>() {
+            Ok(p) => p,
+            Err(_) => unreachable!("registry entry matches its TypeId key"),
+        }
     }
 
     /// Executes the transform on split-complex data without the inverse
@@ -715,9 +795,9 @@ impl FftPlan {
     #[inline]
     pub fn execute_unscaled_split(
         &self,
-        re: &mut [f64],
-        im: &mut [f64],
-        scratch: &mut FftScratch,
+        re: &mut [T],
+        im: &mut [T],
+        scratch: &mut FftScratch<T>,
         inverse: bool,
     ) {
         self.execute_unscaled_split_with(simd::active_mode(), re, im, scratch, inverse);
@@ -732,9 +812,9 @@ impl FftPlan {
     pub fn execute_unscaled_split_with(
         &self,
         mode: SimdMode,
-        re: &mut [f64],
-        im: &mut [f64],
-        scratch: &mut FftScratch,
+        re: &mut [T],
+        im: &mut [T],
+        scratch: &mut FftScratch<T>,
         inverse: bool,
     ) {
         let FftScratch {
@@ -759,12 +839,12 @@ impl FftPlan {
     pub(crate) fn execute_split_parts(
         &self,
         mode: SimdMode,
-        re: &mut [f64],
-        im: &mut [f64],
-        pong_re: &mut Vec<f64>,
-        pong_im: &mut Vec<f64>,
-        blu_re: &mut Vec<f64>,
-        blu_im: &mut Vec<f64>,
+        re: &mut [T],
+        im: &mut [T],
+        pong_re: &mut Vec<T>,
+        pong_im: &mut Vec<T>,
+        blu_re: &mut Vec<T>,
+        blu_im: &mut Vec<T>,
         inverse: bool,
     ) {
         assert_eq!(re.len(), self.n, "re length does not match plan size");
@@ -775,10 +855,10 @@ impl FftPlan {
         match &self.kind {
             PlanKind::Direct(stages) => {
                 if pong_re.len() < self.n {
-                    pong_re.resize(self.n, 0.0);
+                    pong_re.resize(self.n, T::ZERO);
                 }
                 if pong_im.len() < self.n {
-                    pong_im.resize(self.n, 0.0);
+                    pong_im.resize(self.n, T::ZERO);
                 }
                 stages.run(
                     mode,
@@ -794,14 +874,18 @@ impl FftPlan {
             }
         }
     }
+}
 
+impl FftPlan<f64> {
     /// Executes the transform in place on interleaved [`Complex`] samples,
     /// including the `1/n` normalisation on the inverse so
     /// `ifft(fft(x)) == x`.
     ///
     /// Compatibility wrapper: splits into a transient SoA pair per call.
     /// Hot paths hold a [`crate::Field`] / [`FftScratch`] and use
-    /// [`FftPlan::execute_unscaled_split`] instead.
+    /// [`FftPlan::execute_unscaled_split`] instead. [`Complex`] is `f64`,
+    /// so the interleaved surface exists on the reference-precision plan
+    /// only.
     ///
     /// # Panics
     ///
@@ -870,7 +954,7 @@ mod tests {
         for inverse in [false, true] {
             let expected = dft(&input, inverse);
             let mut got = input.clone();
-            FftPlan::get(n).execute(&mut got, inverse);
+            FftPlan::<f64>::get(n).execute(&mut got, inverse);
             let scale = (n as f64).max(1.0);
             for (a, b) in got.iter().zip(&expected) {
                 assert!(
@@ -902,6 +986,37 @@ mod tests {
     }
 
     #[test]
+    fn f32_plan_matches_f64_reference_within_tolerance() {
+        use cardopc_geometry::SplitMix64;
+        // Direct (5-smooth) and Bluestein sizes through the f32 plan, with
+        // the f64 plan of the same size as the reference.
+        for n in [16usize, 60, 97, 125] {
+            let mut rng = SplitMix64::new(n as u64 + 3);
+            let re64: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let im64: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let mut re32: Vec<f32> = re64.iter().map(|&v| v as f32).collect();
+            let mut im32: Vec<f32> = im64.iter().map(|&v| v as f32).collect();
+            let (mut re, mut im) = (re64.clone(), im64.clone());
+            let mut s64 = FftScratch::new();
+            FftPlan::<f64>::get(n).execute_unscaled_split(&mut re, &mut im, &mut s64, false);
+            let mut s32 = FftScratch::new();
+            FftPlan::<f32>::get(n).execute_unscaled_split(&mut re32, &mut im32, &mut s32, false);
+            let tol = 1e-4 * n as f64;
+            for k in 0..n {
+                assert!(
+                    (f64::from(re32[k]) - re[k]).abs() < tol
+                        && (f64::from(im32[k]) - im[k]).abs() < tol,
+                    "n {n} sample {k}: ({}, {}) vs ({}, {})",
+                    re32[k],
+                    im32[k],
+                    re[k],
+                    im[k]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn split_path_matches_interleaved_path_bitwise() {
         use cardopc_geometry::SplitMix64;
         for n in [16usize, 15, 13] {
@@ -909,7 +1024,7 @@ mod tests {
             let input: Vec<Complex> = (0..n)
                 .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
                 .collect();
-            let plan = FftPlan::get(n);
+            let plan = FftPlan::<f64>::get(n);
             let mut interleaved = input.clone();
             plan.execute_unscaled(&mut interleaved, false);
             let mut re: Vec<f64> = input.iter().map(|z| z.re).collect();
@@ -924,18 +1039,24 @@ mod tests {
     }
 
     #[test]
-    fn registry_returns_shared_plans() {
-        let a = FftPlan::get(64);
-        let b = FftPlan::get(64);
+    fn registry_returns_shared_plans_per_precision() {
+        let a = FftPlan::<f64>::get(64);
+        let b = FftPlan::<f64>::get(64);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.len(), 64);
         assert!(!a.is_empty());
+        // The f32 registry entry for the same size is its own plan (and is
+        // likewise shared across fetches).
+        let c = FftPlan::<f32>::get(64);
+        let d = FftPlan::<f32>::get(64);
+        assert!(Arc::ptr_eq(&c, &d));
+        assert_eq!(c.len(), 64);
     }
 
     #[test]
     fn unscaled_inverse_differs_by_n() {
         for n in [8usize, 12, 11] {
-            let plan = FftPlan::get(n);
+            let plan = FftPlan::<f64>::get(n);
             let input: Vec<Complex> = (0..n)
                 .map(|i| Complex::new(i as f64, -(i as f64)))
                 .collect();
@@ -958,7 +1079,7 @@ mod tests {
             let input: Vec<Complex> = (0..n)
                 .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
                 .collect();
-            let plan = FftPlan::get(n);
+            let plan = FftPlan::<f64>::get(n);
             let mut x = input.clone();
             plan.execute(&mut x, false);
             plan.execute(&mut x, true);
@@ -970,6 +1091,6 @@ mod tests {
 
     #[test]
     fn zero_length_plan_rejected() {
-        assert!(std::panic::catch_unwind(|| FftPlan::get(0)).is_err());
+        assert!(std::panic::catch_unwind(|| FftPlan::<f64>::get(0)).is_err());
     }
 }

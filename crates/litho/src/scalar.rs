@@ -1,0 +1,385 @@
+//! The sealed scalar abstraction behind the mixed-precision simulation
+//! backends.
+//!
+//! Everything downstream of the mask raster — [`crate::fft::Field`], the
+//! FFT plans and twiddles, and the SOCS accumulate kernels — is generic
+//! over [`Scalar`], which is implemented for exactly `f64` and `f32`.
+//! The trait is *sealed*: the SIMD kernels, plan registries, and
+//! tolerance contracts are written against these two types only, and a
+//! third implementation outside this crate could not uphold them.
+//!
+//! Two invariants keep the genericization honest:
+//!
+//! * **`f64` is the reference.** All derived constants (twiddle factors,
+//!   chirps, butterfly constants, normalisations) are computed in `f64`
+//!   and narrowed through [`Scalar::from_f64`] — for `T = f64` that is
+//!   the identity, so the double-precision path stays bit-identical to
+//!   the pre-generic implementation.
+//! * **Only simulation downcasts.** Geometry, MRC, and spline fitting
+//!   stay `f64`; masks enter as `&[f64]` and intensities leave as
+//!   `&mut [f64]` regardless of the simulation precision. [`Precision`]
+//!   names the per-run choice on the engine/config/wire surface.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The floating-point precision a run simulates in.
+///
+/// Selected per run (CLI `--precision`, wire field `opc.precision`) and
+/// threaded through the engine, tile scheduling, the content-addressed
+/// tile cache key, and the fleet work-spec. Only the *simulation* core
+/// (FFT + SOCS convolution) changes width; geometry, MRC, and fitting
+/// are always double precision.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Double-precision simulation (the reference path).
+    #[default]
+    F64,
+    /// Single-precision simulation: half the memory bandwidth and twice
+    /// the SIMD lanes, within the documented tolerance of the `f64`
+    /// reference (see `DESIGN.md` §12).
+    F32,
+}
+
+impl Precision {
+    /// Strictly parses the canonical names `"f64"` and `"f32"`.
+    ///
+    /// Anything else — including case variants and aliases like
+    /// `"double"` — returns `None`, so every config surface fails loudly
+    /// instead of silently defaulting.
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f64" => Some(Precision::F64),
+            "f32" => Some(Precision::F32),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (`"f64"` / `"f32"`), the exact form
+    /// [`Precision::parse`] accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+
+    /// A stable one-byte discriminant for content hashes (the tile cache
+    /// key must never alias an `f32` result with an `f64` one).
+    pub fn tag(self) -> u8 {
+        match self {
+            Precision::F64 => 0,
+            Precision::F32 => 1,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+}
+
+/// The scalar element type of the simulation pipeline (sealed; exactly
+/// `f64` and `f32`).
+///
+/// Bounds cover everything the generic FFT/SOCS code needs: plain
+/// arithmetic, conversions to and from the `f64` reference domain, a
+/// fused multiply-add for the SIMD-path scalar tails, and per-type
+/// hooks onto the hand-written AVX2 kernels in [`crate::simd`].
+pub trait Scalar:
+    private::Sealed
+    + Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + fmt::Debug
+    + fmt::Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// One half (the Hermitian-split and radix-3 butterfly constant).
+    const HALF: Self;
+    /// The [`Precision`] this type implements.
+    const PRECISION: Precision;
+
+    /// Narrowing (for `f32`) or identity (for `f64`) conversion from the
+    /// `f64` reference domain. All derived constants funnel through this
+    /// so the `f64` path is bitwise unchanged by the genericization.
+    fn from_f64(v: f64) -> Self;
+
+    /// Widening (for `f32`) or identity (for `f64`) conversion back to
+    /// the `f64` output domain.
+    fn to_f64(self) -> f64;
+
+    /// Fused multiply-add `self * a + b`, used by the scalar tails of
+    /// the AVX2 kernels (same rounding as the vector FMA lanes).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+
+    /// AVX2 kernel hook for `d = a · b` (split-complex pointwise).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support at runtime (on other
+    /// targets the hook falls back to the scalar body and is safe).
+    #[doc(hidden)]
+    unsafe fn cmul_avx2(
+        ar: &[Self],
+        ai: &[Self],
+        br: &[Self],
+        bi: &[Self],
+        dr: &mut [Self],
+        di: &mut [Self],
+    );
+
+    /// AVX2 kernel hook for `d = a · conj(b)`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[doc(hidden)]
+    unsafe fn cmul_conj_avx2(
+        ar: &[Self],
+        ai: &[Self],
+        br: &[Self],
+        bi: &[Self],
+        dr: &mut [Self],
+        di: &mut [Self],
+    );
+
+    /// AVX2 kernel hook for `d = a · r` (complex × real vector).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[doc(hidden)]
+    unsafe fn mul_real_avx2(ar: &[Self], ai: &[Self], r: &[Self], dr: &mut [Self], di: &mut [Self]);
+
+    /// AVX2 kernel hook for `acc += w · (re² + im²)`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[doc(hidden)]
+    unsafe fn acc_norm_sq_avx2(re: &[Self], im: &[Self], w: Self, acc: &mut [Self]);
+
+    /// AVX2 kernel hook for `acc += w · re`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[doc(hidden)]
+    unsafe fn acc_re_avx2(re: &[Self], w: Self, acc: &mut [Self]);
+
+    /// AVX2 kernel hook for the strided blocked transpose
+    /// `dst[c·dst_stride + r] = src[r·src_stride + c]`. `seq_dst` selects
+    /// the tile walk (see `crate::simd::transpose_body`).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support at runtime, and the
+    /// slices must cover `(rows-1)·src_stride + cols` and
+    /// `(cols-1)·dst_stride + rows` elements respectively.
+    #[doc(hidden)]
+    unsafe fn transpose_avx2(
+        src: &[Self],
+        src_stride: usize,
+        rows: usize,
+        cols: usize,
+        dst: &mut [Self],
+        dst_stride: usize,
+        seq_dst: bool,
+    );
+}
+
+/// Routes the six kernel hooks of one `Scalar` impl to the matching
+/// `crate::simd::avx2` functions (x86-64 builds) or the scalar bodies
+/// (everything else, where `SimdMode::Avx2` is never produced anyway).
+macro_rules! avx2_hooks {
+    ($cmul:ident, $cmul_conj:ident, $mul_real:ident, $acc_norm_sq:ident, $acc_re:ident,
+     $transpose:ident) => {
+        unsafe fn cmul_avx2(
+            ar: &[Self],
+            ai: &[Self],
+            br: &[Self],
+            bi: &[Self],
+            dr: &mut [Self],
+            di: &mut [Self],
+        ) {
+            #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+            crate::simd::avx2::$cmul(ar, ai, br, bi, dr, di);
+            #[cfg(not(all(target_arch = "x86_64", not(feature = "scalar-only"))))]
+            crate::simd::cmul_body(ar, ai, br, bi, dr, di);
+        }
+
+        unsafe fn cmul_conj_avx2(
+            ar: &[Self],
+            ai: &[Self],
+            br: &[Self],
+            bi: &[Self],
+            dr: &mut [Self],
+            di: &mut [Self],
+        ) {
+            #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+            crate::simd::avx2::$cmul_conj(ar, ai, br, bi, dr, di);
+            #[cfg(not(all(target_arch = "x86_64", not(feature = "scalar-only"))))]
+            crate::simd::cmul_conj_body(ar, ai, br, bi, dr, di);
+        }
+
+        unsafe fn mul_real_avx2(
+            ar: &[Self],
+            ai: &[Self],
+            r: &[Self],
+            dr: &mut [Self],
+            di: &mut [Self],
+        ) {
+            #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+            crate::simd::avx2::$mul_real(ar, ai, r, dr, di);
+            #[cfg(not(all(target_arch = "x86_64", not(feature = "scalar-only"))))]
+            crate::simd::mul_real_body(ar, ai, r, dr, di);
+        }
+
+        unsafe fn acc_norm_sq_avx2(re: &[Self], im: &[Self], w: Self, acc: &mut [Self]) {
+            #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+            crate::simd::avx2::$acc_norm_sq(re, im, w, acc);
+            #[cfg(not(all(target_arch = "x86_64", not(feature = "scalar-only"))))]
+            crate::simd::acc_norm_sq_body(re, im, w, acc);
+        }
+
+        unsafe fn acc_re_avx2(re: &[Self], w: Self, acc: &mut [Self]) {
+            #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+            crate::simd::avx2::$acc_re(re, w, acc);
+            #[cfg(not(all(target_arch = "x86_64", not(feature = "scalar-only"))))]
+            crate::simd::acc_re_body(re, w, acc);
+        }
+
+        unsafe fn transpose_avx2(
+            src: &[Self],
+            src_stride: usize,
+            rows: usize,
+            cols: usize,
+            dst: &mut [Self],
+            dst_stride: usize,
+            seq_dst: bool,
+        ) {
+            #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+            crate::simd::avx2::$transpose(src, src_stride, rows, cols, dst, dst_stride, seq_dst);
+            #[cfg(not(all(target_arch = "x86_64", not(feature = "scalar-only"))))]
+            crate::simd::transpose_body(src, src_stride, rows, cols, dst, dst_stride, seq_dst);
+        }
+    };
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const HALF: Self = 0.5;
+    const PRECISION: Precision = Precision::F64;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+
+    avx2_hooks!(
+        cmul_pd,
+        cmul_conj_pd,
+        mul_real_pd,
+        acc_norm_sq_pd,
+        acc_re_pd,
+        transpose_pd
+    );
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const HALF: Self = 0.5;
+    const PRECISION: Precision = Precision::F32;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+
+    avx2_hooks!(
+        cmul_ps,
+        cmul_conj_ps,
+        mul_real_ps,
+        acc_norm_sq_ps,
+        acc_re_ps,
+        transpose_ps
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_is_strict() {
+        assert_eq!(Precision::parse("f64"), Some(Precision::F64));
+        assert_eq!(Precision::parse("f32"), Some(Precision::F32));
+        for bad in ["F64", "f16", "double", "single", "32", "", " f32"] {
+            assert_eq!(Precision::parse(bad), None, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip_and_tags_differ() {
+        for p in [Precision::F64, Precision::F32] {
+            assert_eq!(Precision::parse(p.name()), Some(p));
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert_ne!(Precision::F64.tag(), Precision::F32.tag());
+        assert_eq!(Precision::default(), Precision::F64);
+    }
+
+    #[test]
+    fn conversions_are_identity_for_f64_and_narrow_for_f32() {
+        let v = 0.123_456_789_012_345_6_f64;
+        assert_eq!(f64::from_f64(v).to_bits(), v.to_bits());
+        assert_eq!(f32::from_f64(v), v as f32);
+        assert_eq!(<f32 as Scalar>::to_f64(0.5f32), 0.5f64);
+        assert_eq!(<f64 as Scalar>::PRECISION, Precision::F64);
+        assert_eq!(<f32 as Scalar>::PRECISION, Precision::F32);
+    }
+}

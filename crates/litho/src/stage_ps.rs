@@ -1,0 +1,599 @@
+//! Hand-written 8-lane AVX2 stage kernels for the `f32` Stockham pipeline.
+//!
+//! The generic stage bodies in `plan` autovectorize acceptably at 4 `f64`
+//! lanes, but the `f32` instantiation leaves most of the width on the
+//! table: a stage's inner loop runs over `s` interleaved transforms, and
+//! the early stages of every pow2 size have `s ∈ {1, 4}` — shorter than
+//! an 8-lane vector, so exactly the stages that dominate small-to-medium
+//! transforms execute scalar. These kernels vectorize *across
+//! sub-transforms* (`p`) for `s ∈ {1, 4}`, using in-register transposes
+//! for the radix-interleaved stores, and across `q` for `s ≥ 8`; every
+//! other shape falls back to the generic bodies.
+//!
+//! Each vector lane computes the same expression, in the same
+//! association order, as one iteration of the scalar body — multiplies,
+//! adds and subtracts only, no FMA contraction — so the AVX2 `f32` FFT
+//! stays **bitwise identical** to the scalar dispatch, exactly like the
+//! autovectorized `f64` path (`plan::stages_avx2` documents the same
+//! invariant).
+
+#![cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+// Stage kernels mirror the generic bodies' signatures (split-complex in/out
+// plus twiddle planes); bundling them into structs would only obscure the
+// 1:1 correspondence.
+#![allow(clippy::too_many_arguments)]
+
+use crate::plan::{stage2_generic, stage3_generic, stage4_generic, stage5_generic};
+use std::arch::x86_64::*;
+
+/// Complex rotation `(br·wr − bi·wi, br·wi + bi·wr)`, the twiddle
+/// application every stage shares (mirrors the scalar expression order).
+#[inline(always)]
+unsafe fn rot(br: __m256, bi: __m256, wr: __m256, wi: __m256) -> (__m256, __m256) {
+    let re = _mm256_sub_ps(_mm256_mul_ps(br, wr), _mm256_mul_ps(bi, wi));
+    let im = _mm256_add_ps(_mm256_mul_ps(br, wi), _mm256_mul_ps(bi, wr));
+    (re, im)
+}
+
+/// `[w[0]; 4 | w[1]; 4]` — per-`p` twiddle broadcast for the paired
+/// `s == 4` kernels.
+#[inline(always)]
+unsafe fn bcast2(w: *const f32) -> __m256 {
+    _mm256_set_m128(_mm_broadcast_ss(&*w.add(1)), _mm_broadcast_ss(&*w))
+}
+
+/// Interleaves four lane vectors with period 1 into 32 consecutive
+/// samples: `dst[4k + j] = v_j[k]` (the radix-4 `s == 1` store pattern).
+#[inline(always)]
+unsafe fn store_interleave4(dst: *mut f32, v0: __m256, v1: __m256, v2: __m256, v3: __m256) {
+    let t0 = _mm256_unpacklo_ps(v0, v1);
+    let t1 = _mm256_unpackhi_ps(v0, v1);
+    let t2 = _mm256_unpacklo_ps(v2, v3);
+    let t3 = _mm256_unpackhi_ps(v2, v3);
+    let u0 = _mm256_shuffle_ps(t0, t2, 0x44);
+    let u1 = _mm256_shuffle_ps(t0, t2, 0xEE);
+    let u2 = _mm256_shuffle_ps(t1, t3, 0x44);
+    let u3 = _mm256_shuffle_ps(t1, t3, 0xEE);
+    _mm256_storeu_ps(dst, _mm256_permute2f128_ps(u0, u1, 0x20));
+    _mm256_storeu_ps(dst.add(8), _mm256_permute2f128_ps(u2, u3, 0x20));
+    _mm256_storeu_ps(dst.add(16), _mm256_permute2f128_ps(u0, u1, 0x31));
+    _mm256_storeu_ps(dst.add(24), _mm256_permute2f128_ps(u2, u3, 0x31));
+}
+
+/// Radix-4 butterfly on 8 lanes (the scalar macro, lane-parallel).
+#[allow(clippy::type_complexity)]
+#[inline(always)]
+unsafe fn bf4<const FWD: bool>(
+    a0r: __m256,
+    a0i: __m256,
+    a1r: __m256,
+    a1i: __m256,
+    a2r: __m256,
+    a2i: __m256,
+    a3r: __m256,
+    a3i: __m256,
+) -> (
+    __m256,
+    __m256,
+    __m256,
+    __m256,
+    __m256,
+    __m256,
+    __m256,
+    __m256,
+) {
+    let t0r = _mm256_add_ps(a0r, a2r);
+    let t0i = _mm256_add_ps(a0i, a2i);
+    let t1r = _mm256_sub_ps(a0r, a2r);
+    let t1i = _mm256_sub_ps(a0i, a2i);
+    let t2r = _mm256_add_ps(a1r, a3r);
+    let t2i = _mm256_add_ps(a1i, a3i);
+    let ur = _mm256_sub_ps(a1r, a3r);
+    let ui = _mm256_sub_ps(a1i, a3i);
+    let (b1r, b1i, b3r, b3i) = if FWD {
+        (
+            _mm256_add_ps(t1r, ui),
+            _mm256_sub_ps(t1i, ur),
+            _mm256_sub_ps(t1r, ui),
+            _mm256_add_ps(t1i, ur),
+        )
+    } else {
+        (
+            _mm256_sub_ps(t1r, ui),
+            _mm256_add_ps(t1i, ur),
+            _mm256_add_ps(t1r, ui),
+            _mm256_sub_ps(t1i, ur),
+        )
+    };
+    (
+        _mm256_add_ps(t0r, t2r),
+        _mm256_add_ps(t0i, t2i),
+        b1r,
+        b1i,
+        _mm256_sub_ps(t0r, t2r),
+        _mm256_sub_ps(t0i, t2i),
+        b3r,
+        b3i,
+    )
+}
+
+/// Radix-2 stage (real-coefficient butterfly; direction lives in the
+/// twiddles, so no `FWD` parameter — same contract as the generic body).
+///
+/// # Safety
+///
+/// AVX2 support verified by the caller; slice extents as in the generic
+/// stage bodies (`x*`/`y*` of length `2·s·m`, twiddles of length `m`).
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn stage2_ps(
+    m: usize,
+    s: usize,
+    twr: &[f32],
+    twi: &[f32],
+    xr: &[f32],
+    xi: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    let (xrp, xip) = (xr.as_ptr(), xi.as_ptr());
+    let (yrp, yip) = (yr.as_mut_ptr(), yi.as_mut_ptr());
+    if s >= 8 {
+        for p in 0..m {
+            let wr = _mm256_broadcast_ss(&twr[p]);
+            let wi = _mm256_broadcast_ss(&twi[p]);
+            let (x0, x1) = (s * p, s * (p + m));
+            let (y0, y1) = (2 * s * p, 2 * s * p + s);
+            let mut q = 0;
+            while q + 8 <= s {
+                let ar = _mm256_loadu_ps(xrp.add(x0 + q));
+                let ai = _mm256_loadu_ps(xip.add(x0 + q));
+                let br = _mm256_loadu_ps(xrp.add(x1 + q));
+                let bi = _mm256_loadu_ps(xip.add(x1 + q));
+                _mm256_storeu_ps(yrp.add(y0 + q), _mm256_add_ps(ar, br));
+                _mm256_storeu_ps(yip.add(y0 + q), _mm256_add_ps(ai, bi));
+                let (vr, vi) = rot(_mm256_sub_ps(ar, br), _mm256_sub_ps(ai, bi), wr, wi);
+                _mm256_storeu_ps(yrp.add(y1 + q), vr);
+                _mm256_storeu_ps(yip.add(y1 + q), vi);
+                q += 8;
+            }
+            while q < s {
+                let (ar, ai) = (xr[x0 + q], xi[x0 + q]);
+                let (br, bi) = (xr[x1 + q], xi[x1 + q]);
+                yr[y0 + q] = ar + br;
+                yi[y0 + q] = ai + bi;
+                let (wr, wi) = (twr[p], twi[p]);
+                let (ur, ui) = (ar - br, ai - bi);
+                yr[y1 + q] = ur * wr - ui * wi;
+                yi[y1 + q] = ur * wi + ui * wr;
+                q += 1;
+            }
+        }
+    } else if s == 1 {
+        // Vectorize across 8 sub-transforms; outputs interleave in pairs.
+        let mut p = 0;
+        while p + 8 <= m {
+            let ar = _mm256_loadu_ps(xrp.add(p));
+            let ai = _mm256_loadu_ps(xip.add(p));
+            let br = _mm256_loadu_ps(xrp.add(p + m));
+            let bi = _mm256_loadu_ps(xip.add(p + m));
+            let wr = _mm256_loadu_ps(twr.as_ptr().add(p));
+            let wi = _mm256_loadu_ps(twi.as_ptr().add(p));
+            let (vr, vi) = rot(_mm256_sub_ps(ar, br), _mm256_sub_ps(ai, bi), wr, wi);
+            let (sr, si) = (_mm256_add_ps(ar, br), _mm256_add_ps(ai, bi));
+            for (dst, e, o) in [(yrp, sr, vr), (yip, si, vi)] {
+                let t0 = _mm256_unpacklo_ps(e, o);
+                let t1 = _mm256_unpackhi_ps(e, o);
+                _mm256_storeu_ps(dst.add(2 * p), _mm256_permute2f128_ps(t0, t1, 0x20));
+                _mm256_storeu_ps(dst.add(2 * p + 8), _mm256_permute2f128_ps(t0, t1, 0x31));
+            }
+            p += 8;
+        }
+        while p < m {
+            let (wr, wi) = (twr[p], twi[p]);
+            let (ar, ai) = (xr[p], xi[p]);
+            let (br, bi) = (xr[p + m], xi[p + m]);
+            yr[2 * p] = ar + br;
+            yi[2 * p] = ai + bi;
+            let (ur, ui) = (ar - br, ai - bi);
+            yr[2 * p + 1] = ur * wr - ui * wi;
+            yi[2 * p + 1] = ur * wi + ui * wr;
+            p += 1;
+        }
+    } else {
+        stage2_generic::<f32>(m, s, twr, twi, xr, xi, yr, yi);
+    }
+}
+
+/// Radix-4 stage: `p`-vectorized for `s ∈ {1, 4}`, `q`-vectorized for
+/// `s ≥ 8`, generic fallback otherwise.
+///
+/// # Safety
+///
+/// AVX2 support verified by the caller; slice extents as in the generic
+/// stage bodies.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn stage4_ps<const FWD: bool>(
+    m: usize,
+    s: usize,
+    twr: &[f32],
+    twi: &[f32],
+    xr: &[f32],
+    xi: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    let (xrp, xip) = (xr.as_ptr(), xi.as_ptr());
+    let (yrp, yip) = (yr.as_mut_ptr(), yi.as_mut_ptr());
+    let (twrp, twip) = (twr.as_ptr(), twi.as_ptr());
+    if s >= 8 {
+        for p in 0..m {
+            let w1r = _mm256_broadcast_ss(&twr[p]);
+            let w1i = _mm256_broadcast_ss(&twi[p]);
+            let w2r = _mm256_broadcast_ss(&twr[m + p]);
+            let w2i = _mm256_broadcast_ss(&twi[m + p]);
+            let w3r = _mm256_broadcast_ss(&twr[2 * m + p]);
+            let w3i = _mm256_broadcast_ss(&twi[2 * m + p]);
+            let x = [s * p, s * (p + m), s * (p + 2 * m), s * (p + 3 * m)];
+            let y = 4 * s * p;
+            let mut q = 0;
+            while q + 8 <= s {
+                let a0r = _mm256_loadu_ps(xrp.add(x[0] + q));
+                let a0i = _mm256_loadu_ps(xip.add(x[0] + q));
+                let a1r = _mm256_loadu_ps(xrp.add(x[1] + q));
+                let a1i = _mm256_loadu_ps(xip.add(x[1] + q));
+                let a2r = _mm256_loadu_ps(xrp.add(x[2] + q));
+                let a2i = _mm256_loadu_ps(xip.add(x[2] + q));
+                let a3r = _mm256_loadu_ps(xrp.add(x[3] + q));
+                let a3i = _mm256_loadu_ps(xip.add(x[3] + q));
+                let (b0r, b0i, b1r, b1i, b2r, b2i, b3r, b3i) =
+                    bf4::<FWD>(a0r, a0i, a1r, a1i, a2r, a2i, a3r, a3i);
+                let (c1r, c1i) = rot(b1r, b1i, w1r, w1i);
+                let (c2r, c2i) = rot(b2r, b2i, w2r, w2i);
+                let (c3r, c3i) = rot(b3r, b3i, w3r, w3i);
+                _mm256_storeu_ps(yrp.add(y + q), b0r);
+                _mm256_storeu_ps(yip.add(y + q), b0i);
+                _mm256_storeu_ps(yrp.add(y + s + q), c1r);
+                _mm256_storeu_ps(yip.add(y + s + q), c1i);
+                _mm256_storeu_ps(yrp.add(y + 2 * s + q), c2r);
+                _mm256_storeu_ps(yip.add(y + 2 * s + q), c2i);
+                _mm256_storeu_ps(yrp.add(y + 3 * s + q), c3r);
+                _mm256_storeu_ps(yip.add(y + 3 * s + q), c3i);
+                q += 8;
+            }
+            debug_assert_eq!(q, s, "s >= 8 stages have 8-divisible strides");
+        }
+    } else if s == 4 {
+        // Two sub-transforms per vector: the four stride-4 input blocks of
+        // `p` and `p + 1` are contiguous 8-sample spans.
+        let mut p = 0;
+        while p + 2 <= m {
+            let a0r = _mm256_loadu_ps(xrp.add(4 * p));
+            let a0i = _mm256_loadu_ps(xip.add(4 * p));
+            let a1r = _mm256_loadu_ps(xrp.add(4 * (p + m)));
+            let a1i = _mm256_loadu_ps(xip.add(4 * (p + m)));
+            let a2r = _mm256_loadu_ps(xrp.add(4 * (p + 2 * m)));
+            let a2i = _mm256_loadu_ps(xip.add(4 * (p + 2 * m)));
+            let a3r = _mm256_loadu_ps(xrp.add(4 * (p + 3 * m)));
+            let a3i = _mm256_loadu_ps(xip.add(4 * (p + 3 * m)));
+            let (b0r, b0i, b1r, b1i, b2r, b2i, b3r, b3i) =
+                bf4::<FWD>(a0r, a0i, a1r, a1i, a2r, a2i, a3r, a3i);
+            let (c1r, c1i) = rot(b1r, b1i, bcast2(twrp.add(p)), bcast2(twip.add(p)));
+            let (c2r, c2i) = rot(b2r, b2i, bcast2(twrp.add(m + p)), bcast2(twip.add(m + p)));
+            let (c3r, c3i) = rot(
+                b3r,
+                b3i,
+                bcast2(twrp.add(2 * m + p)),
+                bcast2(twip.add(2 * m + p)),
+            );
+            // Output blocks of 4: y[16p..16p+16) is the `p` group (lows),
+            // y[16p+16..16p+32) the `p + 1` group (highs).
+            for (dst, v0, v1, v2, v3) in [(yrp, b0r, c1r, c2r, c3r), (yip, b0i, c1i, c2i, c3i)] {
+                let d = dst.add(16 * p);
+                _mm256_storeu_ps(d, _mm256_permute2f128_ps(v0, v1, 0x20));
+                _mm256_storeu_ps(d.add(8), _mm256_permute2f128_ps(v2, v3, 0x20));
+                _mm256_storeu_ps(d.add(16), _mm256_permute2f128_ps(v0, v1, 0x31));
+                _mm256_storeu_ps(d.add(24), _mm256_permute2f128_ps(v2, v3, 0x31));
+            }
+            p += 2;
+        }
+        if p < m {
+            stage4_tail::<FWD>(p, m, s, twr, twi, xr, xi, yr, yi);
+        }
+    } else if s == 1 {
+        // Eight sub-transforms per vector; outputs interleave with
+        // period 4 via an in-register 8×4 transpose.
+        let mut p = 0;
+        while p + 8 <= m {
+            let a0r = _mm256_loadu_ps(xrp.add(p));
+            let a0i = _mm256_loadu_ps(xip.add(p));
+            let a1r = _mm256_loadu_ps(xrp.add(p + m));
+            let a1i = _mm256_loadu_ps(xip.add(p + m));
+            let a2r = _mm256_loadu_ps(xrp.add(p + 2 * m));
+            let a2i = _mm256_loadu_ps(xip.add(p + 2 * m));
+            let a3r = _mm256_loadu_ps(xrp.add(p + 3 * m));
+            let a3i = _mm256_loadu_ps(xip.add(p + 3 * m));
+            let (b0r, b0i, b1r, b1i, b2r, b2i, b3r, b3i) =
+                bf4::<FWD>(a0r, a0i, a1r, a1i, a2r, a2i, a3r, a3i);
+            let w1r = _mm256_loadu_ps(twrp.add(p));
+            let w1i = _mm256_loadu_ps(twip.add(p));
+            let w2r = _mm256_loadu_ps(twrp.add(m + p));
+            let w2i = _mm256_loadu_ps(twip.add(m + p));
+            let w3r = _mm256_loadu_ps(twrp.add(2 * m + p));
+            let w3i = _mm256_loadu_ps(twip.add(2 * m + p));
+            let (c1r, c1i) = rot(b1r, b1i, w1r, w1i);
+            let (c2r, c2i) = rot(b2r, b2i, w2r, w2i);
+            let (c3r, c3i) = rot(b3r, b3i, w3r, w3i);
+            store_interleave4(yrp.add(4 * p), b0r, c1r, c2r, c3r);
+            store_interleave4(yip.add(4 * p), b0i, c1i, c2i, c3i);
+            p += 8;
+        }
+        if p < m {
+            stage4_tail::<FWD>(p, m, s, twr, twi, xr, xi, yr, yi);
+        }
+    } else {
+        stage4_generic::<FWD, f32>(m, s, twr, twi, xr, xi, yr, yi);
+    }
+}
+
+/// Scalar remainder of the `p`-vectorized radix-4 kernels: sub-transforms
+/// `p0..m` with the exact generic expressions.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn stage4_tail<const FWD: bool>(
+    p0: usize,
+    m: usize,
+    s: usize,
+    twr: &[f32],
+    twi: &[f32],
+    xr: &[f32],
+    xi: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    for p in p0..m {
+        for q in 0..s {
+            let (a0r, a0i) = (xr[s * p + q], xi[s * p + q]);
+            let (a1r, a1i) = (xr[s * (p + m) + q], xi[s * (p + m) + q]);
+            let (a2r, a2i) = (xr[s * (p + 2 * m) + q], xi[s * (p + 2 * m) + q]);
+            let (a3r, a3i) = (xr[s * (p + 3 * m) + q], xi[s * (p + 3 * m) + q]);
+            let (t0r, t0i) = (a0r + a2r, a0i + a2i);
+            let (t1r, t1i) = (a0r - a2r, a0i - a2i);
+            let (t2r, t2i) = (a1r + a3r, a1i + a3i);
+            let (ur, ui) = (a1r - a3r, a1i - a3i);
+            let (b1r, b1i, b3r, b3i) = if FWD {
+                (t1r + ui, t1i - ur, t1r - ui, t1i + ur)
+            } else {
+                (t1r - ui, t1i + ur, t1r + ui, t1i - ur)
+            };
+            let (b0r, b0i) = (t0r + t2r, t0i + t2i);
+            let (b2r, b2i) = (t0r - t2r, t0i - t2i);
+            let y = 4 * s * p + q;
+            yr[y] = b0r;
+            yi[y] = b0i;
+            let (w1r, w1i) = (twr[p], twi[p]);
+            let (w2r, w2i) = (twr[m + p], twi[m + p]);
+            let (w3r, w3i) = (twr[2 * m + p], twi[2 * m + p]);
+            yr[y + s] = b1r * w1r - b1i * w1i;
+            yi[y + s] = b1r * w1i + b1i * w1r;
+            yr[y + 2 * s] = b2r * w2r - b2i * w2i;
+            yi[y + 2 * s] = b2r * w2i + b2i * w2r;
+            yr[y + 3 * s] = b3r * w3r - b3i * w3i;
+            yi[y + 3 * s] = b3r * w3i + b3i * w3r;
+        }
+    }
+}
+
+/// Radix-3 stage: `q`-vectorized for `s ≥ 8`, generic fallback otherwise.
+///
+/// # Safety
+///
+/// AVX2 support verified by the caller; slice extents as in the generic
+/// stage bodies.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn stage3_ps<const FWD: bool>(
+    m: usize,
+    s: usize,
+    twr: &[f32],
+    twi: &[f32],
+    xr: &[f32],
+    xi: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    if s < 8 {
+        return stage3_generic::<FWD, f32>(m, s, twr, twi, xr, xi, yr, yi);
+    }
+    let (xrp, xip) = (xr.as_ptr(), xi.as_ptr());
+    let (yrp, yip) = (yr.as_mut_ptr(), yi.as_mut_ptr());
+    let h = _mm256_set1_ps((0.5 * 3.0f64.sqrt()) as f32);
+    let half = _mm256_set1_ps(0.5);
+    for p in 0..m {
+        let w1r = _mm256_broadcast_ss(&twr[p]);
+        let w1i = _mm256_broadcast_ss(&twi[p]);
+        let w2r = _mm256_broadcast_ss(&twr[m + p]);
+        let w2i = _mm256_broadcast_ss(&twi[m + p]);
+        let x = [s * p, s * (p + m), s * (p + 2 * m)];
+        let y = 3 * s * p;
+        let mut q = 0;
+        while q + 8 <= s {
+            let a0r = _mm256_loadu_ps(xrp.add(x[0] + q));
+            let a0i = _mm256_loadu_ps(xip.add(x[0] + q));
+            let a1r = _mm256_loadu_ps(xrp.add(x[1] + q));
+            let a1i = _mm256_loadu_ps(xip.add(x[1] + q));
+            let a2r = _mm256_loadu_ps(xrp.add(x[2] + q));
+            let a2i = _mm256_loadu_ps(xip.add(x[2] + q));
+            let tr = _mm256_add_ps(a1r, a2r);
+            let ti = _mm256_add_ps(a1i, a2i);
+            let ur = _mm256_sub_ps(a1r, a2r);
+            let ui = _mm256_sub_ps(a1i, a2i);
+            _mm256_storeu_ps(yrp.add(y + q), _mm256_add_ps(a0r, tr));
+            _mm256_storeu_ps(yip.add(y + q), _mm256_add_ps(a0i, ti));
+            let m0r = _mm256_sub_ps(a0r, _mm256_mul_ps(half, tr));
+            let m0i = _mm256_sub_ps(a0i, _mm256_mul_ps(half, ti));
+            let (hur, hui) = (_mm256_mul_ps(h, ur), _mm256_mul_ps(h, ui));
+            let (b1r, b1i, b2r, b2i) = if FWD {
+                (
+                    _mm256_add_ps(m0r, hui),
+                    _mm256_sub_ps(m0i, hur),
+                    _mm256_sub_ps(m0r, hui),
+                    _mm256_add_ps(m0i, hur),
+                )
+            } else {
+                (
+                    _mm256_sub_ps(m0r, hui),
+                    _mm256_add_ps(m0i, hur),
+                    _mm256_add_ps(m0r, hui),
+                    _mm256_sub_ps(m0i, hur),
+                )
+            };
+            let (c1r, c1i) = rot(b1r, b1i, w1r, w1i);
+            let (c2r, c2i) = rot(b2r, b2i, w2r, w2i);
+            _mm256_storeu_ps(yrp.add(y + s + q), c1r);
+            _mm256_storeu_ps(yip.add(y + s + q), c1i);
+            _mm256_storeu_ps(yrp.add(y + 2 * s + q), c2r);
+            _mm256_storeu_ps(yip.add(y + 2 * s + q), c2i);
+            q += 8;
+        }
+        while q < s {
+            let (a0r, a0i) = (xr[x[0] + q], xi[x[0] + q]);
+            let (a1r, a1i) = (xr[x[1] + q], xi[x[1] + q]);
+            let (a2r, a2i) = (xr[x[2] + q], xi[x[2] + q]);
+            let (tr, ti) = (a1r + a2r, a1i + a2i);
+            let (ur, ui) = (a1r - a2r, a1i - a2i);
+            yr[y + q] = a0r + tr;
+            yi[y + q] = a0i + ti;
+            let hs = (0.5 * 3.0f64.sqrt()) as f32;
+            let (m0r, m0i) = (a0r - 0.5 * tr, a0i - 0.5 * ti);
+            let (b1r, b1i, b2r, b2i) = if FWD {
+                (m0r + hs * ui, m0i - hs * ur, m0r - hs * ui, m0i + hs * ur)
+            } else {
+                (m0r - hs * ui, m0i + hs * ur, m0r + hs * ui, m0i - hs * ur)
+            };
+            let (w1r, w1i) = (twr[p], twi[p]);
+            let (w2r, w2i) = (twr[m + p], twi[m + p]);
+            yr[y + s + q] = b1r * w1r - b1i * w1i;
+            yi[y + s + q] = b1r * w1i + b1i * w1r;
+            yr[y + 2 * s + q] = b2r * w2r - b2i * w2i;
+            yi[y + 2 * s + q] = b2r * w2i + b2i * w2r;
+            q += 1;
+        }
+    }
+}
+
+/// Radix-5 stage: `q`-vectorized for `s ≥ 8`, generic fallback otherwise.
+///
+/// # Safety
+///
+/// AVX2 support verified by the caller; slice extents as in the generic
+/// stage bodies.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn stage5_ps<const FWD: bool>(
+    m: usize,
+    s: usize,
+    twr: &[f32],
+    twi: &[f32],
+    xr: &[f32],
+    xi: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    if s < 8 || !s.is_multiple_of(8) {
+        return stage5_generic::<FWD, f32>(m, s, twr, twi, xr, xi, yr, yi);
+    }
+    let (xrp, xip) = (xr.as_ptr(), xi.as_ptr());
+    let (yrp, yip) = (yr.as_mut_ptr(), yi.as_mut_ptr());
+    let (s1f, c1f) = (std::f64::consts::TAU / 5.0).sin_cos();
+    let (s2f, c2f) = (2.0 * std::f64::consts::TAU / 5.0).sin_cos();
+    let s1 = _mm256_set1_ps(s1f as f32);
+    let c1 = _mm256_set1_ps(c1f as f32);
+    let s2 = _mm256_set1_ps(s2f as f32);
+    let c2 = _mm256_set1_ps(c2f as f32);
+    let sign = _mm256_set1_ps(-0.0);
+    for p in 0..m {
+        let w = |j: usize| {
+            (
+                _mm256_broadcast_ss(&twr[j * m + p]),
+                _mm256_broadcast_ss(&twi[j * m + p]),
+            )
+        };
+        let (w1r, w1i) = w(0);
+        let (w2r, w2i) = w(1);
+        let (w3r, w3i) = w(2);
+        let (w4r, w4i) = w(3);
+        let x = [
+            s * p,
+            s * (p + m),
+            s * (p + 2 * m),
+            s * (p + 3 * m),
+            s * (p + 4 * m),
+        ];
+        let y = 5 * s * p;
+        let mut q = 0;
+        while q + 8 <= s {
+            let a0r = _mm256_loadu_ps(xrp.add(x[0] + q));
+            let a0i = _mm256_loadu_ps(xip.add(x[0] + q));
+            let a1r = _mm256_loadu_ps(xrp.add(x[1] + q));
+            let a1i = _mm256_loadu_ps(xip.add(x[1] + q));
+            let a2r = _mm256_loadu_ps(xrp.add(x[2] + q));
+            let a2i = _mm256_loadu_ps(xip.add(x[2] + q));
+            let a3r = _mm256_loadu_ps(xrp.add(x[3] + q));
+            let a3i = _mm256_loadu_ps(xip.add(x[3] + q));
+            let a4r = _mm256_loadu_ps(xrp.add(x[4] + q));
+            let a4i = _mm256_loadu_ps(xip.add(x[4] + q));
+            let t1r = _mm256_add_ps(a1r, a4r);
+            let t1i = _mm256_add_ps(a1i, a4i);
+            let t2r = _mm256_add_ps(a2r, a3r);
+            let t2i = _mm256_add_ps(a2i, a3i);
+            let t3r = _mm256_sub_ps(a1r, a4r);
+            let t3i = _mm256_sub_ps(a1i, a4i);
+            let t4r = _mm256_sub_ps(a2r, a3r);
+            let t4i = _mm256_sub_ps(a2i, a3i);
+            _mm256_storeu_ps(yrp.add(y + q), _mm256_add_ps(_mm256_add_ps(a0r, t1r), t2r));
+            _mm256_storeu_ps(yip.add(y + q), _mm256_add_ps(_mm256_add_ps(a0i, t1i), t2i));
+            let m1r = _mm256_add_ps(
+                _mm256_add_ps(a0r, _mm256_mul_ps(c1, t1r)),
+                _mm256_mul_ps(c2, t2r),
+            );
+            let m1i = _mm256_add_ps(
+                _mm256_add_ps(a0i, _mm256_mul_ps(c1, t1i)),
+                _mm256_mul_ps(c2, t2i),
+            );
+            let m2r = _mm256_add_ps(
+                _mm256_add_ps(a0r, _mm256_mul_ps(c2, t1r)),
+                _mm256_mul_ps(c1, t2r),
+            );
+            let m2i = _mm256_add_ps(
+                _mm256_add_ps(a0i, _mm256_mul_ps(c2, t1i)),
+                _mm256_mul_ps(c1, t2i),
+            );
+            let v1r = _mm256_add_ps(_mm256_mul_ps(s1, t3r), _mm256_mul_ps(s2, t4r));
+            let v1i = _mm256_add_ps(_mm256_mul_ps(s1, t3i), _mm256_mul_ps(s2, t4i));
+            let v2r = _mm256_sub_ps(_mm256_mul_ps(s2, t3r), _mm256_mul_ps(s1, t4r));
+            let v2i = _mm256_sub_ps(_mm256_mul_ps(s2, t3i), _mm256_mul_ps(s1, t4i));
+            // m3 = ∓i·v1, m4 = ∓i·v2 (`sg = ±1` in the scalar body is an
+            // exact sign flip, so a sign-bit xor is bit-identical).
+            let (m3r, m3i, m4r, m4i) = if FWD {
+                (v1i, _mm256_xor_ps(v1r, sign), v2i, _mm256_xor_ps(v2r, sign))
+            } else {
+                (_mm256_xor_ps(v1i, sign), v1r, _mm256_xor_ps(v2i, sign), v2r)
+            };
+            let (c1r_, c1i_) = rot(_mm256_add_ps(m1r, m3r), _mm256_add_ps(m1i, m3i), w1r, w1i);
+            let (c2r_, c2i_) = rot(_mm256_add_ps(m2r, m4r), _mm256_add_ps(m2i, m4i), w2r, w2i);
+            let (c3r_, c3i_) = rot(_mm256_sub_ps(m2r, m4r), _mm256_sub_ps(m2i, m4i), w3r, w3i);
+            let (c4r_, c4i_) = rot(_mm256_sub_ps(m1r, m3r), _mm256_sub_ps(m1i, m3i), w4r, w4i);
+            _mm256_storeu_ps(yrp.add(y + s + q), c1r_);
+            _mm256_storeu_ps(yip.add(y + s + q), c1i_);
+            _mm256_storeu_ps(yrp.add(y + 2 * s + q), c2r_);
+            _mm256_storeu_ps(yip.add(y + 2 * s + q), c2i_);
+            _mm256_storeu_ps(yrp.add(y + 3 * s + q), c3r_);
+            _mm256_storeu_ps(yip.add(y + 3 * s + q), c3i_);
+            _mm256_storeu_ps(yrp.add(y + 4 * s + q), c4r_);
+            _mm256_storeu_ps(yip.add(y + 4 * s + q), c4i_);
+            q += 8;
+        }
+    }
+}

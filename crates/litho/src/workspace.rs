@@ -11,47 +11,54 @@
 //! ([`LithoWorkspace::socs_intensity_multi`]) computes every process
 //! condition's image from a single forward mask FFT.
 //!
+//! The workspace is generic over the simulation [`Scalar`]: masks enter and
+//! intensities leave as `f64`, everything in between — spectrum, work
+//! fields, accumulator strips — runs at the workspace precision, and the
+//! kernel weight (including the folded `1/n²` normalisation) is narrowed
+//! from the `f64` reference at the point of use.
+//!
 //! Accumulation granularity is one strip per kernel (not per task slot), and
 //! strips are reduced in ascending kernel order. The per-pixel floating
 //! point summation tree is therefore a fixed left fold over kernels no
 //! matter how the kernels are chunked across tasks — outputs are
-//! **byte-identical for any worker count**, per dispatch mode.
+//! **byte-identical for any worker count**, per dispatch mode and precision.
 
 use crate::fft::{FftScratch, Field};
 use crate::optics::SocsKernel;
 use crate::pool::WorkerPool;
+use crate::scalar::Scalar;
 
 /// Scratch owned by one parallel task slot.
 #[derive(Clone, Debug, Default)]
-pub(crate) struct WorkSlot {
+pub(crate) struct WorkSlot<T: Scalar = f64> {
     /// Frequency/space work field for the per-kernel product + inverse FFT
     /// (only live rows are ever written or read on the full-image path).
-    pub field: Option<Field>,
+    pub field: Option<Field<T>>,
     /// FFT scratch (ping-pong, transpose and column-gather lanes) for the
     /// fused inverse column pass.
-    pub scratch: FftScratch,
+    pub scratch: FftScratch<T>,
 }
 
 /// Reusable buffers for aerial-image / ILT hot loops on one grid size.
 #[derive(Clone, Debug, Default)]
-pub struct LithoWorkspace {
+pub struct LithoWorkspace<T: Scalar = f64> {
     width: usize,
     height: usize,
     /// Forward spectrum of the current mask.
-    pub(crate) spectrum: Option<Field>,
+    pub(crate) spectrum: Option<Field<T>>,
     /// Scratch for the forward transform.
-    pub(crate) forward_scratch: FftScratch,
-    pub(crate) slots: Vec<WorkSlot>,
+    pub(crate) forward_scratch: FftScratch<T>,
+    pub(crate) slots: Vec<WorkSlot<T>>,
     /// Per-kernel accumulator strips (`strips[k·stride .. (k+1)·stride]`
     /// holds kernel `k`'s `w·|z|²` contribution), reduced in ascending
     /// kernel order after the fan-out so the summation tree is independent
     /// of the task count.
-    strips: Vec<f64>,
+    strips: Vec<T>,
 }
 
-impl LithoWorkspace {
+impl<T: Scalar> LithoWorkspace<T> {
     /// An empty workspace; buffers are sized lazily on first use.
-    pub fn new() -> LithoWorkspace {
+    pub fn new() -> LithoWorkspace<T> {
         LithoWorkspace::default()
     }
 
@@ -81,7 +88,7 @@ impl LithoWorkspace {
     /// Grows the per-kernel strip buffer to at least `len` samples.
     fn ensure_strips(&mut self, len: usize) {
         if self.strips.len() < len {
-            self.strips.resize(len, 0.0);
+            self.strips.resize(len, T::ZERO);
         }
     }
 
@@ -95,7 +102,8 @@ impl LithoWorkspace {
     /// accumulates into its own strip and the strips are reduced in
     /// ascending kernel order, so the per-pixel summation tree is the same
     /// left fold over kernels regardless of `parallelism` — the output is
-    /// **byte-identical** for any worker count (per dispatch mode).
+    /// **byte-identical** for any worker count (per dispatch mode and
+    /// precision).
     ///
     /// The per-kernel loop is the fully fused path: the frequency product
     /// writes only the kernel's live rows, the pruned inverse gathers each
@@ -114,7 +122,7 @@ impl LithoWorkspace {
         width: usize,
         height: usize,
         mask: &[f64],
-        kernels: &[SocsKernel],
+        kernels: &[SocsKernel<T>],
         pool: &WorkerPool,
         parallelism: usize,
         intensity: &mut [f64],
@@ -129,7 +137,7 @@ impl LithoWorkspace {
 
         let spectrum = self.spectrum.as_mut().expect("prepared above");
         spectrum.fill_forward_real_with(mask, &mut self.forward_scratch);
-        let spectrum: &Field = spectrum;
+        let spectrum: &Field<T> = spectrum;
         if nk == 0 {
             intensity.fill(0.0);
             return;
@@ -139,7 +147,7 @@ impl LithoWorkspace {
         let inv_n2 = 1.0 / (n as f64 * n as f64);
         let chunk = nk.div_ceil(tasks);
         let strips = &mut self.strips[..nk * n];
-        let mut units: Vec<(&mut WorkSlot, &mut [f64])> = self.slots[..tasks]
+        let mut units: Vec<(&mut WorkSlot<T>, &mut [T])> = self.slots[..tasks]
             .iter_mut()
             .zip(strips.chunks_mut(chunk * n))
             .collect();
@@ -161,21 +169,21 @@ impl LithoWorkspace {
     /// inverse → `w·|z|²` loop, each kernel accumulating into its own strip
     /// of `strips` (so results are independent of the chunking).
     fn convolve_chunk<'k>(
-        spectrum: &Field,
-        kernels: impl Iterator<Item = &'k SocsKernel>,
+        spectrum: &Field<T>,
+        kernels: impl Iterator<Item = &'k SocsKernel<T>>,
         inv_n2: f64,
-        slot: &mut WorkSlot,
-        strips: &mut [f64],
+        slot: &mut WorkSlot<T>,
+        strips: &mut [T],
         stride: usize,
     ) {
         let field = slot.field.as_mut().expect("prepared above");
         for (kernel, strip) in kernels.zip(strips.chunks_mut(stride)) {
-            strip.fill(0.0);
+            strip.fill(T::ZERO);
             spectrum.mul_pointwise_live_rows_into(&kernel.transfer, &kernel.live_rows, field);
             field.ifft2_pruned_accumulate_t(
                 &kernel.live_rows,
                 &mut slot.scratch,
-                kernel.weight * inv_n2,
+                T::from_f64(kernel.weight * inv_n2),
                 strip,
             );
         }
@@ -184,7 +192,7 @@ impl LithoWorkspace {
     /// Left-folds `count` per-kernel strips of `stride` samples into the
     /// first strip, in ascending kernel order — the canonical summation
     /// tree every entry point shares, whatever the task chunking was.
-    fn reduce_strips(strips: &mut [f64], count: usize, stride: usize) {
+    fn reduce_strips(strips: &mut [T], count: usize, stride: usize) {
         let (first, rest) = strips.split_at_mut(stride);
         for k in 1..count {
             let src = &rest[(k - 1) * stride..k * stride];
@@ -215,7 +223,7 @@ impl LithoWorkspace {
         width: usize,
         height: usize,
         mask: &[f64],
-        kernel_sets: &[&[SocsKernel]],
+        kernel_sets: &[&[SocsKernel<T>]],
         pool: &WorkerPool,
         parallelism: usize,
         outputs: &mut [&mut [f64]],
@@ -250,16 +258,16 @@ impl LithoWorkspace {
 
         let spectrum = self.spectrum.as_mut().expect("prepared above");
         spectrum.fill_forward_real_with(mask, &mut self.forward_scratch);
-        let spectrum: &Field = spectrum;
+        let spectrum: &Field<T> = spectrum;
 
         // One pool fan-out over every set's chunks. Unit `u` statically owns
         // its kernel range and strip region, so results do not depend on
         // which worker claims which unit.
         let inv_n2 = 1.0 / (n as f64 * n as f64);
         {
-            let mut rest: &mut [f64] = &mut self.strips[..total_nk * n];
+            let mut rest: &mut [T] = &mut self.strips[..total_nk * n];
             #[allow(clippy::type_complexity)]
-            let mut units: Vec<((usize, usize, usize), &mut WorkSlot, &mut [f64])> =
+            let mut units: Vec<((usize, usize, usize), &mut WorkSlot<T>, &mut [T])> =
                 Vec::with_capacity(descs.len());
             for (&desc, slot) in descs.iter().zip(self.slots.iter_mut()) {
                 let (head, tail) = rest.split_at_mut(desc.2 * n);
@@ -313,7 +321,7 @@ impl LithoWorkspace {
         width: usize,
         height: usize,
         mask: &[f64],
-        kernels: &[SocsKernel],
+        kernels: &[SocsKernel<T>],
         cols: &[usize],
         pool: &WorkerPool,
         parallelism: usize,
@@ -330,7 +338,7 @@ impl LithoWorkspace {
 
         let spectrum = self.spectrum.as_mut().expect("prepared above");
         spectrum.fill_forward_real_with(mask, &mut self.forward_scratch);
-        let spectrum: &Field = spectrum;
+        let spectrum: &Field<T> = spectrum;
         if nk == 0 || stride == 0 {
             intensity.fill(0.0);
             return;
@@ -339,7 +347,7 @@ impl LithoWorkspace {
         let inv_n2 = 1.0 / (n as f64 * n as f64);
         let chunk = nk.div_ceil(tasks);
         let strips = &mut self.strips[..nk * stride];
-        let mut units: Vec<(&mut WorkSlot, &mut [f64])> = self.slots[..tasks]
+        let mut units: Vec<(&mut WorkSlot<T>, &mut [T])> = self.slots[..tasks]
             .iter_mut()
             .zip(strips.chunks_mut(chunk * stride))
             .collect();
@@ -351,27 +359,27 @@ impl LithoWorkspace {
                 .take(chunk)
                 .zip(strip_chunk.chunks_mut(stride))
             {
-                strip.fill(0.0);
+                strip.fill(T::ZERO);
                 spectrum.mul_pointwise_pruned_into(&kernel.transfer, &kernel.live_rows, field);
                 field.ifft2_pruned_cols_accumulate(
                     &kernel.live_rows,
                     cols,
                     &mut slot.scratch,
-                    kernel.weight * inv_n2,
+                    T::from_f64(kernel.weight * inv_n2),
                     strip,
                 );
             }
         });
 
         // Ascending-kernel reduction, then scatter the column-contiguous
-        // result back to row-major (bit-identical summation tree to the
-        // full path).
+        // result back to row-major, widening to the f64 output domain
+        // (bit-identical summation tree to the full path).
         Self::reduce_strips(strips, nk, stride);
         intensity.fill(0.0);
         let first = &strips[..stride];
         for (ci, &x) in cols.iter().enumerate() {
             for y in 0..height {
-                intensity[y * width + x] = first[ci * height + y];
+                intensity[y * width + x] = first[ci * height + y].to_f64();
             }
         }
     }
@@ -400,7 +408,7 @@ mod tests {
     /// Reference SOCS intensity via the plain (allocating) field API.
     fn reference_intensity(mask: &[f64], kernels: &[SocsKernel]) -> Vec<f64> {
         let spectrum = {
-            let mut f = Field::from_real(64, 64, mask);
+            let mut f: Field = Field::from_real(64, 64, mask);
             f.fft2_inplace(false);
             f
         };
@@ -422,7 +430,7 @@ mod tests {
         let expected = reference_intensity(&mask, &kernels);
         let pool = WorkerPool::new(4);
         for parallelism in [1usize, 2, 3, 4, 16] {
-            let mut ws = LithoWorkspace::new();
+            let mut ws: LithoWorkspace = LithoWorkspace::new();
             let mut intensity = vec![0.0; 64 * 64];
             ws.socs_intensity(64, 64, &mask, &kernels, &pool, parallelism, &mut intensity);
             for (i, (&got, &want)) in intensity.iter().zip(&expected).enumerate() {
@@ -435,13 +443,60 @@ mod tests {
     }
 
     #[test]
+    fn f32_socs_intensity_tracks_f64_within_tolerance() {
+        let kernels = kernels_64();
+        let kernels_32: Vec<SocsKernel<f32>> = kernels.iter().map(|k| k.to_precision()).collect();
+        let mask = random_mask(64 * 64, 43);
+        let pool = WorkerPool::new(2);
+        let mut ws64: LithoWorkspace = LithoWorkspace::new();
+        let mut ws32: LithoWorkspace<f32> = LithoWorkspace::new();
+        let mut i64 = vec![0.0; 64 * 64];
+        let mut i32 = vec![0.0; 64 * 64];
+        ws64.socs_intensity(64, 64, &mask, &kernels, &pool, 2, &mut i64);
+        ws32.socs_intensity(64, 64, &mask, &kernels_32, &pool, 2, &mut i32);
+        let peak = i64.iter().cloned().fold(0.0f64, f64::max);
+        assert!(peak > 0.0);
+        for (i, (&a, &b)) in i32.iter().zip(&i64).enumerate() {
+            assert!(
+                (a - b).abs() < 2e-4 * peak,
+                "pixel {i}: f32 {a} vs f64 {b} (peak {peak})"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_socs_intensity_is_deterministic_across_parallelism() {
+        let kernels_32: Vec<SocsKernel<f32>> =
+            kernels_64().iter().map(|k| k.to_precision()).collect();
+        let mask = random_mask(64 * 64, 44);
+        let pool = WorkerPool::new(4);
+        let mut baseline = vec![0.0; 64 * 64];
+        let mut ws: LithoWorkspace<f32> = LithoWorkspace::new();
+        ws.socs_intensity(64, 64, &mask, &kernels_32, &pool, 1, &mut baseline);
+        for parallelism in [2usize, 3, 4, 16] {
+            let mut ws: LithoWorkspace<f32> = LithoWorkspace::new();
+            let mut intensity = vec![0.0; 64 * 64];
+            ws.socs_intensity(
+                64,
+                64,
+                &mask,
+                &kernels_32,
+                &pool,
+                parallelism,
+                &mut intensity,
+            );
+            assert_eq!(intensity, baseline, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
     fn socs_intensity_cols_matches_full_on_roi() {
         let kernels = kernels_64();
         let mask = random_mask(64 * 64, 7);
         let pool = WorkerPool::new(3);
         let cols: Vec<usize> = vec![0, 5, 9, 31, 63];
         for parallelism in [1usize, 3] {
-            let mut ws = LithoWorkspace::new();
+            let mut ws: LithoWorkspace = LithoWorkspace::new();
             let mut full = vec![0.0; 64 * 64];
             ws.socs_intensity(64, 64, &mask, &kernels, &pool, parallelism, &mut full);
             let mut roi = vec![f64::NAN; 64 * 64];
@@ -466,7 +521,7 @@ mod tests {
     fn workspace_is_reusable_across_calls_and_sizes() {
         let kernels = kernels_64();
         let pool = WorkerPool::new(2);
-        let mut ws = LithoWorkspace::new();
+        let mut ws: LithoWorkspace = LithoWorkspace::new();
         let mut out_a = vec![0.0; 64 * 64];
         let mut out_b = vec![0.0; 64 * 64];
         let mask_a = random_mask(64 * 64, 1);
@@ -474,7 +529,7 @@ mod tests {
         ws.socs_intensity(64, 64, &mask_a, &kernels, &pool, 2, &mut out_a);
         ws.socs_intensity(64, 64, &mask_b, &kernels, &pool, 2, &mut out_b);
         // Fresh workspace agrees: no state leaks between calls.
-        let mut fresh = LithoWorkspace::new();
+        let mut fresh: LithoWorkspace = LithoWorkspace::new();
         let mut out_b2 = vec![0.0; 64 * 64];
         fresh.socs_intensity(64, 64, &mask_b, &kernels, &pool, 2, &mut out_b2);
         assert_eq!(out_b, out_b2);

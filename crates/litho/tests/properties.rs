@@ -44,7 +44,7 @@ proptest! {
     fn field_roundtrip(seed in 0u64..200, w in 1usize..40, h in 1usize..40) {
         let mut rng = SplitMix64::new(seed);
         let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
-        let orig = Field::from_real(w, h, &real);
+        let orig: Field = Field::from_real(w, h, &real);
         let mut f = orig.clone();
         f.fft2_inplace(false);
         f.fft2_inplace(true);
@@ -86,8 +86,8 @@ proptest! {
     fn forward_real_matches_complex(seed in 0u64..200, w in 1usize..24, h in 1usize..24) {
         let mut rng = SplitMix64::new(seed);
         let real: Vec<f64> = (0..w * h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
-        let packed = Field::forward_real(w, h, &real);
-        let mut full = Field::from_real(w, h, &real);
+        let packed: Field = Field::forward_real(w, h, &real);
+        let mut full: Field = Field::from_real(w, h, &real);
         full.fft2_inplace(false);
         for (a, b) in packed.iter().zip(full.iter()) {
             prop_assert!((a - b).norm() < 1e-9 * (1.0 + b.norm()));

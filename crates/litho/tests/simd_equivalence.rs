@@ -1,19 +1,22 @@
 //! Scalar-vs-SIMD equivalence and determinism for the lithography engine.
 //!
-//! The mixed-radix Stockham stages are compiled from identical Rust source
-//! in both dispatch modes (no FMA contraction), so the FFTs themselves are
-//! bitwise mode-independent; only the hand-written AVX2 pointwise kernels
-//! (complex products and the `w·|z|²` accumulate) differ from scalar by FMA
-//! rounding. These tests bound that difference at ≤1e-9 on the engine's
-//! end-to-end paths and pin the scalar mode to bitwise determinism across
-//! worker counts.
+//! The FFT stages are bitwise mode-independent by contract: the `f64`
+//! stages compile from identical Rust source in both dispatch modes (no
+//! FMA contraction), and the hand-written 8-lane `f32` stage kernels
+//! reproduce the scalar expression order exactly (mul/add/sub only, no
+//! FMA). Only the AVX2 pointwise kernels (complex products and the
+//! `w·|z|²` accumulate) differ from scalar, by FMA rounding. These tests
+//! pin the FFT bitwise contract directly, bound the pointwise difference
+//! at ≤1e-9 on the engine's end-to-end paths, and pin the scalar mode to
+//! bitwise determinism across worker counts.
 //!
 //! All tests mutate the process-global forced dispatch mode, so they
 //! serialise on one mutex and restore the default before releasing it.
 
-use cardopc_geometry::{Grid, Point, Polygon};
+use cardopc_geometry::{Grid, Point, Polygon, SplitMix64};
+use cardopc_litho::fft::FftScratch;
 use cardopc_litho::simd::{self, SimdMode};
-use cardopc_litho::{rasterize, LithoEngine, OpticsConfig, ProcessCondition};
+use cardopc_litho::{rasterize, FftPlan, LithoEngine, OpticsConfig, ProcessCondition};
 use std::sync::Mutex;
 
 static MODE_LOCK: Mutex<()> = Mutex::new(());
@@ -57,6 +60,45 @@ fn max_rel_diff(a: &Grid, b: &Grid) -> f64 {
         .zip(b.data())
         .map(|(x, y)| (x - y).abs() / (1.0 + x.abs()))
         .fold(0.0, f64::max)
+}
+
+/// The hand-written 8-lane `f32` stage kernels must match the scalar
+/// stages bit for bit, at lengths covering every kernel shape: radix-4 at
+/// strides 1/4/≥8 (with and without odd-`m` tails), radix-2 at strides
+/// 1/≥8, radix-3 at the generic fallback (s<8) and vector strides,
+/// radix-5 at vector strides and its non-multiple-of-8 stride fallback
+/// (e.g. 60 = 4·3·5 hits s=12). Bluestein lengths are excluded: their
+/// convolution runs through the pointwise FMA kernels, which differ from
+/// scalar by design (one rounding), so only 5-smooth lengths carry the
+/// bitwise guarantee.
+#[test]
+fn fft_f32_plan_bitwise_scalar_vs_avx2() {
+    let _guard = MODE_LOCK.lock().unwrap();
+    if !simd::avx2_available() {
+        return;
+    }
+    for n in [
+        8usize, 12, 16, 32, 48, 60, 64, 96, 120, 128, 160, 240, 320, 500, 512,
+    ] {
+        for inverse in [false, true] {
+            let mut rng = SplitMix64::new(0x5eed ^ n as u64);
+            let re0: Vec<f32> = (0..n).map(|_| rng.range_f64(-1.0, 1.0) as f32).collect();
+            let im0: Vec<f32> = (0..n).map(|_| rng.range_f64(-1.0, 1.0) as f32).collect();
+            let run = |mode| {
+                with_mode(mode, || {
+                    let plan = FftPlan::<f32>::get(n);
+                    let mut scratch = FftScratch::<f32>::new();
+                    let (mut re, mut im) = (re0.clone(), im0.clone());
+                    plan.execute_unscaled_split(&mut re, &mut im, &mut scratch, inverse);
+                    (re, im)
+                })
+            };
+            let (sr, si) = run(SimdMode::Scalar);
+            let (vr, vi) = run(SimdMode::Avx2);
+            assert_eq!(sr, vr, "n={n} inverse={inverse}: re lanes drifted");
+            assert_eq!(si, vi, "n={n} inverse={inverse}: im lanes drifted");
+        }
+    }
 }
 
 #[test]

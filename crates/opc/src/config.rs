@@ -1,6 +1,7 @@
 //! CardOPC flow configuration (the paper's §IV parameter sets).
 
 use crate::eval::MeasureConvention;
+use cardopc_litho::Precision;
 use cardopc_mrc::MrcRules;
 
 /// Rule-based SRAF insertion parameters (Fig. 3(a)).
@@ -85,6 +86,11 @@ pub struct OpcConfig {
     pub mrc: Option<MrcRules>,
     /// EPE measure point convention used for the final evaluation.
     pub convention: MeasureConvention,
+    /// Interior arithmetic of the lithography simulation backend. Geometry,
+    /// MRC and spline fitting always run in `f64`; `F32` downcasts only the
+    /// SOCS convolution hot loop (see `DESIGN.md` §12 for the accuracy
+    /// contract).
+    pub precision: Precision,
 }
 
 impl OpcConfig {
@@ -116,6 +122,7 @@ impl OpcConfig {
             sraf: Some(SrafConfig::default()),
             mrc: Some(MrcRules::opc_node()),
             convention: MeasureConvention::ViaEdgeCenters,
+            precision: Precision::F64,
         }
     }
 

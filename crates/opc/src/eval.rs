@@ -197,6 +197,22 @@ pub fn engine_for_extent(
     height_nm: f64,
     pitch: f64,
 ) -> Result<LithoEngine, OpcError> {
+    engine_for_extent_at(width_nm, height_nm, pitch, cardopc_litho::Precision::F64)
+}
+
+/// [`engine_for_extent`] with an explicit simulation precision: the
+/// threshold is calibrated by the selected backend, so an `F32` engine's
+/// resist model is self-consistent with its own arithmetic.
+///
+/// # Errors
+///
+/// Same as [`engine_for_extent`].
+pub fn engine_for_extent_at(
+    width_nm: f64,
+    height_nm: f64,
+    pitch: f64,
+    precision: cardopc_litho::Precision,
+) -> Result<LithoEngine, OpcError> {
     const MAX_EDGE: usize = 4096;
     let needed = (width_nm.max(height_nm) / pitch).ceil() as usize;
     let edge = cardopc_litho::next_five_smooth(needed);
@@ -206,7 +222,7 @@ pub fn engine_for_extent(
             max: MAX_EDGE,
         });
     }
-    let mut engine = LithoEngine::new(Default::default(), edge, edge, pitch)?;
+    let mut engine = LithoEngine::with_precision(Default::default(), edge, edge, pitch, precision)?;
     engine.calibrate_threshold();
     Ok(engine)
 }

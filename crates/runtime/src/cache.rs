@@ -804,6 +804,42 @@ mod tests {
         }
     }
 
+    #[test]
+    fn precision_separates_identical_designs_into_distinct_entries() {
+        let tiling = TilingConfig {
+            tile_size: 1000.0,
+            halo: 100.0,
+        };
+        let base = keyed_partition(0.0, 0.0);
+        let mut f64_config = OpcConfig::large_scale();
+        f64_config.precision = cardopc_litho::Precision::F64;
+        let mut f32_config = f64_config.clone();
+        f32_config.precision = cardopc_litho::Precision::F32;
+
+        // Same design, same tiling, same everything except precision: the
+        // keys must differ — an f32 correction replayed into an f64 run
+        // (or vice versa) would silently change results.
+        let k64 = tile_cache_key(&base.tiles[0], &tiling, &f64_config);
+        let k32 = tile_cache_key(&base.tiles[0], &tiling, &f32_config);
+        assert_ne!(k64, k32);
+
+        // And through the store: the second precision is a miss, not a
+        // replay of the first, and both entries coexist.
+        let cache = TileCache::open(&CacheConfig::default()).unwrap();
+        let never = || false;
+        let (_, hit64) = cache
+            .get_or_correct(k64, &never, || ok_sample(1.0))
+            .unwrap()
+            .unwrap();
+        let (_, hit32) = cache
+            .get_or_correct(k32, &never, || ok_sample(2.0))
+            .unwrap()
+            .unwrap();
+        assert!(!hit64 && !hit32, "each precision must correct its own tile");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+    }
+
     // -------------------------------------------------------- store tests
 
     fn memory_cache() -> TileCache {

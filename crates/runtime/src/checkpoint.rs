@@ -177,6 +177,7 @@ pub(crate) fn hash_config(h: &mut Fnv, c: &OpcConfig) {
         sraf,
         mrc,
         convention,
+        precision,
     } = c;
     h.write_f64(*l_c);
     h.write_f64(*l_u);
@@ -231,6 +232,9 @@ pub(crate) fn hash_config(h: &mut Fnv, c: &OpcConfig) {
             h.write_f64(*s);
         }
     }
+    // Simulation precision changes every intensity sample, so f32 and f64
+    // runs must never alias in checkpoint or tile-cache keys.
+    h.write(&[precision.tag()]);
 }
 
 // ---------------------------------------------------------- serialisation
@@ -663,6 +667,12 @@ pub(crate) fn config_mutations(base: &OpcConfig) -> Vec<(&'static str, OpcConfig
             c.convention = match c.convention {
                 MeasureConvention::MetalSpacing(s) => MeasureConvention::MetalSpacing(s + 1.0),
                 MeasureConvention::ViaEdgeCenters => MeasureConvention::MetalSpacing(1.0),
+            }
+        });
+        push("precision", &|c| {
+            c.precision = match c.precision {
+                cardopc_litho::Precision::F64 => cardopc_litho::Precision::F32,
+                cardopc_litho::Precision::F32 => cardopc_litho::Precision::F64,
             }
         });
     }

@@ -30,9 +30,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
-/// Engine identity: `(width nm bits, height nm bits, pitch nm bits)` of
-/// the window the engine was calibrated for.
-pub type EngineKey = (u64, u64, u64);
+/// Engine identity: `(width nm bits, height nm bits, pitch nm bits,
+/// precision tag)` of the window the engine was calibrated for. The
+/// precision tag ([`cardopc_litho::Precision::tag`]) keeps `f32` and `f64`
+/// engines from ever aliasing in the cache.
+pub type EngineKey = (u64, u64, u64, u8);
 
 /// One progress event: a tile finished (executed or resumed).
 #[derive(Clone, Debug, PartialEq)]
@@ -216,7 +218,7 @@ mod tests {
     fn engine_cache_builds_once_per_slot_and_key() {
         let cache = EngineCache::new(2);
         let mut builds = 0;
-        let key = (1024f64.to_bits(), 1024f64.to_bits(), 16f64.to_bits());
+        let key = (1024f64.to_bits(), 1024f64.to_bits(), 16f64.to_bits(), 0u8);
         for _ in 0..3 {
             let engine = cache
                 .get_or_build(0, key, || {
@@ -245,7 +247,7 @@ mod tests {
     #[test]
     fn engine_cache_build_failures_are_not_cached() {
         let cache = EngineCache::new(1);
-        let key = (1.0f64.to_bits(), 1.0f64.to_bits(), 1.0f64.to_bits());
+        let key = (1.0f64.to_bits(), 1.0f64.to_bits(), 1.0f64.to_bits(), 0u8);
         let err = cache.get_or_build(0, key, || cardopc_opc::engine_for_extent(1e9, 1e9, 1.0));
         assert!(err.is_err());
         assert!(cache.is_empty());

@@ -28,7 +28,7 @@ use crate::RuntimeError;
 use cardopc_geometry::{Grid, Point, Polygon};
 use cardopc_litho::{measure_epe, metal_measure_points, via_measure_points, LithoEngine};
 use cardopc_litho::{ProcessCondition, WorkerPool};
-use cardopc_opc::{engine_for_extent, CardOpc, MeasureConvention, EPE_TOLERANCE};
+use cardopc_opc::{engine_for_extent_at, CardOpc, MeasureConvention, EPE_TOLERANCE};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -405,11 +405,19 @@ fn correct_tile(
         tile.clip.width().to_bits(),
         tile.clip.height().to_bits(),
         config.pitch.to_bits(),
+        config.precision.tag(),
     );
     let engine: &LithoEngine = match slot.engines.entry(key) {
         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
         std::collections::hash_map::Entry::Vacant(v) => {
-            let build = || engine_for_extent(tile.clip.width(), tile.clip.height(), config.pitch);
+            let build = || {
+                engine_for_extent_at(
+                    tile.clip.width(),
+                    tile.clip.height(),
+                    config.pitch,
+                    config.precision,
+                )
+            };
             let engine = match cache {
                 Some(cache) => cache.get_or_build(slot_index, key, build),
                 None => build().map(Arc::new),
@@ -696,6 +704,35 @@ mod tests {
             .collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn f32_schedule_is_deterministic_across_worker_counts() {
+        // Same invariant as above, but with the simulation running on the
+        // single-precision backend: records must still be byte-identical
+        // for any worker count *within* the f32 mode.
+        let clip = small_clip();
+        let partition = partition_clip(
+            &clip,
+            &TilingConfig {
+                tile_size: 512.0,
+                halo: 256.0,
+            },
+        )
+        .unwrap();
+        let mut f32_config = config();
+        f32_config.precision = cardopc_litho::Precision::F32;
+        let flow = CardOpc::new(f32_config);
+        let none = HashMap::new();
+        let one = run_tiles(&partition, &flow, &WorkerPool::new(1), &none, None, None).unwrap();
+        let four = run_tiles(&partition, &flow, &WorkerPool::new(4), &none, None, None).unwrap();
+        assert_eq!(one.executed, 4);
+        for (a, b) in one.results.iter().zip(&four.results) {
+            assert_eq!(a.record.index, b.record.index);
+            assert_eq!(a.record.shapes, b.record.shapes, "tile {}", a.record.index);
+            assert_eq!(a.record.owned_epe_history, b.record.owned_epe_history);
+            assert_eq!(a.record.metrics, b.record.metrics);
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ use cardopc_fleet::spec::DesignSpec;
 use cardopc_fleet::worker::{WorkerConfig, WorkerServer};
 use cardopc_fleet::{client, run_fleet, FleetConfig, WorkSpec};
 use cardopc_layout::DesignKind;
-use cardopc_litho::WorkerPool;
+use cardopc_litho::{Precision, WorkerPool};
 use cardopc_opc::OpcConfig;
 use cardopc_runtime::{
     run_clip_controlled, CacheConfig, RunConfig, RunControl, TileCache, TilingConfig,
@@ -65,6 +65,9 @@ RUN OPTIONS:
     --tile <NM>                     core tile size [4096]
     --halo <NM>                     halo margin per side [1024]
     --pitch <NM>                    simulation pixel pitch [8]
+    --precision <f64|f32>           simulation arithmetic; f32 runs the
+                                    8-lane SIMD backend (geometry, MRC and
+                                    fitting stay f64) [f64]
     --iterations <N>                OPC iterations [10]
     --threads <N>                   worker pool size (beats --workers and
                                     CARDOPC_THREADS)
@@ -123,6 +126,7 @@ struct RunArgs {
     tile: f64,
     halo: f64,
     pitch: f64,
+    precision: Precision,
     iterations: usize,
     threads: Option<usize>,
     workers: Option<usize>,
@@ -145,6 +149,7 @@ impl RunArgs {
             tile: 4096.0,
             halo: 1024.0,
             pitch: 8.0,
+            precision: Precision::F64,
             iterations: 10,
             threads: None,
             workers: None,
@@ -176,6 +181,12 @@ impl RunArgs {
                 "--tile" => args.tile = parse_num(&flag, &value()?)?,
                 "--halo" => args.halo = parse_num(&flag, &value()?)?,
                 "--pitch" => args.pitch = parse_num(&flag, &value()?)?,
+                "--precision" => {
+                    let raw = value()?;
+                    args.precision = Precision::parse(&raw).ok_or_else(|| {
+                        format!("--precision: expected 'f64' or 'f32', got '{raw}'\n\n{USAGE}")
+                    })?;
+                }
                 "--iterations" => args.iterations = parse_num(&flag, &value()?)?,
                 "--threads" => args.threads = Some(parse_num(&flag, &value()?)?),
                 "--workers" => args.workers = Some(parse_num(&flag, &value()?)?),
@@ -481,6 +492,7 @@ fn run_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
     let clip = build_clip(args.design, args.design_tiles, args.crop);
     let mut opc = OpcConfig::large_scale();
     opc.pitch = args.pitch;
+    opc.precision = args.precision;
     opc.iterations = args.iterations;
 
     if args.workers_local > 0 || !args.worker_addrs.is_empty() {
@@ -508,12 +520,13 @@ fn run_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
     };
 
     eprintln!(
-        "cardopc: {} ({} targets), tile {} nm + halo {} nm, pitch {} nm, {} workers",
+        "cardopc: {} ({} targets), tile {} nm + halo {} nm, pitch {} nm, {} sim, {} workers",
         clip.name(),
         clip.targets().len(),
         args.tile,
         args.halo,
         args.pitch,
+        args.precision.name(),
         pool.parallelism()
     );
 

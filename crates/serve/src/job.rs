@@ -250,6 +250,7 @@ impl JobStore {
         let id = format!("job-{}", inner.next_id);
         inner.next_id += 1;
         let run_dir_name = spec.run_dir_name.clone();
+        self.metrics.record_job_precision(spec.config.opc.precision);
         inner.jobs.insert(
             id.clone(),
             Job {

@@ -180,6 +180,10 @@ pub struct Metrics {
     pub http_server_errors: Counter,
     /// Jobs accepted into the queue.
     pub jobs_submitted: Counter,
+    /// Jobs accepted per simulation precision, indexed by
+    /// [`cardopc_litho::Precision::tag`]; rendered as the labelled
+    /// `cardopc_jobs_total{precision="..."}` family.
+    pub jobs_by_precision: [Counter; 2],
     /// Jobs that finished in each terminal state.
     pub jobs_done: Counter,
     /// Jobs that failed.
@@ -220,6 +224,11 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Counts one accepted job against its simulation precision.
+    pub fn record_job_precision(&self, precision: cardopc_litho::Precision) {
+        self.jobs_by_precision[precision.tag() as usize].inc();
+    }
+
     /// [`Metrics::render`] plus the tile-cache series, when the server
     /// has a cache attached (`None` leaves the cache series out rather
     /// than exporting misleading zeros).
@@ -284,6 +293,15 @@ impl Metrics {
         for (name, counter) in counters {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", counter.get());
+        }
+        let _ = writeln!(out, "# TYPE cardopc_jobs_total counter");
+        for precision in [cardopc_litho::Precision::F64, cardopc_litho::Precision::F32] {
+            let _ = writeln!(
+                out,
+                "cardopc_jobs_total{{precision=\"{}\"}} {}",
+                precision.name(),
+                self.jobs_by_precision[precision.tag() as usize].get()
+            );
         }
         let _ = writeln!(out, "# TYPE cardopc_drain_rejected_total counter");
         let _ = writeln!(
@@ -355,6 +373,21 @@ mod tests {
         assert!(text.contains("cardopc_tile_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("cardopc_tile_seconds_count 1"));
         assert!(text.contains("cardopc_tile_seconds_estimate{quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn per_precision_job_counters_render_labelled() {
+        use cardopc_litho::Precision;
+        let m = Metrics::default();
+        let text = m.render();
+        assert!(text.contains("cardopc_jobs_total{precision=\"f64\"} 0"));
+        assert!(text.contains("cardopc_jobs_total{precision=\"f32\"} 0"));
+        m.record_job_precision(Precision::F64);
+        m.record_job_precision(Precision::F32);
+        m.record_job_precision(Precision::F32);
+        let text = m.render();
+        assert!(text.contains("cardopc_jobs_total{precision=\"f64\"} 1"));
+        assert!(text.contains("cardopc_jobs_total{precision=\"f32\"} 2"));
     }
 
     #[test]

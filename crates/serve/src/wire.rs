@@ -195,6 +195,8 @@ mod tests {
             r#"{"design": {"kind": "gcd"}, "opc": {"pitch": 0}}"#,
             r#"{"design": {"kind": "gcd"}, "opc": {"iterations": 0}}"#,
             r#"{"design": {"kind": "gcd"}, "opc": {"mystery": 1}}"#,
+            r#"{"design": {"kind": "gcd"}, "opc": {"precision": "f16"}}"#,
+            r#"{"design": {"kind": "gcd"}, "opc": {"precision": 32}}"#,
             r#"{"design": {"kind": "gcd"}, "run_dir": "../escape"}"#,
             r#"{"design": {"kind": "gcd"}, "run_dir": ""}"#,
             r#"{"design": {"kind": "gcd"}, "run_dir": ".hidden"}"#,
@@ -204,6 +206,27 @@ mod tests {
         ] {
             assert!(parse_job(bad, &root()).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn precision_selects_the_simulation_backend() {
+        use cardopc_litho::Precision;
+        let spec = parse_job(r#"{"design": {"kind": "gcd"}}"#, &root()).unwrap();
+        assert_eq!(spec.config.opc.precision, Precision::F64, "default is f64");
+        let spec = parse_job(
+            r#"{"design": {"kind": "gcd"}, "opc": {"precision": "f32"}}"#,
+            &root(),
+        )
+        .unwrap();
+        assert_eq!(spec.config.opc.precision, Precision::F32);
+        assert_eq!(spec.work.opc.precision, Precision::F32);
+        // The rejection message names the field so a 400 is actionable.
+        let err = parse_job(
+            r#"{"design": {"kind": "gcd"}, "opc": {"precision": "f16"}}"#,
+            &root(),
+        )
+        .unwrap_err();
+        assert!(err.contains("'opc.precision'"), "{err:?}");
     }
 
     #[test]
