@@ -25,11 +25,7 @@ fn spec() -> WorkSpec {
     opc.pitch = 16.0;
     opc.iterations = 3;
     WorkSpec {
-        design: DesignSpec {
-            kind: DesignKind::Gcd,
-            tiles: 1,
-            crop: Some(2048.0),
-        },
+        design: DesignSpec::generated(DesignKind::Gcd, 1, Some(2048.0)),
         tiling: TilingConfig {
             tile_size: 512.0,
             halo: 256.0,
@@ -60,7 +56,7 @@ fn bench_fleet_scaling(c: &mut Criterion) {
     // and single-process manifests are the same bytes.
     let pool = WorkerPool::new(2);
     let direct = run_clip(
-        &spec.build_clip(),
+        &spec.build_clip().unwrap(),
         &RunConfig::new(spec.opc.clone(), spec.tiling),
         &pool,
     )
@@ -75,7 +71,7 @@ fn bench_fleet_scaling(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 run_clip(
-                    &spec.build_clip(),
+                    &spec.build_clip().unwrap(),
                     &RunConfig::new(spec.opc.clone(), spec.tiling),
                     &pool,
                 )

@@ -1,0 +1,181 @@
+//! GDS ingestion scenario matrix: realistic file shapes a layout tool
+//! would hand the reader, measured end to end (parse → flatten → clip)
+//! and each corrected once so the whole pipeline is exercised, not just
+//! the tokenizer.
+//!
+//! * `via_array` — an 8×8 AREF of a via cell: the hierarchy-expansion
+//!   path (structure table, array stepping, transform application).
+//! * `dense_iso` — a dense grating next to an isolated wire in one flat
+//!   structure: the many-vertices flat path and the OPC regime mix the
+//!   paper's figures contrast.
+//! * `multi_layer` — targets interleaved with shapes on other layers:
+//!   the layer/datatype filtering path (selected targets only).
+
+use cardopc::gds::record::{dtype, rtype};
+use cardopc::gds::{encode_real8, parse_lib, GdsWriter, LayerFilter};
+use cardopc::geometry::{Point, Polygon};
+use cardopc::layout::{clip_from_lib, Clip};
+use cardopc::litho::WorkerPool;
+use cardopc::opc::OpcConfig;
+use cardopc::runtime::{run_clip, RunConfig, TilingConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Appends one record: length-inclusive header, then the payload.
+fn rec(out: &mut Vec<u8>, rt: u8, dt: u8, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u16 + 4).to_be_bytes());
+    out.push(rt);
+    out.push(dt);
+    out.extend_from_slice(payload);
+}
+
+fn rec_i16s(out: &mut Vec<u8>, rt: u8, values: &[i16]) {
+    let payload: Vec<u8> = values.iter().flat_map(|v| v.to_be_bytes()).collect();
+    rec(out, rt, dtype::I16, &payload);
+}
+
+fn rec_i32s(out: &mut Vec<u8>, rt: u8, values: &[i32]) {
+    let payload: Vec<u8> = values.iter().flat_map(|v| v.to_be_bytes()).collect();
+    rec(out, rt, dtype::I32, &payload);
+}
+
+fn rec_ascii(out: &mut Vec<u8>, rt: u8, text: &str) {
+    let mut payload = text.as_bytes().to_vec();
+    if payload.len() % 2 == 1 {
+        payload.push(0);
+    }
+    rec(out, rt, dtype::ASCII, &payload);
+}
+
+/// A hand-assembled hierarchical file (the writer emits flat BOUNDARYs
+/// only — references exist to exercise the *reader*): one `VIA` cell
+/// holding a 60 nm contact, arrayed 8×8 on a 256 nm step by `TOP`.
+fn via_array_bytes() -> Vec<u8> {
+    let mut out = Vec::new();
+    rec_i16s(&mut out, rtype::HEADER, &[600]);
+    rec_i16s(&mut out, rtype::BGNLIB, &[0; 12]);
+    rec_ascii(&mut out, rtype::LIBNAME, "VIAS");
+    let mut units = Vec::new();
+    units.extend_from_slice(&encode_real8(1e-3).unwrap());
+    units.extend_from_slice(&encode_real8(1e-9).unwrap()); // 1 nm/dbu
+    rec(&mut out, rtype::UNITS, dtype::REAL8, &units);
+
+    rec_i16s(&mut out, rtype::BGNSTR, &[0; 12]);
+    rec_ascii(&mut out, rtype::STRNAME, "VIA");
+    rec(&mut out, rtype::BOUNDARY, dtype::NONE, &[]);
+    rec_i16s(&mut out, rtype::LAYER, &[1]);
+    rec_i16s(&mut out, rtype::DATATYPE, &[0]);
+    rec_i32s(&mut out, rtype::XY, &[0, 0, 60, 0, 60, 60, 0, 60, 0, 0]);
+    rec(&mut out, rtype::ENDEL, dtype::NONE, &[]);
+    rec(&mut out, rtype::ENDSTR, dtype::NONE, &[]);
+
+    rec_i16s(&mut out, rtype::BGNSTR, &[0; 12]);
+    rec_ascii(&mut out, rtype::STRNAME, "TOP");
+    rec(&mut out, rtype::AREF, dtype::NONE, &[]);
+    rec_ascii(&mut out, rtype::SNAME, "VIA");
+    rec_i16s(&mut out, rtype::COLROW, &[8, 8]);
+    // Origin, column reference (origin + cols·step), row reference.
+    rec_i32s(
+        &mut out,
+        rtype::XY,
+        &[100, 100, 100 + 8 * 256, 100, 100, 100 + 8 * 256],
+    );
+    rec(&mut out, rtype::ENDEL, dtype::NONE, &[]);
+    rec(&mut out, rtype::ENDSTR, dtype::NONE, &[]);
+    rec(&mut out, rtype::ENDLIB, dtype::NONE, &[]);
+    out
+}
+
+/// A flat structure mixing a dense 5-wire grating with one isolated
+/// wire — written through the public writer.
+fn dense_iso_bytes() -> Vec<u8> {
+    let mut w = GdsWriter::new("MIX", 1.0).unwrap();
+    w.begin_struct("TOP");
+    for i in 0..5 {
+        let y = 100.0 + i as f64 * 140.0;
+        w.boundary(
+            1,
+            0,
+            &Polygon::rect(Point::new(100.0, y), Point::new(900.0, y + 70.0)),
+        )
+        .unwrap();
+    }
+    w.boundary(
+        1,
+        0,
+        &Polygon::rect(Point::new(100.0, 1300.0), Point::new(900.0, 1370.0)),
+    )
+    .unwrap();
+    w.end_struct();
+    w.finish()
+}
+
+/// Layer-5 targets interleaved with layer-1 and layer-8 clutter; only
+/// the filtered layer may survive ingestion.
+fn multi_layer_bytes() -> Vec<u8> {
+    let mut w = GdsWriter::new("STACK", 1.0).unwrap();
+    w.begin_struct("TOP");
+    for i in 0..4 {
+        let x = 100.0 + i as f64 * 220.0;
+        for (layer, dy) in [(1, 0.0), (5, 300.0), (8, 600.0)] {
+            w.boundary(
+                layer,
+                0,
+                &Polygon::rect(Point::new(x, 100.0 + dy), Point::new(x + 90.0, 190.0 + dy)),
+            )
+            .unwrap();
+        }
+    }
+    w.end_struct();
+    w.finish()
+}
+
+/// Parse + flatten + clip: the full ingestion path a `--design foo.gds`
+/// run takes (minus the file read).
+fn ingest(bytes: &[u8], layer: LayerFilter) -> Clip {
+    let lib = parse_lib(bytes).unwrap();
+    clip_from_lib(&lib, layer, None).unwrap()
+}
+
+fn correct(clip: &Clip) -> usize {
+    let mut opc = OpcConfig::large_scale();
+    opc.pitch = 16.0;
+    opc.iterations = 2;
+    let config = RunConfig::new(
+        opc,
+        TilingConfig {
+            tile_size: 1024.0,
+            halo: 256.0,
+        },
+    );
+    let outcome = run_clip(clip, &config, &WorkerPool::new(2)).unwrap();
+    assert!(outcome.complete);
+    outcome.stitched.unwrap().mains.len()
+}
+
+fn bench_gds_scenarios(c: &mut Criterion) {
+    let scenarios: [(&str, Vec<u8>, LayerFilter, usize); 3] = [
+        ("via_array", via_array_bytes(), LayerFilter::Layer(1), 64),
+        ("dense_iso", dense_iso_bytes(), LayerFilter::Layer(1), 6),
+        (
+            "multi_layer",
+            multi_layer_bytes(),
+            LayerFilter::LayerDatatype(5, 0),
+            4,
+        ),
+    ];
+
+    for (name, bytes, layer, targets) in &scenarios {
+        // The correctness contract first: ingestion finds exactly the
+        // expected targets and the corrected mask keeps every main.
+        let clip = ingest(bytes, *layer);
+        assert_eq!(clip.targets().len(), *targets, "{name}");
+        assert_eq!(correct(&clip), *targets, "{name}");
+
+        c.bench_function(&format!("gds_ingest_{name}"), |b| {
+            b.iter(|| black_box(ingest(black_box(bytes), *layer)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_gds_scenarios);
+criterion_main!(benches);

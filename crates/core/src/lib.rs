@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use cardopc_fleet as fleet;
+pub use cardopc_gds as gds;
 pub use cardopc_geometry as geometry;
 pub use cardopc_ilt as ilt;
 pub use cardopc_json as json;

@@ -146,6 +146,9 @@ pub enum FleetError {
     /// A runtime-layer failure (partitioning, checkpoint IO, or a tile
     /// that failed identically on every worker that tried it).
     Runtime(RuntimeError),
+    /// The work spec's design could not be materialised (e.g. an
+    /// unreadable or malformed GDS file).
+    Spec(String),
 }
 
 impl std::fmt::Display for FleetError {
@@ -156,6 +159,7 @@ impl std::fmt::Display for FleetError {
                 write!(f, "all workers retired with {remaining} tiles unfinished")
             }
             FleetError::Runtime(e) => write!(f, "{e}"),
+            FleetError::Spec(msg) => write!(f, "unusable spec: {msg}"),
         }
     }
 }
@@ -247,7 +251,7 @@ pub fn run_fleet(
     if config.workers.is_empty() {
         return Err(FleetError::NoWorkers);
     }
-    let clip = spec.build_clip();
+    let clip = spec.build_clip().map_err(FleetError::Spec)?;
     let partition = partition_clip(&clip, &spec.tiling)?;
     let total = partition.tiles.len();
     let hashes: Vec<u64> = partition

@@ -62,11 +62,7 @@ mod tests {
 
     fn spec() -> WorkSpec {
         WorkSpec {
-            design: DesignSpec {
-                kind: DesignKind::Gcd,
-                tiles: 1,
-                crop: Some(2048.0),
-            },
+            design: DesignSpec::generated(DesignKind::Gcd, 1, Some(2048.0)),
             tiling: TilingConfig {
                 tile_size: 1024.0,
                 halo: 512.0,

@@ -20,8 +20,10 @@
 //! adding a field to `OpcConfig` without extending the wire format is a
 //! compile error, mirroring the runtime's `hash_config` guarantee.
 
+use std::path::{Path, PathBuf};
+
 use cardopc_json::Json;
-use cardopc_layout::{design_tiles, Clip, DesignKind};
+use cardopc_layout::{Clip, DesignKind, DesignSource, LayerFilter, TARGET_LAYER};
 use cardopc_mrc::MrcRules;
 use cardopc_opc::{MeasureConvention, OpcConfig, SrafConfig};
 use cardopc_runtime::TilingConfig;
@@ -34,33 +36,57 @@ pub const MAX_DESIGN_TILES: usize = 16;
 /// A request rejection: the message lands in a 400 response body.
 pub type BadRequest = String;
 
-/// The synthetic-design recipe shared by the CLI (`--design`/
-/// `--design-tiles`/`--crop`), the service wire format, and the fleet
-/// work unit.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// The design recipe shared by the CLI (`--design`/`--design-tiles`/
+/// `--crop`), the service wire format, and the fleet work unit — either a
+/// synthetic generator recipe or a GDS file reference, behind the
+/// [`DesignSource`] seam.
+#[derive(Clone, Debug, PartialEq)]
 pub struct DesignSpec {
-    /// Which paper design to instantiate.
-    pub kind: DesignKind,
-    /// Number of design tiles laid side by side (1..=[`MAX_DESIGN_TILES`]).
-    pub tiles: usize,
-    /// Optional centred square crop, nm.
-    pub crop: Option<f64>,
+    /// Where the input clip comes from.
+    pub source: DesignSource,
 }
 
 impl DesignSpec {
-    /// Builds the input clip: `tiles` design tiles side by side,
-    /// optionally cropped to a centred window. Every process that expands
-    /// the same spec sees the same input.
-    pub fn build_clip(&self) -> Clip {
-        build_clip(self.kind, self.tiles, self.crop)
+    /// A synthetic-generator spec (the pre-GDS wire format).
+    pub fn generated(kind: DesignKind, tiles: usize, crop: Option<f64>) -> DesignSpec {
+        DesignSpec {
+            source: DesignSource::Generated { kind, tiles, crop },
+        }
     }
 
-    fn to_json(self) -> Json {
-        let mut members = vec![
-            ("kind", Json::Str(self.kind.name().to_string())),
-            ("tiles", Json::num_usize(self.tiles)),
-        ];
-        if let Some(crop) = self.crop {
+    /// A GDS-file spec.
+    pub fn gds(path: PathBuf, layer: LayerFilter, crop: Option<f64>) -> DesignSpec {
+        DesignSpec {
+            source: DesignSource::Gds { path, layer, crop },
+        }
+    }
+
+    /// Builds the input clip. Every process that expands the same spec
+    /// sees the same input (generated designs are deterministic; GDS
+    /// designs hash-checked per tile by the runtime).
+    ///
+    /// # Errors
+    ///
+    /// A message when a GDS source cannot be read or flattened.
+    pub fn build_clip(&self) -> Result<Clip, BadRequest> {
+        self.source.build_clip()
+    }
+
+    fn to_json(&self) -> Json {
+        let mut members = match &self.source {
+            DesignSource::Generated { kind, tiles, .. } => vec![
+                ("kind", Json::Str(kind.name().to_string())),
+                ("tiles", Json::num_usize(*tiles)),
+            ],
+            DesignSource::Gds { path, layer, .. } => vec![
+                ("gds", Json::Str(path.to_string_lossy().into_owned())),
+                ("layer", Json::Str(layer.to_string())),
+            ],
+        };
+        let crop = match &self.source {
+            DesignSource::Generated { crop, .. } | DesignSource::Gds { crop, .. } => *crop,
+        };
+        if let Some(crop) = crop {
             members.push(("crop", Json::Num(crop)));
         }
         Json::obj(members)
@@ -68,18 +94,61 @@ impl DesignSpec {
 }
 
 /// Parses a `design` object into a spec (strict: unknown keys rejected).
+/// GDS paths are taken verbatim — use [`parse_design_with_root`] for
+/// untrusted input.
 ///
 /// # Errors
 ///
 /// A human-readable message for any malformed or out-of-range field.
 pub fn parse_design(design: &Json) -> Result<DesignSpec, BadRequest> {
+    parse_design_with_root(design, None)
+}
+
+/// Parses a `design` object. When `gds_root` is given (the untrusted
+/// HTTP path), a `gds` reference must be a bare file name — same
+/// character policy as `run_dir` — and resolves inside that root, so a
+/// request can never read outside the service's run directory.
+///
+/// # Errors
+///
+/// A human-readable message for any malformed or out-of-range field.
+pub fn parse_design_with_root(
+    design: &Json,
+    gds_root: Option<&Path>,
+) -> Result<DesignSpec, BadRequest> {
     let Json::Obj(_) = design else {
         return Err("'design' must be an object".into());
     };
+    if design.get("gds").is_some() {
+        reject_unknown(design, &["gds", "layer", "crop"])?;
+        let text = design
+            .get("gds")
+            .expect("checked above")
+            .as_str()
+            .ok_or("'design.gds' must be a string")?;
+        let path = match gds_root {
+            Some(root) => {
+                let name =
+                    sanitize_run_dir(text).map_err(|e| e.replace("'run_dir'", "'design.gds'"))?;
+                root.join(name)
+            }
+            None => PathBuf::from(text),
+        };
+        let layer = match design.get("layer") {
+            None => LayerFilter::Layer(TARGET_LAYER),
+            Some(v) => LayerFilter::parse(
+                v.as_str()
+                    .ok_or("'design.layer' must be a string like \"1\" or \"1:0\"")?,
+            )
+            .map_err(|e| format!("'design.layer': {e}"))?,
+        };
+        let crop = parse_crop(design)?;
+        return Ok(DesignSpec::gds(path, layer, crop));
+    }
     reject_unknown(design, &["kind", "tiles", "crop"])?;
     let kind = match design
         .get("kind")
-        .ok_or("missing 'design.kind'")?
+        .ok_or("missing 'design.kind' (or 'design.gds')")?
         .as_str()
         .ok_or("'design.kind' must be a string")?
     {
@@ -95,48 +164,29 @@ pub fn parse_design(design: &Json) -> Result<DesignSpec, BadRequest> {
     if tiles == 0 || tiles > MAX_DESIGN_TILES {
         return Err(format!("'design.tiles' must be in 1..={MAX_DESIGN_TILES}"));
     }
-    let crop = match design.get("crop") {
-        None | Some(Json::Null) => None,
+    let crop = parse_crop(design)?;
+    Ok(DesignSpec::generated(kind, tiles, crop))
+}
+
+fn parse_crop(design: &Json) -> Result<Option<f64>, BadRequest> {
+    match design.get("crop") {
+        None | Some(Json::Null) => Ok(None),
         Some(v) => {
             let nm = v.as_f64().ok_or("'design.crop' must be a number")?;
             if !nm.is_finite() || nm <= 0.0 {
                 return Err("'design.crop' must be positive".into());
             }
-            Some(nm)
+            Ok(Some(nm))
         }
-    };
-    Ok(DesignSpec { kind, tiles, crop })
+    }
 }
 
-/// Builds the input clip: `count` design tiles side by side, optionally
-/// cropped to a centred window. Shared by the CLI, the service, and the
-/// fleet so every expansion of the same spec sees the same input.
+/// Builds the synthetic input clip: `count` design tiles side by side,
+/// optionally cropped to a centred window. Thin alias for
+/// [`cardopc_layout::generated_clip`], kept so existing CLI/serve callers
+/// keep compiling.
 pub fn build_clip(kind: DesignKind, count: usize, crop: Option<f64>) -> Clip {
-    let tiles: Vec<Clip> = design_tiles(kind, count.max(1)).collect();
-    let tile_w = tiles[0].width();
-    let tile_h = tiles[0].height();
-    let mut shapes = Vec::new();
-    for (i, tile) in tiles.iter().enumerate() {
-        let dx = cardopc_geometry::Point::new(i as f64 * tile_w, 0.0);
-        shapes.extend(tile.targets().iter().map(|t| t.translated(dx)));
-    }
-    let clip = Clip::new(
-        format!("{}x{}", kind.name(), count.max(1)),
-        tile_w * count.max(1) as f64,
-        tile_h,
-        shapes,
-    );
-    match crop {
-        Some(size) => {
-            let origin = cardopc_geometry::Point::new(
-                ((clip.width() - size) * 0.5).max(0.0),
-                ((clip.height() - size) * 0.5).max(0.0),
-            );
-            let name = format!("{}@{}", clip.name(), size);
-            clip.crop_intersecting(origin, size, size, name)
-        }
-        None => clip,
-    }
+    cardopc_layout::generated_clip(kind, count, crop)
 }
 
 /// Parses a `tiling` object (strict; defaults 4096/1024 nm).
@@ -326,7 +376,11 @@ pub struct WorkSpec {
 
 impl WorkSpec {
     /// Expands the design recipe into the input clip.
-    pub fn build_clip(&self) -> Clip {
+    ///
+    /// # Errors
+    ///
+    /// A message when a GDS source cannot be read or flattened.
+    pub fn build_clip(&self) -> Result<Clip, BadRequest> {
         self.design.build_clip()
     }
 
@@ -599,10 +653,74 @@ mod tests {
     #[test]
     fn design_parses_and_builds() {
         let spec = parse_design(&parse(r#"{"kind": "gcd", "tiles": 2, "crop": 2048.0}"#)).unwrap();
-        assert_eq!(spec.kind, DesignKind::Gcd);
-        assert_eq!(spec.tiles, 2);
-        assert_eq!(spec.crop, Some(2048.0));
-        assert!(!spec.build_clip().targets().is_empty());
+        assert_eq!(
+            spec,
+            DesignSpec::generated(DesignKind::Gcd, 2, Some(2048.0))
+        );
+        assert!(!spec.build_clip().unwrap().targets().is_empty());
+    }
+
+    #[test]
+    fn gds_design_parses_and_roundtrips() {
+        let spec = parse_design(&parse(r#"{"gds": "/tmp/chip.gds", "layer": "5:1"}"#)).unwrap();
+        assert_eq!(
+            spec,
+            DesignSpec::gds(
+                PathBuf::from("/tmp/chip.gds"),
+                LayerFilter::LayerDatatype(5, 1),
+                None
+            )
+        );
+        // Layer defaults to the export convention's target layer.
+        let spec = parse_design(&parse(r#"{"gds": "a.gds", "crop": 512.0}"#)).unwrap();
+        assert_eq!(
+            spec,
+            DesignSpec::gds(
+                PathBuf::from("a.gds"),
+                LayerFilter::Layer(TARGET_LAYER),
+                Some(512.0)
+            )
+        );
+        // Wire round trip preserves the source exactly.
+        let back = parse_design(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn gds_paths_are_root_confined_for_untrusted_callers() {
+        let root = Path::new("/srv/runs");
+        let spec = parse_design_with_root(&parse(r#"{"gds": "chip.gds"}"#), Some(root)).unwrap();
+        assert_eq!(
+            spec,
+            DesignSpec::gds(
+                PathBuf::from("/srv/runs/chip.gds"),
+                LayerFilter::Layer(TARGET_LAYER),
+                None
+            )
+        );
+        for bad in [
+            r#"{"gds": "../evil.gds"}"#,
+            r#"{"gds": "a/b.gds"}"#,
+            r#"{"gds": ".hidden"}"#,
+            r#"{"gds": ""}"#,
+        ] {
+            let err = parse_design_with_root(&parse(bad), Some(root)).unwrap_err();
+            assert!(err.contains("'design.gds'"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn gds_design_rejections() {
+        for bad in [
+            r#"{"gds": 7}"#,
+            r#"{"gds": "a.gds", "layer": "nope"}"#,
+            r#"{"gds": "a.gds", "layer": 5}"#,
+            r#"{"gds": "a.gds", "kind": "gcd"}"#,
+            r#"{"gds": "a.gds", "tiles": 2}"#,
+            r#"{"gds": "a.gds", "crop": -5}"#,
+        ] {
+            assert!(parse_design(&parse(bad)).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]
@@ -678,11 +796,7 @@ mod tests {
         let mut opc = OpcConfig::large_scale();
         opc.precision = cardopc_litho::Precision::F32;
         let spec = WorkSpec {
-            design: DesignSpec {
-                kind: DesignKind::Gcd,
-                tiles: 1,
-                crop: None,
-            },
+            design: DesignSpec::generated(DesignKind::Gcd, 1, None),
             tiling: TilingConfig {
                 tile_size: 1024.0,
                 halo: 256.0,
@@ -760,11 +874,7 @@ mod tests {
         });
         opc.convention = MeasureConvention::MetalSpacing(60.0);
         let spec = WorkSpec {
-            design: DesignSpec {
-                kind: DesignKind::Aes,
-                tiles: 3,
-                crop: Some(1536.0),
-            },
+            design: DesignSpec::generated(DesignKind::Aes, 3, Some(1536.0)),
             tiling: TilingConfig {
                 tile_size: 1024.0,
                 halo: 256.0,
@@ -780,11 +890,7 @@ mod tests {
         bare.mrc = None;
         bare.convention = MeasureConvention::ViaEdgeCenters;
         let spec2 = WorkSpec {
-            design: DesignSpec {
-                kind: DesignKind::Gcd,
-                tiles: 1,
-                crop: None,
-            },
+            design: DesignSpec::generated(DesignKind::Gcd, 1, None),
             tiling: spec.tiling,
             opc: bare,
         };
@@ -798,11 +904,7 @@ mod tests {
     #[test]
     fn work_spec_rejects_unknown_and_missing_fields() {
         let spec = WorkSpec {
-            design: DesignSpec {
-                kind: DesignKind::Gcd,
-                tiles: 1,
-                crop: None,
-            },
+            design: DesignSpec::generated(DesignKind::Gcd, 1, None),
             tiling: TilingConfig {
                 tile_size: 1024.0,
                 halo: 256.0,

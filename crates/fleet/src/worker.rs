@@ -340,7 +340,10 @@ fn dispatch(request: &Request, state: &Arc<WorkerState>) -> Response {
             // Built outside the lock: preparation rasterises nothing but
             // partitioning a big clip is not free, and a concurrent
             // duplicate build is harmless (both produce identical state).
-            let clip = spec.build_clip();
+            let clip = match spec.build_clip() {
+                Ok(c) => c,
+                Err(e) => return Response::error(400, &format!("unusable spec: {e}")),
+            };
             let partition = match partition_clip(&clip, &spec.tiling) {
                 Ok(p) => p,
                 Err(e) => return Response::error(400, &format!("unusable spec: {e}")),

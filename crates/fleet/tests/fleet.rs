@@ -23,11 +23,7 @@ fn spec() -> WorkSpec {
     opc.pitch = 16.0;
     opc.iterations = 3;
     WorkSpec {
-        design: DesignSpec {
-            kind: DesignKind::Gcd,
-            tiles: 1,
-            crop: Some(1024.0),
-        },
+        design: DesignSpec::generated(DesignKind::Gcd, 1, Some(1024.0)),
         tiling: TilingConfig {
             tile_size: 512.0,
             halo: 256.0,
@@ -39,7 +35,7 @@ fn spec() -> WorkSpec {
 /// The same spec corrected by the single-process runtime — the
 /// byte-identity baseline every fleet manifest is compared against.
 fn direct_manifest(spec: &WorkSpec) -> String {
-    let clip = spec.build_clip();
+    let clip = spec.build_clip().unwrap();
     let pool = WorkerPool::new(2);
     let outcome = run_clip(&clip, &RunConfig::new(spec.opc.clone(), spec.tiling), &pool).unwrap();
     assert!(outcome.complete);

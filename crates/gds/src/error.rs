@@ -1,0 +1,139 @@
+//! Typed errors for GDSII parsing, flattening, and writing.
+//!
+//! Everything that can go wrong on untrusted bytes is an `Err`, never a
+//! panic: truncated streams, oversized or malformed records, out-of-range
+//! reals, coordinate overflow during DBU scaling, dangling or circular
+//! structure references. The `Display` messages are phrased for a 400
+//! response body (the serve wire format forwards them verbatim).
+
+use std::fmt;
+
+/// Any failure while reading, flattening, or writing a GDSII stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GdsError {
+    /// The stream ended inside a record (torn/truncated file). Carries the
+    /// byte offset where more data was expected.
+    Truncated(usize),
+    /// A structurally invalid record: bad length, unexpected data type for
+    /// its record type, or payload size not matching the declared type.
+    BadRecord {
+        /// Byte offset of the record header.
+        offset: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The record sequence violates the stream grammar (e.g. `XY` outside
+    /// an element, `ENDLIB` inside a structure, missing `UNITS`).
+    Grammar {
+        /// Byte offset of the offending record.
+        offset: usize,
+        /// What the grammar expected instead.
+        reason: String,
+    },
+    /// An excess-64 real decoded to a non-finite or out-of-range value, or
+    /// a value (e.g. DBU size) outside its legal domain.
+    RealOutOfRange(String),
+    /// DBU-to-nanometre scaling would overflow or produce a non-finite
+    /// coordinate.
+    CoordinateOverflow(String),
+    /// An `SREF`/`AREF` names a structure the library does not define.
+    UnknownStructure(String),
+    /// Structure references form a cycle (flattening would not terminate).
+    CircularReference(String),
+    /// The reference tree is nested deeper than the flattener's limit.
+    RecursionLimit(usize),
+    /// Flattening would produce more shapes than the configured budget
+    /// (guards against `AREF` row/column explosion on hostile inputs).
+    ShapeBudget(usize),
+    /// A polygon exceeds the writer's vertex budget even after splitting.
+    TooManyVertices(usize),
+    /// Underlying I/O failure (message only, so the error stays `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for GdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdsError::Truncated(offset) => {
+                write!(f, "truncated GDS stream at byte {offset}")
+            }
+            GdsError::BadRecord { offset, reason } => {
+                write!(f, "bad GDS record at byte {offset}: {reason}")
+            }
+            GdsError::Grammar { offset, reason } => {
+                write!(f, "GDS grammar violation at byte {offset}: {reason}")
+            }
+            GdsError::RealOutOfRange(what) => write!(f, "GDS real out of range: {what}"),
+            GdsError::CoordinateOverflow(what) => {
+                write!(f, "GDS coordinate overflow: {what}")
+            }
+            GdsError::UnknownStructure(name) => {
+                write!(f, "GDS reference to unknown structure '{name}'")
+            }
+            GdsError::CircularReference(name) => {
+                write!(f, "circular GDS structure reference through '{name}'")
+            }
+            GdsError::RecursionLimit(depth) => {
+                write!(f, "GDS reference tree deeper than {depth} levels")
+            }
+            GdsError::ShapeBudget(limit) => {
+                write!(f, "flattened GDS design exceeds the {limit}-shape budget")
+            }
+            GdsError::TooManyVertices(n) => {
+                write!(f, "polygon with {n} vertices exceeds the GDS record limit")
+            }
+            GdsError::Io(msg) => write!(f, "GDS I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GdsError {}
+
+impl From<std::io::Error> for GdsError {
+    fn from(e: std::io::Error) -> GdsError {
+        GdsError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failure() {
+        let cases: Vec<(GdsError, &str)> = vec![
+            (GdsError::Truncated(12), "byte 12"),
+            (
+                GdsError::BadRecord {
+                    offset: 4,
+                    reason: "odd length".into(),
+                },
+                "odd length",
+            ),
+            (
+                GdsError::Grammar {
+                    offset: 8,
+                    reason: "XY outside an element".into(),
+                },
+                "XY outside",
+            ),
+            (GdsError::RealOutOfRange("UNITS".into()), "UNITS"),
+            (GdsError::CoordinateOverflow("x".into()), "overflow"),
+            (GdsError::UnknownStructure("TOP".into()), "'TOP'"),
+            (GdsError::CircularReference("A".into()), "circular"),
+            (GdsError::RecursionLimit(64), "64"),
+            (GdsError::ShapeBudget(1_000_000), "1000000-shape"),
+            (GdsError::TooManyVertices(9000), "9000"),
+            (GdsError::Io("gone".into()), "gone"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: GdsError = std::io::Error::other("disk fell off").into();
+        assert!(matches!(e, GdsError::Io(_)));
+    }
+}

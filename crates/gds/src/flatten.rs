@@ -1,0 +1,643 @@
+//! Cycle-safe SREF/AREF flattening into nanometre polygons.
+//!
+//! A reference transform is applied in GDS order: mirror about the x axis
+//! (STRANS bit 15), then rotate counter-clockwise by ANGLE, then scale by
+//! MAG, then translate to the reference point. Rotations that are exact
+//! multiples of 90° use exact `{-1, 0, 1}` matrices so rectilinear
+//! designs stay bit-exact; arbitrary angles go through `f64`
+//! sine/cosine. AREF lattice vectors are derived from the recorded
+//! column/row reference points, so sheared or rotated arrays come out
+//! right without special cases.
+//!
+//! Hostile inputs are bounded three ways: a recursion-depth cap (cycles
+//! are also detected directly via the on-stack set), a flattened-shape
+//! budget that an exploding AREF of AREFs cannot bypass (empty instances
+//! count too), and overflow-checked DBU→nm scaling.
+
+use cardopc_geometry::{Point, Polygon};
+
+use crate::error::GdsError;
+use crate::model::{GdsElement, GdsLib, GdsRef, GdsStruct, LayerFilter, Strans};
+
+/// A 2-D affine transform in database units: `p ↦ m·p + t`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Trans {
+    /// Row-major linear part.
+    pub m: [[f64; 2]; 2],
+    /// Translation.
+    pub t: (f64, f64),
+}
+
+impl Trans {
+    /// The identity transform.
+    pub fn identity() -> Trans {
+        Trans {
+            m: [[1.0, 0.0], [0.0, 1.0]],
+            t: (0.0, 0.0),
+        }
+    }
+
+    /// Builds the transform of a reference placed at `origin`:
+    /// translate(origin) ∘ scale(mag) ∘ rotate(angle) ∘ mirror_x?.
+    pub fn from_strans(strans: Strans, origin: (f64, f64)) -> Trans {
+        // Exact matrices for the four axis-aligned rotations.
+        let deg = strans.angle_deg.rem_euclid(360.0);
+        let (cos, sin) = match deg {
+            0.0 => (1.0, 0.0),
+            90.0 => (0.0, 1.0),
+            180.0 => (-1.0, 0.0),
+            270.0 => (0.0, -1.0),
+            _ => {
+                let rad = deg.to_radians();
+                (rad.cos(), rad.sin())
+            }
+        };
+        let my = if strans.mirror_x { -1.0 } else { 1.0 };
+        let g = strans.mag;
+        // R(angle) · diag(1, my), columns scaled by mag.
+        Trans {
+            m: [[g * cos, g * -sin * my], [g * sin, g * cos * my]],
+            t: origin,
+        }
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: (f64, f64)) -> (f64, f64) {
+        (
+            self.m[0][0] * p.0 + self.m[0][1] * p.1 + self.t.0,
+            self.m[1][0] * p.0 + self.m[1][1] * p.1 + self.t.1,
+        )
+    }
+
+    /// Composes `self ∘ inner`: applying the result equals applying
+    /// `inner` first, then `self`.
+    pub fn compose(&self, inner: &Trans) -> Trans {
+        let a = self.m;
+        let b = inner.m;
+        Trans {
+            m: [
+                [
+                    a[0][0] * b[0][0] + a[0][1] * b[1][0],
+                    a[0][0] * b[0][1] + a[0][1] * b[1][1],
+                ],
+                [
+                    a[1][0] * b[0][0] + a[1][1] * b[1][0],
+                    a[1][0] * b[0][1] + a[1][1] * b[1][1],
+                ],
+            ],
+            t: self.apply(inner.t),
+        }
+    }
+
+    /// Determinant of the linear part; negative means the transform flips
+    /// orientation (odd number of mirrors).
+    pub fn det(&self) -> f64 {
+        self.m[0][0] * self.m[1][1] - self.m[0][1] * self.m[1][0]
+    }
+}
+
+/// Safety limits for flattening untrusted libraries.
+#[derive(Clone, Copy, Debug)]
+pub struct FlattenLimits {
+    /// Maximum SREF/AREF nesting depth.
+    pub max_depth: usize,
+    /// Maximum flattened shapes *and* reference instances visited —
+    /// an AREF lattice of empty cells burns this budget too.
+    pub max_shapes: usize,
+}
+
+impl Default for FlattenLimits {
+    fn default() -> FlattenLimits {
+        FlattenLimits {
+            max_depth: 64,
+            max_shapes: 1_000_000,
+        }
+    }
+}
+
+/// One flattened polygon with its source layer/datatype.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlatShape {
+    /// Layer number.
+    pub layer: i16,
+    /// Datatype number.
+    pub datatype: i16,
+    /// CCW-normalised polygon in nanometres.
+    pub polygon: Polygon,
+}
+
+struct Flattener<'a> {
+    lib: &'a GdsLib,
+    filter: LayerFilter,
+    limits: FlattenLimits,
+    nm_per_dbu: f64,
+    stack: Vec<&'a str>,
+    budget: usize,
+    out: Vec<FlatShape>,
+}
+
+/// Flattens structure `top` into nm polygons on layers the filter admits.
+///
+/// Degenerate polygons (fewer than 3 distinct vertices after transform)
+/// are dropped silently — they carry no printable geometry.
+///
+/// # Errors
+///
+/// [`GdsError::UnknownStructure`], [`GdsError::CircularReference`],
+/// [`GdsError::RecursionLimit`], [`GdsError::ShapeBudget`], or
+/// [`GdsError::CoordinateOverflow`].
+pub fn flatten(
+    lib: &GdsLib,
+    top: &str,
+    filter: LayerFilter,
+    limits: FlattenLimits,
+) -> Result<Vec<FlatShape>, GdsError> {
+    let root = lib
+        .find_struct(top)
+        .ok_or_else(|| GdsError::UnknownStructure(top.to_string()))?;
+    let mut fl = Flattener {
+        lib,
+        filter,
+        limits,
+        nm_per_dbu: lib.nm_per_dbu(),
+        stack: Vec::new(),
+        budget: 0,
+        out: Vec::new(),
+    };
+    fl.walk(root, &Trans::identity())?;
+    Ok(fl.out)
+}
+
+impl<'a> Flattener<'a> {
+    fn spend(&mut self) -> Result<(), GdsError> {
+        self.budget += 1;
+        if self.budget > self.limits.max_shapes {
+            return Err(GdsError::ShapeBudget(self.limits.max_shapes));
+        }
+        Ok(())
+    }
+
+    fn walk(&mut self, s: &'a GdsStruct, trans: &Trans) -> Result<(), GdsError> {
+        if self.stack.len() >= self.limits.max_depth {
+            return Err(GdsError::RecursionLimit(self.limits.max_depth));
+        }
+        if self.stack.contains(&s.name.as_str()) {
+            return Err(GdsError::CircularReference(s.name.clone()));
+        }
+        self.stack.push(&s.name);
+        for element in &s.elements {
+            match element {
+                GdsElement::Boundary {
+                    layer,
+                    datatype,
+                    xy,
+                } => {
+                    if self.filter.matches(*layer, *datatype) {
+                        let pts: Vec<(f64, f64)> =
+                            xy.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+                        self.emit(*layer, *datatype, &pts, trans)?;
+                    }
+                }
+                GdsElement::Path {
+                    layer,
+                    datatype,
+                    width,
+                    pathtype,
+                    xy,
+                } => {
+                    if self.filter.matches(*layer, *datatype) {
+                        let outline = path_outline(xy, *width, *pathtype);
+                        if let Some(pts) = outline {
+                            self.emit(*layer, *datatype, &pts, trans)?;
+                        }
+                    }
+                }
+                GdsElement::Ref(r) => self.walk_ref(r, trans)?,
+            }
+        }
+        self.stack.pop();
+        Ok(())
+    }
+
+    fn walk_ref(&mut self, r: &'a GdsRef, parent: &Trans) -> Result<(), GdsError> {
+        let child = self
+            .lib
+            .find_struct(&r.sname)
+            .ok_or_else(|| GdsError::UnknownStructure(r.sname.clone()))?;
+        match r.colrow {
+            None => {
+                self.spend()?;
+                let origin = (r.xy[0].0 as f64, r.xy[0].1 as f64);
+                let local = Trans::from_strans(r.strans, origin);
+                self.walk(child, &parent.compose(&local))?;
+            }
+            Some((cols, rows)) => {
+                // Lattice vectors from the recorded reference points — this
+                // honours rotated/mirrored arrays without special-casing.
+                let o = (r.xy[0].0 as f64, r.xy[0].1 as f64);
+                let colref = (r.xy[1].0 as f64, r.xy[1].1 as f64);
+                let rowref = (r.xy[2].0 as f64, r.xy[2].1 as f64);
+                let cstep = (
+                    (colref.0 - o.0) / cols as f64,
+                    (colref.1 - o.1) / cols as f64,
+                );
+                let rstep = (
+                    (rowref.0 - o.0) / rows as f64,
+                    (rowref.1 - o.1) / rows as f64,
+                );
+                for j in 0..rows as i64 {
+                    for i in 0..cols as i64 {
+                        self.spend()?;
+                        let origin = (
+                            o.0 + i as f64 * cstep.0 + j as f64 * rstep.0,
+                            o.1 + i as f64 * cstep.1 + j as f64 * rstep.1,
+                        );
+                        let local = Trans::from_strans(r.strans, origin);
+                        self.walk(child, &parent.compose(&local))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit(
+        &mut self,
+        layer: i16,
+        datatype: i16,
+        dbu_pts: &[(f64, f64)],
+        trans: &Trans,
+    ) -> Result<(), GdsError> {
+        let mut vertices = Vec::with_capacity(dbu_pts.len());
+        for &p in dbu_pts {
+            let (x, y) = trans.apply(p);
+            let (nx, ny) = (x * self.nm_per_dbu, y * self.nm_per_dbu);
+            if !(nx.is_finite() && ny.is_finite() && nx.abs() <= 1e15 && ny.abs() <= 1e15) {
+                return Err(GdsError::CoordinateOverflow(format!(
+                    "vertex ({x}, {y}) dbu does not scale to a finite nm coordinate"
+                )));
+            }
+            vertices.push(Point::new(nx, ny));
+        }
+        // Polygon::new drops the explicit closing point and near-duplicate
+        // vertices; a mirroring transform flips winding, so normalise.
+        let polygon = Polygon::new(vertices);
+        if polygon.len() < 3 {
+            return Ok(()); // degenerate after dedup: no printable area
+        }
+        self.spend()?;
+        self.out.push(FlatShape {
+            layer,
+            datatype,
+            polygon: polygon.into_ccw(),
+        });
+        Ok(())
+    }
+}
+
+/// Expands a PATH centreline into its outline polygon (DBU coordinates).
+///
+/// Joints are mitred; pathtype 0 ends flush, pathtypes 1 and 2 both
+/// extend the ends by half the width (round ends are approximated as
+/// square — the difference is below the OPC grid for real wire widths).
+/// Returns `None` for degenerate inputs (zero-length centreline).
+fn path_outline(xy: &[(i32, i32)], width: i32, pathtype: i16) -> Option<Vec<(f64, f64)>> {
+    let half = width as f64 / 2.0;
+    // Drop consecutive duplicate points.
+    let mut pts: Vec<(f64, f64)> = Vec::with_capacity(xy.len());
+    for &(x, y) in xy {
+        let p = (x as f64, y as f64);
+        if pts.last() != Some(&p) {
+            pts.push(p);
+        }
+    }
+    if pts.len() < 2 {
+        return None;
+    }
+    let extend = if pathtype == 0 { 0.0 } else { half };
+    if extend > 0.0 {
+        let n = pts.len();
+        let d0 = unit(sub(pts[0], pts[1]));
+        let d1 = unit(sub(pts[n - 1], pts[n - 2]));
+        pts[0] = add(pts[0], scale(d0, extend));
+        pts[n - 1] = add(pts[n - 1], scale(d1, extend));
+    }
+    // Offset the polyline on both sides with mitre joins.
+    let n = pts.len();
+    let mut left = Vec::with_capacity(n);
+    let mut right = Vec::with_capacity(n);
+    for i in 0..n {
+        let din = if i > 0 {
+            unit(sub(pts[i], pts[i - 1]))
+        } else {
+            unit(sub(pts[1], pts[0]))
+        };
+        let dout = if i + 1 < n {
+            unit(sub(pts[i + 1], pts[i]))
+        } else {
+            unit(sub(pts[n - 1], pts[n - 2]))
+        };
+        // Mitre direction: bisector of the two segment normals.
+        let nin = (-din.1, din.0);
+        let nout = (-dout.1, dout.0);
+        let mut m = add(nin, nout);
+        let len = (m.0 * m.0 + m.1 * m.1).sqrt();
+        if len < 1e-12 {
+            // 180° turn: fall back to the incoming normal.
+            m = nin;
+        } else {
+            m = (m.0 / len, m.1 / len);
+        }
+        // Mitre length so the offset edge stays `half` from the segments.
+        let dot = m.0 * nin.0 + m.1 * nin.1;
+        let mitre = if dot.abs() < 0.1 { half } else { half / dot };
+        left.push(add(pts[i], scale(m, mitre)));
+        right.push(add(pts[i], scale(m, -mitre)));
+    }
+    right.reverse();
+    left.extend(right);
+    Some(left)
+}
+
+fn sub(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+fn add(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn scale(a: (f64, f64), s: f64) -> (f64, f64) {
+    (a.0 * s, a.1 * s)
+}
+
+fn unit(a: (f64, f64)) -> (f64, f64) {
+    let len = (a.0 * a.0 + a.1 * a.1).sqrt();
+    if len < 1e-12 {
+        (0.0, 0.0)
+    } else {
+        (a.0 / len, a.1 / len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GdsElement, GdsLib, GdsRef, GdsStruct, Strans};
+    use cardopc_geometry::Orientation;
+
+    fn square_cell(name: &str) -> GdsStruct {
+        GdsStruct {
+            name: name.into(),
+            elements: vec![GdsElement::Boundary {
+                layer: 1,
+                datatype: 0,
+                xy: vec![(0, 0), (100, 0), (100, 100), (0, 100), (0, 0)],
+            }],
+        }
+    }
+
+    fn lib_with(structs: Vec<GdsStruct>) -> GdsLib {
+        GdsLib {
+            name: "L".into(),
+            user_units_per_dbu: 1e-3,
+            meters_per_dbu: 1e-9,
+            structs,
+        }
+    }
+
+    #[test]
+    fn identity_flatten_is_the_square() {
+        let lib = lib_with(vec![square_cell("TOP")]);
+        let shapes = flatten(&lib, "TOP", LayerFilter::All, FlattenLimits::default()).unwrap();
+        assert_eq!(shapes.len(), 1);
+        let p = &shapes[0].polygon;
+        assert_eq!(p.len(), 4); // closing point dropped
+        assert_eq!(p.area(), 10_000.0);
+        assert_eq!(p.orientation(), Orientation::CounterClockwise);
+    }
+
+    #[test]
+    fn exact_rotations_and_mirror() {
+        // Place the square rotated 90° at (1000, 0): (100, 0) ↦ (1000, 100).
+        let mut top = GdsStruct {
+            name: "TOP".into(),
+            elements: vec![],
+        };
+        top.elements.push(GdsElement::Ref(GdsRef {
+            sname: "C".into(),
+            strans: Strans {
+                mirror_x: false,
+                mag: 1.0,
+                angle_deg: 90.0,
+            },
+            colrow: None,
+            xy: vec![(1000, 0)],
+        }));
+        let lib = lib_with(vec![square_cell("C"), top]);
+        let shapes = flatten(&lib, "TOP", LayerFilter::All, FlattenLimits::default()).unwrap();
+        let bbox = shapes[0].polygon.bbox();
+        assert_eq!(
+            (bbox.min.x, bbox.min.y, bbox.max.x, bbox.max.y),
+            (900.0, 0.0, 1000.0, 100.0)
+        );
+        // Mirrored placement still yields a CCW polygon with the same area.
+        let mut top = GdsStruct {
+            name: "TOP".into(),
+            elements: vec![],
+        };
+        top.elements.push(GdsElement::Ref(GdsRef {
+            sname: "C".into(),
+            strans: Strans {
+                mirror_x: true,
+                mag: 2.0,
+                angle_deg: 0.0,
+            },
+            colrow: None,
+            xy: vec![(0, 0)],
+        }));
+        let lib = lib_with(vec![square_cell("C"), top]);
+        let shapes = flatten(&lib, "TOP", LayerFilter::All, FlattenLimits::default()).unwrap();
+        assert_eq!(
+            shapes[0].polygon.orientation(),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(shapes[0].polygon.area(), 40_000.0); // mag 2 → 4× area
+        let bbox = shapes[0].polygon.bbox();
+        assert_eq!((bbox.min.y, bbox.max.y), (-200.0, 0.0)); // mirrored below the axis
+    }
+
+    #[test]
+    fn aref_expands_the_full_lattice() {
+        let top = GdsStruct {
+            name: "TOP".into(),
+            elements: vec![GdsElement::Ref(GdsRef {
+                sname: "C".into(),
+                strans: Strans::default(),
+                colrow: Some((3, 2)),
+                xy: vec![(0, 0), (3 * 400, 0), (0, 2 * 500)],
+            })],
+        };
+        let lib = lib_with(vec![square_cell("C"), top]);
+        let shapes = flatten(&lib, "TOP", LayerFilter::All, FlattenLimits::default()).unwrap();
+        assert_eq!(shapes.len(), 6);
+        let xs: Vec<f64> = shapes.iter().map(|s| s.polygon.bbox().min.x).collect();
+        assert!(xs.contains(&0.0) && xs.contains(&400.0) && xs.contains(&800.0));
+        let ys: Vec<f64> = shapes.iter().map(|s| s.polygon.bbox().min.y).collect();
+        assert!(ys.contains(&0.0) && ys.contains(&500.0));
+    }
+
+    #[test]
+    fn layer_filter_applies() {
+        let mut cell = square_cell("TOP");
+        cell.elements.push(GdsElement::Boundary {
+            layer: 2,
+            datatype: 5,
+            xy: vec![(0, 0), (10, 0), (10, 10)],
+        });
+        let lib = lib_with(vec![cell]);
+        let all = flatten(&lib, "TOP", LayerFilter::All, FlattenLimits::default()).unwrap();
+        assert_eq!(all.len(), 2);
+        let l1 = flatten(&lib, "TOP", LayerFilter::Layer(1), FlattenLimits::default()).unwrap();
+        assert_eq!(l1.len(), 1);
+        let l25 = flatten(
+            &lib,
+            "TOP",
+            LayerFilter::LayerDatatype(2, 5),
+            FlattenLimits::default(),
+        )
+        .unwrap();
+        assert_eq!((l25.len(), l25[0].layer, l25[0].datatype), (1, 2, 5));
+    }
+
+    #[test]
+    fn cycles_depth_and_budget_are_bounded() {
+        // A → B → A cycle.
+        let a = GdsStruct {
+            name: "A".into(),
+            elements: vec![GdsElement::Ref(GdsRef {
+                sname: "B".into(),
+                strans: Strans::default(),
+                colrow: None,
+                xy: vec![(0, 0)],
+            })],
+        };
+        let b = GdsStruct {
+            name: "B".into(),
+            elements: vec![GdsElement::Ref(GdsRef {
+                sname: "A".into(),
+                strans: Strans::default(),
+                colrow: None,
+                xy: vec![(0, 0)],
+            })],
+        };
+        let lib = lib_with(vec![a, b]);
+        assert!(matches!(
+            flatten(&lib, "A", LayerFilter::All, FlattenLimits::default()),
+            Err(GdsError::CircularReference(_))
+        ));
+
+        // Unknown reference.
+        let lib = lib_with(vec![GdsStruct {
+            name: "T".into(),
+            elements: vec![GdsElement::Ref(GdsRef {
+                sname: "MISSING".into(),
+                strans: Strans::default(),
+                colrow: None,
+                xy: vec![(0, 0)],
+            })],
+        }]);
+        assert!(matches!(
+            flatten(&lib, "T", LayerFilter::All, FlattenLimits::default()),
+            Err(GdsError::UnknownStructure(_))
+        ));
+
+        // AREF explosion trips the budget even though the cell is empty.
+        let empty = GdsStruct {
+            name: "E".into(),
+            elements: vec![],
+        };
+        let top = GdsStruct {
+            name: "T".into(),
+            elements: vec![GdsElement::Ref(GdsRef {
+                sname: "E".into(),
+                strans: Strans::default(),
+                colrow: Some((10_000, 10_000)),
+                xy: vec![(0, 0), (10_000, 0), (0, 10_000)],
+            })],
+        };
+        let lib = lib_with(vec![empty, top]);
+        let limits = FlattenLimits {
+            max_depth: 64,
+            max_shapes: 1000,
+        };
+        assert!(matches!(
+            flatten(&lib, "T", LayerFilter::All, limits),
+            Err(GdsError::ShapeBudget(1000))
+        ));
+    }
+
+    #[test]
+    fn path_expands_to_a_rectangle() {
+        let lib = lib_with(vec![GdsStruct {
+            name: "W".into(),
+            elements: vec![GdsElement::Path {
+                layer: 1,
+                datatype: 0,
+                width: 80,
+                pathtype: 0,
+                xy: vec![(0, 0), (1000, 0)],
+            }],
+        }]);
+        let shapes = flatten(&lib, "W", LayerFilter::All, FlattenLimits::default()).unwrap();
+        let bbox = shapes[0].polygon.bbox();
+        assert_eq!(
+            (bbox.min.x, bbox.min.y, bbox.max.x, bbox.max.y),
+            (0.0, -40.0, 1000.0, 40.0)
+        );
+        // Pathtype 2 extends both ends by half the width.
+        let lib = lib_with(vec![GdsStruct {
+            name: "W".into(),
+            elements: vec![GdsElement::Path {
+                layer: 1,
+                datatype: 0,
+                width: 80,
+                pathtype: 2,
+                xy: vec![(0, 0), (1000, 0)],
+            }],
+        }]);
+        let shapes = flatten(&lib, "W", LayerFilter::All, FlattenLimits::default()).unwrap();
+        let bbox = shapes[0].polygon.bbox();
+        assert_eq!((bbox.min.x, bbox.max.x), (-40.0, 1040.0));
+    }
+
+    #[test]
+    fn l_shaped_path_miters_the_corner() {
+        let lib = lib_with(vec![GdsStruct {
+            name: "L".into(),
+            elements: vec![GdsElement::Path {
+                layer: 1,
+                datatype: 0,
+                width: 100,
+                pathtype: 0,
+                xy: vec![(0, 0), (500, 0), (500, 500)],
+            }],
+        }]);
+        let shapes = flatten(&lib, "L", LayerFilter::All, FlattenLimits::default()).unwrap();
+        let p = &shapes[0].polygon;
+        // Exact mitred area: the mitre fills the outer corner, so the
+        // outline is the 550-wide horizontal bar plus the vertical bar.
+        let expected = 450.0 * 100.0 + 550.0 * 100.0;
+        assert!((p.area() - expected).abs() < 1e-6, "area {}", p.area());
+    }
+
+    #[test]
+    fn coordinate_overflow_is_checked() {
+        let mut lib = lib_with(vec![square_cell("TOP")]);
+        lib.meters_per_dbu = 1e300;
+        assert!(matches!(
+            flatten(&lib, "TOP", LayerFilter::All, FlattenLimits::default()),
+            Err(GdsError::CoordinateOverflow(_))
+        ));
+    }
+}

@@ -1,0 +1,242 @@
+//! In-memory model of a parsed GDSII library.
+//!
+//! The reader produces a [`GdsLib`]: units plus an ordered structure
+//! table. Elements keep their raw DBU coordinates and reference
+//! transforms; flattening and nm conversion happen in
+//! [`crate::flatten`], so the model stays a faithful image of the file.
+
+use std::fmt;
+
+use crate::error::GdsError;
+
+/// A parsed GDSII library.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GdsLib {
+    /// Library name (LIBNAME record).
+    pub name: String,
+    /// User units per database unit (first UNITS real). Informational.
+    pub user_units_per_dbu: f64,
+    /// Metres per database unit (second UNITS real). `1e-9` means one
+    /// database unit is one nanometre.
+    pub meters_per_dbu: f64,
+    /// Structures in file order.
+    pub structs: Vec<GdsStruct>,
+}
+
+impl GdsLib {
+    /// Nanometres per database unit.
+    pub fn nm_per_dbu(&self) -> f64 {
+        self.meters_per_dbu * 1e9
+    }
+
+    /// Looks up a structure by name.
+    pub fn find_struct(&self, name: &str) -> Option<&GdsStruct> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// Names of structures that no other structure references — the roots
+    /// a caller would flatten. Order follows the file.
+    pub fn top_structs(&self) -> Vec<&str> {
+        let referenced: Vec<&str> = self
+            .structs
+            .iter()
+            .flat_map(|s| s.elements.iter())
+            .filter_map(|e| match e {
+                GdsElement::Ref(r) => Some(r.sname.as_str()),
+                _ => None,
+            })
+            .collect();
+        self.structs
+            .iter()
+            .map(|s| s.name.as_str())
+            .filter(|n| !referenced.contains(n))
+            .collect()
+    }
+}
+
+/// One structure (cell) in the library.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GdsStruct {
+    /// Structure name (STRNAME record).
+    pub name: String,
+    /// Elements in file order.
+    pub elements: Vec<GdsElement>,
+}
+
+/// One element inside a structure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GdsElement {
+    /// A BOUNDARY polygon: layer, datatype, DBU vertices (the trailing
+    /// closing point, when present, is kept verbatim).
+    Boundary {
+        /// Layer number.
+        layer: i16,
+        /// Datatype number.
+        datatype: i16,
+        /// Vertices in database units.
+        xy: Vec<(i32, i32)>,
+    },
+    /// A PATH wire: layer, datatype, DBU width, end style, centreline.
+    Path {
+        /// Layer number.
+        layer: i16,
+        /// Datatype number.
+        datatype: i16,
+        /// Wire width in database units.
+        width: i32,
+        /// End style: 0 flush, 1 round (approximated square), 2 extended.
+        pathtype: i16,
+        /// Centreline vertices in database units.
+        xy: Vec<(i32, i32)>,
+    },
+    /// An SREF or AREF.
+    Ref(GdsRef),
+}
+
+/// A structure reference (SREF when `colrow` is `None`, AREF otherwise).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GdsRef {
+    /// Name of the referenced structure.
+    pub sname: String,
+    /// Transform flags and scalars.
+    pub strans: Strans,
+    /// `(columns, rows)` for an AREF.
+    pub colrow: Option<(i16, i16)>,
+    /// SREF: one origin point. AREF: origin, column reference point
+    /// (origin + columns·column-step), row reference point.
+    pub xy: Vec<(i32, i32)>,
+}
+
+/// STRANS/MAG/ANGLE transform attached to a reference.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Strans {
+    /// Mirror about the x axis before rotating (STRANS bit 15).
+    pub mirror_x: bool,
+    /// Magnification (MAG record, default 1).
+    pub mag: f64,
+    /// Rotation in degrees counter-clockwise (ANGLE record, default 0).
+    pub angle_deg: f64,
+}
+
+impl Default for Strans {
+    fn default() -> Strans {
+        Strans {
+            mirror_x: false,
+            mag: 1.0,
+            angle_deg: 0.0,
+        }
+    }
+}
+
+/// Which `layer:datatype` pairs survive flattening.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerFilter {
+    /// Keep every layer/datatype pair.
+    All,
+    /// Keep one layer, any datatype.
+    Layer(i16),
+    /// Keep exactly one `layer:datatype` pair.
+    LayerDatatype(i16, i16),
+}
+
+impl LayerFilter {
+    /// Whether the filter admits `layer:datatype`.
+    pub fn matches(&self, layer: i16, datatype: i16) -> bool {
+        match *self {
+            LayerFilter::All => true,
+            LayerFilter::Layer(l) => layer == l,
+            LayerFilter::LayerDatatype(l, d) => layer == l && datatype == d,
+        }
+    }
+
+    /// Parses `"*"`, `"N"`, or `"N:D"`.
+    ///
+    /// # Errors
+    ///
+    /// [`GdsError::Grammar`] (offset 0) on anything else; layer and
+    /// datatype must fit `i16` and be non-negative.
+    pub fn parse(text: &str) -> Result<LayerFilter, GdsError> {
+        let bad = |reason: String| GdsError::Grammar { offset: 0, reason };
+        if text == "*" {
+            return Ok(LayerFilter::All);
+        }
+        let parse_part = |part: &str, what: &str| -> Result<i16, GdsError> {
+            let n: i16 = part
+                .parse()
+                .map_err(|_| bad(format!("{what} '{part}' is not a small integer")))?;
+            if n < 0 {
+                return Err(bad(format!("{what} {n} is negative")));
+            }
+            Ok(n)
+        };
+        match text.split_once(':') {
+            None => Ok(LayerFilter::Layer(parse_part(text, "layer")?)),
+            Some((l, d)) => Ok(LayerFilter::LayerDatatype(
+                parse_part(l, "layer")?,
+                parse_part(d, "datatype")?,
+            )),
+        }
+    }
+}
+
+impl fmt::Display for LayerFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LayerFilter::All => write!(f, "*"),
+            LayerFilter::Layer(l) => write!(f, "{l}"),
+            LayerFilter::LayerDatatype(l, d) => write!(f, "{l}:{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_filter_parses_and_matches() {
+        assert_eq!(LayerFilter::parse("*").unwrap(), LayerFilter::All);
+        assert_eq!(LayerFilter::parse("7").unwrap(), LayerFilter::Layer(7));
+        assert_eq!(
+            LayerFilter::parse("7:2").unwrap(),
+            LayerFilter::LayerDatatype(7, 2)
+        );
+        assert!(LayerFilter::All.matches(3, 9));
+        assert!(LayerFilter::Layer(7).matches(7, 9));
+        assert!(!LayerFilter::Layer(7).matches(8, 0));
+        assert!(LayerFilter::LayerDatatype(7, 2).matches(7, 2));
+        assert!(!LayerFilter::LayerDatatype(7, 2).matches(7, 3));
+        for bad in ["", "x", "-1", "1:x", "1:-2", "70000", "1:2:3"] {
+            assert!(LayerFilter::parse(bad).is_err(), "{bad:?}");
+        }
+        assert_eq!(LayerFilter::parse("7:2").unwrap().to_string(), "7:2");
+    }
+
+    #[test]
+    fn top_structs_excludes_referenced() {
+        let lib = GdsLib {
+            name: "L".into(),
+            user_units_per_dbu: 1e-3,
+            meters_per_dbu: 1e-9,
+            structs: vec![
+                GdsStruct {
+                    name: "LEAF".into(),
+                    elements: vec![],
+                },
+                GdsStruct {
+                    name: "TOP".into(),
+                    elements: vec![GdsElement::Ref(GdsRef {
+                        sname: "LEAF".into(),
+                        strans: Strans::default(),
+                        colrow: None,
+                        xy: vec![(0, 0)],
+                    })],
+                },
+            ],
+        };
+        assert_eq!(lib.top_structs(), vec!["TOP"]);
+        assert_eq!(lib.nm_per_dbu(), 1.0);
+        assert!(lib.find_struct("LEAF").is_some());
+        assert!(lib.find_struct("NOPE").is_none());
+    }
+}

@@ -1,0 +1,507 @@
+//! Stream-grammar parser: records → [`GdsLib`].
+//!
+//! The grammar is the standard GDSII skeleton:
+//!
+//! ```text
+//! HEADER BGNLIB LIBNAME UNITS { BGNSTR STRNAME element* ENDSTR } ENDLIB
+//! element := BOUNDARY attrs XY ENDEL
+//!          | PATH attrs XY ENDEL
+//!          | SREF SNAME [STRANS [MAG] [ANGLE]] XY ENDEL
+//!          | AREF SNAME [STRANS [MAG] [ANGLE]] COLROW XY ENDEL
+//!          | TEXT … ENDEL            (tokenized and skipped)
+//! ```
+//!
+//! Unknown record types inside an element (ELFLAGS, PLEX, properties) are
+//! skipped; unknown *element* kinds are skipped up to their ENDEL. Every
+//! violation is a typed [`GdsError`] carrying the byte offset — hostile
+//! bytes can never panic this parser.
+
+use crate::error::GdsError;
+use crate::model::{GdsElement, GdsLib, GdsRef, GdsStruct, Strans};
+use crate::record::{rtype, Record, RecordIter};
+
+fn grammar(offset: usize, reason: impl Into<String>) -> GdsError {
+    GdsError::Grammar {
+        offset,
+        reason: reason.into(),
+    }
+}
+
+/// Parses a whole GDSII stream into a library.
+///
+/// # Errors
+///
+/// Any [`GdsError`] variant a malformed stream can produce; never panics.
+pub fn parse_lib(bytes: &[u8]) -> Result<GdsLib, GdsError> {
+    let mut it = RecordIter::new(bytes);
+
+    let r = expect(&mut it, rtype::HEADER, "HEADER")?;
+    r.one_i16()?; // version; any value tokenizes
+    let r = expect(&mut it, rtype::BGNLIB, "BGNLIB")?;
+    r.i16s()?; // timestamps; content ignored
+
+    let mut name = String::new();
+    let mut units: Option<(f64, f64)> = None;
+
+    // LIBNAME and UNITS may be preceded by optional records (REFLIBS,
+    // FONTS, GENERATIONS, …) which we skip.
+    let mut structs: Vec<GdsStruct> = Vec::new();
+    loop {
+        let offset = it.offset();
+        let r = it
+            .next()?
+            .ok_or_else(|| grammar(offset, "stream ended before ENDLIB"))?;
+        match r.rtype {
+            rtype::LIBNAME => name = r.ascii()?,
+            rtype::UNITS => {
+                let v = r.real8s()?;
+                if v.len() != 2 {
+                    return Err(grammar(r.offset, format!("UNITS with {} reals", v.len())));
+                }
+                if !(v[1].is_finite() && v[1] > 0.0) {
+                    return Err(GdsError::RealOutOfRange(format!(
+                        "meters-per-dbu {} must be a positive finite real",
+                        v[1]
+                    )));
+                }
+                units = Some((v[0], v[1]));
+            }
+            rtype::BGNSTR => {
+                if units.is_none() {
+                    return Err(grammar(r.offset, "BGNSTR before UNITS"));
+                }
+                let s = parse_struct(&mut it)?;
+                if structs.iter().any(|existing| existing.name == s.name) {
+                    return Err(grammar(
+                        r.offset,
+                        format!("duplicate structure name '{}'", s.name),
+                    ));
+                }
+                structs.push(s);
+            }
+            rtype::ENDLIB => break,
+            rtype::ENDSTR | rtype::ENDEL => {
+                return Err(grammar(r.offset, "element terminator outside a structure"))
+            }
+            rtype::XY | rtype::LAYER | rtype::DATATYPE | rtype::SNAME => {
+                return Err(grammar(r.offset, "element record outside a structure"))
+            }
+            _ => {} // optional library records: skip
+        }
+    }
+    let (user_units_per_dbu, meters_per_dbu) =
+        units.ok_or_else(|| grammar(bytes.len(), "library has no UNITS record"))?;
+    Ok(GdsLib {
+        name,
+        user_units_per_dbu,
+        meters_per_dbu,
+        structs,
+    })
+}
+
+fn expect<'a>(it: &mut RecordIter<'a>, want: u8, what: &str) -> Result<Record<'a>, GdsError> {
+    let offset = it.offset();
+    let r = it
+        .next()?
+        .ok_or_else(|| grammar(offset, format!("stream ended, expected {what}")))?;
+    if r.rtype != want {
+        return Err(grammar(
+            r.offset,
+            format!("expected {what}, found record type {:#04x}", r.rtype),
+        ));
+    }
+    Ok(r)
+}
+
+fn parse_struct(it: &mut RecordIter<'_>) -> Result<GdsStruct, GdsError> {
+    let r = expect(it, rtype::STRNAME, "STRNAME")?;
+    let name = r.ascii()?;
+    if name.is_empty() {
+        return Err(grammar(r.offset, "empty structure name"));
+    }
+    let mut elements = Vec::new();
+    loop {
+        let offset = it.offset();
+        let r = it
+            .next()?
+            .ok_or_else(|| grammar(offset, "stream ended inside a structure"))?;
+        match r.rtype {
+            rtype::ENDSTR => break,
+            rtype::BOUNDARY => elements.push(parse_boundary(it, r.offset)?),
+            rtype::PATH => elements.push(parse_path(it, r.offset)?),
+            rtype::SREF => elements.push(parse_ref(it, r.offset, false)?),
+            rtype::AREF => elements.push(parse_ref(it, r.offset, true)?),
+            rtype::TEXT => skip_element(it)?,
+            rtype::BGNSTR | rtype::ENDLIB => {
+                return Err(grammar(r.offset, "structure not closed with ENDSTR"))
+            }
+            // NODE / BOX / unknown element kinds: skip to their ENDEL.
+            _ => skip_element(it)?,
+        }
+    }
+    Ok(GdsStruct { name, elements })
+}
+
+fn skip_element(it: &mut RecordIter<'_>) -> Result<(), GdsError> {
+    loop {
+        let offset = it.offset();
+        let r = it
+            .next()?
+            .ok_or_else(|| grammar(offset, "stream ended inside an element"))?;
+        match r.rtype {
+            rtype::ENDEL => return Ok(()),
+            rtype::ENDSTR | rtype::ENDLIB | rtype::BGNSTR => {
+                return Err(grammar(r.offset, "element not closed with ENDEL"))
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Shared accumulator for the per-element attribute records.
+#[derive(Default)]
+struct ElementAttrs {
+    layer: Option<i16>,
+    datatype: Option<i16>,
+    width: Option<i32>,
+    pathtype: Option<i16>,
+    sname: Option<String>,
+    strans: Strans,
+    colrow: Option<(i16, i16)>,
+    xy: Option<Vec<(i32, i32)>>,
+}
+
+fn parse_attrs(it: &mut RecordIter<'_>, start: usize) -> Result<ElementAttrs, GdsError> {
+    let mut a = ElementAttrs::default();
+    loop {
+        let offset = it.offset();
+        let r = it
+            .next()?
+            .ok_or_else(|| grammar(offset, "stream ended inside an element"))?;
+        match r.rtype {
+            rtype::ENDEL => return Ok(a),
+            rtype::LAYER => a.layer = Some(r.one_i16()?),
+            rtype::DATATYPE => a.datatype = Some(r.one_i16()?),
+            rtype::PATHTYPE => a.pathtype = Some(r.one_i16()?),
+            rtype::WIDTH => {
+                let v = r.i32s()?;
+                if v.len() != 1 {
+                    return Err(grammar(r.offset, "WIDTH must hold one i32"));
+                }
+                a.width = Some(v[0]);
+            }
+            rtype::SNAME => a.sname = Some(r.ascii()?),
+            rtype::STRANS => {
+                let flags = r.bitarray()?;
+                a.strans.mirror_x = flags & 0x8000 != 0;
+            }
+            rtype::MAG => {
+                let v = r.real8s()?;
+                match v.as_slice() {
+                    [m] if m.is_finite() && *m > 0.0 => a.strans.mag = *m,
+                    _ => {
+                        return Err(GdsError::RealOutOfRange(format!(
+                            "MAG at byte {} must be one positive finite real",
+                            r.offset
+                        )))
+                    }
+                }
+            }
+            rtype::ANGLE => {
+                let v = r.real8s()?;
+                match v.as_slice() {
+                    [d] if d.is_finite() => a.strans.angle_deg = *d,
+                    _ => {
+                        return Err(GdsError::RealOutOfRange(format!(
+                            "ANGLE at byte {} must be one finite real",
+                            r.offset
+                        )))
+                    }
+                }
+            }
+            rtype::COLROW => {
+                let v = r.i16s()?;
+                if v.len() != 2 {
+                    return Err(grammar(r.offset, "COLROW must hold two i16s"));
+                }
+                a.colrow = Some((v[0], v[1]));
+            }
+            rtype::XY => a.xy = Some(r.xy()?),
+            rtype::ENDSTR | rtype::ENDLIB | rtype::BGNSTR => {
+                return Err(grammar(start, "element not closed with ENDEL"))
+            }
+            _ => {} // ELFLAGS, PLEX, PROPATTR/PROPVALUE: ignored
+        }
+    }
+}
+
+fn parse_boundary(it: &mut RecordIter<'_>, start: usize) -> Result<GdsElement, GdsError> {
+    let a = parse_attrs(it, start)?;
+    let xy = a.xy.ok_or_else(|| grammar(start, "BOUNDARY without XY"))?;
+    if xy.len() < 3 {
+        return Err(grammar(
+            start,
+            format!("BOUNDARY with {} points needs at least 3", xy.len()),
+        ));
+    }
+    Ok(GdsElement::Boundary {
+        layer: a
+            .layer
+            .ok_or_else(|| grammar(start, "BOUNDARY without LAYER"))?,
+        datatype: a
+            .datatype
+            .ok_or_else(|| grammar(start, "BOUNDARY without DATATYPE"))?,
+        xy,
+    })
+}
+
+fn parse_path(it: &mut RecordIter<'_>, start: usize) -> Result<GdsElement, GdsError> {
+    let a = parse_attrs(it, start)?;
+    let xy = a.xy.ok_or_else(|| grammar(start, "PATH without XY"))?;
+    if xy.len() < 2 {
+        return Err(grammar(start, "PATH needs at least 2 points"));
+    }
+    let width = a.width.unwrap_or(0);
+    if width <= 0 {
+        return Err(grammar(start, "PATH needs a positive WIDTH"));
+    }
+    Ok(GdsElement::Path {
+        layer: a
+            .layer
+            .ok_or_else(|| grammar(start, "PATH without LAYER"))?,
+        datatype: a
+            .datatype
+            .ok_or_else(|| grammar(start, "PATH without DATATYPE"))?,
+        width,
+        pathtype: a.pathtype.unwrap_or(0),
+        xy,
+    })
+}
+
+fn parse_ref(it: &mut RecordIter<'_>, start: usize, is_aref: bool) -> Result<GdsElement, GdsError> {
+    let a = parse_attrs(it, start)?;
+    let sname = a
+        .sname
+        .ok_or_else(|| grammar(start, "reference without SNAME"))?;
+    if sname.is_empty() {
+        return Err(grammar(start, "reference with an empty SNAME"));
+    }
+    let xy = a.xy.ok_or_else(|| grammar(start, "reference without XY"))?;
+    let colrow = if is_aref {
+        let (cols, rows) = a
+            .colrow
+            .ok_or_else(|| grammar(start, "AREF without COLROW"))?;
+        if cols <= 0 || rows <= 0 {
+            return Err(grammar(
+                start,
+                format!("AREF with non-positive COLROW {cols}x{rows}"),
+            ));
+        }
+        if xy.len() != 3 {
+            return Err(grammar(
+                start,
+                format!("AREF XY must hold 3 points, found {}", xy.len()),
+            ));
+        }
+        Some((cols, rows))
+    } else {
+        if xy.len() != 1 {
+            return Err(grammar(
+                start,
+                format!("SREF XY must hold 1 point, found {}", xy.len()),
+            ));
+        }
+        None
+    };
+    Ok(GdsElement::Ref(GdsRef {
+        sname,
+        strans: a.strans,
+        colrow,
+        xy,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{dtype, put_ascii, put_empty, put_i16s, put_i32s, put_real8s, put_record};
+
+    fn minimal_lib(body: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_i16s(&mut out, rtype::HEADER, &[600]);
+        put_i16s(&mut out, rtype::BGNLIB, &[0; 12]);
+        put_ascii(&mut out, rtype::LIBNAME, "LIB");
+        put_real8s(&mut out, rtype::UNITS, &[1e-3, 1e-9]).unwrap();
+        body(&mut out);
+        put_empty(&mut out, rtype::ENDLIB);
+        out
+    }
+
+    fn one_square_struct(out: &mut Vec<u8>, name: &str) {
+        put_i16s(out, rtype::BGNSTR, &[0; 12]);
+        put_ascii(out, rtype::STRNAME, name);
+        put_empty(out, rtype::BOUNDARY);
+        put_i16s(out, rtype::LAYER, &[1]);
+        put_i16s(out, rtype::DATATYPE, &[0]);
+        put_i32s(out, rtype::XY, &[0, 0, 100, 0, 100, 100, 0, 100, 0, 0]);
+        put_empty(out, rtype::ENDEL);
+        put_empty(out, rtype::ENDSTR);
+    }
+
+    #[test]
+    fn parses_a_minimal_library() {
+        let bytes = minimal_lib(|out| one_square_struct(out, "TOP"));
+        let lib = parse_lib(&bytes).unwrap();
+        assert_eq!(lib.name, "LIB");
+        assert_eq!(lib.nm_per_dbu(), 1.0);
+        assert_eq!(lib.structs.len(), 1);
+        assert_eq!(lib.top_structs(), vec!["TOP"]);
+        match &lib.structs[0].elements[0] {
+            GdsElement::Boundary {
+                layer,
+                datatype,
+                xy,
+            } => {
+                assert_eq!((*layer, *datatype), (1, 0));
+                assert_eq!(xy.len(), 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_refs_and_arefs() {
+        let bytes = minimal_lib(|out| {
+            one_square_struct(out, "CELL");
+            put_i16s(out, rtype::BGNSTR, &[0; 12]);
+            put_ascii(out, rtype::STRNAME, "TOP");
+            put_empty(out, rtype::SREF);
+            put_ascii(out, rtype::SNAME, "CELL");
+            put_record(out, rtype::STRANS, dtype::BITARRAY, &[0x80, 0x00]);
+            put_real8s(out, rtype::MAG, &[2.0]).unwrap();
+            put_real8s(out, rtype::ANGLE, &[90.0]).unwrap();
+            put_i32s(out, rtype::XY, &[500, 600]);
+            put_empty(out, rtype::ENDEL);
+            put_empty(out, rtype::AREF);
+            put_ascii(out, rtype::SNAME, "CELL");
+            put_i16s(out, rtype::COLROW, &[3, 2]);
+            put_i32s(out, rtype::XY, &[0, 0, 900, 0, 0, 800]);
+            put_empty(out, rtype::ENDEL);
+            put_empty(out, rtype::ENDSTR);
+        });
+        let lib = parse_lib(&bytes).unwrap();
+        let top = lib.find_struct("TOP").unwrap();
+        match &top.elements[0] {
+            GdsElement::Ref(r) => {
+                assert_eq!(r.sname, "CELL");
+                assert!(r.strans.mirror_x);
+                assert_eq!(r.strans.mag, 2.0);
+                assert_eq!(r.strans.angle_deg, 90.0);
+                assert_eq!(r.xy, vec![(500, 600)]);
+                assert_eq!(r.colrow, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &top.elements[1] {
+            GdsElement::Ref(r) => {
+                assert_eq!(r.colrow, Some((3, 2)));
+                assert_eq!(r.xy.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(lib.top_structs(), vec!["TOP"]);
+    }
+
+    #[test]
+    fn paths_parse_with_width() {
+        let bytes = minimal_lib(|out| {
+            put_i16s(out, rtype::BGNSTR, &[0; 12]);
+            put_ascii(out, rtype::STRNAME, "W");
+            put_empty(out, rtype::PATH);
+            put_i16s(out, rtype::LAYER, &[2]);
+            put_i16s(out, rtype::DATATYPE, &[0]);
+            put_i16s(out, rtype::PATHTYPE, &[2]);
+            put_i32s(out, rtype::WIDTH, &[80]);
+            put_i32s(out, rtype::XY, &[0, 0, 1000, 0]);
+            put_empty(out, rtype::ENDEL);
+            put_empty(out, rtype::ENDSTR);
+        });
+        let lib = parse_lib(&bytes).unwrap();
+        match &lib.structs[0].elements[0] {
+            GdsElement::Path {
+                width,
+                pathtype,
+                xy,
+                ..
+            } => {
+                assert_eq!((*width, *pathtype), (80, 2));
+                assert_eq!(xy.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_elements_and_texts_are_skipped() {
+        let bytes = minimal_lib(|out| {
+            put_i16s(out, rtype::BGNSTR, &[0; 12]);
+            put_ascii(out, rtype::STRNAME, "T");
+            // TEXT element with records we don't model.
+            put_empty(out, rtype::TEXT);
+            put_i16s(out, rtype::LAYER, &[1]);
+            put_i32s(out, rtype::XY, &[5, 5]);
+            put_ascii(out, rtype::SNAME, "ignored");
+            put_empty(out, rtype::ENDEL);
+            put_empty(out, rtype::ENDSTR);
+        });
+        let lib = parse_lib(&bytes).unwrap();
+        assert!(lib.structs[0].elements.is_empty());
+    }
+
+    #[test]
+    fn grammar_violations_are_typed() {
+        // Missing UNITS.
+        let mut out = Vec::new();
+        put_i16s(&mut out, rtype::HEADER, &[600]);
+        put_i16s(&mut out, rtype::BGNLIB, &[0; 12]);
+        put_ascii(&mut out, rtype::LIBNAME, "LIB");
+        put_i16s(&mut out, rtype::BGNSTR, &[0; 12]);
+        assert!(matches!(parse_lib(&out), Err(GdsError::Grammar { .. })));
+
+        // BOUNDARY without LAYER.
+        let bytes = minimal_lib(|out| {
+            put_i16s(out, rtype::BGNSTR, &[0; 12]);
+            put_ascii(out, rtype::STRNAME, "B");
+            put_empty(out, rtype::BOUNDARY);
+            put_i32s(out, rtype::XY, &[0, 0, 1, 0, 1, 1]);
+            put_empty(out, rtype::ENDEL);
+            put_empty(out, rtype::ENDSTR);
+        });
+        assert!(matches!(parse_lib(&bytes), Err(GdsError::Grammar { .. })));
+
+        // Duplicate structure names.
+        let bytes = minimal_lib(|out| {
+            one_square_struct(out, "A");
+            one_square_struct(out, "A");
+        });
+        assert!(matches!(parse_lib(&bytes), Err(GdsError::Grammar { .. })));
+
+        // Zero meters-per-dbu.
+        let mut out = Vec::new();
+        put_i16s(&mut out, rtype::HEADER, &[600]);
+        put_i16s(&mut out, rtype::BGNLIB, &[0; 12]);
+        put_ascii(&mut out, rtype::LIBNAME, "LIB");
+        put_real8s(&mut out, rtype::UNITS, &[1e-3, 0.0]).unwrap();
+        put_empty(&mut out, rtype::ENDLIB);
+        assert!(matches!(parse_lib(&out), Err(GdsError::RealOutOfRange(_))));
+    }
+
+    #[test]
+    fn every_truncation_point_errors_without_panic() {
+        let bytes = minimal_lib(|out| one_square_struct(out, "TOP"));
+        for cut in 0..bytes.len() - 1 {
+            assert!(parse_lib(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(parse_lib(&bytes).is_ok());
+    }
+}

@@ -1,0 +1,184 @@
+//! The GDSII 8-byte excess-64 real codec.
+//!
+//! GDSII predates IEEE 754: a real is one sign bit, a 7-bit base-16
+//! exponent biased by 64, and a 56-bit mantissa interpreted as a fraction
+//! in `[1/16, 1)` (normalised: top nibble non-zero), so
+//!
+//! ```text
+//! value = (-1)^sign · (mantissa / 2^56) · 16^(exponent - 64)
+//! ```
+//!
+//! Every finite `f64` whose magnitude lies in the representable range
+//! round-trips **bit-exactly** through this codec: a double has 53
+//! significant bits and normalisation shifts it left by at most 3, which
+//! still fits the 56-bit mantissa. Decoding multiplies the (≤ 53
+//! significant bit) integer mantissa by an exact power of two — a single
+//! correctly-rounded operation, exact for values we encoded ourselves.
+//!
+//! Out-of-range cases are explicit rather than silent: magnitudes at or
+//! above `16^63` do not fit the 7-bit exponent and fail to encode;
+//! magnitudes below the smallest normalised GDS real (`2^-260`, which
+//! includes every IEEE subnormal) underflow to `0.0` by design. `-0.0`
+//! canonicalises to `+0.0`.
+
+use crate::error::GdsError;
+
+/// Encodes an `f64` as a GDSII excess-64 real.
+///
+/// # Errors
+///
+/// [`GdsError::RealOutOfRange`] for non-finite values and magnitudes at or
+/// above `16^63` (≈ `4.5e75`). Magnitudes below `2^-260` (including IEEE
+/// subnormals) underflow to the zero encoding.
+pub fn encode_real8(value: f64) -> Result<[u8; 8], GdsError> {
+    if !value.is_finite() {
+        return Err(GdsError::RealOutOfRange(format!(
+            "{value} is not a finite number"
+        )));
+    }
+    if value == 0.0 {
+        // Covers -0.0 too: GDS has a single canonical zero.
+        return Ok([0; 8]);
+    }
+    let bits = value.to_bits();
+    let sign = (bits >> 63) as u8;
+    let exp_raw = ((bits >> 52) & 0x7FF) as i32;
+    let frac = bits & 0x000F_FFFF_FFFF_FFFF;
+    // a = frac_full · 2^e2 with frac_full ∈ [2^52, 2^53) for normals.
+    // Subnormals (exp_raw == 0) are below the GDS range and underflow.
+    if exp_raw == 0 {
+        return Ok([0; 8]);
+    }
+    let frac_full = frac | (1u64 << 52);
+    let e2 = exp_raw - 1023 - 52;
+    // Want a = M · 2^(4·E - 312) with M = frac_full << s, s ∈ 0..=3, so the
+    // top nibble of the 56-bit mantissa is non-zero.
+    let s = (e2 + 312).rem_euclid(4);
+    let e16 = (e2 + 312 - s) / 4;
+    if e16 > 127 {
+        return Err(GdsError::RealOutOfRange(format!(
+            "|{value}| is too large for a GDS real (>= 16^63)"
+        )));
+    }
+    if e16 < 0 {
+        // Below the smallest normalised GDS real: underflow to zero.
+        return Ok([0; 8]);
+    }
+    let mantissa = frac_full << s; // < 2^56
+    let mut out = [0u8; 8];
+    out[0] = (sign << 7) | (e16 as u8);
+    out[1..8].copy_from_slice(&mantissa.to_be_bytes()[1..8]);
+    Ok(out)
+}
+
+/// Decodes a GDSII excess-64 real into an `f64`.
+///
+/// Total: every 8-byte pattern decodes (denormalised mantissas included).
+/// The result is the correctly-rounded nearest `f64`.
+pub fn decode_real8(bytes: &[u8; 8]) -> f64 {
+    let sign = bytes[0] & 0x80 != 0;
+    let e16 = (bytes[0] & 0x7F) as i32;
+    let mut mantissa = 0u64;
+    for &b in &bytes[1..8] {
+        mantissa = (mantissa << 8) | b as u64;
+    }
+    if mantissa == 0 {
+        return 0.0;
+    }
+    // mantissa < 2^56 always has an exact or correctly-rounded f64 image;
+    // the power of two is exact, so the product is a single rounding.
+    let value = mantissa as f64 * ((4 * e16 - 312) as f64).exp2();
+    if sign {
+        -value
+    } else {
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: f64) -> f64 {
+        decode_real8(&encode_real8(v).unwrap())
+    }
+
+    #[test]
+    fn known_encodings() {
+        // 1.0 = (1/16) · 16^1: exponent 65, mantissa 0x10_0000_0000_0000.
+        assert_eq!(encode_real8(1.0).unwrap(), [0x41, 0x10, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(encode_real8(-1.0).unwrap(), [0xC1, 0x10, 0, 0, 0, 0, 0, 0]);
+        // 1e-9 (metres per dbu of a 1 nm grid) and 1e-3 round-trip; these
+        // two appear in every UNITS record we write.
+        assert_eq!(roundtrip(1e-9), 1e-9);
+        assert_eq!(roundtrip(1e-3), 1e-3);
+        assert_eq!(encode_real8(0.0).unwrap(), [0; 8]);
+        assert_eq!(decode_real8(&[0; 8]), 0.0);
+    }
+
+    #[test]
+    fn negative_zero_canonicalises() {
+        assert_eq!(encode_real8(-0.0).unwrap(), [0; 8]);
+        assert!(roundtrip(-0.0).to_bits() == 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn powers_of_two_and_integers_roundtrip_exactly() {
+        for e in -200..200 {
+            let v = (e as f64).exp2();
+            assert_eq!(roundtrip(v).to_bits(), v.to_bits(), "2^{e}");
+            assert_eq!(roundtrip(-v).to_bits(), (-v).to_bits(), "-2^{e}");
+        }
+        for i in 1..10_000i64 {
+            let v = i as f64;
+            assert_eq!(roundtrip(v), v, "{i}");
+        }
+    }
+
+    #[test]
+    fn awkward_fractions_roundtrip_bitwise() {
+        for v in [
+            0.1,
+            0.2,
+            0.1 + 0.2,
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            6.25e-10,
+            1e-6,
+            2.5e-3,
+            f64::MIN_POSITIVE, // smallest normal: underflows to 0 is NOT ok here
+        ] {
+            if v >= (-260f64).exp2() {
+                assert_eq!(roundtrip(v).to_bits(), v.to_bits(), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn subnormals_and_tiny_normals_underflow_to_zero() {
+        assert_eq!(encode_real8(f64::MIN_POSITIVE / 4.0).unwrap(), [0; 8]);
+        assert_eq!(encode_real8(5e-324).unwrap(), [0; 8]); // smallest subnormal
+        assert_eq!(encode_real8((-270f64).exp2()).unwrap(), [0; 8]);
+        // The smallest *representable* GDS magnitude still round-trips.
+        let tiny = (-260f64).exp2();
+        assert_eq!(roundtrip(tiny).to_bits(), tiny.to_bits());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(encode_real8(f64::NAN).is_err());
+        assert!(encode_real8(f64::INFINITY).is_err());
+        assert!(encode_real8(f64::NEG_INFINITY).is_err());
+        assert!(encode_real8(1e76).is_err());
+        // Just inside the range encodes.
+        assert!(encode_real8(4e75).is_ok());
+    }
+
+    #[test]
+    fn denormalised_foreign_mantissas_decode() {
+        // A mantissa with a zero top nibble (never produced by our encoder,
+        // but legal bytes): 2^-4 · 16^(65-64) = 1.0 expressed denormalised.
+        let bytes = [0x41, 0x01, 0, 0, 0, 0, 0, 0];
+        assert_eq!(decode_real8(&bytes), 1.0 / 16.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Deterministic, byte-stable GDSII library writer.
+//!
+//! Timestamps are fixed at zero so the same geometry always serialises
+//! to the same bytes — the round-trip determinism tests `cmp` whole
+//! files across worker counts and cache states. Coordinates are given in
+//! nanometres and quantised to the library's database unit with a single
+//! `round()` (ties away from zero, the deterministic IEEE mode);
+//! anything outside `i32` after quantisation is a typed overflow error.
+//! Polygons beyond the 8191-point XY record limit are bisected by
+//! [`crate::split::split_polygon`] before encoding.
+
+use cardopc_geometry::Polygon;
+
+use crate::error::GdsError;
+use crate::record::{put_ascii, put_empty, put_i16s, put_real8s, put_record, rtype, MAX_XY_POINTS};
+use crate::split::split_polygon;
+
+/// Streaming writer for one GDSII library.
+#[derive(Debug)]
+pub struct GdsWriter {
+    nm_per_dbu: f64,
+    out: Vec<u8>,
+    in_struct: bool,
+    finished: bool,
+}
+
+impl GdsWriter {
+    /// Starts a library called `lib_name` with a grid of `nm_per_dbu`
+    /// nanometres per database unit (`1.0` for target layouts, `0.01`
+    /// for curvilinear masks). The user unit is fixed at 1 µm.
+    ///
+    /// # Errors
+    ///
+    /// [`GdsError::RealOutOfRange`] for a non-positive or non-finite
+    /// grid.
+    pub fn new(lib_name: &str, nm_per_dbu: f64) -> Result<GdsWriter, GdsError> {
+        if !(nm_per_dbu.is_finite() && nm_per_dbu > 0.0) {
+            return Err(GdsError::RealOutOfRange(format!(
+                "nm-per-dbu {nm_per_dbu} must be a positive finite real"
+            )));
+        }
+        let mut out = Vec::new();
+        put_i16s(&mut out, rtype::HEADER, &[600]);
+        // Fixed zero timestamps: byte-stable output by construction.
+        put_i16s(&mut out, rtype::BGNLIB, &[0; 12]);
+        put_ascii(&mut out, rtype::LIBNAME, lib_name);
+        put_real8s(
+            &mut out,
+            rtype::UNITS,
+            &[nm_per_dbu * 1e-3, nm_per_dbu * 1e-9],
+        )?;
+        Ok(GdsWriter {
+            nm_per_dbu,
+            out,
+            in_struct: false,
+            finished: false,
+        })
+    }
+
+    /// Nanometres per database unit this writer quantises to.
+    pub fn nm_per_dbu(&self) -> f64 {
+        self.nm_per_dbu
+    }
+
+    /// Opens a structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a structure is already open (writer misuse, not a
+    /// data condition).
+    pub fn begin_struct(&mut self, name: &str) {
+        assert!(!self.in_struct && !self.finished, "structure already open");
+        put_i16s(&mut self.out, rtype::BGNSTR, &[0; 12]);
+        put_ascii(&mut self.out, rtype::STRNAME, name);
+        self.in_struct = true;
+    }
+
+    /// Closes the open structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no structure is open.
+    pub fn end_struct(&mut self) {
+        assert!(self.in_struct, "no structure open");
+        put_empty(&mut self.out, rtype::ENDSTR);
+        self.in_struct = false;
+    }
+
+    /// Writes a polygon (vertices in nm) as one or more BOUNDARY
+    /// elements on `layer:datatype`, splitting to honour the XY record
+    /// limit.
+    ///
+    /// # Errors
+    ///
+    /// [`GdsError::CoordinateOverflow`] when a quantised coordinate
+    /// leaves `i32`, [`GdsError::TooManyVertices`] if splitting cannot
+    /// converge, [`GdsError::Grammar`] for a degenerate polygon.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no structure is open.
+    pub fn boundary(
+        &mut self,
+        layer: i16,
+        datatype: i16,
+        polygon: &Polygon,
+    ) -> Result<(), GdsError> {
+        assert!(self.in_struct, "no structure open");
+        if polygon.len() < 3 {
+            return Err(GdsError::Grammar {
+                offset: self.out.len(),
+                reason: format!("polygon with {} vertices cannot be written", polygon.len()),
+            });
+        }
+        // The closing point is written explicitly, so a record fits
+        // MAX_XY_POINTS - 1 distinct vertices.
+        for piece in split_polygon(polygon, MAX_XY_POINTS - 1)? {
+            let mut dbu: Vec<i32> = Vec::with_capacity(piece.len() * 2 + 2);
+            for v in piece.vertices() {
+                dbu.push(self.quantise(v.x)?);
+                dbu.push(self.quantise(v.y)?);
+            }
+            // Close the ring.
+            dbu.push(dbu[0]);
+            dbu.push(dbu[1]);
+            put_empty(&mut self.out, rtype::BOUNDARY);
+            put_i16s(&mut self.out, rtype::LAYER, &[layer]);
+            put_i16s(&mut self.out, rtype::DATATYPE, &[datatype]);
+            let mut data = Vec::with_capacity(dbu.len() * 4);
+            for c in &dbu {
+                data.extend_from_slice(&c.to_be_bytes());
+            }
+            put_record(&mut self.out, rtype::XY, crate::record::dtype::I32, &data);
+            put_empty(&mut self.out, rtype::ENDEL);
+        }
+        Ok(())
+    }
+
+    fn quantise(&self, nm: f64) -> Result<i32, GdsError> {
+        let dbu = (nm / self.nm_per_dbu).round();
+        if !dbu.is_finite() || dbu < i32::MIN as f64 || dbu > i32::MAX as f64 {
+            return Err(GdsError::CoordinateOverflow(format!(
+                "{nm} nm does not fit a 32-bit database unit at {} nm/dbu",
+                self.nm_per_dbu
+            )));
+        }
+        Ok(dbu as i32)
+    }
+
+    /// Terminates the library and returns the finished byte stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a structure is still open.
+    pub fn finish(mut self) -> Vec<u8> {
+        assert!(!self.in_struct, "structure still open");
+        put_empty(&mut self.out, rtype::ENDLIB);
+        self.finished = true;
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::{flatten, FlattenLimits};
+    use crate::model::LayerFilter;
+    use crate::read::parse_lib;
+    use cardopc_geometry::Point;
+
+    #[test]
+    fn written_library_reparses_identically() {
+        let mut w = GdsWriter::new("MASK", 1.0).unwrap();
+        w.begin_struct("TOP");
+        let square = Polygon::rect(Point::new(0.0, 0.0), Point::new(100.0, 50.0));
+        w.boundary(7, 2, &square).unwrap();
+        w.end_struct();
+        let bytes = w.finish();
+
+        let lib = parse_lib(&bytes).unwrap();
+        assert_eq!(lib.name, "MASK");
+        assert_eq!(lib.nm_per_dbu(), 1.0);
+        let shapes = flatten(&lib, "TOP", LayerFilter::All, FlattenLimits::default()).unwrap();
+        assert_eq!(shapes.len(), 1);
+        assert_eq!((shapes[0].layer, shapes[0].datatype), (7, 2));
+        assert_eq!(shapes[0].polygon.area(), 5000.0);
+    }
+
+    #[test]
+    fn output_is_byte_stable() {
+        let build = || {
+            let mut w = GdsWriter::new("MASK", 0.01).unwrap();
+            w.begin_struct("TOP");
+            let poly = Polygon::new(
+                (0..128)
+                    .map(|i| {
+                        let a = 2.0 * std::f64::consts::PI * i as f64 / 128.0;
+                        Point::new(70.0 * a.cos() + 100.0, 70.0 * a.sin() + 100.0)
+                    })
+                    .collect(),
+            );
+            w.boundary(1, 0, &poly).unwrap();
+            w.end_struct();
+            w.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn subnanometre_grid_preserves_curvature() {
+        let mut w = GdsWriter::new("MASK", 0.01).unwrap();
+        w.begin_struct("TOP");
+        // A vertex at a 0.25 nm offset survives a 0.01 nm grid exactly.
+        let poly = Polygon::new(vec![
+            Point::new(0.25, 0.0),
+            Point::new(100.07, 0.0),
+            Point::new(100.07, 55.31),
+            Point::new(0.25, 55.31),
+        ]);
+        w.boundary(1, 0, &poly).unwrap();
+        w.end_struct();
+        let lib = parse_lib(&w.finish()).unwrap();
+        let shapes = flatten(&lib, "TOP", LayerFilter::All, FlattenLimits::default()).unwrap();
+        let bbox = shapes[0].polygon.bbox();
+        assert!((bbox.min.x - 0.25).abs() < 1e-9);
+        assert!((bbox.max.y - 55.31).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_polygons_split_on_write() {
+        let mut w = GdsWriter::new("MASK", 1.0).unwrap();
+        w.begin_struct("TOP");
+        let big = Polygon::new(
+            (0..10_000)
+                .map(|i| {
+                    let a = 2.0 * std::f64::consts::PI * i as f64 / 10_000.0;
+                    Point::new(5000.0 * a.cos(), 5000.0 * a.sin())
+                })
+                .collect(),
+        );
+        w.boundary(1, 0, &big).unwrap();
+        w.end_struct();
+        let lib = parse_lib(&w.finish()).unwrap();
+        let shapes = flatten(&lib, "TOP", LayerFilter::All, FlattenLimits::default()).unwrap();
+        assert!(shapes.len() >= 2);
+        let total: f64 = shapes.iter().map(|s| s.polygon.area()).sum();
+        assert!((total - big.area()).abs() / big.area() < 1e-3);
+    }
+
+    #[test]
+    fn overflow_and_degenerate_inputs_are_typed_errors() {
+        let mut w = GdsWriter::new("MASK", 0.01).unwrap();
+        w.begin_struct("TOP");
+        let far = Polygon::rect(Point::new(1e12, 0.0), Point::new(1e12 + 10.0, 10.0));
+        assert!(matches!(
+            w.boundary(1, 0, &far),
+            Err(GdsError::CoordinateOverflow(_))
+        ));
+        let line = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        assert!(w.boundary(1, 0, &line).is_err());
+        assert!(GdsWriter::new("X", 0.0).is_err());
+        assert!(GdsWriter::new("X", f64::NAN).is_err());
+    }
+}

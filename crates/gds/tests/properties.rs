@@ -1,0 +1,240 @@
+//! Property tests for the GDS codec, winding normalisation, transform
+//! composition, and malformed-input robustness.
+
+use cardopc_gds::model::Strans;
+use cardopc_gds::{
+    decode_real8, encode_real8, flatten, parse_lib, FlattenLimits, GdsError, GdsWriter,
+    LayerFilter, Trans,
+};
+use cardopc_geometry::{Orientation, Point, Polygon, SplitMix64};
+use proptest::prelude::*;
+
+/// Uniform over *all* 2^64 bit patterns: normals, subnormals, ±0, NaN,
+/// infinities — the codec must handle every one without panicking.
+fn arb_bits() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX).prop_map(f64::from_bits)
+}
+
+/// Smallest normalised GDS real: `(1/16) · 16^-64 = 2^-260`.
+const GDS_MIN: f64 = 5.397605346934028e-79;
+
+proptest! {
+    #[test]
+    fn real8_total_over_all_bit_patterns(v in arb_bits()) {
+        match encode_real8(v) {
+            Ok(bytes) => {
+                let back = decode_real8(&bytes);
+                if v == 0.0 || v.abs() < GDS_MIN {
+                    // ±0 and underflow canonicalise to +0.
+                    prop_assert_eq!(back.to_bits(), 0.0f64.to_bits());
+                } else {
+                    prop_assert_eq!(back.to_bits(), v.to_bits());
+                }
+            }
+            Err(_) => {
+                // Only non-finite values and magnitudes >= 16^63 may fail.
+                prop_assert!(!v.is_finite() || v.abs() >= 16f64.powi(63));
+            }
+        }
+    }
+
+    #[test]
+    fn real8_in_range_roundtrips_bitwise(me in (-1e9f64..1e9, -60i32..60)) {
+        let (m, e) = me;
+        let v = m * (e as f64).exp2();
+        prop_assume!(v != 0.0 && v.abs() >= GDS_MIN);
+        let back = decode_real8(&encode_real8(v).unwrap());
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn flatten_normalises_winding(
+        origin in (-5e3f64..5e3, -5e3f64..5e3),
+        size in (10f64..500.0, 10f64..500.0),
+        mirror in 0u8..2,
+        quarter in 0u8..4,
+        reversed in 0u8..2,
+    ) {
+        let ((x0, y0), (w, h)) = (origin, size);
+        // Write a rectangle with either winding under a possibly
+        // orientation-flipping transform; the flattened polygon must
+        // always come out CCW with the same area.
+        let mut vertices = vec![
+            Point::new(x0, y0),
+            Point::new(x0 + w, y0),
+            Point::new(x0 + w, y0 + h),
+            Point::new(x0, y0 + h),
+        ];
+        if reversed == 1 {
+            vertices.reverse();
+        }
+        let mut writer = GdsWriter::new("P", 1.0).unwrap();
+        writer.begin_struct("CELL");
+        writer.boundary(1, 0, &Polygon::new(vertices)).unwrap();
+        writer.end_struct();
+        let cell_bytes = writer.finish();
+        let lib = parse_lib(&cell_bytes).unwrap();
+        let strans = Strans {
+            mirror_x: mirror == 1,
+            mag: 1.0,
+            angle_deg: quarter as f64 * 90.0,
+        };
+        // Re-emit the cell under a reference by hand-building the model.
+        let mut lib2 = lib.clone();
+        lib2.structs.push(cardopc_gds::GdsStruct {
+            name: "TOP".into(),
+            elements: vec![cardopc_gds::GdsElement::Ref(cardopc_gds::GdsRef {
+                sname: "CELL".into(),
+                strans,
+                colrow: None,
+                xy: vec![(100, -200)],
+            })],
+        });
+        let shapes = flatten(&lib2, "TOP", LayerFilter::All, FlattenLimits::default()).unwrap();
+        prop_assert_eq!(shapes.len(), 1);
+        let p = &shapes[0].polygon;
+        prop_assert!(matches!(p.orientation(), Orientation::CounterClockwise));
+        // The writer quantises each vertex to the 1 nm grid independently.
+        let expected =
+            ((x0 + w).round() - x0.round()) * ((y0 + h).round() - y0.round());
+        prop_assert!((p.area() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transform_composition_matches_scalar_reference(
+        p in (-1e4f64..1e4, -1e4f64..1e4),
+        o1 in (-1e4f64..1e4, -1e4f64..1e4),
+        o2 in (-1e4f64..1e4, -1e4f64..1e4),
+        angles in (0f64..360.0, 0f64..360.0),
+        mags in (0.25f64..4.0, 0.25f64..4.0),
+        mirrors in 0u8..4,
+    ) {
+        let ((x, y), (ox1, oy1), (ox2, oy2)) = (p, o1, o2);
+        let ((a1, a2), (m1, m2)) = (angles, mags);
+        let s1 = Strans { mirror_x: mirrors & 1 != 0, mag: m1, angle_deg: a1 };
+        let s2 = Strans { mirror_x: mirrors & 2 != 0, mag: m2, angle_deg: a2 };
+        let t1 = Trans::from_strans(s1, (ox1, oy1));
+        let t2 = Trans::from_strans(s2, (ox2, oy2));
+
+        // Scalar reference: mirror, then rotate, then scale, then move.
+        fn reference(s: Strans, origin: (f64, f64), p: (f64, f64)) -> (f64, f64) {
+            let (px, py) = (p.0, if s.mirror_x { -p.1 } else { p.1 });
+            let rad = s.angle_deg.to_radians();
+            let (cos, sin) = (rad.cos(), rad.sin());
+            let (rx, ry) = (px * cos - py * sin, px * sin + py * cos);
+            (rx * s.mag + origin.0, ry * s.mag + origin.1)
+        }
+
+        // Composition applies the inner transform first.
+        let via_compose = t1.compose(&t2).apply((x, y));
+        let via_scalar = reference(s1, (ox1, oy1), reference(s2, (ox2, oy2), (x, y)));
+        let scale = via_scalar.0.abs().max(via_scalar.1.abs()).max(1.0);
+        prop_assert!((via_compose.0 - via_scalar.0).abs() < 1e-9 * scale);
+        prop_assert!((via_compose.1 - via_scalar.1).abs() < 1e-9 * scale);
+
+        // Orientation flip tracks the mirror parity.
+        let flips = (mirrors & 1 != 0) ^ (mirrors & 2 != 0);
+        prop_assert_eq!(t1.compose(&t2).det() < 0.0, flips);
+    }
+}
+
+/// Builds a small but representative library: two cells, an SREF with
+/// rotation/mirror, an AREF lattice, and a PATH.
+fn sample_library() -> Vec<u8> {
+    let mut w = GdsWriter::new("FUZZ", 1.0).unwrap();
+    w.begin_struct("CELL");
+    w.boundary(
+        1,
+        0,
+        &Polygon::rect(Point::new(0.0, 0.0), Point::new(70.0, 70.0)),
+    )
+    .unwrap();
+    w.boundary(
+        2,
+        1,
+        &Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(120.0, 0.0),
+            Point::new(120.0, 40.0),
+            Point::new(40.0, 40.0),
+            Point::new(40.0, 120.0),
+            Point::new(0.0, 120.0),
+        ]),
+    )
+    .unwrap();
+    w.end_struct();
+    w.begin_struct("TOP");
+    w.boundary(
+        1,
+        0,
+        &Polygon::rect(Point::new(-50.0, -50.0), Point::new(10.0, 10.0)),
+    )
+    .unwrap();
+    w.end_struct();
+    w.finish()
+}
+
+#[test]
+fn truncation_never_panics() {
+    let bytes = sample_library();
+    assert!(parse_lib(&bytes).is_ok());
+    for cut in 0..bytes.len() {
+        // Every proper prefix must produce a typed error, not a panic.
+        match parse_lib(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(lib) => panic!("prefix of {cut} bytes parsed as {lib:?}"),
+        }
+    }
+}
+
+#[test]
+fn seeded_byte_flips_never_panic() {
+    let bytes = sample_library();
+    let mut rng = SplitMix64::new(0x6D5_F00D);
+    for _ in 0..2000 {
+        let mut mutated = bytes.clone();
+        // 1–4 random byte flips per case.
+        let flips = 1 + (rng.next_u64() % 4) as usize;
+        for _ in 0..flips {
+            let at = (rng.next_u64() as usize) % mutated.len();
+            mutated[at] ^= (rng.next_u64() % 255 + 1) as u8;
+        }
+        // Parse and, when parsing survives, flatten: neither may panic,
+        // and flattening stays within its resource limits.
+        if let Ok(lib) = parse_lib(&mutated) {
+            let limits = FlattenLimits {
+                max_depth: 16,
+                max_shapes: 10_000,
+            };
+            for top in lib.top_structs() {
+                let top = top.to_string();
+                match flatten(&lib, &top, LayerFilter::All, limits) {
+                    Ok(shapes) => assert!(shapes.len() <= 10_000),
+                    Err(
+                        GdsError::UnknownStructure(_)
+                        | GdsError::CircularReference(_)
+                        | GdsError::RecursionLimit(_)
+                        | GdsError::ShapeBudget(_)
+                        | GdsError::CoordinateOverflow(_),
+                    ) => {}
+                    Err(other) => panic!("unexpected flatten error {other}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_truncation_with_flips_never_panics() {
+    let bytes = sample_library();
+    let mut rng = SplitMix64::new(0xBAD_CAFE);
+    for _ in 0..2000 {
+        let cut = (rng.next_u64() as usize) % bytes.len();
+        let mut mutated = bytes[..cut].to_vec();
+        if !mutated.is_empty() {
+            let at = (rng.next_u64() as usize) % mutated.len();
+            mutated[at] = rng.next_u64() as u8;
+        }
+        let _ = parse_lib(&mutated); // must return, never panic
+    }
+}

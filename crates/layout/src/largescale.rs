@@ -101,11 +101,15 @@ pub fn large_tile(kind: DesignKind, index: usize) -> Clip {
         if y + WIRE_WIDTH > TILE_SIZE {
             break;
         }
-        let mut x = rng.range_f64(0.0, len_hi * 0.5);
+        // Starts and lengths snap to the integer-nm grid (track y positions
+        // already are); the flooring keeps x + len inside the tile, and the
+        // minimum-length check runs on the snapped value so GDS export at
+        // 1 nm/dbu is lossless.
+        let mut x = rng.range_f64(0.0, len_hi * 0.5).round();
         let mut used = 0.0;
         let budget = TILE_SIZE * fill;
         while x < TILE_SIZE - len_lo && used < budget {
-            let len = rng.range_f64(len_lo, len_hi).min(TILE_SIZE - x);
+            let len = rng.range_f64(len_lo, len_hi).min(TILE_SIZE - x).floor();
             if len < len_lo {
                 break;
             }
@@ -114,7 +118,7 @@ pub fn large_tile(kind: DesignKind, index: usize) -> Clip {
                 Point::new(x + len, y + WIRE_WIDTH),
             ));
             used += len;
-            x += len + gap + rng.range_f64(0.0, len_hi - len_lo);
+            x += len + gap + rng.range_f64(0.0, len_hi - len_lo).round();
         }
     }
     Clip::new(

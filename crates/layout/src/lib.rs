@@ -32,9 +32,15 @@
 mod clip;
 mod largescale;
 mod metal;
+mod source;
 mod via;
 
+pub use cardopc_gds::LayerFilter;
 pub use clip::Clip;
 pub use largescale::{design_tiles, large_tile, DesignKind};
 pub use metal::metal_clips;
+pub use source::{
+    clip_from_lib, generated_clip, read_gds_clip, write_clip_gds, DesignSource, TARGET_LAYER,
+    WINDOW_LAYER,
+};
 pub use via::via_clips;

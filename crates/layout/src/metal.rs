@@ -55,8 +55,10 @@ fn place_wires(target_points: usize, seed: u64) -> Vec<Polygon> {
             break; // dense enough; accept slight undershoot
         }
         let horizontal = rng.chance(0.5);
-        let width = rng.range_f64(70.0, 110.0);
-        let length = rng.range_f64(250.0, 750.0);
+        // Integer-nm dimensions so GDS export at 1 nm/dbu is lossless; all
+        // placement constraints below see the snapped shapes.
+        let width = rng.range_f64(70.0, 110.0).round();
+        let length = rng.range_f64(250.0, 750.0).round();
         let shape = if rng.chance(0.3) {
             l_shape(&mut rng, width, length, horizontal)
         } else {
@@ -92,8 +94,8 @@ fn place_wires(target_points: usize, seed: u64) -> Vec<Polygon> {
 }
 
 fn straight_wire(rng: &mut SplitMix64, width: f64, length: f64, horizontal: bool) -> Polygon {
-    let x = rng.range_f64(0.0, METAL_CLIP_SIZE);
-    let y = rng.range_f64(0.0, METAL_CLIP_SIZE);
+    let x = rng.range_f64(0.0, METAL_CLIP_SIZE).round();
+    let y = rng.range_f64(0.0, METAL_CLIP_SIZE).round();
     if horizontal {
         Polygon::rect(Point::new(x, y), Point::new(x + length, y + width))
     } else {
@@ -103,9 +105,9 @@ fn straight_wire(rng: &mut SplitMix64, width: f64, length: f64, horizontal: bool
 
 /// An L-shaped wire: a horizontal arm and a vertical arm joined at a corner.
 fn l_shape(rng: &mut SplitMix64, width: f64, length: f64, flip: bool) -> Polygon {
-    let x = rng.range_f64(0.0, METAL_CLIP_SIZE);
-    let y = rng.range_f64(0.0, METAL_CLIP_SIZE);
-    let arm = (length * 0.6).max(width * 2.0);
+    let x = rng.range_f64(0.0, METAL_CLIP_SIZE).round();
+    let y = rng.range_f64(0.0, METAL_CLIP_SIZE).round();
+    let arm = (length * 0.6).max(width * 2.0).round();
     if flip {
         Polygon::new(vec![
             Point::new(x, y),

@@ -44,7 +44,10 @@ fn place_vias(count: usize, seed: u64) -> Vec<Polygon> {
     while centers.len() < count {
         guard += 1;
         assert!(guard < 100_000, "via placement failed to converge");
-        let c = Point::new(rng.range_f64(lo, hi), rng.range_f64(lo, hi));
+        // Snap centres to the integer-nm grid (the via half-size is 35 nm,
+        // so corners land on the grid too and GDS export is lossless);
+        // the spacing constraint is checked on the snapped position.
+        let c = Point::new(rng.range_f64(lo, hi).round(), rng.range_f64(lo, hi).round());
         if centers.iter().all(|&p| p.distance(c) >= MIN_SPACING) {
             centers.push(c);
         }

@@ -38,6 +38,7 @@
 pub mod cache;
 pub mod checkpoint;
 mod error;
+pub mod gdsout;
 pub mod handle;
 pub mod json;
 pub mod manifest;
@@ -48,6 +49,7 @@ pub mod stitch;
 pub use cache::{tile_cache_key, CacheConfig, CacheStats, CachedShape, CachedTile, TileCache};
 pub use checkpoint::{tile_input_hash, RunDir, StitchedShape, TileMetrics, TileRecord};
 pub use error::RuntimeError;
+pub use gdsout::{write_mask_gds, MaskGdsOptions, MASK_NM_PER_DBU};
 pub use handle::{EngineCache, RunControl, RunHandle, TileEvent};
 pub use manifest::{Aggregate, RunManifest, TileSummary};
 pub use partition::{partition_clip, Partition, Tile, TilingConfig};

@@ -38,15 +38,16 @@
 use cardopc_fleet::spec::DesignSpec;
 use cardopc_fleet::worker::{WorkerConfig, WorkerServer};
 use cardopc_fleet::{client, run_fleet, FleetConfig, WorkSpec};
-use cardopc_layout::DesignKind;
+use cardopc_layout::{write_clip_gds, DesignKind, LayerFilter, TARGET_LAYER};
 use cardopc_litho::{Precision, WorkerPool};
 use cardopc_opc::OpcConfig;
 use cardopc_runtime::{
-    run_clip_controlled, CacheConfig, RunConfig, RunControl, TileCache, TilingConfig,
+    run_clip_controlled, write_mask_gds, CacheConfig, MaskGdsOptions, RunConfig, RunControl,
+    Stitched, TileCache, TilingConfig,
 };
-use cardopc_serve::wire::build_clip;
 use cardopc_serve::{ServeConfig, Server};
 use std::io::BufRead;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -59,9 +60,20 @@ USAGE:
     cardopc worker [OPTIONS]     run a fleet worker process
 
 RUN OPTIONS:
-    --design <gcd|aes|dynamicnode>  synthetic design to correct [gcd]
-    --design-tiles <N>              concatenate N 30x30 um design tiles [1]
+    --design <NAME|FILE.gds>        design to correct: a synthetic design
+                                    (gcd|aes|dynamicnode) or a GDSII file
+                                    path (anything ending in .gds) [gcd]
+    --layer <N[:D]>                 target layer[:datatype] of a GDS
+                                    design; '*' selects every layer [1]
+    --design-tiles <N>              concatenate N 30x30 um design tiles
+                                    (synthetic designs only) [1]
     --crop <NM>                     crop a centred NM x NM window first
+    --write-target-gds <FILE>       export the input design (pre-OPC) as
+                                    GDSII at 1 nm/dbu, then run
+    --out-gds <FILE>                write the corrected curvilinear mask
+                                    as GDSII at 0.01 nm/dbu
+    --mask-layer <N>                mask GDS layer for corrected mains [2]
+    --sraf-layer <N>                mask GDS layer for SRAFs [3]
     --tile <NM>                     core tile size [4096]
     --halo <NM>                     halo margin per side [1024]
     --pitch <NM>                    simulation pixel pitch [8]
@@ -91,6 +103,7 @@ RUN OPTIONS:
                                     duplicate-dispatch tiles leased longer
                                     than this [20]
     --help                          print this help
+    --version                       print the version and exit
 
 WORKER OPTIONS:
     --addr <HOST:PORT>              bind address [127.0.0.1:0]; port 0
@@ -119,10 +132,37 @@ THREADS:
     --threads > --workers > CARDOPC_THREADS > auto-detected CPUs
 ";
 
+/// What `--design` named: a synthetic generator or a GDSII file path.
+enum DesignChoice {
+    Kind(DesignKind),
+    Gds(PathBuf),
+}
+
+/// Prints help or the version when `flag` asks for one; the caller exits
+/// 0 (success: the user got exactly what they asked for).
+fn info_flag(flag: &str) -> bool {
+    match flag {
+        "--help" | "-h" => {
+            println!("{USAGE}");
+            true
+        }
+        "--version" => {
+            println!("cardopc {}", env!("CARGO_PKG_VERSION"));
+            true
+        }
+        _ => false,
+    }
+}
+
 struct RunArgs {
-    design: DesignKind,
+    design: DesignChoice,
+    layer: Option<LayerFilter>,
     design_tiles: usize,
     crop: Option<f64>,
+    out_gds: Option<PathBuf>,
+    write_target_gds: Option<PathBuf>,
+    mask_layer: i16,
+    sraf_layer: i16,
     tile: f64,
     halo: f64,
     pitch: f64,
@@ -141,11 +181,18 @@ struct RunArgs {
 }
 
 impl RunArgs {
-    fn parse(it: &mut std::vec::IntoIter<String>) -> Result<RunArgs, String> {
+    /// `Ok(None)` means an informational flag (`--help`, `--version`)
+    /// was handled and the process should exit successfully.
+    fn parse(it: &mut std::vec::IntoIter<String>) -> Result<Option<RunArgs>, String> {
         let mut args = RunArgs {
-            design: DesignKind::Gcd,
+            design: DesignChoice::Kind(DesignKind::Gcd),
+            layer: None,
             design_tiles: 1,
             crop: None,
+            out_gds: None,
+            write_target_gds: None,
+            mask_layer: cardopc_runtime::gdsout::DEFAULT_MASK_LAYER,
+            sraf_layer: cardopc_runtime::gdsout::DEFAULT_SRAF_LAYER,
             tile: 4096.0,
             halo: 1024.0,
             pitch: 8.0,
@@ -169,15 +216,35 @@ impl RunArgs {
             };
             match flag.as_str() {
                 "--design" => {
-                    args.design = match value()?.as_str() {
-                        "gcd" => DesignKind::Gcd,
-                        "aes" => DesignKind::Aes,
-                        "dynamicnode" => DesignKind::DynamicNode,
-                        other => return Err(format!("unknown design '{other}'")),
-                    }
+                    let raw = value()?;
+                    args.design = match raw.as_str() {
+                        "gcd" => DesignChoice::Kind(DesignKind::Gcd),
+                        "aes" => DesignChoice::Kind(DesignKind::Aes),
+                        "dynamicnode" => DesignChoice::Kind(DesignKind::DynamicNode),
+                        p if p.to_ascii_lowercase().ends_with(".gds") => {
+                            DesignChoice::Gds(PathBuf::from(p))
+                        }
+                        other => {
+                            return Err(format!(
+                                "unknown design '{other}' \
+                                 (expected gcd|aes|dynamicnode or a .gds file path)"
+                            ))
+                        }
+                    };
+                }
+                "--layer" => {
+                    let raw = value()?;
+                    args.layer = Some(
+                        LayerFilter::parse(&raw)
+                            .map_err(|e| format!("--layer: cannot parse '{raw}': {e}"))?,
+                    );
                 }
                 "--design-tiles" => args.design_tiles = parse_num(&flag, &value()?)?,
                 "--crop" => args.crop = Some(parse_num(&flag, &value()?)?),
+                "--out-gds" => args.out_gds = Some(value()?.into()),
+                "--write-target-gds" => args.write_target_gds = Some(value()?.into()),
+                "--mask-layer" => args.mask_layer = parse_num(&flag, &value()?)?,
+                "--sraf-layer" => args.sraf_layer = parse_num(&flag, &value()?)?,
                 "--tile" => args.tile = parse_num(&flag, &value()?)?,
                 "--halo" => args.halo = parse_num(&flag, &value()?)?,
                 "--pitch" => args.pitch = parse_num(&flag, &value()?)?,
@@ -205,7 +272,7 @@ impl RunArgs {
                 "--lease-secs" => args.lease_secs = parse_num(&flag, &value()?)?,
                 "--steal-secs" => args.steal_secs = parse_num(&flag, &value()?)?,
                 "--quick" => {
-                    args.design = DesignKind::Gcd;
+                    args.design = DesignChoice::Kind(DesignKind::Gcd);
                     args.design_tiles = 1;
                     args.crop = Some(2048.0);
                     args.tile = 1024.0;
@@ -213,11 +280,37 @@ impl RunArgs {
                     args.pitch = 8.0;
                     args.iterations = 4;
                 }
-                "--help" | "-h" => return Err(USAGE.to_string()),
-                other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+                other => {
+                    if info_flag(other) {
+                        return Ok(None);
+                    }
+                    return Err(format!("unknown flag '{other}'\n\n{USAGE}"));
+                }
             }
         }
-        Ok(args)
+        Ok(Some(args))
+    }
+
+    /// The design recipe these flags describe, validated for
+    /// kind-specific flags used with the wrong kind.
+    fn design_spec(&self) -> Result<DesignSpec, String> {
+        match &self.design {
+            DesignChoice::Kind(kind) => {
+                if self.layer.is_some() {
+                    return Err("--layer applies to GDS designs; synthetic designs always \
+                         target layer 1"
+                        .into());
+                }
+                Ok(DesignSpec::generated(*kind, self.design_tiles, self.crop))
+            }
+            DesignChoice::Gds(path) => {
+                if self.design_tiles != 1 {
+                    return Err("--design-tiles applies to synthetic designs only".into());
+                }
+                let layer = self.layer.unwrap_or(LayerFilter::Layer(TARGET_LAYER));
+                Ok(DesignSpec::gds(path.clone(), layer, self.crop))
+            }
+        }
     }
 }
 
@@ -226,7 +319,9 @@ struct ServeArgs {
 }
 
 impl ServeArgs {
-    fn parse(it: &mut std::vec::IntoIter<String>) -> Result<ServeArgs, String> {
+    /// `Ok(None)` means an informational flag (`--help`, `--version`)
+    /// was handled and the process should exit successfully.
+    fn parse(it: &mut std::vec::IntoIter<String>) -> Result<Option<ServeArgs>, String> {
         let mut config = ServeConfig::default();
         while let Some(flag) = it.next() {
             let mut value = || {
@@ -242,11 +337,15 @@ impl ServeArgs {
                 "--run-root" => config.run_root = value()?.into(),
                 "--cache-dir" => config.cache_dir = Some(value()?.into()),
                 "--no-cache" => config.cache = false,
-                "--help" | "-h" => return Err(USAGE.to_string()),
-                other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+                other => {
+                    if info_flag(other) {
+                        return Ok(None);
+                    }
+                    return Err(format!("unknown flag '{other}'\n\n{USAGE}"));
+                }
             }
         }
-        Ok(ServeArgs { config })
+        Ok(Some(ServeArgs { config }))
     }
 }
 
@@ -285,8 +384,12 @@ fn worker_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
                 config.cache = false;
                 Ok(())
             }
-            "--help" | "-h" => Err(USAGE.to_string()),
-            other => Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+            other => {
+                if info_flag(other) {
+                    return ExitCode::SUCCESS;
+                }
+                Err(format!("unknown flag '{other}'\n\n{USAGE}"))
+            }
         };
         if let Err(msg) = result {
             eprintln!("{msg}");
@@ -313,7 +416,8 @@ fn worker_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
 /// drain completes, exit 0.
 fn serve_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
     let args = match ServeArgs::parse(it) {
-        Ok(args) => args,
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
@@ -395,10 +499,68 @@ fn spawn_local_worker() -> Result<LocalWorker, String> {
     Ok(LocalWorker { child, addr })
 }
 
+/// `fs::write` with the parent directory created first (CLI outputs may
+/// name not-yet-existing directories, e.g. a shared `--run-dir` tree).
+fn write_creating_parents(path: &std::path::Path, bytes: &[u8]) -> Result<(), String> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Writes the pre-OPC target clip as GDSII (1 nm/dbu, target layer).
+fn export_target_gds(clip: &cardopc_layout::Clip, path: &std::path::Path) -> Result<(), String> {
+    let bytes = write_clip_gds(clip, TARGET_LAYER, 0)?;
+    write_creating_parents(path, &bytes)?;
+    eprintln!(
+        "cardopc: wrote target GDS {} ({} bytes)",
+        path.display(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+/// Writes the corrected curvilinear mask as GDSII when `--out-gds` was
+/// given. An incomplete run has no stitched mask; the caller asked for a
+/// file, so that is an error rather than a silent skip.
+fn export_mask_gds(
+    stitched: Option<&Stitched>,
+    name: &str,
+    args: &RunArgs,
+    opc: &OpcConfig,
+) -> Result<(), String> {
+    let Some(path) = &args.out_gds else {
+        return Ok(());
+    };
+    let Some(stitched) = stitched else {
+        return Err(format!(
+            "--out-gds {}: run incomplete, no stitched mask to export; \
+             re-run with the same --run-dir (without --max-tiles) to finish",
+            path.display()
+        ));
+    };
+    let options = MaskGdsOptions {
+        mask_layer: args.mask_layer,
+        sraf_layer: args.sraf_layer,
+        samples_per_segment: opc.samples_per_segment,
+    };
+    let bytes = write_mask_gds(stitched, name, &options).map_err(|e| e.to_string())?;
+    write_creating_parents(path, &bytes)?;
+    eprintln!(
+        "cardopc: wrote mask GDS {} ({} bytes, mains on {}:0, srafs on {}:0)",
+        path.display(),
+        bytes.len(),
+        args.mask_layer,
+        args.sraf_layer
+    );
+    Ok(())
+}
+
 /// Fleet mode: shard the run across worker processes (spawned locally
 /// and/or already running remotely) and print the same manifest a
 /// single-process run would.
-fn fleet_main(args: &RunArgs, opc: OpcConfig) -> ExitCode {
+fn fleet_main(args: &RunArgs, design: DesignSpec, mask_name: &str, opc: OpcConfig) -> ExitCode {
     let mut locals = Vec::new();
     for _ in 0..args.workers_local {
         match spawn_local_worker() {
@@ -416,11 +578,7 @@ fn fleet_main(args: &RunArgs, opc: OpcConfig) -> ExitCode {
         .collect();
 
     let spec = WorkSpec {
-        design: DesignSpec {
-            kind: args.design,
-            tiles: args.design_tiles,
-            crop: args.crop,
-        },
+        design,
         tiling: TilingConfig {
             tile_size: args.tile,
             halo: args.halo,
@@ -450,6 +608,11 @@ fn fleet_main(args: &RunArgs, opc: OpcConfig) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Err(msg) = export_mask_gds(outcome.stitched.as_ref(), mask_name, args, &spec.opc) {
+        eprintln!("cardopc: error: {msg}");
+        return ExitCode::FAILURE;
+    }
 
     print!("{}", outcome.manifest.render_table());
     println!(
@@ -482,21 +645,42 @@ fn fleet_main(args: &RunArgs, opc: OpcConfig) -> ExitCode {
 /// Run mode: one correction, manifest to stdout.
 fn run_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
     let args = match RunArgs::parse(it) {
-        Ok(args) => args,
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
 
-    let clip = build_clip(args.design, args.design_tiles, args.crop);
+    let design = match args.design_spec() {
+        Ok(design) => design,
+        Err(msg) => {
+            eprintln!("cardopc: error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let clip = match design.build_clip() {
+        Ok(clip) => clip,
+        Err(e) => {
+            eprintln!("cardopc: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.write_target_gds {
+        if let Err(msg) = export_target_gds(&clip, path) {
+            eprintln!("cardopc: error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     let mut opc = OpcConfig::large_scale();
     opc.pitch = args.pitch;
     opc.precision = args.precision;
     opc.iterations = args.iterations;
 
     if args.workers_local > 0 || !args.worker_addrs.is_empty() {
-        return fleet_main(&args, opc);
+        let name = clip.name().to_string();
+        return fleet_main(&args, design, &name, opc);
     }
 
     let config = RunConfig {
@@ -560,6 +744,11 @@ fn run_main(it: &mut std::vec::IntoIter<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Err(msg) = export_mask_gds(outcome.stitched.as_ref(), clip.name(), &args, &config.opc) {
+        eprintln!("cardopc: error: {msg}");
+        return ExitCode::FAILURE;
+    }
 
     print!("{}", outcome.manifest.render_table());
     println!(

@@ -251,6 +251,8 @@ impl JobStore {
         inner.next_id += 1;
         let run_dir_name = spec.run_dir_name.clone();
         self.metrics.record_job_precision(spec.config.opc.precision);
+        self.metrics
+            .record_design_ingested(&spec.work.design.source);
         inner.jobs.insert(
             id.clone(),
             Job {
@@ -496,7 +498,14 @@ impl JobStore {
                     // The fleet ran dry (every worker crashed/retired):
                     // finish the job in-process — checkpointed tiles are
                     // resumed when the job has a run_dir.
-                    Err(FleetError::NoWorkers | FleetError::WorkersExhausted { .. }) => {}
+                    // A Spec failure here means the design file changed
+                    // underfoot after submission validated it; the job's
+                    // clip was already built, so run it in-process too.
+                    Err(
+                        FleetError::NoWorkers
+                        | FleetError::WorkersExhausted { .. }
+                        | FleetError::Spec(_),
+                    ) => {}
                     Err(FleetError::Runtime(e)) => return Err(e),
                 }
             }

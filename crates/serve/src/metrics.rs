@@ -184,6 +184,10 @@ pub struct Metrics {
     /// [`cardopc_litho::Precision::tag`]; rendered as the labelled
     /// `cardopc_jobs_total{precision="..."}` family.
     pub jobs_by_precision: [Counter; 2],
+    /// Designs successfully ingested per source format, indexed
+    /// generated=0 / gds=1; rendered as the labelled
+    /// `cardopc_designs_ingested_total{format="..."}` family.
+    pub designs_ingested: [Counter; 2],
     /// Jobs that finished in each terminal state.
     pub jobs_done: Counter,
     /// Jobs that failed.
@@ -227,6 +231,15 @@ impl Metrics {
     /// Counts one accepted job against its simulation precision.
     pub fn record_job_precision(&self, precision: cardopc_litho::Precision) {
         self.jobs_by_precision[precision.tag() as usize].inc();
+    }
+
+    /// Counts one successfully ingested design against its source format.
+    pub fn record_design_ingested(&self, source: &cardopc_layout::DesignSource) {
+        let idx = match source {
+            cardopc_layout::DesignSource::Generated { .. } => 0,
+            cardopc_layout::DesignSource::Gds { .. } => 1,
+        };
+        self.designs_ingested[idx].inc();
     }
 
     /// [`Metrics::render`] plus the tile-cache series, when the server
@@ -301,6 +314,17 @@ impl Metrics {
                 "cardopc_jobs_total{{precision=\"{}\"}} {}",
                 precision.name(),
                 self.jobs_by_precision[precision.tag() as usize].get()
+            );
+        }
+        let _ = writeln!(out, "# TYPE cardopc_designs_ingested_total counter");
+        for (label, counter) in [
+            ("generated", &self.designs_ingested[0]),
+            ("gds", &self.designs_ingested[1]),
+        ] {
+            let _ = writeln!(
+                out,
+                "cardopc_designs_ingested_total{{format=\"{label}\"}} {}",
+                counter.get()
             );
         }
         let _ = writeln!(out, "# TYPE cardopc_drain_rejected_total counter");

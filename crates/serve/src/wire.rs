@@ -24,10 +24,20 @@
 //! geometry-free equivalents (`large_scale` preset, 4096 nm tiles,
 //! 1024 nm halo). `run_dir` is a *name*, resolved under the server's run
 //! root — submitting the same name again resumes that checkpoint.
+//!
+//! A job may instead reference an uploaded GDSII file:
+//!
+//! ```json
+//! {"design": {"gds": "chip.gds", "layer": "5:0", "crop": 4096.0}}
+//! ```
+//!
+//! `design.gds` is a file *name* resolved under the same run root (the
+//! same character set and confinement rules as `run_dir`), so a request
+//! can never read a file outside the server's directory.
 
 pub use cardopc_fleet::spec::{build_clip, validate, BadRequest, MAX_DESIGN_TILES};
 use cardopc_fleet::spec::{
-    parse_design, parse_opc, parse_tiling, reject_unknown, sanitize_run_dir,
+    parse_design_with_root, parse_opc, parse_tiling, reject_unknown, sanitize_run_dir,
 };
 use cardopc_fleet::WorkSpec;
 use cardopc_json::Json;
@@ -35,6 +45,12 @@ use cardopc_layout::Clip;
 use cardopc_opc::OpcConfig;
 use cardopc_runtime::{RunConfig, TilingConfig};
 use std::path::Path;
+
+/// Most tiles a single job's partition may hold. Generated designs are
+/// bounded by `MAX_DESIGN_TILES`, but an uploaded GDS can claim any die
+/// size — without a cap a corrupt file could demand a multi-metre
+/// partition and stall the executor before the first tile corrects.
+pub const MAX_JOB_TILES: usize = 65_536;
 
 /// A validated job specification.
 #[derive(Clone, Debug)]
@@ -71,11 +87,15 @@ pub fn parse_job(body: &str, run_root: &Path) -> Result<JobSpec, BadRequest> {
         &["design", "tiling", "opc", "run_dir", "max_tiles", "cache"],
     )?;
 
-    let design = parse_design(
+    // GDS paths in the wire format are names resolved under the server's
+    // run root, exactly like `run_dir` — a request can never read outside
+    // it.
+    let design = parse_design_with_root(
         json.get("design")
             .ok_or("missing required field 'design'")?,
+        Some(run_root),
     )?;
-    let clip = design.build_clip();
+    let clip = design.build_clip()?;
 
     let tiling = match json.get("tiling") {
         Some(t) => parse_tiling(t)?,
@@ -84,6 +104,15 @@ pub fn parse_job(body: &str, run_root: &Path) -> Result<JobSpec, BadRequest> {
             halo: 1024.0,
         },
     };
+
+    let tiles_x = (clip.width() / tiling.tile_size).ceil().max(1.0);
+    let tiles_y = (clip.height() / tiling.tile_size).ceil().max(1.0);
+    if tiles_x * tiles_y > MAX_JOB_TILES as f64 {
+        return Err(format!(
+            "design and tiling produce {tiles_x}x{tiles_y} tiles \
+             (cap {MAX_JOB_TILES}); enlarge 'tiling.tile' or crop the design"
+        ));
+    }
 
     let opc = match json.get("opc") {
         Some(o) => parse_opc(o)?,
@@ -153,7 +182,7 @@ mod tests {
         assert!(spec.cache, "cache defaults on");
         assert!(!spec.clip.targets().is_empty());
         assert_eq!(spec.work.opc, spec.config.opc, "work spec mirrors the job");
-        assert_eq!(spec.work.build_clip().name(), spec.clip.name());
+        assert_eq!(spec.work.build_clip().unwrap().name(), spec.clip.name());
     }
 
     #[test]
@@ -191,6 +220,11 @@ mod tests {
             r#"{"design": {"kind": "gcd", "crop": -5}}"#,
             r#"{"design": {"kind": "gcd"}, "tiling": {"tile": 0}}"#,
             r#"{"design": {"kind": "gcd"}, "tiling": {"halo": -1}}"#,
+            // Uncropped gcd at 1 nm tiles → 30k×30k tiles, over the cap.
+            r#"{"design": {"kind": "gcd"}, "tiling": {"tile": 1.0}}"#,
+            r#"{"design": {"gds": "../escape.gds"}}"#,
+            r#"{"design": {"gds": "nonexistent.gds"}}"#,
+            r#"{"design": {"gds": "a.gds", "layer": "bogus"}}"#,
             r#"{"design": {"kind": "gcd"}, "opc": {"preset": "nope"}}"#,
             r#"{"design": {"kind": "gcd"}, "opc": {"pitch": 0}}"#,
             r#"{"design": {"kind": "gcd"}, "opc": {"iterations": 0}}"#,

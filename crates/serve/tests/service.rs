@@ -633,3 +633,122 @@ fn registered_fleet_workers_run_jobs_byte_identically() {
     drop(server);
     let _ = std::fs::remove_dir_all(root);
 }
+
+/// A GDS-file job referencing `name` in the run root: same tiling/OPC as
+/// [`SMOKE_JOB`], capped at 4 tiles so a fuzz survivor stays cheap.
+fn gds_job(name: &str) -> String {
+    format!(
+        r#"{{
+            "design": {{"gds": "{name}"}},
+            "tiling": {{"tile": 512.0, "halo": 256.0}},
+            "opc": {{"preset": "large_scale", "pitch": 16.0, "iterations": 3}},
+            "max_tiles": 4
+        }}"#
+    )
+}
+
+#[test]
+fn gds_design_jobs_match_generated_runs_and_reject_corrupt_uploads() {
+    use cardopc_layout::{generated_clip, write_clip_gds, DesignKind, TARGET_LAYER};
+
+    let (server, addr, root) = start("gds", 64, 1);
+    std::fs::create_dir_all(&root).unwrap();
+
+    // Export SMOKE_JOB's generated design ("gcd", crop 1024) to a GDS
+    // file in the run root — the upload convention.
+    let clip = generated_clip(DesignKind::Gcd, 1, Some(1024.0));
+    let bytes = write_clip_gds(&clip, TARGET_LAYER, 0).unwrap();
+    std::fs::write(root.join("chip.gds"), &bytes).unwrap();
+
+    // The ingested design corrects byte-identically to the generated
+    // original: the GDS round trip is lossless end to end over HTTP.
+    let id = submit(addr, &gds_job("chip.gds"));
+    let done = wait_terminal(addr, &id);
+    assert_eq!(state(&done), "done", "{done:?}");
+    assert_eq!(result_manifest(addr, &id), direct_manifest(SMOKE_JOB, 1));
+
+    // Bad references are client errors, not server errors.
+    for bad in [
+        r#"{"design": {"gds": "../escape.gds"}}"#,
+        r#"{"design": {"gds": "missing.gds"}}"#,
+        r#"{"design": {"gds": "chip.gds", "layer": "42"}}"#,
+        r#"{"design": {"gds": "chip.gds", "layer": "bogus"}}"#,
+        r#"{"design": {"gds": "chip.gds", "tiles": 2}}"#,
+    ] {
+        let resp = client::post_json(addr, "/v1/jobs", bad).unwrap();
+        assert_eq!(resp.status, 400, "{bad}: {}", resp.body_str());
+    }
+
+    // Seeded corruption of the upload — truncations and byte flips. Every
+    // submission must be answered 4xx (or admitted when the mutation left
+    // the file valid); a 5xx means the reader panicked or hung the
+    // executor, and the server must stay healthy throughout.
+    let mut rng = SplitMix64::new(0x6D50BAD);
+    let mut accepted = Vec::new();
+    for case in 0..32usize {
+        let mut mutated = bytes.clone();
+        if case % 2 == 0 {
+            let at = 1 + (rng.next_u64() as usize) % (mutated.len() - 1);
+            mutated.truncate(at);
+        } else {
+            for _ in 0..1 + rng.next_u64() % 4 {
+                let at = (rng.next_u64() as usize) % mutated.len();
+                mutated[at] ^= (1 + rng.next_u64() % 255) as u8;
+            }
+        }
+        let name = format!("fuzz-{case}.gds");
+        std::fs::write(root.join(&name), &mutated).unwrap();
+        // Survivors run a real correction, so keep them minimal: one
+        // iteration, one tile.
+        let body = format!(
+            r#"{{
+                "design": {{"gds": "{name}"}},
+                "tiling": {{"tile": 512.0, "halo": 256.0}},
+                "opc": {{"preset": "large_scale", "pitch": 16.0, "iterations": 1}},
+                "max_tiles": 1
+            }}"#
+        );
+        let resp = client::post_json(addr, "/v1/jobs", &body).unwrap();
+        assert!(
+            resp.status == 201 || (400..500).contains(&resp.status),
+            "case {case}: corrupt GDS answered {}: {}",
+            resp.status,
+            resp.body_str()
+        );
+        if resp.status == 201 {
+            let doc = resp.json().unwrap();
+            accepted.push(doc.get("id").unwrap().as_str().unwrap().to_string());
+        }
+    }
+    // Fuzz survivors (mutations that left the file readable) must settle
+    // on their own — done or failed, never wedged.
+    for id in &accepted {
+        let doc = wait_terminal(addr, id);
+        assert!(
+            matches!(state(&doc), "done" | "failed"),
+            "fuzz job {id}: {doc:?}"
+        );
+    }
+
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+
+    // The ingestion metric counts admitted designs by source format.
+    let metrics = client::get(addr, "/metrics").unwrap();
+    let text = metrics.body_str().to_string();
+    assert_eq!(
+        metric_value(&text, "cardopc_designs_ingested_total{format=\"gds\"} "),
+        1 + accepted.len() as u64,
+        "{text}"
+    );
+    assert_eq!(
+        metric_value(
+            &text,
+            "cardopc_designs_ingested_total{format=\"generated\"} "
+        ),
+        0
+    );
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(root);
+}
